@@ -1,0 +1,102 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Fidelity is controlled by environment variables so the same harness
+serves quick shape checks and paper-fidelity runs:
+
+================  =======  =====================================
+variable          default  meaning
+================  =======  =====================================
+REPRO_BENCH_SAMPLES  1200  MC samples per characterization point
+REPRO_BENCH_MC       3000  MC samples for golden references
+REPRO_BENCH_PATH_MC   400  MC samples for golden *path* references
+================  =======  =====================================
+
+Characterization and fitted models are cached under
+``benchmarks/.bench_cache`` (delete to force re-characterization).
+Each benchmark writes its reproduced table/figure data as JSON into
+``benchmarks/results/`` — the source for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.flow import DelayCalibrationFlow
+from repro.spice.montecarlo import MonteCarloEngine
+from repro.units import FF, PS
+
+BENCH_DIR = Path(__file__).parent
+CACHE_DIR = BENCH_DIR / ".bench_cache"
+RESULTS_DIR = BENCH_DIR / "results"
+
+#: Monte-Carlo fidelity knobs.
+N_CHARAC = int(os.environ.get("REPRO_BENCH_SAMPLES", "1200"))
+N_MC = int(os.environ.get("REPRO_BENCH_MC", "3000"))
+N_PATH_MC = int(os.environ.get("REPRO_BENCH_PATH_MC", "400"))
+
+#: Cells the benchmark flow characterizes: Table II's NOR2/NAND2/AOI2
+#: families plus the INV strengths (FO4 baseline, wire sweeps, Fig. 2/4).
+BENCH_CELLS = [
+    f"{t}x{s}"
+    for t in ("INV", "NAND2", "NOR2", "AOI21")
+    for s in (1, 2, 4, 8)
+]
+
+BENCH_SLEWS = tuple(s * PS for s in (10, 60, 150, 300))
+#: Up to 20 fF: the FO4 load of the x8 cells reaches ~18 fF.
+BENCH_LOADS = tuple(c * FF for c in (0.1, 0.4, 1.5, 4.0, 9.0, 20.0))
+
+
+def pytest_configure(config):
+    """Show the captured table/figure prints of passing benchmarks.
+
+    The reproduction tables are printed inside the tests; without this,
+    a plain ``pytest benchmarks/ --benchmark-only`` would swallow them.
+    """
+    if "P" not in (config.option.reportchars or ""):
+        config.option.reportchars = (config.option.reportchars or "") + "P"
+
+
+@pytest.fixture(scope="session")
+def flow() -> DelayCalibrationFlow:
+    """The benchmark calibration flow (cached on disk)."""
+    return DelayCalibrationFlow(
+        seed=2023,
+        cache_dir=str(CACHE_DIR),
+        n_samples=N_CHARAC,
+        slews=BENCH_SLEWS,
+        loads=BENCH_LOADS,
+        wire_fit_samples=max(400, N_CHARAC // 3),
+        wire_fit_trees=2,
+        cell_names=BENCH_CELLS,
+        nsigma_fit_samples=max(6000, 4 * N_CHARAC),
+    )
+
+
+@pytest.fixture(scope="session")
+def models(flow):
+    """Fitted models of the benchmark flow."""
+    return flow.fit_models()
+
+
+@pytest.fixture(scope="session")
+def golden_engine(flow) -> MonteCarloEngine:
+    """Out-of-sample Monte-Carlo engine for golden references."""
+    return MonteCarloEngine(flow.tech, flow.variation, seed=777)
+
+
+def record_result(name: str, payload: dict) -> None:
+    """Persist a benchmark's reproduced table/figure as JSON."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    with (RESULTS_DIR / f"{name}.json").open("w") as fh:
+        json.dump(payload, fh, indent=2)
+
+
+@pytest.fixture()
+def record():
+    """Fixture alias for :func:`record_result`."""
+    return record_result

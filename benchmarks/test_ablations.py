@@ -1,0 +1,107 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Three ablations quantify why the paper's modeling pieces are there:
+
+1. **Table I interaction terms** — refit the quantile model with only
+   the Gaussian ``mu + n*sigma`` part (all corrections zeroed) and with
+   the full feature set; compare ±3σ errors.
+2. **Cubic vs linear skew/kurt calibration (Eq. 3)** — evaluate how
+   much of the skew/kurt operating-condition dependence a bilinear
+   model would miss.
+3. **Cell terms of the wire model (Eq. 7)** — fit X_w with and without
+   the driver/load features (intercept-only = "BEOL-only" model).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_result
+from repro.core.nsigma_wire import WireVariabilityModel, fit_wire_model
+from repro.interconnect.generate import NetGenerator
+from repro.moments.regression import fit_linear, polynomial_features
+from repro.moments.stats import SIGMA_LEVELS, Moments
+from repro.units import UM
+
+
+@pytest.fixture(scope="module")
+def observations(flow):
+    charac = flow.characterize()
+    obs = []
+    for table in charac.tables.values():
+        for i in range(table.slews.size):
+            for j in range(table.loads.size):
+                mu, sg, sk, ku = table.moments[i, j]
+                q = {lvl: table.quantiles[i, j, k]
+                     for k, lvl in enumerate(SIGMA_LEVELS)}
+                obs.append((Moments(mu, sg, sk, ku), q))
+    return obs
+
+
+class TestTable1Ablation:
+    def test_interaction_terms_cut_tail_error(self, observations, models, benchmark):
+        def errors():
+            gauss, full = [], []
+            for m, q in observations:
+                gauss.append(abs(m.gaussian_quantile(3) - q[3]) / q[3])
+                full.append(abs(models.nsigma.quantile(m, 3) - q[3]) / q[3])
+            return float(np.mean(gauss)), float(np.mean(full))
+
+        gauss_err, full_err = benchmark(errors)
+        print(f"\nAblation 1 — +3σ error: Gaussian {100 * gauss_err:.2f}% vs "
+              f"Table I {100 * full_err:.2f}%")
+        assert full_err < 0.6 * gauss_err
+        record_result("ablation_table1_terms", {
+            "gaussian_err3_pct": 100 * gauss_err,
+            "table1_err3_pct": 100 * full_err,
+        })
+
+
+class TestEq3Ablation:
+    def test_cubic_beats_linear_for_skew(self, flow, benchmark):
+        table = flow.characterize().get("INVx1", "A", False)
+        ss, cc = np.meshgrid(table.slews, table.loads, indexing="ij")
+        ds = (ss.ravel() - 10e-12) / 100e-12
+        dc = (cc.ravel() - 0.4e-15) / 1e-15
+        skew = table.moments[..., 2].ravel()
+
+        def fit_both():
+            lin = fit_linear(polynomial_features(ds, dc, 1), skew - skew.mean())
+            cub = fit_linear(polynomial_features(ds, dc, 3), skew - skew.mean())
+            return lin.residual_rms, cub.residual_rms
+
+        lin_rms, cub_rms = benchmark(fit_both)
+        print(f"\nAblation 2 — skew fit residual: linear {lin_rms:.4f} vs "
+              f"cubic {cub_rms:.4f}")
+        assert cub_rms < lin_rms
+        record_result("ablation_eq3_cubic", {
+            "linear_rms": lin_rms, "cubic_rms": cub_rms,
+        })
+
+
+class TestEq7Ablation:
+    def test_cell_terms_explain_wire_variability(self, flow, models,
+                                                 golden_engine, benchmark):
+        gen = NetGenerator(flow.tech, seed=4242)
+        trees = [gen.random_net(mean_length=45 * UM, max_branches=1)
+                 for _ in range(2)]
+        full, observations = fit_wire_model(
+            golden_engine, flow.library, models.calibrated, trees,
+            driver_names=("INVx1", "INVx2", "INVx4", "INVx8"),
+            load_names=("INVx1", "INVx4", "INVx8"),
+            n_samples=500)
+
+        def intercept_only():
+            obs = np.asarray(observations)
+            mean_xw = float(np.mean(obs[:, 2]))
+            resid_const = float(np.sqrt(np.mean((obs[:, 2] - mean_xw) ** 2)))
+            return resid_const, full.residual_rms
+
+        const_rms, full_rms = benchmark(intercept_only)
+        print(f"\nAblation 3 — X_w residual: intercept-only {const_rms:.4f} vs "
+              f"Eq.(7) {full_rms:.4f} (R2 {full.r_squared:.3f})")
+        assert full_rms < const_rms
+        record_result("ablation_eq7_cell_terms", {
+            "intercept_only_rms": const_rms,
+            "eq7_rms": full_rms,
+            "eq7_r2": full.r_squared,
+        })

@@ -1,0 +1,98 @@
+"""Fig. 10 — ±3σ wire-delay accuracy over five RC circuits × FO1–FO8.
+
+The paper reports 1.61 % (−3σ) and 2.39 % (+3σ) average errors of the
+N-sigma wire model (Eq. 9) against SPICE MC over five randomly drawn
+RC interconnects with FO1/FO2/FO4/FO8 driver/load constraints. This
+benchmark reruns that sweep against the golden engine.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import N_MC, record_result
+from repro.core.nsigma_wire import (
+    annotated_elmore,
+    cell_variability_ratio,
+    measure_wire_variability,
+)
+from repro.interconnect.generate import NetGenerator
+from repro.moments.stats import empirical_sigma_quantiles
+from repro.units import PS, UM
+
+FANOUTS = (1, 2, 4, 8)
+N_NETS = 5
+
+
+@pytest.fixture(scope="module")
+def fig10(flow, models, golden_engine):
+    gen = NetGenerator(flow.tech, seed=1010)
+    trees = [gen.random_net(mean_length=40 * UM, max_branches=1)
+             for _ in range(N_NETS)]
+    n = max(800, N_MC // 3)
+    rows = []
+    for t_idx, tree in enumerate(trees):
+        sink = tree.leaves()[0]
+        for fo in FANOUTS:
+            drv = ld = f"INVx{fo}"
+            moments, samples = measure_wire_variability(
+                golden_engine, flow.library, drv, ld, tree,
+                sink=sink, n_samples=n)
+            truth = empirical_sigma_quantiles(
+                samples.delay[samples.valid], (-3, 3))
+            elmore = annotated_elmore(flow.tech, flow.library, tree, sink, ld)
+            r_fi = cell_variability_ratio(models.calibrated, drv)
+            r_fo = cell_variability_ratio(models.calibrated, ld)
+            pred = {
+                lvl: models.wire.wire_quantile(elmore, r_fi, r_fo, lvl)
+                for lvl in (-3, 3)
+            }
+            rows.append({
+                "net": t_idx,
+                "fo": fo,
+                "elmore_ps": elmore / PS,
+                "mc": {str(l): truth[l] / PS for l in (-3, 3)},
+                "model": {str(l): pred[l] / PS for l in (-3, 3)},
+                "err": {str(l): abs(pred[l] - truth[l]) / truth[l]
+                        for l in (-3, 3)},
+            })
+    return rows
+
+
+class TestFig10:
+    def test_average_errors_small(self, fig10):
+        for level in ("-3", "3"):
+            avg = float(np.mean([r["err"][level] for r in fig10]))
+            assert avg < 0.12, f"avg {level}σ error {avg:.3f}"
+
+    def test_model_beats_raw_elmore_at_plus3(self, fig10):
+        model_err, elmore_err = [], []
+        for r in fig10:
+            truth = r["mc"]["3"]
+            model_err.append(abs(r["model"]["3"] - truth) / truth)
+            elmore_err.append(abs(r["elmore_ps"] - truth) / truth)
+        assert np.mean(model_err) < np.mean(elmore_err)
+
+    def test_no_pathological_net(self, fig10):
+        assert max(r["err"]["3"] for r in fig10) < 0.35
+
+    def test_report(self, fig10, benchmark):
+        def build():
+            return {
+                "rows": fig10,
+                "avg_err_pct": {
+                    lvl: 100 * float(np.mean([r["err"][lvl] for r in fig10]))
+                    for lvl in ("-3", "3")
+                },
+            }
+
+        table = benchmark(build)
+        print("\nFig. 10 — N-sigma wire model ±3σ errors (model vs MC)")
+        print(f"{'net':>4} {'FO':>3} {'Elmore':>8} {'MC+3σ':>8} {'mdl+3σ':>8} "
+              f"{'err+3':>6} {'err-3':>6}")
+        for r in fig10:
+            print(f"{r['net']:>4} {r['fo']:>3} {r['elmore_ps']:8.2f} "
+                  f"{r['mc']['3']:8.2f} {r['model']['3']:8.2f} "
+                  f"{100 * r['err']['3']:5.1f}% {100 * r['err']['-3']:5.1f}%")
+        print(f"  average: +3σ {table['avg_err_pct']['3']:.2f}%  "
+              f"-3σ {table['avg_err_pct']['-3']:.2f}%")
+        record_result("fig10_wire_accuracy", table)

@@ -1,0 +1,85 @@
+"""Fig. 2 — inverter delay PDFs from 0.5 V to 0.8 V.
+
+The paper's motivating figure: as the supply drops toward threshold,
+the delay distribution widens, right-skews and grows a heavy tail.
+This benchmark regenerates the distribution statistics per supply and
+checks the monotone trends; the "PDF" is reported as histogram data in
+the JSON result.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import N_MC, record_result
+from repro.cells.characterize import ArcCharacterizer, fanout_load
+from repro.cells.library import build_default_library
+from repro.moments.stats import Moments
+from repro.spice.montecarlo import MonteCarloEngine
+from repro.units import PS
+from repro.variation.parameters import Technology, VariationModel
+
+VOLTAGES = (0.5, 0.6, 0.7, 0.8)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = {}
+    for vdd in VOLTAGES:
+        tech = Technology().at_vdd(vdd)
+        library = build_default_library(tech)
+        engine = MonteCarloEngine(tech, VariationModel(), seed=20)
+        cell = library.get("INVx1")
+        res = ArcCharacterizer(engine).simulate_arc(
+            cell, "A", 10 * PS, fanout_load(cell, tech), N_MC)
+        d = res.delay[res.valid]
+        hist, edges = np.histogram(d / PS, bins=60, density=True)
+        rows[vdd] = {
+            "moments": Moments.from_samples(d),
+            "hist": hist.tolist(),
+            "edges": edges.tolist(),
+        }
+    return rows
+
+
+class TestFig2:
+    def test_mean_delay_decreases_with_vdd(self, sweep):
+        mus = [sweep[v]["moments"].mu for v in VOLTAGES]
+        assert all(a > b for a, b in zip(mus, mus[1:]))
+
+    def test_variability_decreases_with_vdd(self, sweep):
+        ratios = [sweep[v]["moments"].variability for v in VOLTAGES]
+        assert all(a > b for a, b in zip(ratios, ratios[1:]))
+
+    def test_skewness_decreases_with_vdd(self, sweep):
+        skews = [sweep[v]["moments"].skew for v in VOLTAGES]
+        assert skews[0] > skews[-1]
+        assert skews[0] > 0.5  # clearly non-Gaussian at 0.5 V
+
+    def test_kurtosis_above_gaussian_at_low_vdd(self, sweep):
+        assert sweep[0.5]["moments"].kurt > 3.5
+
+    def test_report(self, sweep, benchmark):
+        def summarize():
+            return {
+                str(v): {
+                    "mu_ps": sweep[v]["moments"].mu / PS,
+                    "sigma_ps": sweep[v]["moments"].sigma / PS,
+                    "skew": sweep[v]["moments"].skew,
+                    "kurt": sweep[v]["moments"].kurt,
+                }
+                for v in VOLTAGES
+            }
+
+        table = benchmark(summarize)
+        print("\nFig. 2 — INVx1 delay distribution vs supply voltage")
+        print(f"{'VDD':>5} {'mu(ps)':>9} {'sigma':>8} {'skew':>7} {'kurt':>7}")
+        for v in VOLTAGES:
+            r = table[str(v)]
+            print(f"{v:5.2f} {r['mu_ps']:9.2f} {r['sigma_ps']:8.2f} "
+                  f"{r['skew']:7.2f} {r['kurt']:7.2f}")
+        record_result("fig2_voltage_pdfs", {
+            "summary": table,
+            "histograms": {str(v): {"hist": sweep[v]["hist"],
+                                    "edges": sweep[v]["edges"]}
+                           for v in VOLTAGES},
+        })

@@ -1,0 +1,79 @@
+"""Fig. 4 — first four moments of the INVx1 delay vs operating condition.
+
+The paper sweeps input slew (constant 0.4 fF load) and output load
+(constant 10 ps slew) and observes: mean and sigma near-linear in both
+knobs; skewness and kurtosis varying in a complicated, higher-order way
+("more like a cubic function") — which is exactly what motivates the
+split between the bilinear Eq. (2) and cubic Eq. (3) calibrations.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_result
+from repro.cells.characterize import REFERENCE_LOAD, REFERENCE_SLEW
+from repro.moments.regression import fit_linear, polynomial_features
+from repro.units import FF, PS
+
+
+@pytest.fixture(scope="module")
+def inv_table(flow):
+    return flow.characterize().get("INVx1", "A", output_rising=False)
+
+
+def _linearity(x, y):
+    """R^2 of a straight-line fit (with intercept)."""
+    features = np.stack([np.asarray(x), np.ones(len(x))], axis=1)
+    return fit_linear(features, np.asarray(y)).r_squared
+
+
+class TestFig4:
+    def test_mu_sigma_near_linear_in_load(self, inv_table):
+        j_all = range(inv_table.loads.size)
+        mu = [inv_table.moments[0, j, 0] for j in j_all]
+        sigma = [inv_table.moments[0, j, 1] for j in j_all]
+        assert _linearity(inv_table.loads, mu) > 0.97
+        assert _linearity(inv_table.loads, sigma) > 0.9
+
+    def test_mu_near_linear_in_slew(self, inv_table):
+        i_all = range(inv_table.slews.size)
+        mu = [inv_table.moments[i, 1, 0] for i in i_all]
+        assert _linearity(inv_table.slews, mu) > 0.9
+
+    def test_skew_kurt_not_linear(self, inv_table):
+        # Along the load axis the higher moments bend visibly: a straight
+        # line explains them worse than it explains the mean.
+        j_all = range(inv_table.loads.size)
+        skew = [inv_table.moments[0, j, 2] for j in j_all]
+        mu = [inv_table.moments[0, j, 0] for j in j_all]
+        assert _linearity(inv_table.loads, skew) < _linearity(inv_table.loads, mu)
+
+    def test_skew_positive_everywhere(self, inv_table):
+        assert np.all(inv_table.moments[..., 2] > 0)
+
+    def test_report(self, inv_table, benchmark):
+        def build():
+            out = {"slew_sweep": [], "load_sweep": []}
+            for i, s in enumerate(inv_table.slews):
+                mu, sg, sk, ku = inv_table.moments[i, 1]
+                out["slew_sweep"].append(
+                    {"slew_ps": s / PS, "mu_ps": mu / PS, "sigma_ps": sg / PS,
+                     "skew": sk, "kurt": ku})
+            for j, c in enumerate(inv_table.loads):
+                mu, sg, sk, ku = inv_table.moments[0, j]
+                out["load_sweep"].append(
+                    {"load_ff": c / FF, "mu_ps": mu / PS, "sigma_ps": sg / PS,
+                     "skew": sk, "kurt": ku})
+            return out
+
+        table = benchmark(build)
+        print("\nFig. 4 — INVx1 moments vs operating condition")
+        print("slew sweep (load = 0.4 fF):")
+        for row in table["slew_sweep"]:
+            print(f"  S={row['slew_ps']:6.0f}ps mu={row['mu_ps']:7.2f} "
+                  f"sd={row['sigma_ps']:6.2f} g={row['skew']:5.2f} k={row['kurt']:5.2f}")
+        print("load sweep (slew = 10 ps):")
+        for row in table["load_sweep"]:
+            print(f"  C={row['load_ff']:5.2f}fF mu={row['mu_ps']:7.2f} "
+                  f"sd={row['sigma_ps']:6.2f} g={row['skew']:5.2f} k={row['kurt']:5.2f}")
+        record_result("fig4_moment_sweeps", table)

@@ -1,0 +1,75 @@
+"""Fig. 7 — Elmore vs the SPICE wire-delay distribution.
+
+The paper's single-net motivation: the Monte-Carlo wire delay
+distribution is wide and skewed, so its 99.86 % quantile sits far above
+the deterministic Elmore number ("31.65 ps vs 22.19 ps"). This
+benchmark regenerates the comparison on the fixed example net with an
+INVx4 driver and load.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import N_MC, record_result
+from repro.core.nsigma_wire import annotated_elmore, measure_wire_variability
+from repro.interconnect.generate import NetGenerator
+from repro.moments.stats import empirical_sigma_quantiles
+from repro.units import PS
+
+
+@pytest.fixture(scope="module")
+def fig7(flow, golden_engine):
+    gen = NetGenerator(flow.tech, seed=7)
+    tree = gen.paper_example_net()
+    sink = tree.leaves()[0]
+    elmore = annotated_elmore(flow.tech, flow.library, tree, sink, "INVx4")
+    moments, samples = measure_wire_variability(
+        golden_engine, flow.library, "INVx4", "INVx4", tree,
+        sink=sink, n_samples=N_MC)
+    d = samples.delay[samples.valid]
+    quantiles = empirical_sigma_quantiles(d)
+    hist, edges = np.histogram(d / PS, bins=60, density=True)
+    return tree, elmore, moments, quantiles, (hist, edges)
+
+
+class TestFig7:
+    def test_high_yield(self, fig7):
+        _, _, moments, _, _ = fig7
+        assert moments.n > 0.95 * N_MC
+
+    def test_elmore_near_mean(self, fig7):
+        # Eq. (4): the paper uses Elmore as mu_w.
+        _, elmore, moments, _, _ = fig7
+        assert moments.mu == pytest.approx(elmore, rel=0.25)
+
+    def test_plus3_quantile_well_above_elmore(self, fig7):
+        # The headline gap of Fig. 7.
+        _, elmore, _, quantiles, _ = fig7
+        assert quantiles[3] > 1.08 * elmore
+
+    def test_distribution_spread(self, fig7):
+        _, _, moments, _, _ = fig7
+        assert moments.variability > 0.02
+
+    def test_report(self, fig7, benchmark):
+        tree, elmore, moments, quantiles, (hist, edges) = fig7
+
+        def build():
+            return {
+                "elmore_ps": elmore / PS,
+                "mc_mean_ps": moments.mu / PS,
+                "mc_sigma_ps": moments.sigma / PS,
+                "mc_quantiles_ps": {str(n): q / PS for n, q in quantiles.items()},
+                "gap_plus3_vs_elmore": quantiles[3] / elmore,
+                "net": {"total_r_ohm": tree.total_resistance(),
+                        "total_c_ff": tree.total_cap() * 1e15},
+            }
+
+        table = benchmark(build)
+        print("\nFig. 7 — Elmore vs Monte-Carlo wire delay")
+        print(f"  Elmore          : {table['elmore_ps']:7.2f} ps")
+        print(f"  MC mean         : {table['mc_mean_ps']:7.2f} ps")
+        print(f"  MC 99.86% (+3σ) : {table['mc_quantiles_ps']['3']:7.2f} ps"
+              f"  ({100 * (table['gap_plus3_vs_elmore'] - 1):+.1f}% vs Elmore)")
+        record_result("fig7_elmore_gap", {**table, "hist": hist.tolist(),
+                                          "edges": edges.tolist()})

@@ -1,0 +1,71 @@
+"""Fig. 8 — wire delay distribution vs driver/load strengths 1, 2, 4.
+
+The paper's observation on the same RC tree with different driver/load
+inverters: the mean scales with the load (and against the driver)
+strength, and the *variability* σw/µw rises with load strength and
+falls with driver strength — the empirical basis of Eq. (5).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import N_MC, record_result
+from repro.core.nsigma_wire import measure_wire_variability
+from repro.interconnect.generate import NetGenerator
+from repro.units import PS, UM
+
+STRENGTHS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def fig8(flow, golden_engine):
+    gen = NetGenerator(flow.tech, seed=8)
+    tree = gen.chain(50 * UM)
+    n = max(800, N_MC // 3)
+    sweep = {"driver": {}, "load": {}}
+    for s in STRENGTHS:
+        m_drv, _ = measure_wire_variability(
+            golden_engine, flow.library, f"INVx{s}", "INVx4", tree, n_samples=n)
+        sweep["driver"][s] = m_drv
+        m_load, _ = measure_wire_variability(
+            golden_engine, flow.library, "INVx4", f"INVx{s}", tree, n_samples=n)
+        sweep["load"][s] = m_load
+    return sweep
+
+
+class TestFig8:
+    def test_mean_rises_with_load_strength(self, fig8):
+        mus = [fig8["load"][s].mu for s in STRENGTHS]
+        assert mus[0] < mus[1] < mus[2]
+
+    def test_variability_rises_with_load_strength(self, fig8):
+        xs = [fig8["load"][s].variability for s in STRENGTHS]
+        assert xs[2] > xs[0]
+
+    def test_variability_falls_with_driver_strength(self, fig8):
+        xs = [fig8["driver"][s].variability for s in STRENGTHS]
+        assert xs[2] < xs[0] * 1.15  # downward or flat-to-down trend
+
+    def test_report(self, fig8, benchmark):
+        def build():
+            return {
+                kind: {
+                    str(s): {
+                        "mu_ps": fig8[kind][s].mu / PS,
+                        "sigma_ps": fig8[kind][s].sigma / PS,
+                        "xw": fig8[kind][s].variability,
+                    }
+                    for s in STRENGTHS
+                }
+                for kind in ("driver", "load")
+            }
+
+        table = benchmark(build)
+        print("\nFig. 8 — wire delay vs driver/load inverter strength")
+        for kind in ("driver", "load"):
+            print(f"  sweep {kind} (other side INVx4):")
+            for s in STRENGTHS:
+                r = table[kind][str(s)]
+                print(f"    x{s}: mu {r['mu_ps']:6.2f} ps  sigma "
+                      f"{r['sigma_ps']:5.2f} ps  Xw {r['xw']:.4f}")
+        record_result("fig8_strength_effect", table)

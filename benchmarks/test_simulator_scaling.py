@@ -1,0 +1,101 @@
+"""Engine benchmarks: batched-solver scaling and model evaluation cost.
+
+Not a paper table — operational benchmarks for the substrate itself:
+
+* transient-solver cost vs Monte-Carlo batch size (the batching claim:
+  sub-linear wall-clock in samples until memory bandwidth saturates);
+* transient-solver cost vs node count (cubic dense-solve scaling, the
+  reason golden paths are chained stage-by-stage);
+* per-quantile evaluation cost of the fitted N-sigma model (the reason
+  the paper's method is ~100× faster than Monte-Carlo).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_result
+from repro.moments.stats import Moments
+from repro.spice.montecarlo import MonteCarloEngine, SimulationSetup
+from repro.spice.netlist import PiecewiseLinearSource, TransistorNetlist
+from repro.spice.measure import ramp_time_for_slew
+from repro.units import FF, PS
+from repro.variation.parameters import Technology, VariationModel
+
+
+def inverter_setup(tech, n_stages_of_load=1):
+    net = TransistorNetlist()
+    net.fix("vdd", tech.vdd)
+    net.fix("in", PiecewiseLinearSource.ramp(0, tech.vdd, 5 * PS,
+                                             ramp_time_for_slew(20 * PS)))
+    net.add_mosfet("mp", "p", "out", "in", "vdd", tech.unit_pmos_width)
+    net.add_mosfet("mn", "n", "out", "in", "gnd", tech.unit_nmos_width)
+    parent = "out"
+    for k in range(n_stages_of_load):
+        net.add_resistor(f"r{k}", parent, f"w{k}", 300.0)
+        net.add_capacitor(f"c{k}", f"w{k}", 0.5 * FF)
+        parent = f"w{k}"
+    net.add_capacitor("cl", parent, 1 * FF)
+    return SimulationSetup(
+        netlist=net, input_node="in", output_node="out",
+        input_rising=True, output_rising=False,
+        initial_voltages={"out": tech.vdd,
+                          **{f"w{k}": tech.vdd for k in range(n_stages_of_load)}},
+    )
+
+
+class TestSolverScaling:
+    def test_batch_scaling_sublinear(self, benchmark):
+        tech = Technology()
+        engine = MonteCarloEngine(tech, VariationModel(), seed=5)
+        setup = inverter_setup(tech)
+
+        import time
+        times = {}
+        for n in (64, 512, 4096):
+            t0 = time.perf_counter()
+            engine.simulate(setup, n)
+            times[n] = time.perf_counter() - t0
+
+        def summary():
+            return {str(n): t for n, t in times.items()}
+
+        table = benchmark(summary)
+        per_sample_small = times[64] / 64
+        per_sample_large = times[4096] / 4096
+        print(f"\nsolver batch scaling: {times}")
+        print(f"  per-sample cost: {per_sample_small * 1e6:.1f} us (n=64) -> "
+              f"{per_sample_large * 1e6:.1f} us (n=4096)")
+        # Batching must pay: the marginal sample gets much cheaper.
+        assert per_sample_large < 0.5 * per_sample_small
+        record_result("simulator_batch_scaling", table)
+
+    def test_node_scaling(self, benchmark):
+        tech = Technology()
+        engine = MonteCarloEngine(tech, VariationModel(), seed=6)
+        import time
+        times = {}
+        for extra in (1, 8, 20):
+            setup = inverter_setup(tech, n_stages_of_load=extra)
+            t0 = time.perf_counter()
+            engine.simulate(setup, 256)
+            times[extra + 1] = time.perf_counter() - t0
+        table = benchmark(lambda: {str(k): v for k, v in times.items()})
+        print(f"\nsolver node scaling (256 samples): {times}")
+        # Cost grows clearly faster than linear in node count.
+        n_small, n_large = min(times), max(times)
+        assert times[n_large] / times[n_small] > (n_large / n_small)
+        record_result("simulator_node_scaling", table)
+
+
+class TestModelEvaluationSpeed:
+    def test_quantile_evaluation_microseconds(self, models, benchmark):
+        m = Moments(mu=5e-11, sigma=8e-12, skew=1.1, kurt=6.0)
+
+        def evaluate():
+            return models.nsigma.quantiles(m)
+
+        out = benchmark(evaluate)
+        assert set(out) == {-3, -2, -1, 0, 1, 2, 3}
+        # pytest-benchmark stats confirm this is micro-second scale; the
+        # assertion just guards against pathological regressions.
+        assert benchmark.stats["mean"] < 1e-3

@@ -1,0 +1,94 @@
+"""Table I — the fitted N-sigma quantile model coefficients.
+
+Regenerates the regression behind Table I (coefficients ``A_ni`` /
+``B_nj`` per sigma level) on the benchmark library characterization and
+reports per-level fit quality. The key claims checked: the model's
+corrections are significant exactly where Table I places them, and the
+fit reduces the residual of the naive Gaussian ``mu + n*sigma`` model.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_result
+from repro.core.nsigma_cell import QUANTILE_FEATURES
+from repro.moments.stats import SIGMA_LEVELS, Moments
+
+
+@pytest.fixture(scope="module")
+def fit_data(flow, models):
+    charac = flow.characterize()
+    observations = []
+    for table in charac.tables.values():
+        for i in range(table.slews.size):
+            for j in range(table.loads.size):
+                mu, sg, sk, ku = table.moments[i, j]
+                q = {lvl: table.quantiles[i, j, k]
+                     for k, lvl in enumerate(SIGMA_LEVELS)}
+                observations.append((Moments(mu, sg, sk, ku), q))
+    return models.nsigma, observations
+
+
+class TestTable1:
+    def test_every_level_fitted(self, fit_data):
+        model, _ = fit_data
+        assert set(model.coefficients) == set(SIGMA_LEVELS)
+        for level in SIGMA_LEVELS:
+            assert model.coefficients[level].shape == (
+                len(QUANTILE_FEATURES[level]),)
+
+    def test_model_beats_gaussian_everywhere(self, fit_data):
+        model, observations = fit_data
+        for level in SIGMA_LEVELS:
+            if level == 0:
+                continue
+            model_err, gauss_err = [], []
+            for m, q in observations:
+                model_err.append(abs(model.quantile(m, level) - q[level]))
+                gauss_err.append(abs(m.gaussian_quantile(level) - q[level]))
+            assert np.mean(model_err) < np.mean(gauss_err)
+
+    def test_tail_correction_substantial(self, fit_data):
+        # At +3 sigma the Gaussian assumption is badly biased for
+        # right-skewed delays; Table I must recover most of it.
+        model, observations = fit_data
+        improvement = []
+        for m, q in observations:
+            gauss = abs(m.gaussian_quantile(3) - q[3])
+            ours = abs(model.quantile(m, 3) - q[3])
+            improvement.append(gauss - ours)
+        assert np.mean(improvement) > 0
+        rel = np.mean([abs(m.gaussian_quantile(3) - q[3]) / q[3]
+                       for m, q in observations])
+        assert rel > 0.03  # the Gaussian bias the correction removes
+
+    def test_fit_rms_small_relative_to_delay(self, fit_data):
+        model, observations = fit_data
+        mean_mu = np.mean([m.mu for m, _ in observations])
+        for level in SIGMA_LEVELS:
+            assert model.fit_rms[level] < 0.08 * mean_mu
+
+    def test_report(self, fit_data, benchmark):
+        model, observations = fit_data
+
+        def build():
+            rows = {}
+            for level in SIGMA_LEVELS:
+                err = [abs(model.quantile(m, level) - q[level]) / q[level]
+                       for m, q in observations]
+                rows[str(level)] = {
+                    "features": list(QUANTILE_FEATURES[level]),
+                    "coefficients": model.coefficients[level].tolist(),
+                    "fit_rms_ps": model.fit_rms[level] * 1e12,
+                    "mean_rel_err_pct": 100 * float(np.mean(err)),
+                }
+            return rows
+
+        table = benchmark(build)
+        print("\nTable I — N-sigma quantile model (fitted)")
+        print(f"{'level':>6} {'features':<16} {'rms(ps)':>8} {'err%':>6}")
+        for level in SIGMA_LEVELS:
+            r = table[str(level)]
+            print(f"{level:+6d} {','.join(r['features']):<16} "
+                  f"{r['fit_rms_ps']:8.3f} {r['mean_rel_err_pct']:6.2f}")
+        record_result("table1_nsigma_fit", table)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Cell delay modeling walkthrough: moments, calibration, model shoot-out.
+
+Reproduces the paper's Section III flow on one cell family:
+
+1. characterize NOR2 arcs over the (slew × load) grid (Fig. 4 data);
+2. fit the Eq. (2)/(3) operating-condition calibration and show the
+   calibrated moments against held-out simulation points;
+3. compare ±3σ estimates of LSN [12], Burr [13] and the N-sigma model
+   (a single-cell slice of Table II).
+
+Run:
+    python examples/cell_characterization.py
+"""
+
+import numpy as np
+
+from repro.cells.characterize import ArcCharacterizer, fanout_load
+from repro.core.calibration import fit_arc_calibration
+from repro.core.flow import DelayCalibrationFlow
+from repro.moments.distributions import BurrXII, LogSkewNormal
+from repro.moments.stats import Moments, empirical_sigma_quantiles
+from repro.spice.montecarlo import MonteCarloEngine
+from repro.units import FF, PS
+from repro.variation.parameters import Technology, VariationModel
+
+
+def main() -> None:
+    tech = Technology()
+    variation = VariationModel()
+    flow = DelayCalibrationFlow(
+        tech, variation, seed=2,
+        cache_dir="examples/.cache",
+        n_samples=800,
+        slews=[10 * PS, 60 * PS, 150 * PS, 300 * PS],
+        loads=[0.1 * FF, 0.5 * FF, 1.5 * FF, 4.0 * FF],
+        wire_fit_samples=300, wire_fit_trees=1,
+        cell_names=["INVx1", "INVx2", "INVx4", "INVx8", "NOR2x2"],
+    )
+    models = flow.fit_models()
+    table = flow.characterize().get("NOR2x2", "A", output_rising=False)
+
+    # --- Fig. 4 style moment sweeps -----------------------------------
+    print("NOR2x2 falling-arc moments over the characterization grid:")
+    print(f"{'slew(ps)':>9} {'load(fF)':>9} {'mu(ps)':>8} {'sigma':>7} "
+          f"{'skew':>6} {'kurt':>6}")
+    for i, s in enumerate(table.slews):
+        for j, c in enumerate(table.loads):
+            mu, sg, sk, ku = table.moments[i, j]
+            print(f"{s / PS:9.0f} {c / FF:9.2f} {mu / PS:8.2f} "
+                  f"{sg / PS:7.2f} {sk:6.2f} {ku:6.2f}")
+
+    # --- Eq. (2)/(3) calibration vs a held-out operating point --------
+    calibration = fit_arc_calibration(table)
+    engine = MonteCarloEngine(tech, variation, seed=321)
+    cell = flow.library.get("NOR2x2")
+    s_test, c_test = 100 * PS, 2.2 * FF  # not a grid point
+    mc = ArcCharacterizer(engine).simulate_arc(cell, "A", s_test, c_test, 3000)
+    truth = Moments.from_samples(mc.delay[mc.valid])
+    pred = calibration.moments_at(s_test, c_test)
+    print(f"\nCalibrated moments at held-out (100 ps, 2.2 fF):")
+    for name, t, p in (("mu", truth.mu / PS, pred.mu / PS),
+                       ("sigma", truth.sigma / PS, pred.sigma / PS),
+                       ("skew", truth.skew, pred.skew),
+                       ("kurt", truth.kurt, pred.kurt)):
+        print(f"  {name:>5}: MC {t:7.3f}  Eq.(2/3) {p:7.3f}")
+
+    # --- Table II slice ------------------------------------------------
+    d = mc.delay[mc.valid]
+    q = empirical_sigma_quantiles(d, (-3, 3))
+    lsn = LogSkewNormal.fit(d)
+    burr = BurrXII.fit(d)
+    print("\n+/-3σ estimation errors at the held-out point (Table II style):")
+    print(f"{'model':<10} {'-3σ err':>9} {'+3σ err':>9}")
+    for name, model_q in (
+        ("LSN", {n: lsn.sigma_quantile(n) for n in (-3, 3)}),
+        ("Burr", {n: burr.sigma_quantile(n) for n in (-3, 3)}),
+        ("N-sigma", {n: models.nsigma.quantile(truth, n) for n in (-3, 3)}),
+    ):
+        errs = [abs(model_q[n] - q[n]) / q[n] for n in (-3, 3)]
+        print(f"{name:<10} {errs[0]:9.2%} {errs[1]:9.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Full statistical STA on a benchmark circuit (Table III, one row).
+
+Runs the complete paper flow on the c432-profile circuit:
+
+1. characterize + calibrate the library (cached);
+2. generate the mapped netlist with parasitics;
+3. statistical STA: critical path and its Eq. (10) sigma-level quantiles;
+4. golden transistor-level path Monte-Carlo for reference;
+5. report the Table III quantities: delays, errors, runtimes, speedup.
+
+Run (first run ~10 min — characterization + MC; cached afterwards):
+    python examples/path_sta_iscas85.py [circuit] [mc_samples]
+
+where circuit is one of c432..c7552, ADD, SUB, MUL, DIV.
+"""
+
+import sys
+
+from repro.baselines.golden import GoldenPathMC
+from repro.baselines.primetime import CornerSTA
+from repro.core.flow import DelayCalibrationFlow
+from repro.core.sta import StatisticalSTA
+from repro.netlist.benchmarks import (
+    ISCAS85_PROFILES,
+    attach_parasitics,
+    build_iscas85_like,
+    build_pulpino_unit,
+)
+from repro.units import FF, PS
+from repro.variation.parameters import Technology, VariationModel
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "c432"
+    n_mc = int(sys.argv[2]) if len(sys.argv) > 2 else 400
+
+    tech = Technology()
+    variation = VariationModel()
+    # Characterize the four cell families the benchmark circuits use
+    # (full-library characterization works too — it just takes longer).
+    families = ("INV", "NAND2", "NOR2", "AOI21")
+    cells = [f"{t}x{s}" for t in families for s in (1, 2, 4, 8)]
+    flow = DelayCalibrationFlow(
+        tech, variation, seed=4,
+        cache_dir="examples/.cache",
+        n_samples=1000,
+        slews=[s * PS for s in (10, 60, 150, 300)],
+        loads=[c * FF for c in (0.1, 0.5, 1.5, 4.0, 9.0)],
+        wire_fit_samples=400, wire_fit_trees=2,
+        cell_names=cells,
+    )
+    print("Fitting models (cached after the first run)...")
+    models = flow.fit_models()
+
+    if name in ISCAS85_PROFILES:
+        circuit = build_iscas85_like(name, type_names=families)
+    else:
+        circuit = build_pulpino_unit(name, 16 if name in ("MUL", "DIV") else 32)
+    attach_parasitics(circuit, tech, seed=42)
+    print(f"Circuit: {circuit}")
+
+    sta = StatisticalSTA(circuit, models)
+    result = sta.analyze()
+    path = result.critical_path
+    print(f"\nCritical path: {path.n_cells} cells, "
+          f"cell delay {path.cell_total / PS:.0f} ps + wire "
+          f"{path.wire_total / PS:.0f} ps (mean)")
+    print("Path stages:")
+    for s in path.stages:
+        if not s.cell_name:
+            print(f"  [launch] net {s.net} (wire {s.wire_elmore / PS:.2f} ps)")
+            continue
+        print(f"  {s.gate:<10} {s.cell_name:<9} pin {s.input_pin} "
+              f"{'rise' if s.output_rising else 'fall'}  "
+              f"slew {s.input_slew / PS:5.1f} ps  load {s.load / FF:5.2f} fF  "
+              f"cell {s.cell_quantiles[0] / PS:6.1f} ps  "
+              f"wire {s.wire_quantiles[0] / PS:5.2f} ps")
+
+    print(f"\nModel sigma-level path delays (Eq. 10):")
+    for n, q in path.quantiles.items():
+        print(f"  {n:+d}σ: {q / PS:8.1f} ps")
+
+    print(f"\nGolden path Monte-Carlo ({n_mc} samples)...")
+    golden = GoldenPathMC(circuit, flow.library, tech, variation, seed=2024)
+    mc = golden.run(path, n_samples=n_mc)
+    corner = CornerSTA(models).analyze_path(path)
+
+    print(f"\n{'':>10} {'-3σ (ps)':>10} {'+3σ (ps)':>10}")
+    print(f"{'MC':>10} {mc.quantiles[-3] / PS:10.1f} {mc.quantiles[3] / PS:10.1f}")
+    print(f"{'Ours':>10} {path.total(-3) / PS:10.1f} {path.total(3) / PS:10.1f}")
+    print(f"{'Corner':>10} {corner.early / PS:10.1f} {corner.late / PS:10.1f}")
+    err3 = abs(path.total(3) - mc.quantiles[3]) / mc.quantiles[3]
+    errm3 = abs(path.total(-3) - mc.quantiles[-3]) / mc.quantiles[-3]
+    pt_err = abs(corner.late - mc.quantiles[3]) / mc.quantiles[3]
+    print(f"\nErrors vs MC: ours +3σ {err3:.1%}, -3σ {errm3:.1%}; "
+          f"corner +3σ {pt_err:.1%}")
+    print(f"Runtimes: MC {mc.runtime_s:.1f} s, model {result.runtime_s:.3f} s "
+          f"(speedup {mc.runtime_s / max(result.runtime_s, 1e-9):.0f}x)")
+
+
+if __name__ == "__main__":
+    main()

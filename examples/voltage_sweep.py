@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Supply-voltage sweep: watch the delay distribution go non-Gaussian.
+
+Regenerates the paper's Fig. 2 through the public API: the same
+inverter arc is Monte-Carlo simulated at several supply voltages, and
+the first four moments plus an ASCII sketch of each PDF are printed.
+Above ~0.8 V the distribution is almost Gaussian; at 0.5 V it is wide,
+right-skewed and heavy-tailed — the regime the N-sigma model exists for.
+
+Run:
+    python examples/voltage_sweep.py [n_samples]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.cells.characterize import ArcCharacterizer, fanout_load
+from repro.cells.library import build_default_library
+from repro.moments.stats import Moments
+from repro.spice.montecarlo import MonteCarloEngine
+from repro.units import PS
+from repro.variation.parameters import Technology, VariationModel
+
+VOLTAGES = (0.5, 0.6, 0.7, 0.8)
+
+
+def ascii_pdf(delays_ps, width=56, height=7):
+    """A small ASCII histogram sketch of the distribution."""
+    hist, edges = np.histogram(delays_ps, bins=width, density=True)
+    hist = hist / hist.max()
+    rows = []
+    for level in range(height, 0, -1):
+        row = "".join(
+            "#" if h * height >= level - 0.5 else " " for h in hist)
+        rows.append("  |" + row)
+    rows.append("  +" + "-" * width)
+    rows.append(f"   {edges[0]:.0f} ps{'':>{max(0, width - 14)}}{edges[-1]:.0f} ps")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    n_samples = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    variation = VariationModel()
+    print(f"INVx1 FO4 delay distribution vs supply ({n_samples} MC samples)\n")
+    print(f"{'VDD':>5} {'mu(ps)':>8} {'sigma':>7} {'sig/mu':>7} "
+          f"{'skew':>6} {'kurt':>6} {'+3σ/µ':>7}")
+    sketches = {}
+    for vdd in VOLTAGES:
+        tech = Technology().at_vdd(vdd)
+        library = build_default_library(tech)
+        cell = library.get("INVx1")
+        engine = MonteCarloEngine(tech, variation, seed=2026)
+        res = ArcCharacterizer(engine).simulate_arc(
+            cell, "A", 10 * PS, fanout_load(cell, tech), n_samples)
+        d = res.delay[res.valid]
+        m = Moments.from_samples(d)
+        plus3 = float(np.quantile(d, 0.99865))
+        print(f"{vdd:5.2f} {m.mu / PS:8.2f} {m.sigma / PS:7.2f} "
+              f"{m.variability:7.1%} {m.skew:6.2f} {m.kurt:6.2f} "
+              f"{plus3 / m.mu:7.2f}")
+        sketches[vdd] = ascii_pdf(d / PS)
+
+    for vdd in (0.8, 0.5):
+        print(f"\nPDF sketch at {vdd} V:")
+        print(sketches[vdd])
+    print("\nAt 0.5 V the +3σ point sits far beyond mu+3sigma — the"
+          " N-sigma model's raison d'être.")
+
+
+if __name__ == "__main__":
+    main()

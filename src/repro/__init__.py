@@ -1,0 +1,22 @@
+"""repro — N-sigma delay calibration considering cell/wire interaction.
+
+A full-stack reproduction of Jin et al., "A Novel Delay Calibration
+Method Considering Interaction between Cells and Wires" (DATE 2023):
+
+* :mod:`repro.variation` — process-variation substrate (Pelgrom mismatch,
+  global/local decomposition, Monte-Carlo sampling);
+* :mod:`repro.spice` — batched transistor-level transient simulator used
+  as the golden reference in place of HSPICE + TSMC 28 nm;
+* :mod:`repro.cells` — synthetic standard-cell library and moment
+  characterization;
+* :mod:`repro.interconnect` — RC trees, Elmore/D2M metrics, SPEF subset;
+* :mod:`repro.netlist` — gate-level circuits, Verilog subset, benchmark
+  generators (ISCAS85-like, PULPino functional units);
+* :mod:`repro.moments` — statistics: moments, quantiles, distribution fits;
+* :mod:`repro.core` — the paper's contribution: the N-sigma cell/wire
+  models, moment calibration, and the statistical STA engine;
+* :mod:`repro.baselines` — LSN, Burr, corner-STA, correction-factor and
+  ML-based comparators plus the golden path Monte-Carlo.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,34 @@
+"""Comparators of the paper's evaluation plus the golden reference.
+
+* :mod:`repro.baselines.golden` — transistor-level Monte-Carlo of a
+  whole critical path (stage-chained, correlated globals): the "SPICE
+  MC" column of Tables II/III;
+* :mod:`repro.baselines.primetime` — corner-derated deterministic STA
+  (the PrimeTime [7] column);
+* :mod:`repro.baselines.correction` — per-tree Elmore correction factors
+  referenced to a golden net (the correction-based [8] column);
+* :mod:`repro.baselines.ml_wire` — learned wire-delay regression on
+  moment/topology features (the ML-based [9] column);
+* the LSN [12] and Burr [13] *cell* models live in
+  :mod:`repro.moments.distributions` and are re-exported here.
+"""
+
+from repro.moments.distributions import BurrXII, LogSkewNormal
+
+from repro.baselines.golden import GoldenPathMC, PathSampleResult
+from repro.baselines.primetime import CornerSTA, CornerReport
+from repro.baselines.correction import CorrectionBasedSTA
+from repro.baselines.ml_wire import MLWireModel, MLPRegressor, wire_features
+
+__all__ = [
+    "LogSkewNormal",
+    "BurrXII",
+    "GoldenPathMC",
+    "PathSampleResult",
+    "CornerSTA",
+    "CornerReport",
+    "CorrectionBasedSTA",
+    "MLWireModel",
+    "MLPRegressor",
+    "wire_features",
+]

@@ -1,0 +1,298 @@
+"""Golden path Monte-Carlo: stage-chained transistor-level simulation.
+
+This is the reproduction's "SPICE MC" reference for path delays
+(Table III's MC columns): every cell and wire of a critical path is
+simulated at transistor level for every Monte-Carlo sample, with
+
+* **correlated globals** — one die-to-die draw shared by all stages
+  (via :meth:`~repro.variation.sampling.MonteCarloSampler.draw_globals`);
+* **independent locals** — fresh Pelgrom mismatch per physical gate;
+* **waveform chaining** — each stage's input node is driven by the
+  *per-sample* output waveforms of the previous stage
+  (:class:`~repro.spice.netlist.SampledWaveformSource`), so slew and
+  shape propagate exactly, per sample, in absolute time.
+
+Simulating the whole path as one flat netlist would be O(nodes³) per
+step; chaining exploits the one-directional signal flow to keep each
+solve at cell-sized node counts while preserving the statistics
+(loading of stage k by stage k+1's input is included: the receiving
+cell is instantiated in stage k's netlist as a nonlinear load).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError, TimingError
+from repro.cells.library import CellLibrary
+from repro.core.sta import PathStage, PathTiming
+from repro.moments.stats import SIGMA_LEVELS, empirical_sigma_quantiles
+from repro.netlist.circuit import PRIMARY_OUTPUT, Circuit
+from repro.spice.measure import crossing_time, ramp_time_for_slew
+from repro.spice.montecarlo import MonteCarloEngine, SimulationSetup
+from repro.spice.netlist import (
+    PiecewiseLinearSource,
+    SampledWaveformSource,
+    TransistorNetlist,
+)
+from repro.units import PS
+from repro.variation.parameters import Technology, VariationModel
+
+
+@dataclass
+class PathSampleResult:
+    """Monte-Carlo result of one path.
+
+    Attributes
+    ----------
+    delay:
+        ``(n_samples,)`` total path delays (launch 50 % to final sink
+        50 %), NaN where a sample failed to transition.
+    quantiles:
+        Sigma level → empirical path-delay quantile.
+    runtime_s:
+        Wall-clock seconds spent simulating.
+    stage_delays:
+        Optional per-stage mean delays (diagnostics).
+    """
+
+    delay: np.ndarray
+    quantiles: Dict[int, float]
+    runtime_s: float
+    stage_delays: List[float] = field(default_factory=list)
+
+    @property
+    def valid_fraction(self) -> float:
+        """Fraction of successfully measured samples."""
+        return float(np.mean(np.isfinite(self.delay)))
+
+
+class GoldenPathMC:
+    """Simulates a :class:`~repro.core.sta.PathTiming` path at transistor level.
+
+    Parameters
+    ----------
+    circuit:
+        The annotated circuit the path came from.
+    library / tech / variation:
+        Process and cell description (must match what the models used).
+    seed:
+        Sampler seed (independent of the characterization seed so the
+        golden data is out-of-sample).
+    input_slew:
+        Launch edge slew at the path's primary input.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        library: CellLibrary,
+        tech: Technology,
+        variation: VariationModel,
+        seed: int = 12345,
+        input_slew: float = 20 * PS,
+    ):
+        self.circuit = circuit
+        self.library = library
+        self.tech = tech
+        self.variation = variation
+        self.seed = seed
+        self.input_slew = input_slew
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        path: PathTiming,
+        n_samples: int = 500,
+        levels: Sequence[int] = SIGMA_LEVELS,
+        keep_stage_means: bool = True,
+    ) -> PathSampleResult:
+        """Monte-Carlo simulate the path and return empirical quantiles."""
+        t0 = time.perf_counter()
+        engine = MonteCarloEngine(self.tech, self.variation, seed=self.seed)
+        globals_ = engine.sampler.draw_globals(n_samples)
+
+        stages = [s for s in path.stages if s.cell_name]
+        if not stages:
+            raise TimingError("path has no cell stages to simulate")
+        launch_stages = [s for s in path.stages if not s.cell_name]
+        launch_stage = launch_stages[0] if launch_stages else None
+
+        # Launch stimulus: ideal ramp at the PI, plus the PI net's wire
+        # inside the first stage's netlist. The launch edge is derived
+        # from the path's own (STA-assigned) edge polarity so model and
+        # golden MC simulate the same event.
+        vdd = self.tech.vdd
+        first_arc = self.library.get(stages[0].cell_name).arc(stages[0].input_pin)
+        input_rising = (
+            (not stages[0].output_rising)
+            if first_arc.inverting
+            else stages[0].output_rising
+        )
+        t_launch_ref: Optional[np.ndarray] = None
+
+        source: "PiecewiseLinearSource | SampledWaveformSource" = (
+            PiecewiseLinearSource.ramp(
+                0.0 if input_rising else vdd,
+                vdd if input_rising else 0.0,
+                t_start=5 * PS,
+                ramp_time=ramp_time_for_slew(self.input_slew),
+            )
+        )
+        t_begin = 0.0
+        edge_rising = input_rising
+        stage_means: List[float] = []
+        prev_cross = None
+
+        for k, stage in enumerate(stages):
+            cell = self.library.get(stage.cell_name)
+            out_rising = stage.output_rising
+            next_stage = stages[k + 1] if k + 1 < len(stages) else None
+            setup, out_node = self._stage_setup(
+                stage,
+                cell,
+                source,
+                edge_rising,
+                out_rising,
+                next_stage,
+                launch_stage=launch_stage if k == 0 else None,
+            )
+            samples = engine.simulate(
+                setup,
+                n_samples,
+                globals_=globals_,
+                t_begin=t_begin,
+                keep_waveforms=True,
+            )
+            result = samples.result
+            assert result is not None
+            wave = result.voltage(out_node)
+
+            if t_launch_ref is None:
+                t_launch_ref = samples.t_launch
+            if keep_stage_means:
+                finite = samples.delay[np.isfinite(samples.delay)]
+                stage_means.append(float(np.mean(finite)) if finite.size else np.nan)
+            prev_cross = crossing_time(result.times, wave, 0.5 * vdd, out_rising)
+
+            # Chain: the sink waveform drives the next stage, starting
+            # just before it begins to move.
+            source = SampledWaveformSource(result.times, wave)
+            t_begin = source.activity_interval()[0]
+            edge_rising = out_rising
+
+        assert t_launch_ref is not None and prev_cross is not None
+        delay = prev_cross - t_launch_ref
+        finite = delay[np.isfinite(delay)]
+        if finite.size < max(16, n_samples // 4):
+            raise SimulationError(
+                f"golden path MC: only {finite.size}/{n_samples} samples measured"
+            )
+        quantiles = empirical_sigma_quantiles(finite, levels)
+        return PathSampleResult(
+            delay=delay,
+            quantiles=quantiles,
+            runtime_s=time.perf_counter() - t0,
+            stage_delays=stage_means,
+        )
+
+    # ------------------------------------------------------------------
+    def _stage_setup(
+        self,
+        stage: PathStage,
+        cell,
+        source,
+        in_rising: bool,
+        out_rising: bool,
+        next_stage: Optional[PathStage],
+        launch_stage: Optional[PathStage] = None,
+    ) -> Tuple[SimulationSetup, str]:
+        """Netlist of one stage: path cell + its output net + receiving cell.
+
+        For the first stage, the primary-input net's RC tree
+        (``launch_stage``) is embedded between the ideal source and the
+        gate input so the launch wire is part of the golden simulation,
+        matching the model's Eq. (10) accounting.
+        """
+        vdd = self.tech.vdd
+        net = TransistorNetlist()
+        net.fix("vdd", vdd)
+        net.fix("in", source)
+
+        gate_in = "in"
+        launch_initials: Dict[str, float] = {}
+        if launch_stage is not None:
+            pi_net = self.circuit.nets[launch_stage.net]
+            if pi_net.tree is not None:
+                mapping = pi_net.tree.embed(net, "launch", "in")
+                leaf = pi_net.sink_leaf.get(launch_stage.sink)
+                if leaf is None:
+                    leaf = pi_net.tree.leaves()[0]
+                gate_in = mapping[leaf]
+                rail = 0.0 if in_rising else vdd
+                for name, cnode in mapping.items():
+                    if cnode != "in":
+                        launch_initials[cnode] = rail
+
+        nodes = {stage.input_pin: gate_in, cell.output: "out"}
+        arc = cell.arc(stage.input_pin)
+        for side, value in arc.static.items():
+            node = f"static_{side}"
+            net.fix(node, vdd * value)
+            nodes[side] = node
+        cell.build(net, "dut", nodes, self.tech)
+
+        circuit_net = self.circuit.nets[stage.net]
+        sink_node = "out"
+        initial: Dict[str, float] = {
+            "out": 0.0 if out_rising else vdd,
+            **launch_initials,
+        }
+        if circuit_net.tree is not None:
+            mapping = circuit_net.tree.embed(net, "w", "out")
+            rail = 0.0 if out_rising else vdd
+            for name, cnode in mapping.items():
+                initial.setdefault(cnode, rail)
+            # Side sinks load their taps with the receiver pin caps.
+            for sink, leaf in circuit_net.sink_leaf.items():
+                if sink == stage.sink or sink == PRIMARY_OUTPUT:
+                    continue
+                gate = self.circuit.gates[sink[0]]
+                pin_cap = self.library.get(gate.cell_name).input_cap(
+                    sink[1], self.tech
+                )
+                net.add_capacitor(f"cs_{sink[0]}_{sink[1]}", mapping[leaf], pin_cap)
+            leaf = circuit_net.sink_leaf.get(stage.sink)
+            if leaf is None:
+                leaves = circuit_net.tree.leaves()
+                leaf = leaves[0]
+            sink_node = mapping[leaf]
+
+        # The receiving cell sits at the sink tap as a nonlinear load.
+        if next_stage is not None:
+            nxt = self.library.get(next_stage.cell_name)
+            nxt_nodes = {next_stage.input_pin: sink_node, nxt.output: "nxt_out"}
+            nxt_arc = nxt.arc(next_stage.input_pin)
+            for side, value in nxt_arc.static.items():
+                node = f"nxt_static_{side}"
+                net.fix(node, vdd * value)
+                nxt_nodes[side] = node
+            nxt.build(net, "nxt", nxt_nodes, self.tech)
+            sink_rail = initial["out"]
+            initial["nxt_out"] = (vdd - sink_rail) if nxt_arc.inverting else sink_rail
+
+        setup = SimulationSetup(
+            netlist=net,
+            input_node="in",
+            output_node=sink_node,
+            input_rising=in_rising,
+            output_rising=out_rising,
+            initial_voltages=initial,
+            record_extra=("out",),
+        )
+        return setup, sink_node
+

@@ -1,0 +1,31 @@
+"""Synthetic standard-cell library and moment characterization.
+
+Replaces the paper's proprietary TSMC 28 nm cell library with
+transistor-level templates (INV/BUF/NAND/NOR/AOI/OAI at drive strengths
+x1–x8) built on :mod:`repro.spice`, plus the characterization engine
+that extracts the first four delay moments over an (input slew × output
+load) grid — the data the paper's Fig. 4 / Fig. 5 flow consumes.
+"""
+
+from repro.cells.templates import ArcSpec, CellType, CELL_TYPES
+from repro.cells.library import Cell, CellLibrary, build_default_library
+from repro.cells.characterize import (
+    ArcCharacterizer,
+    CharacterizationTable,
+    LibraryCharacterization,
+)
+from repro.cells.liberty import load_library_characterization, save_library_characterization
+
+__all__ = [
+    "ArcSpec",
+    "CellType",
+    "CELL_TYPES",
+    "Cell",
+    "CellLibrary",
+    "build_default_library",
+    "ArcCharacterizer",
+    "CharacterizationTable",
+    "LibraryCharacterization",
+    "save_library_characterization",
+    "load_library_characterization",
+]

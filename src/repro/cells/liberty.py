@@ -1,0 +1,95 @@
+"""Liberty-like JSON persistence of characterization data.
+
+Industrial flows store this data in Liberty files with LVF
+(Liberty Variation Format) extensions; here the same content —
+per-arc lookup tables of moments, sigma-level quantiles and output
+slews, indexed by input slew and output load — is serialized as JSON,
+which keeps the repository dependency-free while staying faithful to
+the LVF structure (``index_1`` = slews, ``index_2`` = loads, one
+``values`` block per quantity).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import CharacterizationError
+from repro.cells.characterize import CharacterizationTable, LibraryCharacterization
+from repro.moments.stats import SIGMA_LEVELS
+
+#: Format identifier written into every file.
+FORMAT = "repro-lvf-json"
+FORMAT_VERSION = 1
+
+
+def _table_to_dict(table: CharacterizationTable) -> dict:
+    return {
+        "cell": table.cell_name,
+        "pin": table.pin,
+        "edge": "rise" if table.output_rising else "fall",
+        "n_samples": table.n_samples,
+        "index_1_slew_s": table.slews.tolist(),
+        "index_2_load_f": table.loads.tolist(),
+        "moments": {
+            name: table.moments[..., k].tolist()
+            for k, name in enumerate(("mu", "sigma", "skew", "kurt"))
+        },
+        "sigma_levels": list(SIGMA_LEVELS),
+        "quantiles": table.quantiles.tolist(),
+        "out_slew": table.out_slew.tolist(),
+    }
+
+
+def _table_from_dict(data: dict) -> CharacterizationTable:
+    try:
+        moments = np.stack(
+            [np.asarray(data["moments"][name]) for name in ("mu", "sigma", "skew", "kurt")],
+            axis=-1,
+        )
+        return CharacterizationTable(
+            cell_name=data["cell"],
+            pin=data["pin"],
+            output_rising=data["edge"] == "rise",
+            slews=np.asarray(data["index_1_slew_s"]),
+            loads=np.asarray(data["index_2_load_f"]),
+            moments=moments,
+            quantiles=np.asarray(data["quantiles"]),
+            out_slew=np.asarray(data["out_slew"]),
+            n_samples=int(data["n_samples"]),
+        )
+    except KeyError as exc:
+        raise CharacterizationError(f"malformed table record: missing {exc}") from exc
+
+
+def save_library_characterization(
+    charac: LibraryCharacterization, path: Union[str, Path]
+) -> None:
+    """Write all tables to a JSON file (directories are created as needed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "format": FORMAT,
+        "version": FORMAT_VERSION,
+        "tables": [_table_to_dict(t) for t in charac.tables.values()],
+    }
+    with path.open("w") as fh:
+        json.dump(doc, fh)
+
+
+def load_library_characterization(path: Union[str, Path]) -> LibraryCharacterization:
+    """Read tables back from :func:`save_library_characterization` output."""
+    path = Path(path)
+    with path.open() as fh:
+        doc = json.load(fh)
+    if doc.get("format") != FORMAT:
+        raise CharacterizationError(
+            f"{path} is not a {FORMAT} file (format={doc.get('format')!r})"
+        )
+    out = LibraryCharacterization()
+    for record in doc["tables"]:
+        out.put(_table_from_dict(record))
+    return out

@@ -1,0 +1,183 @@
+"""Cells (type × strength) and the library container.
+
+Cell names follow the paper's convention: type name + ``x`` + strength,
+e.g. ``NAND2x4``. The paper's "AOI2" family maps to ``AOI21`` here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import NetlistError
+from repro.cells.templates import CELL_TYPES, ArcSpec, CellType
+from repro.spice.netlist import TransistorNetlist
+from repro.variation.parameters import Technology
+from repro.variation.pelgrom import stacked_variability_scale
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A concrete library cell: a type at a drive strength.
+
+    Attributes
+    ----------
+    cell_type:
+        The :class:`~repro.cells.templates.CellType`.
+    strength:
+        Drive-strength multiplier (1, 2, 4, 8, ...).
+    """
+
+    cell_type: CellType
+    strength: int
+
+    def __post_init__(self) -> None:
+        if self.strength < 1:
+            raise NetlistError(f"strength must be >= 1, got {self.strength}")
+
+    @property
+    def name(self) -> str:
+        """Library name, e.g. ``"NOR2x4"``."""
+        return f"{self.cell_type.name}x{self.strength}"
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        """Input pin names."""
+        return self.cell_type.inputs
+
+    @property
+    def output(self) -> str:
+        """Output pin name."""
+        return self.cell_type.output
+
+    @property
+    def n_stack(self) -> int:
+        """Stack depth used by the paper's Eq. (5)."""
+        return self.cell_type.n_stack
+
+    def arc(self, pin: str) -> ArcSpec:
+        """Sensitization of the timing arc through ``pin``."""
+        try:
+            return self.cell_type.arcs[pin]
+        except KeyError:
+            raise NetlistError(f"{self.name} has no input pin {pin!r}") from None
+
+    def variability_scale(self) -> float:
+        """Pelgrom scale ``1/sqrt(n_stack * strength)`` relative to unit INV."""
+        return stacked_variability_scale(self.n_stack, self.strength)
+
+    def build(
+        self,
+        net: TransistorNetlist,
+        prefix: str,
+        nodes: Mapping[str, str],
+        tech: Technology,
+    ) -> None:
+        """Instantiate into a transistor netlist (see :meth:`CellType.build`)."""
+        self.cell_type.build(net, prefix, nodes, float(self.strength), tech)
+
+    def input_cap(self, pin: str, tech: Technology) -> float:
+        """Input capacitance of ``pin`` in farads.
+
+        Computed from the template itself: the sum of the gate
+        capacitances of every transistor whose gate connects to the pin.
+        """
+        if pin not in self.inputs:
+            raise NetlistError(f"{self.name} has no input pin {pin!r}")
+        scratch = TransistorNetlist()
+        nodes = {p: f"pin_{p}" for p in (*self.inputs, self.output)}
+        self.build(scratch, "u0", nodes, tech)
+        pin_node = nodes[pin]
+        return sum(tech.gate_cap(m.width) for m in scratch.mosfets if m.gate == pin_node)
+
+    def max_input_cap(self, tech: Technology) -> float:
+        """Largest per-pin input capacitance (for FO-N load constraints)."""
+        return max(self.input_cap(p, tech) for p in self.inputs)
+
+    def logic(self, values: Mapping[str, int]) -> int:
+        """Boolean output for the given input values."""
+        return self.cell_type.logic(values)
+
+
+class CellLibrary:
+    """A named collection of :class:`Cell` objects.
+
+    Iteration order is deterministic (insertion order), which keeps
+    characterization runs and benchmark tables reproducible.
+    """
+
+    def __init__(self, tech: Technology, cells: Optional[Iterable[Cell]] = None):
+        self.tech = tech
+        self._cells: Dict[str, Cell] = {}
+        for cell in cells or ():
+            self.add(cell)
+
+    def add(self, cell: Cell) -> None:
+        """Add a cell; duplicate names are rejected."""
+        if cell.name in self._cells:
+            raise NetlistError(f"duplicate cell {cell.name}")
+        self._cells[cell.name] = cell
+
+    def get(self, name: str) -> Cell:
+        """Look a cell up by name (``KeyError`` message lists near misses)."""
+        try:
+            return self._cells[name]
+        except KeyError:
+            candidates = [c for c in self._cells if c.startswith(name.split("x")[0])]
+            raise KeyError(f"no cell {name!r}; available: {candidates}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def names(self) -> List[str]:
+        """All cell names in insertion order."""
+        return list(self._cells)
+
+    def cells_of_type(self, type_name: str) -> List[Cell]:
+        """All strengths of one cell type, ascending."""
+        found = [c for c in self._cells.values() if c.cell_type.name == type_name]
+        return sorted(found, key=lambda c: c.strength)
+
+    def strongest(self, type_name: str) -> Cell:
+        """The highest-strength variant of a type."""
+        cells = self.cells_of_type(type_name)
+        if not cells:
+            raise KeyError(f"no cells of type {type_name!r}")
+        return cells[-1]
+
+
+#: Strengths instantiated by :func:`build_default_library`.
+DEFAULT_STRENGTHS: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+def build_default_library(
+    tech: Technology,
+    type_names: Optional[Iterable[str]] = None,
+    strengths: Iterable[int] = DEFAULT_STRENGTHS,
+) -> CellLibrary:
+    """Build the default synthetic library.
+
+    Parameters
+    ----------
+    type_names:
+        Cell types to include (default: every type in
+        :data:`~repro.cells.templates.CELL_TYPES`).
+    strengths:
+        Drive strengths per type (default x1/x2/x4/x8, matching the
+        paper's Table II sweep).
+    """
+    names = list(type_names) if type_names is not None else list(CELL_TYPES)
+    lib = CellLibrary(tech)
+    for name in names:
+        if name not in CELL_TYPES:
+            raise KeyError(f"unknown cell type {name!r}; known: {list(CELL_TYPES)}")
+        for s in strengths:
+            lib.add(Cell(cell_type=CELL_TYPES[name], strength=int(s)))
+    return lib

@@ -1,0 +1,346 @@
+"""Transistor-level templates of the standard-cell types.
+
+Each :class:`CellType` knows how to instantiate its CMOS network into a
+:class:`~repro.spice.netlist.TransistorNetlist`, which side-input values
+sensitize a given input pin, and its stack depth (the ``n`` of the
+paper's Eq. (5)).
+
+Sizing follows standard practice: PMOS widths carry the technology's
+P/N ratio, and series ("stacked") devices are up-sized by the stack
+count so every cell type delivers roughly inverter-equivalent drive at
+equal strength — which is exactly why stacked cells have *lower* delay
+variability (more, larger devices averaging their mismatch), the effect
+the paper's wire model exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.errors import NetlistError
+from repro.spice.netlist import TransistorNetlist
+from repro.variation.parameters import Technology
+
+
+@dataclass(frozen=True)
+class ArcSpec:
+    """How to sensitize a timing arc through one input pin.
+
+    Attributes
+    ----------
+    static:
+        Logic values (0/1) to hold on the *other* input pins so a
+        transition on this pin propagates to the output.
+    inverting:
+        True when a rising input produces a falling output.
+    """
+
+    static: Mapping[str, int]
+    inverting: bool
+
+
+BuilderFn = Callable[[TransistorNetlist, str, Mapping[str, str], float, Technology], None]
+
+
+@dataclass(frozen=True)
+class CellType:
+    """A standard-cell type (function + topology), independent of strength.
+
+    Attributes
+    ----------
+    name:
+        Type name, e.g. ``"NAND2"``.
+    inputs:
+        Ordered input pin names.
+    output:
+        Output pin name (always ``"Y"`` in this library).
+    n_stack:
+        Stack depth on the critical switching path — the ``n`` in the
+        paper's Pelgrom argument (Eq. 5).
+    arcs:
+        Per-input-pin sensitization (see :class:`ArcSpec`).
+    builder:
+        Function that instantiates the transistors.
+    logic:
+        Boolean function of the input values, used by the gate-level
+        simulator and netlist generators.
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    output: str
+    n_stack: int
+    arcs: Mapping[str, ArcSpec]
+    builder: BuilderFn
+    logic: Callable[[Mapping[str, int]], int]
+
+    def build(
+        self,
+        net: TransistorNetlist,
+        prefix: str,
+        nodes: Mapping[str, str],
+        strength: float,
+        tech: Technology,
+    ) -> None:
+        """Instantiate this cell into ``net``.
+
+        Parameters
+        ----------
+        prefix:
+            Unique instance prefix for device and internal node names.
+        nodes:
+            Pin name → circuit node mapping. Must cover every input pin,
+            the output pin, and may omit ``vdd``/``gnd`` (defaulting to
+            the global rails).
+        strength:
+            Drive-strength multiplier.
+        """
+        missing = [p for p in (*self.inputs, self.output) if p not in nodes]
+        if missing:
+            raise NetlistError(f"{self.name} instance {prefix}: missing pins {missing}")
+        self.builder(net, prefix, nodes, strength, tech)
+
+
+def _wn(tech: Technology, strength: float, series: int = 1) -> float:
+    return tech.unit_nmos_width * strength * series
+
+
+def _wp(tech: Technology, strength: float, series: int = 1) -> float:
+    return tech.unit_pmos_width * strength * series
+
+
+def _rail(nodes: Mapping[str, str], pin: str, default: str) -> str:
+    return nodes.get(pin, default)
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def _build_inv(net, prefix, nodes, strength, tech):
+    vdd = _rail(nodes, "vdd", "vdd")
+    gnd = _rail(nodes, "gnd", "gnd")
+    a, y = nodes["A"], nodes["Y"]
+    net.add_mosfet(f"{prefix}_mp", "p", drain=y, gate=a, source=vdd, width=_wp(tech, strength))
+    net.add_mosfet(f"{prefix}_mn", "n", drain=y, gate=a, source=gnd, width=_wn(tech, strength))
+
+
+def _build_buf(net, prefix, nodes, strength, tech):
+    vdd = _rail(nodes, "vdd", "vdd")
+    gnd = _rail(nodes, "gnd", "gnd")
+    a, y = nodes["A"], nodes["Y"]
+    mid = f"{prefix}_mid"
+    s1 = max(1.0, strength / 2.0)
+    net.add_mosfet(f"{prefix}_mp1", "p", drain=mid, gate=a, source=vdd, width=_wp(tech, s1))
+    net.add_mosfet(f"{prefix}_mn1", "n", drain=mid, gate=a, source=gnd, width=_wn(tech, s1))
+    net.add_mosfet(f"{prefix}_mp2", "p", drain=y, gate=mid, source=vdd, width=_wp(tech, strength))
+    net.add_mosfet(f"{prefix}_mn2", "n", drain=y, gate=mid, source=gnd, width=_wn(tech, strength))
+
+
+def _build_nand2(net, prefix, nodes, strength, tech):
+    vdd = _rail(nodes, "vdd", "vdd")
+    gnd = _rail(nodes, "gnd", "gnd")
+    a, b, y = nodes["A"], nodes["B"], nodes["Y"]
+    n1 = f"{prefix}_n1"
+    net.add_mosfet(f"{prefix}_mpa", "p", drain=y, gate=a, source=vdd, width=_wp(tech, strength))
+    net.add_mosfet(f"{prefix}_mpb", "p", drain=y, gate=b, source=vdd, width=_wp(tech, strength))
+    net.add_mosfet(f"{prefix}_mna", "n", drain=y, gate=a, source=n1, width=_wn(tech, strength, 2))
+    net.add_mosfet(f"{prefix}_mnb", "n", drain=n1, gate=b, source=gnd, width=_wn(tech, strength, 2))
+
+
+def _build_nand3(net, prefix, nodes, strength, tech):
+    vdd = _rail(nodes, "vdd", "vdd")
+    gnd = _rail(nodes, "gnd", "gnd")
+    a, b, c, y = nodes["A"], nodes["B"], nodes["C"], nodes["Y"]
+    n1, n2 = f"{prefix}_n1", f"{prefix}_n2"
+    for pin, node in (("a", a), ("b", b), ("c", c)):
+        net.add_mosfet(
+            f"{prefix}_mp{pin}", "p", drain=y, gate=node, source=vdd, width=_wp(tech, strength)
+        )
+    net.add_mosfet(f"{prefix}_mna", "n", drain=y, gate=a, source=n1, width=_wn(tech, strength, 3))
+    net.add_mosfet(f"{prefix}_mnb", "n", drain=n1, gate=b, source=n2, width=_wn(tech, strength, 3))
+    net.add_mosfet(f"{prefix}_mnc", "n", drain=n2, gate=c, source=gnd, width=_wn(tech, strength, 3))
+
+
+def _build_nor2(net, prefix, nodes, strength, tech):
+    vdd = _rail(nodes, "vdd", "vdd")
+    gnd = _rail(nodes, "gnd", "gnd")
+    a, b, y = nodes["A"], nodes["B"], nodes["Y"]
+    p1 = f"{prefix}_p1"
+    net.add_mosfet(f"{prefix}_mpa", "p", drain=p1, gate=a, source=vdd, width=_wp(tech, strength, 2))
+    net.add_mosfet(f"{prefix}_mpb", "p", drain=y, gate=b, source=p1, width=_wp(tech, strength, 2))
+    net.add_mosfet(f"{prefix}_mna", "n", drain=y, gate=a, source=gnd, width=_wn(tech, strength))
+    net.add_mosfet(f"{prefix}_mnb", "n", drain=y, gate=b, source=gnd, width=_wn(tech, strength))
+
+
+def _build_nor3(net, prefix, nodes, strength, tech):
+    vdd = _rail(nodes, "vdd", "vdd")
+    gnd = _rail(nodes, "gnd", "gnd")
+    a, b, c, y = nodes["A"], nodes["B"], nodes["C"], nodes["Y"]
+    p1, p2 = f"{prefix}_p1", f"{prefix}_p2"
+    net.add_mosfet(f"{prefix}_mpa", "p", drain=p1, gate=a, source=vdd, width=_wp(tech, strength, 3))
+    net.add_mosfet(f"{prefix}_mpb", "p", drain=p2, gate=b, source=p1, width=_wp(tech, strength, 3))
+    net.add_mosfet(f"{prefix}_mpc", "p", drain=y, gate=c, source=p2, width=_wp(tech, strength, 3))
+    for pin, node in (("a", a), ("b", b), ("c", c)):
+        net.add_mosfet(
+            f"{prefix}_mn{pin}", "n", drain=y, gate=node, source=gnd, width=_wn(tech, strength)
+        )
+
+
+def _build_aoi21(net, prefix, nodes, strength, tech):
+    # Y = !(A*B + C)
+    vdd = _rail(nodes, "vdd", "vdd")
+    gnd = _rail(nodes, "gnd", "gnd")
+    a, b, c, y = nodes["A"], nodes["B"], nodes["C"], nodes["Y"]
+    n1, p1 = f"{prefix}_n1", f"{prefix}_p1"
+    # Pull-down: A-B series branch parallel with C.
+    net.add_mosfet(f"{prefix}_mna", "n", drain=y, gate=a, source=n1, width=_wn(tech, strength, 2))
+    net.add_mosfet(f"{prefix}_mnb", "n", drain=n1, gate=b, source=gnd, width=_wn(tech, strength, 2))
+    net.add_mosfet(f"{prefix}_mnc", "n", drain=y, gate=c, source=gnd, width=_wn(tech, strength))
+    # Pull-up: (A parallel B) in series with C.
+    net.add_mosfet(f"{prefix}_mpa", "p", drain=p1, gate=a, source=vdd, width=_wp(tech, strength, 2))
+    net.add_mosfet(f"{prefix}_mpb", "p", drain=p1, gate=b, source=vdd, width=_wp(tech, strength, 2))
+    net.add_mosfet(f"{prefix}_mpc", "p", drain=y, gate=c, source=p1, width=_wp(tech, strength, 2))
+
+
+def _build_oai21(net, prefix, nodes, strength, tech):
+    # Y = !((A + B) * C)
+    vdd = _rail(nodes, "vdd", "vdd")
+    gnd = _rail(nodes, "gnd", "gnd")
+    a, b, c, y = nodes["A"], nodes["B"], nodes["C"], nodes["Y"]
+    n1, p1 = f"{prefix}_n1", f"{prefix}_p1"
+    # Pull-down: (A parallel B) in series with C.
+    net.add_mosfet(f"{prefix}_mna", "n", drain=n1, gate=a, source=gnd, width=_wn(tech, strength, 2))
+    net.add_mosfet(f"{prefix}_mnb", "n", drain=n1, gate=b, source=gnd, width=_wn(tech, strength, 2))
+    net.add_mosfet(f"{prefix}_mnc", "n", drain=y, gate=c, source=n1, width=_wn(tech, strength, 2))
+    # Pull-up: A-B series branch parallel with C.
+    net.add_mosfet(f"{prefix}_mpa", "p", drain=p1, gate=a, source=vdd, width=_wp(tech, strength, 2))
+    net.add_mosfet(f"{prefix}_mpb", "p", drain=y, gate=b, source=p1, width=_wp(tech, strength, 2))
+    net.add_mosfet(f"{prefix}_mpc", "p", drain=y, gate=c, source=vdd, width=_wp(tech, strength))
+
+
+def _build_xor2(net, prefix, nodes, strength, tech):
+    # Four-NAND XOR: y = a ^ b (no transmission gates in this library).
+    a, b, y = nodes["A"], nodes["B"], nodes["Y"]
+    t1, t2, t3 = f"{prefix}_t1", f"{prefix}_t2", f"{prefix}_t3"
+    sub = {"vdd": _rail(nodes, "vdd", "vdd"), "gnd": _rail(nodes, "gnd", "gnd")}
+    _build_nand2(net, f"{prefix}_n1", {**sub, "A": a, "B": b, "Y": t1}, strength, tech)
+    _build_nand2(net, f"{prefix}_n2", {**sub, "A": a, "B": t1, "Y": t2}, strength, tech)
+    _build_nand2(net, f"{prefix}_n3", {**sub, "A": b, "B": t1, "Y": t3}, strength, tech)
+    _build_nand2(net, f"{prefix}_n4", {**sub, "A": t2, "B": t3, "Y": y}, strength, tech)
+
+
+def _build_xnor2(net, prefix, nodes, strength, tech):
+    # XOR followed by an output inverter: y = !(a ^ b).
+    mid = f"{prefix}_x"
+    _build_xor2(net, f"{prefix}_c", {**nodes, "Y": mid}, strength, tech)
+    _build_inv(net, f"{prefix}_i", {**nodes, "A": mid}, strength, tech)
+
+
+# ----------------------------------------------------------------------
+# Catalogue
+# ----------------------------------------------------------------------
+def _make(name, inputs, n_stack, arcs, builder, logic) -> CellType:
+    return CellType(
+        name=name,
+        inputs=tuple(inputs),
+        output="Y",
+        n_stack=n_stack,
+        arcs=arcs,
+        builder=builder,
+        logic=logic,
+    )
+
+
+#: All cell types of the synthetic library, keyed by type name.
+CELL_TYPES: Dict[str, CellType] = {
+    "INV": _make(
+        "INV", ("A",), 1,
+        {"A": ArcSpec(static={}, inverting=True)},
+        _build_inv,
+        lambda v: 1 - v["A"],
+    ),
+    "BUF": _make(
+        "BUF", ("A",), 1,
+        {"A": ArcSpec(static={}, inverting=False)},
+        _build_buf,
+        lambda v: v["A"],
+    ),
+    "NAND2": _make(
+        "NAND2", ("A", "B"), 2,
+        {
+            "A": ArcSpec(static={"B": 1}, inverting=True),
+            "B": ArcSpec(static={"A": 1}, inverting=True),
+        },
+        _build_nand2,
+        lambda v: 1 - (v["A"] & v["B"]),
+    ),
+    "NAND3": _make(
+        "NAND3", ("A", "B", "C"), 3,
+        {
+            "A": ArcSpec(static={"B": 1, "C": 1}, inverting=True),
+            "B": ArcSpec(static={"A": 1, "C": 1}, inverting=True),
+            "C": ArcSpec(static={"A": 1, "B": 1}, inverting=True),
+        },
+        _build_nand3,
+        lambda v: 1 - (v["A"] & v["B"] & v["C"]),
+    ),
+    "NOR2": _make(
+        "NOR2", ("A", "B"), 2,
+        {
+            "A": ArcSpec(static={"B": 0}, inverting=True),
+            "B": ArcSpec(static={"A": 0}, inverting=True),
+        },
+        _build_nor2,
+        lambda v: 1 - (v["A"] | v["B"]),
+    ),
+    "NOR3": _make(
+        "NOR3", ("A", "B", "C"), 3,
+        {
+            "A": ArcSpec(static={"B": 0, "C": 0}, inverting=True),
+            "B": ArcSpec(static={"A": 0, "C": 0}, inverting=True),
+            "C": ArcSpec(static={"A": 0, "B": 0}, inverting=True),
+        },
+        _build_nor3,
+        lambda v: 1 - (v["A"] | v["B"] | v["C"]),
+    ),
+    "AOI21": _make(
+        "AOI21", ("A", "B", "C"), 2,
+        {
+            "A": ArcSpec(static={"B": 1, "C": 0}, inverting=True),
+            "B": ArcSpec(static={"A": 1, "C": 0}, inverting=True),
+            "C": ArcSpec(static={"A": 0, "B": 1}, inverting=True),
+        },
+        _build_aoi21,
+        lambda v: 1 - ((v["A"] & v["B"]) | v["C"]),
+    ),
+    "OAI21": _make(
+        "OAI21", ("A", "B", "C"), 2,
+        {
+            "A": ArcSpec(static={"B": 0, "C": 1}, inverting=True),
+            "B": ArcSpec(static={"A": 0, "C": 1}, inverting=True),
+            "C": ArcSpec(static={"A": 1, "B": 0}, inverting=True),
+        },
+        _build_oai21,
+        lambda v: 1 - ((v["A"] | v["B"]) & v["C"]),
+    ),
+    "XOR2": _make(
+        "XOR2", ("A", "B"), 2,
+        {
+            # With the other input at 0, an XOR passes the pin through.
+            "A": ArcSpec(static={"B": 0}, inverting=False),
+            "B": ArcSpec(static={"A": 0}, inverting=False),
+        },
+        _build_xor2,
+        lambda v: v["A"] ^ v["B"],
+    ),
+    "XNOR2": _make(
+        "XNOR2", ("A", "B"), 2,
+        {
+            "A": ArcSpec(static={"B": 0}, inverting=True),
+            "B": ArcSpec(static={"A": 0}, inverting=True),
+        },
+        _build_xnor2,
+        lambda v: 1 - (v["A"] ^ v["B"]),
+    ),
+}

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``characterize``
+    Monte-Carlo characterize library cells and write the Liberty-like
+    JSON tables.
+``analyze``
+    Run the statistical STA on a benchmark circuit (or a structural
+    Verilog file) and print the critical path with its sigma-level
+    quantiles.
+``cells``
+    List the synthetic library with pin caps and Pelgrom coefficients.
+
+All commands accept ``--seed`` and the Monte-Carlo fidelity knobs; run
+``python -m repro <command> --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.units import FF, PS
+from repro.variation.parameters import Technology, VariationModel
+
+
+def _add_flow_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument("--samples", type=int, default=1000,
+                        help="MC samples per characterization point")
+    parser.add_argument("--cache-dir", default=".repro_cache",
+                        help="characterization/model cache directory")
+    parser.add_argument("--vdd", type=float, default=0.6,
+                        help="supply voltage in volts")
+    parser.add_argument("--cells", default="",
+                        help="comma-separated cell subset (default: all)")
+    parser.add_argument("--fast", action="store_true",
+                        help="coarse grid / small wire fit for quick looks")
+
+
+def _make_flow(args):
+    from repro.core.flow import DelayCalibrationFlow
+
+    tech = Technology().at_vdd(args.vdd)
+    cells = [c.strip() for c in args.cells.split(",") if c.strip()] or None
+    extra = {}
+    if args.fast:
+        extra = {
+            "slews": (10 * PS, 80 * PS, 250 * PS),
+            "loads": (0.1 * FF, 1.0 * FF, 4.0 * FF, 9.0 * FF),
+            "wire_fit_samples": 200,
+            "wire_fit_trees": 1,
+        }
+    return DelayCalibrationFlow(
+        tech=tech,
+        variation=VariationModel(),
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        n_samples=args.samples,
+        cell_names=cells,
+        **extra,
+    )
+
+
+def cmd_characterize(args) -> int:
+    """Characterize library cells and write Liberty-like JSON tables."""
+    from repro.cells.liberty import save_library_characterization
+
+    flow = _make_flow(args)
+    print(f"Characterizing {len(flow.cell_names)} cells at "
+          f"{flow.tech.vdd} V with {flow.n_samples} samples/point ...")
+    charac = flow.characterize()
+    save_library_characterization(charac, args.output)
+    print(f"Wrote {len(charac)} arc tables to {args.output}")
+    return 0
+
+
+def cmd_cells(args) -> int:
+    """Print the synthetic library with pin caps and Pelgrom scales."""
+    from repro.cells.library import build_default_library
+
+    tech = Technology().at_vdd(args.vdd)
+    library = build_default_library(tech)
+    print(f"{'cell':<10} {'inputs':<8} {'stack':>5} {'pinA cap(fF)':>13} "
+          f"{'Pelgrom scale':>14}")
+    for cell in library:
+        print(f"{cell.name:<10} {','.join(cell.inputs):<8} {cell.n_stack:>5} "
+              f"{cell.input_cap('A', tech) / FF:>13.3f} "
+              f"{cell.variability_scale():>14.3f}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Statistical STA on a benchmark circuit or Verilog file."""
+    from repro.core.sta import StatisticalSTA
+    from repro.netlist.benchmarks import (
+        ISCAS85_PROFILES,
+        attach_parasitics,
+        build_iscas85_like,
+        build_pulpino_unit,
+    )
+    from repro.netlist.verilog import read_verilog
+
+    flow = _make_flow(args)
+    name = args.circuit
+    if Path(name).exists():
+        circuit = read_verilog(name)
+    elif name in ISCAS85_PROFILES:
+        circuit = build_iscas85_like(name)
+    elif name.upper() in ("ADD", "SUB", "MUL", "DIV"):
+        circuit = build_pulpino_unit(name.upper(), args.width)
+    else:
+        print(f"error: {name!r} is neither a file, an ISCAS85 profile "
+              f"({', '.join(ISCAS85_PROFILES)}) nor a PULPino unit", file=sys.stderr)
+        return 2
+    attach_parasitics(circuit, flow.tech, seed=args.parasitic_seed)
+    print(f"Circuit: {circuit}")
+
+    print("Fitting models (cached) ...")
+    models = flow.fit_models()
+    result = StatisticalSTA(circuit, models,
+                            input_slew=args.input_slew * PS).analyze()
+
+    from repro.core.report import format_path_report, format_stage_budget
+
+    print()
+    print(format_path_report(result, max_stages=args.max_stages))
+    print()
+    print(format_stage_budget(result.critical_path))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="N-sigma delay calibration (DATE 2023 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="characterize library cells")
+    _add_flow_args(p)
+    p.add_argument("-o", "--output", default="library_lvf.json",
+                   help="output JSON path")
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("cells", help="list the synthetic cell library")
+    p.add_argument("--vdd", type=float, default=0.6)
+    p.set_defaults(func=cmd_cells)
+
+    p = sub.add_parser("analyze", help="statistical STA on a circuit")
+    _add_flow_args(p)
+    p.add_argument("circuit",
+                   help="ISCAS85 name (c432...), PULPino unit (ADD/SUB/MUL/DIV), "
+                        "or a structural Verilog file")
+    p.add_argument("--width", type=int, default=16,
+                   help="operand width for PULPino units")
+    p.add_argument("--input-slew", type=float, default=20.0,
+                   help="primary-input slew in ps")
+    p.add_argument("--parasitic-seed", type=int, default=1,
+                   help="seed of the synthetic parasitics")
+    p.add_argument("--max-stages", type=int, default=40,
+                   help="truncate the path report after this many stages")
+    p.set_defaults(func=cmd_analyze)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (returns a process exit code)."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

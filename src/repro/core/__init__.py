@@ -1,0 +1,47 @@
+"""The paper's contribution: N-sigma delay models and the calibrated STA flow.
+
+* :mod:`repro.core.nsigma_cell` — Table I: sigma-level quantiles of the
+  cell delay as linear functions of the first four moments with
+  ``σγ / σκ / γκ`` interaction terms, coefficients fitted by regression;
+* :mod:`repro.core.calibration` — Eqs. (1)–(3): parametric calibration
+  of the moments from the reference operating condition to arbitrary
+  (input slew, output load);
+* :mod:`repro.core.nsigma_wire` — Eqs. (5)–(9): wire delay variability
+  from driver/load cell coefficients on top of the Elmore mean;
+* :mod:`repro.core.sta` — Eq. (10): the statistical STA engine that
+  propagates slews/loads and sums per-sigma-level cell and wire
+  quantiles along paths;
+* :mod:`repro.core.flow` — the end-to-end characterize → calibrate →
+  analyze pipeline with on-disk caching.
+"""
+
+from repro.core.nsigma_cell import NSigmaCellModel, QUANTILE_FEATURES
+from repro.core.calibration import ArcCalibration, CalibratedCellLibrary, fit_arc_calibration
+from repro.core.nsigma_wire import WireVariabilityModel, cell_variability_ratio
+from repro.core.sta import PathStage, PathTiming, StatisticalSTA, TimingModels
+from repro.core.flow import DelayCalibrationFlow
+from repro.core.report import (
+    format_comparison,
+    format_path_report,
+    format_stage_budget,
+)
+from repro.core.correlation import estimate_stage_correlation
+
+__all__ = [
+    "NSigmaCellModel",
+    "QUANTILE_FEATURES",
+    "ArcCalibration",
+    "CalibratedCellLibrary",
+    "fit_arc_calibration",
+    "WireVariabilityModel",
+    "cell_variability_ratio",
+    "StatisticalSTA",
+    "TimingModels",
+    "PathStage",
+    "PathTiming",
+    "DelayCalibrationFlow",
+    "format_path_report",
+    "format_comparison",
+    "format_stage_budget",
+    "estimate_stage_correlation",
+]

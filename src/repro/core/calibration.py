@@ -1,0 +1,256 @@
+"""Operating-condition calibration of cell moments (Eqs. 1–3).
+
+A cell's delay moments are characterized once at the reference condition
+``(S_ref = 10 ps, C_ref = 0.4 fF)``; this module fits the parametric
+correction that moves them to any (input slew ``S``, output load ``C``):
+
+* Eq. (2) — ``mu`` and ``sigma`` are *bilinear* in ``(ΔS, ΔC)`` with the
+  ``ΔS·ΔC`` cross term (Fig. 4 shows them near-linear in both knobs);
+* Eq. (3) — ``skew`` and ``kurt`` need the *cubic* form
+  ``P·[ΔS,ΔC] + Q·[ΔS²,ΔC²] + R·[ΔS³,ΔC³] + K·ΔSΔC``.
+
+Deviations are normalized by fixed scales (100 ps, 1 fF) before fitting
+so the cubic design matrix stays well conditioned.
+
+As an extension over the paper (which never spells out slew
+propagation), the same cubic form is fitted to the arc's mean *output
+slew*, giving the STA engine a parametric slew model consistent with
+the delay calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CalibrationError
+from repro.cells.characterize import (
+    REFERENCE_LOAD,
+    REFERENCE_SLEW,
+    CharacterizationTable,
+    LibraryCharacterization,
+)
+from repro.moments.regression import fit_linear, polynomial_features
+from repro.moments.stats import Moments
+from repro.units import FF, PS
+
+#: Normalization scales for the interpolation features.
+SLEW_SCALE = 100 * PS
+LOAD_SCALE = 1 * FF
+
+
+@dataclass
+class ArcCalibration:
+    """Fitted Eq. (2)/(3) coefficients of one timing arc.
+
+    Attributes
+    ----------
+    cell_name / pin / output_rising:
+        Arc identity.
+    s_ref / c_ref:
+        Reference operating condition (seconds, farads).
+    ref:
+        Reference moments ``M_ref = [mu0, sigma0, gamma0, kappa0]``.
+    mu_coef / sigma_coef:
+        Eq. (2) coefficient vectors over ``[ΔS, ΔC, ΔS·ΔC]``
+        (normalized deviations).
+    skew_coef / kurt_coef:
+        Eq. (3) coefficient vectors over
+        ``[ΔS, ΔC, ΔS², ΔC², ΔS³, ΔC³, ΔS·ΔC]``.
+    slew_ref / slew_coef:
+        Output-slew model (same cubic form; reproduction extension).
+    s_range / c_range:
+        Characterized (min, max) of slew and load. Queries outside are
+        clamped — cubic polynomials extrapolate explosively, and real
+        timers clamp their LUT indices the same way.
+    """
+
+    cell_name: str
+    pin: str
+    output_rising: bool
+    s_ref: float
+    c_ref: float
+    ref: Moments
+    mu_coef: np.ndarray
+    sigma_coef: np.ndarray
+    skew_coef: np.ndarray
+    kurt_coef: np.ndarray
+    slew_ref: float
+    slew_coef: np.ndarray
+    s_range: Tuple[float, float] = (0.0, float("inf"))
+    c_range: Tuple[float, float] = (0.0, float("inf"))
+
+    def _deviations(self, slew: float, load: float) -> Tuple[float, float]:
+        slew = float(np.clip(slew, *self.s_range))
+        load = float(np.clip(load, *self.c_range))
+        return (slew - self.s_ref) / SLEW_SCALE, (load - self.c_ref) / LOAD_SCALE
+
+    def moments_at(self, slew: float, load: float) -> Moments:
+        """Calibrated moments ``[mu', sigma', gamma', kappa']`` (Eqs. 2–3)."""
+        ds, dc = self._deviations(slew, load)
+        lin = polynomial_features(ds, dc, degree=1)[0]
+        cub = polynomial_features(ds, dc, degree=3)[0]
+        mu = self.ref.mu + float(lin @ self.mu_coef)
+        sigma = self.ref.sigma + float(lin @ self.sigma_coef)
+        skew = self.ref.skew + float(cub @ self.skew_coef)
+        kurt = self.ref.kurt + float(cub @ self.kurt_coef)
+        # Physicality guards: sigma must stay positive and kurtosis
+        # above the Pearson bound kurt >= 1 + skew^2.
+        sigma = max(sigma, 1e-3 * self.ref.sigma)
+        kurt = max(kurt, 1.0 + skew * skew + 1e-6)
+        return Moments(mu=mu, sigma=sigma, skew=skew, kurt=kurt, n=self.ref.n)
+
+    def out_slew_at(self, slew: float, load: float) -> float:
+        """Calibrated mean output slew (for slew propagation)."""
+        ds, dc = self._deviations(slew, load)
+        cub = polynomial_features(ds, dc, degree=3)[0]
+        return max(float(self.slew_ref + cub @ self.slew_coef), 0.1 * PS)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "cell": self.cell_name,
+            "pin": self.pin,
+            "edge": "rise" if self.output_rising else "fall",
+            "s_ref": self.s_ref,
+            "c_ref": self.c_ref,
+            "ref": [self.ref.mu, self.ref.sigma, self.ref.skew, self.ref.kurt],
+            "ref_n": self.ref.n,
+            "mu_coef": self.mu_coef.tolist(),
+            "sigma_coef": self.sigma_coef.tolist(),
+            "skew_coef": self.skew_coef.tolist(),
+            "kurt_coef": self.kurt_coef.tolist(),
+            "slew_ref": self.slew_ref,
+            "slew_coef": self.slew_coef.tolist(),
+            "s_range": list(self.s_range),
+            "c_range": list(self.c_range),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArcCalibration":
+        """Inverse of :meth:`to_dict`."""
+        mu, sigma, skew, kurt = data["ref"]
+        return cls(
+            cell_name=data["cell"],
+            pin=data["pin"],
+            output_rising=data["edge"] == "rise",
+            s_ref=data["s_ref"],
+            c_ref=data["c_ref"],
+            ref=Moments(mu, sigma, skew, kurt, n=data.get("ref_n", 0)),
+            mu_coef=np.asarray(data["mu_coef"]),
+            sigma_coef=np.asarray(data["sigma_coef"]),
+            skew_coef=np.asarray(data["skew_coef"]),
+            kurt_coef=np.asarray(data["kurt_coef"]),
+            slew_ref=data["slew_ref"],
+            slew_coef=np.asarray(data["slew_coef"]),
+            s_range=tuple(data.get("s_range", (0.0, float("inf")))),
+            c_range=tuple(data.get("c_range", (0.0, float("inf")))),
+        )
+
+
+def fit_arc_calibration(
+    table: CharacterizationTable,
+    s_ref: float = REFERENCE_SLEW,
+    c_ref: float = REFERENCE_LOAD,
+) -> ArcCalibration:
+    """Fit Eq. (2)/(3) coefficients from a characterization grid.
+
+    The reference moments are the table's (bilinear) values at the
+    reference condition; every grid point contributes one observation
+    of the deviation regression.
+    """
+    ref = table.moments_at(s_ref, c_ref)
+    slew_ref = table.out_slew_at(s_ref, c_ref)
+
+    ss, cc = np.meshgrid(table.slews, table.loads, indexing="ij")
+    ds = ((ss - s_ref) / SLEW_SCALE).ravel()
+    dc = ((cc - c_ref) / LOAD_SCALE).ravel()
+    lin = polynomial_features(ds, dc, degree=1)
+    cub = polynomial_features(ds, dc, degree=3)
+    if lin.shape[0] < cub.shape[1]:
+        raise CalibrationError(
+            f"characterization grid of {lin.shape[0]} points is too small for "
+            f"the cubic Eq. (3) fit ({cub.shape[1]} coefficients)"
+        )
+
+    def fit(features: np.ndarray, grid: np.ndarray, reference: float) -> np.ndarray:
+        return fit_linear(features, grid.ravel() - reference, ridge=1e-8).coef
+
+    return ArcCalibration(
+        cell_name=table.cell_name,
+        pin=table.pin,
+        output_rising=table.output_rising,
+        s_ref=s_ref,
+        c_ref=c_ref,
+        ref=ref,
+        mu_coef=fit(lin, table.moments[..., 0], ref.mu),
+        sigma_coef=fit(lin, table.moments[..., 1], ref.sigma),
+        skew_coef=fit(cub, table.moments[..., 2], ref.skew),
+        kurt_coef=fit(cub, table.moments[..., 3], ref.kurt),
+        slew_ref=slew_ref,
+        slew_coef=fit(cub, table.out_slew, slew_ref),
+        s_range=(float(table.slews[0]), float(table.slews[-1])),
+        c_range=(float(table.loads[0]), float(table.loads[-1])),
+    )
+
+
+@dataclass
+class CalibratedCellLibrary:
+    """All fitted arc calibrations of a library, keyed like the tables."""
+
+    arcs: Dict[Tuple[str, str, str], ArcCalibration] = field(default_factory=dict)
+
+    @classmethod
+    def fit(
+        cls,
+        charac: LibraryCharacterization,
+        s_ref: float = REFERENCE_SLEW,
+        c_ref: float = REFERENCE_LOAD,
+    ) -> "CalibratedCellLibrary":
+        """Fit every characterized arc."""
+        out = cls()
+        for key, table in charac.tables.items():
+            out.arcs[key] = fit_arc_calibration(table, s_ref, c_ref)
+        return out
+
+    def get(self, cell_name: str, pin: str, output_rising: bool) -> ArcCalibration:
+        """Fetch one arc's calibration.
+
+        Falls back to pin ``A`` of the same cell when the requested pin
+        was not characterized (the default library characterization
+        covers the representative first pin).
+        """
+        edge = "rise" if output_rising else "fall"
+        key = (cell_name, pin, edge)
+        if key in self.arcs:
+            return self.arcs[key]
+        fallback = (cell_name, "A", edge)
+        if fallback in self.arcs:
+            return self.arcs[fallback]
+        # Last resort: the other edge of pin A (library characterized
+        # falling arcs only by default).
+        for other_edge in ("fall", "rise"):
+            alt = (cell_name, "A", other_edge)
+            if alt in self.arcs:
+                return self.arcs[alt]
+        raise KeyError(
+            f"no calibration for {cell_name}/{pin}/{edge}; "
+            f"cells present: {sorted({k[0] for k in self.arcs})}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {"arcs": [arc.to_dict() for arc in self.arcs.values()]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CalibratedCellLibrary":
+        """Inverse of :meth:`to_dict`."""
+        out = cls()
+        for record in data["arcs"]:
+            arc = ArcCalibration.from_dict(record)
+            edge = "rise" if arc.output_rising else "fall"
+            out.arcs[(arc.cell_name, arc.pin, edge)] = arc
+        return out

@@ -1,0 +1,66 @@
+"""Stage-to-stage delay correlation estimation (reproduction extension).
+
+Eq. (10) treats every cell and wire on a path as perfectly correlated.
+The actual correlation between two gates on the same die is set by the
+global-to-local variance split of the process: shared die-to-die
+parameters correlate their delays, Pelgrom mismatch decorrelates them.
+
+:func:`estimate_stage_correlation` measures this directly, the way a
+foundry characterization team would: simulate two *independent
+instances* of the same reference arc under shared global draws and
+report the Pearson correlation of their delays. The result feeds
+:meth:`repro.core.sta.PathTiming.total_correlated`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cells.characterize import ArcCharacterizer, fanout_load
+from repro.cells.library import CellLibrary
+from repro.errors import CalibrationError
+from repro.spice.montecarlo import MonteCarloEngine
+from repro.units import PS
+
+
+def estimate_stage_correlation(
+    engine: MonteCarloEngine,
+    library: CellLibrary,
+    cell_name: str = "INVx1",
+    input_slew: float = 20 * PS,
+    n_samples: int = 1000,
+) -> float:
+    """Pearson correlation between two same-die instances of one arc.
+
+    Parameters
+    ----------
+    cell_name:
+        Reference cell; the unit inverter is the most mismatch-sensitive
+        (smallest devices), giving a conservative (low) estimate.
+    n_samples:
+        Monte-Carlo samples; the correlation estimate's standard error
+        is roughly ``(1 - rho^2) / sqrt(n)``.
+
+    Returns
+    -------
+    float
+        Correlation clipped to ``[0, 1]``.
+    """
+    characterizer = ArcCharacterizer(engine)
+    cell = library.get(cell_name)
+    load = fanout_load(cell, engine.tech)
+    globals_ = engine.sampler.draw_globals(n_samples)
+
+    delays = []
+    for _ in range(2):
+        setup = characterizer.arc_setup(cell, "A", input_slew, load)
+        result = engine.simulate(setup, n_samples, globals_=globals_)
+        if result.yield_fraction < 0.9:
+            raise CalibrationError(
+                f"correlation fixture yielded only {result.yield_fraction:.0%}"
+            )
+        delays.append(result.delay)
+
+    mask = np.isfinite(delays[0]) & np.isfinite(delays[1])
+    rho = float(np.corrcoef(delays[0][mask], delays[1][mask])[0, 1])
+    return float(np.clip(rho, 0.0, 1.0))

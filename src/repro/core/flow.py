@@ -1,0 +1,303 @@
+"""End-to-end delay-calibration flow (the paper's Fig. 5 pipeline).
+
+:class:`DelayCalibrationFlow` wires the whole stack together:
+
+1. **Characterize** the cell library with Monte-Carlo (moments +
+   empirical quantiles per arc over the slew×load grid);
+2. **Fit** the models: per-arc Eq. (2)/(3) moment calibrations, the
+   Table I N-sigma quantile regression (library-wide), and the Eq. (7)
+   wire variability weights from wire Monte-Carlo sweeps;
+3. **Analyze** circuits with the statistical STA (Eq. 10).
+
+Characterization is by far the expensive step, so the flow caches its
+artifacts as JSON in ``cache_dir``, keyed by a hash of every knob that
+affects the data (technology, variation, seeds, grids, sample counts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.characterize import (
+    DEFAULT_LOADS,
+    DEFAULT_SLEWS,
+    ArcCharacterizer,
+    LibraryCharacterization,
+    characterize_library,
+)
+from repro.cells.library import CellLibrary, build_default_library
+from repro.cells.liberty import (
+    load_library_characterization,
+    save_library_characterization,
+)
+from repro.core.calibration import CalibratedCellLibrary
+from repro.core.nsigma_cell import NSigmaCellModel
+from repro.core.nsigma_wire import WireVariabilityModel, fit_wire_model
+from repro.core.sta import STAResult, StatisticalSTA, TimingModels
+from repro.interconnect.generate import NetGenerator
+from repro.moments.stats import SIGMA_LEVELS, Moments
+from repro.netlist.circuit import Circuit
+from repro.units import PS, UM
+from repro.variation.parameters import Technology, VariationModel
+
+#: Default driver/load sweep used for wire-model fitting (FO1–FO8).
+DEFAULT_WIRE_CELLS = ("INVx1", "INVx2", "INVx4", "INVx8")
+
+
+class DelayCalibrationFlow:
+    """Characterize → calibrate → analyze, with on-disk caching.
+
+    Parameters
+    ----------
+    tech / variation:
+        Process description (defaults: the synthetic 28 nm-class setup).
+    seed:
+        Master seed; characterization, wire fitting and parasitic
+        generation derive their seeds from it.
+    cache_dir:
+        Directory for characterization/model JSON caches (None disables
+        caching).
+    n_samples:
+        Monte-Carlo samples per characterization point.
+    slews / loads:
+        Characterization grid.
+    wire_fit_samples / wire_fit_trees:
+        Fidelity of the Eq. (7) wire-weight calibration.
+    nsigma_fit_samples:
+        When larger than ``n_samples``, the Table I regression is
+        trained on a dedicated high-sample dataset (a few operating
+        conditions per cell simulated at this count) instead of the
+        full characterization grid. The ±3σ regression targets are
+        extreme order statistics whose noise scales badly with low
+        sample counts; a small deep dataset beats a large shallow one
+        for this fit.
+    cell_names:
+        Library subset to characterize (None = full library; the
+        default covers every type at pin A, falling arc).
+    """
+
+    def __init__(
+        self,
+        tech: Optional[Technology] = None,
+        variation: Optional[VariationModel] = None,
+        seed: int = 0,
+        cache_dir: Optional[str] = None,
+        n_samples: int = 2000,
+        slews: Sequence[float] = DEFAULT_SLEWS,
+        loads: Sequence[float] = DEFAULT_LOADS,
+        wire_fit_samples: int = 600,
+        wire_fit_trees: int = 2,
+        cell_names: Optional[Sequence[str]] = None,
+        both_edges: bool = True,
+        nsigma_fit_samples: int = 0,
+    ):
+        from repro.spice.montecarlo import MonteCarloEngine
+
+        self.tech = tech or Technology()
+        self.variation = variation or VariationModel()
+        self.seed = seed
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.n_samples = n_samples
+        self.slews = tuple(slews)
+        self.loads = tuple(loads)
+        self.wire_fit_samples = wire_fit_samples
+        self.wire_fit_trees = wire_fit_trees
+        self.library = build_default_library(self.tech)
+        self.cell_names = list(cell_names) if cell_names else self.library.names
+        self.both_edges = both_edges
+        self.nsigma_fit_samples = nsigma_fit_samples
+        self.engine = MonteCarloEngine(self.tech, self.variation, seed=seed)
+
+        self._charac: Optional[LibraryCharacterization] = None
+        self._models: Optional[TimingModels] = None
+
+    # ------------------------------------------------------------------
+    # Caching
+    # ------------------------------------------------------------------
+    def _cache_key(self) -> str:
+        payload = json.dumps(
+            {
+                "tech": asdict(self.tech),
+                "variation": asdict(self.variation),
+                "seed": self.seed,
+                "n_samples": self.n_samples,
+                "slews": self.slews,
+                "loads": self.loads,
+                "cells": self.cell_names,
+                "both_edges": self.both_edges,
+                "wire_fit": [self.wire_fit_samples, self.wire_fit_trees],
+            },
+            sort_keys=True,
+        )
+        return hashlib.md5(payload.encode()).hexdigest()[:16]
+
+    def _cache_path(self, kind: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        key = self._cache_key()
+        if kind == "models" and self.nsigma_fit_samples:
+            key = f"{key}_n{self.nsigma_fit_samples}"
+        return self.cache_dir / f"{kind}_{key}.json"
+
+    # ------------------------------------------------------------------
+    # Steps
+    # ------------------------------------------------------------------
+    def characterize(self) -> LibraryCharacterization:
+        """Run (or load cached) library characterization."""
+        if self._charac is not None:
+            return self._charac
+        path = self._cache_path("charac")
+        if path is not None and path.exists():
+            self._charac = load_library_characterization(path)
+            return self._charac
+        characterizer = ArcCharacterizer(self.engine)
+        self._charac = characterize_library(
+            characterizer,
+            self.library,
+            cells=self.cell_names,
+            slews=self.slews,
+            loads=self.loads,
+            n_samples=self.n_samples,
+            both_edges=self.both_edges,
+        )
+        if path is not None:
+            save_library_characterization(self._charac, path)
+        return self._charac
+
+    def fit_models(self) -> TimingModels:
+        """Fit all models (cached as one JSON bundle)."""
+        if self._models is not None:
+            return self._models
+        charac = self.characterize()
+        calibrated = CalibratedCellLibrary.fit(charac)
+
+        path = self._cache_path("models")
+        if path is not None and path.exists():
+            with path.open() as fh:
+                doc = json.load(fh)
+            nsigma = NSigmaCellModel.from_dict(doc["nsigma"])
+            wire = WireVariabilityModel.from_dict(doc["wire"])
+            stage_rho = float(doc.get("stage_correlation", 1.0))
+        else:
+            from repro.core.correlation import estimate_stage_correlation
+
+            nsigma = self._fit_nsigma(charac)
+            wire = self._fit_wire(calibrated)
+            stage_rho = estimate_stage_correlation(
+                self.engine, self.library,
+                n_samples=max(600, self.n_samples))
+            if path is not None:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                with path.open("w") as fh:
+                    json.dump(
+                        {
+                            "nsigma": nsigma.to_dict(),
+                            "wire": wire.to_dict(),
+                            "stage_correlation": stage_rho,
+                        },
+                        fh,
+                    )
+        self._models = TimingModels(
+            tech=self.tech,
+            library=self.library,
+            calibrated=calibrated,
+            nsigma=nsigma,
+            wire=wire,
+            stage_correlation=stage_rho,
+        )
+        return self._models
+
+    def _fit_nsigma(self, charac: LibraryCharacterization) -> NSigmaCellModel:
+        if self.nsigma_fit_samples > self.n_samples:
+            return self._fit_nsigma_deep()
+        moments: List[Moments] = []
+        quantiles: List[Dict[int, float]] = []
+        for table in charac.tables.values():
+            n_s, n_c, _ = table.moments.shape
+            for i in range(n_s):
+                for j in range(n_c):
+                    mu, sigma, skew, kurt = table.moments[i, j]
+                    moments.append(
+                        Moments(mu, sigma, skew, kurt, n=table.n_samples)
+                    )
+                    quantiles.append(
+                        {
+                            lvl: float(table.quantiles[i, j, k])
+                            for k, lvl in enumerate(SIGMA_LEVELS)
+                        }
+                    )
+        return NSigmaCellModel.fit(moments, quantiles)
+
+    def _fit_nsigma_deep(self) -> NSigmaCellModel:
+        """Train Table I on a few deep Monte-Carlo populations per cell.
+
+        The ±3σ regression targets are the 0.135 %/99.865 % order
+        statistics: at the (broad, shallow) characterization-grid sample
+        count they are noise-dominated, so a dedicated dataset — three
+        operating conditions per cell at ``nsigma_fit_samples`` — gives
+        the fit cleaner targets at modest extra cost.
+        """
+        from repro.cells.characterize import (
+            REFERENCE_LOAD,
+            REFERENCE_SLEW,
+            ArcCharacterizer,
+            fanout_load,
+        )
+        from repro.moments.stats import empirical_sigma_quantiles
+
+        characterizer = ArcCharacterizer(self.engine)
+        moments: List[Moments] = []
+        quantiles: List[Dict[int, float]] = []
+        mid_slew = self.slews[len(self.slews) // 2]
+        mid_load = self.loads[len(self.loads) // 2]
+        for name in self.cell_names:
+            cell = self.library.get(name)
+            conditions = [
+                (REFERENCE_SLEW, REFERENCE_LOAD),
+                (mid_slew, mid_load),
+                (20e-12, fanout_load(cell, self.tech)),
+            ]
+            for edge in ((False, True) if self.both_edges else (False,)):
+                for slew, load in conditions:
+                    res = characterizer.simulate_arc(
+                        cell, "A", slew, load, self.nsigma_fit_samples,
+                        output_rising=edge)
+                    d = res.delay[res.valid]
+                    moments.append(Moments.from_samples(d))
+                    quantiles.append(empirical_sigma_quantiles(d))
+        return NSigmaCellModel.fit(moments, quantiles)
+
+    def _fit_wire(self, calibrated: CalibratedCellLibrary) -> WireVariabilityModel:
+        gen = NetGenerator(self.tech, seed=self.seed + 101)
+        trees = [
+            gen.random_net(mean_length=50 * UM, max_branches=1)
+            for _ in range(self.wire_fit_trees)
+        ]
+        model, _ = fit_wire_model(
+            self.engine,
+            self.library,
+            calibrated,
+            trees,
+            driver_names=DEFAULT_WIRE_CELLS,
+            load_names=DEFAULT_WIRE_CELLS,
+            n_samples=self.wire_fit_samples,
+        )
+        return model
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        circuit: Circuit,
+        input_slew: float = 20 * PS,
+        levels: Iterable[int] = SIGMA_LEVELS,
+    ) -> STAResult:
+        """Run the statistical STA on a parasitic-annotated circuit."""
+        models = self.fit_models()
+        sta = StatisticalSTA(circuit, models, input_slew=input_slew)
+        return sta.analyze(levels)

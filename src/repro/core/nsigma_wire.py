@@ -1,0 +1,310 @@
+"""The N-sigma wire delay model (Eqs. 4–9).
+
+The wire delay mean is the Elmore delay (Eq. 4); its variability
+``X_w = sigma_w / mu_w`` is modeled from the *cells* at its two ends:
+
+* every cell has a variability ratio ``sigma/mu`` that scales by
+  Pelgrom's law as ``1/sqrt(n_stack * strength)`` (Eq. 5);
+* normalizing by the FO4 inverter (INVx4) gives the cell-specific
+  coefficients ``X_FI`` (driver) and ``X_FO`` (load) (Eq. 6);
+* the wire variability is a linear combination of the driver and load
+  ratios (Eq. 7), here with fitted weights plus — as a reproduction
+  extension — an intercept ``X_0`` absorbing the BEOL (wire R/C)
+  variation floor that the paper's formulation folds into its fitted
+  coefficients;
+* quantiles follow as ``T_w(n) = (1 + n * X_w) * T_Elmore`` (Eqs. 8–9).
+
+The module also provides the wire Monte-Carlo test bench (driver cell →
+RC tree → load cell) used both for fitting the weights and for the
+Fig. 7–10 benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CalibrationError
+from repro.cells.library import Cell, CellLibrary
+from repro.core.calibration import CalibratedCellLibrary
+from repro.interconnect.metrics import elmore_delay
+from repro.interconnect.rctree import RCTree
+from repro.moments.regression import fit_linear
+from repro.moments.stats import Moments
+from repro.spice.measure import ramp_time_for_slew
+from repro.spice.montecarlo import DelaySamples, MonteCarloEngine, SimulationSetup
+from repro.spice.netlist import PiecewiseLinearSource, TransistorNetlist
+from repro.units import FF, PS
+from repro.variation.pelgrom import stacked_variability_scale
+
+#: The paper's FO4 baseline cell.
+FO4_BASELINE_CELL = "INVx4"
+
+
+def cell_variability_ratio(
+    calibrated: CalibratedCellLibrary, cell_name: str, pin: str = "A"
+) -> float:
+    """Reference-condition delay variability ``sigma/mu`` of a cell.
+
+    This is the "cell-specific" quantity of Eq. (6): evaluated at the
+    library reference operating condition so it is a property of the
+    cell, not of a particular instantiation.
+    """
+    arc = calibrated.get(cell_name, pin, output_rising=False)
+    return arc.ref.variability
+
+
+def predicted_coefficient(cell: Cell, baseline: Cell) -> float:
+    """Pelgrom-law prediction of ``X`` relative to the baseline (Eq. 5/6).
+
+    ``X = sqrt(n_base * strength_base) / sqrt(n_cell * strength_cell)`` —
+    the benchmark for Fig. 9 compares this prediction against the
+    measured ratio.
+    """
+    return stacked_variability_scale(cell.n_stack, cell.strength) / (
+        stacked_variability_scale(baseline.n_stack, baseline.strength)
+    )
+
+
+# ----------------------------------------------------------------------
+# Wire Monte-Carlo test bench
+# ----------------------------------------------------------------------
+def build_wire_setup(
+    tech,
+    library: CellLibrary,
+    driver_name: str,
+    load_name: str,
+    tree: RCTree,
+    sink: Optional[str] = None,
+    input_slew: float = 20 * PS,
+    output_rising: bool = False,
+    load_output_cap: float = 0.4 * FF,
+) -> Tuple[SimulationSetup, str]:
+    """Build the driver → RC tree → load-cell bench of the wire experiments.
+
+    Returns the :class:`~repro.spice.montecarlo.SimulationSetup`
+    (measuring the root→sink wire delay via ``reference_node``) and the
+    sink's circuit node name.
+    """
+    driver = library.get(driver_name)
+    load_cell = library.get(load_name)
+    sink = sink or tree.leaves()[0]
+    vdd = tech.vdd
+
+    net = TransistorNetlist()
+    net.fix("vdd", vdd)
+    # Inverting driver: a rising input gives a falling wire transition.
+    input_rising = not output_rising
+    v_from = 0.0 if input_rising else vdd
+    ramp = PiecewiseLinearSource.ramp(
+        v_from, vdd - v_from, t_start=5 * PS, ramp_time=ramp_time_for_slew(input_slew)
+    )
+    net.fix("in", ramp)
+    drv_nodes = {"A": "in", "Y": "drv_out"}
+    for side, value in driver.arc("A").static.items():
+        node = f"drv_static_{side}"
+        net.fix(node, vdd * value)
+        drv_nodes[side] = node
+    driver.build(net, "drv", drv_nodes, tech)
+
+    work_tree = tree.copy()
+    mapping = work_tree.embed(net, "w", "drv_out")
+    sink_node = mapping[sink]
+
+    ld_nodes = {"A": sink_node, "Y": "ld_out"}
+    for side, value in load_cell.arc("A").static.items():
+        node = f"ld_static_{side}"
+        net.fix(node, vdd * value)
+        ld_nodes[side] = node
+    load_cell.build(net, "ld", ld_nodes, tech)
+    net.add_capacitor("c_ld_out", "ld_out", load_output_cap)
+
+    rail = 0.0 if output_rising else vdd
+    initial = {"drv_out": rail, "ld_out": vdd - rail}
+    for name, node in mapping.items():
+        if name != tree.root:
+            initial[node] = rail
+    setup = SimulationSetup(
+        netlist=net,
+        input_node="in",
+        output_node=sink_node,
+        input_rising=input_rising,
+        output_rising=output_rising,
+        reference_node="drv_out",
+        reference_rising=output_rising,
+        initial_voltages=initial,
+    )
+    return setup, sink_node
+
+
+def annotated_elmore(
+    tech,
+    library: CellLibrary,
+    tree: RCTree,
+    sink: str,
+    load_name: str,
+    load_pin: str = "A",
+) -> float:
+    """Elmore delay to ``sink`` with the receiver pin cap at its tap.
+
+    The paper's ``T_Elmore`` (Eq. 4) is computed on SPEF parasitics that
+    include receiver pin loading; a bare-tree Elmore systematically
+    underestimates the measured root→sink delay when the receiver cap is
+    a sizeable share of the net capacitance.
+    """
+    work = tree.copy()
+    work.add_cap(sink, library.get(load_name).input_cap(load_pin, tech))
+    return float(elmore_delay(work, sink))
+
+
+def measure_wire_variability(
+    engine: MonteCarloEngine,
+    library: CellLibrary,
+    driver_name: str,
+    load_name: str,
+    tree: RCTree,
+    sink: Optional[str] = None,
+    input_slew: float = 20 * PS,
+    n_samples: int = 1000,
+) -> Tuple[Moments, DelaySamples]:
+    """Monte-Carlo moments of one wire's root→sink delay."""
+    setup, _ = build_wire_setup(
+        engine.tech, library, driver_name, load_name, tree, sink, input_slew
+    )
+    samples = engine.simulate(setup, n_samples)
+    return Moments.from_samples(samples.delay[samples.valid]), samples
+
+
+# ----------------------------------------------------------------------
+# The fitted model
+# ----------------------------------------------------------------------
+@dataclass
+class WireVariabilityModel:
+    """Fitted Eq. (7) weights mapping cell ratios to wire variability.
+
+    Attributes
+    ----------
+    weight_fi / weight_fo:
+        Fitted weights on the driver / load cell variability ratios.
+    intercept:
+        BEOL variability floor ``X_0`` (reproduction extension; set
+        ``fit(..., with_intercept=False)`` for the paper-literal form).
+    fo4_ratio:
+        Reference variability of the FO4 baseline cell (for expressing
+        the cell-specific coefficients ``X_FI``/``X_FO`` of Eq. 6).
+    r_squared / residual_rms:
+        Training diagnostics.
+    """
+
+    weight_fi: float
+    weight_fo: float
+    intercept: float
+    fo4_ratio: float
+    r_squared: float = 0.0
+    residual_rms: float = 0.0
+
+    @classmethod
+    def fit(
+        cls,
+        observations: Sequence[Tuple[float, float, float]],
+        fo4_ratio: float,
+        with_intercept: bool = True,
+    ) -> "WireVariabilityModel":
+        """Fit the weights from (ratio_fi, ratio_fo, measured_Xw) triples."""
+        if len(observations) < (3 if with_intercept else 2):
+            raise CalibrationError(
+                f"need more observations than coefficients, got {len(observations)}"
+            )
+        obs = np.asarray(observations, dtype=float)
+        cols = [obs[:, 0], obs[:, 1]]
+        if with_intercept:
+            cols.append(np.ones(obs.shape[0]))
+        x = np.stack(cols, axis=1)
+        fit = fit_linear(x, obs[:, 2])
+        coef = fit.coef
+        return cls(
+            weight_fi=float(coef[0]),
+            weight_fo=float(coef[1]),
+            intercept=float(coef[2]) if with_intercept else 0.0,
+            fo4_ratio=fo4_ratio,
+            r_squared=fit.r_squared,
+            residual_rms=fit.residual_rms,
+        )
+
+    # -- Eq. (6): cell-specific coefficients --------------------------
+    def x_coefficient(self, cell_ratio: float) -> float:
+        """Normalized cell coefficient ``X = (sigma/mu) / (sigma/mu)_FO4``."""
+        return cell_ratio / self.fo4_ratio
+
+    # -- Eq. (7)/(8)/(9) -----------------------------------------------
+    def wire_variability(self, ratio_fi: float, ratio_fo: float) -> float:
+        """``X_w`` for a wire with the given driver/load cell ratios."""
+        return max(
+            0.0, self.intercept + self.weight_fi * ratio_fi + self.weight_fo * ratio_fo
+        )
+
+    def wire_sigma(self, elmore: float, ratio_fi: float, ratio_fo: float) -> float:
+        """Eq. (8): ``sigma_w = T_Elmore * X_w``."""
+        return elmore * self.wire_variability(ratio_fi, ratio_fo)
+
+    def wire_quantile(
+        self, elmore: float, ratio_fi: float, ratio_fo: float, level: int
+    ) -> float:
+        """Eq. (9): ``T_w(n sigma) = (1 + n X_w) * T_Elmore``."""
+        return (1.0 + level * self.wire_variability(ratio_fi, ratio_fo)) * elmore
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "weight_fi": self.weight_fi,
+            "weight_fo": self.weight_fo,
+            "intercept": self.intercept,
+            "fo4_ratio": self.fo4_ratio,
+            "r_squared": self.r_squared,
+            "residual_rms": self.residual_rms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WireVariabilityModel":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+def fit_wire_model(
+    engine: MonteCarloEngine,
+    library: CellLibrary,
+    calibrated: CalibratedCellLibrary,
+    trees: Sequence[RCTree],
+    driver_names: Sequence[str],
+    load_names: Sequence[str],
+    input_slew: float = 20 * PS,
+    n_samples: int = 800,
+    with_intercept: bool = True,
+) -> Tuple[WireVariabilityModel, List[Tuple[float, float, float]]]:
+    """Calibrate Eq. (7) against wire Monte-Carlo sweeps.
+
+    Sweeps every (tree × driver × load) combination, measures the wire
+    variability, and regresses it on the cells' reference variability
+    ratios. Returns the fitted model and the raw observations (useful
+    for the Fig. 9/10 benchmarks).
+    """
+    fo4_ratio = cell_variability_ratio(calibrated, FO4_BASELINE_CELL)
+    observations: List[Tuple[float, float, float]] = []
+    for tree in trees:
+        for drv in driver_names:
+            for ld in load_names:
+                moments, _ = measure_wire_variability(
+                    engine, library, drv, ld, tree, input_slew=input_slew,
+                    n_samples=n_samples,
+                )
+                observations.append(
+                    (
+                        cell_variability_ratio(calibrated, drv),
+                        cell_variability_ratio(calibrated, ld),
+                        moments.variability,
+                    )
+                )
+    model = WireVariabilityModel.fit(observations, fo4_ratio, with_intercept)
+    return model, observations

@@ -1,0 +1,101 @@
+"""Human-readable timing reports.
+
+Formats :class:`~repro.core.sta.STAResult` / :class:`~repro.core.sta.PathTiming`
+objects in the style of a sign-off timer's path report, plus a
+comparison table against a golden Monte-Carlo run. Pure formatting —
+no computation — so examples, the CLI and notebooks can share one
+faithful presentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.core.sta import PathTiming, STAResult
+from repro.moments.stats import SIGMA_LEVELS
+from repro.units import FF, PS
+
+
+def format_path_report(result: STAResult, max_stages: Optional[int] = None) -> str:
+    """A timer-style critical-path report.
+
+    Parameters
+    ----------
+    max_stages:
+        Truncate long paths after this many stages (None = all).
+    """
+    path = result.critical_path
+    lines = [
+        f"Startpoint/Endpoint report — {result.circuit_name}",
+        f"critical path: {path.n_cells} cells, "
+        f"mean delay {path.total(0) / PS:.2f} ps "
+        f"(cells {path.cell_total / PS:.2f} + wires {path.wire_total / PS:.2f})",
+        "",
+        f"{'#':>3} {'instance':<14} {'cell':<9} {'edge':<4} {'slew(ps)':>8} "
+        f"{'load(fF)':>8} {'cell(ps)':>9} {'wire(ps)':>9} {'arrival':>9}",
+    ]
+    arrival = 0.0
+    stages = path.stages if max_stages is None else path.stages[:max_stages]
+    for k, stage in enumerate(stages):
+        cell_d = stage.cell_quantiles.get(0, 0.0)
+        wire_d = stage.wire_quantiles.get(0, 0.0)
+        arrival += cell_d + wire_d
+        name = stage.gate or "(launch)"
+        cell = stage.cell_name or "-"
+        edge = "rise" if stage.output_rising else "fall"
+        lines.append(
+            f"{k:>3} {name:<14} {cell:<9} {edge:<4} "
+            f"{stage.input_slew / PS:>8.1f} {stage.load / FF:>8.2f} "
+            f"{cell_d / PS:>9.2f} {wire_d / PS:>9.2f} {arrival / PS:>9.2f}"
+        )
+    if max_stages is not None and len(path.stages) > max_stages:
+        lines.append(f"    ... {len(path.stages) - max_stages} more stages")
+    lines.append("")
+    lines.append("sigma-level path delays (Eq. 10):")
+    for level in path.levels:
+        lines.append(f"  {level:+d}σ : {path.total(level) / PS:10.2f} ps")
+    lines.append(f"analysis runtime: {result.runtime_s:.4f} s")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    model: PathTiming,
+    golden_quantiles: Dict[int, float],
+    levels: Iterable[int] = SIGMA_LEVELS,
+    golden_label: str = "Monte-Carlo",
+) -> str:
+    """Model-vs-golden quantile table with relative errors."""
+    lines = [
+        f"{'level':>6} {'model(ps)':>11} {f'{golden_label}(ps)':>15} {'error':>8}",
+    ]
+    for level in levels:
+        if level not in golden_quantiles:
+            continue
+        m = model.total(level)
+        g = golden_quantiles[level]
+        err = (m - g) / g if g else float("nan")
+        lines.append(
+            f"{level:+6d} {m / PS:>11.2f} {g / PS:>15.2f} {err:>+8.1%}"
+        )
+    return "\n".join(lines)
+
+
+def format_stage_budget(path: PathTiming, top: int = 5) -> str:
+    """The ``top`` slowest stages with their share of the path mean."""
+    total = path.total(0)
+    if total <= 0:
+        return "path has zero mean delay"
+    cells = [s for s in path.stages if s.cell_name]
+    ranked = sorted(
+        cells,
+        key=lambda s: s.cell_quantiles.get(0, 0.0) + s.wire_quantiles.get(0, 0.0),
+        reverse=True,
+    )[:top]
+    lines = [f"top {len(ranked)} stages by mean delay:"]
+    for s in ranked:
+        d = s.cell_quantiles.get(0, 0.0) + s.wire_quantiles.get(0, 0.0)
+        lines.append(
+            f"  {s.gate:<14} {s.cell_name:<9} {d / PS:8.2f} ps "
+            f"({d / total:5.1%} of path)"
+        )
+    return "\n".join(lines)

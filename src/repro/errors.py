@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised when a transient simulation fails to converge or is ill-posed."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed transistor- or gate-level netlists."""
+
+
+class CharacterizationError(ReproError):
+    """Raised when cell characterization cannot produce valid moment tables."""
+
+
+class CalibrationError(ReproError):
+    """Raised when model calibration (regression / interpolation) fails."""
+
+
+class InterconnectError(ReproError):
+    """Raised for malformed RC trees or SPEF input."""
+
+
+class TimingError(ReproError):
+    """Raised by the STA engine for unusable timing graphs (cycles, dangling pins)."""

@@ -1,0 +1,37 @@
+"""Interconnect substrate: RC trees, delay metrics, SPEF subset, generators.
+
+Replaces the paper's IC-Compiler-extracted SPEF parasitics with
+synthetic-but-realistic RC trees:
+
+* :mod:`repro.interconnect.rctree` — the tree structure and its
+  embedding into transistor netlists;
+* :mod:`repro.interconnect.metrics` — Elmore (Eq. 4), the second
+  impulse-response moment, and the D2M metric;
+* :mod:`repro.interconnect.spef` — a reader/writer for the SPEF subset
+  the flow consumes (``*D_NET`` / ``*CAP`` / ``*RES``);
+* :mod:`repro.interconnect.generate` — seeded random net topologies with
+  per-unit-length R/C from the technology.
+"""
+
+from repro.interconnect.rctree import RCTree
+from repro.interconnect.metrics import (
+    d2m_delay,
+    elmore_delay,
+    impulse_moments,
+)
+from repro.interconnect.spef import read_spef, write_spef
+from repro.interconnect.generate import NetGenerator
+from repro.interconnect.reduction import PiModel, effective_capacitance, pi_model
+
+__all__ = [
+    "RCTree",
+    "elmore_delay",
+    "impulse_moments",
+    "d2m_delay",
+    "read_spef",
+    "write_spef",
+    "NetGenerator",
+    "PiModel",
+    "pi_model",
+    "effective_capacitance",
+]

@@ -1,0 +1,111 @@
+"""Synthetic parasitic generation.
+
+The paper's RC values are "randomly chosen from the parasitic files" of
+a placed-and-routed design. :class:`NetGenerator` plays that role: it
+draws seeded random net topologies (chains with optional branches, as a
+router would produce for low-fanout standard-cell nets) with per-unit-
+length R/C taken from the technology constants, segmented finely enough
+that distributed-RC behaviour (resistive shielding) is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import InterconnectError
+from repro.interconnect.rctree import RCTree
+from repro.units import UM
+from repro.variation.parameters import Technology
+
+
+@dataclass
+class NetGenerator:
+    """Seeded random generator of routed-net RC trees.
+
+    Parameters
+    ----------
+    tech:
+        Supplies nominal Ω/m and F/m.
+    seed:
+        RNG seed; the same seed reproduces the same sequence of nets.
+    segment_length:
+        Routing is discretized into segments of this length (meters);
+        shorter segments model distributed RC more finely at higher
+        simulation cost.
+    """
+
+    tech: Technology
+    seed: int = 0
+    segment_length: float = 5.0 * UM
+    max_segments: int = 10
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def chain(self, length: float, name: str = "net") -> RCTree:
+        """A point-to-point route of the given total length (meters).
+
+        Long routes are discretized into at most ``max_segments``
+        sections: enough to show distributed-RC shielding while keeping
+        the Monte-Carlo node count (solver cost is cubic in nodes) flat.
+        """
+        if length <= 0:
+            raise InterconnectError("net length must be positive")
+        n_seg = max(1, min(self.max_segments, int(round(length / self.segment_length))))
+        seg_len = length / n_seg
+        r = self.tech.wire_r_per_m * seg_len
+        c = self.tech.wire_c_per_m * seg_len
+        tree = RCTree("root")
+        parent = "root"
+        for k in range(n_seg):
+            node = f"{name}_{k + 1}"
+            tree.add_segment(node, parent, r, c)
+            parent = node
+        return tree
+
+    def random_net(
+        self,
+        mean_length: float = 40.0 * UM,
+        max_branches: int = 2,
+        name: str = "net",
+    ) -> RCTree:
+        """A random routed net: a trunk with 0–``max_branches`` side branches.
+
+        Trunk length is log-normal around ``mean_length`` (routed net
+        lengths are heavy-tailed); branch points and branch lengths are
+        uniform. All sinks are leaves of the returned tree.
+        """
+        trunk_len = float(
+            np.clip(
+                self._rng.lognormal(np.log(mean_length), 0.5),
+                5.0 * UM,
+                20 * mean_length,
+            )
+        )
+        tree = self.chain(trunk_len, name=f"{name}_t")
+        trunk_nodes = [n for n in tree.topological() if n != tree.root]
+        n_branches = int(self._rng.integers(0, max_branches + 1))
+        for b in range(n_branches):
+            if not trunk_nodes:
+                break
+            attach = trunk_nodes[int(self._rng.integers(0, len(trunk_nodes)))]
+            branch_len = float(self._rng.uniform(0.25, 0.75)) * trunk_len
+            n_seg = max(
+                1, min(self.max_segments, int(round(branch_len / self.segment_length)))
+            )
+            seg_len = branch_len / n_seg
+            r = self.tech.wire_r_per_m * seg_len
+            c = self.tech.wire_c_per_m * seg_len
+            parent = attach
+            for k in range(n_seg):
+                node = f"{name}_b{b}_{k + 1}"
+                tree.add_segment(node, parent, r, c)
+                parent = node
+        return tree
+
+    def paper_example_net(self) -> RCTree:
+        """A fixed medium-length net for the Fig. 7 style single-net studies."""
+        return self.chain(60.0 * UM, name="fig7")

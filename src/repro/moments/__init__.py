@@ -1,0 +1,45 @@
+"""Statistics substrate: moments, sigma-level quantiles, distribution fits.
+
+The paper's models speak the language of the first four standardized
+moments ``[mu, sigma, gamma (skewness), kappa (kurtosis)]`` and of
+"sigma levels" — the Gaussian-named quantiles 0.14 %, 2.28 %, 15.87 %,
+50 %, 84.13 %, 97.72 %, 99.86 % written ``-3sigma … +3sigma``. This
+package provides those primitives plus the comparison distributions
+(skew-normal, log-skew-normal [12], Burr XII [13]) and small regression
+helpers used by the calibration fits.
+"""
+
+from repro.moments.stats import (
+    Moments,
+    SIGMA_LEVELS,
+    empirical_sigma_quantiles,
+    quantile_standard_error,
+    sigma_level_fraction,
+)
+from repro.moments.distributions import (
+    BurrXII,
+    LogSkewNormal,
+    SkewNormal,
+)
+from repro.moments.regression import (
+    LinearFit,
+    fit_linear,
+    polynomial_features,
+)
+from repro.moments.streaming import ReservoirQuantiles, StreamingMoments
+
+__all__ = [
+    "StreamingMoments",
+    "ReservoirQuantiles",
+    "Moments",
+    "SIGMA_LEVELS",
+    "sigma_level_fraction",
+    "empirical_sigma_quantiles",
+    "quantile_standard_error",
+    "SkewNormal",
+    "LogSkewNormal",
+    "BurrXII",
+    "LinearFit",
+    "fit_linear",
+    "polynomial_features",
+]

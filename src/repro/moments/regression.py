@@ -1,0 +1,133 @@
+"""Small regression helpers used by the calibration fits.
+
+The paper fits its Table I coefficients "through linear regression ...
+through MATLAB"; here :func:`fit_linear` is the equivalent (ordinary
+least squares with optional ridge damping), and
+:func:`polynomial_features` builds the ``[ΔS, ΔC, ΔS², ...]`` feature
+columns of the Eq. (2)/(3) interpolators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of an ordinary-least-squares fit ``y ≈ X @ coef``.
+
+    Attributes
+    ----------
+    coef:
+        Coefficient vector, one entry per feature column.
+    residual_rms:
+        Root-mean-square residual on the training data.
+    r_squared:
+        Coefficient of determination on the training data.
+    """
+
+    coef: np.ndarray
+    residual_rms: float
+    r_squared: float
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Evaluate the fit on new feature rows."""
+        return np.asarray(features, dtype=float) @ self.coef
+
+
+def fit_linear(
+    features: np.ndarray,
+    targets: np.ndarray,
+    ridge: float = 0.0,
+    weights: Optional[np.ndarray] = None,
+) -> LinearFit:
+    """Least-squares fit of ``targets`` on ``features``.
+
+    Parameters
+    ----------
+    features:
+        ``(n_obs, n_features)`` design matrix (build an explicit
+        constant column if an intercept is wanted).
+    targets:
+        ``(n_obs,)`` response vector.
+    ridge:
+        Tikhonov damping added to the normal equations; stabilizes
+        nearly collinear designs such as the ``σκ`` / ``γκ`` columns of
+        Table I when the characterization grid is small.
+    weights:
+        Optional per-observation weights (e.g. inverse quantile
+        standard errors).
+    """
+    x = np.asarray(features, dtype=float)
+    y = np.asarray(targets, dtype=float)
+    if x.ndim != 2:
+        raise CalibrationError(f"features must be 2-D, got shape {x.shape}")
+    if y.shape != (x.shape[0],):
+        raise CalibrationError(
+            f"targets shape {y.shape} does not match {x.shape[0]} observations"
+        )
+    if x.shape[0] < x.shape[1]:
+        raise CalibrationError(
+            f"underdetermined fit: {x.shape[0]} observations, {x.shape[1]} features"
+        )
+    if weights is not None:
+        w = np.sqrt(np.asarray(weights, dtype=float))
+        x = x * w[:, None]
+        y = y * w
+    if ridge > 0.0:
+        # Scale-aware damping: normalize by each column's RMS so ridge
+        # strength is dimensionless.
+        col_rms = np.sqrt(np.mean(x**2, axis=0))
+        col_rms[col_rms == 0.0] = 1.0
+        a = x.T @ x + ridge * np.diag(col_rms**2)
+        coef = np.linalg.solve(a, x.T @ y)
+    else:
+        coef, *_ = np.linalg.lstsq(x, y, rcond=None)
+    resid = y - x @ coef
+    rms = float(np.sqrt(np.mean(resid**2)))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r2 = 1.0 - float(np.sum(resid**2)) / ss_tot if ss_tot > 0 else 1.0
+    return LinearFit(coef=np.asarray(coef), residual_rms=rms, r_squared=r2)
+
+
+def polynomial_features(
+    ds: np.ndarray,
+    dc: np.ndarray,
+    degree: int,
+    cross: bool = True,
+) -> np.ndarray:
+    """Feature columns of the Eq. (2)/(3) operating-condition interpolators.
+
+    For ``degree = 1`` (Eq. 2): ``[ΔS, ΔC]`` (+ ``ΔS·ΔC`` if ``cross``).
+    For ``degree = 3`` (Eq. 3): ``[ΔS, ΔC, ΔS², ΔC², ΔS³, ΔC³]``
+    (+ cross term). No constant column — the reference moments are the
+    intercept by construction.
+
+    Parameters
+    ----------
+    ds, dc:
+        Operating-condition deviations ``ΔS = S - S_ref`` and
+        ``ΔC = C - C_ref``; arrays broadcast to a common shape.
+    degree:
+        Highest pure power of each deviation (1, 2 or 3).
+    cross:
+        Include the ``ΔS·ΔC`` interaction column (the paper keeps it in
+        both interpolators "to ensure the accuracy").
+    """
+    if degree not in (1, 2, 3):
+        raise CalibrationError(f"degree must be 1, 2 or 3, got {degree}")
+    ds = np.atleast_1d(np.asarray(ds, dtype=float))
+    dc = np.atleast_1d(np.asarray(dc, dtype=float))
+    ds, dc = np.broadcast_arrays(ds, dc)
+    cols = []
+    for p in range(1, degree + 1):
+        cols.append(ds**p)
+        cols.append(dc**p)
+    if cross:
+        cols.append(ds * dc)
+    return np.stack(cols, axis=-1)

@@ -1,0 +1,160 @@
+"""Streaming (single-pass, mergeable) estimation of the first four moments.
+
+Characterizing a large library at 10k+ samples per point need not hold
+every delay sample in memory: :class:`StreamingMoments` accumulates the
+first four central moments online using the numerically stable
+Pébay/Chan update formulas, and two accumulators can be merged — which
+also makes chunked or distributed Monte-Carlo trivially reducible.
+
+The quantile side (which genuinely needs order statistics) is covered
+by :class:`ReservoirQuantiles`, a fixed-size uniform reservoir whose
+sigma-level quantile estimates converge to the population's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.moments.stats import SIGMA_LEVELS, Moments, sigma_level_fraction
+
+
+class StreamingMoments:
+    """Single-pass accumulator of ``[mu, sigma, skew, kurt]``.
+
+    Update/merge formulas follow Pébay (2008); results match the batch
+    estimator of :meth:`repro.moments.stats.Moments.from_samples` to
+    floating-point accuracy (tested).
+    """
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._m3 = 0.0
+        self._m4 = 0.0
+
+    def add(self, value: float) -> None:
+        """Add one observation (NaN values are ignored)."""
+        if not np.isfinite(value):
+            return
+        n1 = self.n
+        self.n += 1
+        delta = value - self._mean
+        delta_n = delta / self.n
+        delta_n2 = delta_n * delta_n
+        term1 = delta * delta_n * n1
+        self._mean += delta_n
+        self._m4 += (
+            term1 * delta_n2 * (self.n * self.n - 3 * self.n + 3)
+            + 6 * delta_n2 * self._m2
+            - 4 * delta_n * self._m3
+        )
+        self._m3 += term1 * delta_n * (self.n - 2) - 3 * delta_n * self._m2
+        self._m2 += term1
+
+    def add_many(self, values: Iterable[float]) -> "StreamingMoments":
+        """Add a batch (returns self for chaining)."""
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                         dtype=float)
+        for v in arr.ravel():
+            self.add(float(v))
+        return self
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Combine two accumulators (Chan parallel update); returns a new one."""
+        if self.n == 0:
+            out = StreamingMoments()
+            out.__dict__.update(other.__dict__)
+            return out
+        if other.n == 0:
+            out = StreamingMoments()
+            out.__dict__.update(self.__dict__)
+            return out
+        a, b = self, other
+        n = a.n + b.n
+        delta = b._mean - a._mean
+        delta2 = delta * delta
+        out = StreamingMoments()
+        out.n = n
+        out._mean = a._mean + delta * b.n / n
+        out._m2 = a._m2 + b._m2 + delta2 * a.n * b.n / n
+        out._m3 = (
+            a._m3 + b._m3
+            + delta**3 * a.n * b.n * (a.n - b.n) / (n * n)
+            + 3.0 * delta * (a.n * b._m2 - b.n * a._m2) / n
+        )
+        out._m4 = (
+            a._m4 + b._m4
+            + delta2 * delta2 * a.n * b.n * (a.n * a.n - a.n * b.n + b.n * b.n) / (n**3)
+            + 6.0 * delta2 * (a.n * a.n * b._m2 + b.n * b.n * a._m2) / (n * n)
+            + 4.0 * delta * (a.n * b._m3 - b.n * a._m3) / n
+        )
+        return out
+
+    def moments(self) -> Moments:
+        """Finalize into a :class:`~repro.moments.stats.Moments`.
+
+        Raises
+        ------
+        ValueError
+            With fewer than 8 observations (matching the batch API).
+        """
+        if self.n < 8:
+            raise ValueError(f"need >= 8 observations, have {self.n}")
+        variance = self._m2 / self.n
+        sigma = float(np.sqrt(variance))
+        if sigma == 0.0:
+            return Moments(mu=self._mean, sigma=0.0, skew=0.0, kurt=3.0, n=self.n)
+        skew = (self._m3 / self.n) / sigma**3
+        kurt = (self._m4 / self.n) / sigma**4
+        return Moments(mu=self._mean, sigma=sigma, skew=float(skew),
+                       kurt=float(kurt), n=self.n)
+
+
+class ReservoirQuantiles:
+    """Fixed-memory quantile estimation via uniform reservoir sampling.
+
+    Holds at most ``capacity`` samples; each incoming observation
+    replaces a random slot with the classical reservoir probability, so
+    the retained set is a uniform subsample of the stream and its
+    empirical quantiles are consistent estimators.
+    """
+
+    def __init__(self, capacity: int = 4096, seed: Optional[int] = None):
+        if capacity < 16:
+            raise ValueError("capacity must be >= 16")
+        self.capacity = capacity
+        self._rng = np.random.default_rng(seed)
+        self._buffer = np.empty(capacity)
+        self.n_seen = 0
+
+    def add(self, value: float) -> None:
+        """Offer one observation to the reservoir (NaNs ignored)."""
+        if not np.isfinite(value):
+            return
+        if self.n_seen < self.capacity:
+            self._buffer[self.n_seen] = value
+        else:
+            j = int(self._rng.integers(0, self.n_seen + 1))
+            if j < self.capacity:
+                self._buffer[j] = value
+        self.n_seen += 1
+
+    def add_many(self, values: Iterable[float]) -> "ReservoirQuantiles":
+        """Offer a batch; returns self."""
+        for v in np.asarray(list(values) if not isinstance(values, np.ndarray)
+                            else values, dtype=float).ravel():
+            self.add(float(v))
+        return self
+
+    def sigma_quantiles(self, levels=SIGMA_LEVELS) -> "dict[int, float]":
+        """Empirical sigma-level quantiles of the retained sample."""
+        if self.n_seen == 0:
+            raise ValueError("no observations")
+        data = self._buffer[: min(self.n_seen, self.capacity)]
+        return {
+            n: float(np.quantile(data, sigma_level_fraction(n))) for n in levels
+        }

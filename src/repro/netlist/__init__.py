@@ -1,0 +1,49 @@
+"""Gate-level netlist substrate.
+
+Replaces the paper's Design-Compiler-mapped ISCAS85 / PULPino netlists:
+
+* :mod:`repro.netlist.circuit` — circuits, gate instances, nets (with
+  attached RC parasitics), topological utilities;
+* :mod:`repro.netlist.verilog` — structural-Verilog subset I/O;
+* :mod:`repro.netlist.generators` — exact gate-level constructions
+  (ripple adder, subtractor, array multiplier, restoring divider) used
+  as the PULPino functional units;
+* :mod:`repro.netlist.benchmarks` — the ISCAS85-like synthetic circuit
+  family with the paper's per-circuit size statistics, plus parasitic
+  attachment.
+"""
+
+from repro.netlist.circuit import Circuit, GateInst, Net
+from repro.netlist.verilog import read_verilog, write_verilog
+from repro.netlist.generators import (
+    build_adder,
+    build_divider,
+    build_multiplier,
+    build_subtractor,
+)
+from repro.netlist.benchmarks import (
+    ISCAS85_PROFILES,
+    attach_parasitics,
+    build_iscas85_like,
+    build_pulpino_unit,
+)
+from repro.netlist.stats import CircuitStats, circuit_stats, compare_profiles
+
+__all__ = [
+    "Circuit",
+    "GateInst",
+    "Net",
+    "read_verilog",
+    "write_verilog",
+    "build_adder",
+    "build_subtractor",
+    "build_multiplier",
+    "build_divider",
+    "ISCAS85_PROFILES",
+    "build_iscas85_like",
+    "build_pulpino_unit",
+    "attach_parasitics",
+    "CircuitStats",
+    "circuit_stats",
+    "compare_profiles",
+]

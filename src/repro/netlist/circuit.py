@@ -1,0 +1,269 @@
+"""Gate-level circuit representation.
+
+A :class:`Circuit` is a DAG of :class:`GateInst` instances connected by
+:class:`Net` objects. Each net knows its driver (a primary input or a
+gate output pin), its sinks (gate input pins and/or primary outputs),
+and optionally carries extracted parasitics as an
+:class:`~repro.interconnect.rctree.RCTree` with a sink → tree-leaf map —
+the same information a mapped netlist plus SPEF would provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import NetlistError
+from repro.interconnect.rctree import RCTree
+
+#: Sentinel driver for primary-input nets.
+PRIMARY_INPUT = ("<PI>", "")
+
+
+@dataclass
+class GateInst:
+    """One placed gate.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name.
+    cell_name:
+        Library cell, e.g. ``"NAND2x2"``.
+    pins:
+        Input pin name → net name.
+    output_net:
+        Net driven by the gate's output pin.
+    """
+
+    name: str
+    cell_name: str
+    pins: Dict[str, str]
+    output_net: str
+
+
+@dataclass
+class Net:
+    """One net: a driver, its sinks, and optional parasitics.
+
+    Attributes
+    ----------
+    name:
+        Net name.
+    driver:
+        ``(gate_name, pin)`` of the driving output, or
+        :data:`PRIMARY_INPUT`.
+    sinks:
+        List of ``(gate_name, input_pin)`` loads; primary outputs appear
+        as ``("<PO>", "")`` entries.
+    tree:
+        Extracted RC tree (None = ideal net).
+    sink_leaf:
+        Sink → tree leaf-node name (where that receiver pin taps the
+        wire). Only meaningful when ``tree`` is set.
+    """
+
+    name: str
+    driver: Tuple[str, str] = PRIMARY_INPUT
+    sinks: List[Tuple[str, str]] = field(default_factory=list)
+    tree: Optional[RCTree] = None
+    sink_leaf: Dict[Tuple[str, str], str] = field(default_factory=dict)
+
+    @property
+    def is_primary_input(self) -> bool:
+        """True when driven from outside the circuit."""
+        return self.driver == PRIMARY_INPUT
+
+    @property
+    def fanout(self) -> int:
+        """Number of sink pins."""
+        return len(self.sinks)
+
+
+#: Sentinel sink marking a primary output.
+PRIMARY_OUTPUT = ("<PO>", "")
+
+
+class Circuit:
+    """A combinational gate-level circuit.
+
+    Typical construction::
+
+        ckt = Circuit("c17")
+        ckt.add_input("N1"); ckt.add_input("N2")
+        ckt.add_gate("g1", "NAND2x1", {"A": "N1", "B": "N2"}, "w1")
+        ckt.add_output("w1")
+
+    The class enforces single-driver nets and acyclicity (checked by
+    :meth:`topological_gates`).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.gates: Dict[str, GateInst] = {}
+        self.nets: Dict[str, Net] = {}
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _net(self, name: str) -> Net:
+        if name not in self.nets:
+            self.nets[name] = Net(name=name)
+        return self.nets[name]
+
+    def add_input(self, net_name: str) -> None:
+        """Declare a primary-input net."""
+        if net_name in self.inputs:
+            raise NetlistError(f"duplicate primary input {net_name!r}")
+        net = self._net(net_name)
+        if not net.is_primary_input and net.driver != PRIMARY_INPUT:
+            raise NetlistError(f"net {net_name!r} already has a driver")
+        self.inputs.append(net_name)
+
+    def add_output(self, net_name: str) -> None:
+        """Declare a primary-output net (the net must exist by analysis time)."""
+        if net_name in self.outputs:
+            raise NetlistError(f"duplicate primary output {net_name!r}")
+        self.outputs.append(net_name)
+        self._net(net_name).sinks.append(PRIMARY_OUTPUT)
+
+    def add_gate(
+        self,
+        name: str,
+        cell_name: str,
+        pins: Dict[str, str],
+        output_net: str,
+    ) -> GateInst:
+        """Instantiate a gate.
+
+        Parameters
+        ----------
+        pins:
+            Input pin → net name.
+        output_net:
+            Net the output pin drives; must not already have a driver.
+        """
+        if name in self.gates:
+            raise NetlistError(f"duplicate gate {name!r}")
+        out = self._net(output_net)
+        if not out.is_primary_input or output_net in self.inputs:
+            if output_net in self.inputs:
+                raise NetlistError(f"gate {name!r} drives primary input {output_net!r}")
+            raise NetlistError(f"net {output_net!r} already driven by {out.driver}")
+        gate = GateInst(name=name, cell_name=cell_name, pins=dict(pins), output_net=output_net)
+        self.gates[name] = gate
+        out.driver = (name, "Y")
+        for pin, net_name in pins.items():
+            self._net(net_name).sinks.append((name, pin))
+        return gate
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural sanity: drivers exist, no floating gate inputs."""
+        for net in self.nets.values():
+            if net.is_primary_input and net.name not in self.inputs:
+                raise NetlistError(f"net {net.name!r} has no driver and is not an input")
+        for gate in self.gates.values():
+            for pin, net_name in gate.pins.items():
+                if net_name not in self.nets:
+                    raise NetlistError(
+                        f"gate {gate.name!r} pin {pin} references unknown net {net_name!r}"
+                    )
+
+    def topological_gates(self) -> List[GateInst]:
+        """Gates in topological (input-to-output) order.
+
+        Raises
+        ------
+        NetlistError
+            If the circuit contains a combinational cycle.
+        """
+        indegree: Dict[str, int] = {}
+        dependents: Dict[str, List[str]] = {g: [] for g in self.gates}
+        for gate in self.gates.values():
+            count = 0
+            for net_name in gate.pins.values():
+                net = self.nets[net_name]
+                if not net.is_primary_input:
+                    driver_gate = net.driver[0]
+                    dependents[driver_gate].append(gate.name)
+                    count += 1
+            indegree[gate.name] = count
+        frontier = [g for g, d in indegree.items() if d == 0]
+        order: List[GateInst] = []
+        while frontier:
+            name = frontier.pop()
+            order.append(self.gates[name])
+            for dep in dependents[name]:
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    frontier.append(dep)
+        if len(order) != len(self.gates):
+            remaining = sorted(set(self.gates) - {g.name for g in order})
+            raise NetlistError(f"combinational cycle involving {remaining[:5]}")
+        return order
+
+    def logic_depth(self) -> int:
+        """Maximum number of gates on any input-to-output path."""
+        depth: Dict[str, int] = {}
+        for gate in self.topological_gates():
+            best = 0
+            for net_name in gate.pins.values():
+                net = self.nets[net_name]
+                if not net.is_primary_input:
+                    best = max(best, depth[net.driver[0]])
+            depth[gate.name] = best + 1
+        return max(depth.values(), default=0)
+
+    @property
+    def n_cells(self) -> int:
+        """Number of gate instances."""
+        return len(self.gates)
+
+    @property
+    def n_nets(self) -> int:
+        """Number of nets."""
+        return len(self.nets)
+
+    def cell_histogram(self) -> Dict[str, int]:
+        """Cell name → instance count."""
+        hist: Dict[str, int] = {}
+        for gate in self.gates.values():
+            hist[gate.cell_name] = hist.get(gate.cell_name, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def evaluate(self, input_values: Dict[str, int], library) -> Dict[str, int]:
+        """Logic-simulate the circuit for one input vector.
+
+        Parameters
+        ----------
+        input_values:
+            Primary-input net → 0/1.
+        library:
+            A :class:`~repro.cells.library.CellLibrary` supplying each
+            cell's boolean function.
+
+        Returns
+        -------
+        dict
+            Net name → logic value for every net.
+        """
+        values = dict(input_values)
+        missing = [n for n in self.inputs if n not in values]
+        if missing:
+            raise NetlistError(f"missing input values for {missing[:5]}")
+        for gate in self.topological_gates():
+            cell = library.get(gate.cell_name)
+            pin_values = {pin: values[net] for pin, net in gate.pins.items()}
+            values[gate.output_net] = cell.logic(pin_values)
+        return values
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, cells={self.n_cells}, nets={self.n_nets}, "
+            f"inputs={len(self.inputs)}, outputs={len(self.outputs)})"
+        )

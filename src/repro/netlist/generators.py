@@ -1,0 +1,253 @@
+"""Exact gate-level constructions of arithmetic functional units.
+
+These are the reproduction's PULPino functional units (ADD/SUB/MUL/DIV
+in Table III): real arithmetic circuits built gate-by-gate from the
+synthetic library — ripple-carry adder, two's-complement subtractor,
+carry-save array multiplier, and a non-restoring array divider — not
+random graphs, so their critical paths have the long-chain structure
+(carry/borrow ripple) the paper's path experiments exercise.
+
+All builders use the 9-NAND full adder and NAND-based XOR/MUX, since
+the library is NAND/NOR/INV/AOI-class (no transmission gates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+
+
+class CircuitBuilder:
+    """Helper for composing circuits out of logic primitives.
+
+    Each primitive method instantiates library gates and returns the
+    output net name. Gate strengths default to x1; pass ``strength`` to
+    upsize (e.g. along known-critical chains).
+    """
+
+    def __init__(self, name: str, seed: Optional[int] = None):
+        self.circuit = Circuit(name)
+        self._counter = 0
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def fresh(self, hint: str = "w") -> str:
+        """A fresh unique net name."""
+        self._counter += 1
+        return f"{hint}_{self._counter}"
+
+    def input(self, name: str) -> str:
+        """Declare and return a primary input."""
+        self.circuit.add_input(name)
+        return name
+
+    def inputs(self, prefix: str, width: int) -> List[str]:
+        """Declare a bus of primary inputs ``prefix0 ... prefix{width-1}``."""
+        return [self.input(f"{prefix}{i}") for i in range(width)]
+
+    def output(self, net: str) -> str:
+        """Mark a net as primary output."""
+        self.circuit.add_output(net)
+        return net
+
+    def gate(self, cell: str, pins: Dict[str, str], hint: str = "w") -> str:
+        """Instantiate ``cell`` and return its output net."""
+        out = self.fresh(hint)
+        self._counter += 1
+        self.circuit.add_gate(f"g_{self._counter}", cell, pins, out)
+        return out
+
+    # -- primitives ----------------------------------------------------
+    def inv(self, a: str, strength: int = 1) -> str:
+        """NOT."""
+        return self.gate(f"INVx{strength}", {"A": a}, "n")
+
+    def buf(self, a: str, strength: int = 1) -> str:
+        """Buffer."""
+        return self.gate(f"BUFx{strength}", {"A": a}, "b")
+
+    def nand2(self, a: str, b: str, strength: int = 1) -> str:
+        """2-input NAND."""
+        return self.gate(f"NAND2x{strength}", {"A": a, "B": b}, "nd")
+
+    def nor2(self, a: str, b: str, strength: int = 1) -> str:
+        """2-input NOR."""
+        return self.gate(f"NOR2x{strength}", {"A": a, "B": b}, "nr")
+
+    def and2(self, a: str, b: str, strength: int = 1) -> str:
+        """2-input AND (NAND + INV)."""
+        return self.inv(self.nand2(a, b, strength), strength)
+
+    def or2(self, a: str, b: str, strength: int = 1) -> str:
+        """2-input OR (NOR + INV)."""
+        return self.inv(self.nor2(a, b, strength), strength)
+
+    def xor2(self, a: str, b: str, strength: int = 1) -> str:
+        """2-input XOR from four NANDs."""
+        t1 = self.nand2(a, b, strength)
+        return self.nand2(
+            self.nand2(a, t1, strength), self.nand2(b, t1, strength), strength
+        )
+
+    def mux2(self, d0: str, d1: str, sel: str, strength: int = 1) -> str:
+        """2:1 multiplexer (``sel=1`` selects ``d1``) from NANDs."""
+        ns = self.inv(sel, strength)
+        return self.nand2(
+            self.nand2(d0, ns, strength), self.nand2(d1, sel, strength), strength
+        )
+
+    def full_adder(self, a: str, b: str, cin: str, strength: int = 1) -> Tuple[str, str]:
+        """9-NAND full adder; returns ``(sum, carry_out)``."""
+        t1 = self.nand2(a, b, strength)
+        t2 = self.nand2(a, t1, strength)
+        t3 = self.nand2(b, t1, strength)
+        h = self.nand2(t2, t3, strength)  # a xor b
+        t4 = self.nand2(h, cin, strength)
+        t5 = self.nand2(h, t4, strength)
+        t6 = self.nand2(cin, t4, strength)
+        s = self.nand2(t5, t6, strength)
+        cout = self.nand2(t4, t1, strength)
+        return s, cout
+
+    def half_adder(self, a: str, b: str, strength: int = 1) -> Tuple[str, str]:
+        """Half adder; returns ``(sum, carry_out)``."""
+        return self.xor2(a, b, strength), self.and2(a, b, strength)
+
+
+# ----------------------------------------------------------------------
+# Functional units
+# ----------------------------------------------------------------------
+def build_adder(width: int = 32, name: str = "pulpino_add") -> Circuit:
+    """Ripple-carry adder: ``s = a + b + cin`` with carry out.
+
+    The carry chain of ``width`` full adders is the archetypal long
+    near-critical path of Table III's ADD unit.
+    """
+    if width < 1:
+        raise NetlistError("adder width must be >= 1")
+    cb = CircuitBuilder(name)
+    a = cb.inputs("a", width)
+    b = cb.inputs("b", width)
+    carry = cb.input("cin")
+    for i in range(width):
+        s, carry = cb.full_adder(a[i], b[i], carry)
+        cb.output(s)
+    cb.output(carry)
+    cb.circuit.validate()
+    return cb.circuit
+
+
+def build_subtractor(width: int = 32, name: str = "pulpino_sub") -> Circuit:
+    """Two's-complement subtractor: ``d = a - b`` (= a + ~b + 1).
+
+    The "+1" enters through the carry input, which is tied to the
+    dedicated primary input ``one`` (the netlist format carries no
+    constants; drive it high when simulating).
+    """
+    if width < 1:
+        raise NetlistError("subtractor width must be >= 1")
+    cb = CircuitBuilder(name)
+    a = cb.inputs("a", width)
+    b = cb.inputs("b", width)
+    carry = cb.input("one")
+    for i in range(width):
+        nb = cb.inv(b[i])
+        s, carry = cb.full_adder(a[i], nb, carry)
+        cb.output(s)
+    cb.output(carry)
+    cb.circuit.validate()
+    return cb.circuit
+
+
+def build_multiplier(width: int = 16, name: str = "pulpino_mul") -> Circuit:
+    """Carry-save array multiplier: ``p = a * b`` (unsigned).
+
+    Partial products are ANDed, reduced row by row with full adders,
+    and finished with a ripple adder on the final carry row — the
+    classic array structure whose diagonal is the critical path.
+    """
+    if width < 2:
+        raise NetlistError("multiplier width must be >= 2")
+    cb = CircuitBuilder(name)
+    a = cb.inputs("a", width)
+    b = cb.inputs("b", width)
+    zero = cb.input("zero")  # constant-0 rail as a primary input
+
+    # pp[j][i] = a[i] & b[j]
+    pp = [[cb.and2(a[i], b[j]) for i in range(width)] for j in range(width)]
+
+    # Row 0 initializes the running sum.
+    sums: List[str] = list(pp[0])  # weight i
+    carries: List[str] = [zero] * width
+    cb.output(sums[0])  # p0
+    outputs = 1
+    sums = sums[1:] + [zero]
+
+    for j in range(1, width):
+        new_sums: List[str] = []
+        new_carries: List[str] = []
+        for i in range(width):
+            s, c = cb.full_adder(pp[j][i], sums[i], carries[i])
+            new_sums.append(s)
+            new_carries.append(c)
+        cb.output(new_sums[0])
+        outputs += 1
+        sums = new_sums[1:] + [zero]
+        carries = new_carries
+
+    # Final ripple adder merges the leftover sum and carry vectors.
+    carry = zero
+    for i in range(width):
+        s, carry = cb.full_adder(sums[i], carries[i], carry)
+        cb.output(s)
+        outputs += 1
+    cb.output(carry)
+    cb.circuit.validate()
+    return cb.circuit
+
+
+def build_divider(width: int = 16, name: str = "pulpino_div") -> Circuit:
+    """Restoring array divider: ``q = a / d`` (unsigned, ``width`` bits each).
+
+    Each row conditionally subtracts the divisor from the running
+    remainder (borrow-ripple subtract + restore multiplexers); the
+    quotient bit is the inverted final borrow. Rows of
+    subtract-then-mux give the longest critical paths of the four
+    functional units, matching DIV's standing in Table III.
+    """
+    if width < 2:
+        raise NetlistError("divider width must be >= 2")
+    cb = CircuitBuilder(name)
+    a = cb.inputs("a", width)  # dividend, a[width-1] is MSB
+    d = cb.inputs("d", width)  # divisor
+    zero = cb.input("zero")
+
+    # Remainder register (combinational rows), MSB-first processing.
+    rem: List[str] = [zero] * width
+    quotient: List[str] = []
+    for step in range(width):
+        # Shift in the next dividend bit (MSB first).
+        rem = [a[width - 1 - step]] + rem[:-1]
+        # Subtract divisor: rem - d via full adders with inverted d, carry-in 1.
+        one = cb.inv(zero)
+        carry = one
+        diff: List[str] = []
+        for i in range(width):
+            nd = cb.inv(d[i])
+            s, carry = cb.full_adder(rem[i], nd, carry)
+            diff.append(s)
+        no_borrow = carry  # 1 when rem >= d
+        quotient.append(no_borrow)
+        # Restore: keep the subtraction only if it did not borrow.
+        rem = [cb.mux2(rem[i], diff[i], no_borrow) for i in range(width)]
+
+    for q in reversed(quotient):
+        cb.output(q)
+    for r in rem:
+        cb.output(r)
+    cb.circuit.validate()
+    return cb.circuit

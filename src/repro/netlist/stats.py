@@ -1,0 +1,128 @@
+"""Circuit statistics: fanout/depth/wirelength distributions.
+
+Small analysis helpers over :class:`~repro.netlist.circuit.Circuit` —
+the numbers a benchmark table or a paper's "experimental setup" section
+quotes (cell mix, fanout histogram, logic-depth distribution, total
+wire R/C). Pure functions, no simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.netlist.circuit import PRIMARY_OUTPUT, Circuit
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary statistics of one circuit.
+
+    Attributes
+    ----------
+    name / n_cells / n_nets / n_inputs / n_outputs:
+        Size counters.
+    depth:
+        Maximum logic depth (gates on the longest path).
+    fanout_histogram:
+        Fanout value → number of nets.
+    cell_histogram:
+        Cell name → instance count.
+    type_histogram:
+        Cell *type* (strength-stripped) → instance count.
+    total_wire_resistance / total_wire_cap:
+        Sums over all attached RC trees (0 when no parasitics).
+    mean_depth:
+        Average over gates of their depth level.
+    """
+
+    name: str
+    n_cells: int
+    n_nets: int
+    n_inputs: int
+    n_outputs: int
+    depth: int
+    mean_depth: float
+    fanout_histogram: Dict[int, int]
+    cell_histogram: Dict[str, int]
+    type_histogram: Dict[str, int]
+    total_wire_resistance: float
+    total_wire_cap: float
+
+    def format(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"{self.name}: {self.n_cells} cells, {self.n_nets} nets, "
+            f"{self.n_inputs} inputs, {self.n_outputs} outputs",
+            f"  logic depth {self.depth} (mean {self.mean_depth:.1f})",
+            f"  wire totals: {self.total_wire_resistance / 1e3:.1f} kΩ, "
+            f"{self.total_wire_cap * 1e15:.1f} fF",
+            "  cell mix: "
+            + ", ".join(f"{t}:{n}" for t, n in sorted(self.type_histogram.items())),
+            "  fanout histogram: "
+            + ", ".join(
+                f"{fo}->{n}" for fo, n in sorted(self.fanout_histogram.items())[:8]
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute :class:`CircuitStats` for a circuit (parasitics optional)."""
+    depth: Dict[str, int] = {}
+    for gate in circuit.topological_gates():
+        best = 0
+        for net_name in gate.pins.values():
+            net = circuit.nets[net_name]
+            if not net.is_primary_input:
+                best = max(best, depth[net.driver[0]])
+        depth[gate.name] = best + 1
+
+    fanout_hist: Dict[int, int] = {}
+    total_r = 0.0
+    total_c = 0.0
+    for net in circuit.nets.values():
+        gate_fanout = sum(1 for s in net.sinks if s != PRIMARY_OUTPUT)
+        fanout_hist[gate_fanout] = fanout_hist.get(gate_fanout, 0) + 1
+        if net.tree is not None:
+            total_r += net.tree.total_resistance()
+            total_c += net.tree.total_cap()
+
+    cell_hist = circuit.cell_histogram()
+    type_hist: Dict[str, int] = {}
+    for name, count in cell_hist.items():
+        type_name = name.split("x")[0]
+        type_hist[type_name] = type_hist.get(type_name, 0) + count
+
+    depths = list(depth.values())
+    return CircuitStats(
+        name=circuit.name,
+        n_cells=circuit.n_cells,
+        n_nets=circuit.n_nets,
+        n_inputs=len(circuit.inputs),
+        n_outputs=len(circuit.outputs),
+        depth=max(depths, default=0),
+        mean_depth=float(np.mean(depths)) if depths else 0.0,
+        fanout_histogram=fanout_hist,
+        cell_histogram=cell_hist,
+        type_histogram=type_hist,
+        total_wire_resistance=total_r,
+        total_wire_cap=total_c,
+    )
+
+
+def compare_profiles(circuits: List[Circuit]) -> str:
+    """A compact table comparing several circuits' statistics."""
+    rows = [circuit_stats(c) for c in circuits]
+    lines = [
+        f"{'circuit':<14} {'cells':>7} {'nets':>7} {'PIs':>5} {'POs':>5} "
+        f"{'depth':>6} {'wireC(fF)':>10}"
+    ]
+    for s in rows:
+        lines.append(
+            f"{s.name:<14} {s.n_cells:>7} {s.n_nets:>7} {s.n_inputs:>5} "
+            f"{s.n_outputs:>5} {s.depth:>6} {s.total_wire_cap * 1e15:>10.1f}"
+        )
+    return "\n".join(lines)

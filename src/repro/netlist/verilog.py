@@ -1,0 +1,115 @@
+"""Structural-Verilog subset reader/writer.
+
+Supports the flat, mapped netlist style a synthesis tool emits:
+
+.. code-block:: verilog
+
+    module c17 (N1, N2, N3, N6, N7, N22, N23);
+      input N1, N2, N3, N6, N7;
+      output N22, N23;
+      wire w10, w11;
+      NAND2x1 g10 (.A(N1), .B(N3), .Y(w10));
+      ...
+    endmodule
+
+Restrictions (checked): named port connections only, single-bit nets,
+one module per file, no assigns/parameters/behavioural constructs.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_\[\]\.]*"
+
+
+def write_verilog(circuit: Circuit, path: Union[str, Path]) -> None:
+    """Write a circuit as a flat structural module."""
+    path = Path(path)
+    ports = [*circuit.inputs, *circuit.outputs]
+    wires = [
+        n
+        for n in circuit.nets
+        if n not in circuit.inputs and n not in circuit.outputs
+    ]
+    lines = [f"module {circuit.name} ({', '.join(ports)});"]
+    for name in circuit.inputs:
+        lines.append(f"  input {name};")
+    for name in circuit.outputs:
+        lines.append(f"  output {name};")
+    for name in wires:
+        lines.append(f"  wire {name};")
+    for gate in circuit.gates.values():
+        conns = [f".{pin}({net})" for pin, net in gate.pins.items()]
+        conns.append(f".Y({gate.output_net})")
+        lines.append(f"  {gate.cell_name} {gate.name} ({', '.join(conns)});")
+    lines.append("endmodule")
+    lines.append("")
+    path.write_text("\n".join(lines))
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return text
+
+
+def read_verilog(path: Union[str, Path]) -> Circuit:
+    """Parse a module written in the supported subset back to a :class:`Circuit`."""
+    path = Path(path)
+    text = _strip_comments(path.read_text())
+    statements = [s.strip() for s in text.replace("\n", " ").split(";")]
+
+    circuit: "Circuit | None" = None
+    pending_outputs: List[str] = []
+    for stmt in statements:
+        if not stmt or stmt == "endmodule":
+            continue
+        m = re.match(rf"module\s+({_IDENT})\s*\((.*)\)\s*$", stmt)
+        if m:
+            if circuit is not None:
+                raise NetlistError(f"{path}: multiple modules are not supported")
+            circuit = Circuit(m.group(1))
+            continue
+        if circuit is None:
+            raise NetlistError(f"{path}: statement before module header: {stmt[:40]!r}")
+        m = re.match(r"(input|output|wire)\s+(.*)$", stmt)
+        if m:
+            kind = m.group(1)
+            names = [n.strip() for n in m.group(2).split(",") if n.strip()]
+            for name in names:
+                if not re.fullmatch(_IDENT, name):
+                    raise NetlistError(f"{path}: unsupported net declaration {name!r}")
+                if kind == "input":
+                    circuit.add_input(name)
+                elif kind == "output":
+                    pending_outputs.append(name)
+                # wires materialize lazily through gate connections
+            continue
+        m = re.match(rf"({_IDENT})\s+({_IDENT})\s*\((.*)\)\s*$", stmt)
+        if m:
+            cell_name, inst_name, conn_text = m.groups()
+            pins: Dict[str, str] = {}
+            for conn in re.finditer(rf"\.({_IDENT})\s*\(\s*({_IDENT})\s*\)", conn_text):
+                pins[conn.group(1)] = conn.group(2)
+            if not pins:
+                raise NetlistError(
+                    f"{path}: {inst_name}: only named port connections are supported"
+                )
+            if "Y" not in pins:
+                raise NetlistError(f"{path}: {inst_name}: no output (.Y) connection")
+            output_net = pins.pop("Y")
+            circuit.add_gate(inst_name, cell_name, pins, output_net)
+            continue
+        raise NetlistError(f"{path}: unsupported statement: {stmt[:60]!r}")
+    if circuit is None:
+        raise NetlistError(f"{path}: no module found")
+    for name in pending_outputs:
+        circuit.add_output(name)
+    circuit.validate()
+    return circuit

@@ -1,0 +1,59 @@
+"""Vectorized transistor-level circuit simulator ("SPICE substrate").
+
+The paper's golden reference is HSPICE Monte-Carlo on a TSMC 28 nm PDK.
+This package supplies the equivalent for the reproduction: a small but
+real nonlinear transient simulator with
+
+* an EKV-style MOSFET model (:mod:`repro.spice.mosfet`) that is smooth
+  and accurate from sub- to super-threshold — essential, because the
+  paper operates at 0.6 V where devices sit in moderate inversion;
+* a grounded-capacitor nodal formulation (:mod:`repro.spice.netlist`)
+  for cells + RC interconnect;
+* a **batched** backward-Euler/Newton transient solver
+  (:mod:`repro.spice.transient`) that integrates *all Monte-Carlo
+  samples simultaneously* as ``(n_samples, n_nodes)`` arrays — this is
+  what makes 10k-sample characterization tractable in pure Python;
+* waveform measurement utilities (:mod:`repro.spice.measure`) for delay
+  and slew extraction;
+* a Monte-Carlo driver (:mod:`repro.spice.montecarlo`) tying the above
+  to the :mod:`repro.variation` sampler.
+"""
+
+from repro.spice.mosfet import MosfetParams, ekv_ids, ekv_ids_and_derivatives
+from repro.spice.netlist import (
+    Capacitor,
+    CompiledCircuit,
+    Mosfet,
+    PiecewiseLinearSource,
+    Resistor,
+    TransistorNetlist,
+)
+from repro.spice.transient import TransientResult, TransientSolver
+from repro.spice.measure import (
+    crossing_time,
+    measure_delay,
+    measure_slew,
+    threshold_crossings,
+)
+from repro.spice.montecarlo import DelaySamples, MonteCarloEngine, SimulationSetup
+
+__all__ = [
+    "MosfetParams",
+    "ekv_ids",
+    "ekv_ids_and_derivatives",
+    "Mosfet",
+    "Resistor",
+    "Capacitor",
+    "PiecewiseLinearSource",
+    "TransistorNetlist",
+    "CompiledCircuit",
+    "TransientSolver",
+    "TransientResult",
+    "crossing_time",
+    "threshold_crossings",
+    "measure_delay",
+    "measure_slew",
+    "MonteCarloEngine",
+    "SimulationSetup",
+    "DelaySamples",
+]

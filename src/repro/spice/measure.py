@@ -1,0 +1,143 @@
+"""Waveform measurement: threshold crossings, delay, slew.
+
+Conventions (used consistently across characterization, the golden
+Monte-Carlo reference, and the calibrated models):
+
+* **delay** — time from the input waveform crossing 50 % of VDD to the
+  output waveform crossing 50 % of VDD;
+* **slew** — the 20 %→80 % crossing interval of a transition (always
+  positive, for rising and falling edges alike). A linear 0→VDD ramp of
+  duration ``T`` therefore has slew ``0.6 T``; see
+  :func:`ramp_time_for_slew`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: Lower/upper measurement thresholds for slew, as fractions of VDD.
+SLEW_LOW = 0.2
+SLEW_HIGH = 0.8
+
+
+def ramp_time_for_slew(slew: float) -> float:
+    """Full 0→VDD ramp duration whose 20–80 % slew equals ``slew``."""
+    return slew / (SLEW_HIGH - SLEW_LOW)
+
+
+def crossing_time(
+    times: np.ndarray,
+    waves: np.ndarray,
+    level: float,
+    rising: bool,
+) -> np.ndarray:
+    """First crossing time of ``level`` per sample, linearly interpolated.
+
+    Parameters
+    ----------
+    times:
+        ``(n_points,)`` monotone time axis.
+    waves:
+        ``(n_samples, n_points)`` waveforms (a 1-D array is treated as a
+        single sample).
+    level:
+        Threshold voltage.
+    rising:
+        Direction of the crossing to detect: from below to at-or-above
+        (True) or from above to at-or-below (False).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_samples,)`` crossing times; ``nan`` where no crossing occurs.
+    """
+    waves = np.atleast_2d(np.asarray(waves, dtype=float))
+    times = np.asarray(times, dtype=float)
+    if rising:
+        before = waves[:, :-1] < level
+        after = waves[:, 1:] >= level
+    else:
+        before = waves[:, :-1] > level
+        after = waves[:, 1:] <= level
+    cross = before & after
+    found = cross.any(axis=1)
+    idx = np.argmax(cross, axis=1)
+    t0 = times[idx]
+    t1 = times[idx + 1]
+    v0 = waves[np.arange(waves.shape[0]), idx]
+    v1 = waves[np.arange(waves.shape[0]), idx + 1]
+    dv = v1 - v0
+    frac = np.where(np.abs(dv) > 0, (level - v0) / np.where(dv == 0, 1.0, dv), 0.0)
+    out = t0 + frac * (t1 - t0)
+    out[~found] = np.nan
+    return out
+
+
+def threshold_crossings(
+    times: np.ndarray,
+    waves: np.ndarray,
+    vdd: float,
+    rising: bool,
+    fractions: "tuple[float, ...]" = (SLEW_LOW, 0.5, SLEW_HIGH),
+) -> "dict[float, np.ndarray]":
+    """Crossing times at several VDD fractions in one call."""
+    return {
+        f: crossing_time(times, waves, f * vdd, rising)
+        for f in fractions
+    }
+
+
+def measure_delay(
+    times: np.ndarray,
+    v_in: np.ndarray,
+    v_out: np.ndarray,
+    vdd: float,
+    in_rising: bool,
+    out_rising: bool,
+) -> np.ndarray:
+    """50 %–50 % propagation delay per sample.
+
+    ``v_in`` may be a single shared waveform ``(n_points,)`` (an ideal
+    driven input identical across samples) or per-sample ``(n_samples,
+    n_points)``.
+    """
+    t_in = crossing_time(times, v_in, 0.5 * vdd, in_rising)
+    t_out = crossing_time(times, v_out, 0.5 * vdd, out_rising)
+    return t_out - t_in
+
+
+def measure_slew(
+    times: np.ndarray,
+    waves: np.ndarray,
+    vdd: float,
+    rising: bool,
+    low: float = SLEW_LOW,
+    high: float = SLEW_HIGH,
+) -> np.ndarray:
+    """20 %–80 % transition time per sample (positive for both edges)."""
+    t_low = crossing_time(times, waves, low * vdd, rising)
+    t_high = crossing_time(times, waves, high * vdd, rising)
+    if rising:
+        return t_high - t_low
+    return t_low - t_high
+
+
+def fraction_settled(
+    waves: np.ndarray,
+    vdd: float,
+    rising: bool,
+    fraction: float = 0.95,
+) -> float:
+    """Share of samples whose final value has covered ``fraction`` of the swing.
+
+    Used by the Monte-Carlo driver to decide whether a simulation window
+    was long enough or must be extended.
+    """
+    final = np.atleast_2d(waves)[:, -1]
+    if rising:
+        done = final >= fraction * vdd
+    else:
+        done = final <= (1.0 - fraction) * vdd
+    return float(np.mean(done))

@@ -1,0 +1,191 @@
+"""EKV-style MOSFET model, vectorized over Monte-Carlo samples.
+
+The EKV formulation expresses the channel current as the difference of a
+*forward* and a *reverse* component, each an interpolation function of
+the pinch-off voltage referenced to source/drain:
+
+    i_f = F((v_p - v_s) / phi_t)      F(x) = ln(1 + exp(x/2))^2
+    i_r = F((v_p - v_d) / phi_t)      v_p = (v_g - v_t_eff) / n
+    I_DS = I_spec * (i_f - i_r) * (1 + lambda * v_ds)
+
+with ``I_spec = 2 n kp (W/L) phi_t^2``. ``F`` tends to ``exp(x)`` for
+``x << 0`` (subthreshold: exponential in Vgs) and to ``(x/2)^2`` for
+``x >> 0`` (strong inversion: square law), with a smooth moderate-
+inversion transition — exactly the regime of a 0.6 V near-threshold
+design. The exponential subthreshold sensitivity to the (varying)
+threshold voltage is what produces the skewed, heavy-tailed delay
+distributions the paper calibrates.
+
+Second-order effects included: DIBL (``v_t_eff = v_t - dibl*v_ds``) and
+channel-length modulation (the ``1 + lambda*v_ds`` factor).
+
+PMOS devices are handled by evaluating the same equations on negated
+terminal voltages; see :class:`repro.spice.netlist.Mosfet` for the sign
+bookkeeping, which works out so that the conductance derivatives carry
+over *unchanged*.
+
+All functions accept and return NumPy arrays and broadcast freely, so a
+single call evaluates every Monte-Carlo sample of a device at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import thermal_voltage
+from repro.variation.parameters import Technology
+
+
+def _softplus(x: np.ndarray) -> np.ndarray:
+    """Numerically stable ``log(1 + exp(x))``."""
+    return np.logaddexp(0.0, x)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=float)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def _interp_f(x: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """EKV interpolation function ``F(x) = softplus(x/2)^2`` and its derivative.
+
+    ``F'(x) = softplus(x/2) * sigmoid(x/2)``.
+    """
+    sp = _softplus(x * 0.5)
+    return sp * sp, sp * _sigmoid(x * 0.5)
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """Electrical parameters of one device evaluation.
+
+    ``vt``, ``ispec`` may be arrays (one entry per Monte-Carlo sample);
+    the scalars ``n_slope``, ``phi_t``, ``dibl``, ``lam`` are shared.
+
+    Attributes
+    ----------
+    vt:
+        Effective zero-bias threshold magnitude in volts (nominal +
+        sampled deviation).
+    ispec:
+        Specific current ``2 n kp (W/L) phi_t^2`` in amperes (absorbs
+        the sampled mobility and length scaling).
+    n_slope:
+        Subthreshold slope factor ``n``.
+    phi_t:
+        Thermal voltage in volts.
+    dibl:
+        DIBL coefficient (V/V).
+    lam:
+        Channel-length-modulation coefficient (1/V).
+    """
+
+    vt: np.ndarray
+    ispec: np.ndarray
+    n_slope: float
+    phi_t: float
+    dibl: float
+    lam: float
+
+    @classmethod
+    def from_technology(
+        cls,
+        tech: Technology,
+        is_pmos: bool,
+        width: float,
+        dvth: np.ndarray,
+        mobility_scale: np.ndarray,
+        length_scale: np.ndarray,
+    ) -> "MosfetParams":
+        """Build evaluation parameters from technology constants and a sample batch.
+
+        Parameters
+        ----------
+        tech:
+            Nominal process constants.
+        is_pmos:
+            Device polarity; selects ``vt0_p``/``kp_p`` vs ``vt0_n``/``kp_n``.
+        width:
+            Drawn width in meters.
+        dvth, mobility_scale, length_scale:
+            Per-sample deviations from :class:`~repro.variation.sampling.ParameterSample`
+            (a slice of shape ``(n_samples,)`` for this device).
+        """
+        phi_t = thermal_voltage(tech.temperature_c)
+        vt0 = tech.vt0_p if is_pmos else tech.vt0_n
+        kp = tech.kp_p if is_pmos else tech.kp_n
+        n = tech.subthreshold_slope_factor
+        w_over_l = width / (tech.l_min * np.asarray(length_scale, dtype=float))
+        ispec = 2.0 * n * kp * w_over_l * phi_t**2 * np.asarray(mobility_scale, dtype=float)
+        vt = vt0 + np.asarray(dvth, dtype=float)
+        return cls(
+            vt=vt,
+            ispec=ispec,
+            n_slope=n,
+            phi_t=phi_t,
+            dibl=tech.dibl,
+            lam=tech.channel_length_modulation,
+        )
+
+
+def ekv_ids(
+    vg: np.ndarray, vd: np.ndarray, vs: np.ndarray, params: MosfetParams
+) -> np.ndarray:
+    """Drain-to-source current of an NMOS-referenced device.
+
+    All voltages are bulk-referenced; arrays broadcast. Positive return
+    value means conventional current flowing from drain to source.
+    """
+    ids, _, _, _ = ekv_ids_and_derivatives(vg, vd, vs, params)
+    return ids
+
+
+def ekv_ids_and_derivatives(
+    vg: np.ndarray, vd: np.ndarray, vs: np.ndarray, params: MosfetParams
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Current and small-signal conductances of an NMOS-referenced device.
+
+    Returns
+    -------
+    (ids, di_dvg, di_dvd, di_dvs):
+        The drain-to-source current and its partial derivatives with
+        respect to the gate, drain and source voltages. Shapes follow
+        NumPy broadcasting of the inputs against the parameter arrays.
+    """
+    vg = np.asarray(vg, dtype=float)
+    vd = np.asarray(vd, dtype=float)
+    vs = np.asarray(vs, dtype=float)
+    phi_t = params.phi_t
+    n = params.n_slope
+    vds = vd - vs
+    vt_eff = params.vt - params.dibl * vds
+    vp = (vg - vt_eff) / n
+
+    x_f = (vp - vs) / phi_t
+    x_r = (vp - vd) / phi_t
+    f_f, fp_f = _interp_f(x_f)
+    f_r, fp_r = _interp_f(x_r)
+
+    clm = 1.0 + params.lam * vds
+    diff = f_f - f_r
+    ids = params.ispec * diff * clm
+
+    # dvp/dvg = 1/n; dvp/dvd = dibl/n; dvp/dvs = -dibl/n
+    dxf_dvg = 1.0 / (n * phi_t)
+    dxr_dvg = dxf_dvg
+    dxf_dvd = (params.dibl / n) / phi_t
+    dxf_dvs = (-params.dibl / n - 1.0) / phi_t
+    dxr_dvd = (params.dibl / n - 1.0) / phi_t
+    dxr_dvs = (-params.dibl / n) / phi_t
+
+    di_dvg = params.ispec * clm * (fp_f * dxf_dvg - fp_r * dxr_dvg)
+    di_dvd = params.ispec * (clm * (fp_f * dxf_dvd - fp_r * dxr_dvd) + params.lam * diff)
+    di_dvs = params.ispec * (clm * (fp_f * dxf_dvs - fp_r * dxr_dvs) - params.lam * diff)
+    return ids, di_dvg, di_dvd, di_dvs

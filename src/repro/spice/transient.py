@@ -1,0 +1,216 @@
+"""Batched backward-Euler transient solver.
+
+The solver integrates the nodal equations
+
+    C dv/dt + i_lin(v, t) + i_dev(v, t) = 0
+
+for *all Monte-Carlo samples simultaneously*: the state is a
+``(n_samples, n_nodes)`` array and each Newton iteration performs one
+:func:`numpy.linalg.solve` on a ``(n_samples, n, n)`` stack of
+Jacobians. For the small node counts of a cell + RC tree (< ~30) this is
+orders of magnitude faster than looping SPICE decks, while remaining a
+genuine nonlinear transient simulation of every sample.
+
+Backward Euler is used rather than trapezoidal integration: it is
+L-stable (no numerical ringing on stiff RC stages) and its first-order
+error cancels almost perfectly in *delay differences* measured at fixed
+step counts; tests in ``tests/spice`` check step-halving convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.spice.netlist import CompiledCircuit
+from repro.variation.sampling import ParameterSample
+
+
+@dataclass
+class TransientResult:
+    """Recorded waveforms of a transient run.
+
+    Attributes
+    ----------
+    times:
+        ``(n_points,)`` sample instants (seconds).
+    waveforms:
+        Node name → ``(n_samples, n_points)`` voltage array. Fixed nodes
+        are recorded broadcast across samples.
+    final_state:
+        ``(n_samples, n_unknown)`` state at ``times[-1]`` — pass back to
+        :meth:`TransientSolver.run` to continue the simulation.
+    """
+
+    times: np.ndarray
+    waveforms: Dict[str, np.ndarray]
+    final_state: np.ndarray
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Waveform of ``node`` as ``(n_samples, n_points)``."""
+        return self.waveforms[node]
+
+    def extended_with(self, other: "TransientResult") -> "TransientResult":
+        """Concatenate a follow-on run (its first point must continue this one)."""
+        times = np.concatenate([self.times, other.times])
+        waves = {
+            k: np.concatenate([self.waveforms[k], other.waveforms[k]], axis=1)
+            for k in self.waveforms
+        }
+        return TransientResult(times=times, waveforms=waves, final_state=other.final_state)
+
+
+class TransientSolver:
+    """Newton/backward-Euler integrator bound to one Monte-Carlo batch.
+
+    Parameters
+    ----------
+    compiled:
+        Circuit from :meth:`repro.spice.netlist.TransistorNetlist.compile`.
+    sample:
+        Per-transistor parameter batch (its transistor order must match
+        the netlist's device order).
+    r_scale / c_scale:
+        Optional per-sample multiplicative scales for wire resistors and
+        explicit capacitors (see :meth:`CompiledCircuit.build_linear`).
+    max_newton:
+        Maximum Newton iterations per time step.
+    dv_tol:
+        Convergence threshold on the Newton update (volts).
+    damp:
+        Per-iteration clamp on the Newton update magnitude (volts);
+        prevents overshoot through the exponential device regions.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledCircuit,
+        sample: ParameterSample,
+        r_scale: Optional[np.ndarray] = None,
+        c_scale: Optional[np.ndarray] = None,
+        dev_cap_scale: Optional[np.ndarray] = None,
+        max_newton: int = 12,
+        dv_tol: float = 1e-5,
+        damp: float = 0.3,
+    ):
+        self.compiled = compiled
+        self.sample = sample
+        self.params = compiled.bind_sample(sample)
+        self.n_samples = sample.n_samples
+        self.n = compiled.n_unknown
+        self.max_newton = max_newton
+        self.dv_tol = dv_tol
+        self.damp = damp
+        self._gmat, self._known_pulls, self._cvec = compiled.build_linear(
+            r_scale, c_scale, dev_cap_scale
+        )
+
+    # ------------------------------------------------------------------
+    def _linear_currents(self, v: np.ndarray, t: float) -> np.ndarray:
+        if self._gmat.ndim == 2:
+            out = v @ self._gmat.T
+        else:
+            out = np.einsum("snm,sm->sn", self._gmat, v)
+        for i, g, node in self._known_pulls:
+            out[:, i] -= g * self.compiled.known_voltage(node, t)
+        return out
+
+    def _step(self, v_prev: np.ndarray, t_new: float, dt: float) -> np.ndarray:
+        """One backward-Euler step from ``v_prev`` to time ``t_new``."""
+        c_over_dt = self._cvec / dt  # (n,) or (S, n)
+        v = v_prev.copy()
+        jac = np.empty((self.n_samples, self.n, self.n))
+        for _ in range(self.max_newton):
+            jac[:] = self._gmat  # broadcasts (n,n) or copies (S,n,n)
+            dev = self.compiled.device_currents(v, t_new, self.params, jac=jac)
+            resid = (v - v_prev) * c_over_dt + self._linear_currents(v, t_new) + dev
+            idx = np.arange(self.n)
+            jac[:, idx, idx] += c_over_dt
+            try:
+                delta = np.linalg.solve(jac, -resid[..., None])[..., 0]
+            except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
+                raise SimulationError(f"singular Jacobian at t={t_new:g}") from exc
+            np.clip(delta, -self.damp, self.damp, out=delta)
+            v += delta
+            if not np.all(np.isfinite(v)):
+                raise SimulationError(f"non-finite state at t={t_new:g}")
+            if np.max(np.abs(delta)) < self.dv_tol:
+                break
+        return v
+
+    # ------------------------------------------------------------------
+    def dc_settle(
+        self,
+        v0: np.ndarray,
+        t: float = 0.0,
+        steps: int = 60,
+        dt: float = 1e-9,
+    ) -> np.ndarray:
+        """Pseudo-transient DC solve: relax ``v0`` toward the operating point.
+
+        Runs ``steps`` large backward-Euler steps with sources frozen at
+        time ``t``. Robust where a plain Newton DC solve would need
+        source stepping, at negligible cost.
+        """
+        v = np.array(v0, dtype=float, copy=True)
+        for _ in range(steps):
+            v_new = self._step(v, t, dt)
+            if np.max(np.abs(v_new - v)) < self.dv_tol:
+                return v_new
+            v = v_new
+        return v
+
+    def run(
+        self,
+        v0: np.ndarray,
+        t_start: float,
+        t_stop: float,
+        n_steps: int,
+        record: Sequence[str],
+    ) -> TransientResult:
+        """Integrate from ``t_start`` to ``t_stop`` in ``n_steps`` uniform steps.
+
+        Parameters
+        ----------
+        v0:
+            Initial state, shape ``(n_samples, n_unknown)`` (e.g. the
+            result of :meth:`dc_settle`).
+        record:
+            Node names to store waveforms for; both solved and fixed
+            nodes are accepted.
+
+        Returns
+        -------
+        TransientResult
+            Waveforms sampled at the step boundaries, including
+            ``t_start`` itself (so ``n_steps + 1`` points).
+        """
+        if n_steps < 1:
+            raise SimulationError("n_steps must be >= 1")
+        if t_stop <= t_start:
+            raise SimulationError("t_stop must be after t_start")
+        v = np.array(v0, dtype=float, copy=True)
+        if v.shape != (self.n_samples, self.n):
+            raise SimulationError(
+                f"v0 shape {v.shape} != ({self.n_samples}, {self.n})"
+            )
+        dt = (t_stop - t_start) / n_steps
+        times = t_start + dt * np.arange(n_steps + 1)
+        waves = {name: np.empty((self.n_samples, n_steps + 1)) for name in record}
+        self._record_into(waves, 0, v, t_start)
+        for k in range(1, n_steps + 1):
+            v = self._step(v, times[k], dt)
+            self._record_into(waves, k, v, times[k])
+        return TransientResult(times=times, waveforms=waves, final_state=v)
+
+    def _record_into(
+        self, waves: Dict[str, np.ndarray], k: int, v: np.ndarray, t: float
+    ) -> None:
+        for name, arr in waves.items():
+            if name in self.compiled.node_index:
+                arr[:, k] = v[:, self.compiled.node_index[name]]
+            else:
+                arr[:, k] = self.compiled.known_voltage(name, t)

@@ -1,0 +1,72 @@
+"""Unit conventions and helpers.
+
+The whole library uses SI units internally:
+
+========  ========
+quantity  unit
+========  ========
+time      seconds
+voltage   volts
+current   amperes
+charge    coulombs
+R         ohms
+C         farads
+length    meters
+========  ========
+
+The paper quotes picoseconds and femtofarads; these helpers keep call
+sites readable (``10 * PS`` instead of ``1e-11``) and make intent explicit
+when printing results back in paper units.
+"""
+
+from __future__ import annotations
+
+# Time
+S = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+PS = 1e-12
+FS = 1e-15
+
+# Capacitance
+F = 1.0
+PF = 1e-12
+FF = 1e-15
+AF = 1e-18
+
+# Resistance
+OHM = 1.0
+KOHM = 1e3
+MEGOHM = 1e6
+
+# Length
+M = 1.0
+UM = 1e-6
+NM = 1e-9
+
+# Voltage / current
+V = 1.0
+MV = 1e-3
+A = 1.0
+MA = 1e-3
+UA = 1e-6
+NA = 1e-9
+
+# Boltzmann constant over electron charge (V/K); thermal voltage = KB_Q * T.
+KB_Q = 8.617333262e-5
+
+
+def thermal_voltage(temperature_c: float = 25.0) -> float:
+    """Return the thermal voltage ``kT/q`` in volts at ``temperature_c`` Celsius."""
+    return KB_Q * (temperature_c + 273.15)
+
+
+def to_ps(seconds: float) -> float:
+    """Convert seconds to picoseconds (for reporting in paper units)."""
+    return seconds / PS
+
+
+def to_ff(farads: float) -> float:
+    """Convert farads to femtofarads (for reporting in paper units)."""
+    return farads / FF

@@ -1,0 +1,34 @@
+"""Process-variation substrate.
+
+This package models the manufacturing variability that the paper's TSMC
+28 nm PDK supplied: a *global* (die-to-die) component shared by every
+device in a sample, and a *local* (within-die, mismatch) component drawn
+independently per transistor with a Pelgrom area law.
+
+Public API
+----------
+:class:`~repro.variation.parameters.Technology`
+    Nominal device and interconnect constants for the synthetic process.
+:class:`~repro.variation.parameters.VariationModel`
+    Sigmas of the global and local variation sources.
+:class:`~repro.variation.sampling.MonteCarloSampler`
+    Draws :class:`~repro.variation.sampling.ParameterSample` batches.
+:func:`~repro.variation.pelgrom.pelgrom_sigma_vth`
+    The Pelgrom mismatch law used for per-device threshold sigma.
+"""
+
+from repro.variation.parameters import Technology, VariationModel
+from repro.variation.pelgrom import pelgrom_sigma_vth, stacked_variability_scale
+from repro.variation.sampling import GlobalDraws, MonteCarloSampler, ParameterSample
+from repro.variation.lhs import LatinHypercubeSampler
+
+__all__ = [
+    "Technology",
+    "VariationModel",
+    "MonteCarloSampler",
+    "LatinHypercubeSampler",
+    "ParameterSample",
+    "GlobalDraws",
+    "pelgrom_sigma_vth",
+    "stacked_variability_scale",
+]

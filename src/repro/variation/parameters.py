@@ -1,0 +1,182 @@
+"""Nominal technology constants and variation magnitudes.
+
+The numbers below describe a synthetic 28 nm-class bulk CMOS process.
+They are not the (proprietary) TSMC values; they are chosen so that the
+*mechanisms* the paper relies on are present with realistic magnitude:
+
+* near-threshold operation at ``vdd = 0.6 V`` with ``|Vt0| = 0.35 V``,
+  putting devices ~0.25 V above threshold where drive current is an
+  exponential-ish function of Vth — the origin of the right-skewed,
+  heavy-tailed delay distributions in the paper's Fig. 2;
+* Pelgrom mismatch with ``A_vt`` of a few mV·µm, so wider (stronger)
+  devices vary relatively less — the origin of Eq. (5);
+* back-end-of-line wire parasitics of a few Ω/µm and ~0.2 fF/µm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import FF, NM, OHM, UM
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Nominal constants of the synthetic process.
+
+    Attributes
+    ----------
+    vdd:
+        Default supply voltage in volts. The paper evaluates at 0.6 V
+        (near-threshold); :class:`Technology` is immutable, use
+        :meth:`at_vdd` for voltage sweeps.
+    temperature_c:
+        Junction temperature in Celsius (paper: 25 °C).
+    vt0_n / vt0_p:
+        Nominal long-channel threshold voltages (PMOS value is the
+        magnitude; the device model applies the sign).
+    subthreshold_slope_factor:
+        EKV slope factor ``n`` (dimensionless, typically 1.2–1.5).
+    kp_n / kp_p:
+        Transconductance prefactor ``µ·Cox`` in A/V² per square (W/L).
+    dibl:
+        Drain-induced barrier lowering coefficient (V/V): effective
+        threshold drops by ``dibl * vds``.
+    channel_length_modulation:
+        Early-effect coefficient λ (1/V).
+    l_min / w_unit:
+        Minimum drawn channel length and the unit-strength NMOS width in
+        meters. A cell of strength ``k`` uses ``k * w_unit`` wide NMOS.
+    pn_ratio:
+        PMOS/NMOS width ratio used by the cell templates to balance rise
+        and fall drive.
+    cg_per_width:
+        Gate capacitance per meter of gate width (F/m); used for cell
+        input-pin capacitance and loading.
+    cd_per_width:
+        Drain junction/overlap capacitance per meter of width (F/m);
+        self-loading of cell outputs.
+    wire_r_per_m / wire_c_per_m:
+        Nominal interconnect resistance (Ω/m) and ground capacitance
+        (F/m) for the synthetic parasitic generator.
+    cap_vth_sensitivity:
+        Relative sensitivity of a device's effective switching (gate /
+        junction) capacitance to its threshold shift:
+        ``cap_scale = length_scale * (1 - k * dvth / vt0)``. Models the
+        inversion-charge dependence on Vth that couples receiver-cell
+        variation into wire delay — the physical origin of the paper's
+        load-cell term ``X_FO`` in Eq. (7).
+    """
+
+    vdd: float = 0.6
+    temperature_c: float = 25.0
+    vt0_n: float = 0.35
+    vt0_p: float = 0.35
+    subthreshold_slope_factor: float = 1.35
+    kp_n: float = 220e-6
+    kp_p: float = 110e-6
+    dibl: float = 0.08
+    channel_length_modulation: float = 0.08
+    l_min: float = 30 * NM
+    w_unit: float = 120 * NM
+    pn_ratio: float = 1.6
+    cg_per_width: float = 1.1 * FF / UM
+    cd_per_width: float = 0.6 * FF / UM
+    wire_r_per_m: float = 25.0 * OHM / UM
+    wire_c_per_m: float = 0.10 * FF / UM
+    cap_vth_sensitivity: float = 1.8
+
+    def at_vdd(self, vdd: float) -> "Technology":
+        """Return a copy of this technology operating at ``vdd`` volts."""
+        from dataclasses import replace
+
+        return replace(self, vdd=vdd)
+
+    @property
+    def unit_nmos_width(self) -> float:
+        """Width in meters of a strength-1 NMOS device."""
+        return self.w_unit
+
+    @property
+    def unit_pmos_width(self) -> float:
+        """Width in meters of a strength-1 PMOS device."""
+        return self.w_unit * self.pn_ratio
+
+    def gate_cap(self, width: float) -> float:
+        """Gate capacitance in farads of a device of the given width."""
+        return self.cg_per_width * width
+
+    def drain_cap(self, width: float) -> float:
+        """Drain parasitic capacitance in farads of a device of the given width."""
+        return self.cd_per_width * width
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Magnitudes of the statistical variation sources.
+
+    Global (die-to-die) components are shared by every transistor in a
+    Monte-Carlo sample; local (mismatch) components are independent per
+    transistor with the Pelgrom area scaling.
+
+    Attributes
+    ----------
+    sigma_vth_global:
+        Sigma of the global threshold-voltage shift in volts (applied
+        with opposite correlation sign conventions handled by the
+        sampler: NMOS and PMOS global shifts are drawn separately with
+        correlation ``global_np_correlation``).
+    avt:
+        Pelgrom coefficient in V·m (σ_Vth,local = avt / sqrt(W·L)).
+    sigma_mobility_global / sigma_mobility_local:
+        Relative (fractional) sigma of the mobility / transconductance
+        prefactor.
+    sigma_length_global:
+        Relative sigma of the drawn channel length (affects W/L and the
+        Pelgrom area).
+    sigma_wire_r / sigma_wire_c:
+        Relative sigma of per-segment interconnect R and C (BEOL
+        variation), applied per RC segment with a global + local split
+        controlled by ``wire_global_fraction``.
+    global_np_correlation:
+        Correlation coefficient between the NMOS and PMOS global Vth
+        shifts (same wafer: positive, but imperfect).
+    wire_global_fraction:
+        Fraction of the wire R/C variance that is globally correlated.
+    """
+
+    sigma_vth_global: float = 0.030
+    avt: float = 1.4e-3 * 1e-6  # 1.4 mV*um in V*m
+    sigma_mobility_global: float = 0.06
+    sigma_mobility_local: float = 0.015
+    sigma_length_global: float = 0.02
+    sigma_wire_r: float = 0.03
+    sigma_wire_c: float = 0.02
+    global_np_correlation: float = 0.6
+    wire_global_fraction: float = 0.5
+
+    def scaled(self, factor: float) -> "VariationModel":
+        """Return a copy with every sigma multiplied by ``factor``.
+
+        Useful for ablations (e.g. "what if mismatch doubled?") and for
+        tests that need nearly-deterministic behaviour.
+        """
+        from dataclasses import replace
+
+        return replace(
+            self,
+            sigma_vth_global=self.sigma_vth_global * factor,
+            avt=self.avt * factor,
+            sigma_mobility_global=self.sigma_mobility_global * factor,
+            sigma_mobility_local=self.sigma_mobility_local * factor,
+            sigma_length_global=self.sigma_length_global * factor,
+            sigma_wire_r=self.sigma_wire_r * factor,
+            sigma_wire_c=self.sigma_wire_c * factor,
+        )
+
+
+#: Technology instance used throughout the examples and benchmarks.
+DEFAULT_TECHNOLOGY = Technology()
+
+#: Variation model used throughout the examples and benchmarks.
+DEFAULT_VARIATION = VariationModel()

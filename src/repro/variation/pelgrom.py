@@ -1,0 +1,56 @@
+"""Pelgrom's mismatch law and its stacking corollary.
+
+Pelgrom et al. (JSSC 1989) showed that the standard deviation of the
+threshold-voltage mismatch between identically drawn MOS transistors
+scales with the inverse square root of the gate area:
+
+    sigma(ΔVth) = A_vt / sqrt(W · L)
+
+The paper leans on two corollaries (its Eq. (5)):
+
+* a cell of strength ``k`` uses ``k``-times wider devices, so its delay
+  variability scales like ``1/sqrt(k)``;
+* a cell whose switching path stacks ``n`` transistors averages ``n``
+  independent mismatch draws, contributing another ``1/sqrt(n)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def pelgrom_sigma_vth(avt: float, width: float, length: float) -> float:
+    """Local threshold mismatch sigma in volts for a ``width`` × ``length`` device.
+
+    Parameters
+    ----------
+    avt:
+        Pelgrom coefficient in V·m (e.g. ``2.2e-9`` for 2.2 mV·µm).
+    width, length:
+        Drawn dimensions in meters; both must be positive.
+    """
+    if width <= 0.0 or length <= 0.0:
+        raise ValueError(f"device dimensions must be positive, got W={width}, L={length}")
+    return avt / math.sqrt(width * length)
+
+
+def stacked_variability_scale(n_stacked: int, strength: float) -> float:
+    """Relative delay-variability scale of a cell, Eq. (5) of the paper.
+
+    Returns ``1 / sqrt(n_stacked * strength)`` — the factor by which a
+    cell's ``sigma/mu`` shrinks relative to a unit-strength, single-device
+    reference as devices are stacked and widened.
+
+    Parameters
+    ----------
+    n_stacked:
+        Number of series transistors on the switching path (1 for an
+        inverter, 2 for a NAND2 pull-down, ...).
+    strength:
+        Drive-strength multiplier (the ``x1``/``x4``/``x8`` suffix).
+    """
+    if n_stacked < 1:
+        raise ValueError(f"stack count must be >= 1, got {n_stacked}")
+    if strength <= 0.0:
+        raise ValueError(f"strength must be positive, got {strength}")
+    return 1.0 / math.sqrt(n_stacked * strength)

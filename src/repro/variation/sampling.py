@@ -1,0 +1,269 @@
+"""Monte-Carlo sampling of process parameters.
+
+A :class:`MonteCarloSampler` turns a :class:`~repro.variation.parameters.VariationModel`
+into batches of per-transistor parameter deviations. Each batch is a
+:class:`ParameterSample` — a struct of ``(n_samples, n_transistors)``
+arrays that the vectorized SPICE engine consumes directly.
+
+Correlation structure
+---------------------
+* One global NMOS Vth shift and one global PMOS Vth shift per sample,
+  correlated with coefficient ``global_np_correlation`` (same die, but
+  N and P devices track imperfectly).
+* One global mobility shift and one global length shift per sample,
+  shared by all devices.
+* Independent local (mismatch) Vth and mobility draws per transistor,
+  Vth scaled per-device by the Pelgrom law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.variation.parameters import VariationModel
+
+
+@dataclass
+class ParameterSample:
+    """Per-transistor parameter deviations for a Monte-Carlo batch.
+
+    All arrays have shape ``(n_samples, n_transistors)``.
+
+    Attributes
+    ----------
+    dvth:
+        Additive threshold-voltage shift in volts. For PMOS devices the
+        shift applies to the threshold *magnitude* (positive shift →
+        slower device), matching the NMOS sign convention so the device
+        model can treat both uniformly.
+    mobility_scale:
+        Multiplicative factor on the transconductance prefactor
+        (nominal = 1.0).
+    length_scale:
+        Multiplicative factor on the channel length (nominal = 1.0).
+    """
+
+    dvth: np.ndarray
+    mobility_scale: np.ndarray
+    length_scale: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        """Number of Monte-Carlo samples in the batch."""
+        return self.dvth.shape[0]
+
+    @property
+    def n_transistors(self) -> int:
+        """Number of transistors the batch parameterizes."""
+        return self.dvth.shape[1]
+
+    @classmethod
+    def nominal(cls, n_samples: int, n_transistors: int) -> "ParameterSample":
+        """A batch with every deviation at its nominal value (no variation)."""
+        shape = (n_samples, n_transistors)
+        return cls(
+            dvth=np.zeros(shape),
+            mobility_scale=np.ones(shape),
+            length_scale=np.ones(shape),
+        )
+
+    def cap_scale(self, sensitivity: float, vt_ref: float) -> np.ndarray:
+        """Per-device parasitic-capacitance scale factors.
+
+        Effective switching (inversion + junction) charge shrinks as the
+        threshold rises: ``length_scale * (1 - sensitivity * dvth / vt_ref)``,
+        floored at 0.2 for physicality. This is what couples receiver-cell
+        process variation into wire delay (the paper's ``X_FO`` effect).
+        """
+        scale = self.length_scale * (1.0 - sensitivity * self.dvth / vt_ref)
+        return np.clip(scale, 0.2, None)
+
+    def subset(self, sample_indices: np.ndarray) -> "ParameterSample":
+        """Return the batch restricted to the given sample rows."""
+        return ParameterSample(
+            dvth=self.dvth[sample_indices],
+            mobility_scale=self.mobility_scale[sample_indices],
+            length_scale=self.length_scale[sample_indices],
+        )
+
+
+@dataclass
+class GlobalDraws:
+    """Standard-normal draws of the *global* variation components.
+
+    When one Monte-Carlo experiment spans several separately-sampled
+    sub-circuits (e.g. the stages of a critical path), the die-to-die
+    components must be shared: draw one :class:`GlobalDraws` with
+    :meth:`MonteCarloSampler.draw_globals` and pass it to every
+    :meth:`MonteCarloSampler.sample` call for the path.
+    """
+
+    z_vth_n: np.ndarray
+    z_vth_p: np.ndarray
+    z_mobility: np.ndarray
+    z_length: np.ndarray
+    z_wire_r: np.ndarray
+    z_wire_c: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        """Number of Monte-Carlo samples the draws cover."""
+        return self.z_vth_n.shape[0]
+
+
+class MonteCarloSampler:
+    """Draws :class:`ParameterSample` batches for a set of transistors.
+
+    Parameters
+    ----------
+    variation:
+        Variation magnitudes; see :class:`~repro.variation.parameters.VariationModel`.
+    seed:
+        Seed for the internal :class:`numpy.random.Generator`. Passing
+        the same seed reproduces the same stream of samples.
+    """
+
+    def __init__(self, variation: VariationModel, seed: Optional[int] = None):
+        self.variation = variation
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The underlying random generator (exposed for wire sampling etc.)."""
+        return self._rng
+
+    def draw_globals(self, n_samples: int) -> GlobalDraws:
+        """Draw the correlated global (die-to-die) components once.
+
+        The NMOS/PMOS threshold draws carry the
+        ``global_np_correlation`` structure; mobility, length and the
+        wire R/C common factors are independent standard normals.
+        """
+        # One-factor model: loading sqrt(rho) on the shared factor gives
+        # corr(z_n, z_p) = rho with unit marginal variance.
+        rho = min(max(self.variation.global_np_correlation, 0.0), 1.0)
+        z_common = self._rng.standard_normal(n_samples)
+        load = np.sqrt(rho)
+        tail = np.sqrt(1.0 - rho)
+        z_n = load * z_common + tail * self._rng.standard_normal(n_samples)
+        z_p = load * z_common + tail * self._rng.standard_normal(n_samples)
+        return GlobalDraws(
+            z_vth_n=z_n,
+            z_vth_p=z_p,
+            z_mobility=self._rng.standard_normal(n_samples),
+            z_length=self._rng.standard_normal(n_samples),
+            z_wire_r=self._rng.standard_normal(n_samples),
+            z_wire_c=self._rng.standard_normal(n_samples),
+        )
+
+    def sample(
+        self,
+        sigma_vth_local: Sequence[float],
+        is_pmos: Sequence[bool],
+        n_samples: int,
+        globals_: Optional[GlobalDraws] = None,
+    ) -> ParameterSample:
+        """Draw a Monte-Carlo batch.
+
+        Parameters
+        ----------
+        sigma_vth_local:
+            Per-transistor local Vth sigma in volts (from
+            :func:`~repro.variation.pelgrom.pelgrom_sigma_vth`), length
+            ``n_transistors``.
+        is_pmos:
+            Per-transistor device-type flags (True for PMOS), used to
+            select the correlated global Vth shift.
+        n_samples:
+            Number of Monte-Carlo samples to draw.
+        globals_:
+            Pre-drawn global components (see :meth:`draw_globals`); when
+            omitted, fresh globals are drawn for this batch. Pass the
+            same object across batches to correlate the die-to-die
+            variation of separately sampled sub-circuits.
+
+        Returns
+        -------
+        ParameterSample
+            Arrays of shape ``(n_samples, n_transistors)``.
+        """
+        sigma_local = np.asarray(sigma_vth_local, dtype=float)
+        pmos_mask = np.asarray(is_pmos, dtype=bool)
+        if sigma_local.ndim != 1:
+            raise ValueError("sigma_vth_local must be one-dimensional")
+        if pmos_mask.shape != sigma_local.shape:
+            raise ValueError(
+                f"is_pmos length {pmos_mask.shape} does not match "
+                f"sigma_vth_local length {sigma_local.shape}"
+            )
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        var = self.variation
+        n_tr = sigma_local.shape[0]
+
+        if globals_ is None:
+            globals_ = self.draw_globals(n_samples)
+        elif globals_.n_samples != n_samples:
+            raise ValueError(
+                f"globals_ covers {globals_.n_samples} samples, requested {n_samples}"
+            )
+        global_vth_n = var.sigma_vth_global * globals_.z_vth_n
+        global_vth_p = var.sigma_vth_global * globals_.z_vth_p
+        global_vth = np.where(pmos_mask[None, :], global_vth_p[:, None], global_vth_n[:, None])
+
+        local_vth = self._rng.standard_normal((n_samples, n_tr)) * sigma_local[None, :]
+        dvth = global_vth + local_vth
+
+        mobility = (
+            1.0
+            + var.sigma_mobility_global * globals_.z_mobility[:, None]
+            + var.sigma_mobility_local * self._rng.standard_normal((n_samples, n_tr))
+        )
+        length = 1.0 + var.sigma_length_global * globals_.z_length[:, None]
+        length = np.broadcast_to(length, (n_samples, n_tr)).copy()
+
+        # Physical floor: neither mobility nor length may go non-positive,
+        # even at extreme sigmas. Clip at 10% of nominal.
+        np.clip(mobility, 0.1, None, out=mobility)
+        np.clip(length, 0.1, None, out=length)
+        return ParameterSample(dvth=dvth, mobility_scale=mobility, length_scale=length)
+
+    def sample_wire_scales(
+        self,
+        n_segments: int,
+        n_samples: int,
+        globals_: Optional[GlobalDraws] = None,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Draw multiplicative R and C scale factors for wire segments.
+
+        Returns a pair of ``(n_samples, n_segments)`` arrays with mean 1.
+        Variance is split between a globally-correlated component and an
+        independent per-segment component per ``wire_global_fraction``.
+        Pass ``globals_`` to share the common BEOL component across
+        separately sampled nets (e.g. along a path).
+        """
+        if n_segments < 1:
+            raise ValueError(f"n_segments must be >= 1, got {n_segments}")
+        var = self.variation
+        frac = var.wire_global_fraction
+        g = np.sqrt(frac)
+        l = np.sqrt(max(0.0, 1.0 - frac))
+        if globals_ is None:
+            globals_ = self.draw_globals(n_samples)
+        elif globals_.n_samples != n_samples:
+            raise ValueError(
+                f"globals_ covers {globals_.n_samples} samples, requested {n_samples}"
+            )
+
+        def draw(sigma: float, common: np.ndarray) -> np.ndarray:
+            local = self._rng.standard_normal((n_samples, n_segments))
+            scale = 1.0 + sigma * (g * common[:, None] + l * local)
+            return np.clip(scale, 0.1, None)
+
+        return (
+            draw(var.sigma_wire_r, globals_.z_wire_r),
+            draw(var.sigma_wire_c, globals_.z_wire_c),
+        )

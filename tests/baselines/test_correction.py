@@ -1,0 +1,44 @@
+"""Tests for the correction-factor baseline."""
+
+import pytest
+
+from repro.baselines.correction import CorrectionBasedSTA
+from repro.core.sta import StatisticalSTA
+from repro.interconnect.generate import NetGenerator
+from repro.units import UM
+
+
+@pytest.fixture(scope="module")
+def corrected(adder_circuit, mini_flow, mini_models, engine):
+    gen = NetGenerator(mini_flow.tech, seed=21)
+    trees = [gen.chain(40 * UM), gen.chain(80 * UM)]
+    model = CorrectionBasedSTA.calibrate(
+        mini_models, engine, trees, n_samples=250)
+    path = StatisticalSTA(adder_circuit, mini_models).analyze().critical_path
+    return model, path
+
+
+class TestCorrectionBased:
+    def test_factors_bracket_unity(self, corrected):
+        model, _ = corrected
+        assert model.factor_late > 1.0
+        assert model.factor_early < 1.0
+
+    def test_late_above_early(self, corrected):
+        model, path = corrected
+        late, early, _ = model.analyze_path(path)
+        assert late > early > 0
+
+    def test_between_corner_and_nsigma(self, corrected, mini_models):
+        # The Table III ordering: correction-based is tighter than the
+        # global-corner method but looser than (or comparable to) ours.
+        from repro.baselines.primetime import CornerSTA
+        model, path = corrected
+        late, _, _ = model.analyze_path(path)
+        corner = CornerSTA(mini_models).analyze_path(path)
+        assert late < corner.late
+
+    def test_runtime_tiny(self, corrected):
+        model, path = corrected
+        _, _, runtime = model.analyze_path(path)
+        assert runtime < 0.1

@@ -1,0 +1,86 @@
+"""Tests for the golden stage-chained path Monte-Carlo."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.golden import GoldenPathMC
+from repro.core.sta import StatisticalSTA
+from repro.moments.stats import SIGMA_LEVELS
+
+
+@pytest.fixture(scope="module")
+def golden_run(adder_circuit, mini_flow, mini_models):
+    sta = StatisticalSTA(adder_circuit, mini_models)
+    result = sta.analyze()
+    golden = GoldenPathMC(
+        adder_circuit, mini_flow.library, mini_flow.tech, mini_flow.variation,
+        seed=55)
+    mc = golden.run(result.critical_path, n_samples=250)
+    return result, mc
+
+
+class TestGoldenMC:
+    def test_high_yield(self, golden_run):
+        _, mc = golden_run
+        assert mc.valid_fraction > 0.95
+
+    def test_quantiles_monotone(self, golden_run):
+        _, mc = golden_run
+        values = [mc.quantiles[n] for n in SIGMA_LEVELS]
+        assert values == sorted(values)
+
+    def test_stage_delays_positive(self, golden_run):
+        _, mc = golden_run
+        assert all(d > 0 for d in mc.stage_delays)
+
+    def test_stage_count_matches_path(self, golden_run):
+        result, mc = golden_run
+        assert len(mc.stage_delays) == result.critical_path.n_cells
+
+    def test_spread_is_near_threshold_sized(self, golden_run):
+        _, mc = golden_run
+        d = mc.delay[np.isfinite(mc.delay)]
+        assert 0.05 < np.std(d) / np.mean(d) < 0.4
+
+    def test_model_mean_close_to_golden(self, golden_run):
+        # The headline agreement (loose at test fidelity).
+        result, mc = golden_run
+        model_mu = result.critical_path.total(0)
+        assert model_mu == pytest.approx(mc.quantiles[0], rel=0.15)
+
+    def test_model_plus3_within_paper_band(self, golden_run):
+        result, mc = golden_run
+        model = result.critical_path.total(3)
+        assert model == pytest.approx(mc.quantiles[3], rel=0.30)
+
+    def test_reproducible_given_seed(self, adder_circuit, mini_flow, mini_models):
+        sta = StatisticalSTA(adder_circuit, mini_models)
+        path = sta.analyze().critical_path
+        a = GoldenPathMC(adder_circuit, mini_flow.library, mini_flow.tech,
+                         mini_flow.variation, seed=9).run(path, n_samples=60)
+        b = GoldenPathMC(adder_circuit, mini_flow.library, mini_flow.tech,
+                         mini_flow.variation, seed=9).run(path, n_samples=60)
+        assert np.allclose(a.delay, b.delay, equal_nan=True)
+
+    def test_runtime_recorded(self, golden_run):
+        _, mc = golden_run
+        assert mc.runtime_s > 0
+
+    def test_model_runtime_far_below_mc(self, golden_run):
+        # The paper's speedup claim, in miniature.
+        result, mc = golden_run
+        assert result.runtime_s < 0.2 * mc.runtime_s
+
+    def test_empty_path_rejected(self, adder_circuit, mini_flow):
+        from repro.core.sta import PathTiming
+        from repro.errors import TimingError
+        golden = GoldenPathMC(adder_circuit, mini_flow.library,
+                              mini_flow.tech, mini_flow.variation)
+        with pytest.raises(TimingError):
+            golden.run(PathTiming(stages=[]), n_samples=10)
+
+    def test_plus_minus_spread_asymmetric(self, golden_run):
+        # Right-skewed path delay: the +3σ tail is longer than the −3σ.
+        _, mc = golden_run
+        median = mc.quantiles[0]
+        assert (mc.quantiles[3] - median) > (median - mc.quantiles[-3])

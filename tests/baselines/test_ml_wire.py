@@ -1,0 +1,96 @@
+"""Tests for the ML wire-delay baseline (features, MLP, pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ml_wire import MLPRegressor, MLWireModel, wire_features
+from repro.errors import CalibrationError
+from repro.interconnect.generate import NetGenerator
+from repro.units import UM
+
+
+class TestFeatures:
+    def test_feature_vector_shape(self, tech, library):
+        gen = NetGenerator(tech, seed=1)
+        tree = gen.chain(30 * UM)
+        f = wire_features(tree, tree.leaves()[0],
+                          library.get("INVx2"), library.get("NAND2x4"))
+        assert f.shape == (9,)
+        assert np.all(np.isfinite(f))
+        # driver strength / stack and load strength / stack encoded
+        assert f[5] == 2.0 and f[6] == 1.0
+        assert f[7] == 4.0 and f[8] == 2.0
+
+    def test_features_scale_with_length(self, tech, library):
+        gen = NetGenerator(tech, seed=1)
+        short = gen.chain(20 * UM)
+        long = gen.chain(80 * UM)
+        inv = library.get("INVx1")
+        f_s = wire_features(short, short.leaves()[0], inv, inv)
+        f_l = wire_features(long, long.leaves()[0], inv, inv)
+        assert f_l[0] > f_s[0]  # m1
+        assert f_l[3] > f_s[3]  # total C
+
+
+class TestMLP:
+    def test_learns_linear_function(self, rng):
+        x = rng.normal(size=(400, 3))
+        y = x @ np.array([[1.0, -1.0], [2.0, 0.5], [0.0, 1.0]])
+        net = MLPRegressor(hidden=16, epochs=600, seed=1)
+        net.fit(x, y)
+        pred = net.predict(x)
+        rel = np.sqrt(np.mean((pred - y) ** 2)) / np.std(y)
+        assert rel < 0.1
+
+    def test_learns_mild_nonlinearity(self, rng):
+        x = rng.uniform(-1, 1, size=(500, 2))
+        y = (x[:, 0] ** 2 + np.sin(2 * x[:, 1]))[:, None]
+        net = MLPRegressor(hidden=24, epochs=1500, seed=2)
+        net.fit(x, y)
+        rel = np.sqrt(np.mean((net.predict(x) - y) ** 2)) / np.std(y)
+        assert rel < 0.2
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(CalibrationError):
+            MLPRegressor().predict(np.zeros((1, 2)))
+
+    def test_needs_data(self):
+        with pytest.raises(CalibrationError):
+            MLPRegressor().fit(np.zeros((3, 2)), np.zeros(3))
+
+    def test_single_row_predict(self, rng):
+        x = rng.normal(size=(100, 2))
+        y = x[:, :1]
+        net = MLPRegressor(epochs=200).fit(x, y)
+        assert net.predict(x[0]).shape == (1, 1)
+
+    def test_training_time_recorded(self, rng):
+        x = rng.normal(size=(50, 2))
+        net = MLPRegressor(epochs=50).fit(x, x[:, :1])
+        assert net.train_time_s > 0
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.normal(size=(60, 2))
+        y = x[:, :1]
+        a = MLPRegressor(epochs=100, seed=3).fit(x, y).predict(x)
+        b = MLPRegressor(epochs=100, seed=3).fit(x, y).predict(x)
+        assert np.allclose(a, b)
+
+
+@pytest.mark.slow
+class TestMLWirePipeline:
+    def test_train_and_predict(self, mini_flow, mini_models, engine):
+        gen = NetGenerator(mini_flow.tech, seed=31)
+        trees = [gen.chain(30 * UM), gen.chain(70 * UM)]
+        model = MLWireModel.train(
+            mini_models, engine, trees,
+            driver_names=["INVx1", "INVx4"],
+            load_names=["INVx1", "INVx4"],
+            n_samples=150,
+            network=MLPRegressor(hidden=12, epochs=400),
+        )
+        tree = gen.chain(50 * UM)
+        lo, hi = model.wire_quantiles(
+            tree, tree.leaves()[0],
+            mini_models.library.get("INVx2"), mini_models.library.get("INVx2"))
+        assert 0 < lo < hi

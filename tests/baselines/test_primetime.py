@@ -1,0 +1,56 @@
+"""Tests for the corner-STA (PrimeTime proxy) baseline."""
+
+import pytest
+
+from repro.baselines.primetime import CornerSTA
+from repro.core.sta import StatisticalSTA
+
+
+@pytest.fixture(scope="module")
+def corner_report(adder_circuit, mini_models):
+    path = StatisticalSTA(adder_circuit, mini_models).analyze().critical_path
+    return CornerSTA(mini_models).analyze_path(path), path, mini_models
+
+
+class TestCornerSTA:
+    def test_late_exceeds_nominal_exceeds_early(self, corner_report):
+        report, _, _ = corner_report
+        assert report.late > report.nominal > report.early
+
+    def test_derates_bracket_unity(self, corner_report):
+        report, _, _ = corner_report
+        assert report.derate_late > 1.0
+        assert 0.0 <= report.derate_early < 1.0
+
+    def test_derates_right_skew_asymmetric(self, corner_report):
+        # Near-threshold delay is right-skewed: the slow corner is much
+        # farther from nominal than the fast corner.
+        report, _, _ = corner_report
+        assert report.derate_late - 1.0 > 1.0 - report.derate_early
+
+    def test_corner_sized_from_worst_cell(self, corner_report):
+        _, _, models = corner_report
+        sta = CornerSTA(models, margin=1.0)
+        late, _ = sta.corner_derates
+        worst = max(
+            models.nsigma.quantile(a.ref, 3) / a.ref.mu
+            for a in models.calibrated.arcs.values()
+        )
+        assert late == pytest.approx(worst)
+
+    def test_pessimistic_vs_nsigma_plus3(self, corner_report):
+        # The Table III shape: corner-based +3 sigma far above the
+        # statistical model's +3 sigma.
+        report, path, _ = corner_report
+        assert report.late > path.total(3)
+
+    def test_margin_scales_guardband(self, corner_report):
+        _, path, models = corner_report
+        tight = CornerSTA(models, margin=1.0).analyze_path(path)
+        loose = CornerSTA(models, margin=1.5).analyze_path(path)
+        assert loose.late > tight.late
+        assert loose.early < tight.early
+
+    def test_runtime_recorded(self, corner_report):
+        report, _, _ = corner_report
+        assert report.runtime_s >= 0

@@ -1,0 +1,143 @@
+"""Characterization-engine tests (Monte-Carlo backed, kept small)."""
+
+import numpy as np
+import pytest
+
+from repro.cells.characterize import (
+    REFERENCE_LOAD,
+    REFERENCE_SLEW,
+    CharacterizationTable,
+    LibraryCharacterization,
+    fanout_load,
+)
+from repro.errors import CharacterizationError
+from repro.moments.stats import SIGMA_LEVELS
+from repro.units import FF, PS
+
+
+@pytest.fixture(scope="module")
+def inv_table(mini_charac):
+    return mini_charac.get("INVx1", "A", output_rising=False)
+
+
+class TestTables:
+    def test_shapes(self, inv_table):
+        n_s, n_c = inv_table.slews.size, inv_table.loads.size
+        assert inv_table.moments.shape == (n_s, n_c, 4)
+        assert inv_table.quantiles.shape == (n_s, n_c, len(SIGMA_LEVELS))
+        assert inv_table.out_slew.shape == (n_s, n_c)
+
+    def test_moments_physical(self, inv_table):
+        mu = inv_table.moments[..., 0]
+        sigma = inv_table.moments[..., 1]
+        assert np.all(mu > 0)
+        assert np.all(sigma > 0)
+        assert np.all(sigma < mu)
+
+    def test_positive_skew_at_near_threshold(self, inv_table):
+        # The near-threshold signature the paper builds on.
+        assert np.mean(inv_table.moments[..., 2]) > 0.2
+
+    def test_delay_monotone_in_load(self, inv_table):
+        mu = inv_table.moments[..., 0]
+        assert np.all(np.diff(mu, axis=1) > 0)
+
+    def test_quantiles_monotone_in_level(self, inv_table):
+        assert np.all(np.diff(inv_table.quantiles, axis=2) >= 0)
+
+    def test_out_slew_monotone_in_load(self, inv_table):
+        assert np.all(np.diff(inv_table.out_slew, axis=1) > 0)
+
+    def test_bilinear_interpolation_exact_at_grid(self, inv_table):
+        s, c = inv_table.slews[1], inv_table.loads[1]
+        m = inv_table.moments_at(s, c)
+        assert m.mu == pytest.approx(inv_table.moments[1, 1, 0])
+        assert m.kurt == pytest.approx(inv_table.moments[1, 1, 3])
+
+    def test_interpolation_between_grid_points(self, inv_table):
+        s = 0.5 * (inv_table.slews[0] + inv_table.slews[1])
+        c = inv_table.loads[0]
+        m = inv_table.moments_at(s, c)
+        lo = inv_table.moments[0, 0, 0]
+        hi = inv_table.moments[1, 0, 0]
+        assert min(lo, hi) <= m.mu <= max(lo, hi)
+
+    def test_clamping_outside_grid(self, inv_table):
+        inside = inv_table.moments_at(inv_table.slews[0], inv_table.loads[-1])
+        outside = inv_table.moments_at(inv_table.slews[0] / 10, 100 * FF)
+        assert outside.mu == pytest.approx(inside.mu)
+
+    def test_quantile_at(self, inv_table):
+        q3 = inv_table.quantile_at(REFERENCE_SLEW, REFERENCE_LOAD, 3)
+        q0 = inv_table.quantile_at(REFERENCE_SLEW, REFERENCE_LOAD, 0)
+        assert q3 > q0
+
+    def test_shape_validation(self, inv_table):
+        with pytest.raises(CharacterizationError):
+            CharacterizationTable(
+                cell_name="X", pin="A", output_rising=False,
+                slews=inv_table.slews, loads=inv_table.loads,
+                moments=inv_table.moments[:, :1],
+                quantiles=inv_table.quantiles,
+                out_slew=inv_table.out_slew,
+                n_samples=10,
+            )
+
+
+class TestArcSimulation:
+    def test_rise_and_fall_differ(self, mini_charac):
+        fall = mini_charac.get("INVx1", "A", output_rising=False)
+        rise = mini_charac.get("INVx1", "A", output_rising=True)
+        mu_f = fall.moments_at(REFERENCE_SLEW, REFERENCE_LOAD).mu
+        mu_r = rise.moments_at(REFERENCE_SLEW, REFERENCE_LOAD).mu
+        assert mu_f != pytest.approx(mu_r, rel=0.02)
+
+    def test_nand_slower_than_inv(self, mini_charac):
+        inv = mini_charac.get("INVx1", "A", False)
+        nand = mini_charac.get("NAND2x1", "A", False)
+        c = 1 * FF
+        assert nand.moments_at(20 * PS, c).mu > inv.moments_at(20 * PS, c).mu
+
+    def test_stronger_cell_faster(self, mini_charac):
+        x1 = mini_charac.get("INVx1", "A", False)
+        x4 = mini_charac.get("INVx4", "A", False)
+        c = 2 * FF
+        assert x4.moments_at(20 * PS, c).mu < x1.moments_at(20 * PS, c).mu
+
+    def test_xor2_compound_arc_simulates(self, characterizer, library, tech):
+        # The 4-NAND XOR template: non-inverting arc, real transition.
+        from repro.cells.characterize import fanout_load
+        cell = library.get("XOR2x1")
+        res = characterizer.simulate_arc(
+            cell, "A", 20e-12, fanout_load(cell, tech), 120,
+            output_rising=True)
+        assert res.yield_fraction > 0.95
+        import numpy as np
+        assert np.nanmean(res.delay) > 0
+
+    def test_pelgrom_trend_in_variability(self, mini_charac):
+        # Stronger cells have lower sigma/mu at the reference point.
+        ratios = []
+        for name in ("INVx1", "INVx2", "INVx4", "INVx8"):
+            table = mini_charac.get(name, "A", False)
+            ratios.append(table.reference_moments.variability)
+        assert ratios[0] > ratios[1] > ratios[2] > ratios[3]
+
+
+class TestContainers:
+    def test_fanout_load(self, library, tech):
+        cell = library.get("INVx1")
+        assert fanout_load(cell, tech, 4) == pytest.approx(
+            4 * cell.input_cap("A", tech))
+
+    def test_get_missing_raises_with_hint(self, mini_charac):
+        with pytest.raises(KeyError, match="cells present"):
+            mini_charac.get("XORx1", "A", False)
+
+    def test_has(self, mini_charac):
+        assert mini_charac.has("INVx1", "A", False)
+        assert not mini_charac.has("INVx1", "Z", False)
+
+    def test_len_counts_arcs(self, mini_charac):
+        # 6 cells x 1 pin x 2 edges
+        assert len(mini_charac) == 12

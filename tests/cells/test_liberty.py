@@ -1,0 +1,54 @@
+"""Round-trip tests for the Liberty-like JSON store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cells.liberty import (
+    load_library_characterization,
+    save_library_characterization,
+)
+from repro.errors import CharacterizationError
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, mini_charac, tmp_path):
+        path = tmp_path / "lib.json"
+        save_library_characterization(mini_charac, path)
+        back = load_library_characterization(path)
+        assert len(back) == len(mini_charac)
+        for key, table in mini_charac.tables.items():
+            other = back.tables[key]
+            assert np.allclose(other.moments, table.moments)
+            assert np.allclose(other.quantiles, table.quantiles)
+            assert np.allclose(other.out_slew, table.out_slew)
+            assert other.n_samples == table.n_samples
+
+    def test_creates_directories(self, mini_charac, tmp_path):
+        path = tmp_path / "deep" / "nested" / "lib.json"
+        save_library_characterization(mini_charac, path)
+        assert path.exists()
+
+    def test_format_header(self, mini_charac, tmp_path):
+        path = tmp_path / "lib.json"
+        save_library_characterization(mini_charac, path)
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro-lvf-json"
+        assert doc["version"] == 1
+        table = doc["tables"][0]
+        assert "index_1_slew_s" in table
+        assert "index_2_load_f" in table
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else", "tables": []}')
+        with pytest.raises(CharacterizationError):
+            load_library_characterization(path)
+
+    def test_malformed_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            '{"format": "repro-lvf-json", "version": 1, "tables": [{"cell": "X"}]}')
+        with pytest.raises(CharacterizationError):
+            load_library_characterization(path)

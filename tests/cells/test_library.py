@@ -1,0 +1,87 @@
+"""Tests for cells and the library container."""
+
+import pytest
+
+from repro.cells.library import Cell, CellLibrary, build_default_library
+from repro.cells.templates import CELL_TYPES
+from repro.errors import NetlistError
+from repro.units import FF
+
+
+class TestCell:
+    def test_naming_convention(self):
+        cell = Cell(CELL_TYPES["NAND2"], 4)
+        assert cell.name == "NAND2x4"
+
+    def test_strength_validation(self):
+        with pytest.raises(NetlistError):
+            Cell(CELL_TYPES["INV"], 0)
+
+    def test_input_cap_positive_and_scales(self, tech):
+        c1 = Cell(CELL_TYPES["INV"], 1)
+        c4 = Cell(CELL_TYPES["INV"], 4)
+        assert c1.input_cap("A", tech) > 0.01 * FF
+        assert c4.input_cap("A", tech) == pytest.approx(
+            4 * c1.input_cap("A", tech))
+
+    def test_input_cap_unknown_pin(self, tech):
+        with pytest.raises(NetlistError):
+            Cell(CELL_TYPES["INV"], 1).input_cap("B", tech)
+
+    def test_stacked_inputs_heavier(self, tech):
+        # NAND2's A pin drives a stack-compensated NMOS: more cap than INV's.
+        inv = Cell(CELL_TYPES["INV"], 1).input_cap("A", tech)
+        nand = Cell(CELL_TYPES["NAND2"], 1).input_cap("A", tech)
+        assert nand > inv
+
+    def test_variability_scale(self):
+        assert Cell(CELL_TYPES["INV"], 4).variability_scale() == pytest.approx(0.5)
+        assert Cell(CELL_TYPES["NAND2"], 2).variability_scale() == pytest.approx(0.5)
+
+    def test_arc_lookup(self):
+        cell = Cell(CELL_TYPES["NAND2"], 1)
+        assert cell.arc("A").static == {"B": 1}
+        with pytest.raises(NetlistError):
+            cell.arc("Z")
+
+    def test_logic_delegates(self):
+        cell = Cell(CELL_TYPES["NOR2"], 2)
+        assert cell.logic({"A": 0, "B": 0}) == 1
+
+
+class TestLibrary:
+    def test_default_contents(self, library):
+        assert len(library) == len(CELL_TYPES) * 4
+        assert "INVx1" in library
+        assert "AOI21x8" in library
+
+    def test_get_error_lists_candidates(self, library):
+        with pytest.raises(KeyError, match="NAND2"):
+            library.get("NAND2x16")
+
+    def test_duplicate_rejected(self, tech, library):
+        lib = CellLibrary(tech, [Cell(CELL_TYPES["INV"], 1)])
+        with pytest.raises(NetlistError):
+            lib.add(Cell(CELL_TYPES["INV"], 1))
+
+    def test_cells_of_type_sorted(self, library):
+        strengths = [c.strength for c in library.cells_of_type("NOR2")]
+        assert strengths == [1, 2, 4, 8]
+
+    def test_strongest(self, library):
+        assert library.strongest("INV").name == "INVx8"
+        with pytest.raises(KeyError):
+            library.strongest("XYZ")
+
+    def test_iteration_deterministic(self, tech):
+        a = [c.name for c in build_default_library(tech)]
+        b = [c.name for c in build_default_library(tech)]
+        assert a == b
+
+    def test_subset_build(self, tech):
+        lib = build_default_library(tech, type_names=["INV"], strengths=[1, 2])
+        assert lib.names == ["INVx1", "INVx2"]
+
+    def test_unknown_type_rejected(self, tech):
+        with pytest.raises(KeyError):
+            build_default_library(tech, type_names=["FOO"])

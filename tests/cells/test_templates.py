@@ -1,0 +1,115 @@
+"""Template-level tests: structure, duals, sensitization, logic."""
+
+import itertools
+
+import pytest
+
+from repro.cells.templates import CELL_TYPES
+from repro.errors import NetlistError
+from repro.spice.netlist import TransistorNetlist
+
+
+def build_scratch(type_name, tech, strength=1.0):
+    ct = CELL_TYPES[type_name]
+    net = TransistorNetlist()
+    nodes = {p: f"pin_{p}" for p in (*ct.inputs, "Y")}
+    ct.build(net, "u", nodes, strength, tech)
+    return ct, net, nodes
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", list(CELL_TYPES))
+    def test_balanced_pn_counts(self, tech, name):
+        _, net, _ = build_scratch(name, tech)
+        n = sum(1 for m in net.mosfets if not m.is_pmos)
+        p = sum(1 for m in net.mosfets if m.is_pmos)
+        assert n == p  # static CMOS duality
+
+    @pytest.mark.parametrize("name,count", [
+        ("INV", 2), ("BUF", 4), ("NAND2", 4), ("NOR2", 4),
+        ("NAND3", 6), ("NOR3", 6), ("AOI21", 6), ("OAI21", 6),
+        ("XOR2", 16), ("XNOR2", 18),
+    ])
+    def test_transistor_counts(self, tech, name, count):
+        _, net, _ = build_scratch(name, tech)
+        assert len(net.mosfets) == count
+
+    @pytest.mark.parametrize("name", list(CELL_TYPES))
+    def test_every_input_reaches_a_gate(self, tech, name):
+        ct, net, nodes = build_scratch(name, tech)
+        gate_nodes = {m.gate for m in net.mosfets}
+        for pin in ct.inputs:
+            assert nodes[pin] in gate_nodes
+
+    @pytest.mark.parametrize("name", list(CELL_TYPES))
+    def test_output_connected_to_drains(self, tech, name):
+        ct, net, nodes = build_scratch(name, tech)
+        drain_nodes = {m.drain for m in net.mosfets}
+        assert nodes["Y"] in drain_nodes
+
+    def test_strength_scales_widths(self, tech):
+        _, net1, _ = build_scratch("NAND2", tech, 1.0)
+        _, net4, _ = build_scratch("NAND2", tech, 4.0)
+        for m1, m4 in zip(net1.mosfets, net4.mosfets):
+            assert m4.width == pytest.approx(4 * m1.width)
+
+    def test_series_devices_upsized(self, tech):
+        _, net, _ = build_scratch("NAND2", tech)
+        widths = {m.name: m.width for m in net.mosfets}
+        # Stacked NMOS twice as wide as a lone INV NMOS would be.
+        assert widths["u_mna"] == pytest.approx(2 * tech.unit_nmos_width)
+
+    def test_missing_pin_rejected(self, tech):
+        ct = CELL_TYPES["NAND2"]
+        net = TransistorNetlist()
+        with pytest.raises(NetlistError):
+            ct.build(net, "u", {"A": "a", "Y": "y"}, 1.0, tech)
+
+
+class TestLogicFunctions:
+    CASES = {
+        "INV": lambda v: 1 - v["A"],
+        "BUF": lambda v: v["A"],
+        "NAND2": lambda v: 1 - (v["A"] & v["B"]),
+        "NOR2": lambda v: 1 - (v["A"] | v["B"]),
+        "NAND3": lambda v: 1 - (v["A"] & v["B"] & v["C"]),
+        "NOR3": lambda v: 1 - (v["A"] | v["B"] | v["C"]),
+        "AOI21": lambda v: 1 - ((v["A"] & v["B"]) | v["C"]),
+        "OAI21": lambda v: 1 - ((v["A"] | v["B"]) & v["C"]),
+        "XOR2": lambda v: v["A"] ^ v["B"],
+        "XNOR2": lambda v: 1 - (v["A"] ^ v["B"]),
+    }
+
+    @pytest.mark.parametrize("name", list(CELL_TYPES))
+    def test_truth_tables(self, name):
+        ct = CELL_TYPES[name]
+        reference = self.CASES[name]
+        for bits in itertools.product((0, 1), repeat=len(ct.inputs)):
+            v = dict(zip(ct.inputs, bits))
+            assert ct.logic(v) == reference(v), f"{name} at {v}"
+
+
+class TestSensitization:
+    @pytest.mark.parametrize("name", list(CELL_TYPES))
+    def test_arcs_cover_all_pins(self, name):
+        ct = CELL_TYPES[name]
+        assert set(ct.arcs) == set(ct.inputs)
+
+    @pytest.mark.parametrize("name", list(CELL_TYPES))
+    def test_static_values_make_pin_controlling(self, name):
+        # With the arc's side-input values applied, toggling the pin
+        # must toggle the output, with the declared inversion.
+        ct = CELL_TYPES[name]
+        for pin, arc in ct.arcs.items():
+            for value in (0, 1):
+                v = {**arc.static, pin: value}
+                out = ct.logic(v)
+                expected = (1 - value) if arc.inverting else value
+                assert out == expected, f"{name}/{pin} input={value}"
+
+    def test_stack_counts(self):
+        expected = {"INV": 1, "BUF": 1, "NAND2": 2, "NOR2": 2,
+                    "NAND3": 3, "NOR3": 3, "AOI21": 2, "OAI21": 2,
+                    "XOR2": 2, "XNOR2": 2}
+        for name, n in expected.items():
+            assert CELL_TYPES[name].n_stack == n

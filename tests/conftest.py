@@ -1,0 +1,100 @@
+"""Shared fixtures.
+
+Simulation-heavy fixtures (library characterization, fitted models) are
+session-scoped and cached on disk under ``.pytest_repro_cache/`` keyed
+by their parameters, so the first ``pytest`` run pays the Monte-Carlo
+cost once and subsequent runs start instantly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells.characterize import ArcCharacterizer
+from repro.cells.library import build_default_library
+from repro.core.flow import DelayCalibrationFlow
+from repro.netlist.benchmarks import attach_parasitics
+from repro.netlist.generators import build_adder
+from repro.spice.montecarlo import MonteCarloEngine
+from repro.units import FF, PS
+from repro.variation.parameters import Technology, VariationModel
+
+#: Repo-local cache reused across pytest runs (safe to delete any time).
+CACHE_DIR = ".pytest_repro_cache"
+
+#: Cells the mini flow characterizes — the smallest set that supports
+#: the wire-model fit (INV x1–x8) plus one stacked cell type.
+MINI_CELLS = ["INVx1", "INVx2", "INVx4", "INVx8", "NAND2x1", "NOR2x1"]
+
+
+@pytest.fixture(scope="session")
+def tech() -> Technology:
+    """Default synthetic technology."""
+    return Technology()
+
+
+@pytest.fixture(scope="session")
+def variation() -> VariationModel:
+    """Default variation model."""
+    return VariationModel()
+
+
+@pytest.fixture(scope="session")
+def library(tech):
+    """The default cell library."""
+    return build_default_library(tech)
+
+
+@pytest.fixture(scope="session")
+def engine(tech, variation) -> MonteCarloEngine:
+    """A seeded Monte-Carlo engine for direct simulation tests."""
+    return MonteCarloEngine(tech, variation, seed=42)
+
+
+@pytest.fixture(scope="session")
+def characterizer(engine) -> ArcCharacterizer:
+    """Arc characterizer bound to the session engine."""
+    return ArcCharacterizer(engine)
+
+
+@pytest.fixture(scope="session")
+def mini_flow() -> DelayCalibrationFlow:
+    """A small but complete calibration flow (cached on disk)."""
+    return DelayCalibrationFlow(
+        seed=7,
+        cache_dir=CACHE_DIR,
+        n_samples=250,
+        slews=[10 * PS, 80 * PS, 250 * PS],
+        loads=[0.1 * FF, 1.0 * FF, 4.0 * FF, 9.0 * FF],
+        wire_fit_samples=200,
+        wire_fit_trees=1,
+        cell_names=MINI_CELLS,
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_charac(mini_flow):
+    """Characterization tables of the mini flow."""
+    return mini_flow.characterize()
+
+
+@pytest.fixture(scope="session")
+def mini_models(mini_flow):
+    """Fully fitted timing models of the mini flow."""
+    return mini_flow.fit_models()
+
+
+@pytest.fixture(scope="session")
+def adder_circuit(tech):
+    """A 3-bit ripple adder with parasitics, remapped onto mini-flow cells."""
+    circuit = build_adder(3, name="adder3")
+    # The generators emit NAND2x1 gates only, which the mini flow covers.
+    attach_parasitics(circuit, tech, seed=5)
+    return circuit
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,116 @@
+"""Tests for the Eq. (2)/(3) operating-condition moment calibration."""
+
+import numpy as np
+import pytest
+
+from repro.cells.characterize import REFERENCE_LOAD, REFERENCE_SLEW
+from repro.core.calibration import (
+    ArcCalibration,
+    CalibratedCellLibrary,
+    fit_arc_calibration,
+)
+from repro.errors import CalibrationError
+from repro.units import FF, PS
+
+
+@pytest.fixture(scope="module")
+def inv_cal(mini_charac):
+    return fit_arc_calibration(mini_charac.get("INVx1", "A", False))
+
+
+class TestFit:
+    def test_reference_point_recovered(self, inv_cal, mini_charac):
+        table = mini_charac.get("INVx1", "A", False)
+        ref = table.moments_at(REFERENCE_SLEW, REFERENCE_LOAD)
+        m = inv_cal.moments_at(REFERENCE_SLEW, REFERENCE_LOAD)
+        assert m.mu == pytest.approx(ref.mu, rel=0.02)
+        assert m.sigma == pytest.approx(ref.sigma, rel=0.05)
+
+    def test_grid_points_reproduced(self, inv_cal, mini_charac):
+        # The bilinear Eq. (2) cannot be exact over a wide grid; check
+        # the aggregate residual rather than every corner.
+        table = mini_charac.get("INVx1", "A", False)
+        errors = []
+        for i, s in enumerate(table.slews):
+            for j, c in enumerate(table.loads):
+                m = inv_cal.moments_at(s, c)
+                truth = table.moments[i, j, 0]
+                errors.append(abs(m.mu - truth) / truth)
+        assert np.mean(errors) < 0.10
+        assert max(errors) < 0.30
+
+    def test_mu_increases_with_load(self, inv_cal):
+        lo = inv_cal.moments_at(20 * PS, 0.2 * FF).mu
+        hi = inv_cal.moments_at(20 * PS, 3 * FF).mu
+        assert hi > lo
+
+    def test_mu_increases_with_slew(self, inv_cal):
+        lo = inv_cal.moments_at(10 * PS, 1 * FF).mu
+        hi = inv_cal.moments_at(200 * PS, 1 * FF).mu
+        assert hi > lo
+
+    def test_sigma_floor(self, inv_cal):
+        # Even at extreme clamped corners, sigma stays positive.
+        m = inv_cal.moments_at(0.0, 0.0)
+        assert m.sigma > 0
+
+    def test_kurtosis_pearson_bound(self, inv_cal):
+        for s in (5 * PS, 50 * PS, 400 * PS):
+            for c in (0.05 * FF, 2 * FF, 20 * FF):
+                m = inv_cal.moments_at(s, c)
+                assert m.kurt >= 1.0 + m.skew**2
+
+    def test_out_slew_positive_and_monotone_in_load(self, inv_cal):
+        lo = inv_cal.out_slew_at(20 * PS, 0.2 * FF)
+        hi = inv_cal.out_slew_at(20 * PS, 3 * FF)
+        assert 0 < lo < hi
+
+    def test_clamps_beyond_grid(self, inv_cal):
+        inside = inv_cal.moments_at(inv_cal.s_range[1], 1 * FF)
+        outside = inv_cal.moments_at(10 * inv_cal.s_range[1], 1 * FF)
+        assert outside.mu == pytest.approx(inside.mu)
+
+    def test_grid_too_small_rejected(self, mini_charac):
+        table = mini_charac.get("INVx1", "A", False)
+        import dataclasses
+        small = dataclasses.replace(
+            table,
+            slews=table.slews[:2],
+            loads=table.loads[:2],
+            moments=table.moments[:2, :2],
+            quantiles=table.quantiles[:2, :2],
+            out_slew=table.out_slew[:2, :2],
+        )
+        with pytest.raises(CalibrationError):
+            fit_arc_calibration(small)
+
+
+class TestLibraryContainer:
+    def test_fit_covers_all_arcs(self, mini_charac):
+        cal = CalibratedCellLibrary.fit(mini_charac)
+        assert len(cal.arcs) == len(mini_charac)
+
+    def test_get_exact(self, mini_models):
+        arc = mini_models.calibrated.get("INVx1", "A", False)
+        assert arc.cell_name == "INVx1"
+        assert not arc.output_rising
+
+    def test_get_falls_back_to_pin_a(self, mini_models):
+        # NAND2x1 pin B was not characterized; falls back to pin A.
+        arc = mini_models.calibrated.get("NAND2x1", "B", False)
+        assert arc.pin == "A"
+
+    def test_get_unknown_cell(self, mini_models):
+        with pytest.raises(KeyError):
+            mini_models.calibrated.get("XORx1", "A", False)
+
+    def test_serialization_round_trip(self, mini_models):
+        cal = mini_models.calibrated
+        back = CalibratedCellLibrary.from_dict(cal.to_dict())
+        arc_a = cal.get("INVx2", "A", False)
+        arc_b = back.get("INVx2", "A", False)
+        m_a = arc_a.moments_at(30 * PS, 1 * FF)
+        m_b = arc_b.moments_at(30 * PS, 1 * FF)
+        assert m_a.mu == pytest.approx(m_b.mu)
+        assert m_a.kurt == pytest.approx(m_b.kurt)
+        assert arc_b.s_range == arc_a.s_range

@@ -1,0 +1,72 @@
+"""Tests for the stage-correlation extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import estimate_stage_correlation
+from repro.core.sta import PathStage, PathTiming, StatisticalSTA
+from repro.errors import TimingError
+
+
+def _stage(q_cell, q_wire=None):
+    q_wire = q_wire or {n: 0.0 for n in q_cell}
+    return PathStage(
+        gate="g", cell_name="INVx1", input_pin="A", output_rising=False,
+        net="n", sink=("x", "A"), input_slew=1e-11, load=1e-15,
+        cell_moments=None, cell_quantiles=q_cell,
+        wire_elmore=0.0, wire_xw=0.0, wire_quantiles=q_wire)
+
+
+def symmetric_path(n_stages=4, spread=1e-12):
+    q = {-3: 10e-12 - 3 * spread, 0: 10e-12, 3: 10e-12 + 3 * spread}
+    return PathTiming(stages=[_stage(dict(q)) for _ in range(n_stages)],
+                      levels=(-3, 0, 3))
+
+
+class TestTotalCorrelated:
+    def test_rho_one_equals_eq10(self):
+        path = symmetric_path()
+        for level in (-3, 0, 3):
+            assert path.total_correlated(level, 1.0) == pytest.approx(
+                path.total(level))
+
+    def test_rho_zero_is_rss(self):
+        path = symmetric_path(n_stages=4, spread=1e-12)
+        # 4 identical deviations of 3ps: linear sum 12ps, RSS 6ps.
+        assert path.total_correlated(3, 0.0) == pytest.approx(
+            path.total(0) + 6e-12)
+
+    def test_mean_level_unchanged(self):
+        path = symmetric_path()
+        for rho in (0.0, 0.5, 1.0):
+            assert path.total_correlated(0, rho) == pytest.approx(path.total(0))
+
+    def test_monotone_in_rho_for_upper_tail(self):
+        path = symmetric_path()
+        values = [path.total_correlated(3, r) for r in (0.0, 0.3, 0.7, 1.0)]
+        assert values == sorted(values)
+
+    def test_lower_tail_tightens_with_decorrelation(self):
+        path = symmetric_path()
+        assert path.total_correlated(-3, 0.3) > path.total_correlated(-3, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(TimingError):
+            symmetric_path().total_correlated(3, 1.5)
+
+
+@pytest.mark.slow
+class TestEstimation:
+    def test_correlation_in_physical_range(self, engine, library):
+        rho = estimate_stage_correlation(engine, library, n_samples=500)
+        # Shared globals dominate but Pelgrom mismatch decorrelates.
+        assert 0.3 < rho < 0.99
+
+    def test_flow_stores_correlation(self, mini_models):
+        assert 0.0 < mini_models.stage_correlation <= 1.0
+
+    def test_correlated_sum_tighter_than_eq10(self, adder_circuit, mini_models):
+        path = StatisticalSTA(adder_circuit, mini_models).analyze().critical_path
+        rho = mini_models.stage_correlation
+        assert path.total_correlated(3, rho) <= path.total(3)
+        assert path.total_correlated(-3, rho) >= path.total(-3)

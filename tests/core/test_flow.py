@@ -1,0 +1,88 @@
+"""Tests for the end-to-end flow and its caching."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.flow import DelayCalibrationFlow
+from repro.units import FF, PS
+
+
+class TestCaching:
+    def test_cache_files_created(self, mini_flow, mini_models):
+        cache = Path(mini_flow.cache_dir)
+        assert any(p.name.startswith("charac_") for p in cache.iterdir())
+        assert any(p.name.startswith("models_") for p in cache.iterdir())
+
+    def test_cache_reload_matches(self, mini_flow, mini_models):
+        clone = DelayCalibrationFlow(
+            seed=mini_flow.seed,
+            cache_dir=str(mini_flow.cache_dir),
+            n_samples=mini_flow.n_samples,
+            slews=mini_flow.slews,
+            loads=mini_flow.loads,
+            wire_fit_samples=mini_flow.wire_fit_samples,
+            wire_fit_trees=mini_flow.wire_fit_trees,
+            cell_names=mini_flow.cell_names,
+        )
+        models = clone.fit_models()
+        assert models.wire.weight_fi == pytest.approx(mini_models.wire.weight_fi)
+        assert models.nsigma.coefficients.keys() == mini_models.nsigma.coefficients.keys()
+
+    def test_cache_key_sensitive_to_params(self, mini_flow):
+        other = DelayCalibrationFlow(
+            seed=mini_flow.seed + 1, cache_dir=str(mini_flow.cache_dir),
+            cell_names=mini_flow.cell_names)
+        assert mini_flow._cache_key() != other._cache_key()
+
+    def test_no_cache_dir_ok(self):
+        flow = DelayCalibrationFlow(cache_dir=None)
+        assert flow._cache_path("charac") is None
+
+
+class TestModels:
+    def test_models_complete(self, mini_models):
+        assert mini_models.nsigma.coefficients
+        assert mini_models.wire.fo4_ratio > 0
+        assert len(mini_models.calibrated.arcs) > 0
+
+    def test_analyze_runs(self, mini_flow, adder_circuit):
+        res = mini_flow.analyze(adder_circuit)
+        assert res.critical_delay > 0
+
+    def test_wire_model_r_squared_reported(self, mini_models):
+        # The Eq. (7) regression must explain a meaningful share of the
+        # wire variability across the driver/load sweep.
+        assert mini_models.wire.r_squared > 0.3
+
+
+@pytest.mark.slow
+class TestDeepNSigmaFit:
+    def test_deep_fit_produces_model(self, mini_flow):
+        from repro.core.flow import DelayCalibrationFlow
+
+        flow = DelayCalibrationFlow(
+            seed=mini_flow.seed,
+            cache_dir=str(mini_flow.cache_dir),
+            n_samples=mini_flow.n_samples,
+            slews=mini_flow.slews,
+            loads=mini_flow.loads,
+            wire_fit_samples=mini_flow.wire_fit_samples,
+            wire_fit_trees=mini_flow.wire_fit_trees,
+            cell_names=["INVx1", "INVx2", "INVx4", "INVx8"],
+            nsigma_fit_samples=800,
+        )
+        models = flow.fit_models()
+        from repro.moments.stats import SIGMA_LEVELS
+        assert set(models.nsigma.coefficients) == set(SIGMA_LEVELS)
+
+    def test_deep_fit_has_distinct_cache(self, mini_flow):
+        from repro.core.flow import DelayCalibrationFlow
+
+        base = DelayCalibrationFlow(seed=1, cache_dir="/tmp/x")
+        deep = DelayCalibrationFlow(seed=1, cache_dir="/tmp/x",
+                                    nsigma_fit_samples=5000)
+        assert base._cache_path("models") != deep._cache_path("models")
+        # Characterization cache is shared (same data).
+        assert base._cache_path("charac") == deep._cache_path("charac")

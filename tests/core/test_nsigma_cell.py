@@ -1,0 +1,131 @@
+"""Tests for the Table I N-sigma cell quantile model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.nsigma_cell import NSigmaCellModel, QUANTILE_FEATURES
+from repro.errors import CalibrationError
+from repro.moments.stats import SIGMA_LEVELS, Moments, empirical_sigma_quantiles
+
+
+def synthetic_dataset(rng, n_obs=60):
+    """Skewed 'delay' populations with known moments and quantiles."""
+    moments, quantiles = [], []
+    for _ in range(n_obs):
+        mu = rng.uniform(20e-12, 120e-12)
+        sigma_log = rng.uniform(0.1, 0.3)
+        samples = mu * np.exp(rng.normal(0, sigma_log, 30000))
+        moments.append(Moments.from_samples(samples))
+        quantiles.append(empirical_sigma_quantiles(samples))
+    return moments, quantiles
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(5)
+    moments, quantiles = synthetic_dataset(rng)
+    model = NSigmaCellModel.fit(moments, quantiles)
+    return model, moments, quantiles
+
+
+class TestStructure:
+    def test_feature_layout_matches_table1(self):
+        # sigma*skew terms only between -2 and +2; sigma*kurt at +-2/3.
+        assert "sg" not in QUANTILE_FEATURES[3]
+        assert "sg" not in QUANTILE_FEATURES[-3]
+        assert "sk" in QUANTILE_FEATURES[2]
+        assert "sk" not in QUANTILE_FEATURES[1]
+        for level in SIGMA_LEVELS:
+            assert "gk" in QUANTILE_FEATURES[level]
+
+    def test_gaussian_reduces_to_mu_n_sigma(self, fitted):
+        model, _, _ = fitted
+        gaussian = Moments(mu=50e-12, sigma=5e-12, skew=0.0, kurt=3.0)
+        for n in SIGMA_LEVELS:
+            assert model.quantile(gaussian, n) == pytest.approx(
+                50e-12 + n * 5e-12, abs=1e-18)
+
+    def test_unfitted_level_rejected(self, fitted):
+        model, moments, _ = fitted
+        with pytest.raises(CalibrationError):
+            model.quantile(moments[0], 6)
+
+
+class TestAccuracy:
+    def test_beats_gaussian_assumption_at_tails(self, fitted):
+        model, moments, quantiles = fitted
+        for level in (-3, 3):
+            model_err, gauss_err = [], []
+            for m, q in zip(moments, quantiles):
+                model_err.append(abs(model.quantile(m, level) - q[level]) / q[level])
+                gauss_err.append(abs(m.gaussian_quantile(level) - q[level]) / q[level])
+            assert np.mean(model_err) < 0.6 * np.mean(gauss_err)
+
+    def test_three_sigma_error_small(self, fitted):
+        model, moments, quantiles = fitted
+        errors = [
+            abs(model.quantile(m, 3) - q[3]) / q[3]
+            for m, q in zip(moments, quantiles)
+        ]
+        assert np.mean(errors) < 0.03  # the paper's headline regime
+
+    def test_quantiles_monotone_for_typical_moments(self, fitted):
+        model, moments, _ = fitted
+        for m in moments[:10]:
+            qs = [model.quantile(m, n) for n in SIGMA_LEVELS]
+            assert qs == sorted(qs)
+
+    def test_on_mini_characterization(self, mini_models, mini_charac):
+        # Fitted on the real characterization data: in-sample +3 sigma
+        # prediction error should be a few percent.
+        errors = []
+        for table in mini_charac.tables.values():
+            for i in range(table.slews.size):
+                for j in range(table.loads.size):
+                    mu, sigma, skew, kurt = table.moments[i, j]
+                    m = Moments(mu, sigma, skew, kurt)
+                    pred = mini_models.nsigma.quantile(m, 3)
+                    truth = table.quantiles[i, j, SIGMA_LEVELS.index(3)]
+                    errors.append(abs(pred - truth) / truth)
+        assert np.mean(errors) < 0.06
+
+
+class TestFitValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(CalibrationError):
+            NSigmaCellModel.fit([Moments(1, 0.1, 0, 3)] * 3, [{}] * 4)
+
+    def test_too_few_observations(self):
+        m = Moments(1, 0.1, 0, 3)
+        q = {n: 1.0 for n in SIGMA_LEVELS}
+        with pytest.raises(CalibrationError):
+            NSigmaCellModel.fit([m] * 4, [q] * 4)
+
+
+class TestSerialization:
+    def test_round_trip(self, fitted):
+        model, moments, _ = fitted
+        back = NSigmaCellModel.from_dict(model.to_dict())
+        for n in SIGMA_LEVELS:
+            assert back.quantile(moments[0], n) == pytest.approx(
+                model.quantile(moments[0], n))
+
+    def test_dict_is_json_serializable(self, fitted):
+        import json
+        model, _, _ = fitted
+        json.dumps(model.to_dict())
+
+
+@given(scale=st.floats(min_value=0.1, max_value=10.0))
+@settings(max_examples=20, deadline=None)
+def test_scale_equivariance(scale):
+    """Scaling all delays by k scales every predicted quantile by k."""
+    rng = np.random.default_rng(3)
+    moments, quantiles = synthetic_dataset(rng, n_obs=30)
+    model = NSigmaCellModel.fit(moments, quantiles)
+    m = moments[0]
+    scaled = Moments(m.mu * scale, m.sigma * scale, m.skew, m.kurt)
+    for n in (-3, 0, 3):
+        assert model.quantile(scaled, n) == pytest.approx(
+            scale * model.quantile(m, n), rel=1e-9)

@@ -1,0 +1,134 @@
+"""Tests for the Eq. (5)-(9) wire variability model."""
+
+import numpy as np
+import pytest
+
+from repro.core.nsigma_wire import (
+    WireVariabilityModel,
+    build_wire_setup,
+    cell_variability_ratio,
+    measure_wire_variability,
+    predicted_coefficient,
+)
+from repro.errors import CalibrationError
+from repro.interconnect.generate import NetGenerator
+from repro.interconnect.metrics import elmore_delay
+from repro.units import PS, UM
+
+
+class TestCellRatios:
+    def test_ratio_positive(self, mini_models):
+        r = cell_variability_ratio(mini_models.calibrated, "INVx1")
+        assert 0.02 < r < 0.6
+
+    def test_pelgrom_ordering(self, mini_models):
+        rs = [cell_variability_ratio(mini_models.calibrated, f"INVx{s}")
+              for s in (1, 2, 4, 8)]
+        assert rs == sorted(rs, reverse=True)
+
+    def test_predicted_coefficient(self, library):
+        base = library.get("INVx4")
+        assert predicted_coefficient(library.get("INVx1"), base) == pytest.approx(2.0)
+        assert predicted_coefficient(library.get("INVx4"), base) == pytest.approx(1.0)
+        assert predicted_coefficient(library.get("NAND2x2"), base) == pytest.approx(1.0)
+
+    def test_predictions_track_measured(self, mini_models, library):
+        # Eq. (5)/(6): measured normalized ratios should follow the
+        # 1/sqrt(n*strength) law within a modest factor (Fig. 9's claim).
+        base = library.get("INVx4")
+        fo4 = cell_variability_ratio(mini_models.calibrated, "INVx4")
+        for name in ("INVx1", "INVx2", "INVx8"):
+            measured = cell_variability_ratio(mini_models.calibrated, name) / fo4
+            predicted = predicted_coefficient(library.get(name), base)
+            assert measured == pytest.approx(predicted, rel=0.45)
+
+
+class TestModelMath:
+    def model(self):
+        return WireVariabilityModel(
+            weight_fi=0.2, weight_fo=0.4, intercept=0.02, fo4_ratio=0.1)
+
+    def test_eq7_linear_combination(self):
+        m = self.model()
+        assert m.wire_variability(0.1, 0.2) == pytest.approx(
+            0.02 + 0.2 * 0.1 + 0.4 * 0.2)
+
+    def test_eq8_sigma(self):
+        m = self.model()
+        xw = m.wire_variability(0.1, 0.1)
+        assert m.wire_sigma(10e-12, 0.1, 0.1) == pytest.approx(10e-12 * xw)
+
+    def test_eq9_quantiles_symmetric_around_elmore(self):
+        m = self.model()
+        elm = 20e-12
+        up = m.wire_quantile(elm, 0.1, 0.1, +3)
+        dn = m.wire_quantile(elm, 0.1, 0.1, -3)
+        assert up - elm == pytest.approx(elm - dn)
+        assert m.wire_quantile(elm, 0.1, 0.1, 0) == pytest.approx(elm)
+
+    def test_variability_never_negative(self):
+        m = WireVariabilityModel(
+            weight_fi=-1.0, weight_fo=0.0, intercept=0.0, fo4_ratio=0.1)
+        assert m.wire_variability(1.0, 0.0) == 0.0
+
+    def test_x_coefficient_normalization(self):
+        m = self.model()
+        assert m.x_coefficient(0.2) == pytest.approx(2.0)
+
+    def test_fit_recovers_planted_weights(self, rng):
+        truth = self.model()
+        obs = []
+        for _ in range(50):
+            r_fi, r_fo = rng.uniform(0.05, 0.3, 2)
+            obs.append((r_fi, r_fo, truth.wire_variability(r_fi, r_fo)))
+        fit = WireVariabilityModel.fit(obs, fo4_ratio=0.1)
+        assert fit.weight_fi == pytest.approx(0.2, abs=1e-6)
+        assert fit.weight_fo == pytest.approx(0.4, abs=1e-6)
+        assert fit.intercept == pytest.approx(0.02, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_fit_needs_observations(self):
+        with pytest.raises(CalibrationError):
+            WireVariabilityModel.fit([(0.1, 0.1, 0.05)], fo4_ratio=0.1)
+
+    def test_serialization(self):
+        m = self.model()
+        back = WireVariabilityModel.from_dict(m.to_dict())
+        assert back == m
+
+
+class TestWireBench:
+    def test_setup_measures_root_to_sink(self, tech, library):
+        gen = NetGenerator(tech, seed=2)
+        tree = gen.chain(30 * UM)
+        setup, sink_node = build_wire_setup(
+            tech, library, "INVx4", "INVx4", tree)
+        assert setup.reference_node == "drv_out"
+        assert setup.output_node == sink_node
+
+    def test_measured_mean_close_to_annotated_elmore(self, engine, library, tech):
+        # The slow-ramp LTI property: mean wire delay ~ Elmore, once the
+        # receiver pin cap is annotated onto the tree.
+        from repro.core.nsigma_wire import annotated_elmore
+        gen = NetGenerator(tech, seed=2)
+        tree = gen.chain(80 * UM)
+        sink = tree.leaves()[0]
+        moments, samples = measure_wire_variability(
+            engine, library, "INVx4", "INVx4", tree, n_samples=300)
+        elm = annotated_elmore(tech, library, tree, sink, "INVx4")
+        assert samples.yield_fraction > 0.99
+        assert moments.mu == pytest.approx(elm, rel=0.25)
+
+    def test_annotated_elmore_above_bare(self, tech, library):
+        from repro.core.nsigma_wire import annotated_elmore
+        gen = NetGenerator(tech, seed=2)
+        tree = gen.chain(40 * UM)
+        sink = tree.leaves()[0]
+        assert annotated_elmore(tech, library, tree, sink, "INVx8") > elmore_delay(
+            tree, sink)
+
+    def test_fitted_model_on_mini_flow(self, mini_models):
+        wire = mini_models.wire
+        assert wire.fo4_ratio > 0
+        # The model must predict positive variability for real cells.
+        assert wire.wire_variability(0.15, 0.15) > 0

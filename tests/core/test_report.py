@@ -1,0 +1,67 @@
+"""Tests for the timing report formatter."""
+
+import pytest
+
+from repro.core.report import (
+    format_comparison,
+    format_path_report,
+    format_stage_budget,
+)
+from repro.core.sta import StatisticalSTA
+
+
+@pytest.fixture(scope="module")
+def result(adder_circuit, mini_models):
+    return StatisticalSTA(adder_circuit, mini_models).analyze()
+
+
+class TestPathReport:
+    def test_contains_every_stage(self, result):
+        text = format_path_report(result)
+        for stage in result.critical_path.stages:
+            if stage.gate:
+                assert stage.gate in text
+
+    def test_contains_quantiles(self, result):
+        text = format_path_report(result)
+        assert "+3σ" in text
+        assert "-3σ" in text
+        assert "Eq. 10" in text
+
+    def test_truncation(self, result):
+        text = format_path_report(result, max_stages=2)
+        assert "more stages" in text
+
+    def test_arrival_column_matches_total(self, result):
+        text = format_path_report(result)
+        last_arrival = None
+        for line in text.splitlines():
+            parts = line.split()
+            if parts and parts[0].isdigit():
+                last_arrival = float(parts[-1])
+        assert last_arrival == pytest.approx(
+            result.critical_path.total(0) * 1e12, abs=0.1)
+
+
+class TestComparison:
+    def test_errors_formatted(self, result):
+        golden = {n: result.critical_path.total(n) * 1.1
+                  for n in (-3, 0, 3)}
+        text = format_comparison(result.critical_path, golden, levels=(-3, 0, 3))
+        assert "-9.1%" in text
+
+    def test_missing_levels_skipped(self, result):
+        text = format_comparison(result.critical_path, {0: 1e-10}, levels=(-3, 0, 3))
+        assert text.count("\n") == 1  # header + one row
+
+
+class TestStageBudget:
+    def test_top_stages_listed(self, result):
+        text = format_stage_budget(result.critical_path, top=3)
+        assert text.count("% of path") == 3
+
+    def test_shares_bounded(self, result):
+        text = format_stage_budget(result.critical_path)
+        for line in text.splitlines()[1:]:
+            pct = float(line.split("(")[1].split("%")[0])
+            assert 0 < pct < 100

@@ -1,0 +1,70 @@
+"""Tests for the synthetic net generator."""
+
+import pytest
+
+from repro.errors import InterconnectError
+from repro.interconnect.generate import NetGenerator
+from repro.units import FF, UM
+
+
+class TestChain:
+    def test_totals_match_length(self, tech):
+        gen = NetGenerator(tech, seed=0)
+        tree = gen.chain(50 * UM)
+        assert tree.total_resistance() == pytest.approx(
+            tech.wire_r_per_m * 50 * UM, rel=1e-9)
+        assert tree.total_cap() == pytest.approx(
+            tech.wire_c_per_m * 50 * UM, rel=1e-9)
+
+    def test_segment_cap(self, tech):
+        gen = NetGenerator(tech, seed=0, segment_length=10 * UM)
+        tree = gen.chain(50 * UM)
+        assert tree.n_segments() == 5
+
+    def test_max_segments_cap(self, tech):
+        gen = NetGenerator(tech, seed=0, segment_length=1 * UM, max_segments=8)
+        tree = gen.chain(500 * UM)
+        assert tree.n_segments() == 8
+        # Totals preserved despite coarser discretization.
+        assert tree.total_resistance() == pytest.approx(
+            tech.wire_r_per_m * 500 * UM, rel=1e-9)
+
+    def test_single_leaf(self, tech):
+        gen = NetGenerator(tech, seed=0)
+        assert len(gen.chain(30 * UM).leaves()) == 1
+
+    def test_rejects_nonpositive_length(self, tech):
+        with pytest.raises(InterconnectError):
+            NetGenerator(tech, seed=0).chain(0.0)
+
+
+class TestRandomNet:
+    def test_deterministic_per_seed(self, tech):
+        a = NetGenerator(tech, seed=11).random_net()
+        b = NetGenerator(tech, seed=11).random_net()
+        assert a.total_cap() == pytest.approx(b.total_cap())
+        assert len(a.nodes) == len(b.nodes)
+
+    def test_seeds_differ(self, tech):
+        a = NetGenerator(tech, seed=11).random_net()
+        b = NetGenerator(tech, seed=12).random_net()
+        assert (a.total_cap() != b.total_cap()) or (len(a.nodes) != len(b.nodes))
+
+    def test_branch_count_bounded(self, tech):
+        gen = NetGenerator(tech, seed=3)
+        for _ in range(20):
+            tree = gen.random_net(max_branches=2)
+            assert 1 <= len(tree.leaves()) <= 3
+
+    def test_length_scales_with_mean(self, tech):
+        import numpy as np
+        short = [NetGenerator(tech, seed=s).random_net(mean_length=10 * UM)
+                 .total_cap() for s in range(30)]
+        long = [NetGenerator(tech, seed=s).random_net(mean_length=100 * UM)
+                .total_cap() for s in range(30)]
+        assert np.mean(long) > 3 * np.mean(short)
+
+    def test_paper_example_net(self, tech):
+        tree = NetGenerator(tech, seed=0).paper_example_net()
+        assert tree.total_cap() > 1 * FF
+        assert len(tree.leaves()) == 1

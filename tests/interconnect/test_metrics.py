@@ -1,0 +1,106 @@
+"""Tests for Elmore / moment / D2M metrics against hand calculations."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InterconnectError
+from repro.interconnect.metrics import d2m_delay, elmore_delay, impulse_moments
+from repro.interconnect.rctree import RCTree
+from repro.units import FF
+
+
+def single_rc(r=1000.0, c=1 * FF):
+    t = RCTree("root")
+    t.add_segment("a", "root", r, c)
+    return t
+
+
+def ladder(n=4, r=100.0, c=1 * FF):
+    t = RCTree("root")
+    parent = "root"
+    for k in range(n):
+        t.add_segment(f"n{k}", parent, r, c)
+        parent = f"n{k}"
+    return t
+
+
+class TestElmore:
+    def test_single_rc(self):
+        assert elmore_delay(single_rc(), "a") == pytest.approx(1000.0 * 1 * FF)
+
+    def test_ladder_hand_computed(self):
+        # Elmore at last node of an n-ladder: r*c * sum_{i=1..n} i ... computed
+        # as sum over edges of R_edge * downstream cap.
+        t = ladder(3)
+        # edges: root-n0 (down 3c), n0-n1 (down 2c), n1-n2 (down c)
+        expected = 100.0 * (3 + 2 + 1) * 1 * FF
+        assert elmore_delay(t, "n2") == pytest.approx(expected)
+
+    def test_branching(self):
+        t = RCTree("root")
+        t.add_segment("a", "root", 100.0, 1 * FF)
+        t.add_segment("b", "a", 200.0, 1 * FF)
+        t.add_segment("c", "a", 300.0, 1 * FF)
+        # To b: edge root-a carries all 3 caps; edge a-b carries only cb.
+        assert elmore_delay(t, "b") == pytest.approx(100 * 3 * FF + 200 * 1 * FF)
+        # Side branch cap delays b but its resistance does not.
+        assert elmore_delay(t, "c") == pytest.approx(100 * 3 * FF + 300 * 1 * FF)
+
+    def test_all_nodes_dict(self):
+        t = ladder(3)
+        d = elmore_delay(t)
+        assert d["root"] == 0.0
+        assert set(d) == {"root", "n0", "n1", "n2"}
+        assert d["n0"] < d["n1"] < d["n2"]
+
+    def test_unknown_sink(self):
+        with pytest.raises(InterconnectError):
+            elmore_delay(ladder(), "zz")
+
+
+class TestMomentsAndD2M:
+    def test_single_pole_moments(self):
+        # For one RC: m1 = RC, m2 = (RC)^2.
+        t = single_rc()
+        m1, m2 = impulse_moments(t, "a")
+        rc = 1000.0 * 1 * FF
+        assert m1 == pytest.approx(rc)
+        assert m2 == pytest.approx(rc * rc)
+
+    def test_single_pole_d2m_is_ln2_rc(self):
+        t = single_rc()
+        rc = 1000.0 * 1 * FF
+        assert d2m_delay(t, "a") == pytest.approx(math.log(2) * rc)
+
+    def test_d2m_at_far_sink_below_elmore(self):
+        # D2M tightens Elmore's pessimism on distributed lines.
+        t = ladder(10)
+        sink = "n9"
+        assert d2m_delay(t, sink) < elmore_delay(t, sink)
+
+    def test_m2_positive(self):
+        t = ladder(5)
+        _, m2 = impulse_moments(t, "n4")
+        assert m2 > 0
+
+    @given(
+        n=st.integers(min_value=1, max_value=10),
+        r=st.floats(min_value=10, max_value=1e4),
+        c=st.floats(min_value=1e-16, max_value=1e-14),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_elmore_monotone_along_chain(self, n, r, c):
+        t = ladder(n, r, c)
+        delays = elmore_delay(t)
+        chain = [f"n{k}" for k in range(n)]
+        values = [delays[x] for x in chain]
+        assert all(b > a for a, b in zip(values, values[1:])) or n == 1
+
+    @given(scale=st.floats(min_value=0.1, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_elmore_scales_linearly_with_r(self, scale):
+        base = elmore_delay(ladder(4, 100.0), "n3")
+        scaled = elmore_delay(ladder(4, 100.0 * scale), "n3")
+        assert scaled == pytest.approx(base * scale, rel=1e-9)

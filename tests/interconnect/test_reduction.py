@@ -1,0 +1,86 @@
+"""Tests for the π-model and effective-capacitance reductions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InterconnectError
+from repro.interconnect.rctree import RCTree
+from repro.interconnect.reduction import (
+    PiModel,
+    effective_capacitance,
+    pi_model,
+)
+from repro.units import FF, PS
+
+
+def ladder(n=5, r=200.0, c=1 * FF):
+    t = RCTree("root")
+    parent = "root"
+    for k in range(n):
+        t.add_segment(f"n{k}", parent, r, c)
+        parent = f"n{k}"
+    return t
+
+
+class TestPiModel:
+    def test_total_cap_preserved(self):
+        tree = ladder()
+        pi = pi_model(tree)
+        assert pi.total_cap == pytest.approx(tree.total_cap(), rel=1e-9)
+
+    def test_pure_cap_tree_degenerates(self):
+        t = RCTree("root", root_cap=3 * FF)
+        pi = pi_model(t)
+        assert pi.resistance == 0.0
+        assert pi.c_far == 0.0
+        assert pi.c_near == pytest.approx(3 * FF)
+
+    def test_single_rc_exact(self):
+        # A single RC segment *is* a π with c_near = 0-ish split; the
+        # admittance moments of the reduction must match the original.
+        t = RCTree("root")
+        t.add_segment("a", "root", 500.0, 2 * FF)
+        pi = pi_model(t)
+        # y1 = C, y2 = -R C^2, y3 = R^2 C^3 -> c_far = C, r = R, c_near = 0.
+        assert pi.c_far == pytest.approx(2 * FF, rel=1e-9)
+        assert pi.resistance == pytest.approx(500.0, rel=1e-9)
+        assert pi.c_near == pytest.approx(0.0, abs=1e-20)
+
+    def test_shielding_puts_cap_behind_resistance(self):
+        pi = pi_model(ladder(n=8, r=500.0))
+        assert pi.c_far > pi.c_near
+        assert pi.resistance > 0
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(InterconnectError):
+            pi_model(RCTree("root"))
+
+
+class TestEffectiveCapacitance:
+    def test_bounded_by_near_and_total(self):
+        tree = ladder()
+        pi = pi_model(tree)
+        for t in (1 * PS, 10 * PS, 100 * PS):
+            ceff = effective_capacitance(tree, t)
+            assert pi.c_near - 1e-20 <= ceff <= tree.total_cap() + 1e-20
+
+    def test_slow_edge_sees_everything(self):
+        tree = ladder()
+        ceff = effective_capacitance(tree, 1e-6)
+        assert ceff == pytest.approx(tree.total_cap(), rel=1e-3)
+
+    def test_fast_edge_sees_near_cap(self):
+        tree = ladder(n=8, r=2000.0)
+        pi = pi_model(tree)
+        ceff = effective_capacitance(tree, 1e-15)
+        assert ceff == pytest.approx(pi.c_near, rel=0.05)
+
+    def test_monotone_in_transition_time(self):
+        tree = ladder(n=6, r=800.0)
+        times = np.geomspace(0.1 * PS, 1000 * PS, 12)
+        ceffs = [effective_capacitance(tree, t) for t in times]
+        assert all(b >= a - 1e-22 for a, b in zip(ceffs, ceffs[1:]))
+
+    def test_validation(self):
+        with pytest.raises(InterconnectError):
+            effective_capacitance(ladder(), 0.0)

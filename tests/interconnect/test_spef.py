@@ -1,0 +1,88 @@
+"""Round-trip and error-handling tests for the SPEF subset."""
+
+import pytest
+
+from repro.errors import InterconnectError
+from repro.interconnect.generate import NetGenerator
+from repro.interconnect.metrics import elmore_delay
+from repro.interconnect.rctree import RCTree
+from repro.interconnect.spef import read_spef, write_spef
+from repro.units import FF, UM
+
+
+class TestRoundTrip:
+    def test_single_net(self, tech, tmp_path):
+        gen = NetGenerator(tech, seed=3)
+        tree = gen.random_net(name="n1")
+        path = tmp_path / "one.spef"
+        write_spef({"n1": tree}, path)
+        back = read_spef(path)["n1"]
+        assert back.total_cap() == pytest.approx(tree.total_cap(), rel=1e-5)
+        assert back.total_resistance() == pytest.approx(
+            tree.total_resistance(), rel=1e-5)
+        leaf = tree.leaves()[0]
+        assert elmore_delay(back, leaf) == pytest.approx(
+            elmore_delay(tree, leaf), rel=1e-5)
+
+    def test_many_nets(self, tech, tmp_path):
+        gen = NetGenerator(tech, seed=4)
+        nets = {f"net{i}": gen.random_net(name=f"net{i}") for i in range(5)}
+        path = tmp_path / "many.spef"
+        write_spef(nets, path)
+        back = read_spef(path)
+        assert set(back) == set(nets)
+
+    def test_header_present(self, tech, tmp_path):
+        gen = NetGenerator(tech, seed=5)
+        path = tmp_path / "h.spef"
+        write_spef({"n": gen.chain(20 * UM)}, path, design="mydesign")
+        text = path.read_text()
+        assert '*DESIGN "mydesign"' in text
+        assert "*C_UNIT 1 FF" in text
+
+    def test_branchy_tree_reconstructed(self, tmp_path):
+        t = RCTree("drv")
+        t.add_segment("a", "drv", 100.0, 1 * FF)
+        t.add_segment("b", "a", 50.0, 0.5 * FF)
+        t.add_segment("c", "a", 60.0, 0.7 * FF)
+        path = tmp_path / "b.spef"
+        write_spef({"n": t}, path)
+        back = read_spef(path)["n"]
+        assert set(back.leaves()) == {"b", "c"}
+        assert back.root == "drv"
+
+
+class TestErrors:
+    def test_missing_res_section(self, tmp_path):
+        p = tmp_path / "bad.spef"
+        p.write_text("*D_NET n 1.0\n*CAP\n1 a 1.0\n*END\n")
+        with pytest.raises(InterconnectError):
+            read_spef(p)
+
+    def test_unterminated_net(self, tmp_path):
+        p = tmp_path / "bad.spef"
+        p.write_text("*D_NET n 1.0\n*RES\n1 a b 10.0\n")
+        with pytest.raises(InterconnectError):
+            read_spef(p)
+
+    def test_coupling_cap_rejected(self, tmp_path):
+        p = tmp_path / "bad.spef"
+        p.write_text("*D_NET n 1.0\n*CAP\n1 a b 0.5\n*RES\n1 a b 10.0\n*END\n")
+        with pytest.raises(InterconnectError):
+            read_spef(p)
+
+    def test_disconnected_resistors_rejected(self, tmp_path):
+        p = tmp_path / "bad.spef"
+        p.write_text(
+            "*D_NET n 1.0\n*CONN\n*I a O\n*RES\n1 a b 10.0\n2 x y 10.0\n*END\n")
+        with pytest.raises(InterconnectError):
+            read_spef(p)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        p = tmp_path / "ok.spef"
+        p.write_text(
+            "// header comment\n\n*D_NET n 1.0\n*CONN\n*I a O\n"
+            "*CAP\n1 b 1.0\n*RES\n1 a b 10.0\n*END\n")
+        net = read_spef(p)["n"]
+        assert net.root == "a"
+        assert net.total_cap() == pytest.approx(1 * FF)

@@ -1,0 +1,197 @@
+"""Tests for the LSN / Burr / skew-normal comparison distributions."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.errors import CalibrationError
+from repro.moments.distributions import BurrXII, LogSkewNormal, SkewNormal
+
+
+@pytest.fixture()
+def skewed_delays(rng):
+    """Synthetic positive, right-skewed 'delay' data (log-normal-ish)."""
+    return 10e-12 * np.exp(rng.normal(0.0, 0.25, 20000))
+
+
+class TestSkewNormal:
+    def test_fit_recovers_gaussian(self, rng):
+        x = rng.normal(5.0, 2.0, 50000)
+        sn = SkewNormal.fit_moments(x)
+        assert abs(sn.alpha) < 0.5
+        assert sn.quantile(0.5) == pytest.approx(5.0, rel=0.02)
+
+    def test_fit_recovers_known_skewnormal(self, rng):
+        x = sps.skewnorm.rvs(4.0, loc=1.0, scale=2.0, size=100000,
+                             random_state=rng)
+        sn = SkewNormal.fit_moments(x)
+        for p in (0.1, 0.5, 0.9):
+            assert sn.quantile(p) == pytest.approx(
+                sps.skewnorm.ppf(p, 4.0, loc=1.0, scale=2.0), rel=0.05)
+
+    def test_extreme_skew_clipped_not_crash(self, rng):
+        x = rng.exponential(1.0, 5000)  # skew 2 > representable limit
+        sn = SkewNormal.fit_moments(x)
+        assert np.isfinite(sn.quantile(0.99))
+
+    def test_pdf_integrates_to_one(self):
+        sn = SkewNormal(xi=0.0, omega=1.0, alpha=3.0)
+        x = np.linspace(-5, 8, 4000)
+        assert np.trapezoid(sn.pdf(x), x) == pytest.approx(1.0, abs=1e-3)
+
+    def test_sample_roundtrip(self, rng):
+        sn = SkewNormal(xi=2.0, omega=1.0, alpha=2.0)
+        x = sn.sample(50000, rng)
+        refit = SkewNormal.fit_moments(x)
+        assert refit.quantile(0.5) == pytest.approx(sn.quantile(0.5), rel=0.03)
+
+    def test_rejects_tiny_datasets(self):
+        with pytest.raises(CalibrationError):
+            SkewNormal.fit_moments([1.0, 2.0])
+
+    def test_sigma_quantile_alias(self):
+        from repro.moments.stats import sigma_level_fraction
+        sn = SkewNormal(xi=0.0, omega=1.0, alpha=0.0)
+        assert sn.sigma_quantile(2) == pytest.approx(
+            sn.quantile(sigma_level_fraction(2)), abs=1e-9)
+
+
+class TestLogSkewNormal:
+    def test_quantiles_close_on_lognormal_data(self, skewed_delays):
+        lsn = LogSkewNormal.fit(skewed_delays)
+        for p in (0.1, 0.5, 0.9, 0.99):
+            emp = np.quantile(skewed_delays, p)
+            assert lsn.quantile(p) == pytest.approx(emp, rel=0.05)
+
+    def test_requires_positive(self, rng):
+        with pytest.raises(CalibrationError):
+            LogSkewNormal.fit(rng.normal(0, 1, 100))
+
+    def test_pdf_zero_for_negative(self, skewed_delays):
+        lsn = LogSkewNormal.fit(skewed_delays)
+        assert np.all(lsn.pdf(np.array([-1.0, 0.0])) == 0.0)
+
+    def test_pdf_integrates_to_one(self, skewed_delays):
+        lsn = LogSkewNormal.fit(skewed_delays)
+        x = np.linspace(1e-13, 100e-12, 20000)
+        assert np.trapezoid(lsn.pdf(x), x) == pytest.approx(1.0, abs=0.01)
+
+
+class TestBurrXII:
+    def test_fit_on_burr_data(self, rng):
+        true = BurrXII(c=3.0, k=1.5, loc=5e-12, scale=10e-12)
+        u = rng.uniform(0.001, 0.999, 40000)
+        x = np.array([true.quantile(p) for p in u])
+        fit = BurrXII.fit(x)
+        for p in (0.1, 0.5, 0.9):
+            assert fit.quantile(p) == pytest.approx(true.quantile(p), rel=0.05)
+
+    def test_quantile_monotone(self, skewed_delays):
+        burr = BurrXII.fit(skewed_delays)
+        qs = [burr.quantile(p) for p in (0.01, 0.1, 0.5, 0.9, 0.99)]
+        assert qs == sorted(qs)
+
+    def test_cdf_quantile_inverse(self, skewed_delays):
+        burr = BurrXII.fit(skewed_delays)
+        for p in (0.05, 0.5, 0.95):
+            assert burr.cdf(np.array([burr.quantile(p)]))[0] == pytest.approx(p, abs=1e-6)
+
+    def test_quantile_domain(self, skewed_delays):
+        burr = BurrXII.fit(skewed_delays)
+        with pytest.raises(ValueError):
+            burr.quantile(0.0)
+        with pytest.raises(ValueError):
+            burr.quantile(1.0)
+
+    def test_pdf_nonnegative_and_normalized(self, skewed_delays):
+        burr = BurrXII.fit(skewed_delays)
+        x = np.linspace(burr.loc, burr.loc + 50 * burr.scale, 50000)
+        pdf = burr.pdf(x)
+        assert np.all(pdf >= 0)
+        assert np.trapezoid(pdf, x) == pytest.approx(1.0, abs=0.02)
+
+    def test_needs_samples(self):
+        with pytest.raises(CalibrationError):
+            BurrXII.fit(np.ones(10))
+
+    def test_tail_heavier_than_gaussian_fit(self, rng):
+        # On heavy-tailed data Burr's +3-sigma-level quantile should
+        # exceed mu + 3 sigma.
+        x = 1e-11 * np.exp(rng.normal(0, 0.4, 30000))
+        burr = BurrXII.fit(x)
+        assert burr.sigma_quantile(3) > np.mean(x) + 2.5 * np.std(x)
+
+
+class TestQuantileFits:
+    def test_skewnormal_fit_quantiles_roundtrip(self):
+        sn = SkewNormal(xi=2.0, omega=1.5, alpha=3.0)
+        q = {p: sn.quantile(p) for p in (0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99)}
+        refit = SkewNormal.fit_quantiles(q)
+        for p in (0.05, 0.5, 0.995):
+            assert refit.quantile(p) == pytest.approx(sn.quantile(p), rel=0.02)
+
+    def test_skewnormal_fit_quantiles_validation(self):
+        with pytest.raises(CalibrationError):
+            SkewNormal.fit_quantiles({0.5: 1.0})
+        with pytest.raises(CalibrationError):
+            SkewNormal.fit_quantiles({0.1: 2.0, 0.5: 1.0, 0.9: 0.0})
+
+    def test_lsn_fit_quantiles_roundtrip(self, skewed_delays):
+        probs = (0.01, 0.1, 0.5, 0.9, 0.99)
+        q = {p: float(np.quantile(skewed_delays, p)) for p in probs}
+        lsn = LogSkewNormal.fit_quantiles(q)
+        for p in probs:
+            assert lsn.quantile(p) == pytest.approx(q[p], rel=0.03)
+
+    def test_lsn_fit_quantiles_rejects_nonpositive(self):
+        with pytest.raises(CalibrationError):
+            LogSkewNormal.fit_quantiles({0.1: -1.0, 0.5: 1.0, 0.9: 2.0})
+
+    def test_burr_fit_quantiles_roundtrip(self):
+        true = BurrXII(c=3.0, k=1.5, loc=5e-12, scale=10e-12)
+        probs = (0.02, 0.1, 0.3, 0.5, 0.7, 0.9, 0.98)
+        q = {p: true.quantile(p) for p in probs}
+        refit = BurrXII.fit_quantiles(q)
+        for p in (0.05, 0.5, 0.95):
+            assert refit.quantile(p) == pytest.approx(true.quantile(p), rel=0.05)
+
+
+class TestMomentMatchedConstructors:
+    def test_lsn_from_moments_matches_lognormal(self, rng):
+        x = 3e-11 * np.exp(rng.normal(0, 0.2, 100000))
+        mu, sd = float(x.mean()), float(x.std())
+        g = float(((x - mu) ** 3).mean() / sd**3)
+        lsn = LogSkewNormal.from_moments(mu, sd, g)
+        for p in (0.00135, 0.5, 0.99865):
+            assert lsn.quantile(p) == pytest.approx(
+                float(np.quantile(x, p)), rel=0.04)
+
+    def test_lsn_from_moments_validation(self):
+        with pytest.raises(CalibrationError):
+            LogSkewNormal.from_moments(-1.0, 1.0, 0.5)
+        with pytest.raises(CalibrationError):
+            LogSkewNormal.from_moments(1.0, 0.0, 0.5)
+
+    def test_burr_from_moments_matches_bulk(self, rng):
+        x = 3e-11 * np.exp(rng.normal(0, 0.2, 100000))
+        mu, sd = float(x.mean()), float(x.std())
+        g = float(((x - mu) ** 3).mean() / sd**3)
+        burr = BurrXII.from_moments(mu, sd, g)
+        # Bulk matches well...
+        assert burr.quantile(0.5) == pytest.approx(
+            float(np.quantile(x, 0.5)), rel=0.05)
+        # ...but the implied -3σ tail is visibly off (the paper's point).
+        emp = float(np.quantile(x, 0.00135))
+        assert abs(burr.quantile(0.00135) - emp) / emp > 0.02
+
+    def test_burr_from_moments_positive_support(self):
+        burr = BurrXII.from_moments(3e-11, 5e-12, 1.0)
+        assert burr.loc == 0.0
+        assert burr.quantile(0.0001) > 0
+
+    def _legacy_tail_check(self, rng):
+        # On heavy-tailed data Burr's +3-sigma-level quantile should
+        # exceed mu + 3 sigma.
+        x = 1e-11 * np.exp(rng.normal(0, 0.4, 30000))
+        burr = BurrXII.fit(x)
+        assert burr.sigma_quantile(3) > np.mean(x) + 2.5 * np.std(x)

@@ -1,0 +1,91 @@
+"""Tests for the regression helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CalibrationError
+from repro.moments.regression import LinearFit, fit_linear, polynomial_features
+
+
+class TestFitLinear:
+    def test_exact_fit(self, rng):
+        x = rng.normal(size=(50, 3))
+        coef = np.array([1.0, -2.0, 0.5])
+        fit = fit_linear(x, x @ coef)
+        assert np.allclose(fit.coef, coef)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.residual_rms == pytest.approx(0.0, abs=1e-10)
+
+    def test_noisy_fit_r2(self, rng):
+        x = rng.normal(size=(500, 2))
+        y = x @ np.array([3.0, 1.0]) + rng.normal(0, 0.1, 500)
+        fit = fit_linear(x, y)
+        assert fit.r_squared > 0.99
+        assert fit.residual_rms == pytest.approx(0.1, rel=0.2)
+
+    def test_weights_prioritize_observations(self, rng):
+        x = np.array([[1.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        fit = fit_linear(x, y, weights=np.array([1e6, 1.0]))
+        assert fit.coef[0] == pytest.approx(0.0, abs=0.01)
+
+    def test_ridge_shrinks_collinear(self, rng):
+        base = rng.normal(size=200)
+        x = np.stack([base, base + 1e-9 * rng.normal(size=200)], axis=1)
+        y = base
+        plain = fit_linear(x, y)
+        damped = fit_linear(x, y, ridge=1e-3)
+        assert np.max(np.abs(damped.coef)) < np.max(np.abs(plain.coef)) + 1e-6
+        assert np.max(np.abs(damped.coef)) < 10.0
+
+    def test_underdetermined_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_linear(np.ones((2, 3)), np.ones(2))
+
+    def test_shape_validation(self):
+        with pytest.raises(CalibrationError):
+            fit_linear(np.ones(5), np.ones(5))
+        with pytest.raises(CalibrationError):
+            fit_linear(np.ones((5, 1)), np.ones(4))
+
+    def test_predict(self, rng):
+        x = rng.normal(size=(30, 2))
+        fit = fit_linear(x, x @ np.array([2.0, -1.0]))
+        new = np.array([[1.0, 1.0]])
+        assert fit.predict(new)[0] == pytest.approx(1.0)
+
+    @given(scale=st.floats(min_value=1e-3, max_value=1e3))
+    @settings(max_examples=20, deadline=None)
+    def test_scale_equivariance(self, scale):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(40, 2))
+        y = x @ np.array([1.0, 2.0])
+        fit = fit_linear(x, y * scale)
+        assert np.allclose(fit.coef, scale * np.array([1.0, 2.0]), rtol=1e-8)
+
+
+class TestPolynomialFeatures:
+    def test_degree1_columns(self):
+        f = polynomial_features(np.array([2.0]), np.array([3.0]), degree=1)
+        assert f.tolist() == [[2.0, 3.0, 6.0]]
+
+    def test_degree3_columns(self):
+        f = polynomial_features(np.array([2.0]), np.array([1.0]), degree=3)
+        assert f.tolist() == [[2.0, 1.0, 4.0, 1.0, 8.0, 1.0, 2.0]]
+
+    def test_no_cross(self):
+        f = polynomial_features(np.array([2.0]), np.array([3.0]), degree=1, cross=False)
+        assert f.shape == (1, 2)
+
+    def test_broadcasting(self):
+        f = polynomial_features(np.zeros(5), np.ones(5), degree=2)
+        assert f.shape == (5, 5)
+
+    def test_invalid_degree(self):
+        with pytest.raises(CalibrationError):
+            polynomial_features(np.zeros(2), np.zeros(2), degree=4)
+
+    def test_zero_deviation_gives_zero_features(self):
+        f = polynomial_features(np.array([0.0]), np.array([0.0]), degree=3)
+        assert np.all(f == 0.0)

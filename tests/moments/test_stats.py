@@ -1,0 +1,131 @@
+"""Unit and property tests for moments and sigma-level quantiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats as sps
+
+from repro.moments.stats import (
+    SIGMA_LEVELS,
+    Moments,
+    empirical_sigma_quantiles,
+    quantile_standard_error,
+    sigma_level_fraction,
+)
+
+
+class TestSigmaLevels:
+    def test_paper_percent_defective_column(self):
+        # Table I's "percent defective" values.
+        expected = {-3: 0.0014, -2: 0.0228, -1: 0.1587, 0: 0.5,
+                    1: 0.8413, 2: 0.9772, 3: 0.9986}
+        for level, frac in expected.items():
+            # The paper's column is rounded to 4 decimals.
+            assert sigma_level_fraction(level) == pytest.approx(frac, abs=1e-4)
+
+    def test_levels_ascending(self):
+        assert list(SIGMA_LEVELS) == sorted(SIGMA_LEVELS)
+
+
+class TestMoments:
+    def test_gaussian_data(self, rng):
+        x = rng.normal(10.0, 2.0, 200000)
+        m = Moments.from_samples(x)
+        assert m.mu == pytest.approx(10.0, rel=0.01)
+        assert m.sigma == pytest.approx(2.0, rel=0.02)
+        assert m.skew == pytest.approx(0.0, abs=0.05)
+        assert m.kurt == pytest.approx(3.0, abs=0.1)
+
+    def test_exponential_data_skewed(self, rng):
+        x = rng.exponential(1.0, 100000)
+        m = Moments.from_samples(x)
+        assert m.skew == pytest.approx(2.0, rel=0.1)
+        assert m.kurt == pytest.approx(9.0, rel=0.2)
+
+    def test_nan_handling(self):
+        x = np.array([1.0, 2.0, np.nan, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+        m = Moments.from_samples(x)
+        assert m.n == 8
+        assert m.mu == pytest.approx(4.5)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            Moments.from_samples([1.0, 2.0, 3.0])
+
+    def test_constant_data(self):
+        m = Moments.from_samples([5.0] * 20)
+        assert m.sigma == 0.0
+        assert m.kurt == 3.0
+
+    def test_variability(self):
+        m = Moments(10.0, 2.0, 0.0, 3.0)
+        assert m.variability == pytest.approx(0.2)
+        with pytest.raises(ZeroDivisionError):
+            Moments(0.0, 1.0, 0.0, 3.0).variability
+
+    def test_gaussian_quantile(self):
+        m = Moments(10.0, 2.0, 0.5, 4.0)
+        assert m.gaussian_quantile(3) == pytest.approx(16.0)
+        assert m.gaussian_quantile(-3) == pytest.approx(4.0)
+
+    def test_as_array_order(self):
+        m = Moments(1.0, 2.0, 3.0, 4.0)
+        assert m.as_array().tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    @given(
+        mu=st.floats(min_value=-100, max_value=100),
+        sigma=st.floats(min_value=0.01, max_value=10),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_location_scale_equivariance(self, mu, sigma):
+        base = np.random.default_rng(0).normal(0, 1, 3000)
+        m = Moments.from_samples(mu + sigma * base)
+        m0 = Moments.from_samples(base)
+        assert m.mu == pytest.approx(mu + sigma * m0.mu, abs=1e-6 + abs(mu) * 1e-9)
+        assert m.sigma == pytest.approx(sigma * m0.sigma, rel=1e-6)
+        assert m.skew == pytest.approx(m0.skew, abs=1e-6)
+        assert m.kurt == pytest.approx(m0.kurt, abs=1e-6)
+
+
+class TestEmpiricalQuantiles:
+    def test_gaussian_matches_mu_n_sigma(self, rng):
+        x = rng.normal(0.0, 1.0, 500000)
+        q = empirical_sigma_quantiles(x)
+        for n in SIGMA_LEVELS:
+            assert q[n] == pytest.approx(float(n), abs=0.05)
+
+    def test_monotone_in_level(self, rng):
+        x = rng.gamma(2.0, 1.0, 20000)
+        q = empirical_sigma_quantiles(x)
+        values = [q[n] for n in SIGMA_LEVELS]
+        assert values == sorted(values)
+
+    def test_subset_of_levels(self, rng):
+        x = rng.normal(0, 1, 1000)
+        q = empirical_sigma_quantiles(x, levels=(-3, 3))
+        assert set(q) == {-3, 3}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            empirical_sigma_quantiles([np.nan, np.nan])
+
+
+class TestQuantileStandardError:
+    def test_gaussian_reference(self, rng):
+        # SE of the median of N(0,1): sqrt(pi/2)/sqrt(n).
+        x = rng.normal(0, 1, 10000)
+        se = quantile_standard_error(x, 0)
+        assert se == pytest.approx(np.sqrt(np.pi / 2) / 100, rel=0.2)
+
+    def test_tail_se_larger_than_median_se(self, rng):
+        x = rng.normal(0, 1, 10000)
+        assert quantile_standard_error(x, 3) > quantile_standard_error(x, 0)
+
+    def test_shrinks_with_samples(self, rng):
+        small = quantile_standard_error(rng.normal(0, 1, 2000), 2)
+        large = quantile_standard_error(rng.normal(0, 1, 50000), 2)
+        assert large < small
+
+    def test_needs_enough_samples(self, rng):
+        with pytest.raises(ValueError):
+            quantile_standard_error(rng.normal(0, 1, 50), 0)

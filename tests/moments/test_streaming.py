@@ -1,0 +1,92 @@
+"""Tests for the streaming moments / reservoir quantiles extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.moments.stats import Moments
+from repro.moments.streaming import ReservoirQuantiles, StreamingMoments
+
+
+class TestStreamingMoments:
+    def test_matches_batch_estimator(self, rng):
+        x = rng.gamma(2.0, 1.5, 5000)
+        stream = StreamingMoments().add_many(x)
+        batch = Moments.from_samples(x)
+        online = stream.moments()
+        assert online.mu == pytest.approx(batch.mu, rel=1e-12)
+        assert online.sigma == pytest.approx(batch.sigma, rel=1e-12)
+        assert online.skew == pytest.approx(batch.skew, rel=1e-9)
+        assert online.kurt == pytest.approx(batch.kurt, rel=1e-9)
+        assert online.n == batch.n
+
+    def test_nan_ignored(self):
+        s = StreamingMoments().add_many([1.0, np.nan, 2.0] * 4)
+        assert s.n == 8
+
+    def test_too_few_observations(self):
+        with pytest.raises(ValueError):
+            StreamingMoments().add_many([1.0, 2.0]).moments()
+
+    def test_constant_stream(self):
+        m = StreamingMoments().add_many([3.0] * 20).moments()
+        assert m.sigma == 0.0
+        assert m.kurt == 3.0
+
+    def test_merge_equals_concatenation(self, rng):
+        x = rng.lognormal(0, 0.4, 3000)
+        a = StreamingMoments().add_many(x[:1000])
+        b = StreamingMoments().add_many(x[1000:])
+        merged = a.merge(b).moments()
+        whole = StreamingMoments().add_many(x).moments()
+        assert merged.mu == pytest.approx(whole.mu, rel=1e-12)
+        assert merged.sigma == pytest.approx(whole.sigma, rel=1e-10)
+        assert merged.skew == pytest.approx(whole.skew, rel=1e-8)
+        assert merged.kurt == pytest.approx(whole.kurt, rel=1e-8)
+
+    def test_merge_with_empty(self, rng):
+        x = rng.normal(size=100)
+        a = StreamingMoments().add_many(x)
+        merged = a.merge(StreamingMoments())
+        assert merged.moments().mu == pytest.approx(np.mean(x))
+        merged2 = StreamingMoments().merge(a)
+        assert merged2.moments().mu == pytest.approx(np.mean(x))
+
+    @given(split=st.integers(min_value=8, max_value=192))
+    @settings(max_examples=20, deadline=None)
+    def test_merge_associativity_property(self, split):
+        x = np.random.default_rng(9).exponential(1.0, 200)
+        a = StreamingMoments().add_many(x[:split])
+        b = StreamingMoments().add_many(x[split:])
+        m = a.merge(b).moments()
+        w = StreamingMoments().add_many(x).moments()
+        assert m.kurt == pytest.approx(w.kurt, rel=1e-7)
+
+
+class TestReservoirQuantiles:
+    def test_exact_below_capacity(self, rng):
+        x = rng.normal(size=500)
+        r = ReservoirQuantiles(capacity=1000, seed=1).add_many(x)
+        q = r.sigma_quantiles(levels=(0,))
+        assert q[0] == pytest.approx(float(np.median(x)), abs=1e-12)
+
+    def test_estimates_converge(self, rng):
+        x = rng.normal(size=100000)
+        r = ReservoirQuantiles(capacity=4096, seed=2).add_many(x)
+        q = r.sigma_quantiles(levels=(-1, 0, 1))
+        for n in (-1, 0, 1):
+            assert q[n] == pytest.approx(float(n), abs=0.08)
+
+    def test_capacity_bound(self, rng):
+        r = ReservoirQuantiles(capacity=64, seed=3)
+        r.add_many(rng.normal(size=10000))
+        assert r.n_seen == 10000
+        assert r._buffer.shape == (64,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReservoirQuantiles(seed=1).sigma_quantiles()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReservoirQuantiles(capacity=4)

@@ -1,0 +1,118 @@
+"""Tests for the synthetic benchmark family and parasitic attachment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.benchmarks import (
+    ISCAS85_PROFILES,
+    attach_parasitics,
+    build_iscas85_like,
+    build_pulpino_unit,
+)
+from repro.netlist.circuit import PRIMARY_OUTPUT
+
+
+class TestISCAS85Like:
+    def test_profiles_match_paper_counts(self):
+        # Cell/net counts straight from Table III.
+        assert ISCAS85_PROFILES["c432"].n_cells == 655
+        assert ISCAS85_PROFILES["c432"].n_nets == 734
+        assert ISCAS85_PROFILES["c6288"].n_cells == 3246
+        assert ISCAS85_PROFILES["c7552"].n_nets == 4536
+
+    @pytest.mark.parametrize("name", ["c432", "c1355", "c1908"])
+    def test_generated_counts(self, name):
+        profile = ISCAS85_PROFILES[name]
+        c = build_iscas85_like(name)
+        assert c.n_cells == profile.n_cells
+        assert c.n_nets == profile.n_nets
+        assert len(c.inputs) == profile.n_inputs
+
+    def test_depth_close_to_profile(self):
+        c = build_iscas85_like("c432")
+        assert ISCAS85_PROFILES["c432"].depth - 3 <= c.logic_depth()
+        assert c.logic_depth() <= ISCAS85_PROFILES["c432"].depth + 3
+
+    def test_deterministic(self):
+        a = build_iscas85_like("c1355")
+        b = build_iscas85_like("c1355")
+        assert [g.cell_name for g in a.gates.values()] == [
+            g.cell_name for g in b.gates.values()]
+
+    def test_acyclic_and_valid(self):
+        c = build_iscas85_like("c432")
+        c.validate()
+        assert len(c.topological_gates()) == c.n_cells
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(NetlistError):
+            build_iscas85_like("c9999")
+
+    def test_cell_mix_uses_multiple_types(self):
+        hist = build_iscas85_like("c2670").cell_histogram()
+        types = {name.split("x")[0] for name in hist}
+        assert {"NAND2", "NOR2", "INV"}.issubset(types)
+
+    def test_strength_mix(self):
+        hist = build_iscas85_like("c3540").cell_histogram()
+        strengths = {int(name.split("x")[1]) for name in hist}
+        assert {1, 2, 4}.issubset(strengths)
+
+    def test_type_restriction(self):
+        c = build_iscas85_like("c432", type_names=("INV", "NAND2"))
+        types = {name.split("x")[0] for name in c.cell_histogram()}
+        assert types <= {"INV", "NAND2"}
+        assert c.n_cells == ISCAS85_PROFILES["c432"].n_cells
+
+    def test_type_restriction_rejects_empty(self):
+        with pytest.raises(NetlistError):
+            build_iscas85_like("c432", type_names=("XYZ",))
+
+
+class TestPulpinoUnits:
+    @pytest.mark.parametrize("unit", ["ADD", "SUB", "MUL", "DIV"])
+    def test_builds(self, unit):
+        c = build_pulpino_unit(unit, 4)
+        c.validate()
+        assert c.n_cells > 0
+
+    def test_case_insensitive(self):
+        assert build_pulpino_unit("add", 4).name == "pulpino_add"
+
+    def test_unknown_unit(self):
+        with pytest.raises(NetlistError):
+            build_pulpino_unit("SQRT")
+
+
+class TestAttachParasitics:
+    def test_every_net_gets_tree(self, tech):
+        c = build_pulpino_unit("ADD", 3)
+        attach_parasitics(c, tech, seed=1)
+        assert all(net.tree is not None for net in c.nets.values())
+
+    def test_sink_leaf_covers_gate_sinks(self, tech):
+        c = build_pulpino_unit("ADD", 3)
+        attach_parasitics(c, tech, seed=1)
+        for net in c.nets.values():
+            for sink in net.sinks:
+                if sink == PRIMARY_OUTPUT:
+                    continue
+                leaf = net.sink_leaf[sink]
+                assert leaf in net.tree.nodes
+
+    def test_deterministic(self, tech):
+        a = build_pulpino_unit("ADD", 3)
+        b = build_pulpino_unit("ADD", 3)
+        attach_parasitics(a, tech, seed=9)
+        attach_parasitics(b, tech, seed=9)
+        for name in a.nets:
+            assert a.nets[name].tree.total_cap() == pytest.approx(
+                b.nets[name].tree.total_cap())
+
+    def test_fanout_scales_length(self, tech):
+        c = build_iscas85_like("c432")
+        attach_parasitics(c, tech, seed=2)
+        high = [n.tree.total_cap() for n in c.nets.values() if n.fanout >= 4]
+        low = [n.tree.total_cap() for n in c.nets.values() if n.fanout == 1]
+        assert np.mean(high) > np.mean(low)

@@ -1,0 +1,102 @@
+"""Unit tests for the gate-level circuit container."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import PRIMARY_OUTPUT, Circuit
+
+
+def c17_like():
+    """A small NAND network reminiscent of ISCAS85 c17."""
+    c = Circuit("c17")
+    for n in ("n1", "n2", "n3", "n6", "n7"):
+        c.add_input(n)
+    c.add_gate("g1", "NAND2x1", {"A": "n1", "B": "n3"}, "w10")
+    c.add_gate("g2", "NAND2x1", {"A": "n3", "B": "n6"}, "w11")
+    c.add_gate("g3", "NAND2x1", {"A": "n2", "B": "w11"}, "w16")
+    c.add_gate("g4", "NAND2x1", {"A": "w11", "B": "n7"}, "w19")
+    c.add_gate("g5", "NAND2x1", {"A": "w10", "B": "w16"}, "n22")
+    c.add_gate("g6", "NAND2x1", {"A": "w16", "B": "w19"}, "n23")
+    c.add_output("n22")
+    c.add_output("n23")
+    return c
+
+
+class TestConstruction:
+    def test_counts(self):
+        c = c17_like()
+        assert c.n_cells == 6
+        assert c.n_nets == 11
+        assert len(c.inputs) == 5
+        assert len(c.outputs) == 2
+
+    def test_duplicate_gate_rejected(self):
+        c = c17_like()
+        with pytest.raises(NetlistError):
+            c.add_gate("g1", "INVx1", {"A": "n1"}, "zz")
+
+    def test_double_driver_rejected(self):
+        c = c17_like()
+        with pytest.raises(NetlistError):
+            c.add_gate("g9", "INVx1", {"A": "n1"}, "w10")
+
+    def test_driving_primary_input_rejected(self):
+        c = c17_like()
+        with pytest.raises(NetlistError):
+            c.add_gate("g9", "INVx1", {"A": "w10"}, "n1")
+
+    def test_duplicate_io_rejected(self):
+        c = c17_like()
+        with pytest.raises(NetlistError):
+            c.add_input("n1")
+        with pytest.raises(NetlistError):
+            c.add_output("n22")
+
+    def test_primary_output_sink_marker(self):
+        c = c17_like()
+        assert PRIMARY_OUTPUT in c.nets["n22"].sinks
+
+    def test_validate_catches_floating(self):
+        c = Circuit("bad")
+        c.add_gate("g", "INVx1", {"A": "floating"}, "out")
+        with pytest.raises(NetlistError):
+            c.validate()
+
+
+class TestAnalysis:
+    def test_topological_respects_dependencies(self):
+        order = [g.name for g in c17_like().topological_gates()]
+        assert order.index("g2") < order.index("g3")
+        assert order.index("g3") < order.index("g5")
+
+    def test_cycle_detected(self):
+        c = Circuit("cyc")
+        c.add_input("a")
+        c.add_gate("g1", "NAND2x1", {"A": "a", "B": "w2"}, "w1")
+        c.add_gate("g2", "INVx1", {"A": "w1"}, "w2")
+        with pytest.raises(NetlistError):
+            c.topological_gates()
+
+    def test_logic_depth(self):
+        assert c17_like().logic_depth() == 3
+
+    def test_cell_histogram(self):
+        assert c17_like().cell_histogram() == {"NAND2x1": 6}
+
+    def test_fanout(self):
+        c = c17_like()
+        assert c.nets["w16"].fanout == 2
+        assert c.nets["w10"].fanout == 1
+
+    def test_evaluate_c17(self, library):
+        c = c17_like()
+        vec = {"n1": 1, "n2": 0, "n3": 1, "n6": 0, "n7": 1}
+        values = c.evaluate(vec, library)
+        # hand-evaluated: w10=!(1&1)=0, w11=!(1&0)=1, w16=!(0&1)=1,
+        # w19=!(1&1)=0, n22=!(0&1)=1, n23=!(1&0)=1
+        assert values["n22"] == 1
+        assert values["n23"] == 1
+
+    def test_evaluate_missing_inputs(self, library):
+        with pytest.raises(NetlistError):
+            c17_like().evaluate({"n1": 1}, library)

@@ -1,0 +1,156 @@
+"""Exhaustive functional tests for the arithmetic-unit generators."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.generators import (
+    CircuitBuilder,
+    build_adder,
+    build_divider,
+    build_multiplier,
+    build_subtractor,
+)
+
+
+def bus_vector(prefix, value, width):
+    return {f"{prefix}{i}": (value >> i) & 1 for i in range(width)}
+
+
+def bus_value(values, nets):
+    return sum(values[n] << i for i, n in enumerate(nets))
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize("a,b,expected", [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)])
+    def test_xor2(self, library, a, b, expected):
+        cb = CircuitBuilder("t")
+        na, nb = cb.input("a"), cb.input("b")
+        cb.output(cb.xor2(na, nb))
+        values = cb.circuit.evaluate({"a": a, "b": b}, library)
+        assert values[cb.circuit.outputs[0]] == expected
+
+    @pytest.mark.parametrize("d0,d1,s", [(0, 1, 0), (0, 1, 1), (1, 0, 0), (1, 0, 1)])
+    def test_mux2(self, library, d0, d1, s):
+        cb = CircuitBuilder("t")
+        for name in ("d0", "d1", "s"):
+            cb.input(name)
+        cb.output(cb.mux2("d0", "d1", "s"))
+        values = cb.circuit.evaluate({"d0": d0, "d1": d1, "s": s}, library)
+        assert values[cb.circuit.outputs[0]] == (d1 if s else d0)
+
+    @pytest.mark.parametrize("a,b,cin", [(a, b, c) for a in (0, 1)
+                                         for b in (0, 1) for c in (0, 1)])
+    def test_full_adder_truth_table(self, library, a, b, cin):
+        cb = CircuitBuilder("t")
+        for name in ("a", "b", "cin"):
+            cb.input(name)
+        s, cout = cb.full_adder("a", "b", "cin")
+        cb.output(s)
+        cb.output(cout)
+        values = cb.circuit.evaluate({"a": a, "b": b, "cin": cin}, library)
+        total = a + b + cin
+        assert values[s] == total % 2
+        assert values[cout] == total // 2
+
+    def test_and_or_gates(self, library):
+        cb = CircuitBuilder("t")
+        cb.input("a"), cb.input("b")
+        and_net = cb.and2("a", "b")
+        or_net = cb.or2("a", "b")
+        cb.output(and_net)
+        cb.output(or_net)
+        v = cb.circuit.evaluate({"a": 1, "b": 0}, library)
+        assert v[and_net] == 0
+        assert v[or_net] == 1
+
+
+class TestAdder:
+    @pytest.mark.parametrize("a,b,cin", [(0, 0, 0), (5, 3, 0), (15, 1, 0),
+                                         (7, 7, 1), (12, 9, 1), (15, 15, 1)])
+    def test_adder_4bit(self, library, a, b, cin):
+        ckt = build_adder(4)
+        vec = {**bus_vector("a", a, 4), **bus_vector("b", b, 4), "cin": cin}
+        values = ckt.evaluate(vec, library)
+        result = bus_value(values, ckt.outputs[:4]) + (values[ckt.outputs[4]] << 4)
+        assert result == a + b + cin
+
+    def test_adder_exhaustive_2bit(self, library):
+        ckt = build_adder(2)
+        for a in range(4):
+            for b in range(4):
+                vec = {**bus_vector("a", a, 2), **bus_vector("b", b, 2), "cin": 0}
+                values = ckt.evaluate(vec, library)
+                result = bus_value(values, ckt.outputs[:2]) + (
+                    values[ckt.outputs[2]] << 2)
+                assert result == a + b
+
+    def test_width_validation(self):
+        with pytest.raises(NetlistError):
+            build_adder(0)
+
+    def test_cell_count_scales_linearly(self):
+        assert build_adder(8).n_cells == pytest.approx(2 * build_adder(4).n_cells, abs=2)
+
+
+class TestSubtractor:
+    @pytest.mark.parametrize("a,b", [(9, 4), (15, 15), (7, 8), (0, 1), (12, 3)])
+    def test_sub_4bit_modular(self, library, a, b):
+        ckt = build_subtractor(4)
+        vec = {**bus_vector("a", a, 4), **bus_vector("b", b, 4), "one": 1}
+        values = ckt.evaluate(vec, library)
+        result = bus_value(values, ckt.outputs[:4])
+        assert result == (a - b) % 16
+
+    def test_no_borrow_flag(self, library):
+        ckt = build_subtractor(4)
+        vec = {**bus_vector("a", 9, 4), **bus_vector("b", 4, 4), "one": 1}
+        values = ckt.evaluate(vec, library)
+        assert values[ckt.outputs[4]] == 1  # a >= b -> carry out set
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("a,b", [(0, 7), (3, 5), (7, 7), (15, 15),
+                                     (9, 12), (1, 14)])
+    def test_mul_4bit(self, library, a, b):
+        ckt = build_multiplier(4)
+        vec = {**bus_vector("a", a, 4), **bus_vector("b", b, 4), "zero": 0}
+        values = ckt.evaluate(vec, library)
+        result = bus_value(values, ckt.outputs)
+        assert result == a * b
+
+    def test_mul_exhaustive_3bit(self, library):
+        ckt = build_multiplier(3)
+        for a in range(8):
+            for b in range(8):
+                vec = {**bus_vector("a", a, 3), **bus_vector("b", b, 3), "zero": 0}
+                values = ckt.evaluate(vec, library)
+                assert bus_value(values, ckt.outputs) == a * b
+
+    def test_width_validation(self):
+        with pytest.raises(NetlistError):
+            build_multiplier(1)
+
+
+class TestDivider:
+    @pytest.mark.parametrize("a,d", [(13, 3), (15, 1), (7, 7), (9, 2), (5, 6), (0, 3)])
+    def test_div_4bit(self, library, a, d):
+        ckt = build_divider(4)
+        vec = {**bus_vector("a", a, 4), **bus_vector("d", d, 4), "zero": 0}
+        values = ckt.evaluate(vec, library)
+        q = bus_value(values, ckt.outputs[:4])
+        r = bus_value(values, ckt.outputs[4:8])
+        assert q == a // d
+        assert r == a % d
+
+    def test_div_exhaustive_3bit(self, library):
+        ckt = build_divider(3)
+        for a in range(8):
+            for d in range(1, 8):
+                vec = {**bus_vector("a", a, 3), **bus_vector("d", d, 3), "zero": 0}
+                values = ckt.evaluate(vec, library)
+                assert bus_value(values, ckt.outputs[:3]) == a // d
+                assert bus_value(values, ckt.outputs[3:6]) == a % d
+
+    def test_divider_is_deepest_unit(self):
+        # Matches the paper's Table III where DIV has the longest path.
+        assert build_divider(4).logic_depth() > build_adder(4).logic_depth()

@@ -1,0 +1,68 @@
+"""Tests for the circuit-statistics helpers."""
+
+import pytest
+
+from repro.netlist.benchmarks import attach_parasitics, build_iscas85_like
+from repro.netlist.generators import build_adder
+from repro.netlist.stats import circuit_stats, compare_profiles
+
+
+@pytest.fixture(scope="module")
+def adder_stats(tech):
+    circuit = build_adder(4)
+    attach_parasitics(circuit, tech, seed=3)
+    return circuit_stats(circuit), circuit
+
+
+class TestCircuitStats:
+    def test_counters_match_circuit(self, adder_stats):
+        stats, circuit = adder_stats
+        assert stats.n_cells == circuit.n_cells
+        assert stats.n_nets == circuit.n_nets
+        assert stats.n_inputs == len(circuit.inputs)
+        assert stats.n_outputs == len(circuit.outputs)
+
+    def test_depth_matches_logic_depth(self, adder_stats):
+        stats, circuit = adder_stats
+        assert stats.depth == circuit.logic_depth()
+        assert 0 < stats.mean_depth <= stats.depth
+
+    def test_fanout_histogram_counts_all_nets(self, adder_stats):
+        stats, circuit = adder_stats
+        assert sum(stats.fanout_histogram.values()) == circuit.n_nets
+
+    def test_type_histogram_totals(self, adder_stats):
+        stats, _ = adder_stats
+        assert sum(stats.type_histogram.values()) == stats.n_cells
+        assert "NAND2" in stats.type_histogram
+
+    def test_wire_totals_positive_with_parasitics(self, adder_stats):
+        stats, _ = adder_stats
+        assert stats.total_wire_resistance > 0
+        assert stats.total_wire_cap > 0
+
+    def test_no_parasitics_gives_zero_wire(self):
+        stats = circuit_stats(build_adder(3))
+        assert stats.total_wire_resistance == 0.0
+        assert stats.total_wire_cap == 0.0
+
+    def test_format_contains_key_fields(self, adder_stats):
+        stats, _ = adder_stats
+        text = stats.format()
+        assert "cells" in text
+        assert "logic depth" in text
+        assert "NAND2" in text
+
+
+class TestCompareProfiles:
+    def test_table_rows(self, tech):
+        circuits = [build_adder(2, name="a2"), build_adder(4, name="a4")]
+        text = compare_profiles(circuits)
+        assert "a2" in text and "a4" in text
+        assert len(text.splitlines()) == 3
+
+    def test_iscas_profile_table(self):
+        c = build_iscas85_like("c432")
+        text = compare_profiles([c])
+        assert "c432" in text
+        assert "655" in text

@@ -1,0 +1,80 @@
+"""Round-trip and parsing tests for the structural-Verilog subset."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.generators import build_adder
+from repro.netlist.verilog import read_verilog, write_verilog
+
+
+class TestRoundTrip:
+    def test_adder_round_trip(self, tmp_path, library):
+        original = build_adder(4)
+        path = tmp_path / "add.v"
+        write_verilog(original, path)
+        back = read_verilog(path)
+        assert back.name == original.name
+        assert back.n_cells == original.n_cells
+        assert back.n_nets == original.n_nets
+        assert back.inputs == original.inputs
+        assert back.outputs == original.outputs
+        # Functional equivalence on a vector.
+        vec = {f"a{i}": (11 >> i) & 1 for i in range(4)}
+        vec.update({f"b{i}": (6 >> i) & 1 for i in range(4)})
+        vec["cin"] = 1
+        assert original.evaluate(vec, library) == back.evaluate(vec, library)
+
+    def test_written_file_is_readable_verilog(self, tmp_path):
+        path = tmp_path / "a.v"
+        write_verilog(build_adder(2), path)
+        text = path.read_text()
+        assert text.startswith("module pulpino_add")
+        assert text.rstrip().endswith("endmodule")
+        assert ".Y(" in text
+
+
+class TestParsing:
+    def test_comments_stripped(self, tmp_path):
+        p = tmp_path / "c.v"
+        p.write_text(
+            "// a comment\nmodule m (a, y);\n"
+            "input a; /* block\ncomment */ output y;\n"
+            "INVx1 g1 (.A(a), .Y(y));\nendmodule\n")
+        c = read_verilog(p)
+        assert c.n_cells == 1
+
+    def test_multi_net_declarations(self, tmp_path):
+        p = tmp_path / "c.v"
+        p.write_text(
+            "module m (a, b, y);\ninput a, b;\noutput y;\nwire w1;\n"
+            "NAND2x1 g1 (.A(a), .B(b), .Y(w1));\n"
+            "INVx1 g2 (.A(w1), .Y(y));\nendmodule\n")
+        c = read_verilog(p)
+        assert c.n_cells == 2
+        assert c.inputs == ["a", "b"]
+
+    def test_missing_output_pin_rejected(self, tmp_path):
+        p = tmp_path / "c.v"
+        p.write_text("module m (a);\ninput a;\nINVx1 g1 (.A(a));\nendmodule\n")
+        with pytest.raises(NetlistError):
+            read_verilog(p)
+
+    def test_positional_ports_rejected(self, tmp_path):
+        p = tmp_path / "c.v"
+        p.write_text("module m (a, y);\ninput a;\noutput y;\n"
+                     "INVx1 g1 (a, y);\nendmodule\n")
+        with pytest.raises(NetlistError):
+            read_verilog(p)
+
+    def test_no_module_rejected(self, tmp_path):
+        p = tmp_path / "c.v"
+        p.write_text("wire w;\n")
+        with pytest.raises(NetlistError):
+            read_verilog(p)
+
+    def test_two_modules_rejected(self, tmp_path):
+        p = tmp_path / "c.v"
+        p.write_text("module a (x); input x; endmodule\n"
+                     "module b (y); input y; endmodule\n")
+        with pytest.raises(NetlistError):
+            read_verilog(p)

@@ -1,0 +1,116 @@
+"""Unit and property tests for waveform measurement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spice.measure import (
+    SLEW_HIGH,
+    SLEW_LOW,
+    crossing_time,
+    fraction_settled,
+    measure_delay,
+    measure_slew,
+    ramp_time_for_slew,
+    threshold_crossings,
+)
+
+
+@pytest.fixture()
+def ramp_waves():
+    times = np.linspace(0.0, 10.0, 101)
+    rising = np.clip((times - 2.0) / 4.0, 0.0, 1.0)[None, :]
+    falling = 1.0 - rising
+    return times, rising, falling
+
+
+class TestCrossingTime:
+    def test_rising_crossing_interpolated(self, ramp_waves):
+        times, rising, _ = ramp_waves
+        t = crossing_time(times, rising, 0.5, rising=True)
+        assert t[0] == pytest.approx(4.0, abs=1e-9)
+
+    def test_falling_crossing(self, ramp_waves):
+        times, _, falling = ramp_waves
+        t = crossing_time(times, falling, 0.5, rising=False)
+        assert t[0] == pytest.approx(4.0, abs=1e-9)
+
+    def test_no_crossing_gives_nan(self, ramp_waves):
+        times, rising, _ = ramp_waves
+        t = crossing_time(times, rising, 2.0, rising=True)
+        assert np.isnan(t[0])
+
+    def test_direction_matters(self, ramp_waves):
+        times, rising, _ = ramp_waves
+        t = crossing_time(times, rising, 0.5, rising=False)
+        assert np.isnan(t[0])  # monotone rising never crosses downward
+
+    def test_first_crossing_of_nonmonotone(self):
+        times = np.arange(7.0)
+        wave = np.array([[0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 1.0]])
+        t = crossing_time(times, wave, 0.5, rising=True)
+        assert t[0] == pytest.approx(0.5)
+
+    def test_batched(self, ramp_waves):
+        times, rising, falling = ramp_waves
+        both = np.vstack([rising, rising * 0.4])
+        t = crossing_time(times, both, 0.5, rising=True)
+        assert t[0] == pytest.approx(4.0, abs=1e-9)
+        assert np.isnan(t[1])
+
+    @given(level=st.floats(min_value=0.05, max_value=0.95))
+    def test_linear_ramp_exact(self, level):
+        times = np.linspace(0, 1, 50)
+        wave = times[None, :]
+        t = crossing_time(times, wave, level, rising=True)
+        assert t[0] == pytest.approx(level, abs=1e-9)
+
+
+class TestSlewAndDelay:
+    def test_ramp_time_round_trip(self):
+        slew = 30e-12
+        t_ramp = ramp_time_for_slew(slew)
+        assert (SLEW_HIGH - SLEW_LOW) * t_ramp == pytest.approx(slew)
+
+    def test_measure_slew_rising(self, ramp_waves):
+        times, rising, _ = ramp_waves
+        s = measure_slew(times, rising, vdd=1.0, rising=True)
+        # 20% at t=2.8, 80% at t=5.2
+        assert s[0] == pytest.approx(2.4, abs=1e-6)
+
+    def test_measure_slew_falling_positive(self, ramp_waves):
+        times, _, falling = ramp_waves
+        s = measure_slew(times, falling, vdd=1.0, rising=False)
+        assert s[0] == pytest.approx(2.4, abs=1e-6)
+
+    def test_measure_delay(self, ramp_waves):
+        times, rising, falling = ramp_waves
+        shifted = np.clip((times - 3.0) / 4.0, 0, 1)[None, :]
+        d = measure_delay(times, rising, shifted, vdd=1.0,
+                          in_rising=True, out_rising=True)
+        assert d[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_measure_delay_opposite_edges(self, ramp_waves):
+        times, rising, falling = ramp_waves
+        d = measure_delay(times, rising, falling, vdd=1.0,
+                          in_rising=True, out_rising=False)
+        assert d[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_threshold_crossings_keys(self, ramp_waves):
+        times, rising, _ = ramp_waves
+        out = threshold_crossings(times, rising, vdd=1.0, rising=True)
+        assert set(out) == {SLEW_LOW, 0.5, SLEW_HIGH}
+
+
+class TestFractionSettled:
+    def test_all_settled(self):
+        waves = np.array([[0.0, 1.0], [0.0, 0.97]])
+        assert fraction_settled(waves, vdd=1.0, rising=True) == 1.0
+
+    def test_half_settled(self):
+        waves = np.array([[0.0, 1.0], [0.0, 0.5]])
+        assert fraction_settled(waves, vdd=1.0, rising=True) == 0.5
+
+    def test_falling_direction(self):
+        waves = np.array([[1.0, 0.01], [1.0, 0.5]])
+        assert fraction_settled(waves, vdd=1.0, rising=False) == 0.5

@@ -1,0 +1,145 @@
+"""Integration tests of the Monte-Carlo transient driver."""
+
+import numpy as np
+import pytest
+
+from repro.spice.measure import ramp_time_for_slew
+from repro.spice.montecarlo import DelaySamples, MonteCarloEngine, SimulationSetup
+from repro.spice.netlist import PiecewiseLinearSource, TransistorNetlist
+from repro.units import FF, PS
+
+
+def inverter_setup(tech, slew=20 * PS, load=1.5 * FF, rising_in=True):
+    net = TransistorNetlist()
+    net.fix("vdd", tech.vdd)
+    v0 = 0.0 if rising_in else tech.vdd
+    net.fix("in", PiecewiseLinearSource.ramp(
+        v0, tech.vdd - v0, 5 * PS, ramp_time_for_slew(slew)))
+    net.add_mosfet("mp", "p", "out", "in", "vdd", tech.unit_pmos_width)
+    net.add_mosfet("mn", "n", "out", "in", "gnd", tech.unit_nmos_width)
+    net.add_capacitor("cl", "out", load)
+    return SimulationSetup(
+        netlist=net, input_node="in", output_node="out",
+        input_rising=rising_in, output_rising=not rising_in,
+        initial_voltages={"out": tech.vdd if rising_in else 0.0},
+    )
+
+
+class TestSimulate:
+    def test_full_yield_and_positive_delay(self, engine, tech):
+        res = engine.simulate(inverter_setup(tech), 200)
+        assert res.yield_fraction == 1.0
+        assert np.all(res.delay[res.valid] > 0)
+        assert np.all(res.output_slew[res.valid] > 0)
+
+    def test_delay_magnitude_reasonable(self, engine, tech):
+        res = engine.simulate(inverter_setup(tech), 200)
+        mean = np.mean(res.delay[res.valid])
+        assert 5 * PS < mean < 200 * PS
+
+    def test_distribution_right_skewed(self, engine, tech):
+        # The paper's core near-threshold observation.
+        res = engine.simulate(inverter_setup(tech), 1500)
+        d = res.delay[res.valid]
+        skew = float(np.mean((d - d.mean()) ** 3) / d.std() ** 3)
+        assert skew > 0.3
+
+    def test_deterministic_given_seed(self, tech, variation):
+        a = MonteCarloEngine(tech, variation, seed=3).simulate(
+            inverter_setup(tech), 100)
+        b = MonteCarloEngine(tech, variation, seed=3).simulate(
+            inverter_setup(tech), 100)
+        assert np.allclose(a.delay, b.delay, equal_nan=True)
+
+    def test_more_load_more_delay(self, engine, tech):
+        light = engine.simulate(inverter_setup(tech, load=0.3 * FF), 150)
+        heavy = engine.simulate(inverter_setup(tech, load=4 * FF), 150)
+        assert np.mean(heavy.delay[heavy.valid]) > 2 * np.mean(light.delay[light.valid])
+
+    def test_more_slew_more_delay(self, engine, tech):
+        fast = engine.simulate(inverter_setup(tech, slew=10 * PS), 150)
+        slow = engine.simulate(inverter_setup(tech, slew=200 * PS), 150)
+        assert np.mean(slow.delay[slow.valid]) > np.mean(fast.delay[fast.valid])
+
+    def test_falling_input_arc(self, engine, tech):
+        res = engine.simulate(inverter_setup(tech, rising_in=False), 150)
+        assert res.yield_fraction == 1.0
+
+    def test_keep_waveforms(self, engine, tech):
+        res = engine.simulate(inverter_setup(tech), 50, keep_waveforms=True)
+        assert res.result is not None
+        assert res.result.voltage("out").shape[0] == 50
+
+    def test_waveforms_dropped_by_default(self, engine, tech):
+        res = engine.simulate(inverter_setup(tech), 50)
+        assert res.result is None
+
+    def test_variation_off_collapses_spread(self, tech, variation):
+        frozen = MonteCarloEngine(tech, variation.scaled(0.0), seed=3)
+        res = frozen.simulate(inverter_setup(tech), 60)
+        d = res.delay[res.valid]
+        assert np.std(d) < 1e-3 * np.mean(d)
+
+    def test_finite_filters_invalid(self):
+        s = DelaySamples(
+            delay=np.array([1.0, np.nan, 2.0]),
+            output_slew=np.array([1.0, 1.0, np.nan]),
+            t_launch=np.zeros(3),
+            t_capture=np.ones(3),
+        )
+        assert s.yield_fraction == pytest.approx(1 / 3)
+        assert s.finite().delay.tolist() == [1.0]
+
+
+class TestWindowing:
+    def test_generic_callable_needs_hint(self, engine, tech):
+        setup = inverter_setup(tech)
+        setup.netlist.fix("in", lambda t: tech.vdd if t > 10 * PS else 0.0)
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError, match="input_end_hint"):
+            engine.simulate(setup, 10)
+
+    def test_generic_callable_with_hint(self, engine, tech):
+        setup = inverter_setup(tech)
+        # A step through a callable, with an explicit activity hint.
+        setup.netlist.fix(
+            "in", lambda t: tech.vdd * min(1.0, max(0.0, (t - 5 * PS) / (20 * PS))))
+        setup.input_end_hint = 25 * PS
+        res = engine.simulate(setup, 20)
+        assert res.yield_fraction > 0.9
+
+    def test_unfixed_input_rejected(self, engine, tech):
+        setup = inverter_setup(tech)
+        setup.input_node = "nonexistent"
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError, match="not fixed"):
+            engine.simulate(setup, 5)
+
+    def test_window_truncation_yields_nan(self, tech, variation):
+        # With window extension disabled and a huge load, the slowest
+        # samples cannot settle: they must come back NaN, not wrong.
+        from repro.spice.montecarlo import MonteCarloEngine
+        engine = MonteCarloEngine(tech, variation, seed=8, max_windows=1,
+                                  settle_fraction=1.0)
+        setup = inverter_setup(tech, load=40 * FF)
+        res = engine.simulate(setup, 40)
+        assert res.yield_fraction < 1.0
+
+
+class TestShapedVsRampEdges:
+    def test_global_draws_correlate_two_arcs(self, tech, variation):
+        engine = MonteCarloEngine(tech, variation, seed=10)
+        g = engine.sampler.draw_globals(400)
+        a = engine.simulate(inverter_setup(tech), 400, globals_=g)
+        b = engine.simulate(inverter_setup(tech), 400, globals_=g)
+        m = a.valid & b.valid
+        rho = np.corrcoef(a.delay[m], b.delay[m])[0, 1]
+        assert rho > 0.4  # shared die-to-die component
+
+    def test_independent_draws_less_correlated(self, tech, variation):
+        engine = MonteCarloEngine(tech, variation, seed=10)
+        a = engine.simulate(inverter_setup(tech), 400)
+        b = engine.simulate(inverter_setup(tech), 400)
+        m = a.valid & b.valid
+        rho = np.corrcoef(a.delay[m], b.delay[m])[0, 1]
+        assert abs(rho) < 0.25

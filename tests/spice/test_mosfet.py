@@ -1,0 +1,137 @@
+"""Unit tests for the EKV MOSFET model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spice.mosfet import MosfetParams, ekv_ids, ekv_ids_and_derivatives
+from repro.variation.parameters import Technology
+
+
+@pytest.fixture()
+def params(tech):
+    return MosfetParams.from_technology(
+        tech,
+        is_pmos=False,
+        width=tech.unit_nmos_width,
+        dvth=np.array([0.0]),
+        mobility_scale=np.array([1.0]),
+        length_scale=np.array([1.0]),
+    )
+
+
+class TestCurrentRegions:
+    def test_zero_vds_zero_current(self, params):
+        assert ekv_ids(0.6, 0.3, 0.3, params) == pytest.approx(0.0, abs=1e-15)
+
+    def test_off_device_leaks_little(self, params, tech):
+        i_off = ekv_ids(0.0, tech.vdd, 0.0, params)
+        i_on = ekv_ids(tech.vdd, tech.vdd, 0.0, params)
+        assert 0 < i_off < 1e-3 * i_on
+
+    def test_subthreshold_exponential_slope(self, params, tech):
+        # Below Vt, current should multiply ~e per n*phi_t of Vgs.
+        n_phi = params.n_slope * params.phi_t
+        i1 = ekv_ids(0.20, tech.vdd, 0.0, params)
+        i2 = ekv_ids(0.20 + n_phi, tech.vdd, 0.0, params)
+        assert i2 / i1 == pytest.approx(np.e, rel=0.15)
+
+    def test_strong_inversion_square_law(self, tech):
+        # Far above threshold the current grows ~quadratically in overdrive.
+        p = MosfetParams.from_technology(
+            tech.at_vdd(2.0), False, tech.unit_nmos_width,
+            np.array([0.0]), np.array([1.0]), np.array([1.0]),
+        )
+        i1 = ekv_ids(tech.vt0_n + 0.8, 2.0, 0.0, p)
+        i2 = ekv_ids(tech.vt0_n + 1.6, 2.0, 0.0, p)
+        ratio = float(np.asarray(i2 / i1).reshape(-1)[0])
+        assert 3.0 < ratio < 5.0
+
+    def test_higher_vth_lower_current(self, tech):
+        lo = MosfetParams.from_technology(
+            tech, False, tech.unit_nmos_width,
+            np.array([-0.03]), np.array([1.0]), np.array([1.0]))
+        hi = MosfetParams.from_technology(
+            tech, False, tech.unit_nmos_width,
+            np.array([+0.03]), np.array([1.0]), np.array([1.0]))
+        assert ekv_ids(0.6, 0.6, 0.0, lo) > ekv_ids(0.6, 0.6, 0.0, hi)
+
+    def test_near_threshold_vth_sensitivity_is_strong(self, params, tech):
+        # The paper's premise: at 0.6 V a 1-sigma Vth shift moves the
+        # current by tens of percent.
+        base = ekv_ids(tech.vdd, tech.vdd, 0.0, params)
+        p_hi = MosfetParams.from_technology(
+            tech, False, tech.unit_nmos_width,
+            np.array([0.03]), np.array([1.0]), np.array([1.0]))
+        shifted = ekv_ids(tech.vdd, tech.vdd, 0.0, p_hi)
+        assert shifted < 0.9 * base
+
+    def test_mobility_scales_current_linearly(self, tech):
+        p2 = MosfetParams.from_technology(
+            tech, False, tech.unit_nmos_width,
+            np.array([0.0]), np.array([2.0]), np.array([1.0]))
+        p1 = MosfetParams.from_technology(
+            tech, False, tech.unit_nmos_width,
+            np.array([0.0]), np.array([1.0]), np.array([1.0]))
+        assert ekv_ids(0.6, 0.6, 0.0, p2) == pytest.approx(
+            2 * ekv_ids(0.6, 0.6, 0.0, p1), rel=1e-9
+        )
+
+    def test_reverse_conduction_negative(self, params):
+        # Drain below source: current flows the other way.
+        assert ekv_ids(0.6, 0.0, 0.6, params) < 0
+
+
+def _scalar(value) -> float:
+    return float(np.asarray(value).reshape(-1)[0])
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("vg,vd,vs", [
+        (0.6, 0.6, 0.0),
+        (0.3, 0.1, 0.0),
+        (0.45, 0.6, 0.2),
+        (0.0, 0.6, 0.0),
+        (0.6, 0.05, 0.0),
+    ])
+    def test_matches_finite_differences(self, params, vg, vd, vs):
+        h = 1e-6
+        _, gg, gd, gs = ekv_ids_and_derivatives(vg, vd, vs, params)
+        num_g = (ekv_ids(vg + h, vd, vs, params) - ekv_ids(vg - h, vd, vs, params)) / (2 * h)
+        num_d = (ekv_ids(vg, vd + h, vs, params) - ekv_ids(vg, vd - h, vs, params)) / (2 * h)
+        num_s = (ekv_ids(vg, vd, vs + h, params) - ekv_ids(vg, vd, vs - h, params)) / (2 * h)
+        assert _scalar(gg) == pytest.approx(_scalar(num_g), rel=1e-4, abs=1e-12)
+        assert _scalar(gd) == pytest.approx(_scalar(num_d), rel=1e-4, abs=1e-12)
+        assert _scalar(gs) == pytest.approx(_scalar(num_s), rel=1e-4, abs=1e-12)
+
+    def test_vectorized_over_samples(self, tech):
+        n = 64
+        p = MosfetParams.from_technology(
+            tech, False, tech.unit_nmos_width,
+            dvth=np.linspace(-0.05, 0.05, n),
+            mobility_scale=np.ones(n),
+            length_scale=np.ones(n),
+        )
+        ids, gg, gd, gs = ekv_ids_and_derivatives(
+            np.full(n, 0.6), np.full(n, 0.6), np.zeros(n), p
+        )
+        assert ids.shape == (n,)
+        # Monotone decreasing in Vth.
+        assert np.all(np.diff(ids) < 0)
+
+    @given(
+        vg=st.floats(min_value=-0.2, max_value=0.8),
+        vd=st.floats(min_value=0.0, max_value=0.8),
+        vs=st.floats(min_value=0.0, max_value=0.8),
+    )
+    def test_current_finite_everywhere(self, tech, vg, vd, vs):
+        p = MosfetParams.from_technology(
+            tech, False, tech.unit_nmos_width,
+            np.array([0.0]), np.array([1.0]), np.array([1.0]))
+        out = ekv_ids_and_derivatives(vg, vd, vs, p)
+        for arr in out:
+            assert np.all(np.isfinite(arr))
+
+    def test_gm_positive_when_on(self, params):
+        _, gg, _, _ = ekv_ids_and_derivatives(0.5, 0.6, 0.0, params)
+        assert _scalar(gg) > 0

@@ -1,0 +1,144 @@
+"""Tests for the batched transient solver, including analytic RC checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.spice.netlist import PiecewiseLinearSource, TransistorNetlist
+from repro.spice.transient import TransientSolver
+from repro.units import FF, PS
+from repro.variation.sampling import ParameterSample
+
+
+def rc_circuit(tech, r=1000.0, c=10 * FF, v_src=0.6):
+    """A driven RC low-pass: analytic solution available."""
+    net = TransistorNetlist()
+    net.fix("src", v_src)
+    net.add_resistor("r", "src", "out", r)
+    net.add_capacitor("c", "out", c)
+    return net.compile(tech)
+
+
+class TestLinearRC:
+    def test_step_response_matches_analytic(self, tech):
+        r, c = 1000.0, 10 * FF
+        compiled = rc_circuit(tech, r, c)
+        solver = TransientSolver(compiled, ParameterSample.nominal(1, 0))
+        tau = r * c
+        v0 = np.zeros((1, 1))
+        res = solver.run(v0, 0.0, 5 * tau, 500, record=["out"])
+        wave = res.voltage("out")[0]
+        analytic = 0.6 * (1 - np.exp(-res.times / tau))
+        assert np.max(np.abs(wave - analytic)) < 0.01  # BE error < 10 mV
+
+    def test_step_halving_converges(self, tech):
+        compiled = rc_circuit(tech)
+        solver = TransientSolver(compiled, ParameterSample.nominal(1, 0))
+        tau = 1000.0 * 10 * FF
+        errs = []
+        for steps in (50, 100, 200):
+            res = solver.run(np.zeros((1, 1)), 0.0, 3 * tau, steps, record=["out"])
+            analytic = 0.6 * (1 - np.exp(-res.times / tau))
+            errs.append(np.max(np.abs(res.voltage("out")[0] - analytic)))
+        assert errs[1] < errs[0]
+        assert errs[2] < errs[1]
+        # First-order convergence: halving dt ~halves the error.
+        assert errs[0] / errs[1] == pytest.approx(2.0, rel=0.3)
+
+    def test_batched_samples_independent(self, tech):
+        compiled = rc_circuit(tech)
+        n = 8
+        solver = TransientSolver(
+            compiled,
+            ParameterSample.nominal(n, 0),
+            r_scale=np.linspace(0.5, 2.0, n)[:, None],
+        )
+        tau0 = 1000.0 * 10 * FF
+        res = solver.run(np.zeros((n, 1)), 0.0, 2 * tau0, 300, record=["out"])
+        final = res.voltage("out")[:, -1]
+        # Slower RC (larger r_scale) -> lower voltage at fixed time.
+        assert np.all(np.diff(final) < 0)
+
+    def test_dc_settle_reaches_equilibrium(self, tech):
+        compiled = rc_circuit(tech)
+        solver = TransientSolver(compiled, ParameterSample.nominal(1, 0))
+        v = solver.dc_settle(np.zeros((1, 1)))
+        assert v[0, 0] == pytest.approx(0.6, abs=1e-4)
+
+    def test_run_validates_inputs(self, tech):
+        compiled = rc_circuit(tech)
+        solver = TransientSolver(compiled, ParameterSample.nominal(1, 0))
+        with pytest.raises(SimulationError):
+            solver.run(np.zeros((1, 1)), 0.0, 1e-9, 0, record=["out"])
+        with pytest.raises(SimulationError):
+            solver.run(np.zeros((1, 1)), 1e-9, 0.0, 10, record=["out"])
+        with pytest.raises(SimulationError):
+            solver.run(np.zeros((2, 1)), 0.0, 1e-9, 10, record=["out"])
+
+    def test_records_fixed_nodes(self, tech):
+        compiled = rc_circuit(tech)
+        solver = TransientSolver(compiled, ParameterSample.nominal(3, 0))
+        res = solver.run(np.zeros((3, 1)), 0.0, 1e-10, 10, record=["out", "src"])
+        assert np.all(res.voltage("src") == 0.6)
+
+    def test_extended_with_concatenates(self, tech):
+        compiled = rc_circuit(tech)
+        solver = TransientSolver(compiled, ParameterSample.nominal(1, 0))
+        a = solver.run(np.zeros((1, 1)), 0.0, 1e-10, 10, record=["out"])
+        b = solver.run(a.final_state, 1e-10, 2e-10, 10, record=["out"])
+        joined = a.extended_with(b)
+        assert joined.times.shape == (22,)
+        assert joined.voltage("out").shape == (1, 22)
+
+
+class TestNonlinear:
+    def _inverter(self, tech, src):
+        net = TransistorNetlist()
+        net.fix("vdd", tech.vdd)
+        net.fix("in", src)
+        net.add_mosfet("mp", "p", "out", "in", "vdd", tech.unit_pmos_width)
+        net.add_mosfet("mn", "n", "out", "in", "gnd", tech.unit_nmos_width)
+        net.add_capacitor("cl", "out", 1 * FF)
+        return net.compile(tech)
+
+    def test_inverter_static_levels(self, tech):
+        for v_in, v_expected in ((0.0, tech.vdd), (tech.vdd, 0.0)):
+            compiled = self._inverter(tech, v_in)
+            solver = TransientSolver(compiled, ParameterSample.nominal(1, 2))
+            v = solver.dc_settle(np.full((1, 1), 0.3))
+            assert v[0, 0] == pytest.approx(v_expected, abs=0.01)
+
+    def test_inverter_transition_is_monotone(self, tech):
+        ramp = PiecewiseLinearSource.ramp(0.0, tech.vdd, 10 * PS, 20 * PS)
+        compiled = self._inverter(tech, ramp)
+        solver = TransientSolver(compiled, ParameterSample.nominal(1, 2))
+        v0 = solver.dc_settle(np.full((1, 1), tech.vdd), t=0.0)
+        res = solver.run(v0, 0.0, 200 * PS, 400, record=["out"])
+        wave = res.voltage("out")[0]
+        assert wave[0] == pytest.approx(tech.vdd, abs=0.01)
+        assert wave[-1] == pytest.approx(0.0, abs=0.01)
+        # Falling output never significantly overshoots the rails.
+        assert np.all(wave < tech.vdd + 0.02)
+        assert np.all(wave > -0.02)
+
+    def test_newton_converges_with_fast_edge(self, tech):
+        ramp = PiecewiseLinearSource.ramp(0.0, tech.vdd, 1 * PS, 1 * PS)
+        compiled = self._inverter(tech, ramp)
+        solver = TransientSolver(compiled, ParameterSample.nominal(4, 2))
+        v0 = solver.dc_settle(np.full((4, 1), tech.vdd), t=0.0)
+        res = solver.run(v0, 0.0, 100 * PS, 300, record=["out"])
+        assert np.all(np.isfinite(res.voltage("out")))
+
+    def test_slower_sample_stays_higher(self, tech):
+        # Two samples: nominal and one with +50 mV on the NMOS Vth; the
+        # slow one must lag on a falling output.
+        ramp = PiecewiseLinearSource.ramp(0.0, tech.vdd, 5 * PS, 10 * PS)
+        compiled = self._inverter(tech, ramp)
+        sample = ParameterSample.nominal(2, 2)
+        sample.dvth[1, 1] = 0.05  # device order: mp, mn
+        solver = TransientSolver(compiled, sample)
+        v0 = solver.dc_settle(np.full((2, 1), tech.vdd), t=0.0)
+        res = solver.run(v0, 0.0, 150 * PS, 300, record=["out"])
+        wave = res.voltage("out")
+        mid = np.argmax(wave[0] < 0.3)
+        assert wave[1, mid] > wave[0, mid]

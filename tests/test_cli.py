@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_analyze_args(self):
+        args = build_parser().parse_args(
+            ["analyze", "c432", "--samples", "50", "--width", "8"])
+        assert args.circuit == "c432"
+        assert args.samples == 50
+
+
+class TestCells:
+    def test_lists_library(self, capsys):
+        assert main(["cells"]) == 0
+        out = capsys.readouterr().out
+        assert "INVx1" in out
+        assert "AOI21x8" in out
+        assert "Pelgrom" in out
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_characterize_writes_tables(self, tmp_path, capsys):
+        out_file = tmp_path / "lib.json"
+        code = main([
+            "characterize", "-o", str(out_file),
+            "--samples", "60", "--cells", "INVx1", "--fast",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["format"] == "repro-lvf-json"
+        assert len(doc["tables"]) == 2  # both edges of pin A
+
+    def test_analyze_unknown_circuit(self, capsys):
+        assert main(["analyze", "not_a_circuit_xyz"]) == 2
+
+    def test_analyze_small_unit(self, tmp_path, capsys):
+        code = main([
+            "analyze", "ADD", "--width", "2", "--samples", "80", "--fast",
+            "--cells", "INVx1,INVx2,INVx4,INVx8,NAND2x1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "+3σ" in out
+        assert "% of path" in out

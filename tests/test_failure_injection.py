@@ -1,0 +1,118 @@
+"""Failure-injection tests: the stack must fail loudly, not silently.
+
+Each test constructs a pathological-but-plausible situation (a
+non-switching bench, absurd process parameters, corrupt model inputs)
+and asserts the library reports it as the documented error or NaN
+rather than producing a quietly wrong number.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cells.characterize import ArcCharacterizer
+from repro.errors import (
+    CalibrationError,
+    CharacterizationError,
+    SimulationError,
+)
+from repro.spice.montecarlo import SimulationSetup
+from repro.spice.netlist import PiecewiseLinearSource, TransistorNetlist
+from repro.spice.measure import ramp_time_for_slew
+from repro.units import FF, PS
+
+
+class TestNonSwitchingBenches:
+    def test_blocked_gate_yields_nan_not_garbage(self, engine, tech):
+        # NAND2 with the side input LOW: the output never falls.
+        net = TransistorNetlist()
+        net.fix("vdd", tech.vdd)
+        net.fix("in", PiecewiseLinearSource.ramp(
+            0, tech.vdd, 5 * PS, ramp_time_for_slew(20 * PS)))
+        net.fix("blocked", 0.0)  # non-sensitizing value
+        from repro.cells.templates import CELL_TYPES
+        CELL_TYPES["NAND2"].build(
+            net, "u", {"A": "in", "B": "blocked", "Y": "out"}, 1.0, tech)
+        net.add_capacitor("cl", "out", 1 * FF)
+        setup = SimulationSetup(
+            netlist=net, input_node="in", output_node="out",
+            input_rising=True, output_rising=False,
+            initial_voltages={"out": tech.vdd})
+        res = engine.simulate(setup, 30)
+        assert res.yield_fraction == 0.0
+        assert np.all(np.isnan(res.delay))
+
+    def test_characterize_rejects_low_yield(self, engine, library, tech):
+        # Force the non-switching situation through a characterizer whose
+        # arc spec we corrupt.
+        import dataclasses
+        from repro.cells.templates import ArcSpec
+        characterizer = ArcCharacterizer(engine)
+        cell = library.get("NAND2x1")
+        bad_arc = ArcSpec(static={"B": 0}, inverting=True)  # blocks the arc
+        bad_type = dataclasses.replace(
+            cell.cell_type, arcs={"A": bad_arc, "B": cell.cell_type.arcs["B"]})
+        bad_cell = dataclasses.replace(cell, cell_type=bad_type)
+        with pytest.raises(CharacterizationError, match="measurable"):
+            characterizer.characterize(
+                bad_cell, "A", slews=[10 * PS, 50 * PS, 200 * PS],
+                loads=[0.2 * FF, 1 * FF, 3 * FF], n_samples=20)
+
+
+class TestAbsurdProcess:
+    def test_extreme_variation_still_finite_or_nan(self, tech, variation):
+        from repro.spice.montecarlo import MonteCarloEngine
+        wild = variation.scaled(10.0)  # 10x every sigma
+        engine = MonteCarloEngine(tech, wild, seed=4, max_windows=3)
+        net = TransistorNetlist()
+        net.fix("vdd", tech.vdd)
+        net.fix("in", PiecewiseLinearSource.ramp(
+            0, tech.vdd, 5 * PS, ramp_time_for_slew(20 * PS)))
+        net.add_mosfet("mp", "p", "out", "in", "vdd", tech.unit_pmos_width)
+        net.add_mosfet("mn", "n", "out", "in", "gnd", tech.unit_nmos_width)
+        net.add_capacitor("cl", "out", 1 * FF)
+        setup = SimulationSetup(
+            netlist=net, input_node="in", output_node="out",
+            input_rising=True, output_rising=False,
+            initial_voltages={"out": tech.vdd})
+        res = engine.simulate(setup, 50)
+        # Finite measurements or NaN, never inf / unbounded garbage.
+        # (Mildly negative delays are physical at 10x sigma: a -300 mV
+        # threshold sample flips before the input reaches 50%.)
+        d = res.delay[np.isfinite(res.delay)]
+        assert np.all(d > -1e-9)
+        assert np.all(d < 1e-6)
+
+
+class TestCorruptModelInputs:
+    def test_nsigma_rejects_nan_moments(self, mini_models):
+        from repro.moments.stats import Moments
+        bad = Moments(mu=float("nan"), sigma=1e-12, skew=0.5, kurt=4.0)
+        # NaN propagates visibly rather than silently becoming a number.
+        out = mini_models.nsigma.quantile(bad, 3)
+        assert np.isnan(out)
+
+    def test_calibration_monotone_after_clamp_abuse(self, mini_models):
+        arc = mini_models.calibrated.get("INVx1", "A", False)
+        # Absurd operating points clamp; results must stay physical.
+        for slew, load in ((1e-3, 1e-9), (-1.0, -1.0), (0.0, 1e3)):
+            m = arc.moments_at(slew, load)
+            assert m.sigma > 0
+            assert m.mu > 0
+            assert np.isfinite(m.kurt)
+
+    def test_wire_model_rejects_insane_correlation(self, adder_circuit,
+                                                   mini_models):
+        from repro.core.sta import StatisticalSTA
+        from repro.errors import TimingError
+        path = StatisticalSTA(adder_circuit, mini_models).analyze().critical_path
+        with pytest.raises(TimingError):
+            path.total_correlated(3, -0.1)
+        with pytest.raises(TimingError):
+            path.total_correlated(3, 2.0)
+
+    def test_burr_moment_match_on_impossible_target(self):
+        # Negative skew target is outside Burr XII's (loc=0) reach for
+        # small CV; fit must still return finite parameters.
+        from repro.moments.distributions import BurrXII
+        burr = BurrXII.from_moments(1e-11, 1e-12, -1.5)
+        assert np.isfinite(burr.quantile(0.5))

@@ -1,0 +1,87 @@
+"""End-to-end integration: characterize → calibrate → STA → golden MC.
+
+This is the whole paper flow in miniature on a real arithmetic circuit,
+checking the headline claims at reduced fidelity:
+
+* the N-sigma model's path quantiles track golden Monte-Carlo;
+* the model orders the comparison methods the way Table III does;
+* the model is orders of magnitude faster than Monte-Carlo.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.correction import CorrectionBasedSTA
+from repro.baselines.golden import GoldenPathMC
+from repro.baselines.primetime import CornerSTA
+from repro.core.sta import StatisticalSTA
+from repro.interconnect.generate import NetGenerator
+from repro.moments.stats import SIGMA_LEVELS
+from repro.netlist.benchmarks import attach_parasitics, build_pulpino_unit
+from repro.units import UM
+
+
+@pytest.fixture(scope="module")
+def full_run(mini_flow, mini_models):
+    circuit = build_pulpino_unit("SUB", 3)
+    attach_parasitics(circuit, mini_flow.tech, seed=17)
+    sta = StatisticalSTA(circuit, mini_models)
+    result = sta.analyze()
+    golden = GoldenPathMC(
+        circuit, mini_flow.library, mini_flow.tech, mini_flow.variation, seed=99)
+    mc = golden.run(result.critical_path, n_samples=300)
+    return circuit, result, mc
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_golden_mc_healthy(self, full_run):
+        _, _, mc = full_run
+        assert mc.valid_fraction > 0.95
+        d = mc.delay[np.isfinite(mc.delay)]
+        assert 0.03 < np.std(d) / np.mean(d) < 0.5
+
+    def test_mean_delay_within_10pct(self, full_run):
+        _, result, mc = full_run
+        assert result.critical_path.total(0) == pytest.approx(
+            mc.quantiles[0], rel=0.10)
+
+    def test_plus3_sigma_within_paper_band(self, full_run):
+        # Paper: avg +3 sigma error 3.6%; allow slack at test fidelity.
+        _, result, mc = full_run
+        err = abs(result.critical_path.total(3) - mc.quantiles[3]) / mc.quantiles[3]
+        assert err < 0.25
+
+    def test_minus3_sigma_reasonable(self, full_run):
+        _, result, mc = full_run
+        err = abs(result.critical_path.total(-3) - mc.quantiles[-3]) / mc.quantiles[-3]
+        assert err < 0.35
+
+    def test_table3_method_ordering(self, full_run, mini_models, mini_flow, engine):
+        """Ours closest to MC; correction-based next; corner STA worst."""
+        _, result, mc = full_run
+        path = result.critical_path
+        truth = mc.quantiles[3]
+
+        ours = abs(path.total(3) - truth) / truth
+        corner = CornerSTA(mini_models).analyze_path(path)
+        pt_err = abs(corner.late - truth) / truth
+
+        gen = NetGenerator(mini_flow.tech, seed=23)
+        corr = CorrectionBasedSTA.calibrate(
+            mini_models, engine, [gen.chain(50 * UM)], n_samples=200)
+        corr_late, _, _ = corr.analyze_path(path)
+        corr_err = abs(corr_late - truth) / truth
+
+        assert ours < pt_err
+        assert corr_err < pt_err
+
+    def test_speedup_over_mc(self, full_run):
+        _, result, mc = full_run
+        assert mc.runtime_s / max(result.runtime_s, 1e-9) > 20
+
+    def test_path_identification_stable(self, full_run, mini_models):
+        circuit, result, _ = full_run
+        again = StatisticalSTA(circuit, mini_models).analyze()
+        assert [s.gate for s in again.critical_path.stages] == [
+            s.gate for s in result.critical_path.stages]

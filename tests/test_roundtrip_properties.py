@@ -1,0 +1,142 @@
+"""Property-based round-trip tests over randomly generated artifacts.
+
+Hypothesis drives random circuit and net construction; the properties
+assert that the I/O layers (Verilog, SPEF, Liberty-JSON, model
+serialization) are lossless for everything the generators can produce.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.interconnect.metrics import elmore_delay
+from repro.interconnect.rctree import RCTree
+from repro.interconnect.spef import read_spef, write_spef
+from repro.netlist.circuit import Circuit
+from repro.netlist.verilog import read_verilog, write_verilog
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+_CELLS_1IN = ["INVx1", "INVx2", "BUFx1"]
+_CELLS_2IN = ["NAND2x1", "NAND2x4", "NOR2x2"]
+
+
+@st.composite
+def random_circuit(draw):
+    """A random small DAG circuit over the library's 1/2-input cells."""
+    n_inputs = draw(st.integers(min_value=1, max_value=4))
+    n_gates = draw(st.integers(min_value=1, max_value=12))
+    circuit = Circuit("rand")
+    nets = []
+    for i in range(n_inputs):
+        circuit.add_input(f"pi{i}")
+        nets.append(f"pi{i}")
+    for g in range(n_gates):
+        two_input = draw(st.booleans())
+        if two_input:
+            cell = draw(st.sampled_from(_CELLS_2IN))
+            a = nets[draw(st.integers(0, len(nets) - 1))]
+            b = nets[draw(st.integers(0, len(nets) - 1))]
+            pins = {"A": a, "B": b}
+        else:
+            cell = draw(st.sampled_from(_CELLS_1IN))
+            pins = {"A": nets[draw(st.integers(0, len(nets) - 1))]}
+        out = f"w{g}"
+        circuit.add_gate(f"g{g}", cell, pins, out)
+        nets.append(out)
+    # Every sink-less net becomes an output.
+    for name, net in circuit.nets.items():
+        if not net.sinks:
+            circuit.add_output(name)
+    return circuit
+
+
+@st.composite
+def random_rctree(draw):
+    """A random RC tree (chain with random branch points)."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    tree = RCTree("drv")
+    nodes = ["drv"]
+    for k in range(n):
+        parent = nodes[draw(st.integers(0, len(nodes) - 1))]
+        r = draw(st.floats(min_value=1.0, max_value=5e3))
+        c = draw(st.floats(min_value=0.0, max_value=5e-15))
+        tree.add_segment(f"n{k}", parent, r, c)
+        nodes.append(f"n{k}")
+    return tree
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+@given(circuit=random_circuit())
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_verilog_round_trip_preserves_structure(circuit, tmp_path):
+    path = tmp_path / "c.v"
+    write_verilog(circuit, path)
+    back = read_verilog(path)
+    assert back.n_cells == circuit.n_cells
+    assert back.n_nets == circuit.n_nets
+    assert back.inputs == circuit.inputs
+    assert sorted(back.outputs) == sorted(circuit.outputs)
+    for name, gate in circuit.gates.items():
+        other = back.gates[name]
+        assert other.cell_name == gate.cell_name
+        assert other.pins == gate.pins
+        assert other.output_net == gate.output_net
+
+
+@given(circuit=random_circuit(), vector_seed=st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_verilog_round_trip_preserves_function(circuit, vector_seed, tmp_path,
+                                               library):
+    path = tmp_path / "c.v"
+    write_verilog(circuit, path)
+    back = read_verilog(path)
+    rng = np.random.default_rng(vector_seed)
+    vec = {n: int(rng.integers(0, 2)) for n in circuit.inputs}
+    assert circuit.evaluate(vec, library) == back.evaluate(vec, library)
+
+
+@given(tree=random_rctree())
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_spef_round_trip_preserves_delays(tree, tmp_path):
+    path = tmp_path / "n.spef"
+    write_spef({"net": tree}, path)
+    back = read_spef(path)["net"]
+    assert back.total_cap() == pytest.approx(tree.total_cap(), rel=1e-5, abs=1e-21)
+    assert back.total_resistance() == pytest.approx(tree.total_resistance(), rel=1e-5)
+    for leaf in tree.leaves():
+        assert elmore_delay(back, leaf) == pytest.approx(
+            elmore_delay(tree, leaf), rel=1e-5, abs=1e-18)
+
+
+@given(tree=random_rctree())
+@settings(max_examples=40, deadline=None)
+def test_elmore_dominates_every_upstream_node(tree):
+    """Elmore is monotone along any root-to-leaf path."""
+    delays = elmore_delay(tree)
+    for leaf in tree.leaves():
+        path_nodes = tree.path_to(leaf)
+        values = [delays[n] for n in path_nodes]
+        assert all(b >= a - 1e-25 for a, b in zip(values, values[1:]))
+
+
+@given(tree=random_rctree(), scale=st.floats(min_value=0.25, max_value=4.0))
+@settings(max_examples=30, deadline=None)
+def test_pi_model_total_cap_invariant_under_r_scaling(tree, scale):
+    """π reduction always conserves total capacitance."""
+    from repro.interconnect.reduction import pi_model
+    if tree.total_cap() <= 0:
+        return
+    scaled = RCTree(tree.root, root_cap=tree.nodes[tree.root].cap)
+    for name in tree.topological():
+        node = tree.nodes[name]
+        if node.parent is not None:
+            scaled.add_segment(name, node.parent, node.resistance * scale, node.cap)
+    pi = pi_model(scaled)
+    assert pi.total_cap == pytest.approx(tree.total_cap(), rel=1e-9)

@@ -1,0 +1,46 @@
+"""Tests for the unit helpers and the exception hierarchy."""
+
+import pytest
+
+from repro import errors, units
+
+
+class TestUnits:
+    def test_prefix_chain(self):
+        assert units.PS == pytest.approx(1e-12)
+        assert units.FF == pytest.approx(1e-15)
+        assert units.NS / units.PS == pytest.approx(1000)
+        assert units.UM / units.NM == pytest.approx(1000)
+
+    def test_thermal_voltage_room_temperature(self):
+        # ~25.85 mV at 27 C, ~25.68 mV at 25 C.
+        assert units.thermal_voltage(25.0) == pytest.approx(0.02569, rel=1e-3)
+
+    def test_thermal_voltage_scales_with_temperature(self):
+        assert units.thermal_voltage(125.0) > units.thermal_voltage(-40.0)
+
+    def test_report_conversions(self):
+        assert units.to_ps(2.5e-11) == pytest.approx(25.0)
+        assert units.to_ff(3e-15) == pytest.approx(3.0)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.SimulationError,
+        errors.NetlistError,
+        errors.CharacterizationError,
+        errors.CalibrationError,
+        errors.InterconnectError,
+        errors.TimingError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")
+
+    def test_catching_base_does_not_mask_programming_errors(self):
+        with pytest.raises(ValueError):
+            try:
+                raise ValueError("not ours")
+            except errors.ReproError:  # pragma: no cover
+                pytest.fail("ReproError must not catch ValueError")

@@ -1,0 +1,62 @@
+"""Unit tests for technology and variation parameter containers."""
+
+import dataclasses
+
+import pytest
+
+from repro.units import FF, UM
+from repro.variation.parameters import Technology, VariationModel
+
+
+class TestTechnology:
+    def test_defaults_are_near_threshold(self, tech):
+        assert tech.vdd == pytest.approx(0.6)
+        assert tech.vdd - tech.vt0_n < 0.3  # genuinely near-threshold
+
+    def test_at_vdd_returns_new_instance(self, tech):
+        hi = tech.at_vdd(0.8)
+        assert hi.vdd == pytest.approx(0.8)
+        assert tech.vdd == pytest.approx(0.6)
+        assert hi.vt0_n == tech.vt0_n
+
+    def test_frozen(self, tech):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            tech.vdd = 1.0
+
+    def test_pmos_wider_than_nmos(self, tech):
+        assert tech.unit_pmos_width > tech.unit_nmos_width
+
+    def test_gate_cap_scales_with_width(self, tech):
+        assert tech.gate_cap(2e-7) == pytest.approx(2 * tech.gate_cap(1e-7))
+
+    def test_gate_cap_magnitude(self, tech):
+        # A unit inverter input should be a fraction of a femtofarad.
+        cap = tech.gate_cap(tech.unit_nmos_width + tech.unit_pmos_width)
+        assert 0.05 * FF < cap < 2 * FF
+
+    def test_drain_cap_smaller_than_gate_cap(self, tech):
+        w = tech.unit_nmos_width
+        assert tech.drain_cap(w) < tech.gate_cap(w)
+
+
+class TestVariationModel:
+    def test_scaled_zero_gives_deterministic(self, variation):
+        off = variation.scaled(0.0)
+        assert off.sigma_vth_global == 0.0
+        assert off.avt == 0.0
+        assert off.sigma_wire_r == 0.0
+
+    def test_scaled_preserves_correlations(self, variation):
+        scaled = variation.scaled(2.0)
+        assert scaled.global_np_correlation == variation.global_np_correlation
+        assert scaled.wire_global_fraction == variation.wire_global_fraction
+
+    def test_scaled_doubles_sigmas(self, variation):
+        scaled = variation.scaled(2.0)
+        assert scaled.sigma_vth_global == pytest.approx(2 * variation.sigma_vth_global)
+        assert scaled.avt == pytest.approx(2 * variation.avt)
+
+    def test_original_untouched_by_scaled(self, variation):
+        before = variation.sigma_vth_global
+        variation.scaled(3.0)
+        assert variation.sigma_vth_global == before

@@ -1,0 +1,67 @@
+"""Unit tests for the Pelgrom mismatch law."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.variation.pelgrom import pelgrom_sigma_vth, stacked_variability_scale
+
+
+class TestPelgromSigma:
+    def test_reference_value(self):
+        # 2 mV*um over a 0.1um x 0.03um device.
+        sigma = pelgrom_sigma_vth(2e-3 * 1e-6, 100e-9, 30e-9)
+        assert sigma == pytest.approx(2e-9 / math.sqrt(3e-15))
+
+    def test_quadruple_area_halves_sigma(self):
+        base = pelgrom_sigma_vth(2e-9, 100e-9, 30e-9)
+        big = pelgrom_sigma_vth(2e-9, 400e-9, 30e-9)
+        assert big == pytest.approx(base / 2.0)
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            pelgrom_sigma_vth(2e-9, 0.0, 30e-9)
+        with pytest.raises(ValueError):
+            pelgrom_sigma_vth(2e-9, 100e-9, -1e-9)
+
+    @given(
+        w=st.floats(min_value=1e-8, max_value=1e-5),
+        l=st.floats(min_value=1e-8, max_value=1e-5),
+    )
+    def test_positive_and_monotone_in_area(self, w, l):
+        sigma = pelgrom_sigma_vth(2e-9, w, l)
+        assert sigma > 0
+        assert pelgrom_sigma_vth(2e-9, 2 * w, l) < sigma
+
+
+class TestStackedScale:
+    def test_unit_reference(self):
+        assert stacked_variability_scale(1, 1.0) == pytest.approx(1.0)
+
+    def test_inverter_x4(self):
+        assert stacked_variability_scale(1, 4.0) == pytest.approx(0.5)
+
+    def test_nand2_x2(self):
+        assert stacked_variability_scale(2, 2.0) == pytest.approx(0.5)
+
+    def test_paper_eq5_combined_scaling(self):
+        # Doubling both stack and strength quarters the product,
+        # halving the ratio.
+        a = stacked_variability_scale(1, 2)
+        b = stacked_variability_scale(2, 4)
+        assert b == pytest.approx(a / 2.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            stacked_variability_scale(0, 1.0)
+        with pytest.raises(ValueError):
+            stacked_variability_scale(1, 0.0)
+
+    @given(
+        n=st.integers(min_value=1, max_value=8),
+        s=st.floats(min_value=0.5, max_value=16),
+    )
+    def test_inverse_sqrt_property(self, n, s):
+        scale = stacked_variability_scale(n, s)
+        assert scale == pytest.approx(1.0 / math.sqrt(n * s))

@@ -1,0 +1,145 @@
+"""Unit and statistical tests for the Monte-Carlo parameter sampler."""
+
+import numpy as np
+import pytest
+
+from repro.variation.parameters import VariationModel
+from repro.variation.sampling import GlobalDraws, MonteCarloSampler, ParameterSample
+
+
+@pytest.fixture()
+def sampler(variation):
+    return MonteCarloSampler(variation, seed=99)
+
+
+SIGMAS = np.full(6, 0.02)
+IS_PMOS = np.array([False, True, False, True, False, True])
+
+
+class TestParameterSample:
+    def test_nominal_shapes_and_values(self):
+        s = ParameterSample.nominal(10, 4)
+        assert s.n_samples == 10
+        assert s.n_transistors == 4
+        assert np.all(s.dvth == 0.0)
+        assert np.all(s.mobility_scale == 1.0)
+        assert np.all(s.length_scale == 1.0)
+
+    def test_subset(self):
+        s = ParameterSample.nominal(10, 4)
+        s.dvth[3, :] = 0.5
+        sub = s.subset(np.array([3, 5]))
+        assert sub.n_samples == 2
+        assert np.all(sub.dvth[0] == 0.5)
+
+    def test_cap_scale_nominal_is_one(self):
+        s = ParameterSample.nominal(5, 3)
+        assert np.allclose(s.cap_scale(1.8, 0.35), 1.0)
+
+    def test_cap_scale_higher_vth_lower_cap(self):
+        s = ParameterSample.nominal(1, 2)
+        s.dvth[0, 0] = +0.05
+        s.dvth[0, 1] = -0.05
+        scale = s.cap_scale(1.0, 0.35)
+        assert scale[0, 0] < 1.0 < scale[0, 1]
+
+    def test_cap_scale_floor(self):
+        s = ParameterSample.nominal(1, 1)
+        s.dvth[0, 0] = 10.0  # absurd shift
+        assert s.cap_scale(5.0, 0.35)[0, 0] == pytest.approx(0.2)
+
+
+class TestSampling:
+    def test_shapes(self, sampler):
+        s = sampler.sample(SIGMAS, IS_PMOS, 500)
+        assert s.dvth.shape == (500, 6)
+        assert s.mobility_scale.shape == (500, 6)
+
+    def test_reproducible_with_seed(self, variation):
+        a = MonteCarloSampler(variation, seed=5).sample(SIGMAS, IS_PMOS, 50)
+        b = MonteCarloSampler(variation, seed=5).sample(SIGMAS, IS_PMOS, 50)
+        assert np.array_equal(a.dvth, b.dvth)
+
+    def test_different_seeds_differ(self, variation):
+        a = MonteCarloSampler(variation, seed=5).sample(SIGMAS, IS_PMOS, 50)
+        b = MonteCarloSampler(variation, seed=6).sample(SIGMAS, IS_PMOS, 50)
+        assert not np.array_equal(a.dvth, b.dvth)
+
+    def test_dvth_variance_matches_model(self, sampler, variation):
+        s = sampler.sample(SIGMAS, IS_PMOS, 20000)
+        expected = np.sqrt(variation.sigma_vth_global**2 + 0.02**2)
+        assert np.std(s.dvth[:, 0]) == pytest.approx(expected, rel=0.05)
+
+    def test_same_type_devices_share_global(self, sampler):
+        # Two NMOS devices with zero local sigma must be identical.
+        s = sampler.sample([0.0, 0.0], [False, False], 200)
+        assert np.allclose(s.dvth[:, 0], s.dvth[:, 1])
+
+    def test_np_correlation_in_range(self, sampler, variation):
+        s = sampler.sample([0.0, 0.0], [False, True], 20000)
+        rho = np.corrcoef(s.dvth[:, 0], s.dvth[:, 1])[0, 1]
+        assert rho == pytest.approx(variation.global_np_correlation, abs=0.07)
+
+    def test_mobility_and_length_positive(self, sampler):
+        s = sampler.sample(SIGMAS, IS_PMOS, 5000)
+        assert np.all(s.mobility_scale > 0)
+        assert np.all(s.length_scale > 0)
+
+    def test_validates_lengths(self, sampler):
+        with pytest.raises(ValueError):
+            sampler.sample(SIGMAS, IS_PMOS[:-1], 10)
+        with pytest.raises(ValueError):
+            sampler.sample(SIGMAS, IS_PMOS, 0)
+
+
+class TestGlobals:
+    def test_shared_globals_correlate_batches(self, sampler):
+        g = sampler.draw_globals(2000)
+        a = sampler.sample([1e-4], [False], 2000, globals_=g)
+        b = sampler.sample([1e-4], [False], 2000, globals_=g)
+        rho = np.corrcoef(a.dvth[:, 0], b.dvth[:, 0])[0, 1]
+        assert rho > 0.95  # locals are tiny, globals shared
+
+    def test_independent_batches_uncorrelated(self, sampler):
+        a = sampler.sample([1e-4], [False], 2000)
+        b = sampler.sample([1e-4], [False], 2000)
+        rho = np.corrcoef(a.dvth[:, 0], b.dvth[:, 0])[0, 1]
+        assert abs(rho) < 0.1
+
+    def test_globals_size_mismatch_rejected(self, sampler):
+        g = sampler.draw_globals(10)
+        with pytest.raises(ValueError):
+            sampler.sample(SIGMAS, IS_PMOS, 20, globals_=g)
+
+    def test_draws_have_unit_variance(self, sampler):
+        g = sampler.draw_globals(30000)
+        for z in (g.z_vth_n, g.z_vth_p, g.z_mobility, g.z_length):
+            assert np.std(z) == pytest.approx(1.0, rel=0.05)
+            assert np.mean(z) == pytest.approx(0.0, abs=0.03)
+
+
+class TestWireScales:
+    def test_shapes_and_mean(self, sampler):
+        r, c = sampler.sample_wire_scales(7, 10000)
+        assert r.shape == (10000, 7)
+        assert np.mean(r) == pytest.approx(1.0, abs=0.01)
+        assert np.mean(c) == pytest.approx(1.0, abs=0.01)
+
+    def test_variance_matches_model(self, sampler, variation):
+        r, c = sampler.sample_wire_scales(3, 30000)
+        assert np.std(r[:, 0]) == pytest.approx(variation.sigma_wire_r, rel=0.08)
+        assert np.std(c[:, 0]) == pytest.approx(variation.sigma_wire_c, rel=0.08)
+
+    def test_within_net_segments_partially_correlated(self, sampler, variation):
+        r, _ = sampler.sample_wire_scales(2, 30000)
+        rho = np.corrcoef(r[:, 0], r[:, 1])[0, 1]
+        assert rho == pytest.approx(variation.wire_global_fraction, abs=0.08)
+
+    def test_positive(self, sampler):
+        r, c = sampler.sample_wire_scales(4, 5000)
+        assert np.all(r > 0)
+        assert np.all(c > 0)
+
+    def test_rejects_bad_segments(self, sampler):
+        with pytest.raises(ValueError):
+            sampler.sample_wire_scales(0, 10)
