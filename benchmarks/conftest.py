@@ -9,12 +9,16 @@ variable          default  meaning
 REPRO_BENCH_SAMPLES  1200  MC samples per characterization point
 REPRO_BENCH_MC       3000  MC samples for golden references
 REPRO_BENCH_PATH_MC   400  MC samples for golden *path* references
+REPRO_WORKERS           1  characterization worker processes
 ================  =======  =====================================
 
 Characterization and fitted models are cached under
-``benchmarks/.bench_cache`` (delete to force re-characterization).
-Each benchmark writes its reproduced table/figure data as JSON into
-``benchmarks/results/`` — the source for EXPERIMENTS.md.
+``benchmarks/.bench_cache`` (delete to force re-characterization);
+the flow additionally keeps per-arc content-hashed tables there via
+:class:`repro.cache.JsonCache` (``arc_*.json`` — changing any knob
+that affects the physics changes the hash, so stale reuse is
+impossible). Each benchmark writes its reproduced table/figure data
+as JSON into ``benchmarks/results/`` — the source for EXPERIMENTS.md.
 """
 
 from __future__ import annotations

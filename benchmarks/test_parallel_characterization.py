@@ -1,0 +1,147 @@
+"""Parallel characterization + masked-kernel before/after scaling.
+
+Operational benchmark (not a paper table) of this repo's two performance
+levers:
+
+* **worker scaling** — a 2-cell mini-library characterized with the
+  grid fanned over 1/2/4 worker processes, asserting that every worker
+  count produces *bit-identical* tables (per-point derived seeds, fresh
+  engine per point — see :mod:`repro.cells.characterize`);
+* **masked-kernel scaling** — the convergence-masked Newton kernel vs
+  the unmasked reference at MC batch sizes 64/512/4096, asserting the
+  delay deviation stays within 1e-12 s.
+
+Results accumulate into
+``benchmarks/results/BENCH_parallel_characterization.json``.
+Note: wall-clock speedup from workers requires multiple cores; on a
+single-core host the worker sweep still verifies determinism, and the
+recorded timings are honest (≈flat).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from conftest import RESULTS_DIR, record_result
+from test_simulator_scaling import inverter_setup
+from repro.cells.characterize import ArcCharacterizer, characterize_library
+from repro.cells.library import build_default_library
+from repro.spice.montecarlo import MonteCarloEngine
+from repro.units import FF, PS
+from repro.variation.parameters import Technology, VariationModel
+
+N_POINT = int(os.environ.get("REPRO_BENCH_PAR_SAMPLES", "400"))
+
+MINI_CELLS = ["INVx1", "NAND2x1"]
+MINI_SLEWS = tuple(s * PS for s in (20, 80, 200))
+MINI_LOADS = tuple(c * FF for c in (0.2, 1.0, 4.0))
+
+RESULT_NAME = "BENCH_parallel_characterization"
+
+
+def _record_section(section: str, payload: dict) -> None:
+    """Merge one sweep's results into the shared JSON document."""
+    import json
+
+    path = RESULTS_DIR / f"{RESULT_NAME}.json"
+    doc = {}
+    if path.exists():
+        with path.open() as fh:
+            doc = json.load(fh)
+    doc[section] = payload
+    record_result(RESULT_NAME, doc)
+
+
+def _characterize(workers: int):
+    tech = Technology()
+    engine = MonteCarloEngine(tech, VariationModel(), seed=2023)
+    library = build_default_library(tech)
+    t0 = time.perf_counter()
+    charac = characterize_library(
+        ArcCharacterizer(engine),
+        library,
+        cells=MINI_CELLS,
+        slews=MINI_SLEWS,
+        loads=MINI_LOADS,
+        n_samples=N_POINT,
+        workers=workers,
+    )
+    return charac, time.perf_counter() - t0, engine.perf
+
+
+class TestParallelCharacterization:
+    def test_worker_scaling_bit_identical(self, benchmark):
+        runs = {}
+        for workers in (1, 2, 4):
+            charac, wall, perf = _characterize(workers)
+            runs[workers] = {"charac": charac, "wall_s": wall, "perf": perf}
+        ref = runs[1]["charac"]
+        for workers in (2, 4):
+            other = runs[workers]["charac"]
+            assert set(other.tables) == set(ref.tables)
+            for key, table in ref.tables.items():
+                got = other.tables[key]
+                assert np.array_equal(got.moments, table.moments), key
+                assert np.array_equal(got.quantiles, table.quantiles), key
+                assert np.array_equal(got.out_slew, table.out_slew), key
+
+        def summary():
+            return {
+                "n_samples": N_POINT,
+                "cells": MINI_CELLS,
+                "grid": [len(MINI_SLEWS), len(MINI_LOADS)],
+                "bit_identical": True,
+                # Flat wall_s on a 1-core host is expected; scaling
+                # needs cpu_count >= workers.
+                "cpu_count": os.cpu_count(),
+                "workers": {
+                    str(w): {
+                        "wall_s": round(r["wall_s"], 3),
+                        "speedup_vs_serial": round(
+                            runs[1]["wall_s"] / r["wall_s"], 3
+                        ),
+                        "perf": r["perf"].to_dict(),
+                    }
+                    for w, r in runs.items()
+                },
+            }
+
+        table = benchmark(summary)
+        print(f"\nworker scaling ({N_POINT} samples/point): "
+              + "  ".join(f"w={w}: {r['wall_s']:.2f}s" for w, r in runs.items()))
+        _record_section("worker_scaling", table)
+
+    def test_masked_kernel_scaling(self, benchmark):
+        tech = Technology()
+        setup = inverter_setup(tech)
+        out = {}
+        for n in (64, 512, 4096):
+            row = {}
+            delays = {}
+            for masked in (False, True):
+                engine = MonteCarloEngine(
+                    tech, VariationModel(), seed=5, masked=masked
+                )
+                t0 = time.perf_counter()
+                res = engine.simulate(setup, n)
+                row["masked" if masked else "reference"] = {
+                    "wall_s": round(time.perf_counter() - t0, 4),
+                    "perf": engine.perf.to_dict(),
+                }
+                delays[masked] = res.delay
+            dev = float(np.nanmax(np.abs(delays[True] - delays[False])))
+            assert dev < 1e-12, f"masked kernel deviates by {dev:.3e} s at n={n}"
+            row["max_delay_deviation_s"] = dev
+            row["speedup"] = round(
+                row["reference"]["wall_s"] / row["masked"]["wall_s"], 3
+            )
+            out[str(n)] = row
+            print(f"\nn={n}: masked {row['masked']['wall_s']:.3f}s vs "
+                  f"reference {row['reference']['wall_s']:.3f}s "
+                  f"({row['speedup']}x), max |d delay| = {dev:.2e} s")
+
+        table = benchmark(lambda: out)
+        # The large batch is where masking pays; small batches are noise.
+        assert out["4096"]["speedup"] > 1.4
+        _record_section("masked_kernel", table)

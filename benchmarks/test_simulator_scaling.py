@@ -51,13 +51,18 @@ class TestSolverScaling:
 
         import time
         times = {}
+        perf = {}
         for n in (64, 512, 4096):
+            engine.perf = type(engine.perf)()  # fresh counters per batch size
             t0 = time.perf_counter()
             engine.simulate(setup, n)
             times[n] = time.perf_counter() - t0
+            perf[n] = engine.perf.to_dict()
 
         def summary():
-            return {str(n): t for n, t in times.items()}
+            return {
+                str(n): {"wall_s": times[n], "perf": perf[n]} for n in times
+            }
 
         table = benchmark(summary)
         per_sample_small = times[64] / 64
@@ -65,6 +70,8 @@ class TestSolverScaling:
         print(f"\nsolver batch scaling: {times}")
         print(f"  per-sample cost: {per_sample_small * 1e6:.1f} us (n=64) -> "
               f"{per_sample_large * 1e6:.1f} us (n=4096)")
+        print(f"  active-sample fraction (n=4096): "
+              f"{perf[4096]['active_sample_fraction']:.3f}")
         # Batching must pay: the marginal sample gets much cheaper.
         assert per_sample_large < 0.5 * per_sample_small
         record_result("simulator_batch_scaling", table)

@@ -16,7 +16,10 @@ Method Considering Interaction between Cells and Wires" (DATE 2023):
 * :mod:`repro.core` — the paper's contribution: the N-sigma cell/wire
   models, moment calibration, and the statistical STA engine;
 * :mod:`repro.baselines` — LSN, Burr, corner-STA, correction-factor and
-  ML-based comparators plus the golden path Monte-Carlo.
+  ML-based comparators plus the golden path Monte-Carlo;
+* :mod:`repro.parallel` / :mod:`repro.cache` / :mod:`repro.perf` —
+  work-queue executor (``REPRO_WORKERS``), content-hashed artifact
+  cache, and solver performance counters.
 """
 
 __version__ = "1.0.0"

@@ -39,6 +39,7 @@ from repro.spice.netlist import (
     SampledWaveformSource,
     TransistorNetlist,
 )
+from repro.parallel import parallel_map
 from repro.units import PS
 from repro.variation.parameters import Technology, VariationModel
 
@@ -295,4 +296,59 @@ class GoldenPathMC:
             record_extra=("out",),
         )
         return setup, sink_node
+
+
+# ----------------------------------------------------------------------
+# Multi-path fan-out
+# ----------------------------------------------------------------------
+def _run_path_task(task: dict) -> PathSampleResult:
+    """Worker: simulate one path in a fresh :class:`GoldenPathMC`."""
+    golden = GoldenPathMC(
+        task["circuit"],
+        task["library"],
+        task["tech"],
+        task["variation"],
+        seed=task["seed"],
+        input_slew=task["input_slew"],
+    )
+    return golden.run(
+        task["path"], n_samples=task["n_samples"], levels=task["levels"]
+    )
+
+
+def run_paths(
+    circuit: Circuit,
+    library: CellLibrary,
+    tech: Technology,
+    variation: VariationModel,
+    paths: Sequence[PathTiming],
+    n_samples: int = 500,
+    seed: int = 12345,
+    input_slew: float = 20 * PS,
+    levels: Sequence[int] = SIGMA_LEVELS,
+    workers: Optional[int] = None,
+) -> List[PathSampleResult]:
+    """Golden-MC several paths, optionally fanned over a process pool.
+
+    Each path builds its own :class:`GoldenPathMC` with the same seed
+    (:meth:`GoldenPathMC.run` creates its engine per call, so path
+    results never depend on simulation order) — results are bit-identical
+    for any ``workers`` value. Order of the returned list matches
+    ``paths``.
+    """
+    tasks = [
+        {
+            "circuit": circuit,
+            "library": library,
+            "tech": tech,
+            "variation": variation,
+            "seed": seed,
+            "input_slew": input_slew,
+            "path": path,
+            "n_samples": n_samples,
+            "levels": tuple(levels),
+        }
+        for path in paths
+    ]
+    return parallel_map(_run_path_task, tasks, workers=workers)
 

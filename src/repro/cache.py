@@ -1,0 +1,109 @@
+"""Content-hashed on-disk JSON cache for expensive simulation artifacts.
+
+Characterizing a library point takes seconds; a full grid takes minutes.
+The artifacts are pure functions of their inputs (netlist, variation
+model, grid, sample count, seed), so they are cached on disk keyed by a
+SHA-256 hash of a canonical-JSON payload describing exactly those
+inputs — change any knob and the key changes, touch nothing and the
+cache hits forever.
+
+This module was promoted out of the benchmark harness so the CLI,
+examples and tests all share one cache. The default location is
+``.repro_cache/`` in the working directory, overridable with the
+``REPRO_CACHE_DIR`` environment variable. Purge by deleting the
+directory or calling :meth:`JsonCache.purge`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Fallback cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``.repro_cache``."""
+    return Path(os.environ.get(CACHE_DIR_ENV, "") or DEFAULT_CACHE_DIR)
+
+
+def content_key(payload: Any, length: int = 16) -> str:
+    """Stable hex digest of a JSON-serializable payload.
+
+    The payload is serialized with sorted keys and repr-fallback for
+    non-JSON values (tuples become lists, dataclasses should be passed
+    through ``asdict`` by the caller), then hashed with SHA-256.
+    """
+    import hashlib
+
+    blob = json.dumps(payload, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()[:length]
+
+
+class JsonCache:
+    """A directory of ``<kind>_<key>.json`` artifacts with hit/miss stats.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; created lazily on first :meth:`put`. ``None`` uses
+        :func:`default_cache_dir`.
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None):
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def path(self, kind: str, key: str) -> Path:
+        """File path of an artifact (may not exist yet)."""
+        return self.directory / f"{kind}_{key}.json"
+
+    def get(self, kind: str, key: str) -> Optional[Dict[str, Any]]:
+        """Load an artifact, or ``None`` on miss (or unreadable file)."""
+        path = self.path(kind, key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            with path.open() as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return doc
+
+    def put(self, kind: str, key: str, doc: Dict[str, Any]) -> Path:
+        """Store an artifact atomically (write temp file, then rename)."""
+        path = self.path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        with tmp.open("w") as fh:
+            json.dump(doc, fh)
+        tmp.replace(path)
+        return path
+
+    def purge(self, kind: Optional[str] = None) -> int:
+        """Delete cached artifacts (optionally only one ``kind``); returns count."""
+        if not self.directory.exists():
+            return 0
+        pattern = f"{kind}_*.json" if kind else "*.json"
+        removed = 0
+        for path in self.directory.glob(pattern):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JsonCache({str(self.directory)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

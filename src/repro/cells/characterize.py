@@ -7,18 +7,30 @@ analysis" over a grid of operating conditions (input slew × output
 load). The result — :class:`CharacterizationTable` — stores the first
 four moments, the empirical sigma-level quantiles, and the mean output
 slew (needed by the STA engine to propagate slews along a path).
+
+Every (slew, load) grid point is an independent Monte-Carlo run, so the
+grid fans out over :func:`repro.parallel.parallel_map`. Determinism
+does not depend on worker count: each point gets its own seed derived
+from ``(engine seed, arc identity, grid indices)`` via
+:func:`repro.parallel.task_seed`, and workers rebuild a fresh
+:class:`~repro.spice.montecarlo.MonteCarloEngine` from that seed — the
+serial path runs the exact same per-point function in a loop, so
+``workers=4`` is bit-identical to ``workers=1``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import CharacterizationError
+from repro.cache import JsonCache, content_key
 from repro.cells.library import Cell, CellLibrary
 from repro.moments.stats import SIGMA_LEVELS, Moments, empirical_sigma_quantiles
+from repro.parallel import parallel_map, task_seed
+from repro.perf import PerfCounters
 from repro.spice.measure import ramp_time_for_slew
 from repro.spice.montecarlo import DelaySamples, MonteCarloEngine, SimulationSetup
 from repro.spice.netlist import PiecewiseLinearSource, TransistorNetlist
@@ -206,6 +218,45 @@ class ArcCharacterizer:
         return self.engine.simulate(setup, n_samples)
 
     # ------------------------------------------------------------------
+    def point_tasks(
+        self,
+        cell: Cell,
+        pin: str,
+        slews: np.ndarray,
+        loads: np.ndarray,
+        n_samples: int,
+        output_rising: bool,
+    ) -> List[dict]:
+        """Self-contained task descriptions for every (slew, load) point.
+
+        Each task carries everything a worker process needs to rebuild
+        an equivalent engine and simulate one grid point, plus its own
+        deterministic seed — see :func:`_characterize_point`.
+        """
+        edge = "rise" if output_rising else "fall"
+        fidelity = self.engine.fidelity_opts()
+        tasks = []
+        for i, s in enumerate(slews):
+            for j, c in enumerate(loads):
+                tasks.append(
+                    {
+                        "tech": self.tech,
+                        "variation": self.engine.variation,
+                        "fidelity": fidelity,
+                        "seed": task_seed(self.engine.seed, cell.name, pin, edge, i, j),
+                        "cell": cell,
+                        "pin": pin,
+                        "output_rising": output_rising,
+                        "slew": float(s),
+                        "load": float(c),
+                        "n_samples": n_samples,
+                        "arc": (cell.name, pin, edge),
+                        "i": i,
+                        "j": j,
+                    }
+                )
+        return tasks
+
     def characterize(
         self,
         cell: Cell,
@@ -214,38 +265,136 @@ class ArcCharacterizer:
         loads: Sequence[float] = DEFAULT_LOADS,
         n_samples: int = 2000,
         output_rising: bool = False,
+        workers: Optional[int] = None,
     ) -> CharacterizationTable:
-        """Characterize one arc over the full (slew × load) grid."""
+        """Characterize one arc over the full (slew × load) grid.
+
+        ``workers`` fans the grid points out over a process pool (see
+        :func:`repro.parallel.parallel_map`); results are independent of
+        worker count.
+        """
         slews = np.asarray(sorted(slews), dtype=float)
         loads = np.asarray(sorted(loads), dtype=float)
-        moments = np.empty((slews.size, loads.size, 4))
-        quantiles = np.empty((slews.size, loads.size, len(SIGMA_LEVELS)))
-        out_slew = np.empty((slews.size, loads.size))
-        for i, s in enumerate(slews):
-            for j, c in enumerate(loads):
-                res = self.simulate_arc(cell, pin, s, c, n_samples, output_rising)
-                if res.yield_fraction < 0.98:
-                    raise CharacterizationError(
-                        f"{cell.name}/{pin} at slew={s / PS:.0f}ps load={c / FF:.2f}fF: "
-                        f"only {res.yield_fraction:.1%} of samples measurable"
-                    )
-                d = res.delay[res.valid]
-                m = Moments.from_samples(d)
-                moments[i, j] = m.as_array()
-                q = empirical_sigma_quantiles(d)
-                quantiles[i, j] = [q[n] for n in SIGMA_LEVELS]
-                out_slew[i, j] = float(np.mean(res.output_slew[res.valid]))
-        return CharacterizationTable(
-            cell_name=cell.name,
-            pin=pin,
-            output_rising=output_rising,
-            slews=slews,
-            loads=loads,
-            moments=moments,
-            quantiles=quantiles,
-            out_slew=out_slew,
-            n_samples=n_samples,
+        tasks = self.point_tasks(cell, pin, slews, loads, n_samples, output_rising)
+        results = parallel_map(_characterize_point, tasks, workers=workers)
+        for res in results:
+            self.engine.perf.merge(PerfCounters.from_dict(res["perf"]))
+        return _assemble_table(
+            cell.name, pin, output_rising, slews, loads, n_samples, results
         )
+
+
+# ----------------------------------------------------------------------
+# Per-point worker (module-level so it pickles for the process pool)
+# ----------------------------------------------------------------------
+def _characterize_point(task: Mapping[str, object]) -> dict:
+    """Simulate one (slew, load) grid point in a fresh engine.
+
+    Runs identically in-process (serial path) and in a pool worker: the
+    engine is rebuilt from the task's derived seed, so the result stream
+    never depends on execution order or worker count.
+    """
+    engine = MonteCarloEngine(
+        task["tech"], task["variation"], seed=task["seed"], **task["fidelity"]
+    )
+    charac = ArcCharacterizer(engine)
+    res = charac.simulate_arc(
+        task["cell"],
+        task["pin"],
+        task["slew"],
+        task["load"],
+        task["n_samples"],
+        task["output_rising"],
+    )
+    if res.yield_fraction < 0.98:
+        cell_name = task["cell"].name
+        raise CharacterizationError(
+            f"{cell_name}/{task['pin']} at slew={task['slew'] / PS:.0f}ps "
+            f"load={task['load'] / FF:.2f}fF: "
+            f"only {res.yield_fraction:.1%} of samples measurable"
+        )
+    d = res.delay[res.valid]
+    q = empirical_sigma_quantiles(d)
+    return {
+        "arc": tuple(task["arc"]),
+        "i": task["i"],
+        "j": task["j"],
+        "moments": Moments.from_samples(d).as_array().tolist(),
+        "quantiles": [q[n] for n in SIGMA_LEVELS],
+        "out_slew": float(np.mean(res.output_slew[res.valid])),
+        "yield_fraction": res.yield_fraction,
+        "perf": engine.perf.to_dict(),
+    }
+
+
+def _assemble_table(
+    cell_name: str,
+    pin: str,
+    output_rising: bool,
+    slews: np.ndarray,
+    loads: np.ndarray,
+    n_samples: int,
+    results: Iterable[Mapping[str, object]],
+) -> CharacterizationTable:
+    """Reassemble scattered per-point results into one arc table."""
+    moments = np.empty((slews.size, loads.size, 4))
+    quantiles = np.empty((slews.size, loads.size, len(SIGMA_LEVELS)))
+    out_slew = np.empty((slews.size, loads.size))
+    filled = np.zeros((slews.size, loads.size), dtype=bool)
+    for res in results:
+        i, j = res["i"], res["j"]
+        moments[i, j] = res["moments"]
+        quantiles[i, j] = res["quantiles"]
+        out_slew[i, j] = res["out_slew"]
+        filled[i, j] = True
+    if not filled.all():
+        missing = np.argwhere(~filled).tolist()
+        raise CharacterizationError(
+            f"{cell_name}/{pin}: grid points {missing} missing from results"
+        )
+    return CharacterizationTable(
+        cell_name=cell_name,
+        pin=pin,
+        output_rising=output_rising,
+        slews=slews,
+        loads=loads,
+        moments=moments,
+        quantiles=quantiles,
+        out_slew=out_slew,
+        n_samples=n_samples,
+    )
+
+
+def arc_cache_payload(
+    engine: MonteCarloEngine,
+    cell: Cell,
+    pin: str,
+    output_rising: bool,
+    slews: np.ndarray,
+    loads: np.ndarray,
+    n_samples: int,
+) -> dict:
+    """Content-hash payload identifying one arc characterization.
+
+    Any change to the technology, variation model, engine fidelity,
+    seed, cell topology, grid, or sample count changes the hash — so a
+    cached table can never be silently reused for different physics.
+    """
+    return {
+        "tech": asdict(engine.tech),
+        "variation": asdict(engine.variation),
+        "fidelity": engine.fidelity_opts(),
+        "seed": engine.seed,
+        "cell": cell.name,
+        "cell_type": cell.cell_type.name,
+        "n_stack": cell.n_stack,
+        "strength": cell.strength,
+        "pin": pin,
+        "edge": "rise" if output_rising else "fall",
+        "slews": [float(s) for s in slews],
+        "loads": [float(c) for c in loads],
+        "n_samples": n_samples,
+    }
 
 
 @dataclass
@@ -288,6 +437,8 @@ def characterize_library(
     slews: Sequence[float] = DEFAULT_SLEWS,
     loads: Sequence[float] = DEFAULT_LOADS,
     n_samples: int = 2000,
+    workers: Optional[int] = None,
+    cache: Optional[JsonCache] = None,
 ) -> LibraryCharacterization:
     """Characterize many arcs of a library in one sweep.
 
@@ -301,18 +452,60 @@ def characterize_library(
         the default runtime sane).
     both_edges:
         Also characterize the rising-output arc (default: falling only).
+    workers:
+        Process-pool width for the grid points of *all* arcs pooled
+        together (better load balance than per-arc fan-out). ``None``
+        reads ``REPRO_WORKERS``; 1 runs serially in-process.
+    cache:
+        Content-hashed on-disk cache of finished arc tables. Hits skip
+        simulation entirely; the key covers technology, variation,
+        fidelity, seed, cell, grid and sample count.
     """
+    from repro.cells.liberty import table_from_dict, table_to_dict
+
     out = LibraryCharacterization()
+    slews_arr = np.asarray(sorted(slews), dtype=float)
+    loads_arr = np.asarray(sorted(loads), dtype=float)
     names = list(cells) if cells is not None else library.names
+    pending: List[Tuple[Cell, str, bool, Optional[str]]] = []
     for name in names:
         cell = library.get(name)
         pins = cell.inputs[:1] if first_pin_only else cell.inputs
         edges = (False, True) if both_edges else (False,)
         for pin in pins:
             for rising in edges:
-                out.put(
-                    characterizer.characterize(
-                        cell, pin, slews, loads, n_samples, output_rising=rising
+                key = None
+                if cache is not None:
+                    key = content_key(
+                        arc_cache_payload(
+                            characterizer.engine, cell, pin, rising,
+                            slews_arr, loads_arr, n_samples,
+                        )
                     )
-                )
+                    record = cache.get("arc", key)
+                    if record is not None:
+                        out.put(table_from_dict(record))
+                        continue
+                pending.append((cell, pin, rising, key))
+
+    tasks: List[dict] = []
+    for cell, pin, rising, _ in pending:
+        tasks.extend(
+            characterizer.point_tasks(cell, pin, slews_arr, loads_arr, n_samples, rising)
+        )
+    results = parallel_map(_characterize_point, tasks, workers=workers)
+
+    grouped: Dict[Tuple[str, str, str], List[dict]] = {}
+    for res in results:
+        characterizer.engine.perf.merge(PerfCounters.from_dict(res["perf"]))
+        grouped.setdefault(tuple(res["arc"]), []).append(res)
+    for cell, pin, rising, key in pending:
+        arc_key = (cell.name, pin, "rise" if rising else "fall")
+        table = _assemble_table(
+            cell.name, pin, rising, slews_arr, loads_arr, n_samples,
+            grouped.get(arc_key, ()),
+        )
+        out.put(table)
+        if cache is not None and key is not None:
+            cache.put("arc", key, table_to_dict(table))
     return out

@@ -26,7 +26,8 @@ FORMAT = "repro-lvf-json"
 FORMAT_VERSION = 1
 
 
-def _table_to_dict(table: CharacterizationTable) -> dict:
+def table_to_dict(table: CharacterizationTable) -> dict:
+    """One arc table as a plain-JSON record (inverse of :func:`table_from_dict`)."""
     return {
         "cell": table.cell_name,
         "pin": table.pin,
@@ -44,7 +45,8 @@ def _table_to_dict(table: CharacterizationTable) -> dict:
     }
 
 
-def _table_from_dict(data: dict) -> CharacterizationTable:
+def table_from_dict(data: dict) -> CharacterizationTable:
+    """Rebuild a :class:`CharacterizationTable` from its JSON record."""
     try:
         moments = np.stack(
             [np.asarray(data["moments"][name]) for name in ("mu", "sigma", "skew", "kurt")],
@@ -74,7 +76,7 @@ def save_library_characterization(
     doc = {
         "format": FORMAT,
         "version": FORMAT_VERSION,
-        "tables": [_table_to_dict(t) for t in charac.tables.values()],
+        "tables": [table_to_dict(t) for t in charac.tables.values()],
     }
     with path.open("w") as fh:
         json.dump(doc, fh)
@@ -91,5 +93,5 @@ def load_library_characterization(path: Union[str, Path]) -> LibraryCharacteriza
         )
     out = LibraryCharacterization()
     for record in doc["tables"]:
-        out.put(_table_from_dict(record))
+        out.put(table_from_dict(record))
     return out

@@ -240,6 +240,49 @@ def _build_xnor2(net, prefix, nodes, strength, tech):
 # ----------------------------------------------------------------------
 # Catalogue
 # ----------------------------------------------------------------------
+# Logic functions are named module-level callables (not lambdas) so
+# CellType/Cell objects pickle cleanly — characterization tasks carry
+# cells across process boundaries when fanned out over a worker pool.
+def _logic_inv(v):
+    return 1 - v["A"]
+
+
+def _logic_buf(v):
+    return v["A"]
+
+
+def _logic_nand2(v):
+    return 1 - (v["A"] & v["B"])
+
+
+def _logic_nand3(v):
+    return 1 - (v["A"] & v["B"] & v["C"])
+
+
+def _logic_nor2(v):
+    return 1 - (v["A"] | v["B"])
+
+
+def _logic_nor3(v):
+    return 1 - (v["A"] | v["B"] | v["C"])
+
+
+def _logic_aoi21(v):
+    return 1 - ((v["A"] & v["B"]) | v["C"])
+
+
+def _logic_oai21(v):
+    return 1 - ((v["A"] | v["B"]) & v["C"])
+
+
+def _logic_xor2(v):
+    return v["A"] ^ v["B"]
+
+
+def _logic_xnor2(v):
+    return 1 - (v["A"] ^ v["B"])
+
+
 def _make(name, inputs, n_stack, arcs, builder, logic) -> CellType:
     return CellType(
         name=name,
@@ -258,13 +301,13 @@ CELL_TYPES: Dict[str, CellType] = {
         "INV", ("A",), 1,
         {"A": ArcSpec(static={}, inverting=True)},
         _build_inv,
-        lambda v: 1 - v["A"],
+        _logic_inv,
     ),
     "BUF": _make(
         "BUF", ("A",), 1,
         {"A": ArcSpec(static={}, inverting=False)},
         _build_buf,
-        lambda v: v["A"],
+        _logic_buf,
     ),
     "NAND2": _make(
         "NAND2", ("A", "B"), 2,
@@ -273,7 +316,7 @@ CELL_TYPES: Dict[str, CellType] = {
             "B": ArcSpec(static={"A": 1}, inverting=True),
         },
         _build_nand2,
-        lambda v: 1 - (v["A"] & v["B"]),
+        _logic_nand2,
     ),
     "NAND3": _make(
         "NAND3", ("A", "B", "C"), 3,
@@ -283,7 +326,7 @@ CELL_TYPES: Dict[str, CellType] = {
             "C": ArcSpec(static={"A": 1, "B": 1}, inverting=True),
         },
         _build_nand3,
-        lambda v: 1 - (v["A"] & v["B"] & v["C"]),
+        _logic_nand3,
     ),
     "NOR2": _make(
         "NOR2", ("A", "B"), 2,
@@ -292,7 +335,7 @@ CELL_TYPES: Dict[str, CellType] = {
             "B": ArcSpec(static={"A": 0}, inverting=True),
         },
         _build_nor2,
-        lambda v: 1 - (v["A"] | v["B"]),
+        _logic_nor2,
     ),
     "NOR3": _make(
         "NOR3", ("A", "B", "C"), 3,
@@ -302,7 +345,7 @@ CELL_TYPES: Dict[str, CellType] = {
             "C": ArcSpec(static={"A": 0, "B": 0}, inverting=True),
         },
         _build_nor3,
-        lambda v: 1 - (v["A"] | v["B"] | v["C"]),
+        _logic_nor3,
     ),
     "AOI21": _make(
         "AOI21", ("A", "B", "C"), 2,
@@ -312,7 +355,7 @@ CELL_TYPES: Dict[str, CellType] = {
             "C": ArcSpec(static={"A": 0, "B": 1}, inverting=True),
         },
         _build_aoi21,
-        lambda v: 1 - ((v["A"] & v["B"]) | v["C"]),
+        _logic_aoi21,
     ),
     "OAI21": _make(
         "OAI21", ("A", "B", "C"), 2,
@@ -322,7 +365,7 @@ CELL_TYPES: Dict[str, CellType] = {
             "C": ArcSpec(static={"A": 1, "B": 0}, inverting=True),
         },
         _build_oai21,
-        lambda v: 1 - ((v["A"] | v["B"]) & v["C"]),
+        _logic_oai21,
     ),
     "XOR2": _make(
         "XOR2", ("A", "B"), 2,
@@ -332,7 +375,7 @@ CELL_TYPES: Dict[str, CellType] = {
             "B": ArcSpec(static={"A": 0}, inverting=False),
         },
         _build_xor2,
-        lambda v: v["A"] ^ v["B"],
+        _logic_xor2,
     ),
     "XNOR2": _make(
         "XNOR2", ("A", "B"), 2,
@@ -341,6 +384,6 @@ CELL_TYPES: Dict[str, CellType] = {
             "B": ArcSpec(static={"A": 0}, inverting=True),
         },
         _build_xnor2,
-        lambda v: 1 - (v["A"] ^ v["B"]),
+        _logic_xnor2,
     ),
 }

@@ -39,6 +39,11 @@ def _add_flow_args(parser: argparse.ArgumentParser) -> None:
                         help="comma-separated cell subset (default: all)")
     parser.add_argument("--fast", action="store_true",
                         help="coarse grid / small wire fit for quick looks")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="characterization worker processes "
+                             "(default: $REPRO_WORKERS or 1; 0 = all cores)")
+    parser.add_argument("--perf", action="store_true",
+                        help="print solver/stage performance counters")
 
 
 def _make_flow(args):
@@ -61,8 +66,14 @@ def _make_flow(args):
         cache_dir=args.cache_dir,
         n_samples=args.samples,
         cell_names=cells,
+        workers=args.workers,
         **extra,
     )
+
+
+def _print_perf(flow) -> None:
+    print()
+    print(flow.perf_report().summary())
 
 
 def cmd_characterize(args) -> int:
@@ -75,6 +86,8 @@ def cmd_characterize(args) -> int:
     charac = flow.characterize()
     save_library_characterization(charac, args.output)
     print(f"Wrote {len(charac)} arc tables to {args.output}")
+    if args.perf:
+        _print_perf(flow)
     return 0
 
 
@@ -130,6 +143,8 @@ def cmd_analyze(args) -> int:
     print(format_path_report(result, max_stages=args.max_stages))
     print()
     print(format_stage_budget(result.critical_path))
+    if args.perf:
+        _print_perf(flow)
     return 0
 
 

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache import JsonCache
 from repro.cells.characterize import (
     DEFAULT_LOADS,
     DEFAULT_SLEWS,
@@ -31,6 +32,7 @@ from repro.cells.characterize import (
     LibraryCharacterization,
     characterize_library,
 )
+from repro.perf import PerfCounters
 from repro.cells.library import CellLibrary, build_default_library
 from repro.cells.liberty import (
     load_library_characterization,
@@ -80,6 +82,18 @@ class DelayCalibrationFlow:
     cell_names:
         Library subset to characterize (None = full library; the
         default covers every type at pin A, falling arc).
+    workers:
+        Process-pool width for the characterization fan-out (None reads
+        the ``REPRO_WORKERS`` env var; 1 = serial, no pool). Results are
+        bit-identical for any value.
+
+    Attributes
+    ----------
+    perf:
+        :class:`~repro.perf.PerfCounters` with per-stage wall times
+        (``characterize`` / ``fit_models`` / ``analyze``); solver-level
+        counters accumulate on ``engine.perf`` — see :meth:`perf_report`
+        for the merged view.
     """
 
     def __init__(
@@ -96,6 +110,7 @@ class DelayCalibrationFlow:
         cell_names: Optional[Sequence[str]] = None,
         both_edges: bool = True,
         nsigma_fit_samples: int = 0,
+        workers: Optional[int] = None,
     ):
         from repro.spice.montecarlo import MonteCarloEngine
 
@@ -112,7 +127,9 @@ class DelayCalibrationFlow:
         self.cell_names = list(cell_names) if cell_names else self.library.names
         self.both_edges = both_edges
         self.nsigma_fit_samples = nsigma_fit_samples
+        self.workers = workers
         self.engine = MonteCarloEngine(self.tech, self.variation, seed=seed)
+        self.perf = PerfCounters()
 
         self._charac: Optional[LibraryCharacterization] = None
         self._models: Optional[TimingModels] = None
@@ -146,6 +163,14 @@ class DelayCalibrationFlow:
         return self.cache_dir / f"{kind}_{key}.json"
 
     # ------------------------------------------------------------------
+    def perf_report(self) -> PerfCounters:
+        """Merged performance counters: stage wall times + solver work."""
+        merged = PerfCounters()
+        merged.merge(self.engine.perf)
+        merged.merge(self.perf)
+        return merged
+
+    # ------------------------------------------------------------------
     # Steps
     # ------------------------------------------------------------------
     def characterize(self) -> LibraryCharacterization:
@@ -157,15 +182,19 @@ class DelayCalibrationFlow:
             self._charac = load_library_characterization(path)
             return self._charac
         characterizer = ArcCharacterizer(self.engine)
-        self._charac = characterize_library(
-            characterizer,
-            self.library,
-            cells=self.cell_names,
-            slews=self.slews,
-            loads=self.loads,
-            n_samples=self.n_samples,
-            both_edges=self.both_edges,
-        )
+        arc_cache = JsonCache(self.cache_dir) if self.cache_dir is not None else None
+        with self.perf.timer("characterize"):
+            self._charac = characterize_library(
+                characterizer,
+                self.library,
+                cells=self.cell_names,
+                slews=self.slews,
+                loads=self.loads,
+                n_samples=self.n_samples,
+                both_edges=self.both_edges,
+                workers=self.workers,
+                cache=arc_cache,
+            )
         if path is not None:
             save_library_characterization(self._charac, path)
         return self._charac
@@ -175,34 +204,35 @@ class DelayCalibrationFlow:
         if self._models is not None:
             return self._models
         charac = self.characterize()
-        calibrated = CalibratedCellLibrary.fit(charac)
+        with self.perf.timer("fit_models"):
+            calibrated = CalibratedCellLibrary.fit(charac)
 
-        path = self._cache_path("models")
-        if path is not None and path.exists():
-            with path.open() as fh:
-                doc = json.load(fh)
-            nsigma = NSigmaCellModel.from_dict(doc["nsigma"])
-            wire = WireVariabilityModel.from_dict(doc["wire"])
-            stage_rho = float(doc.get("stage_correlation", 1.0))
-        else:
-            from repro.core.correlation import estimate_stage_correlation
+            path = self._cache_path("models")
+            if path is not None and path.exists():
+                with path.open() as fh:
+                    doc = json.load(fh)
+                nsigma = NSigmaCellModel.from_dict(doc["nsigma"])
+                wire = WireVariabilityModel.from_dict(doc["wire"])
+                stage_rho = float(doc.get("stage_correlation", 1.0))
+            else:
+                from repro.core.correlation import estimate_stage_correlation
 
-            nsigma = self._fit_nsigma(charac)
-            wire = self._fit_wire(calibrated)
-            stage_rho = estimate_stage_correlation(
-                self.engine, self.library,
-                n_samples=max(600, self.n_samples))
-            if path is not None:
-                path.parent.mkdir(parents=True, exist_ok=True)
-                with path.open("w") as fh:
-                    json.dump(
-                        {
-                            "nsigma": nsigma.to_dict(),
-                            "wire": wire.to_dict(),
-                            "stage_correlation": stage_rho,
-                        },
-                        fh,
-                    )
+                nsigma = self._fit_nsigma(charac)
+                wire = self._fit_wire(calibrated)
+                stage_rho = estimate_stage_correlation(
+                    self.engine, self.library,
+                    n_samples=max(600, self.n_samples))
+                if path is not None:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    with path.open("w") as fh:
+                        json.dump(
+                            {
+                                "nsigma": nsigma.to_dict(),
+                                "wire": wire.to_dict(),
+                                "stage_correlation": stage_rho,
+                            },
+                            fh,
+                        )
         self._models = TimingModels(
             tech=self.tech,
             library=self.library,
@@ -299,5 +329,6 @@ class DelayCalibrationFlow:
     ) -> STAResult:
         """Run the statistical STA on a parasitic-annotated circuit."""
         models = self.fit_models()
-        sta = StatisticalSTA(circuit, models, input_slew=input_slew)
-        return sta.analyze(levels)
+        with self.perf.timer("analyze"):
+            sta = StatisticalSTA(circuit, models, input_slew=input_slew)
+            return sta.analyze(levels)

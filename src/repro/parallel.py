@@ -1,0 +1,145 @@
+"""Work-queue executor for independent simulation tasks.
+
+Every expensive loop in the reproduction — the slew×load
+characterization grid, golden path Monte-Carlo over many paths, wire
+sweeps — is a map over *independent* tasks. :func:`parallel_map` fans
+such maps out over a process pool while keeping three guarantees:
+
+* **serial fallback** — ``workers=1`` (the default) runs a plain list
+  comprehension in-process: no pool is spawned, no pickling happens,
+  and the code path is byte-for-byte the sequential one;
+* **determinism** — results are returned in task order regardless of
+  completion order, and callers derive per-task RNG seeds with
+  :func:`task_seed`, so a parallel run is bit-identical to a serial
+  run of the same task list;
+* **no oversubscription** — the pool size is capped by the task count.
+
+The worker count comes from the ``REPRO_WORKERS`` environment variable
+when not given explicitly (``0`` or ``auto`` → one worker per CPU).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+#: Environment variable consulted when ``workers`` is not passed explicitly.
+WORKERS_ENV = "REPRO_WORKERS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve the effective worker count.
+
+    Priority: explicit argument, then ``REPRO_WORKERS``, then 1 (serial).
+    ``0``, negative values and the string ``"auto"`` mean "one worker per
+    available CPU".
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip().lower()
+        if not raw:
+            return 1
+        if raw == "auto":
+            workers = 0
+        else:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be an integer or 'auto', got {raw!r}"
+                ) from None
+    if workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def task_seed(*parts) -> int:
+    """Derive a stable 63-bit seed from a master seed plus task identity.
+
+    Uses SHA-256 over the ``repr`` of the parts, so the value is
+    reproducible across processes and Python invocations (unlike
+    ``hash()``, which is salted). Tasks seeded this way are independent
+    of execution order — the cornerstone of parallel/serial bit-equality.
+    """
+    payload = repr(tuple(parts)).encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "little") >> 1
+
+
+@dataclass
+class ExecutorStats:
+    """Bookkeeping of one :func:`parallel_map` dispatch."""
+
+    tasks: int = 0
+    workers: int = 1
+    wall_s: float = 0.0
+    pooled: bool = False
+
+
+@dataclass
+class ParallelExecutor:
+    """Reusable work-queue front end with dispatch statistics.
+
+    Thin stateful wrapper over :func:`parallel_map`; the flow driver and
+    benchmarks use it to report how work was fanned out.
+    """
+
+    workers: Optional[int] = None
+    history: List[ExecutorStats] = field(default_factory=list)
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        tasks: Iterable[T],
+        chunksize: int = 1,
+    ) -> List[R]:
+        """Run ``fn`` over ``tasks``, recording dispatch statistics."""
+        tasks = list(tasks)
+        workers = resolve_workers(self.workers)
+        t0 = time.perf_counter()
+        out = parallel_map(fn, tasks, workers=workers, chunksize=chunksize)
+        self.history.append(
+            ExecutorStats(
+                tasks=len(tasks),
+                workers=min(workers, max(1, len(tasks))),
+                wall_s=time.perf_counter() - t0,
+                pooled=workers > 1 and len(tasks) > 1,
+            )
+        )
+        return out
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[R]:
+    """Map ``fn`` over ``tasks``, optionally across a process pool.
+
+    Parameters
+    ----------
+    fn:
+        A module-level (picklable) function of one task.
+    tasks:
+        The task list; results come back in the same order.
+    workers:
+        Worker count (see :func:`resolve_workers`). With one worker —
+        the default — the map runs serially in-process and no pool is
+        created.
+    chunksize:
+        Tasks per pickled work unit; raise above 1 only for very many
+        very cheap tasks.
+    """
+    tasks = list(tasks)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(tasks) <= 1:
+        return [fn(t) for t in tasks]
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        return list(pool.map(fn, tasks, chunksize=chunksize))

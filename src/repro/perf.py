@@ -1,0 +1,136 @@
+"""Lightweight performance counters for the simulation stack.
+
+A single :class:`PerfCounters` instance is threaded through the solver,
+the Monte-Carlo engine and the flow driver. The counters are plain
+integers/floats updated in hot loops (no locks, no timers inside the
+Newton iteration itself), so the overhead is negligible next to one
+batched linear solve.
+
+What is counted and why it matters:
+
+* ``newton_iterations`` / ``linear_solves`` — the raw work of the
+  implicit integrator. With per-sample convergence masking the two
+  diverge from the naive ``iterations × batch`` cost.
+* ``sample_solves`` vs ``full_sample_solves`` — actual vs unmasked
+  sample·solve count; their ratio is the *active-sample fraction*, the
+  direct measure of how much the masked kernel saves.
+* ``fast_solves`` — steps served by the shared-factorization fast path
+  (linear circuits, sample-independent Jacobian).
+* ``dc_steps`` / ``dc_early_exits`` — pseudo-transient DC settle cost
+  and how often it converges before its step budget.
+* ``wall_s`` — wall-clock seconds per named stage (``simulate``,
+  ``characterize``, ``fit_models``, ...), accumulated with
+  :meth:`PerfCounters.timer`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class PerfCounters:
+    """Accumulating performance counters (cheap to update, mergeable)."""
+
+    newton_iterations: int = 0
+    linear_solves: int = 0
+    sample_solves: int = 0
+    full_sample_solves: int = 0
+    fast_solves: int = 0
+    steps: int = 0
+    dc_steps: int = 0
+    dc_early_exits: int = 0
+    simulations: int = 0
+    wall_s: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def active_sample_fraction(self) -> float:
+        """Fraction of sample·solves actually performed vs the unmasked cost.
+
+        1.0 means no masking benefit; 0.4 means 60 % of the per-sample
+        Newton work was skipped because those samples had converged.
+        """
+        if self.full_sample_solves == 0:
+            return 1.0
+        return self.sample_solves / self.full_sample_solves
+
+    def add_wall(self, stage: str, seconds: float) -> None:
+        """Accumulate wall time under a stage label."""
+        self.wall_s[stage] = self.wall_s.get(stage, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, stage: str) -> Iterator[None]:
+        """Context manager accumulating the enclosed wall time."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_wall(stage, time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Fold another counter set (e.g. from a worker process) into this one."""
+        self.newton_iterations += other.newton_iterations
+        self.linear_solves += other.linear_solves
+        self.sample_solves += other.sample_solves
+        self.full_sample_solves += other.full_sample_solves
+        self.fast_solves += other.fast_solves
+        self.steps += other.steps
+        self.dc_steps += other.dc_steps
+        self.dc_early_exits += other.dc_early_exits
+        self.simulations += other.simulations
+        for stage, seconds in other.wall_s.items():
+            self.add_wall(stage, seconds)
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump (counters + derived active-sample fraction)."""
+        return {
+            "newton_iterations": self.newton_iterations,
+            "linear_solves": self.linear_solves,
+            "sample_solves": self.sample_solves,
+            "full_sample_solves": self.full_sample_solves,
+            "active_sample_fraction": round(self.active_sample_fraction, 4),
+            "fast_solves": self.fast_solves,
+            "steps": self.steps,
+            "dc_steps": self.dc_steps,
+            "dc_early_exits": self.dc_early_exits,
+            "simulations": self.simulations,
+            "wall_s": {k: round(v, 4) for k, v in self.wall_s.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PerfCounters":
+        """Rebuild counters from :meth:`to_dict` output (worker round-trip)."""
+        out = cls(
+            newton_iterations=int(data.get("newton_iterations", 0)),
+            linear_solves=int(data.get("linear_solves", 0)),
+            sample_solves=int(data.get("sample_solves", 0)),
+            full_sample_solves=int(data.get("full_sample_solves", 0)),
+            fast_solves=int(data.get("fast_solves", 0)),
+            steps=int(data.get("steps", 0)),
+            dc_steps=int(data.get("dc_steps", 0)),
+            dc_early_exits=int(data.get("dc_early_exits", 0)),
+            simulations=int(data.get("simulations", 0)),
+        )
+        out.wall_s = {k: float(v) for k, v in data.get("wall_s", {}).items()}
+        return out
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary for CLI output."""
+        lines = [
+            f"simulations: {self.simulations}  transient steps: {self.steps}  "
+            f"dc steps: {self.dc_steps} ({self.dc_early_exits} early exits)",
+            f"newton iterations: {self.newton_iterations}  "
+            f"linear solves: {self.linear_solves} "
+            f"({self.fast_solves} fast-path)  "
+            f"active-sample fraction: {self.active_sample_fraction:.2f}",
+        ]
+        if self.wall_s:
+            stages = "  ".join(f"{k}={v:.2f}s" for k, v in sorted(self.wall_s.items()))
+            lines.append(f"wall time: {stages}")
+        return "\n".join(lines)

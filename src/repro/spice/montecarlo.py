@@ -19,12 +19,14 @@ It serves three callers:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.perf import PerfCounters
 from repro.spice.measure import (
     crossing_time,
     fraction_settled,
@@ -149,6 +151,15 @@ class MonteCarloEngine:
     settle_fraction:
         Required fraction of samples settled to 95 % of the swing before
         measurement.
+    masked:
+        Use the convergence-masked Newton kernel (default; see
+        :class:`~repro.spice.transient.TransientSolver`).
+
+    Attributes
+    ----------
+    perf:
+        :class:`~repro.perf.PerfCounters` accumulated over every
+        simulation this engine runs (solver work + wall time).
     """
 
     def __init__(
@@ -159,13 +170,30 @@ class MonteCarloEngine:
         steps_per_window: int = 160,
         max_windows: int = 10,
         settle_fraction: float = 0.995,
+        masked: bool = True,
     ):
         self.tech = tech
         self.variation = variation
+        self.seed = seed
         self.sampler = MonteCarloSampler(variation, seed=seed)
         self.steps_per_window = steps_per_window
         self.max_windows = max_windows
         self.settle_fraction = settle_fraction
+        self.masked = masked
+        self.perf = PerfCounters()
+
+    def fidelity_opts(self) -> Dict[str, object]:
+        """Engine knobs (minus seed) for building an equivalent engine elsewhere.
+
+        Worker processes use this to reconstruct the engine configuration
+        when fanning characterization points out over a pool.
+        """
+        return {
+            "steps_per_window": self.steps_per_window,
+            "max_windows": self.max_windows,
+            "settle_fraction": self.settle_fraction,
+            "masked": self.masked,
+        }
 
     # ------------------------------------------------------------------
     def _input_end(self, setup: SimulationSetup, t_begin: float) -> float:
@@ -211,6 +239,7 @@ class MonteCarloEngine:
             Retain the recorded waveforms on the returned object (needed
             for stage chaining; memory-heavy for large batches).
         """
+        t_sim0 = time.perf_counter()
         netlist = setup.netlist
         compiled = netlist.compile(self.tech)
         if globals_ is None:
@@ -244,6 +273,8 @@ class MonteCarloEngine:
             r_scale=r_scale,
             c_scale=c_scale,
             dev_cap_scale=dev_cap_scale,
+            masked=self.masked,
+            perf=self.perf,
         )
 
         v0 = np.zeros((n_samples, compiled.n_unknown))
@@ -277,6 +308,8 @@ class MonteCarloEngine:
             more.waveforms = {k: v[:, 1:] for k, v in more.waveforms.items()}
             result = result.extended_with(more)
 
+        self.perf.simulations += 1
+        self.perf.add_wall("simulate", time.perf_counter() - t_sim0)
         return self._measure(setup, result, keep_waveforms)
 
     # ------------------------------------------------------------------

@@ -43,23 +43,18 @@ def _softplus(x: np.ndarray) -> np.ndarray:
     return np.logaddexp(0.0, x)
 
 
-def _sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic function."""
-    out = np.empty_like(x, dtype=float)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
-    return out
-
-
 def _interp_f(x: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
     """EKV interpolation function ``F(x) = softplus(x/2)^2`` and its derivative.
 
-    ``F'(x) = softplus(x/2) * sigmoid(x/2)``.
+    ``F'(x) = softplus(x/2) * sigmoid(x/2)``. The sigmoid is recovered
+    from the softplus through the identity
+    ``sigmoid(y) = 1 - exp(-softplus(y))`` — one ``expm1`` on an
+    always-nonpositive argument instead of a second branch-masked
+    exponential. This sits on the Newton hot path (every device, every
+    iteration, every Monte-Carlo sample), where the saving is material.
     """
     sp = _softplus(x * 0.5)
-    return sp * sp, sp * _sigmoid(x * 0.5)
+    return sp * sp, sp * -np.expm1(-sp)
 
 
 @dataclass(frozen=True)
@@ -93,6 +88,22 @@ class MosfetParams:
     phi_t: float
     dibl: float
     lam: float
+
+    def subset(self, rows: np.ndarray) -> "MosfetParams":
+        """Restrict per-sample parameter arrays to the given sample rows.
+
+        Used by the convergence-masked Newton kernel to evaluate the
+        device model only for still-unconverged Monte-Carlo samples.
+        Scalar parameters pass through unchanged.
+        """
+        return MosfetParams(
+            vt=self.vt[rows] if np.ndim(self.vt) else self.vt,
+            ispec=self.ispec[rows] if np.ndim(self.ispec) else self.ispec,
+            n_slope=self.n_slope,
+            phi_t=self.phi_t,
+            dibl=self.dibl,
+            lam=self.lam,
+        )
 
     @classmethod
     def from_technology(

@@ -600,6 +600,7 @@ class CompiledCircuit:
         t: float,
         params: List[MosfetParams],
         jac: Optional[np.ndarray] = None,
+        rows: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Sum of nonlinear device currents *leaving* each unknown node.
 
@@ -614,6 +615,11 @@ class CompiledCircuit:
         jac:
             Optional ``(n_samples, n_unknown, n_unknown)`` array; when
             given, device conductance stamps are accumulated into it.
+        rows:
+            Optional index array restricting the evaluation to a subset
+            of Monte-Carlo samples: ``v`` (and ``jac``) then cover only
+            those rows while ``params`` and per-sample fixed sources are
+            sliced here. Used by the convergence-masked Newton kernel.
 
         Returns
         -------
@@ -621,14 +627,23 @@ class CompiledCircuit:
             ``(n_samples, n_unknown)`` residual contribution.
         """
         n_samples = v.shape[0]
+
+        def fixv(node: str):
+            value = self.known_voltage(node, t)
+            if rows is not None and isinstance(value, np.ndarray) and value.ndim:
+                return value[rows]
+            return value
+
         out = np.zeros((n_samples, self.n_unknown))
         for (idx, fixed), m, p in zip(
             self.device_terminals, self.netlist.mosfets, params
         ):
+            if rows is not None:
+                p = p.subset(rows)
             (id_, ig, is_), (fd, fg, fs) = idx, fixed
-            vd = v[:, id_] if id_ >= 0 else self.known_voltage(fd, t)
-            vg = v[:, ig] if ig >= 0 else self.known_voltage(fg, t)
-            vs = v[:, is_] if is_ >= 0 else self.known_voltage(fs, t)
+            vd = v[:, id_] if id_ >= 0 else fixv(fd)
+            vg = v[:, ig] if ig >= 0 else fixv(fg)
+            vs = v[:, is_] if is_ >= 0 else fixv(fs)
             sign = -1.0 if m.is_pmos else 1.0
             ids, g_g, g_d, g_s = ekv_ids_and_derivatives(
                 sign * vg, sign * vd, sign * vs, p
@@ -642,11 +657,11 @@ class CompiledCircuit:
             if is_ >= 0:
                 out[:, is_] -= i_phys
             if jac is not None:
-                rows = []
+                stamp_rows = []
                 if id_ >= 0:
-                    rows.append((id_, 1.0))
+                    stamp_rows.append((id_, 1.0))
                 if is_ >= 0:
-                    rows.append((is_, -1.0))
+                    stamp_rows.append((is_, -1.0))
                 cols = []
                 if id_ >= 0:
                     cols.append((id_, g_d))
@@ -654,7 +669,7 @@ class CompiledCircuit:
                     cols.append((ig, g_g))
                 if is_ >= 0:
                     cols.append((is_, g_s))
-                for row, rsign in rows:
+                for row, rsign in stamp_rows:
                     for col, g in cols:
                         jac[:, row, col] += rsign * np.broadcast_to(g, (n_samples,))
         return out

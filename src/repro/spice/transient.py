@@ -15,16 +15,47 @@ Backward Euler is used rather than trapezoidal integration: it is
 L-stable (no numerical ringing on stiff RC stages) and its first-order
 error cancels almost perfectly in *delay differences* measured at fixed
 step counts; tests in ``tests/spice`` check step-halving convergence.
+
+Kernel optimizations (all opt-out via ``masked=False`` for reference
+comparisons, all within Newton-tolerance of the reference):
+
+* **convergence masking** — after the first couple of Newton iterations
+  most Monte-Carlo samples have converged; subsequent iterations
+  re-linearize and solve only the still-active subset (samples are
+  independent, so freezing converged rows is exact);
+* **buffer reuse** — the ``(n_samples, n, n)`` Jacobian stack is
+  allocated once per solver and reused across every time step;
+* **Newton prediction** — each step starts from a quadratic
+  extrapolation of the trailing states instead of the previous state;
+  the predictor only moves the starting iterate (the converged fixed
+  point is unchanged) but collapses most samples on smooth waveform
+  segments to a single solve-and-confirm iteration;
+* **small-system adjugate solve** — ``n <= 3`` Jacobian stacks are
+  inverted with an elementwise Cramer expansion over the sample axis,
+  several times faster than the batched LAPACK dispatch at cell-circuit
+  sizes;
+* **linear fast path** — circuits without nonlinear devices and with a
+  sample-independent conductance matrix (2-D ``_gmat``, 1-D ``_cvec``)
+  factorize one ``(n, n)`` system per step size and back-substitute all
+  samples at once instead of solving an ``(n_samples, n, n)`` stack.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+try:  # scipy is a declared dependency; guard anyway for minimal installs
+    from scipy.linalg import lu_factor, lu_solve
+
+    _HAVE_SCIPY_LU = True
+except Exception:  # pragma: no cover - exercised only without scipy
+    _HAVE_SCIPY_LU = False
+
 from repro.errors import SimulationError
+from repro.perf import PerfCounters
 from repro.spice.netlist import CompiledCircuit
 from repro.variation.sampling import ParameterSample
 
@@ -83,6 +114,13 @@ class TransientSolver:
     damp:
         Per-iteration clamp on the Newton update magnitude (volts);
         prevents overshoot through the exponential device regions.
+    masked:
+        Enable per-sample convergence masking (default). ``False``
+        selects the reference kernel that iterates every sample until
+        the whole batch converges — kept for numerical A/B tests.
+    perf:
+        Optional :class:`~repro.perf.PerfCounters` accumulating Newton
+        iterations, linear solves and active-sample statistics.
     """
 
     def __init__(
@@ -95,6 +133,8 @@ class TransientSolver:
         max_newton: int = 12,
         dv_tol: float = 1e-5,
         damp: float = 0.3,
+        masked: bool = True,
+        perf: Optional[PerfCounters] = None,
     ):
         self.compiled = compiled
         self.sample = sample
@@ -104,39 +144,297 @@ class TransientSolver:
         self.max_newton = max_newton
         self.dv_tol = dv_tol
         self.damp = damp
+        self.masked = masked
+        self.perf = perf
         self._gmat, self._known_pulls, self._cvec = compiled.build_linear(
             r_scale, c_scale, dev_cap_scale
         )
+        # Pre-allocated Jacobian stack, reused by every Newton iteration
+        # of every time step (the reference kernel used to allocate one
+        # (S, n, n) array per step).
+        self._jac_buf = np.empty((self.n_samples, self.n, self.n))
+        self._diag_idx = np.arange(self.n)
+        # Fast path: no nonlinear devices and sample-independent linear
+        # stamps -> the step matrix is one (n, n) system shared by all
+        # samples; factorize it once per step size.
+        self._fast_linear = (
+            not compiled.netlist.mosfets
+            and self._gmat.ndim == 2
+            and self._cvec.ndim == 1
+        )
+        self._fast_factors: Dict[float, object] = {}
+        names = [""] * self.n
+        for name, i in compiled.node_index.items():
+            names[i] = name
+        self._node_names = names
 
     # ------------------------------------------------------------------
-    def _linear_currents(self, v: np.ndarray, t: float) -> np.ndarray:
+    def _linear_currents(
+        self, v: np.ndarray, t: float, rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Linear (resistor) currents for the given state rows.
+
+        ``rows`` restricts per-sample stamps and per-sample fixed-node
+        sources to a subset of Monte-Carlo samples (``v`` already covers
+        only those rows).
+        """
         if self._gmat.ndim == 2:
             out = v @ self._gmat.T
         else:
-            out = np.einsum("snm,sm->sn", self._gmat, v)
+            gmat = self._gmat if rows is None else self._gmat[rows]
+            out = np.einsum("snm,sm->sn", gmat, v)
         for i, g, node in self._known_pulls:
-            out[:, i] -= g * self.compiled.known_voltage(node, t)
+            if rows is not None and np.ndim(g):
+                g = g[rows]
+            known = self.compiled.known_voltage(node, t)
+            if rows is not None and isinstance(known, np.ndarray) and known.ndim:
+                known = known[rows]
+            out[:, i] -= g * known
         return out
 
-    def _step(self, v_prev: np.ndarray, t_new: float, dt: float) -> np.ndarray:
-        """One backward-Euler step from ``v_prev`` to time ``t_new``."""
+    # ------------------------------------------------------------------
+    # Error diagnostics
+    # ------------------------------------------------------------------
+    def _nonfinite_message(self, v: np.ndarray, t_new: float) -> str:
+        bad = np.argwhere(~np.isfinite(v))
+        nodes = sorted({self._node_names[j] for _, j in bad[:16]})
+        n_bad = len({int(s) for s, _ in bad})
+        return (
+            f"non-finite state at t={t_new:g} on node(s) {', '.join(nodes)} "
+            f"({n_bad}/{self.n_samples} samples affected)"
+        )
+
+    def _singular_message(self, jac: np.ndarray, t_new: float) -> str:
+        # Identify near-zero pivot rows so the message names the culprit
+        # nodes instead of just the time point (error path only).
+        if jac.ndim == 2:
+            jac = jac[None]
+        row_mag = np.max(np.abs(jac), axis=2)  # (S, n)
+        scale = max(float(np.max(row_mag)), 1.0)
+        bad_rows = np.argwhere(row_mag < 1e-12 * scale)
+        nodes = sorted({self._node_names[j] for _, j in bad_rows[:16]})
+        detail = f" on node(s) {', '.join(nodes)}" if nodes else ""
+        return f"singular Jacobian at t={t_new:g}{detail}"
+
+    # ------------------------------------------------------------------
+    # Step kernels
+    # ------------------------------------------------------------------
+    def _solve_stack(
+        self, jac: np.ndarray, resid: np.ndarray, t_new: float
+    ) -> np.ndarray:
+        """Newton update ``-J^{-1} r`` for a ``(S, n, n)`` Jacobian stack.
+
+        At cell-circuit sizes (``n <= 3``) the batched LAPACK dispatch of
+        :func:`numpy.linalg.solve` is dominated by per-matrix overhead;
+        an explicit adjugate (Cramer) solve is pure elementwise
+        arithmetic over the sample axis and several times faster. Larger
+        stacks fall back to the batched solver. Exactly singular systems
+        raise :class:`SimulationError` naming the offending nodes either
+        way.
+        """
+        n = jac.shape[-1]
+        if n > 3:
+            try:
+                return np.linalg.solve(jac, -resid[..., None])[..., 0]
+            except np.linalg.LinAlgError as exc:
+                raise SimulationError(self._singular_message(jac, t_new)) from exc
+        if n == 1:
+            det = jac[:, 0, 0]
+            if np.any(det == 0.0):
+                raise SimulationError(self._singular_message(jac, t_new))
+            return -resid / det[:, None]
+        delta = np.empty_like(resid)
+        if n == 2:
+            a, b = jac[:, 0, 0], jac[:, 0, 1]
+            c, d = jac[:, 1, 0], jac[:, 1, 1]
+            det = a * d - b * c
+            if np.any(det == 0.0):
+                raise SimulationError(self._singular_message(jac, t_new))
+            inv_det = -1.0 / det
+            r0, r1 = resid[:, 0], resid[:, 1]
+            delta[:, 0] = (d * r0 - b * r1) * inv_det
+            delta[:, 1] = (a * r1 - c * r0) * inv_det
+            return delta
+        a, b, c = jac[:, 0, 0], jac[:, 0, 1], jac[:, 0, 2]
+        d, e, f = jac[:, 1, 0], jac[:, 1, 1], jac[:, 1, 2]
+        g, h, i = jac[:, 2, 0], jac[:, 2, 1], jac[:, 2, 2]
+        ca = e * i - f * h  # cofactors, arranged so rows of (ca cb cc /
+        cb = c * h - b * i  # cd ce cf / cg ch ci) form the inverse
+        cc = b * f - c * e
+        cd = f * g - d * i
+        ce = a * i - c * g
+        cf = c * d - a * f
+        cg = d * h - e * g
+        ch = b * g - a * h
+        ci = a * e - b * d
+        det = a * ca + b * cd + c * cg
+        if np.any(det == 0.0):
+            raise SimulationError(self._singular_message(jac, t_new))
+        inv_det = -1.0 / det
+        r0, r1, r2 = resid[:, 0], resid[:, 1], resid[:, 2]
+        delta[:, 0] = (ca * r0 + cb * r1 + cc * r2) * inv_det
+        delta[:, 1] = (cd * r0 + ce * r1 + cf * r2) * inv_det
+        delta[:, 2] = (cg * r0 + ch * r1 + ci * r2) * inv_det
+        return delta
+
+    def _step(
+        self,
+        v_prev: np.ndarray,
+        t_new: float,
+        dt: float,
+        v_guess: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """One backward-Euler step from ``v_prev`` to time ``t_new``.
+
+        ``v_guess`` is an optional predicted state used by the masked
+        kernel as the Newton starting point; the reference kernel
+        ignores it (it always starts from ``v_prev``, like the
+        pre-optimization solver).
+        """
+        if self._fast_linear:
+            return self._step_fast(v_prev, t_new, dt)
+        if self.masked:
+            return self._step_masked(v_prev, t_new, dt, v_guess)
+        return self._step_reference(v_prev, t_new, dt)
+
+    def _fast_factorization(self, dt: float, c_over_dt: np.ndarray):
+        """Per-``dt`` cached factorization of the linear step matrix."""
+        key = float(dt)
+        factor = self._fast_factors.get(key)
+        if factor is None:
+            a = self._gmat + np.diag(c_over_dt)
+            if _HAVE_SCIPY_LU:
+                factor = ("lu", lu_factor(a))
+            else:  # pragma: no cover - exercised only without scipy
+                factor = ("dense", a)
+            self._fast_factors[key] = factor
+        return factor
+
+    def _fast_solve(self, factor, rhs: np.ndarray) -> np.ndarray:
+        """Solve the shared (n, n) system against an (S, n) right-hand side."""
+        kind, data = factor
+        if kind == "lu":
+            return lu_solve(data, rhs.T).T
+        return np.linalg.solve(data, rhs.T).T  # pragma: no cover
+
+    def _step_fast(self, v_prev: np.ndarray, t_new: float, dt: float) -> np.ndarray:
+        """Linear-circuit step: one shared factorization, all samples at once."""
+        c_over_dt = self._cvec / dt
+        factor = self._fast_factorization(dt, c_over_dt)
+        v = v_prev.copy()
+        for _ in range(self.max_newton):
+            resid = (v - v_prev) * c_over_dt + self._linear_currents(v, t_new)
+            delta = self._fast_solve(factor, -resid)
+            np.clip(delta, -self.damp, self.damp, out=delta)
+            v += delta
+            if self.perf is not None:
+                self.perf.newton_iterations += 1
+                self.perf.linear_solves += 1
+                self.perf.fast_solves += 1
+                self.perf.sample_solves += self.n_samples
+                self.perf.full_sample_solves += self.n_samples
+            if not np.all(np.isfinite(v)):
+                raise SimulationError(self._nonfinite_message(v, t_new))
+            if np.max(np.abs(delta)) < self.dv_tol:
+                break
+        return v
+
+    def _step_masked(
+        self,
+        v_prev: np.ndarray,
+        t_new: float,
+        dt: float,
+        v_guess: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Newton step that re-solves only the still-unconverged samples.
+
+        Monte-Carlo samples are independent (the Jacobian is block
+        diagonal across samples), so freezing a converged sample's state
+        while others keep iterating is exact — not an approximation.
+
+        When ``v_guess`` is given (:meth:`run` extrapolates it from the
+        trailing states) the iteration starts there instead of at
+        ``v_prev``, with the jump clamped to ``damp`` like any Newton
+        update: on smooth waveform segments the prediction already sits
+        within tolerance of the backward-Euler solution, so most samples
+        converge in a single iteration instead of solve-then-confirm.
+        The converged result is the same Newton fixed point either way.
+        """
+        c_over_dt = self._cvec / dt  # (n,) or (S, n)
+        if v_guess is None:
+            v = v_prev.copy()
+        else:
+            v = v_prev + np.clip(v_guess - v_prev, -self.damp, self.damp)
+        n_all = self.n_samples
+        rows: Optional[np.ndarray] = None  # None = every sample still active
+        n_active = n_all
+        for _ in range(self.max_newton):
+            va = v if rows is None else v[rows]
+            vp = v_prev if rows is None else v_prev[rows]
+            if c_over_dt.ndim == 1 or rows is None:
+                codt = c_over_dt
+            else:
+                codt = c_over_dt[rows]
+            jac = self._jac_buf[:n_active]
+            if self._gmat.ndim == 2 or rows is None:
+                jac[:] = self._gmat
+            else:
+                jac[:] = self._gmat[rows]
+            dev = self.compiled.device_currents(
+                va, t_new, self.params, jac=jac, rows=rows
+            )
+            resid = (va - vp) * codt + self._linear_currents(va, t_new, rows) + dev
+            jac[:, self._diag_idx, self._diag_idx] += codt
+            delta = self._solve_stack(jac, resid, t_new)
+            np.clip(delta, -self.damp, self.damp, out=delta)
+            if rows is None:
+                v += delta
+            else:
+                v[rows] += delta
+            if self.perf is not None:
+                self.perf.newton_iterations += 1
+                self.perf.linear_solves += 1
+                self.perf.sample_solves += n_active
+                self.perf.full_sample_solves += n_all
+            if not np.all(np.isfinite(delta)):
+                raise SimulationError(self._nonfinite_message(v, t_new))
+            # A sample whose update fell below tolerance is converged and
+            # drops out of the next iteration's linearization and solve.
+            still = np.max(np.abs(delta), axis=1) >= self.dv_tol
+            if not still.any():
+                break
+            rows = np.flatnonzero(still) if rows is None else rows[still]
+            n_active = rows.size
+        return v
+
+    def _step_reference(self, v_prev: np.ndarray, t_new: float, dt: float) -> np.ndarray:
+        """Reference kernel: every sample iterates until the batch converges.
+
+        Numerically this is the original (pre-masking) solver; it shares
+        the pre-allocated Jacobian buffer but none of the masking logic,
+        so A/B tests can bound the masking error directly.
+        """
         c_over_dt = self._cvec / dt  # (n,) or (S, n)
         v = v_prev.copy()
-        jac = np.empty((self.n_samples, self.n, self.n))
+        jac = self._jac_buf
         for _ in range(self.max_newton):
             jac[:] = self._gmat  # broadcasts (n,n) or copies (S,n,n)
             dev = self.compiled.device_currents(v, t_new, self.params, jac=jac)
             resid = (v - v_prev) * c_over_dt + self._linear_currents(v, t_new) + dev
-            idx = np.arange(self.n)
-            jac[:, idx, idx] += c_over_dt
+            jac[:, self._diag_idx, self._diag_idx] += c_over_dt
             try:
                 delta = np.linalg.solve(jac, -resid[..., None])[..., 0]
-            except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
-                raise SimulationError(f"singular Jacobian at t={t_new:g}") from exc
+            except np.linalg.LinAlgError as exc:
+                raise SimulationError(self._singular_message(jac, t_new)) from exc
             np.clip(delta, -self.damp, self.damp, out=delta)
             v += delta
+            if self.perf is not None:
+                self.perf.newton_iterations += 1
+                self.perf.linear_solves += 1
+                self.perf.sample_solves += self.n_samples
+                self.perf.full_sample_solves += self.n_samples
             if not np.all(np.isfinite(v)):
-                raise SimulationError(f"non-finite state at t={t_new:g}")
+                raise SimulationError(self._nonfinite_message(v, t_new))
             if np.max(np.abs(delta)) < self.dv_tol:
                 break
         return v
@@ -151,14 +449,20 @@ class TransientSolver:
     ) -> np.ndarray:
         """Pseudo-transient DC solve: relax ``v0`` toward the operating point.
 
-        Runs ``steps`` large backward-Euler steps with sources frozen at
-        time ``t``. Robust where a plain Newton DC solve would need
-        source stepping, at negligible cost.
+        Runs up to ``steps`` large backward-Euler steps with sources
+        frozen at time ``t``, exiting early once the state stops moving.
+        Robust where a plain Newton DC solve would need source stepping,
+        at negligible cost. Early exits and per-step costs are tracked
+        in :attr:`perf` when counters are attached.
         """
         v = np.array(v0, dtype=float, copy=True)
         for _ in range(steps):
             v_new = self._step(v, t, dt)
+            if self.perf is not None:
+                self.perf.dc_steps += 1
             if np.max(np.abs(v_new - v)) < self.dv_tol:
+                if self.perf is not None:
+                    self.perf.dc_early_exits += 1
                 return v_new
             v = v_new
         return v
@@ -201,9 +505,26 @@ class TransientSolver:
         times = t_start + dt * np.arange(n_steps + 1)
         waves = {name: np.empty((self.n_samples, n_steps + 1)) for name in record}
         self._record_into(waves, 0, v, t_start)
+        # Trailing states feed the masked kernel's Newton predictor:
+        # quadratic extrapolation once two back-states exist, linear with
+        # one, none on the first step. The predictor only moves the
+        # starting iterate — convergence is still judged per update.
+        v1: Optional[np.ndarray] = None  # state one step back
+        v2: Optional[np.ndarray] = None  # state two steps back
         for k in range(1, n_steps + 1):
-            v = self._step(v, times[k], dt)
+            if v2 is not None:
+                guess = 3.0 * v - 3.0 * v1 + v2
+            elif v1 is not None:
+                guess = 2.0 * v - v1
+            else:
+                guess = None
+            v_new = self._step(v, times[k], dt, v_guess=guess)
+            v2 = v1
+            v1 = v
+            v = v_new
             self._record_into(waves, k, v, times[k])
+        if self.perf is not None:
+            self.perf.steps += n_steps
         return TransientResult(times=times, waveforms=waves, final_state=v)
 
     def _record_into(

@@ -84,3 +84,26 @@ class TestGoldenMC:
         _, mc = golden_run
         median = mc.quantiles[0]
         assert (mc.quantiles[3] - median) > (median - mc.quantiles[-3])
+
+
+class TestRunPaths:
+    def test_matches_direct_run_any_worker_count(
+        self, adder_circuit, mini_flow, mini_models
+    ):
+        from repro.baselines.golden import run_paths
+
+        sta = StatisticalSTA(adder_circuit, mini_models)
+        path = sta.analyze().critical_path
+        direct = GoldenPathMC(
+            adder_circuit, mini_flow.library, mini_flow.tech,
+            mini_flow.variation, seed=9,
+        ).run(path, n_samples=60)
+        for workers in (1, 2):
+            batch = run_paths(
+                adder_circuit, mini_flow.library, mini_flow.tech,
+                mini_flow.variation, [path, path], n_samples=60, seed=9,
+                workers=workers,
+            )
+            assert len(batch) == 2
+            for res in batch:
+                assert np.array_equal(res.delay, direct.delay, equal_nan=True)

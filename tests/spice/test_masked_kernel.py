@@ -1,0 +1,209 @@
+"""Masked-Newton kernel vs the reference kernel, fast path, perf counters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.perf import PerfCounters
+from repro.spice.measure import ramp_time_for_slew
+from repro.spice.montecarlo import MonteCarloEngine, SimulationSetup
+from repro.spice.netlist import PiecewiseLinearSource, TransistorNetlist
+from repro.spice.transient import TransientSolver
+from repro.units import FF, PS
+from repro.variation.sampling import ParameterSample
+
+
+def inverter_setup(tech, load=1 * FF):
+    net = TransistorNetlist()
+    net.fix("vdd", tech.vdd)
+    net.fix("in", PiecewiseLinearSource.ramp(0, tech.vdd, 5 * PS,
+                                             ramp_time_for_slew(20 * PS)))
+    net.add_mosfet("mp", "p", "out", "in", "vdd", tech.unit_pmos_width)
+    net.add_mosfet("mn", "n", "out", "in", "gnd", tech.unit_nmos_width)
+    net.add_resistor("rw", "out", "leaf", 400.0)
+    net.add_capacitor("cw", "leaf", 0.5 * FF)
+    net.add_capacitor("cl", "leaf", load)
+    return SimulationSetup(
+        netlist=net, input_node="in", output_node="leaf",
+        input_rising=True, output_rising=False,
+        initial_voltages={"out": tech.vdd, "leaf": tech.vdd},
+    )
+
+
+class TestMaskedVsReference:
+    @pytest.mark.parametrize("n_samples", [16, 256])
+    def test_delays_match_reference_kernel(self, tech, variation, n_samples):
+        setup = inverter_setup(tech)
+        res = {}
+        for masked in (False, True):
+            engine = MonteCarloEngine(tech, variation, seed=11, masked=masked)
+            res[masked] = engine.simulate(setup, n_samples)
+        dev = np.nanmax(np.abs(res[True].delay - res[False].delay))
+        assert dev < 1e-12
+        slew_dev = np.nanmax(np.abs(res[True].output_slew - res[False].output_slew))
+        assert slew_dev < 1e-12
+
+    def test_masked_skips_converged_samples(self, tech, variation):
+        engine = MonteCarloEngine(tech, variation, seed=11, masked=True)
+        engine.simulate(inverter_setup(tech), 256)
+        perf = engine.perf
+        assert perf.full_sample_solves > 0
+        assert perf.sample_solves < perf.full_sample_solves
+        assert 0.0 < perf.active_sample_fraction < 1.0
+
+    def test_predictor_reduces_newton_iterations(self, tech, variation):
+        # The extrapolated starting iterate collapses smooth-segment
+        # steps to one iteration; the reference kernel always needs the
+        # solve-then-confirm pair at minimum wherever the state moves.
+        iters = {}
+        for masked in (False, True):
+            engine = MonteCarloEngine(tech, variation, seed=11, masked=masked)
+            engine.simulate(inverter_setup(tech), 64)
+            iters[masked] = engine.perf.newton_iterations
+        assert iters[True] < iters[False]
+
+    def test_reference_kernel_counts_full_batch(self, tech, variation):
+        engine = MonteCarloEngine(tech, variation, seed=11, masked=False)
+        engine.simulate(inverter_setup(tech), 64)
+        assert engine.perf.sample_solves == engine.perf.full_sample_solves
+        assert engine.perf.active_sample_fraction == 1.0
+
+
+class TestFastLinearPath:
+    def _compiled_rc(self, tech):
+        net = TransistorNetlist()
+        net.fix("src", PiecewiseLinearSource.ramp(0, tech.vdd, 5 * PS, 20 * PS))
+        net.add_resistor("r", "src", "mid", 1000.0)
+        net.add_resistor("r2", "mid", "out", 500.0)
+        net.add_capacitor("cm", "mid", 4 * FF)
+        net.add_capacitor("c", "out", 10 * FF)
+        return net.compile(tech)
+
+    def test_fast_path_selected_for_linear_circuit(self, tech):
+        compiled = self._compiled_rc(tech)
+        perf = PerfCounters()
+        solver = TransientSolver(compiled, ParameterSample.nominal(8, 0), perf=perf)
+        assert solver._fast_linear
+        solver.run(np.zeros((8, 2)), 0.0, 100 * PS, 50, record=["out"])
+        assert perf.fast_solves > 0
+        assert perf.fast_solves == perf.linear_solves
+
+    def test_fast_path_matches_stacked_solver(self, tech):
+        compiled = self._compiled_rc(tech)
+        n = 8
+        fast = TransientSolver(compiled, ParameterSample.nominal(n, 0))
+        assert fast._fast_linear
+        # Per-sample (but unit) resistor scales force the general stacked
+        # kernel, which must agree with the shared-factorization path.
+        stacked = TransientSolver(
+            compiled, ParameterSample.nominal(n, 0),
+            r_scale=np.ones((n, 2)),
+        )
+        assert not stacked._fast_linear
+        v0 = np.zeros((n, 2))
+        a = fast.run(v0, 0.0, 200 * PS, 100, record=["out"]).voltage("out")
+        b = stacked.run(v0, 0.0, 200 * PS, 100, record=["out"]).voltage("out")
+        assert np.max(np.abs(a - b)) < 1e-9
+
+    def test_factorization_reused_across_steps(self, tech):
+        compiled = self._compiled_rc(tech)
+        solver = TransientSolver(compiled, ParameterSample.nominal(4, 0))
+        solver.run(np.zeros((4, 2)), 0.0, 100 * PS, 80, record=["out"])
+        assert len(solver._fast_factors) == 1  # one dt -> one factorization
+
+
+class TestDcSettlePerf:
+    def test_dc_settle_early_exit_counted(self, tech):
+        net = TransistorNetlist()
+        net.fix("src", 0.3)
+        net.add_resistor("r", "src", "out", 1000.0)
+        net.add_capacitor("c", "out", 10 * FF)
+        compiled = net.compile(tech)
+        perf = PerfCounters()
+        solver = TransientSolver(compiled, ParameterSample.nominal(4, 0), perf=perf)
+        v = solver.dc_settle(np.zeros((4, 1)))
+        assert np.allclose(v, 0.3, atol=1e-3)
+        assert perf.dc_early_exits == 1
+        assert 0 < perf.dc_steps < 60  # converged before the step budget
+
+
+class TestSingularDiagnostics:
+    def _floating_solver(self, tech, masked=True):
+        # Two nodes joined only by a resistor; per-sample stamps force
+        # the stacked (non-fast) kernel.
+        net = TransistorNetlist()
+        net.add_resistor("r", "float_a", "float_b", 1000.0)
+        compiled = net.compile(tech)
+        return TransientSolver(
+            compiled, ParameterSample.nominal(4, 0),
+            r_scale=np.ones((4, 1)), masked=masked,
+        )
+
+    def test_singular_message_names_pivot_nodes(self, tech):
+        solver = self._floating_solver(tech)
+        jac = np.zeros((4, 2, 2))
+        jac[:, 0, 0] = 1.0  # row for float_b is all-zero -> named
+        msg = solver._singular_message(jac, t_new=3e-12)
+        assert "singular Jacobian" in msg
+        assert "float_b" in msg
+        assert "3e-12" in msg
+
+    def test_linalg_error_becomes_simulation_error(self, tech, monkeypatch):
+        # The reference kernel always goes through the batched LAPACK
+        # solve; its LinAlgError must surface as a SimulationError.
+        solver = self._floating_solver(tech, masked=False)
+        assert not solver._fast_linear
+
+        def raise_singular(*args, **kwargs):
+            raise np.linalg.LinAlgError("Singular matrix")
+
+        monkeypatch.setattr(np.linalg, "solve", raise_singular)
+        with pytest.raises(SimulationError, match="singular Jacobian"):
+            solver.run(np.zeros((4, 2)), 0.0, 1 * PS, 2, record=[])
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_adjugate_solve_detects_singular_stack(self, tech, n):
+        # A resistor chain with n unknown nodes, so the stack size
+        # matches the solver's node table for the diagnostic message.
+        net = TransistorNetlist()
+        prev = "gnd"
+        for i in range(n):
+            net.add_resistor(f"r{i}", prev, f"f{i}", 1000.0)
+            prev = f"f{i}"
+        solver = TransientSolver(
+            net.compile(tech), ParameterSample.nominal(4, 0),
+            r_scale=np.ones((4, n)), masked=True,
+        )
+        jac = np.zeros((4, n, n))  # det == 0 for every sample
+        resid = np.ones((4, n))
+        with pytest.raises(SimulationError, match="singular Jacobian"):
+            solver._solve_stack(jac, resid, t_new=1e-12)
+
+    def test_large_stack_falls_back_to_lapack(self, tech, monkeypatch):
+        solver = self._floating_solver(tech)
+
+        def raise_singular(*args, **kwargs):
+            raise np.linalg.LinAlgError("Singular matrix")
+
+        monkeypatch.setattr(np.linalg, "solve", raise_singular)
+        jac = np.eye(4)[None].repeat(2, axis=0)  # n = 4 > adjugate limit
+        with pytest.raises(SimulationError, match="singular Jacobian"):
+            solver._solve_stack(jac, np.ones((2, 4)), t_new=1e-12)
+
+
+class TestAdjugateSolve:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_matches_lapack_on_random_stacks(self, tech, n):
+        net = TransistorNetlist()
+        net.add_resistor("r", "float_a", "float_b", 1000.0)
+        solver = TransientSolver(
+            net.compile(tech), ParameterSample.nominal(8, 0),
+            r_scale=np.ones((8, 1)),
+        )
+        rng = np.random.default_rng(3)
+        # Diagonally dominated stacks, like a C/dt-augmented Jacobian.
+        jac = rng.normal(size=(8, n, n)) + 4.0 * np.eye(n)
+        resid = rng.normal(size=(8, n))
+        got = solver._solve_stack(jac, resid, t_new=0.0)
+        want = np.linalg.solve(jac, -resid[..., None])[..., 0]
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-14)

@@ -1,0 +1,93 @@
+"""Content-hashed JSON cache: keys, hit/miss accounting, purge."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    JsonCache,
+    content_key,
+    default_cache_dir,
+)
+
+
+class TestContentKey:
+    def test_stable(self):
+        payload = {"a": 1, "b": [1, 2, 3]}
+        assert content_key(payload) == content_key(dict(payload))
+
+    def test_key_order_irrelevant(self):
+        assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+
+    def test_any_payload_change_changes_key(self):
+        base = {"tech": {"vdd": 0.6}, "n_samples": 250, "seed": 7}
+        for mutated in (
+            {**base, "n_samples": 251},
+            {**base, "seed": 8},
+            {**base, "tech": {"vdd": 0.7}},
+            {**base, "extra": None},
+        ):
+            assert content_key(mutated) != content_key(base)
+
+    def test_non_json_values_fall_back_to_repr(self):
+        key = content_key({"grid": (1.0, 2.0)})
+        assert len(key) == 16
+        assert key == content_key({"grid": (1.0, 2.0)})
+
+
+class TestDefaultDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+    def test_fallback(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert str(default_cache_dir()) == DEFAULT_CACHE_DIR
+
+
+class TestJsonCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = JsonCache(tmp_path)
+        assert cache.get("arc", "abc") is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.put("arc", "abc", {"x": 1})
+        assert cache.get("arc", "abc") == {"x": 1}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_content_hash_miss_on_changed_payload(self, tmp_path):
+        cache = JsonCache(tmp_path)
+        k1 = content_key({"n_samples": 100})
+        k2 = content_key({"n_samples": 200})
+        cache.put("arc", k1, {"data": "for-100"})
+        assert cache.get("arc", k2) is None
+        assert cache.get("arc", k1) == {"data": "for-100"}
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = JsonCache(tmp_path)
+        path = cache.put("arc", "k", {"ok": True})
+        path.write_text("{not json")
+        assert cache.get("arc", "k") is None
+
+    def test_put_is_atomic_no_tmp_left_behind(self, tmp_path):
+        cache = JsonCache(tmp_path)
+        cache.put("arc", "k", {"ok": True})
+        assert not list(tmp_path.glob("*.tmp"))
+        with cache.path("arc", "k").open() as fh:
+            assert json.load(fh) == {"ok": True}
+
+    def test_purge_by_kind(self, tmp_path):
+        cache = JsonCache(tmp_path)
+        cache.put("arc", "a", {})
+        cache.put("arc", "b", {})
+        cache.put("models", "c", {})
+        assert cache.purge("arc") == 2
+        assert cache.get("models", "c") == {}
+        assert cache.purge() == 1
+        assert cache.purge() == 0
+
+    def test_purge_missing_dir(self, tmp_path):
+        assert JsonCache(tmp_path / "never-created").purge() == 0

@@ -1,0 +1,125 @@
+"""Work-queue executor: worker resolution, seeding, and serial fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.parallel as parallel
+from repro.parallel import (
+    WORKERS_ENV,
+    ParallelExecutor,
+    parallel_map,
+    resolve_workers,
+    task_seed,
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+        assert resolve_workers(None) == 1
+
+    def test_env_var_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers() == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers(2) == 2
+
+    def test_auto_and_zero_mean_all_cores(self, monkeypatch):
+        import os
+
+        cores = os.cpu_count() or 1
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(0) == cores
+        assert resolve_workers(-1) == cores
+        monkeypatch.setenv(WORKERS_ENV, "auto")
+        assert resolve_workers() == cores
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "not-a-number")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers()
+
+
+class TestTaskSeed:
+    def test_stable_across_calls(self):
+        assert task_seed(7, "INVx1", "A", "fall", 0, 0) == task_seed(
+            7, "INVx1", "A", "fall", 0, 0
+        )
+
+    def test_distinct_for_distinct_parts(self):
+        seeds = {
+            task_seed(7, "INVx1", "A", "fall", i, j)
+            for i in range(5)
+            for j in range(5)
+        }
+        assert len(seeds) == 25
+
+    def test_fits_in_numpy_seed_range(self):
+        s = task_seed("anything", 123)
+        np.random.default_rng(s)  # must not raise
+        assert 0 <= s < 2**63
+
+
+class TestParallelMap:
+    def test_serial_matches_pool(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        tasks = list(range(20))
+        assert parallel_map(_square, tasks, workers=1) == parallel_map(
+            _square, tasks, workers=2
+        )
+
+    def test_preserves_task_order(self):
+        tasks = list(range(50))
+        assert parallel_map(_square, tasks, workers=2) == [t * t for t in tasks]
+
+    def test_workers_one_never_spawns_pool(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("ProcessPoolExecutor spawned for workers=1")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", boom)
+        assert parallel_map(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_single_task_stays_serial(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("pool spawned for a single task")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", boom)
+        assert parallel_map(_square, [5], workers=8) == [25]
+
+    def test_empty_tasks(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ZeroDivisionError):
+            parallel_map(_reciprocal, [1, 0], workers=2)
+
+
+def _reciprocal(x):
+    return 1 / x
+
+
+class TestParallelExecutor:
+    def test_records_dispatch_stats(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        ex = ParallelExecutor(workers=1)
+        out = ex.map(_square, [1, 2, 3])
+        assert out == [1, 4, 9]
+        assert len(ex.history) == 1
+        stats = ex.history[0]
+        assert stats.tasks == 3
+        assert stats.workers == 1
+        assert not stats.pooled
+
+    def test_pooled_dispatch_flagged(self):
+        ex = ParallelExecutor(workers=2)
+        assert ex.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+        assert ex.history[-1].pooled
