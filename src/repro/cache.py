@@ -33,16 +33,36 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get(CACHE_DIR_ENV, "") or DEFAULT_CACHE_DIR)
 
 
-def content_key(payload: Any, length: int = 16) -> str:
+def version_salt() -> Dict[str, str]:
+    """Identity of the code that produces cached artifacts.
+
+    Folding the package version into every content key means a release
+    that changes the physics (device model, solver, calibration math)
+    invalidates all previously cached characterization tables instead
+    of replaying stale data forever.
+    """
+    from repro import __version__
+
+    return {"repro_version": __version__}
+
+
+def content_key(payload: Any, length: int = 16, versioned: bool = True) -> str:
     """Stable hex digest of a JSON-serializable payload.
 
     The payload is serialized with sorted keys and repr-fallback for
     non-JSON values (tuples become lists, dataclasses should be passed
     through ``asdict`` by the caller), then hashed with SHA-256.
+
+    ``versioned=True`` (the default) mixes :func:`version_salt` into the
+    digest so artifacts cached by one package version are never reused
+    by another; pass ``False`` only for keys that must survive releases.
     """
     import hashlib
 
-    blob = json.dumps(payload, sort_keys=True, default=repr).encode()
+    doc: Any = payload
+    if versioned:
+        doc = {"salt": version_salt(), "payload": payload}
+    blob = json.dumps(doc, sort_keys=True, default=repr).encode()
     return hashlib.sha256(blob).hexdigest()[:length]
 
 

@@ -315,11 +315,12 @@ def _characterize_point(task: Mapping[str, object]) -> dict:
         )
     d = res.delay[res.valid]
     q = empirical_sigma_quantiles(d)
+    arc_label = "/".join(str(part) for part in task["arc"])
     return {
         "arc": tuple(task["arc"]),
         "i": task["i"],
         "j": task["j"],
-        "moments": Moments.from_samples(d).as_array().tolist(),
+        "moments": Moments.from_samples(d, context=f"arc {arc_label}").as_array().tolist(),
         "quantiles": [q[n] for n in SIGMA_LEVELS],
         "out_slew": float(np.mean(res.output_slew[res.valid])),
         "yield_fraction": res.yield_fraction,
@@ -379,10 +380,15 @@ def arc_cache_payload(
     Any change to the technology, variation model, engine fidelity,
     seed, cell topology, grid, or sample count changes the hash — so a
     cached table can never be silently reused for different physics.
+    The variation-model *identity* (class name) is included alongside
+    its values, and :func:`repro.cache.content_key` further salts the
+    digest with the package version, so swapping in a different model
+    class or upgrading the code also invalidates stale tables.
     """
     return {
         "tech": asdict(engine.tech),
         "variation": asdict(engine.variation),
+        "variation_model": type(engine.variation).__qualname__,
         "fidelity": engine.fidelity_opts(),
         "seed": engine.seed,
         "cell": cell.name,
@@ -508,4 +514,14 @@ def characterize_library(
         out.put(table)
         if cache is not None and key is not None:
             cache.put("arc", key, table_to_dict(table))
+
+    # Fail fast on lint invariants (non-finite entries, impossible
+    # moments, crossing quantiles) before the tables are cached further
+    # downstream or consumed by the model fits.
+    from repro.errors import CharacterizationError
+    from repro.lint import lint_characterization
+
+    lint_characterization(out).raise_if_errors(
+        CharacterizationError, context="characterized library"
+    )
     return out

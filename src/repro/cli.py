@@ -11,6 +11,10 @@ Commands
     quantiles.
 ``cells``
     List the synthetic library with pin caps and Pelgrom coefficients.
+``lint``
+    Static checks over flow artifacts (SPEF, Verilog, characterization
+    and model JSON) and, with ``--codebase``, the package source
+    itself. See ``docs/lint.md`` for the rule catalogue.
 
 All commands accept ``--seed`` and the Monte-Carlo fidelity knobs; run
 ``python -m repro <command> --help`` for details.
@@ -148,6 +152,41 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run lint rules over artifacts and/or the package source."""
+    import repro.lint as lint
+
+    if args.list_rules:
+        layer_width = max(len(r.layer) for r in lint.all_rules())
+        for rule in lint.all_rules():
+            print(f"{rule.rule_id:<8} {rule.layer:<{layer_width}} "
+                  f"{rule.severity.name.lower():<8} {rule.summary}")
+        return 0
+    if not args.paths and not args.codebase:
+        print("error: nothing to lint — give artifact paths and/or --codebase",
+              file=sys.stderr)
+        return 2
+
+    report = lint.LintReport()
+    for path in args.paths:
+        if not Path(path).exists():
+            print(f"error: no such artifact: {path}", file=sys.stderr)
+            return 2
+        report.extend(lint.lint_artifact(path))
+    if args.codebase:
+        report.extend(lint.lint_codebase())
+
+    disabled = {r.strip() for r in args.disable.split(",") if r.strip()}
+    if disabled:
+        report = report.suppress(disabled)
+
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return 0 if not report.errors else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -179,6 +218,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-stages", type=int, default=40,
                    help="truncate the path report after this many stages")
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("lint", help="static checks on artifacts and source")
+    p.add_argument("paths", nargs="*",
+                   help="artifact files to lint (.spef, .v, .json)")
+    p.add_argument("--codebase", action="store_true",
+                   help="also run the code rules over the repro package")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="diagnostic output format")
+    p.add_argument("--disable", default="",
+                   help="comma-separated rule IDs to suppress")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -99,7 +99,7 @@ class ArcCalibration:
         # Physicality guards: sigma must stay positive and kurtosis
         # above the Pearson bound kurt >= 1 + skew^2.
         sigma = max(sigma, 1e-3 * self.ref.sigma)
-        kurt = max(kurt, 1.0 + skew * skew + 1e-6)
+        kurt = max(kurt, 1.0 + skew * skew + 1e-6)  # repro-lint: disable=UNIT001 (moment slack, unitless)
         return Moments(mu=mu, sigma=sigma, skew=skew, kurt=kurt, n=self.ref.n)
 
     def out_slew_at(self, slew: float, load: float) -> float:

@@ -138,8 +138,12 @@ class DelayCalibrationFlow:
     # Caching
     # ------------------------------------------------------------------
     def _cache_key(self) -> str:
+        from repro import __version__
+
         payload = json.dumps(
             {
+                "repro_version": __version__,
+                "variation_model": type(self.variation).__qualname__,
                 "tech": asdict(self.tech),
                 "variation": asdict(self.variation),
                 "seed": self.seed,
@@ -180,6 +184,7 @@ class DelayCalibrationFlow:
         path = self._cache_path("charac")
         if path is not None and path.exists():
             self._charac = load_library_characterization(path)
+            self._lint_charac(self._charac)
             return self._charac
         characterizer = ArcCharacterizer(self.engine)
         arc_cache = JsonCache(self.cache_dir) if self.cache_dir is not None else None
@@ -197,7 +202,18 @@ class DelayCalibrationFlow:
             )
         if path is not None:
             save_library_characterization(self._charac, path)
+        self._lint_charac(self._charac)
         return self._charac
+
+    @staticmethod
+    def _lint_charac(charac: LibraryCharacterization) -> None:
+        """Fail fast when characterization tables violate lint invariants."""
+        from repro.errors import CharacterizationError
+        from repro.lint import lint_characterization
+
+        lint_characterization(charac).raise_if_errors(
+            CharacterizationError, context="library characterization"
+        )
 
     def fit_models(self) -> TimingModels:
         """Fit all models (cached as one JSON bundle)."""
@@ -233,6 +249,12 @@ class DelayCalibrationFlow:
                             },
                             fh,
                         )
+        from repro.errors import CalibrationError
+        from repro.lint import lint_nsigma_model
+
+        lint_nsigma_model(nsigma).raise_if_errors(
+            CalibrationError, context="fitted N-sigma model"
+        )
         self._models = TimingModels(
             tech=self.tech,
             library=self.library,
@@ -291,7 +313,7 @@ class DelayCalibrationFlow:
             conditions = [
                 (REFERENCE_SLEW, REFERENCE_LOAD),
                 (mid_slew, mid_load),
-                (20e-12, fanout_load(cell, self.tech)),
+                (20 * PS, fanout_load(cell, self.tech)),
             ]
             for edge in ((False, True) if self.both_edges else (False,)):
                 for slew, load in conditions:

@@ -84,7 +84,7 @@ class NSigmaCellModel:
         cls,
         moments: Sequence[Moments],
         quantiles: Sequence[Mapping[int, float]],
-        ridge: float = 1e-9,
+        ridge: float = 1e-9,  # repro-lint: disable=UNIT001 (damping, unitless)
     ) -> "NSigmaCellModel":
         """Fit the coefficients by linear regression (the paper's MATLAB step).
 

@@ -309,7 +309,19 @@ class StatisticalSTA:
     # Analysis
     # ------------------------------------------------------------------
     def analyze(self, levels: Iterable[int] = SIGMA_LEVELS) -> STAResult:
-        """Propagate timing and evaluate Eq. (10) on the critical path."""
+        """Propagate timing and evaluate Eq. (10) on the critical path.
+
+        The circuit (topology + attached RC trees) is first run through
+        the :mod:`repro.lint` domain rules; structural errors — undriven
+        or multi-driven nets, combinational cycles, unknown cells,
+        corrupt parasitics — raise :class:`~repro.errors.TimingError`
+        before any propagation happens.
+        """
+        from repro.lint import lint_circuit
+
+        lint_circuit(self.circuit, library=self.models.library).raise_if_errors(
+            TimingError, context=f"circuit {self.circuit.name}"
+        )
         t0 = time.perf_counter()
         levels = tuple(levels)
         circuit = self.circuit

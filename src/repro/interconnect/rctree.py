@@ -15,6 +15,7 @@ The class supports the three uses the flow needs:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -45,6 +46,10 @@ class RCTree:
     """
 
     def __init__(self, root: str = "root", root_cap: float = 0.0):
+        if not math.isfinite(root_cap) or root_cap < 0:
+            raise InterconnectError(
+                f"root {root!r}: cap must be finite and non-negative, got {root_cap!r}"
+            )
         self._nodes: Dict[str, RCNode] = {
             root: RCNode(name=root, parent=None, resistance=0.0, cap=root_cap)
         }
@@ -58,15 +63,31 @@ class RCTree:
         """Attach node ``name`` to ``parent`` through ``resistance`` ohms.
 
         ``cap`` farads of grounded capacitance land on the new node.
+
+        Raises
+        ------
+        InterconnectError
+            On duplicate node names, unknown parents, non-finite values,
+            non-positive resistance or negative capacitance — a tree
+            that accepted any of these would silently corrupt every
+            downstream Elmore/moment computation.
         """
         if name in self._nodes:
             raise InterconnectError(f"duplicate RC node {name!r}")
         if parent not in self._nodes:
             raise InterconnectError(f"parent node {parent!r} does not exist")
+        if not math.isfinite(resistance) or not math.isfinite(cap):
+            raise InterconnectError(
+                f"segment {name!r}: non-finite R/C (R={resistance!r}, C={cap!r})"
+            )
         if resistance <= 0:
-            raise InterconnectError(f"segment {name!r}: resistance must be positive")
+            raise InterconnectError(
+                f"segment {name!r}: resistance must be positive, got {resistance!r}"
+            )
         if cap < 0:
-            raise InterconnectError(f"segment {name!r}: cap must be non-negative")
+            raise InterconnectError(
+                f"segment {name!r}: cap must be non-negative, got {cap!r}"
+            )
         self._nodes[name] = RCNode(name=name, parent=parent, resistance=resistance, cap=cap)
         self._children[name] = []
         self._children[parent].append(name)
@@ -75,8 +96,12 @@ class RCTree:
         """Add extra grounded capacitance at an existing node (pin load)."""
         if node not in self._nodes:
             raise InterconnectError(f"no RC node {node!r}")
+        if not math.isfinite(cap):
+            raise InterconnectError(f"node {node!r}: non-finite cap {cap!r}")
         if cap < 0:
-            raise InterconnectError("cap must be non-negative")
+            raise InterconnectError(
+                f"node {node!r}: cap must be non-negative, got {cap!r}"
+            )
         self._nodes[node].cap += cap
 
     # ------------------------------------------------------------------

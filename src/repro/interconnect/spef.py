@@ -17,10 +17,11 @@ Limitations (documented, enforced):
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import InterconnectError
 from repro.interconnect.rctree import RCTree
+from repro.units import FF, OHM
 
 _HEADER = """*SPEF "IEEE 1481-1998"
 *DESIGN "{design}"
@@ -32,8 +33,8 @@ _HEADER = """*SPEF "IEEE 1481-1998"
 """
 
 # Units used on disk (SPEF-conventional) vs the SI used in memory.
-_R_UNIT = 1.0
-_C_UNIT = 1e-15
+_R_UNIT = OHM
+_C_UNIT = FF
 
 
 def write_spef(
@@ -73,14 +74,29 @@ def write_spef(
     path.write_text("\n".join(lines))
 
 
-def read_spef(path: Union[str, Path]) -> Dict[str, RCTree]:
-    """Parse ``*D_NET`` blocks back into :class:`RCTree` objects.
+def _parse_float(token: str, what: str, net: str) -> float:
+    """Parse one numeric token, naming the net on failure."""
+    try:
+        return float(token)
+    except ValueError:
+        raise InterconnectError(
+            f"net {net}: non-numeric {what} value {token!r}"
+        ) from None
 
-    The resistor section is re-rooted at the driver (``*I <node> O``
-    connection, or the first resistor's first node when absent).
+
+def parse_spef_records(path: Union[str, Path]) -> List[dict]:
+    """Tokenize ``*D_NET`` blocks into raw records (shared with the linter).
+
+    Each record carries ``name``, ``total`` (the header's cap total in
+    farads, or ``None`` when absent), ``caps`` (node → farads), ``res``
+    (node, node, ohms triples) and ``driver``. Grammar violations —
+    truncated sections, coupling caps, duplicate cap entries,
+    non-numeric values, unterminated nets — raise
+    :class:`~repro.errors.InterconnectError` with the offending net
+    named.
     """
     path = Path(path)
-    nets: Dict[str, RCTree] = {}
+    records: List[dict] = []
     current: "dict | None" = None
     section = ""
     for raw in path.read_text().splitlines():
@@ -88,10 +104,18 @@ def read_spef(path: Union[str, Path]) -> Dict[str, RCTree]:
         if not line or line.startswith("//"):
             continue
         if line.startswith("*D_NET"):
+            if current is not None:
+                raise InterconnectError(f"unterminated *D_NET {current['name']}")
             parts = line.split()
             if len(parts) < 2:
                 raise InterconnectError(f"malformed *D_NET line: {line!r}")
-            current = {"name": parts[1], "caps": [], "res": [], "driver": ""}
+            total = None
+            if len(parts) >= 3:
+                total = _parse_float(parts[2], "*D_NET cap total", parts[1]) * _C_UNIT
+            current = {
+                "name": parts[1], "total": total,
+                "caps": {}, "res": [], "driver": "",
+            }
             section = ""
             continue
         if current is None:
@@ -106,9 +130,10 @@ def read_spef(path: Union[str, Path]) -> Dict[str, RCTree]:
             section = "res"
             continue
         if line.startswith("*END"):
-            nets[current["name"]] = _build_tree(current)
+            records.append(current)
             current = None
             continue
+        name = current["name"]
         if section == "conn" and line.startswith("*I"):
             parts = line.split()
             if len(parts) >= 3 and parts[2] == "O":
@@ -117,26 +142,82 @@ def read_spef(path: Union[str, Path]) -> Dict[str, RCTree]:
         if section == "cap":
             parts = line.split()
             if len(parts) == 3:
-                current["caps"].append((parts[1], float(parts[2]) * _C_UNIT))
+                node = parts[1]
+                if node in current["caps"]:
+                    raise InterconnectError(
+                        f"net {name}: duplicate *CAP entry for node {node!r}"
+                    )
+                current["caps"][node] = (
+                    _parse_float(parts[2], "*CAP", name) * _C_UNIT
+                )
             elif len(parts) == 4:
                 raise InterconnectError(
-                    f"coupling caps are not supported (net {current['name']})"
+                    f"coupling caps are not supported (net {name})"
+                )
+            else:
+                raise InterconnectError(
+                    f"net {name}: malformed (truncated?) *CAP line: {line!r}"
                 )
             continue
         if section == "res":
             parts = line.split()
             if len(parts) != 4:
-                raise InterconnectError(f"malformed *RES line: {line!r}")
-            current["res"].append((parts[1], parts[2], float(parts[3]) * _R_UNIT))
+                raise InterconnectError(
+                    f"net {name}: malformed (truncated?) *RES line: {line!r}"
+                )
+            current["res"].append(
+                (parts[1], parts[2], _parse_float(parts[3], "*RES", name) * _R_UNIT)
+            )
     if current is not None:
         raise InterconnectError(f"unterminated *D_NET {current['name']}")
+    return records
+
+
+def check_cap_budget(
+    record: dict, tree: RCTree, rel_tol: float = 1e-3, abs_tol: float = 1e-18
+) -> Optional[str]:
+    """Compare a net's ``*D_NET`` header cap total against its cap entries.
+
+    Returns a message describing the mismatch, or ``None`` when the
+    budget is consistent (or no total was declared). A mismatch means
+    the file was hand-edited or corrupted after extraction.
+    """
+    total = record.get("total")
+    if total is None:
+        return None
+    actual = tree.total_cap()
+    if abs(actual - total) <= max(abs_tol, rel_tol * max(abs(total), abs(actual))):
+        return None
+    return (
+        f"net {record['name']}: *D_NET cap total {total / _C_UNIT:.6f} fF "
+        f"does not match the sum of *CAP entries {actual / _C_UNIT:.6f} fF"
+    )
+
+
+def read_spef(path: Union[str, Path]) -> Dict[str, RCTree]:
+    """Parse ``*D_NET`` blocks back into :class:`RCTree` objects.
+
+    The resistor section is re-rooted at the driver (``*I <node> O``
+    connection, or the first resistor's first node when absent). The
+    reader fails fast with :class:`~repro.errors.InterconnectError` on
+    structural problems — the same conditions
+    :func:`repro.lint.domain.lint_spef` reports as diagnostics: grammar
+    violations, non-tree resistor networks, negative R/C (via
+    :class:`RCTree` construction) and cap budgets that contradict the
+    ``*D_NET`` header total.
+    """
+    nets: Dict[str, RCTree] = {}
+    for record in parse_spef_records(path):
+        tree = _build_tree(record)
+        mismatch = check_cap_budget(record, tree)
+        if mismatch is not None:
+            raise InterconnectError(mismatch)
+        nets[record["name"]] = tree
     return nets
 
 
 def _build_tree(record: dict) -> RCTree:
-    caps: Dict[str, float] = {}
-    for node, c in record["caps"]:
-        caps[node] = caps.get(node, 0.0) + c
+    caps: Dict[str, float] = dict(record["caps"])
     adjacency: Dict[str, List[Tuple[str, float]]] = {}
     for a, b, r in record["res"]:
         adjacency.setdefault(a, []).append((b, r))

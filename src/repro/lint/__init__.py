@@ -1,0 +1,56 @@
+"""Static analysis for circuits, moment tables, models — and the code itself.
+
+Two layers share one diagnostic core (:mod:`repro.lint.core`):
+
+* :mod:`repro.lint.domain` checks flow artifacts — gate netlists, RC
+  trees / SPEF, characterized moment tables, fitted N-sigma models —
+  for the structural invariants the pipeline silently depends on;
+* :mod:`repro.lint.codebase` is an AST pass over the source tree
+  enforcing repo invariants (seeded RNGs, no wall-clock reads, unit
+  constants over bare literals, errors raised with messages).
+
+Flow entry points (:mod:`repro.core.flow`, :mod:`repro.core.sta`,
+:mod:`repro.cells.characterize`, :mod:`repro.interconnect.spef`) run
+the domain rules on their inputs and fail fast; the ``repro lint`` CLI
+subcommand and the CI ``lint`` job expose both layers. Every rule is
+catalogued in ``docs/lint.md``.
+"""
+
+from repro.lint.core import (
+    Diagnostic,
+    LintReport,
+    Rule,
+    Severity,
+    all_rules,
+    get_rule,
+    register_rule,
+)
+from repro.lint.domain import (
+    lint_artifact,
+    lint_characterization,
+    lint_circuit,
+    lint_nsigma_model,
+    lint_rctree,
+    lint_spef,
+    lint_table,
+)
+from repro.lint.codebase import lint_codebase, lint_source
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+    "lint_artifact",
+    "lint_characterization",
+    "lint_circuit",
+    "lint_codebase",
+    "lint_nsigma_model",
+    "lint_rctree",
+    "lint_source",
+    "lint_spef",
+    "lint_table",
+]

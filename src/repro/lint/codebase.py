@@ -1,0 +1,279 @@
+"""Layer 2 — AST lint rules over the repo's own source code.
+
+These encode invariants the simulation flow depends on and that nearly
+broke in earlier PRs:
+
+* ``SEED001`` — every RNG must be explicitly seeded. An unseeded
+  ``np.random.default_rng()`` (or any legacy ``np.random.*`` global-state
+  call) silently breaks bit-exact reproducibility and the content-hash
+  cache, whose keys assume results are pure functions of their inputs.
+* ``TIME001`` — no wall-clock reads (``time.time``, ``datetime.now``,
+  …) outside performance counters. A timestamp that leaks into kernel
+  results or cache keys makes artifacts irreproducible and uncacheable.
+  (``time.perf_counter`` / ``monotonic`` are fine: they only ever feed
+  perf reporting.)
+* ``UNIT001`` — no bare unit-magnitude literals (``1e-12``, ``20e-15``,
+  …) where a :mod:`repro.units` constant exists. ``20 * PS`` documents
+  the quantity's dimension; ``2e-11`` invites silent unit mix-ups.
+* ``ERR001`` — every :class:`~repro.errors.ReproError` subclass must be
+  raised with a message. A bare ``raise CharacterizationError`` tells
+  an operator nothing about which arc or artifact failed.
+
+Suppression is explicit and local: append ``# repro-lint: disable=ID``
+to the offending line, or put ``# repro-lint: disable-file=ID`` on its
+own line for whole-file exemptions (reserved for files like
+:mod:`repro.units` that *define* the constants the rule points to).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.lint.core import LintReport, Rule, Severity, register_rule
+
+register_rule(Rule(
+    "SEED001", "code", Severity.ERROR,
+    "unseeded RNG: np.random.default_rng() without a seed, or legacy "
+    "np.random.* global-state calls",
+    "unseeded randomness breaks bit-exact reproducibility and poisons the "
+    "content-hashed artifact cache",
+))
+register_rule(Rule(
+    "TIME001", "code", Severity.ERROR,
+    "wall-clock read (time.time / datetime.now / datetime.utcnow / "
+    "date.today) in library code",
+    "timestamps leaking into kernels or cache keys make results "
+    "irreproducible; use time.perf_counter for perf timing",
+))
+register_rule(Rule(
+    "UNIT001", "code", Severity.WARNING,
+    "bare unit-magnitude literal (…e-15/-12/-9/-6) where a repro.units "
+    "constant exists",
+    "1e-12 might be PS or PF; `20 * PS` carries the dimension and survives "
+    "refactors",
+))
+register_rule(Rule(
+    "ERR001", "code", Severity.ERROR,
+    "ReproError subclass raised without a message",
+    "an argumentless error names no artifact, arc or file; operators "
+    "cannot act on it",
+))
+
+#: Legacy numpy global-RNG entry points (all draw from hidden state).
+_LEGACY_NP_RANDOM = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "normal",
+    "uniform", "choice", "shuffle", "permutation", "seed", "standard_normal",
+    "exponential", "poisson", "binomial",
+})
+
+#: Wall-clock call sites: attribute name → allowed owner names.
+_WALLCLOCK_ATTRS: Dict[str, Set[str]] = {
+    "time": {"time"},
+    "now": {"datetime", "date"},
+    "utcnow": {"datetime"},
+    "today": {"datetime", "date"},
+}
+
+#: Exponents of bare literals that have a repro.units equivalent.
+_UNIT_SUGGESTIONS: Dict[str, str] = {
+    "-15": "FF (or FS)",
+    "-12": "PS (or PF)",
+    "-9": "NS (or NM)",
+    "-6": "US (or UM)",
+}
+
+_UNIT_LITERAL = re.compile(r"^\d+(?:\.\d+)?[eE](-(?:15|12|9|6))$")
+
+_SUPPRESS_LINE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9, ]+)")
+_SUPPRESS_FILE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9, ]+)")
+
+
+def _error_class_names() -> Set[str]:
+    """Names of every ReproError subclass (kept current automatically)."""
+    import repro.errors as errors_mod
+
+    return {
+        name
+        for name, obj in vars(errors_mod).items()
+        if isinstance(obj, type) and issubclass(obj, errors_mod.ReproError)
+    }
+
+
+def _attr_owner(node: ast.expr) -> Optional[str]:
+    """The name one level up an attribute chain: ``np.random.x`` → ``random``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _Suppressions:
+    """Per-file suppression state parsed from ``# repro-lint:`` comments."""
+
+    def __init__(self, source: str):
+        self.by_line: Dict[int, Set[str]] = {}
+        self.file_wide: Set[str] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            m = _SUPPRESS_FILE.search(text)
+            if m:
+                self.file_wide |= {r.strip() for r in m.group(1).split(",") if r.strip()}
+                continue
+            m = _SUPPRESS_LINE.search(text)
+            if m:
+                self.by_line[lineno] = {
+                    r.strip() for r in m.group(1).split(",") if r.strip()
+                }
+
+    def active(self, rule_id: str, lineno: int) -> bool:
+        """Whether ``rule_id`` is suppressed at ``lineno``."""
+        if rule_id in self.file_wide:
+            return True
+        return rule_id in self.by_line.get(lineno, set())
+
+
+class _CodeVisitor(ast.NodeVisitor):
+    """One-pass AST walk emitting code-layer diagnostics."""
+
+    def __init__(self, source: str, rel_path: str, report: LintReport,
+                 suppressions: _Suppressions):
+        self.source = source
+        self.rel_path = rel_path
+        self.report = report
+        self.suppressions = suppressions
+        self.error_names = _error_class_names()
+
+    # ------------------------------------------------------------------
+    def _emit(self, rule_id: str, lineno: int, message: str) -> None:
+        if self.suppressions.active(rule_id, lineno):
+            self.report.suppressed += 1
+            return
+        self.report.emit(rule_id, message, file=self.rel_path, line=lineno)
+
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            owner = _attr_owner(func.value)
+            # SEED001: default_rng() with no/None seed, from any module alias.
+            if attr == "default_rng":
+                seed_args = list(node.args) + [
+                    kw.value for kw in node.keywords if kw.arg in (None, "seed")
+                ]
+                unseeded = not seed_args or any(
+                    isinstance(a, ast.Constant) and a.value is None
+                    for a in seed_args[:1]
+                )
+                if unseeded:
+                    self._emit(
+                        "SEED001", node.lineno,
+                        "default_rng() called without an explicit seed",
+                    )
+            # SEED001: legacy np.random.* global-state API.
+            elif attr in _LEGACY_NP_RANDOM and owner == "random":
+                root = func.value
+                base = root.value if isinstance(root, ast.Attribute) else None
+                if isinstance(base, ast.Name) and base.id in ("np", "numpy"):
+                    self._emit(
+                        "SEED001", node.lineno,
+                        f"legacy global-state RNG call np.random.{attr}(); "
+                        f"use a seeded np.random.default_rng(seed) instead",
+                    )
+            # TIME001: wall-clock reads.
+            elif attr in _WALLCLOCK_ATTRS and owner in _WALLCLOCK_ATTRS[attr]:
+                self._emit(
+                    "TIME001", node.lineno,
+                    f"wall-clock read {owner}.{attr}(); results and cache "
+                    f"keys must not depend on the current time",
+                )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if isinstance(node.value, float):
+            segment = ast.get_source_segment(self.source, node) or ""
+            m = _UNIT_LITERAL.match(segment.strip())
+            if m:
+                suggestion = _UNIT_SUGGESTIONS[m.group(1)]
+                self._emit(
+                    "UNIT001", node.lineno,
+                    f"bare unit literal {segment.strip()}; use a repro.units "
+                    f"constant instead (e.g. {suggestion})",
+                )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        bare_name: Optional[str] = None
+        if isinstance(exc, ast.Name) and exc.id in self.error_names:
+            bare_name = exc.id
+        elif isinstance(exc, ast.Call) and not exc.args and not exc.keywords:
+            func = exc.func
+            callee = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if callee in self.error_names:
+                bare_name = callee
+        if bare_name is not None:
+            self._emit(
+                "ERR001", node.lineno,
+                f"{bare_name} raised without a message; name the failing "
+                f"artifact/arc/file in the error",
+            )
+        self.generic_visit(node)
+
+
+def lint_source(source: str, rel_path: str = "<string>") -> LintReport:
+    """Run the code rules over one module's source text."""
+    report = LintReport()
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        # A file that does not parse cannot be linted; surface it as an
+        # ERR001-severity diagnostic rather than crashing the whole run.
+        report.emit(
+            "ERR001", f"cannot parse {rel_path}: {exc}",
+            file=rel_path, line=exc.lineno or 0,
+        )
+        return report
+    suppressions = _Suppressions(source)
+    _CodeVisitor(source, rel_path, report, suppressions).visit(tree)
+    return report
+
+
+def lint_codebase(
+    root: Optional[Union[str, Path]] = None,
+    relative_to: Optional[Union[str, Path]] = None,
+) -> LintReport:
+    """Run the code rules over every ``.py`` file under ``root``.
+
+    ``root`` defaults to the installed :mod:`repro` package directory,
+    so ``repro lint --codebase`` checks exactly the code it is running.
+    Paths in diagnostics are reported relative to ``relative_to``
+    (default: ``root``'s parent) for stable output across machines.
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+    root = Path(root)
+    base = Path(relative_to) if relative_to is not None else root.parent
+    report = LintReport()
+    if root.is_file():
+        files: Iterable[Path] = [root]
+    else:
+        files = sorted(
+            p for p in root.rglob("*.py") if "__pycache__" not in p.parts
+        )
+    for path in files:
+        try:
+            rel = str(path.relative_to(base))
+        except ValueError:
+            rel = str(path)
+        report.extend(lint_source(path.read_text(), rel_path=rel))
+    return report

@@ -1,0 +1,265 @@
+"""Diagnostic core shared by both lint layers.
+
+The linter is a rule engine: every check is a registered :class:`Rule`
+with a stable ID, a layer (``domain`` for artifact checks, ``code`` for
+the AST pass over the source tree), a default :class:`Severity` and a
+one-line rationale. Checks emit :class:`Diagnostic` records collected
+into a :class:`LintReport`, which knows how to render itself as text or
+JSON, filter suppressed rules, and fail fast by raising a
+:class:`~repro.errors.ReproError` subclass when errors are present.
+
+The rule catalogue is introspectable (``all_rules()``) so the CLI's
+``--list-rules`` output and ``docs/lint.md`` cannot drift apart from
+the implementation.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Type
+
+from repro.errors import ReproError
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering allows threshold comparisons."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint check.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable identifier (e.g. ``"RCT001"``) used in diagnostics,
+        suppressions and documentation.
+    layer:
+        ``"domain"`` (artifact checks) or ``"code"`` (AST checks).
+    severity:
+        Default severity of diagnostics emitted by this rule.
+    summary:
+        One-line description of what the rule flags.
+    rationale:
+        Why violating artifacts/code corrupt the flow.
+    """
+
+    rule_id: str
+    layer: str
+    severity: Severity
+    summary: str
+    rationale: str = ""
+
+
+#: Global rule registry: rule ID → :class:`Rule`.
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule) -> Rule:
+    """Add a rule to the registry (duplicate IDs are a programming error)."""
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate lint rule ID {rule.rule_id!r}")
+    if rule.layer not in ("domain", "code"):
+        raise ValueError(f"rule {rule.rule_id}: unknown layer {rule.layer!r}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up a registered rule; raises ``KeyError`` for unknown IDs."""
+    return _REGISTRY[rule_id]
+
+
+def all_rules(layer: Optional[str] = None) -> List[Rule]:
+    """Every registered rule (optionally one layer), sorted by ID."""
+    rules = sorted(_REGISTRY.values(), key=lambda r: r.rule_id)
+    if layer is not None:
+        rules = [r for r in rules if r.layer == layer]
+    return rules
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: which rule fired, where, and why.
+
+    Attributes
+    ----------
+    rule_id / severity:
+        The rule that fired and the (possibly overridden) severity.
+    message:
+        Human-readable description naming the offending object.
+    artifact:
+        Name of the checked artifact (net, arc, circuit) for domain
+        diagnostics; empty for code diagnostics.
+    file / line:
+        Source location for code diagnostics (``line`` is 1-based);
+        ``file`` may also carry the artifact path for domain checks.
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    artifact: str = ""
+    file: str = ""
+    line: int = 0
+
+    @classmethod
+    def of(
+        cls,
+        rule_id: str,
+        message: str,
+        artifact: str = "",
+        file: str = "",
+        line: int = 0,
+        severity: Optional[Severity] = None,
+    ) -> "Diagnostic":
+        """Build a diagnostic, defaulting severity from the registry."""
+        rule = get_rule(rule_id)
+        return cls(
+            rule_id=rule_id,
+            severity=severity if severity is not None else rule.severity,
+            message=message,
+            artifact=artifact,
+            file=file,
+            line=line,
+        )
+
+    def location(self) -> str:
+        """``file:line`` / artifact string for rendering ("" if neither)."""
+        if self.file and self.line:
+            return f"{self.file}:{self.line}"
+        if self.file:
+            return self.file
+        return self.artifact
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (used by the ``--format json`` reporter)."""
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+            "artifact": self.artifact,
+            "file": self.file,
+            "line": self.line,
+        }
+
+    def render(self) -> str:
+        """One-line text form: ``location: severity RULE: message``."""
+        loc = self.location()
+        prefix = f"{loc}: " if loc else ""
+        return f"{prefix}{self.severity} {self.rule_id}: {self.message}"
+
+
+@dataclass
+class LintReport:
+    """An ordered collection of diagnostics with reporting helpers."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Count of diagnostics removed by :meth:`suppress` (for reporting).
+    suppressed: int = 0
+
+    # ------------------------------------------------------------------
+    def add(self, diag: Diagnostic) -> None:
+        """Append one diagnostic."""
+        self.diagnostics.append(diag)
+
+    def emit(self, rule_id: str, message: str, **kwargs: object) -> None:
+        """Shorthand for ``add(Diagnostic.of(...))``."""
+        self.add(Diagnostic.of(rule_id, message, **kwargs))  # type: ignore[arg-type]
+
+    def extend(self, other: "LintReport") -> None:
+        """Merge another report into this one."""
+        self.diagnostics.extend(other.diagnostics)
+        self.suppressed += other.suppressed
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    # ------------------------------------------------------------------
+    @property
+    def errors(self) -> List[Diagnostic]:
+        """Diagnostics at ERROR severity."""
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        """Diagnostics at WARNING severity."""
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity diagnostics are present."""
+        return not self.errors
+
+    def rule_ids(self) -> List[str]:
+        """Sorted unique rule IDs that fired (handy in tests)."""
+        return sorted({d.rule_id for d in self.diagnostics})
+
+    # ------------------------------------------------------------------
+    def suppress(self, disabled: Iterable[str]) -> "LintReport":
+        """A copy without diagnostics from the ``disabled`` rule IDs."""
+        off = set(disabled)
+        kept = [d for d in self.diagnostics if d.rule_id not in off]
+        return LintReport(
+            diagnostics=kept,
+            suppressed=self.suppressed + len(self.diagnostics) - len(kept),
+        )
+
+    # ------------------------------------------------------------------
+    # Reporters
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-line totals, e.g. ``2 errors, 1 warning (3 suppressed)``."""
+        n_err, n_warn = len(self.errors), len(self.warnings)
+        parts = [
+            f"{n_err} error{'s' if n_err != 1 else ''}",
+            f"{n_warn} warning{'s' if n_warn != 1 else ''}",
+        ]
+        text = ", ".join(parts)
+        if self.suppressed:
+            text += f" ({self.suppressed} suppressed)"
+        return text
+
+    def format_text(self) -> str:
+        """Multi-line text report ending with the summary line."""
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """JSON report: diagnostics plus totals (stable key order)."""
+        doc = {
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "suppressed": self.suppressed,
+            },
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+    # ------------------------------------------------------------------
+    def raise_if_errors(
+        self, exc_type: Type[ReproError], context: str = ""
+    ) -> None:
+        """Fail fast: raise ``exc_type`` listing every ERROR diagnostic."""
+        errors = self.errors
+        if not errors:
+            return
+        head = f"{context}: " if context else ""
+        body = "; ".join(d.render() for d in errors[:10])
+        if len(errors) > 10:
+            body += f"; ... and {len(errors) - 10} more"
+        raise exc_type(f"{head}{len(errors)} lint error(s): {body}")

@@ -1,0 +1,592 @@
+"""Layer 1 — domain lint rules over flow artifacts.
+
+Four artifact families are covered, mirroring the pipeline stages:
+
+* gate-level circuits (``NET``): dangling/undriven nets, multi-driver
+  nets, combinational cycles, floating outputs, unknown cells;
+* RC trees and SPEF files (``RCT`` / ``SPF``): non-positive or
+  non-finite R/C, floating leaves, absurd magnitudes, cap budgets that
+  contradict the ``*D_NET`` header, unparseable files;
+* characterized moment tables (``TBL``): non-finite entries, the
+  Pearson moment inequality ``kurt >= skew**2 + 1``, grid monotonicity,
+  empirical quantile crossings, non-physical means, extrapolated
+  queries;
+* fitted N-sigma models (``NSM``): quantile monotonicity across sigma
+  levels and regression residual outliers.
+
+Every check returns a :class:`~repro.lint.core.LintReport`; flow entry
+points call these and fail fast via
+:meth:`~repro.lint.core.LintReport.raise_if_errors`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import InterconnectError
+from repro.interconnect.rctree import RCTree
+from repro.lint.core import Diagnostic, LintReport, Rule, Severity, register_rule
+from repro.moments.stats import (
+    SIGMA_LEVELS,
+    Moments,
+    moment_validity_margin,
+    moments_valid,
+)
+from repro.units import MEGOHM, PF, PS
+
+# ----------------------------------------------------------------------
+# Rule catalogue (domain layer)
+# ----------------------------------------------------------------------
+register_rule(Rule(
+    "NET001", "domain", Severity.ERROR,
+    "undriven net: a net with no driver that is not a primary input",
+    "the STA cannot schedule gates fed by the net; arrival times would be garbage",
+))
+register_rule(Rule(
+    "NET002", "domain", Severity.ERROR,
+    "multi-driver net: two or more gate outputs drive the same net",
+    "delay through a contended net is undefined; the timing graph is not a DAG of arcs",
+))
+register_rule(Rule(
+    "NET003", "domain", Severity.ERROR,
+    "combinational cycle in the gate graph",
+    "topological propagation never terminates; the circuit is not analyzable",
+))
+register_rule(Rule(
+    "NET004", "domain", Severity.WARNING,
+    "floating net: a driven net with no sinks that is not a primary output",
+    "usually a truncated netlist; the logic cone is dead weight in every analysis",
+))
+register_rule(Rule(
+    "NET005", "domain", Severity.ERROR,
+    "unknown cell: a gate instantiates a cell the library does not provide",
+    "no characterized arcs exist for the cell, so no delay model can be looked up",
+))
+register_rule(Rule(
+    "RCT001", "domain", Severity.ERROR,
+    "non-positive segment resistance in an RC tree",
+    "Elmore moments divide by and sum R; R <= 0 yields negative or absurd wire delays",
+))
+register_rule(Rule(
+    "RCT002", "domain", Severity.ERROR,
+    "negative node capacitance in an RC tree",
+    "negative C makes downstream cap sums and delay moments physically meaningless",
+))
+register_rule(Rule(
+    "RCT003", "domain", Severity.ERROR,
+    "non-finite R or C value in an RC tree",
+    "a single NaN/inf silently poisons every metric computed from the tree",
+))
+register_rule(Rule(
+    "RCT004", "domain", Severity.WARNING,
+    "floating leaf: a leaf node carrying zero capacitance",
+    "a receiver pin tap with no load usually means the pin cap annotation was lost",
+))
+register_rule(Rule(
+    "RCT005", "domain", Severity.WARNING,
+    "absurd magnitude: segment R > 10 MOhm or node C > 1 nF",
+    "values orders of magnitude beyond on-chip parasitics are almost always unit mix-ups",
+))
+register_rule(Rule(
+    "SPF001", "domain", Severity.ERROR,
+    "SPEF cap budget mismatch: *D_NET header total != sum of *CAP entries",
+    "the file was edited or corrupted after extraction; loads can no longer be trusted",
+))
+register_rule(Rule(
+    "SPF002", "domain", Severity.ERROR,
+    "unparseable SPEF content (grammar violation or non-tree resistor network)",
+    "partial parses must not feed the flow; fail loudly instead of analyzing half a net",
+))
+register_rule(Rule(
+    "TBL001", "domain", Severity.ERROR,
+    "non-finite entry in a characterized moment/quantile table",
+    "NaN/inf interpolates into every model fitted from the table",
+))
+register_rule(Rule(
+    "TBL002", "domain", Severity.ERROR,
+    "moment validity violation: kurt < skew**2 + 1",
+    "no real distribution has these moments; the table cannot describe any delay population",
+))
+register_rule(Rule(
+    "TBL003", "domain", Severity.ERROR,
+    "characterization grid axes not strictly ascending",
+    "bilinear interpolation assumes sorted axes; lookups would silently misinterpolate",
+))
+register_rule(Rule(
+    "TBL004", "domain", Severity.ERROR,
+    "empirical quantile crossing across sigma levels at a grid point",
+    "T(-1 sigma) > T(+1 sigma) means the stored quantiles are corrupt or mislabeled",
+))
+register_rule(Rule(
+    "TBL005", "domain", Severity.ERROR,
+    "non-physical moments: sigma < 0, or mean delay below -input_slew",
+    "spread cannot be negative, and a 50%-to-50% delay more negative than "
+    "the full input slew is geometrically impossible; either indicates "
+    "measurement failure (mildly negative delays at slow-slew/light-load "
+    "points are legitimate)",
+))
+register_rule(Rule(
+    "TBL006", "domain", Severity.WARNING,
+    "query outside the characterized slew/load grid (extrapolation)",
+    "interpolators clamp to the grid edge; results outside it are extrapolated guesses",
+))
+register_rule(Rule(
+    "NSM001", "domain", Severity.ERROR,
+    "fitted N-sigma model quantiles cross: T(n) not monotone in n",
+    "a quantile function must be non-decreasing; crossings make sigma levels meaningless",
+))
+register_rule(Rule(
+    "NSM002", "domain", Severity.WARNING,
+    "regression residual outlier in the N-sigma fit training data",
+    "one grid point pulled the fit far from its own data; inspect that characterization",
+))
+register_rule(Rule(
+    "ART001", "domain", Severity.ERROR,
+    "unreadable or unrecognized artifact file",
+    "an artifact the flow cannot even parse must never be silently skipped",
+))
+
+#: RCT005 thresholds — far beyond plausible on-chip parasitics.
+ABSURD_RESISTANCE = 10 * MEGOHM
+ABSURD_CAPACITANCE = 1000 * PF
+
+
+# ----------------------------------------------------------------------
+# Circuits
+# ----------------------------------------------------------------------
+def lint_circuit(circuit, library=None, parasitics: bool = True) -> LintReport:
+    """Static checks over a gate-level circuit (``NET`` rules).
+
+    Parameters
+    ----------
+    circuit:
+        A :class:`~repro.netlist.circuit.Circuit`.
+    library:
+        Optional :class:`~repro.cells.library.CellLibrary`; enables the
+        unknown-cell check (NET005).
+    parasitics:
+        Also lint every net's attached RC tree (``RCT`` rules).
+    """
+    report = LintReport()
+    name = circuit.name
+
+    # NET001 / NET004: dangling and floating nets.
+    for net in circuit.nets.values():
+        if net.is_primary_input and net.name not in circuit.inputs:
+            report.emit(
+                "NET001",
+                f"net {net.name!r} has no driver and is not a primary input",
+                artifact=f"circuit {name}",
+            )
+        if not net.sinks:
+            report.emit(
+                "NET004",
+                f"net {net.name!r} has no sinks and is not a primary output",
+                artifact=f"circuit {name}",
+            )
+
+    # NET002: multi-driver nets (unreachable through the Circuit API,
+    # but hand-built or deserialized circuits can carry them).
+    drivers: Dict[str, List[str]] = {}
+    for gate in circuit.gates.values():
+        drivers.setdefault(gate.output_net, []).append(gate.name)
+    for net_name, gate_names in sorted(drivers.items()):
+        if len(gate_names) > 1:
+            report.emit(
+                "NET002",
+                f"net {net_name!r} driven by {len(gate_names)} gates: "
+                f"{sorted(gate_names)[:5]}",
+                artifact=f"circuit {name}",
+            )
+
+    # NET003: combinational cycles (Kahn's algorithm; leftovers = cycle).
+    indegree: Dict[str, int] = {}
+    dependents: Dict[str, List[str]] = {g: [] for g in circuit.gates}
+    for gate in circuit.gates.values():
+        count = 0
+        for net_name in gate.pins.values():
+            net = circuit.nets.get(net_name)
+            if net is not None and not net.is_primary_input and net.driver[0] in dependents:
+                dependents[net.driver[0]].append(gate.name)
+                count += 1
+        indegree[gate.name] = count
+    frontier = [g for g, d in indegree.items() if d == 0]
+    seen = 0
+    while frontier:
+        gate_name = frontier.pop()
+        seen += 1
+        for dep in dependents[gate_name]:
+            indegree[dep] -= 1
+            if indegree[dep] == 0:
+                frontier.append(dep)
+    if seen != len(circuit.gates):
+        remaining = sorted(g for g, d in indegree.items() if d > 0)
+        report.emit(
+            "NET003",
+            f"combinational cycle involving gates {remaining[:5]}",
+            artifact=f"circuit {name}",
+        )
+
+    # NET005: unknown cells (needs a library to check against).
+    if library is not None:
+        known = set(library.names)
+        for gate in circuit.gates.values():
+            if gate.cell_name not in known:
+                report.emit(
+                    "NET005",
+                    f"gate {gate.name!r} instantiates unknown cell "
+                    f"{gate.cell_name!r}",
+                    artifact=f"circuit {name}",
+                )
+
+    if parasitics:
+        for net in circuit.nets.values():
+            if net.tree is not None:
+                report.extend(lint_rctree(net.tree, name=f"net {net.name}"))
+    return report
+
+
+# ----------------------------------------------------------------------
+# RC trees and SPEF
+# ----------------------------------------------------------------------
+def lint_rctree(tree: RCTree, name: str = "tree") -> LintReport:
+    """Value/structure checks over one RC tree (``RCT`` rules)."""
+    report = LintReport()
+    for node in tree.nodes.values():
+        where = f"{name} node {node.name!r}"
+        if node.parent is not None:
+            if not math.isfinite(node.resistance):
+                report.emit("RCT003", f"{where}: non-finite resistance "
+                            f"{node.resistance!r}", artifact=name)
+            elif node.resistance <= 0:
+                report.emit("RCT001", f"{where}: non-positive resistance "
+                            f"{node.resistance!r} ohm", artifact=name)
+            elif node.resistance > ABSURD_RESISTANCE:
+                report.emit("RCT005", f"{where}: absurd resistance "
+                            f"{node.resistance:.3g} ohm", artifact=name)
+        if not math.isfinite(node.cap):
+            report.emit("RCT003", f"{where}: non-finite cap {node.cap!r}",
+                        artifact=name)
+        elif node.cap < 0:
+            report.emit("RCT002", f"{where}: negative cap {node.cap!r} F",
+                        artifact=name)
+        elif node.cap > ABSURD_CAPACITANCE:
+            report.emit("RCT005", f"{where}: absurd cap {node.cap:.3g} F",
+                        artifact=name)
+    for leaf in tree.leaves():
+        if leaf != tree.root and tree.nodes[leaf].cap == 0.0:
+            report.emit(
+                "RCT004",
+                f"{name} leaf {leaf!r} carries zero capacitance (floating tap)",
+                artifact=name,
+            )
+    return report
+
+
+def lint_spef(path) -> LintReport:
+    """Lint a SPEF file: grammar, tree structure, values, cap budgets.
+
+    Unlike :func:`~repro.interconnect.spef.read_spef` (which fails fast
+    on the first problem), the linter reports every problem it can
+    reach: a grammar violation stops the file, but per-net build
+    failures and budget mismatches are collected across nets.
+    """
+    from repro.interconnect.spef import (
+        _build_tree,
+        check_cap_budget,
+        parse_spef_records,
+    )
+
+    report = LintReport()
+    file = str(path)
+    try:
+        records = parse_spef_records(path)
+    except InterconnectError as exc:
+        report.emit("SPF002", str(exc), file=file)
+        return report
+    except OSError as exc:
+        report.emit("SPF002", f"cannot read {file}: {exc}", file=file)
+        return report
+    for record in records:
+        try:
+            tree = _build_tree(record)
+        except InterconnectError as exc:
+            report.emit("SPF002", str(exc), artifact=f"net {record['name']}",
+                        file=file)
+            continue
+        mismatch = check_cap_budget(record, tree)
+        if mismatch is not None:
+            report.emit("SPF001", mismatch, artifact=f"net {record['name']}",
+                        file=file)
+        tree_report = lint_rctree(tree, name=f"net {record['name']}")
+        for diag in tree_report:
+            report.add(Diagnostic(
+                rule_id=diag.rule_id, severity=diag.severity,
+                message=diag.message, artifact=diag.artifact, file=file,
+            ))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Characterized tables
+# ----------------------------------------------------------------------
+def _arc_label(table) -> str:
+    edge = "rise" if table.output_rising else "fall"
+    return f"{table.cell_name}/{table.pin}/{edge}"
+
+
+def lint_table(table, queries: Sequence[Tuple[float, float]] = ()) -> LintReport:
+    """Checks over one :class:`CharacterizationTable` (``TBL`` rules)."""
+    report = LintReport()
+    arc = _arc_label(table)
+
+    # TBL003: interpolation assumes strictly ascending axes.
+    for axis_name, axis in (("slew", table.slews), ("load", table.loads)):
+        if axis.size < 2 or np.any(np.diff(axis) <= 0):
+            report.emit(
+                "TBL003",
+                f"arc {arc}: {axis_name} axis {axis.tolist()} is not "
+                f"strictly ascending with >= 2 points",
+                artifact=arc,
+            )
+
+    # TBL001: finiteness of every stored quantity.
+    for field_name, grid in (
+        ("moments", table.moments),
+        ("quantiles", table.quantiles),
+        ("out_slew", table.out_slew),
+    ):
+        bad = ~np.isfinite(grid)
+        if bad.any():
+            idx = tuple(int(v) for v in np.argwhere(bad)[0])
+            report.emit(
+                "TBL001",
+                f"arc {arc}: non-finite {field_name} entry at index {idx}",
+                artifact=arc,
+            )
+
+    finite = np.isfinite(table.moments).all(axis=-1)
+    mu = table.moments[..., 0]
+    sigma = table.moments[..., 1]
+    skew = table.moments[..., 2]
+    kurt = table.moments[..., 3]
+
+    # TBL005: sigma must be non-negative; a 50%-to-50% delay can be
+    # mildly negative (fast gate, slow input edge) but never more
+    # negative than the input slew itself.
+    slew_floor = -np.asarray(table.slews, dtype=float)[:, None]
+    bad = finite & ((sigma < 0) | (mu < slew_floor))
+    if bad.any():
+        i, j = (int(v) for v in np.argwhere(bad)[0])
+        report.emit(
+            "TBL005",
+            f"arc {arc} at grid point ({i}, {j}): non-physical moments "
+            f"mu={mu[i, j]:.3g} s, sigma={sigma[i, j]:.3g} s "
+            f"(input slew {table.slews[i]:.3g} s)",
+            artifact=arc,
+        )
+
+    # TBL002: the Pearson moment inequality (shared helper).
+    for i, j in np.argwhere(finite).tolist():
+        if not moments_valid(float(skew[i, j]), float(kurt[i, j])):
+            report.emit(
+                "TBL002",
+                f"arc {arc} at grid point ({i}, {j}): kurt "
+                f"{kurt[i, j]:.6g} < skew**2 + 1 "
+                f"(margin {moment_validity_margin(float(skew[i, j]), float(kurt[i, j])):.3g}); "
+                f"no real distribution has these moments",
+                artifact=arc,
+            )
+            break  # one diagnostic per arc keeps reports readable
+
+    # TBL004: stored quantiles must be non-decreasing in the sigma level.
+    q_finite = np.isfinite(table.quantiles).all(axis=-1)
+    crossing = q_finite & (np.diff(table.quantiles, axis=-1) < 0).any(axis=-1)
+    if crossing.any():
+        i, j = (int(v) for v in np.argwhere(crossing)[0])
+        values = [f"{v / PS:.3f}" for v in table.quantiles[i, j]]
+        report.emit(
+            "TBL004",
+            f"arc {arc} at grid point ({i}, {j}): sigma-level quantiles "
+            f"cross (ps): {values}",
+            artifact=arc,
+        )
+
+    # TBL006: queries outside the characterized envelope extrapolate.
+    for q_slew, q_load in queries:
+        outside = []
+        if not table.slews[0] <= q_slew <= table.slews[-1]:
+            outside.append(f"slew {q_slew / PS:.1f} ps outside "
+                           f"[{table.slews[0] / PS:.1f}, {table.slews[-1] / PS:.1f}] ps")
+        if not table.loads[0] <= q_load <= table.loads[-1]:
+            outside.append(f"load {q_load:.3g} F outside "
+                           f"[{table.loads[0]:.3g}, {table.loads[-1]:.3g}] F")
+        if outside:
+            report.emit(
+                "TBL006",
+                f"arc {arc}: query extrapolates beyond the characterization "
+                f"grid ({'; '.join(outside)})",
+                artifact=arc,
+            )
+    return report
+
+
+def lint_characterization(
+    charac, queries: Sequence[Tuple[float, float]] = ()
+) -> LintReport:
+    """Lint every table of a :class:`LibraryCharacterization` (or one table)."""
+    report = LintReport()
+    tables = getattr(charac, "tables", None)
+    if tables is None:
+        return lint_table(charac, queries=queries)
+    for table in tables.values():
+        report.extend(lint_table(table, queries=queries))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Fitted N-sigma models
+# ----------------------------------------------------------------------
+def default_probe_moments() -> List[Moments]:
+    """Plausible moment combinations for probing a fitted model.
+
+    The grid covers the shapes near-threshold delay distributions
+    actually take (right-skewed, mildly heavy-tailed) at two mean
+    delays, staying inside the moment-validity region. It deliberately
+    stops at skew 0.8: the Table I regression is linear in its moment
+    features, so monotonicity is only promised on the manifold the
+    training data occupies — probing far outside it (extreme skew at
+    tiny variability) would flag perfectly healthy fits.
+    """
+    probes = []
+    for mu in (20 * PS, 80 * PS):
+        for ratio in (0.03, 0.08, 0.15):
+            for skew, kurt in (
+                (0.0, 3.0), (0.2, 3.1), (0.5, 3.4), (0.8, 4.0),
+            ):
+                probes.append(Moments(mu=mu, sigma=ratio * mu, skew=skew, kurt=kurt))
+    return probes
+
+
+def lint_nsigma_model(
+    model,
+    probes: Optional[Sequence[Moments]] = None,
+    training: Optional[
+        Tuple[Sequence[Moments], Sequence[Dict[int, float]]]
+    ] = None,
+    outlier_mult: float = 6.0,
+) -> LintReport:
+    """Checks over a fitted :class:`NSigmaCellModel` (``NSM`` rules).
+
+    Parameters
+    ----------
+    model:
+        The fitted model.
+    probes:
+        Moment combinations at which NSM001 (quantile monotonicity) is
+        evaluated; defaults to :func:`default_probe_moments`.
+    training:
+        Optional ``(moments, quantiles)`` training data. When given,
+        NSM002 flags observations whose residual against the fit
+        exceeds ``outlier_mult`` times that level's RMS residual.
+    """
+    report = LintReport()
+    levels = sorted(model.coefficients)
+    if probes is None:
+        probes = default_probe_moments()
+
+    # NSM001: T(n) must be non-decreasing in n for plausible moments.
+    for m in probes:
+        values = [model.quantile(m, n) for n in levels]
+        diffs = np.diff(values)
+        if np.any(diffs < -1e-16):
+            k = int(np.argmax(diffs < -1e-16))
+            report.emit(
+                "NSM001",
+                f"model quantiles cross between {levels[k]:+d} and "
+                f"{levels[k + 1]:+d} sigma at probe moments mu={m.mu / PS:.1f} ps, "
+                f"sigma/mu={m.sigma / m.mu if m.mu else 0:.3f}, skew={m.skew:.2f}, "
+                f"kurt={m.kurt:.2f}: T({levels[k]:+d})={values[k] / PS:.4f} ps > "
+                f"T({levels[k + 1]:+d})={values[k + 1] / PS:.4f} ps",
+                artifact="nsigma model",
+            )
+            break
+
+    # NSM002: per-observation residual outliers against the fit.
+    if training is not None:
+        moments, quantiles = training
+        for level in levels:
+            rms = float(model.fit_rms.get(level, 0.0))
+            if rms <= 0.0:
+                continue
+            for idx, (m, q) in enumerate(zip(moments, quantiles)):
+                if level not in q:
+                    continue
+                residual = q[level] - model.quantile(m, level)
+                if abs(residual) > outlier_mult * rms:
+                    report.emit(
+                        "NSM002",
+                        f"observation {idx} at {level:+d} sigma: residual "
+                        f"{residual / PS:.4f} ps exceeds {outlier_mult:.0f}x "
+                        f"the fit RMS ({rms / PS:.4f} ps)",
+                        artifact="nsigma model",
+                    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Artifact dispatch (used by the CLI)
+# ----------------------------------------------------------------------
+def lint_artifact(path) -> LintReport:
+    """Lint a file by sniffing its type.
+
+    ``.spef`` files get the SPEF rules; JSON files are dispatched on
+    their content (Liberty-like characterization bundles vs. fitted
+    model bundles); ``.v`` files are read as structural Verilog and get
+    the circuit rules.
+    """
+    import json
+    from pathlib import Path
+
+    path = Path(path)
+    report = LintReport()
+    suffix = path.suffix.lower()
+    if suffix == ".spef":
+        return lint_spef(path)
+    if suffix == ".v":
+        from repro.errors import NetlistError
+        from repro.netlist.verilog import read_verilog
+
+        try:
+            circuit = read_verilog(path)
+        except NetlistError as exc:
+            report.emit("ART001", f"cannot read {path}: {exc}", file=str(path))
+            return report
+        return lint_circuit(circuit)
+    if suffix == ".json":
+        try:
+            with path.open() as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            report.emit("ART001", f"cannot parse {path}: {exc}", file=str(path))
+            return report
+        if isinstance(doc, dict) and "tables" in doc:
+            from repro.cells.liberty import load_library_characterization
+
+            return lint_characterization(load_library_characterization(path))
+        if isinstance(doc, dict) and "nsigma" in doc:
+            from repro.core.nsigma_cell import NSigmaCellModel
+
+            return lint_nsigma_model(NSigmaCellModel.from_dict(doc["nsigma"]))
+        report.emit(
+            "ART001",
+            f"{path}: unrecognized JSON artifact (expected a characterization "
+            f"or model bundle)",
+            file=str(path),
+        )
+        return report
+    report.emit("ART001", f"{path}: unknown artifact type {suffix!r}", file=str(path))
+    return report

@@ -63,8 +63,8 @@ class SkewNormal:
         c = abs(g) ** (2.0 / 3.0)
         delta2 = (np.pi / 2.0) * c / (c + ((4.0 - np.pi) / 2.0) ** (2.0 / 3.0))
         delta = float(np.sign(g) * np.sqrt(min(delta2, 0.999999)))
-        alpha = delta / np.sqrt(max(1e-12, 1.0 - delta**2))
-        omega = sd / np.sqrt(max(1e-12, 1.0 - 2.0 * delta**2 / np.pi))
+        alpha = delta / np.sqrt(max(1e-12, 1.0 - delta**2))  # repro-lint: disable=UNIT001 (epsilon, unitless)
+        omega = sd / np.sqrt(max(1e-12, 1.0 - 2.0 * delta**2 / np.pi))  # repro-lint: disable=UNIT001 (epsilon, unitless)
         xi = mu - omega * delta * np.sqrt(2.0 / np.pi)
         return cls(xi=xi, omega=omega, alpha=alpha)
 
@@ -191,7 +191,7 @@ class LogSkewNormal:
             objective, np.array([xi0, np.log(omega0), 0.0]), max_nfev=400)
         xi, log_omega, t_delta = sol.x
         delta = float(np.tanh(t_delta))
-        alpha = delta / np.sqrt(max(1e-12, 1.0 - delta**2))
+        alpha = delta / np.sqrt(max(1e-12, 1.0 - delta**2))  # repro-lint: disable=UNIT001 (epsilon, unitless)
         return cls(log_model=SkewNormal(xi=float(xi), omega=float(np.exp(log_omega)),
                                         alpha=alpha))
 

@@ -23,6 +23,48 @@ from scipy import stats as sps
 #: The sigma levels the paper models, in ascending order.
 SIGMA_LEVELS: "tuple[int, ...]" = (-3, -2, -1, 0, 1, 2, 3)
 
+#: Numerical slack for the moment inequality ``kurt >= skew**2 + 1``
+#: (sample moments satisfy it exactly; the tolerance absorbs float
+#: round-off in serialized/interpolated tables).
+MOMENT_VALIDITY_TOL = 1e-9  # repro-lint: disable=UNIT001 (tolerance, unitless)
+
+
+def moment_validity_margin(skew: float, kurt: float) -> float:
+    """Slack of the Pearson moment inequality, ``kurt - skew**2 - 1``.
+
+    Every real distribution satisfies ``kurt >= skew**2 + 1`` (with the
+    raw-kurtosis convention used throughout this package); a negative
+    margin means the (skew, kurt) pair is not realizable by *any*
+    distribution, i.e. the moment table is corrupt.
+    """
+    return kurt - (skew * skew + 1.0)
+
+
+def moments_valid(
+    skew: float, kurt: float, tol: float = MOMENT_VALIDITY_TOL
+) -> bool:
+    """Whether a (skew, kurt) pair is realizable, within ``tol``."""
+    return moment_validity_margin(skew, kurt) >= -tol
+
+
+def check_moment_validity(
+    skew: float, kurt: float, context: str = "moments",
+    tol: float = MOMENT_VALIDITY_TOL,
+) -> None:
+    """Raise ``ValueError`` when ``kurt < skew**2 + 1`` (impossible moments).
+
+    ``context`` names the offending object (e.g. the timing arc) so the
+    error message points at the artifact that produced the bad values.
+    This is the single source of truth for the validity check — used by
+    :meth:`Moments.from_samples` and the :mod:`repro.lint` domain rules.
+    """
+    if not moments_valid(skew, kurt, tol=tol):
+        raise ValueError(
+            f"{context}: kurtosis {kurt:.6g} violates the moment inequality "
+            f"kurt >= skew**2 + 1 (= {skew * skew + 1.0:.6g} for skew "
+            f"{skew:.6g}); no real distribution has these moments"
+        )
+
 
 def sigma_level_fraction(n: float) -> float:
     """Cumulative probability of sigma level ``n`` (e.g. +3 → 0.99865)."""
@@ -54,19 +96,29 @@ class Moments:
     n: int = 0
 
     @classmethod
-    def from_samples(cls, samples: Sequence[float]) -> "Moments":
+    def from_samples(
+        cls, samples: Sequence[float], context: str = "sample moments"
+    ) -> "Moments":
         """Estimate moments from data, ignoring NaNs.
+
+        ``context`` names the data source (e.g. a timing arc) in error
+        messages.
 
         Raises
         ------
         ValueError
             If fewer than 8 finite samples remain (four moments cannot
-            be meaningfully estimated).
+            be meaningfully estimated), or if the estimates violate the
+            moment inequality ``kurt >= skew**2 + 1`` (possible only
+            through numerical degeneracy — see
+            :func:`check_moment_validity`).
         """
         x = np.asarray(samples, dtype=float)
         x = x[np.isfinite(x)]
         if x.size < 8:
-            raise ValueError(f"need >= 8 finite samples for four moments, got {x.size}")
+            raise ValueError(
+                f"{context}: need >= 8 finite samples for four moments, got {x.size}"
+            )
         mu = float(np.mean(x))
         c = x - mu
         sigma = float(np.sqrt(np.mean(c**2)))
@@ -74,6 +126,7 @@ class Moments:
             return cls(mu=mu, sigma=0.0, skew=0.0, kurt=3.0, n=int(x.size))
         skew = float(np.mean(c**3) / sigma**3)
         kurt = float(np.mean(c**4) / sigma**4)
+        check_moment_validity(skew, kurt, context=context)
         return cls(mu=mu, sigma=sigma, skew=skew, kurt=kurt, n=int(x.size))
 
     def as_array(self) -> np.ndarray:

@@ -57,6 +57,7 @@ except Exception:  # pragma: no cover - exercised only without scipy
 from repro.errors import SimulationError
 from repro.perf import PerfCounters
 from repro.spice.netlist import CompiledCircuit
+from repro.units import NS
 from repro.variation.sampling import ParameterSample
 
 
@@ -211,7 +212,7 @@ class TransientSolver:
             jac = jac[None]
         row_mag = np.max(np.abs(jac), axis=2)  # (S, n)
         scale = max(float(np.max(row_mag)), 1.0)
-        bad_rows = np.argwhere(row_mag < 1e-12 * scale)
+        bad_rows = np.argwhere(row_mag < 1e-12 * scale)  # repro-lint: disable=UNIT001 (relative tol)
         nodes = sorted({self._node_names[j] for _, j in bad_rows[:16]})
         detail = f" on node(s) {', '.join(nodes)}" if nodes else ""
         return f"singular Jacobian at t={t_new:g}{detail}"
@@ -445,7 +446,7 @@ class TransientSolver:
         v0: np.ndarray,
         t: float = 0.0,
         steps: int = 60,
-        dt: float = 1e-9,
+        dt: float = NS,
     ) -> np.ndarray:
         """Pseudo-transient DC solve: relax ``v0`` toward the operating point.
 

@@ -21,6 +21,9 @@ when printing results back in paper units.
 
 from __future__ import annotations
 
+# This module *defines* the unit constants, so bare magnitudes are the point.
+# repro-lint: disable-file=UNIT001
+
 # Time
 S = 1.0
 MS = 1e-3

@@ -73,8 +73,8 @@ class Technology:
     vt0_n: float = 0.35
     vt0_p: float = 0.35
     subthreshold_slope_factor: float = 1.35
-    kp_n: float = 220e-6
-    kp_p: float = 110e-6
+    kp_n: float = 220e-6  # repro-lint: disable=UNIT001 (A/V^2, no units constant)
+    kp_p: float = 110e-6  # repro-lint: disable=UNIT001 (A/V^2, no units constant)
     dibl: float = 0.08
     channel_length_modulation: float = 0.08
     l_min: float = 30 * NM
@@ -146,7 +146,7 @@ class VariationModel:
     """
 
     sigma_vth_global: float = 0.030
-    avt: float = 1.4e-3 * 1e-6  # 1.4 mV*um in V*m
+    avt: float = 1.4e-3 * UM  # 1.4 mV*um in V*m
     sigma_mobility_global: float = 0.06
     sigma_mobility_local: float = 0.015
     sigma_length_global: float = 0.02

@@ -78,6 +78,60 @@ class TestErrors:
         with pytest.raises(InterconnectError):
             read_spef(p)
 
+    def test_truncated_cap_line(self, tmp_path):
+        p = tmp_path / "bad.spef"
+        p.write_text("*D_NET n 1.0\n*CAP\n1 b\n*RES\n1 a b 10.0\n*END\n")
+        with pytest.raises(InterconnectError, match=r"net n: malformed \(truncated\?\) \*CAP"):
+            read_spef(p)
+
+    def test_truncated_res_line(self, tmp_path):
+        p = tmp_path / "bad.spef"
+        p.write_text("*D_NET n 1.0\n*CAP\n1 b 1.0\n*RES\n1 a b\n*END\n")
+        with pytest.raises(InterconnectError, match=r"net n: malformed \(truncated\?\) \*RES"):
+            read_spef(p)
+
+    def test_duplicate_cap_entry(self, tmp_path):
+        p = tmp_path / "bad.spef"
+        p.write_text(
+            "*D_NET n 1.0\n*CONN\n*I a O\n"
+            "*CAP\n1 b 0.4\n2 b 0.6\n*RES\n1 a b 10.0\n*END\n")
+        with pytest.raises(InterconnectError, match="duplicate \\*CAP entry for node 'b'"):
+            read_spef(p)
+
+    def test_unknown_driver_reference(self, tmp_path):
+        p = tmp_path / "bad.spef"
+        p.write_text(
+            "*D_NET n 1.0\n*CONN\n*I ghost O\n"
+            "*CAP\n1 b 1.0\n*RES\n1 a b 10.0\n*END\n")
+        with pytest.raises(InterconnectError,
+                           match="driver 'ghost' not in the resistor network"):
+            read_spef(p)
+
+    def test_non_numeric_value(self, tmp_path):
+        p = tmp_path / "bad.spef"
+        p.write_text(
+            "*D_NET n 1.0\n*CONN\n*I a O\n"
+            "*CAP\n1 b twelve\n*RES\n1 a b 10.0\n*END\n")
+        with pytest.raises(InterconnectError,
+                           match="net n: non-numeric \\*CAP value 'twelve'"):
+            read_spef(p)
+
+    def test_cap_budget_mismatch(self, tmp_path):
+        p = tmp_path / "bad.spef"
+        p.write_text(
+            "*D_NET n 9.0\n*CONN\n*I a O\n"
+            "*CAP\n1 b 1.0\n2 c 2.0\n*RES\n1 a b 10.0\n2 b c 10.0\n*END\n")
+        with pytest.raises(InterconnectError,
+                           match="cap total 9.* does not match the sum"):
+            read_spef(p)
+
+    def test_matching_cap_budget_accepted(self, tmp_path):
+        p = tmp_path / "ok.spef"
+        p.write_text(
+            "*D_NET n 3.0\n*CONN\n*I a O\n"
+            "*CAP\n1 b 1.0\n2 c 2.0\n*RES\n1 a b 10.0\n2 b c 10.0\n*END\n")
+        assert read_spef(p)["n"].total_cap() == pytest.approx(3 * FF)
+
     def test_comments_and_blank_lines_ignored(self, tmp_path):
         p = tmp_path / "ok.spef"
         p.write_text(

@@ -1,0 +1,75 @@
+"""The ``repro lint`` CLI subcommand: dispatch, formats, exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def bad_spef(tmp_path) -> Path:
+    p = tmp_path / "bad.spef"
+    p.write_text("*D_NET n 1.0\n*CAP\n1 b\n*RES\n1 a b 10.0\n*END\n")
+    return p
+
+
+class TestLintCommand:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("NET001", "RCT001", "SPF001", "TBL002", "NSM001",
+                        "SEED001", "UNIT001"):
+            assert rule_id in out
+
+    def test_no_inputs_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_missing_artifact_is_usage_error(self, capsys):
+        assert main(["lint", "no/such/file.spef"]) == 2
+        assert "no such artifact" in capsys.readouterr().err
+
+    def test_bad_artifact_fails_with_diagnostic(self, tmp_path, capsys):
+        assert main(["lint", str(bad_spef(tmp_path))]) == 1
+        out = capsys.readouterr().out
+        assert "SPF002" in out
+        assert "1 error" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        assert main(["lint", str(bad_spef(tmp_path)), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["errors"] == 1
+        assert doc["diagnostics"][0]["rule"] == "SPF002"
+
+    def test_disable_suppresses_and_flips_exit_code(self, tmp_path, capsys):
+        assert main(["lint", str(bad_spef(tmp_path)), "--disable", "SPF002"]) == 0
+        assert "(1 suppressed)" in capsys.readouterr().out
+
+    def test_codebase_self_lint_clean(self, capsys):
+        assert main(["lint", "--codebase"]) == 0
+        assert "0 errors, 0 warnings" in capsys.readouterr().out
+
+    def test_artifacts_and_codebase_combine(self, tmp_path, capsys):
+        assert main(["lint", str(bad_spef(tmp_path)), "--codebase"]) == 1
+        assert "SPF002" in capsys.readouterr().out
+
+
+class TestShippedArtifacts:
+    """Acceptance: the shipped example flow lints with zero errors."""
+
+    def test_example_cache_artifacts_lint_clean(self, capsys):
+        artifacts = sorted((REPO_ROOT / "examples" / ".cache").glob("*.json"))
+        assert artifacts, "shipped example artifacts are missing"
+        code = main(["lint", *map(str, artifacts), "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0, doc
+        assert doc["summary"]["errors"] == 0
+
+    def test_mini_flow_models_lint_clean(self, mini_models, mini_charac):
+        from repro.lint import lint_characterization, lint_nsigma_model
+
+        assert lint_characterization(mini_charac).ok
+        assert lint_nsigma_model(mini_models.nsigma).ok

@@ -1,0 +1,178 @@
+"""Code-layer AST rules, suppression comments, and the self-lint pass."""
+
+import textwrap
+
+from repro.lint import lint_codebase, lint_source
+
+
+def lint(snippet: str):
+    return lint_source(textwrap.dedent(snippet), rel_path="repro/fake.py")
+
+
+class TestSeed001:
+    def test_unseeded_default_rng(self):
+        report = lint("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        assert report.rule_ids() == ["SEED001"]
+        assert report.errors[0].line == 3
+
+    def test_none_seed_still_flagged(self):
+        assert lint("rng = np.random.default_rng(seed=None)").rule_ids() == ["SEED001"]
+        assert lint("rng = np.random.default_rng(None)").rule_ids() == ["SEED001"]
+
+    def test_seeded_default_rng_clean(self):
+        assert lint("rng = np.random.default_rng(42)").rule_ids() == []
+        assert lint("rng = np.random.default_rng(seed=base + 3)").rule_ids() == []
+
+    def test_legacy_global_state_api(self):
+        report = lint("""
+            import numpy as np
+            x = np.random.normal(0.0, 1.0, 100)
+        """)
+        assert report.rule_ids() == ["SEED001"]
+        assert "np.random.normal" in report.errors[0].message
+
+    def test_generator_method_not_confused_with_legacy(self):
+        # rng.normal() on a Generator instance is fine.
+        assert lint("x = rng.normal(0.0, 1.0, 100)").rule_ids() == []
+
+
+class TestTime001:
+    def test_time_time(self):
+        report = lint("""
+            import time
+            t0 = time.time()
+        """)
+        assert report.rule_ids() == ["TIME001"]
+
+    def test_datetime_now_and_utcnow(self):
+        assert lint("t = datetime.now()").rule_ids() == ["TIME001"]
+        assert lint("t = datetime.utcnow()").rule_ids() == ["TIME001"]
+        assert lint("d = date.today()").rule_ids() == ["TIME001"]
+
+    def test_perf_counter_clean(self):
+        assert lint("t0 = time.perf_counter()").rule_ids() == []
+        assert lint("t0 = time.monotonic()").rule_ids() == []
+
+    def test_unrelated_now_attribute_clean(self):
+        assert lint("x = scheduler.now()").rule_ids() == []
+
+
+class TestUnit001:
+    def test_bare_picosecond_literal(self):
+        report = lint("delay = 1e-12")
+        assert report.rule_ids() == ["UNIT001"]
+        assert "PS (or PF)" in report.warnings[0].message
+
+    def test_mantissa_forms(self):
+        assert lint("c = 2.5e-15").rule_ids() == ["UNIT001"]
+        assert lint("t = 20E-9").rule_ids() == ["UNIT001"]
+
+    def test_non_unit_exponents_clean(self):
+        assert lint("x = 1e-3").rule_ids() == []
+        assert lint("x = 1e-30").rule_ids() == []
+        assert lint("x = 3.5e-10").rule_ids() == []
+
+    def test_unit_constant_expression_clean(self):
+        assert lint("delay = 20 * PS").rule_ids() == []
+
+    def test_warning_severity_never_fails(self):
+        assert lint("delay = 1e-12").ok
+
+
+class TestErr001:
+    def test_bare_raise_of_error_class(self):
+        report = lint("raise CharacterizationError")
+        assert report.rule_ids() == ["ERR001"]
+
+    def test_zero_arg_call(self):
+        assert lint("raise InterconnectError()").rule_ids() == ["ERR001"]
+
+    def test_raise_with_message_clean(self):
+        assert lint('raise InterconnectError("net n1: bad cap")').rule_ids() == []
+
+    def test_non_repro_errors_ignored(self):
+        assert lint("raise ValueError").rule_ids() == []
+        assert lint("raise KeyError()").rule_ids() == []
+
+    def test_reraise_clean(self):
+        assert lint("""
+            try:
+                f()
+            except InterconnectError:
+                raise
+        """).rule_ids() == []
+
+    def test_syntax_error_reported_not_raised(self):
+        report = lint("def broken(:\n")
+        assert report.rule_ids() == ["ERR001"]
+        assert "cannot parse" in report.errors[0].message
+
+
+class TestSuppressions:
+    def test_line_suppression(self):
+        report = lint("delay = 1e-12  # repro-lint: disable=UNIT001")
+        assert report.rule_ids() == []
+        assert report.suppressed == 1
+
+    def test_line_suppression_with_reason_text(self):
+        report = lint("eps = 1e-12  # repro-lint: disable=UNIT001 (epsilon)")
+        assert report.rule_ids() == []
+
+    def test_line_suppression_only_affects_that_line(self):
+        report = lint("""
+            a = 1e-12  # repro-lint: disable=UNIT001
+            b = 1e-12
+        """)
+        assert len(report.warnings) == 1
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        report = lint("delay = 1e-12  # repro-lint: disable=SEED001")
+        assert report.rule_ids() == ["UNIT001"]
+
+    def test_file_wide_suppression(self):
+        report = lint("""
+            # repro-lint: disable-file=UNIT001
+            a = 1e-12
+            b = 20e-15
+        """)
+        assert report.rule_ids() == []
+        assert report.suppressed == 2
+
+    def test_multiple_ids_one_comment(self):
+        report = lint(
+            "t = time.time(); d = 1e-12"
+            "  # repro-lint: disable=TIME001, UNIT001"
+        )
+        assert report.rule_ids() == []
+        assert report.suppressed == 2
+
+
+class TestLintCodebase:
+    def test_self_lint_is_clean(self):
+        """The shipped package must pass its own linter (CI-enforced)."""
+        report = lint_codebase()
+        assert report.format_text().splitlines()[:-1] == []
+        assert report.ok
+        assert not report.warnings
+
+    def test_self_lint_has_explicit_exemptions(self):
+        # The intentional in-line suppressions are counted, not hidden.
+        assert lint_codebase().suppressed > 0
+
+    def test_single_file_root(self, tmp_path):
+        bad = tmp_path / "mod.py"
+        bad.write_text("rng = np.random.default_rng()\n")
+        report = lint_codebase(bad, relative_to=tmp_path)
+        assert report.rule_ids() == ["SEED001"]
+        assert report.errors[0].file == "mod.py"
+
+    def test_directory_walk_skips_pycache(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("t = time.time()\n")
+        report = lint_codebase(tmp_path / "pkg", relative_to=tmp_path)
+        assert report.rule_ids() == []

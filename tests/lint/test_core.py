@@ -1,0 +1,153 @@
+"""Diagnostic core: registry, diagnostics, reports, reporters."""
+
+import json
+
+import pytest
+
+from repro.errors import TimingError
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    Rule,
+    Severity,
+    all_rules,
+    get_rule,
+    register_rule,
+)
+
+
+class TestRegistry:
+    def test_rules_registered_with_both_layers(self):
+        rules = all_rules()
+        assert len(rules) >= 10
+        layers = {r.layer for r in rules}
+        assert layers == {"domain", "code"}
+
+    def test_sorted_by_id(self):
+        ids = [r.rule_id for r in all_rules()]
+        assert ids == sorted(ids)
+
+    def test_layer_filter(self):
+        assert all(r.layer == "code" for r in all_rules(layer="code"))
+        assert all(r.layer == "domain" for r in all_rules(layer="domain"))
+        assert all_rules(layer="code")
+
+    def test_duplicate_id_rejected(self):
+        existing = all_rules()[0]
+        with pytest.raises(ValueError, match="duplicate"):
+            register_rule(existing)
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ValueError, match="layer"):
+            register_rule(Rule("ZZZ999", "nope", Severity.ERROR, "x"))
+
+    def test_get_rule(self):
+        rule = get_rule("RCT001")
+        assert rule.rule_id == "RCT001"
+        assert rule.severity is Severity.ERROR
+        assert rule.rationale
+
+    def test_every_rule_has_summary_and_rationale(self):
+        for rule in all_rules():
+            assert rule.summary, rule.rule_id
+            assert rule.rationale, rule.rule_id
+
+
+class TestDiagnostic:
+    def test_of_defaults_severity_from_registry(self):
+        d = Diagnostic.of("RCT001", "bad R")
+        assert d.severity is Severity.ERROR
+        d = Diagnostic.of("RCT004", "floating")
+        assert d.severity is Severity.WARNING
+
+    def test_severity_override(self):
+        d = Diagnostic.of("RCT001", "bad R", severity=Severity.WARNING)
+        assert d.severity is Severity.WARNING
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            Diagnostic.of("NOPE999", "x")
+
+    def test_render_with_file_line(self):
+        d = Diagnostic.of("UNIT001", "bare literal", file="repro/x.py", line=12)
+        assert d.render() == "repro/x.py:12: warning UNIT001: bare literal"
+
+    def test_render_with_artifact(self):
+        d = Diagnostic.of("RCT001", "bad R", artifact="net n1")
+        assert d.render().startswith("net n1: error RCT001:")
+
+    def test_as_dict_round_trips_through_json(self):
+        d = Diagnostic.of("RCT001", "bad R", artifact="net n1")
+        doc = json.loads(json.dumps(d.as_dict()))
+        assert doc["rule"] == "RCT001"
+        assert doc["severity"] == "error"
+        assert doc["message"] == "bad R"
+
+
+class TestLintReport:
+    def _report(self):
+        r = LintReport()
+        r.emit("RCT001", "bad R", artifact="net a")
+        r.emit("RCT004", "floating", artifact="net a")
+        r.emit("TBL001", "nan", artifact="arc x")
+        return r
+
+    def test_errors_warnings_ok(self):
+        r = self._report()
+        assert len(r) == 3
+        assert [d.rule_id for d in r.errors] == ["RCT001", "TBL001"]
+        assert [d.rule_id for d in r.warnings] == ["RCT004"]
+        assert not r.ok
+        assert LintReport().ok
+
+    def test_rule_ids(self):
+        assert self._report().rule_ids() == ["RCT001", "RCT004", "TBL001"]
+
+    def test_extend_merges_diagnostics_and_suppressed(self):
+        a, b = self._report(), self._report()
+        b.suppressed = 2
+        a.extend(b)
+        assert len(a) == 6
+        assert a.suppressed == 2
+
+    def test_suppress_filters_and_counts(self):
+        r = self._report().suppress({"RCT001", "RCT004"})
+        assert r.rule_ids() == ["TBL001"]
+        assert r.suppressed == 2
+
+    def test_summary_pluralization(self):
+        assert self._report().summary() == "2 errors, 1 warning"
+        r = LintReport()
+        r.emit("RCT001", "x")
+        assert r.summary() == "1 error, 0 warnings"
+
+    def test_summary_reports_suppressed(self):
+        r = self._report().suppress({"RCT001"})
+        assert "(1 suppressed)" in r.summary()
+
+    def test_format_text_ends_with_summary(self):
+        text = self._report().format_text()
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[-1] == "2 errors, 1 warning"
+
+    def test_to_json_structure(self):
+        doc = json.loads(self._report().to_json())
+        assert len(doc["diagnostics"]) == 3
+        assert doc["summary"] == {"errors": 2, "warnings": 1, "suppressed": 0}
+
+    def test_raise_if_errors(self):
+        with pytest.raises(TimingError, match="ctx: 2 lint error"):
+            self._report().raise_if_errors(TimingError, context="ctx")
+
+    def test_raise_if_errors_silent_when_clean(self):
+        r = LintReport()
+        r.emit("RCT004", "warning only")
+        r.raise_if_errors(TimingError)
+
+    def test_raise_if_errors_truncates_long_lists(self):
+        r = LintReport()
+        for i in range(14):
+            r.emit("RCT001", f"bad {i}")
+        with pytest.raises(TimingError, match=r"and 4 more"):
+            r.raise_if_errors(TimingError)

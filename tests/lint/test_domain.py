@@ -1,0 +1,429 @@
+"""Domain-layer rules: every rule gets a violating and a clean artifact."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cells.characterize import CharacterizationTable
+from repro.core.nsigma_cell import NSigmaCellModel
+from repro.errors import CharacterizationError
+from repro.interconnect.generate import NetGenerator
+from repro.interconnect.rctree import RCTree
+from repro.interconnect.spef import write_spef
+from repro.lint import (
+    lint_artifact,
+    lint_characterization,
+    lint_circuit,
+    lint_nsigma_model,
+    lint_rctree,
+    lint_spef,
+    lint_table,
+)
+from repro.lint.domain import default_probe_moments
+from repro.moments.stats import SIGMA_LEVELS, Moments
+from repro.netlist.circuit import Circuit
+from repro.units import FF, PS
+
+
+# ----------------------------------------------------------------------
+# Fixture builders
+# ----------------------------------------------------------------------
+def clean_circuit() -> Circuit:
+    ckt = Circuit("clean")
+    ckt.add_input("a")
+    ckt.add_input("b")
+    ckt.add_gate("g1", "NAND2x1", {"A": "a", "B": "b"}, "w1")
+    ckt.add_gate("g2", "INVx1", {"A": "w1"}, "w2")
+    ckt.add_output("w2")
+    return ckt
+
+
+def clean_tree() -> RCTree:
+    t = RCTree("drv", root_cap=0.2 * FF)
+    t.add_segment("m", "drv", 120.0, 0.8 * FF)
+    t.add_segment("s1", "m", 60.0, 1.0 * FF)
+    t.add_segment("s2", "m", 80.0, 1.2 * FF)
+    return t
+
+
+def make_table(**overrides) -> CharacterizationTable:
+    slews = np.array([10 * PS, 50 * PS])
+    loads = np.array([1 * FF, 4 * FF])
+    moments = np.empty((2, 2, 4))
+    moments[...] = (30 * PS, 2 * PS, 0.3, 3.3)
+    quantiles = np.empty((2, 2, len(SIGMA_LEVELS)))
+    for k, lvl in enumerate(SIGMA_LEVELS):
+        quantiles[..., k] = 30 * PS + lvl * 2 * PS
+    fields = dict(
+        cell_name="INVx1", pin="A", output_rising=False,
+        slews=slews, loads=loads, moments=moments,
+        quantiles=quantiles, out_slew=np.full((2, 2), 20 * PS),
+        n_samples=500,
+    )
+    fields.update(overrides)
+    return CharacterizationTable(**fields)
+
+
+def synth_training(n=80, rng_seed=7, crossing=False, outlier=False):
+    """Consistent (moments, quantiles) pairs for Table I fitting."""
+    rng = np.random.default_rng(rng_seed)
+    moments, quantiles = [], []
+    for i in range(n):
+        mu = float(rng.uniform(15, 90)) * PS
+        ratio = float(rng.uniform(0.03, 0.15))
+        skew = float(rng.uniform(0.0, 0.8))
+        kurt = 3.0 + skew**2 + float(rng.uniform(0.1, 1.0))
+        m = Moments(mu=mu, sigma=ratio * mu, skew=skew, kurt=kurt, n=2000)
+        q = {}
+        for lvl in SIGMA_LEVELS:
+            q[lvl] = mu + lvl * m.sigma + 0.08 * m.sigma * skew * lvl * lvl
+            if crossing and lvl == 3:
+                q[lvl] = mu  # far below the +2 sigma quantile
+        if outlier and i == 0:
+            q[3] += 50 * PS
+        moments.append(m)
+        quantiles.append(q)
+    return moments, quantiles
+
+
+# ----------------------------------------------------------------------
+# Circuits (NET)
+# ----------------------------------------------------------------------
+class TestLintCircuit:
+    def test_clean_circuit_silent(self, library):
+        report = lint_circuit(clean_circuit(), library=library)
+        assert report.rule_ids() == []
+
+    def test_net001_undriven_net(self):
+        ckt = Circuit("bad")
+        ckt.add_input("a")
+        # "phantom" is referenced as a gate input but never driven nor
+        # declared a primary input.
+        ckt.add_gate("g1", "NAND2x1", {"A": "a", "B": "phantom"}, "w1")
+        ckt.add_output("w1")
+        report = lint_circuit(ckt)
+        assert "NET001" in report.rule_ids()
+        assert "phantom" in report.errors[0].message
+
+    def test_net002_multi_driver(self):
+        ckt = clean_circuit()
+        # Unreachable through the API; simulate a corrupt deserialization.
+        ckt.gates["g2"].output_net = "w1"
+        ckt.nets["w2"].sinks.append(("x", "A"))
+        report = lint_circuit(ckt)
+        assert "NET002" in report.rule_ids()
+
+    def test_net003_combinational_cycle(self):
+        ckt = Circuit("loop")
+        ckt.add_gate("g1", "INVx1", {"A": "w2"}, "w1")
+        ckt.add_gate("g2", "INVx1", {"A": "w1"}, "w2")
+        report = lint_circuit(ckt)
+        assert "NET003" in report.rule_ids()
+
+    def test_net004_floating_net(self):
+        ckt = clean_circuit()
+        ckt.add_gate("g3", "INVx1", {"A": "w1"}, "dead")  # no sinks, not a PO
+        report = lint_circuit(ckt)
+        assert report.rule_ids() == ["NET004"]
+        assert report.ok  # warning only
+
+    def test_net005_unknown_cell(self, library):
+        ckt = clean_circuit()
+        ckt.gates["g2"].cell_name = "FAKEx9"
+        report = lint_circuit(ckt, library=library)
+        assert "NET005" in report.rule_ids()
+        assert "FAKEx9" in report.errors[0].message
+
+    def test_net005_needs_library(self):
+        ckt = clean_circuit()
+        ckt.gates["g2"].cell_name = "FAKEx9"
+        assert "NET005" not in lint_circuit(ckt).rule_ids()
+
+    def test_attached_trees_are_linted(self):
+        ckt = clean_circuit()
+        tree = clean_tree()
+        tree.nodes["s1"].resistance = -4.0
+        ckt.nets["w1"].tree = tree
+        assert "RCT001" in lint_circuit(ckt).rule_ids()
+        assert "RCT001" not in lint_circuit(ckt, parasitics=False).rule_ids()
+
+
+# ----------------------------------------------------------------------
+# RC trees (RCT)
+# ----------------------------------------------------------------------
+class TestLintRCTree:
+    def test_clean_tree_silent(self):
+        assert lint_rctree(clean_tree()).rule_ids() == []
+
+    def test_rct001_non_positive_resistance(self):
+        tree = clean_tree()
+        tree.nodes["m"].resistance = 0.0
+        report = lint_rctree(tree, name="net n1")
+        assert report.rule_ids() == ["RCT001"]
+        assert "net n1" in report.errors[0].message
+
+    def test_rct002_negative_cap(self):
+        tree = clean_tree()
+        tree.nodes["s1"].cap = -1 * FF
+        assert lint_rctree(tree).rule_ids() == ["RCT002"]
+
+    def test_rct003_non_finite_values(self):
+        tree = clean_tree()
+        tree.nodes["m"].resistance = float("nan")
+        tree.nodes["s2"].cap = float("inf")
+        report = lint_rctree(tree)
+        assert report.rule_ids() == ["RCT003"]
+        assert len(report.errors) == 2
+
+    def test_rct004_floating_leaf(self):
+        tree = clean_tree()
+        tree.add_segment("tap", "s1", 10.0, 0.0)
+        report = lint_rctree(tree)
+        assert report.rule_ids() == ["RCT004"]
+        assert report.ok
+
+    def test_rct005_absurd_magnitudes(self):
+        tree = clean_tree()
+        tree.nodes["m"].resistance = 5e7
+        tree.nodes["s1"].cap = 2e-9
+        report = lint_rctree(tree)
+        assert report.rule_ids() == ["RCT005"]
+        assert len(report.warnings) == 2
+
+
+# ----------------------------------------------------------------------
+# SPEF (SPF)
+# ----------------------------------------------------------------------
+class TestLintSpef:
+    def test_clean_file_silent(self, tech, tmp_path):
+        gen = NetGenerator(tech, seed=11)
+        path = tmp_path / "ok.spef"
+        write_spef({"n1": gen.random_net(name="n1")}, path)
+        assert lint_spef(path).rule_ids() == []
+
+    def test_spf001_cap_budget_mismatch(self, tmp_path):
+        p = tmp_path / "budget.spef"
+        p.write_text(
+            "*D_NET n 5.0\n*CONN\n*I a O\n"
+            "*CAP\n1 b 1.0\n2 c 2.2\n*RES\n1 a b 10.0\n2 b c 10.0\n*END\n")
+        report = lint_spef(p)
+        assert report.rule_ids() == ["SPF001"]
+        assert "5.0" in report.errors[0].message
+
+    def test_spf002_truncated_cap_line(self, tmp_path):
+        p = tmp_path / "trunc.spef"
+        p.write_text("*D_NET n 1.0\n*CAP\n1 b\n*RES\n1 a b 10.0\n*END\n")
+        report = lint_spef(p)
+        assert report.rule_ids() == ["SPF002"]
+        assert "truncated" in report.errors[0].message
+
+    def test_spf002_non_tree_resistors(self, tmp_path):
+        p = tmp_path / "forest.spef"
+        p.write_text(
+            "*D_NET n 1.0\n*CONN\n*I a O\n"
+            "*RES\n1 a b 10.0\n2 x y 10.0\n*END\n")
+        assert lint_spef(p).rule_ids() == ["SPF002"]
+
+    def test_bad_values_surface_as_rct_rules(self, tmp_path):
+        p = tmp_path / "negcap.spef"
+        p.write_text(
+            "*D_NET n 1.0\n*CONN\n*I a O\n"
+            "*CAP\n1 b -1.0\n*RES\n1 a b 10.0\n*END\n")
+        # RCTree construction rejects negative caps, reported per net.
+        report = lint_spef(p)
+        assert report.rule_ids() == ["SPF002"]
+        assert "cap" in report.errors[0].message
+
+    def test_diagnostics_carry_the_file_path(self, tmp_path):
+        p = tmp_path / "budget.spef"
+        p.write_text(
+            "*D_NET n 9.9\n*CONN\n*I a O\n"
+            "*CAP\n1 b 1.0\n*RES\n1 a b 10.0\n*END\n")
+        report = lint_spef(p)
+        assert report.errors and all(d.file == str(p) for d in report.errors)
+
+
+# ----------------------------------------------------------------------
+# Characterized tables (TBL)
+# ----------------------------------------------------------------------
+class TestLintTable:
+    def test_clean_table_silent(self):
+        assert lint_table(make_table()).rule_ids() == []
+
+    def test_tbl001_non_finite_moment(self):
+        table = make_table()
+        table.moments[0, 0, 0] = np.nan
+        assert "TBL001" in lint_table(table).rule_ids()
+
+    def test_tbl001_non_finite_quantile(self):
+        table = make_table()
+        table.quantiles[1, 1, 3] = np.inf
+        assert "TBL001" in lint_table(table).rule_ids()
+
+    def test_tbl002_moment_inequality(self):
+        table = make_table()
+        table.moments[0, 1, 2] = 2.0  # skew
+        table.moments[0, 1, 3] = 3.0  # kurt < skew**2 + 1 = 5
+        report = lint_table(table)
+        assert "TBL002" in report.rule_ids()
+        assert "INVx1/A" in report.errors[0].message
+
+    def test_tbl003_unsorted_axis(self):
+        table = make_table()
+        table.slews[:] = table.slews[::-1]
+        assert "TBL003" in lint_table(table).rule_ids()
+
+    def test_tbl004_quantile_crossing(self):
+        table = make_table()
+        table.quantiles[0, 0] = table.quantiles[0, 0][::-1]
+        assert "TBL004" in lint_table(table).rule_ids()
+
+    def test_tbl005_negative_sigma(self):
+        table = make_table()
+        table.moments[1, 0, 1] = -1 * PS
+        assert "TBL005" in lint_table(table).rule_ids()
+
+    def test_tbl005_mean_below_slew_floor(self):
+        table = make_table()
+        table.moments[0, 0, 0] = -60 * PS  # slew at row 0 is 10 ps
+        assert "TBL005" in lint_table(table).rule_ids()
+
+    def test_tbl005_mildly_negative_mean_is_legal(self):
+        table = make_table()
+        table.moments[0, 0, 0] = -4 * PS  # |mu| < input slew: fine
+        assert "TBL005" not in lint_table(table).rule_ids()
+
+    def test_tbl006_extrapolating_query(self):
+        report = lint_table(make_table(), queries=[(200 * PS, 2 * FF)])
+        assert report.rule_ids() == ["TBL006"]
+        assert report.ok
+
+    def test_tbl006_in_grid_query_silent(self):
+        assert lint_table(make_table(), queries=[(20 * PS, 2 * FF)]).ok
+
+
+class TestLintCharacterization:
+    def test_dispatches_over_all_tables(self, mini_charac):
+        assert lint_characterization(mini_charac).rule_ids() == []
+
+    def test_single_table_accepted(self):
+        table = make_table()
+        table.moments[0, 0, 0] = np.nan
+        assert "TBL001" in lint_characterization(table).rule_ids()
+
+
+# ----------------------------------------------------------------------
+# N-sigma models (NSM)
+# ----------------------------------------------------------------------
+class TestLintNSigmaModel:
+    def test_clean_model_silent(self):
+        model = NSigmaCellModel.fit(*synth_training())
+        assert lint_nsigma_model(model).rule_ids() == []
+
+    def test_nsm001_crossing_quantiles(self):
+        model = NSigmaCellModel.fit(*synth_training(crossing=True))
+        report = lint_nsigma_model(model)
+        assert "NSM001" in report.rule_ids()
+        assert "cross" in report.errors[0].message
+
+    def test_nsm002_training_outlier(self):
+        moments, quantiles = synth_training(outlier=True)
+        model = NSigmaCellModel.fit(moments, quantiles)
+        report = lint_nsigma_model(model, training=(moments, quantiles))
+        assert "NSM002" in report.rule_ids()
+        assert report.ok  # warning only
+
+    def test_nsm002_silent_without_training_data(self):
+        moments, quantiles = synth_training(outlier=True)
+        model = NSigmaCellModel.fit(moments, quantiles)
+        assert "NSM002" not in lint_nsigma_model(model).rule_ids()
+
+    def test_nsm002_silent_on_clean_training_data(self):
+        moments, quantiles = synth_training()
+        model = NSigmaCellModel.fit(moments, quantiles)
+        assert lint_nsigma_model(model, training=(moments, quantiles)).ok
+
+    def test_default_probes_stay_in_validity_region(self):
+        for m in default_probe_moments():
+            assert m.kurt >= m.skew**2 + 1
+            assert m.sigma > 0
+
+
+# ----------------------------------------------------------------------
+# Artifact dispatch (ART)
+# ----------------------------------------------------------------------
+class TestLintArtifact:
+    def test_spef_dispatch(self, tmp_path):
+        p = tmp_path / "bad.spef"
+        p.write_text("*D_NET n 1.0\n*CAP\n1 b\n*RES\n1 a b 10.0\n*END\n")
+        assert lint_artifact(p).rule_ids() == ["SPF002"]
+
+    def test_model_json_dispatch(self, tmp_path):
+        model = NSigmaCellModel.fit(*synth_training(crossing=True))
+        p = tmp_path / "models.json"
+        p.write_text(json.dumps({"nsigma": model.to_dict(), "wire": {}}))
+        assert "NSM001" in lint_artifact(p).rule_ids()
+
+    def test_art001_unreadable_json(self, tmp_path):
+        p = tmp_path / "corrupt.json"
+        p.write_text("{definitely not json")
+        report = lint_artifact(p)
+        assert report.rule_ids() == ["ART001"]
+        assert not report.ok
+
+    def test_art001_unrecognized_json_shape(self, tmp_path):
+        p = tmp_path / "mystery.json"
+        p.write_text(json.dumps({"what": "is this"}))
+        assert lint_artifact(p).rule_ids() == ["ART001"]
+
+    def test_art001_unknown_extension(self, tmp_path):
+        p = tmp_path / "data.xyz"
+        p.write_text("hello")
+        assert lint_artifact(p).rule_ids() == ["ART001"]
+
+
+# ----------------------------------------------------------------------
+# Entry-point integration (fail-fast wiring)
+# ----------------------------------------------------------------------
+class TestEntryPoints:
+    def test_characterize_library_raises_on_corrupt_tables(self, monkeypatch):
+        import repro.cells.characterize as characterize_mod
+
+        table = make_table()
+        table.moments[0, 0, 3] = 0.5  # violates kurt >= skew**2 + 1
+        monkeypatch.setattr(
+            characterize_mod, "_assemble_table",
+            lambda *a, **k: table,
+        )
+
+        class _FakeCharacterizer:
+            engine = None
+
+            def point_tasks(self, *a, **k):
+                return []
+
+        with pytest.raises(CharacterizationError, match="TBL002"):
+            characterize_mod.characterize_library(
+                _FakeCharacterizer(), _FakeLibrary(), cells=["INVx1"],
+            )
+
+    def test_sta_rejects_cyclic_circuit(self, mini_models):
+        from repro.core.sta import StatisticalSTA
+        from repro.errors import TimingError
+
+        ckt = Circuit("loop")
+        ckt.add_gate("g1", "INVx1", {"A": "w2"}, "w1")
+        ckt.add_gate("g2", "INVx1", {"A": "w1"}, "w2")
+        with pytest.raises(TimingError, match="NET003"):
+            StatisticalSTA(ckt, mini_models).analyze()
+
+
+class _FakeLibrary:
+    names = ["INVx1"]
+
+    def get(self, name):
+        from repro.cells.library import build_default_library
+        from repro.variation.parameters import Technology
+
+        return build_default_library(Technology()).get(name)

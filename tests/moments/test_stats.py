@@ -6,12 +6,51 @@ from hypothesis import given, settings, strategies as st
 from scipy import stats as sps
 
 from repro.moments.stats import (
+    MOMENT_VALIDITY_TOL,
     SIGMA_LEVELS,
     Moments,
+    check_moment_validity,
     empirical_sigma_quantiles,
+    moment_validity_margin,
+    moments_valid,
     quantile_standard_error,
     sigma_level_fraction,
 )
+
+
+class TestMomentValidity:
+    def test_margin_gaussian(self):
+        # Gaussian: skew 0, kurt 3 -> margin 2.
+        assert moment_validity_margin(0.0, 3.0) == pytest.approx(2.0)
+
+    def test_margin_at_the_bound(self):
+        assert moment_validity_margin(1.5, 1.5**2 + 1.0) == pytest.approx(0.0)
+        assert moments_valid(1.5, 1.5**2 + 1.0)
+
+    def test_invalid_pair_detected(self):
+        assert not moments_valid(2.0, 3.0)  # needs kurt >= 5
+        assert moment_validity_margin(2.0, 3.0) == pytest.approx(-2.0)
+
+    def test_tolerance_absorbs_round_off(self):
+        kurt = 1.0 - MOMENT_VALIDITY_TOL / 2  # barely below skew**2 + 1
+        assert moments_valid(0.0, kurt)
+        assert not moments_valid(0.0, 1.0 - 1e-6)
+
+    def test_check_raises_with_context(self):
+        with pytest.raises(ValueError, match="arc INVx1/A/fall"):
+            check_moment_validity(2.0, 3.0, context="arc INVx1/A/fall")
+        check_moment_validity(0.0, 3.0, context="fine")  # silent
+
+    def test_from_samples_always_satisfies_inequality(self):
+        rng = np.random.default_rng(5)
+        for dist in (rng.normal(0, 1, 500), rng.exponential(1.0, 500),
+                     rng.uniform(0, 1, 500)):
+            m = Moments.from_samples(dist)
+            assert moments_valid(m.skew, m.kurt)
+
+    def test_from_samples_context_in_messages(self):
+        with pytest.raises(ValueError, match="arc X: need >= 8"):
+            Moments.from_samples([1.0, 2.0], context="arc X")
 
 
 class TestSigmaLevels:

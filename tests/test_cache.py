@@ -12,6 +12,7 @@ from repro.cache import (
     JsonCache,
     content_key,
     default_cache_dir,
+    version_salt,
 )
 
 
@@ -37,6 +38,38 @@ class TestContentKey:
         key = content_key({"grid": (1.0, 2.0)})
         assert len(key) == 16
         assert key == content_key({"grid": (1.0, 2.0)})
+
+
+class TestVersionSalt:
+    def test_salt_carries_the_package_version(self):
+        import repro
+
+        assert version_salt() == {"repro_version": repro.__version__}
+
+    def test_versioned_key_differs_from_unversioned(self):
+        payload = {"n_samples": 100}
+        assert content_key(payload) != content_key(payload, versioned=False)
+
+    def test_version_change_invalidates_keys(self, monkeypatch):
+        import repro
+
+        payload = {"n_samples": 100}
+        before = content_key(payload)
+        monkeypatch.setattr(repro, "__version__", "999.0.0-test")
+        after = content_key(payload)
+        assert before != after
+        # Unversioned keys deliberately survive releases.
+        assert content_key(payload, versioned=False) == content_key(
+            payload, versioned=False
+        )
+
+    def test_unversioned_key_stable_across_version_change(self, monkeypatch):
+        import repro
+
+        payload = {"grid": (1.0, 2.0)}
+        before = content_key(payload, versioned=False)
+        monkeypatch.setattr(repro, "__version__", "999.0.0-test")
+        assert content_key(payload, versioned=False) == before
 
 
 class TestDefaultDir:
