@@ -8,7 +8,9 @@ Commands
 ``analyze``
     Run the statistical STA on a benchmark circuit (or a structural
     Verilog file) and print the critical path with its sigma-level
-    quantiles.
+    quantiles. With ``--batch``, compile the design once
+    (:mod:`repro.core.sta_compiled`) and evaluate a whole grid of
+    (input slew × launch edge) scenarios in one vectorized pass.
 ``cells``
     List the synthetic library with pin caps and Pelgrom coefficients.
 ``lint``
@@ -110,6 +112,26 @@ def cmd_cells(args) -> int:
     return 0
 
 
+def _parse_batch_scenarios(args):
+    """Build the Scenario list of ``analyze --batch`` from the CLI knobs."""
+    from repro.core.sta_compiled import Scenario
+
+    slews = [float(s) for s in args.batch_slews.split(",") if s.strip()]
+    edges = []
+    for token in args.batch_edges.split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        if token not in ("rise", "fall"):
+            raise ValueError(f"--batch-edges entries must be rise/fall, got {token!r}")
+        edges.append(token == "rise")
+    return [
+        Scenario(input_slew=s * PS, launch_rising=e)
+        for s in (slews or [args.input_slew])
+        for e in (edges or [True])
+    ]
+
+
 def cmd_analyze(args) -> int:
     """Statistical STA on a benchmark circuit or Verilog file."""
     from repro.core.sta import StatisticalSTA
@@ -138,15 +160,42 @@ def cmd_analyze(args) -> int:
 
     print("Fitting models (cached) ...")
     models = flow.fit_models()
-    result = StatisticalSTA(circuit, models,
-                            input_slew=args.input_slew * PS).analyze()
 
     from repro.core.report import format_path_report, format_stage_budget
 
-    print()
-    print(format_path_report(result, max_stages=args.max_stages))
-    print()
-    print(format_stage_budget(result.critical_path))
+    if args.batch:
+        from repro.cache import JsonCache
+        from repro.core.sta_compiled import CompiledSTA
+
+        try:
+            scenarios = _parse_batch_scenarios(args)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        engine = CompiledSTA(circuit, models, cache=JsonCache(args.cache_dir),
+                             perf=flow.perf)
+        results = engine.analyze_batch(scenarios)
+        print(f"Compiled: {engine.design.n_levels} levels, "
+              f"{engine.design.n_arcs} arcs, "
+              f"{engine.design.arcs.n_arcs} packed arc rows")
+        for scenario, result in zip(scenarios, results):
+            edge = "rise" if scenario.launch_rising else "fall"
+            quantiles = "  ".join(
+                f"{n:+d}s={result.critical_path.total(n) / PS:.1f}ps"
+                for n in scenario.levels
+            )
+            print(f"slew {scenario.input_slew / PS:5.1f} ps {edge:<4} "
+                  f"-> {quantiles}")
+        worst = max(results, key=lambda r: r.critical_delay)
+        print()
+        print(format_path_report(worst, max_stages=args.max_stages))
+    else:
+        result = StatisticalSTA(circuit, models,
+                                input_slew=args.input_slew * PS).analyze()
+        print()
+        print(format_path_report(result, max_stages=args.max_stages))
+        print()
+        print(format_stage_budget(result.critical_path))
     if args.perf:
         _print_perf(flow)
     return 0
@@ -217,6 +266,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed of the synthetic parasitics")
     p.add_argument("--max-stages", type=int, default=40,
                    help="truncate the path report after this many stages")
+    p.add_argument("--batch", action="store_true",
+                   help="use the compiled vectorized engine and evaluate the "
+                        "scenario grid of --batch-slews x --batch-edges")
+    p.add_argument("--batch-slews", default="",
+                   help="comma-separated input slews in ps for --batch "
+                        "(default: --input-slew only)")
+    p.add_argument("--batch-edges", default="rise",
+                   help="comma-separated launch edges (rise,fall) for --batch")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("lint", help="static checks on artifacts and source")

@@ -11,14 +11,29 @@
 * :mod:`repro.core.sta` — Eq. (10): the statistical STA engine that
   propagates slews/loads and sums per-sigma-level cell and wire
   quantiles along paths;
+* :mod:`repro.core.sta_compiled` — the compiled, levelized, vectorized
+  form of the same engine: one compile per (circuit, calibration) pair,
+  then batched scenario queries over packed arc tensors;
 * :mod:`repro.core.flow` — the end-to-end characterize → calibrate →
   analyze pipeline with on-disk caching.
 """
 
 from repro.core.nsigma_cell import NSigmaCellModel, QUANTILE_FEATURES
-from repro.core.calibration import ArcCalibration, CalibratedCellLibrary, fit_arc_calibration
+from repro.core.calibration import (
+    ArcCalibration,
+    ArcTensorBank,
+    CalibratedCellLibrary,
+    fit_arc_calibration,
+)
 from repro.core.nsigma_wire import WireVariabilityModel, cell_variability_ratio
 from repro.core.sta import PathStage, PathTiming, StatisticalSTA, TimingModels
+from repro.core.sta_compiled import (
+    BatchSTAResult,
+    CompiledDesign,
+    CompiledSTA,
+    Scenario,
+    compile_design,
+)
 from repro.core.flow import DelayCalibrationFlow
 from repro.core.report import (
     format_comparison,
@@ -31,6 +46,7 @@ __all__ = [
     "NSigmaCellModel",
     "QUANTILE_FEATURES",
     "ArcCalibration",
+    "ArcTensorBank",
     "CalibratedCellLibrary",
     "fit_arc_calibration",
     "WireVariabilityModel",
@@ -39,6 +55,11 @@ __all__ = [
     "TimingModels",
     "PathStage",
     "PathTiming",
+    "BatchSTAResult",
+    "CompiledDesign",
+    "CompiledSTA",
+    "Scenario",
+    "compile_design",
     "DelayCalibrationFlow",
     "format_path_report",
     "format_comparison",

@@ -16,12 +16,18 @@ As an extension over the paper (which never spells out slew
 propagation), the same cubic form is fitted to the arc's mean *output
 slew*, giving the STA engine a parametric slew model consistent with
 the delay calibration.
+
+For the compiled STA engine (:mod:`repro.core.sta_compiled`),
+:class:`ArcTensorBank` packs the fitted coefficients of many arcs into
+dense tensors so :meth:`ArcCalibration.moments_at` /
+:meth:`ArcCalibration.out_slew_at` can be evaluated for thousands of
+(arc, slew, load) queries in a handful of numpy operations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -254,3 +260,213 @@ class CalibratedCellLibrary:
             edge = "rise" if arc.output_rising else "fall"
             out.arcs[(arc.cell_name, arc.pin, edge)] = arc
         return out
+
+    def content_digest(self) -> str:
+        """Stable hash of every fitted coefficient (cache/drift detection).
+
+        Two libraries with identical digests produce bit-identical
+        calibrated moments for every query; the compiled STA engine keys
+        its cached arc tensors on this so a re-fitted calibration can
+        never be served from a stale compile artifact.
+        """
+        from repro.cache import content_key
+
+        return content_key(self.to_dict(), length=32)
+
+
+@dataclass
+class ArcTensorBank:
+    """Eq. (2)/(3) coefficients of many arcs packed into dense tensors.
+
+    Row ``r`` of every tensor holds one distinct :class:`ArcCalibration`;
+    ``index`` maps each requested ``(cell, pin, output_rising)`` arc to
+    its row (several keys may share a row through the calibration
+    store's pin/edge fallback). The vectorized evaluators accept a
+    ``rows`` integer array of any shape plus broadcastable slew/load
+    arrays, and apply exactly the scalar :meth:`ArcCalibration`
+    arithmetic — clamp to the characterized range, normalize the
+    deviations, linear/cubic polynomial contraction, physicality guards
+    — as one fused sweep over all queries.
+
+    Attributes
+    ----------
+    index:
+        ``(cell, pin, output_rising)`` → tensor row.
+    ref:
+        ``(A, 4)`` reference moments ``[mu, sigma, skew, kurt]``.
+    mu_coef / sigma_coef:
+        ``(A, 3)`` Eq. (2) coefficients over ``[ΔS, ΔC, ΔS·ΔC]``.
+    skew_coef / kurt_coef / slew_coef:
+        ``(A, 7)`` Eq. (3) coefficients over
+        ``[ΔS, ΔC, ΔS², ΔC², ΔS³, ΔC³, ΔS·ΔC]``.
+    slew_ref:
+        ``(A,)`` reference output slews.
+    s_ref / c_ref / s_lo / s_hi / c_lo / c_hi:
+        ``(A,)`` reference conditions and clamp ranges.
+    """
+
+    index: Dict[Tuple[str, str, bool], int]
+    ref: np.ndarray
+    mu_coef: np.ndarray
+    sigma_coef: np.ndarray
+    skew_coef: np.ndarray
+    kurt_coef: np.ndarray
+    slew_ref: np.ndarray
+    slew_coef: np.ndarray
+    s_ref: np.ndarray
+    c_ref: np.ndarray
+    s_lo: np.ndarray
+    s_hi: np.ndarray
+    c_lo: np.ndarray
+    c_hi: np.ndarray
+
+    @property
+    def n_arcs(self) -> int:
+        """Number of distinct packed arcs (tensor rows)."""
+        return int(self.ref.shape[0])
+
+    @classmethod
+    def pack(
+        cls,
+        calibrated: CalibratedCellLibrary,
+        keys: Iterable[Tuple[str, str, bool]],
+    ) -> "ArcTensorBank":
+        """Pack the arcs resolved for ``keys`` (deduplicated by identity).
+
+        ``keys`` are resolved through :meth:`CalibratedCellLibrary.get`,
+        so the bank reproduces the same pin-``A``/other-edge fallbacks
+        the scalar engine applies.
+        """
+        index: Dict[Tuple[str, str, bool], int] = {}
+        rows: Dict[int, int] = {}
+        arcs: List[ArcCalibration] = []
+        for key in keys:
+            if key in index:
+                continue
+            arc = calibrated.get(*key)
+            row = rows.get(id(arc))
+            if row is None:
+                row = len(arcs)
+                rows[id(arc)] = row
+                arcs.append(arc)
+            index[key] = row
+        if not arcs:
+            raise CalibrationError("cannot pack an empty arc tensor bank")
+        return cls(
+            index=index,
+            ref=np.array([[a.ref.mu, a.ref.sigma, a.ref.skew, a.ref.kurt] for a in arcs]),
+            mu_coef=np.array([a.mu_coef for a in arcs]),
+            sigma_coef=np.array([a.sigma_coef for a in arcs]),
+            skew_coef=np.array([a.skew_coef for a in arcs]),
+            kurt_coef=np.array([a.kurt_coef for a in arcs]),
+            slew_ref=np.array([a.slew_ref for a in arcs]),
+            slew_coef=np.array([a.slew_coef for a in arcs]),
+            s_ref=np.array([a.s_ref for a in arcs]),
+            c_ref=np.array([a.c_ref for a in arcs]),
+            s_lo=np.array([a.s_range[0] for a in arcs]),
+            s_hi=np.array([a.s_range[1] for a in arcs]),
+            c_lo=np.array([a.c_range[0] for a in arcs]),
+            c_hi=np.array([a.c_range[1] for a in arcs]),
+        )
+
+    # -- vectorized evaluation -----------------------------------------
+    def _deviations(
+        self, rows: np.ndarray, slew: np.ndarray, load: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        s = np.clip(slew, self.s_lo[rows], self.s_hi[rows])
+        c = np.clip(load, self.c_lo[rows], self.c_hi[rows])
+        return (s - self.s_ref[rows]) / SLEW_SCALE, (c - self.c_ref[rows]) / LOAD_SCALE
+
+    @staticmethod
+    def _contract_linear(coef: np.ndarray, ds: np.ndarray, dc: np.ndarray) -> np.ndarray:
+        # Same left-to-right sum as the scalar `lin @ coef`.
+        return ds * coef[..., 0] + dc * coef[..., 1] + ds * dc * coef[..., 2]
+
+    @staticmethod
+    def _contract_cubic(coef: np.ndarray, ds: np.ndarray, dc: np.ndarray) -> np.ndarray:
+        return (
+            ds * coef[..., 0]
+            + dc * coef[..., 1]
+            + ds**2 * coef[..., 2]
+            + dc**2 * coef[..., 3]
+            + ds**3 * coef[..., 4]
+            + dc**3 * coef[..., 5]
+            + ds * dc * coef[..., 6]
+        )
+
+    def mu_at(self, rows: np.ndarray, slew: np.ndarray, load: np.ndarray) -> np.ndarray:
+        """Calibrated mean delays for all (arc row, slew, load) queries."""
+        ds, dc = self._deviations(rows, slew, load)
+        return self.ref[rows, 0] + self._contract_linear(self.mu_coef[rows], ds, dc)
+
+    def moments_at(
+        self, rows: np.ndarray, slew: np.ndarray, load: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Calibrated ``(mu, sigma, skew, kurt)`` arrays (Eqs. 2–3).
+
+        Applies the scalar evaluator's physicality guards element-wise:
+        sigma floored at ``1e-3 * sigma_ref`` and kurtosis at the
+        Pearson bound ``1 + skew**2``.
+        """
+        ds, dc = self._deviations(rows, slew, load)
+        mu = self.ref[rows, 0] + self._contract_linear(self.mu_coef[rows], ds, dc)
+        sigma = self.ref[rows, 1] + self._contract_linear(self.sigma_coef[rows], ds, dc)
+        skew = self.ref[rows, 2] + self._contract_cubic(self.skew_coef[rows], ds, dc)
+        kurt = self.ref[rows, 3] + self._contract_cubic(self.kurt_coef[rows], ds, dc)
+        sigma = np.maximum(sigma, 1e-3 * self.ref[rows, 1])
+        kurt = np.maximum(kurt, 1.0 + skew * skew + 1e-6)  # repro-lint: disable=UNIT001 (moment slack, unitless)
+        return mu, sigma, skew, kurt
+
+    def out_slew_at(
+        self, rows: np.ndarray, slew: np.ndarray, load: np.ndarray
+    ) -> np.ndarray:
+        """Calibrated mean output slews (floored at 0.1 ps, as the scalar)."""
+        ds, dc = self._deviations(rows, slew, load)
+        raw = self.slew_ref[rows] + self._contract_cubic(self.slew_coef[rows], ds, dc)
+        return np.maximum(raw, 0.1 * PS)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form (cache artifact payload)."""
+        return {
+            "index": [
+                [cell, pin, bool(rising), row]
+                for (cell, pin, rising), row in sorted(self.index.items())
+            ],
+            "ref": self.ref.tolist(),
+            "mu_coef": self.mu_coef.tolist(),
+            "sigma_coef": self.sigma_coef.tolist(),
+            "skew_coef": self.skew_coef.tolist(),
+            "kurt_coef": self.kurt_coef.tolist(),
+            "slew_ref": self.slew_ref.tolist(),
+            "slew_coef": self.slew_coef.tolist(),
+            "s_ref": self.s_ref.tolist(),
+            "c_ref": self.c_ref.tolist(),
+            "s_lo": self.s_lo.tolist(),
+            "s_hi": self.s_hi.tolist(),
+            "c_lo": self.c_lo.tolist(),
+            "c_hi": self.c_hi.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArcTensorBank":
+        """Inverse of :meth:`to_dict` (floats round-trip exactly via JSON)."""
+        return cls(
+            index={
+                (cell, pin, bool(rising)): int(row)
+                for cell, pin, rising, row in data["index"]
+            },
+            ref=np.asarray(data["ref"]),
+            mu_coef=np.asarray(data["mu_coef"]),
+            sigma_coef=np.asarray(data["sigma_coef"]),
+            skew_coef=np.asarray(data["skew_coef"]),
+            kurt_coef=np.asarray(data["kurt_coef"]),
+            slew_ref=np.asarray(data["slew_ref"]),
+            slew_coef=np.asarray(data["slew_coef"]),
+            s_ref=np.asarray(data["s_ref"]),
+            c_ref=np.asarray(data["c_ref"]),
+            s_lo=np.asarray(data["s_lo"]),
+            s_hi=np.asarray(data["s_hi"]),
+            c_lo=np.asarray(data["c_lo"]),
+            c_hi=np.asarray(data["c_hi"]),
+        )

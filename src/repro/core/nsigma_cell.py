@@ -137,6 +137,39 @@ class NSigmaCellModel:
         """All requested sigma-level quantiles at once."""
         return {n: self.quantile(m, n) for n in levels}
 
+    def quantile_array(
+        self,
+        mu: np.ndarray,
+        sigma: np.ndarray,
+        skew: np.ndarray,
+        kurt: np.ndarray,
+        level: int,
+    ) -> np.ndarray:
+        """Vectorized Table I row over arrays of moments.
+
+        Element ``i`` equals ``quantile(Moments(mu[i], sigma[i], skew[i],
+        kurt[i]), level)`` — the same feature products and the same
+        left-to-right coefficient sum, evaluated for every observation
+        at once. The compiled STA engine uses this to price all path
+        stages (or all scenarios) in one sweep.
+        """
+        if level not in self.coefficients:
+            raise CalibrationError(
+                f"no coefficients for sigma level {level}; fitted: "
+                f"{sorted(self.coefficients)}"
+            )
+        ke = kurt - 3.0
+        feats = {
+            "sg": sigma * skew,
+            "sk": sigma * ke,
+            "gk": sigma * skew * ke,
+        }
+        coef = self.coefficients[level]
+        correction = np.zeros(np.broadcast(mu, sigma).shape)
+        for c, name in zip(coef, QUANTILE_FEATURES[level]):
+            correction = correction + c * feats[name]
+        return mu + level * sigma + correction
+
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-serializable form."""

@@ -245,6 +245,18 @@ class WireVariabilityModel:
             0.0, self.intercept + self.weight_fi * ratio_fi + self.weight_fo * ratio_fo
         )
 
+    def wire_variability_array(
+        self, ratio_fi: np.ndarray, ratio_fo: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized Eq. (7) over arrays of driver/load cell ratios.
+
+        Used by the compiled STA engine to precompute the ``X_w`` of
+        every (net, sink) pair of a design in one pass.
+        """
+        raw = self.intercept + self.weight_fi * np.asarray(ratio_fi) \
+            + self.weight_fo * np.asarray(ratio_fo)
+        return np.maximum(0.0, raw)
+
     def wire_sigma(self, elmore: float, ratio_fi: float, ratio_fo: float) -> float:
         """Eq. (8): ``sigma_w = T_Elmore * X_w``."""
         return elmore * self.wire_variability(ratio_fi, ratio_fo)

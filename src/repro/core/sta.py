@@ -34,7 +34,7 @@ from repro.cells.library import CellLibrary
 from repro.core.calibration import CalibratedCellLibrary
 from repro.core.nsigma_cell import NSigmaCellModel
 from repro.core.nsigma_wire import WireVariabilityModel, cell_variability_ratio
-from repro.interconnect.metrics import elmore_delay
+from repro.interconnect.metrics import elmore_delays
 from repro.moments.stats import SIGMA_LEVELS, Moments
 from repro.netlist.circuit import PRIMARY_OUTPUT, Circuit, GateInst, Net
 from repro.units import PS
@@ -60,10 +60,23 @@ class TimingModels:
     nsigma: NSigmaCellModel
     wire: WireVariabilityModel
     stage_correlation: float = 1.0
+    _ratio_cache: Dict[str, float] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def cell_ratio(self, cell_name: str) -> float:
-        """Reference variability ratio of a cell (cached upstream if hot)."""
-        return cell_variability_ratio(self.calibrated, cell_name)
+        """Reference variability ratio of a cell (memoized per instance).
+
+        Every wire-variability query needs the driver and load cell
+        ratios; deriving one walks the calibration store's fallback
+        chain, so the result is cached here — a library has few distinct
+        cells but a design queries them millions of times.
+        """
+        ratio = self._ratio_cache.get(cell_name)
+        if ratio is None:
+            ratio = cell_variability_ratio(self.calibrated, cell_name)
+            self._ratio_cache[cell_name] = ratio
+        return ratio
 
 
 @dataclass
@@ -224,6 +237,12 @@ class StatisticalSTA:
         self._pin_cap: Dict[Tuple[str, str], float] = {}
         self._ratio_cache: Dict[str, float] = {}
         self._tree_cache: Dict[str, Optional["object"]] = {}
+        # Per-net derived parasitics, computed once per engine instance:
+        # node → Elmore delay of the annotated tree, and the total load.
+        # Multi-sink nets are queried once per sink per analysis; without
+        # these, every query re-walked the whole RC tree.
+        self._elmore_cache: Dict[str, Dict[str, float]] = {}
+        self._load_cache: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Model lookups
@@ -263,27 +282,44 @@ class StatisticalSTA:
         return self._tree_cache[net.name]
 
     def _net_load(self, net: Net) -> float:
-        """Total load a driver sees: wire cap + receiver pin caps."""
+        """Total load a driver sees: wire cap + receiver pin caps (cached)."""
+        load = self._load_cache.get(net.name)
+        if load is not None:
+            return load
         tree = self._annotated_tree(net)
         if tree is not None:
-            return tree.total_cap()
-        load = 0.0
-        for sink in net.sinks:
-            if sink == PRIMARY_OUTPUT:
-                continue
-            gate = self.circuit.gates[sink[0]]
-            load += self._input_cap(gate.cell_name, sink[1])
+            load = tree.total_cap()
+        else:
+            load = 0.0
+            for sink in net.sinks:
+                if sink == PRIMARY_OUTPUT:
+                    continue
+                gate = self.circuit.gates[sink[0]]
+                load += self._input_cap(gate.cell_name, sink[1])
+        self._load_cache[net.name] = load
         return load
+
+    def _net_elmore(self, net: Net) -> Dict[str, float]:
+        """Node → Elmore delay of the net's annotated tree (cached).
+
+        All sink taps of a net share one two-pass tree traversal; the
+        per-sink queries of multi-sink nets become dict lookups.
+        """
+        delays = self._elmore_cache.get(net.name)
+        if delays is None:
+            tree = self._annotated_tree(net)
+            delays = {} if tree is None else elmore_delays(tree)
+            self._elmore_cache[net.name] = delays
+        return delays
 
     def _wire_delay_to(self, net: Net, sink: Tuple[str, str]) -> float:
         """Elmore delay from the net root to a sink's tap point."""
-        tree = self._annotated_tree(net)
-        if tree is None:
+        if net.tree is None:
             return 0.0
         leaf = net.sink_leaf.get(sink)
         if leaf is None:
             leaf = net.tree.leaves()[0]
-        return float(elmore_delay(tree, leaf))
+        return float(self._net_elmore(net)[leaf])
 
     def _wire_xw(self, net: Net, sink: Tuple[str, str]) -> float:
         driver_ratio = 0.0

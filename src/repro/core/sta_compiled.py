@@ -1,0 +1,771 @@
+"""Compiled, levelized, vectorized statistical STA (Eq. 10 at scale).
+
+The scalar :class:`~repro.core.sta.StatisticalSTA` walks the circuit
+gate-by-gate in Python: every arc query rebuilds polynomial features,
+every wire query re-derives RC-tree delays, and every scenario (input
+slew, launch edge, sigma levels) re-walks the whole design. This module
+splits that work into a **compile** step done once per (circuit,
+calibration) pair and a **query** step that serves whole scenario
+batches with a handful of numpy sweeps per topological level:
+
+* **Compile** (:func:`compile_design`):
+
+  - levelize the circuit into topological layers; gates of one layer
+    share no data dependencies, so a layer evaluates as one array op;
+  - resolve every (cell, pin, edge) timing arc the design uses through
+    the calibration store (including its fallbacks) and pack the fitted
+    Eq. (2)/(3) coefficients into an
+    :class:`~repro.core.calibration.ArcTensorBank`, so ``moments_at`` /
+    ``out_slew_at`` become gathered multiply-adds over all gates of a
+    level at once;
+  - precompute per-net parasitics exactly once: annotated-tree loads,
+    per-sink Elmore delays (flat arrays via
+    :func:`~repro.interconnect.metrics.elmore_delays`), per-(net, sink)
+    wire variabilities ``X_w``, and the per-net endpoint Elmore used
+    for critical-endpoint selection.
+
+  The artifact is JSON-serializable and cached in a
+  :class:`~repro.cache.JsonCache` keyed on the circuit content and the
+  calibration digest — re-analyzing a design reuses the compile.
+
+* **Query** (:meth:`CompiledSTA.analyze_batch`): any number of
+  :class:`Scenario` objects evaluate in one vectorized pass — state
+  arrays are ``(n_scenarios, n_nets)``, and each level performs one
+  gather → arc-tensor contraction → per-gate argmax → scatter cycle.
+  Per-scenario critical paths are then traced back through the recorded
+  winning pins and priced stage-by-stage with the same quantile models
+  the scalar engine uses, so results agree to float round-off
+  (well under 1e-12 s; asserted by ``tests/core/test_sta_compiled.py``).
+
+:mod:`repro.perf` counters record the work: ``sta_compiles``,
+``sta_scenarios``, ``sta_levels``, ``sta_arc_evals`` plus the
+``sta_compile`` / ``sta_query`` wall-time stages.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache import JsonCache, content_key
+from repro.core.calibration import ArcTensorBank
+from repro.core.sta import (
+    PathStage,
+    PathTiming,
+    STAResult,
+    StatisticalSTA,
+    TimingModels,
+    WIRE_SLEW_FACTOR,
+)
+from repro.errors import TimingError
+from repro.interconnect.metrics import elmore_delays
+from repro.moments.stats import SIGMA_LEVELS, Moments
+from repro.netlist.circuit import Circuit, Net, PRIMARY_OUTPUT
+from repro.perf import PerfCounters
+from repro.units import PS
+
+#: Cache artifact kind for compiled designs.
+COMPILE_CACHE_KIND = "sta_compiled"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One STA query: operating point + reporting knobs.
+
+    Attributes
+    ----------
+    input_slew:
+        Slew presented at every primary input (seconds).
+    launch_rising:
+        Edge polarity launched at the primary inputs.
+    levels:
+        Sigma levels to evaluate along the critical path.
+    stage_correlation:
+        Stage-to-stage delay correlation for the correlation-aware path
+        quantiles (None = the fitted ``models.stage_correlation``).
+    """
+
+    input_slew: float = 20 * PS
+    launch_rising: bool = True
+    levels: Tuple[int, ...] = SIGMA_LEVELS
+    stage_correlation: Optional[float] = None
+
+
+@dataclass
+class BatchSTAResult(STAResult):
+    """Scalar-compatible result plus batch metadata.
+
+    ``runtime_s`` is the batch query wall time amortized over its
+    scenarios. ``correlated_quantiles`` evaluates
+    :meth:`~repro.core.sta.PathTiming.total_correlated` at the
+    scenario's stage correlation.
+    """
+
+    scenario: Scenario = field(default_factory=Scenario)
+    correlated_quantiles: Dict[int, float] = field(default_factory=dict)
+
+
+@dataclass
+class CompiledLevel:
+    """One topological layer, padded to its widest gate.
+
+    All per-pin arrays are ``(n_gates, max_pins)``; padding slots have
+    ``valid = False`` and harmless index 0 elsewhere.
+
+    Attributes
+    ----------
+    gate_names:
+        Instance names, in deterministic topological order.
+    out_net:
+        ``(G,)`` output-net index of each gate.
+    load:
+        ``(G,)`` total output load (annotated wire + receiver pins).
+    valid:
+        ``(G, P)`` mask of real input pins.
+    src_net:
+        ``(G, P)`` input-net index per pin.
+    elm_in:
+        ``(G, P)`` Elmore delay from the input net's root to the pin tap.
+    inverting:
+        ``(G, P)`` whether the pin's arc inverts the edge.
+    arc_rise / arc_fall:
+        ``(G, P)`` arc-tensor rows used when the *output* edge is
+        rising / falling.
+    """
+
+    gate_names: List[str]
+    out_net: np.ndarray
+    load: np.ndarray
+    valid: np.ndarray
+    src_net: np.ndarray
+    elm_in: np.ndarray
+    inverting: np.ndarray
+    arc_rise: np.ndarray
+    arc_fall: np.ndarray
+
+    @property
+    def n_arcs(self) -> int:
+        """Number of real (gate, pin) arcs in the level."""
+        return int(self.valid.sum())
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "gate_names": self.gate_names,
+            "out_net": self.out_net.tolist(),
+            "load": self.load.tolist(),
+            "valid": self.valid.tolist(),
+            "src_net": self.src_net.tolist(),
+            "elm_in": self.elm_in.tolist(),
+            "inverting": self.inverting.tolist(),
+            "arc_rise": self.arc_rise.tolist(),
+            "arc_fall": self.arc_fall.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompiledLevel":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            gate_names=list(data["gate_names"]),
+            out_net=np.asarray(data["out_net"], dtype=np.int64),
+            load=np.asarray(data["load"], dtype=float),
+            valid=np.asarray(data["valid"], dtype=bool),
+            src_net=np.asarray(data["src_net"], dtype=np.int64),
+            elm_in=np.asarray(data["elm_in"], dtype=float),
+            inverting=np.asarray(data["inverting"], dtype=bool),
+            arc_rise=np.asarray(data["arc_rise"], dtype=np.int64),
+            arc_fall=np.asarray(data["arc_fall"], dtype=np.int64),
+        )
+
+
+#: Dict key for a (net, sink) pair; the primary-output sentinel
+#: serializes as its marker tuple.
+SinkKey = Tuple[str, str, str]
+
+
+def _sink_key(net_name: str, sink: Tuple[str, str]) -> SinkKey:
+    return (net_name, sink[0], sink[1])
+
+
+@dataclass
+class CompiledDesign:
+    """The query-ready artifact of :func:`compile_design`.
+
+    Attributes
+    ----------
+    circuit_name:
+        Name of the compiled circuit (sanity check at bind time).
+    net_names:
+        Net order shared by every per-net array (= circuit insertion
+        order, so endpoint argmax matches the scalar engine's
+        iteration order).
+    input_nets:
+        ``(I,)`` indices of primary-input nets.
+    net_load / end_elmore:
+        ``(N,)`` per-net total load and root→endpoint-tap Elmore delay.
+    levels:
+        Topological layers (see :class:`CompiledLevel`).
+    arcs:
+        Packed arc coefficient tensors.
+    sink_elmore / sink_xw:
+        Per-(net, sink) Elmore delay and wire variability ``X_w``
+        (flattened once at compile; path pricing is dict lookups).
+    calibration_digest:
+        :meth:`CalibratedCellLibrary.content_digest` of the calibration
+        the tensors were packed from — the drift sentinel checked by
+        the ``NSM003`` lint rule and the cache loader.
+    """
+
+    circuit_name: str
+    net_names: List[str]
+    input_nets: np.ndarray
+    net_load: np.ndarray
+    end_elmore: np.ndarray
+    levels: List[CompiledLevel]
+    arcs: ArcTensorBank
+    sink_elmore: Dict[SinkKey, float]
+    sink_xw: Dict[SinkKey, float]
+    calibration_digest: str
+
+    @property
+    def n_nets(self) -> int:
+        """Number of nets."""
+        return len(self.net_names)
+
+    @property
+    def n_levels(self) -> int:
+        """Number of topological layers."""
+        return len(self.levels)
+
+    @property
+    def n_gates(self) -> int:
+        """Number of gate instances."""
+        return sum(len(level.gate_names) for level in self.levels)
+
+    @property
+    def n_arcs(self) -> int:
+        """Number of (gate, pin) arcs evaluated per scenario."""
+        return sum(level.n_arcs for level in self.levels)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the cache artifact)."""
+        return {
+            "circuit_name": self.circuit_name,
+            "net_names": self.net_names,
+            "input_nets": self.input_nets.tolist(),
+            "net_load": self.net_load.tolist(),
+            "end_elmore": self.end_elmore.tolist(),
+            "levels": [level.to_dict() for level in self.levels],
+            "arc_table": self.arcs.to_dict(),
+            "sink_elmore": [[list(k), v] for k, v in sorted(self.sink_elmore.items())],
+            "sink_xw": [[list(k), v] for k, v in sorted(self.sink_xw.items())],
+            "calibration_digest": self.calibration_digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompiledDesign":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            circuit_name=data["circuit_name"],
+            net_names=list(data["net_names"]),
+            input_nets=np.asarray(data["input_nets"], dtype=np.int64),
+            net_load=np.asarray(data["net_load"], dtype=float),
+            end_elmore=np.asarray(data["end_elmore"], dtype=float),
+            levels=[CompiledLevel.from_dict(d) for d in data["levels"]],
+            arcs=ArcTensorBank.from_dict(data["arc_table"]),
+            sink_elmore={tuple(k): float(v) for k, v in data["sink_elmore"]},
+            sink_xw={tuple(k): float(v) for k, v in data["sink_xw"]},
+            calibration_digest=data["calibration_digest"],
+        )
+
+
+# ----------------------------------------------------------------------
+# Compile
+# ----------------------------------------------------------------------
+def _circuit_signature(circuit: Circuit) -> dict:
+    """Canonical content description of a parasitic-annotated circuit."""
+    nets = []
+    for net in circuit.nets.values():
+        nets.append(
+            [
+                net.name,
+                list(net.driver),
+                [list(s) for s in net.sinks],
+                sorted([list(k), v] for k, v in net.sink_leaf.items()),
+                list(net.tree.flatten()) if net.tree is not None else None,
+            ]
+        )
+    return {
+        "name": circuit.name,
+        "inputs": list(circuit.inputs),
+        "outputs": list(circuit.outputs),
+        "gates": [
+            [g.name, g.cell_name, sorted(g.pins.items()), g.output_net]
+            for g in circuit.gates.values()
+        ],
+        "nets": nets,
+    }
+
+
+def design_cache_key(circuit: Circuit, models: TimingModels) -> str:
+    """Content key of a compile artifact: circuit + every model input."""
+    pin_caps = {}
+    for gate in circuit.gates.values():
+        cell = models.library.get(gate.cell_name)
+        for pin in gate.pins:
+            pin_caps[f"{gate.cell_name}/{pin}"] = cell.input_cap(pin, models.tech)
+    payload = {
+        "circuit": _circuit_signature(circuit),
+        "calibration_digest": models.calibrated.content_digest(),
+        "wire": models.wire.to_dict(),
+        "pin_caps": sorted(pin_caps.items()),
+    }
+    return content_key(payload, length=32)
+
+
+def compile_design(
+    circuit: Circuit,
+    models: TimingModels,
+    cache: Optional[JsonCache] = None,
+    perf: Optional[PerfCounters] = None,
+) -> CompiledDesign:
+    """Levelize + pack a circuit into a :class:`CompiledDesign`.
+
+    The circuit is linted first (same fail-fast contract as the scalar
+    engine). With ``cache`` given, the artifact is stored/loaded keyed
+    on :func:`design_cache_key`; a loaded artifact is run through the
+    ``NSM003`` drift lint (:func:`repro.lint.lint_compiled_design`) and
+    rebuilt — never served — when its packed tensors disagree with the
+    current calibration.
+    """
+    from repro.lint import lint_circuit, lint_compiled_design
+
+    lint_circuit(circuit, library=models.library).raise_if_errors(
+        TimingError, context=f"circuit {circuit.name}"
+    )
+    perf = perf if perf is not None else PerfCounters()
+    digest = models.calibrated.content_digest()
+    key = None
+    if cache is not None:
+        key = design_cache_key(circuit, models)
+        doc = cache.get(COMPILE_CACHE_KIND, key)
+        if doc is not None:
+            candidate = CompiledDesign.from_dict(doc)
+            if not lint_compiled_design(candidate, models.calibrated).errors:
+                return candidate
+
+    design = _build_design(circuit, models, digest)
+    perf.sta_compiles += 1
+    if cache is not None and key is not None:
+        cache.put(COMPILE_CACHE_KIND, key, design.to_dict())
+    return design
+
+
+def _build_design(
+    circuit: Circuit, models: TimingModels, digest: str
+) -> CompiledDesign:
+    # The scalar engine is reused as the single source of parasitic
+    # truth: its annotated trees, cached Elmore maps and load cache are
+    # exactly what gets flattened into the compile artifact.
+    scalar = StatisticalSTA(circuit, models)
+    net_names = list(circuit.nets)
+    net_index = {name: i for i, name in enumerate(net_names)}
+
+    n_nets = len(net_names)
+    net_load = np.zeros(n_nets)
+    end_elmore = np.zeros(n_nets)
+    sink_elmore: Dict[SinkKey, float] = {}
+    sink_xw: Dict[SinkKey, float] = {}
+
+    for name, net in circuit.nets.items():
+        i = net_index[name]
+        net_load[i] = scalar._net_load(net)
+        end_elmore[i] = scalar._wire_delay_to(net, PRIMARY_OUTPUT)
+        sink_elmore[_sink_key(name, PRIMARY_OUTPUT)] = end_elmore[i]
+        sink_xw[_sink_key(name, PRIMARY_OUTPUT)] = scalar._wire_xw(
+            net, PRIMARY_OUTPUT
+        )
+        for sink in net.sinks:
+            if sink == PRIMARY_OUTPUT:
+                continue
+            sink_elmore[_sink_key(name, sink)] = scalar._wire_delay_to(net, sink)
+            sink_xw[_sink_key(name, sink)] = scalar._wire_xw(net, sink)
+
+    # Arc tensor bank over every (cell, pin, edge) the design can query.
+    keys: List[Tuple[str, str, bool]] = []
+    for gate in circuit.gates.values():
+        for pin in gate.pins:
+            keys.append((gate.cell_name, pin, True))
+            keys.append((gate.cell_name, pin, False))
+    levels: List[CompiledLevel] = []
+    arcs = None
+    if keys:
+        arcs = ArcTensorBank.pack(models.calibrated, keys)
+
+        # Levelize: level(gate) = 1 + max(level of driving gates).
+        order = circuit.topological_gates()
+        gate_level: Dict[str, int] = {}
+        groups: Dict[int, List] = {}
+        for gate in order:
+            lvl = 0
+            for net_name in gate.pins.values():
+                net = circuit.nets[net_name]
+                if not net.is_primary_input:
+                    lvl = max(lvl, gate_level[net.driver[0]])
+            lvl += 1
+            gate_level[gate.name] = lvl
+            groups.setdefault(lvl, []).append(gate)
+
+        for lvl in sorted(groups):
+            gates = groups[lvl]
+            max_pins = max(len(g.pins) for g in gates)
+            shape = (len(gates), max_pins)
+            valid = np.zeros(shape, dtype=bool)
+            src_net = np.zeros(shape, dtype=np.int64)
+            elm_in = np.zeros(shape)
+            inverting = np.zeros(shape, dtype=bool)
+            arc_rise = np.zeros(shape, dtype=np.int64)
+            arc_fall = np.zeros(shape, dtype=np.int64)
+            out_net = np.zeros(len(gates), dtype=np.int64)
+            load = np.zeros(len(gates))
+            for g, gate in enumerate(gates):
+                cell = models.library.get(gate.cell_name)
+                out_net[g] = net_index[gate.output_net]
+                load[g] = net_load[out_net[g]]
+                for p, (pin, net_name) in enumerate(gate.pins.items()):
+                    valid[g, p] = True
+                    src_net[g, p] = net_index[net_name]
+                    elm_in[g, p] = sink_elmore[
+                        _sink_key(net_name, (gate.name, pin))
+                    ]
+                    inverting[g, p] = cell.arc(pin).inverting
+                    arc_rise[g, p] = arcs.index[(gate.cell_name, pin, True)]
+                    arc_fall[g, p] = arcs.index[(gate.cell_name, pin, False)]
+            levels.append(
+                CompiledLevel(
+                    gate_names=[g.name for g in gates],
+                    out_net=out_net,
+                    load=load,
+                    valid=valid,
+                    src_net=src_net,
+                    elm_in=elm_in,
+                    inverting=inverting,
+                    arc_rise=arc_rise,
+                    arc_fall=arc_fall,
+                )
+            )
+    if arcs is None:
+        raise TimingError(
+            f"circuit {circuit.name!r} has no gates; nothing to compile"
+        )
+    return CompiledDesign(
+        circuit_name=circuit.name,
+        net_names=net_names,
+        input_nets=np.asarray(
+            [net_index[n] for n in circuit.inputs], dtype=np.int64
+        ),
+        net_load=net_load,
+        end_elmore=end_elmore,
+        levels=levels,
+        arcs=arcs,
+        sink_elmore=sink_elmore,
+        sink_xw=sink_xw,
+        calibration_digest=digest,
+    )
+
+
+# ----------------------------------------------------------------------
+# Query
+# ----------------------------------------------------------------------
+class CompiledSTA:
+    """Batch scenario queries over a compiled design.
+
+    Parameters
+    ----------
+    circuit / models:
+        The design and fitted models (must match the compile artifact).
+    cache:
+        Optional :class:`~repro.cache.JsonCache`; the compile artifact
+        is stored/loaded there keyed on circuit + calibration content.
+    perf:
+        Optional shared :class:`~repro.perf.PerfCounters`; compile and
+        query work is recorded under ``sta_*`` counters and the
+        ``sta_compile`` / ``sta_query`` wall stages.
+    design:
+        Pre-built :class:`CompiledDesign` to bind instead of compiling.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        models: TimingModels,
+        cache: Optional[JsonCache] = None,
+        perf: Optional[PerfCounters] = None,
+        design: Optional[CompiledDesign] = None,
+    ):
+        self.circuit = circuit
+        self.models = models
+        self.perf = perf if perf is not None else PerfCounters()
+        if design is None:
+            with self.perf.timer("sta_compile"):
+                design = compile_design(circuit, models, cache=cache, perf=self.perf)
+        if design.circuit_name != circuit.name:
+            raise TimingError(
+                f"compiled design {design.circuit_name!r} does not match "
+                f"circuit {circuit.name!r}"
+            )
+        self.design = design
+        self._net_index = {name: i for i, name in enumerate(design.net_names)}
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        input_slew: float = 20 * PS,
+        launch_rising: bool = True,
+        levels: Iterable[int] = SIGMA_LEVELS,
+    ) -> BatchSTAResult:
+        """Single-scenario convenience wrapper over :meth:`analyze_batch`."""
+        scenario = Scenario(
+            input_slew=input_slew,
+            launch_rising=launch_rising,
+            levels=tuple(levels),
+        )
+        return self.analyze_batch([scenario])[0]
+
+    def analyze_batch(self, scenarios: Sequence[Scenario]) -> List[BatchSTAResult]:
+        """Evaluate all scenarios in one vectorized pass.
+
+        Propagation state is ``(n_scenarios, n_nets)``; every topological
+        level costs one gather → arc-tensor contraction → per-gate argmax
+        → scatter cycle regardless of the batch width. Per-scenario
+        critical paths are then traced and priced.
+        """
+        if not scenarios:
+            return []
+        design = self.design
+        with self.perf.timer("sta_query"):
+            t0 = time.perf_counter()
+            arrival, slew, edge, winner = self._propagate(scenarios)
+            # Critical endpoint per scenario: first maximum in net order,
+            # matching the scalar engine's strict-> iteration.
+            totals = arrival + design.end_elmore[None, :]
+            end_idx = np.argmax(totals, axis=1)
+            results = []
+            for s, scenario in enumerate(scenarios):
+                results.append(
+                    self._scenario_result(
+                        scenario,
+                        int(end_idx[s]),
+                        arrival[s],
+                        slew[s],
+                        edge[s],
+                        winner[s],
+                    )
+                )
+            wall = time.perf_counter() - t0
+            self.perf.sta_scenarios += len(scenarios)
+        for result in results:
+            result.runtime_s = wall / len(scenarios)
+        return results
+
+    # ------------------------------------------------------------------
+    def _propagate(
+        self, scenarios: Sequence[Scenario]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        design = self.design
+        n_s, n_n = len(scenarios), design.n_nets
+        arrival = np.zeros((n_s, n_n))
+        slew = np.zeros((n_s, n_n))
+        edge = np.zeros((n_s, n_n), dtype=bool)
+        winner = np.zeros((n_s, n_n), dtype=np.int32)
+
+        inputs = design.input_nets
+        slew[:, inputs] = np.asarray([sc.input_slew for sc in scenarios])[:, None]
+        edge[:, inputs] = np.asarray(
+            [sc.launch_rising for sc in scenarios], dtype=bool
+        )[:, None]
+
+        arcs = design.arcs
+        for level in design.levels:
+            src = level.src_net
+            at_pin = arrival[:, src] + level.elm_in
+            slew_pin = np.hypot(slew[:, src], WIRE_SLEW_FACTOR * level.elm_in)
+            out_edge = edge[:, src] ^ level.inverting
+            rows = np.where(out_edge, level.arc_rise, level.arc_fall)
+            load = level.load[None, :, None]
+            mu = arcs.mu_at(rows, slew_pin, load)
+            at_out = np.where(level.valid, at_pin + mu, -np.inf)
+
+            win = np.argmax(at_out, axis=2)
+            take = win[:, :, None]
+            best_at = np.take_along_axis(at_out, take, axis=2)[:, :, 0]
+            best_slew_pin = np.take_along_axis(slew_pin, take, axis=2)[:, :, 0]
+            best_rows = np.take_along_axis(rows, take, axis=2)[:, :, 0]
+            best_edge = np.take_along_axis(out_edge, take, axis=2)[:, :, 0]
+            out_slew = arcs.out_slew_at(best_rows, best_slew_pin, level.load[None, :])
+
+            arrival[:, level.out_net] = best_at
+            slew[:, level.out_net] = out_slew
+            edge[:, level.out_net] = best_edge
+            winner[:, level.out_net] = win.astype(np.int32)
+
+            self.perf.sta_levels += 1
+            self.perf.sta_arc_evals += n_s * level.n_arcs
+        return arrival, slew, edge, winner
+
+    def _trace_path(
+        self, end_net: str, winner: np.ndarray
+    ) -> List[Tuple[str, str, str]]:
+        """Walk winning pins back from the endpoint: (gate, pin, out net)."""
+        chain: List[Tuple[str, str, str]] = []
+        net_name = end_net
+        while True:
+            net = self.circuit.nets[net_name]
+            if net.is_primary_input:
+                break
+            gate = self.circuit.gates[net.driver[0]]
+            pin = list(gate.pins)[int(winner[self._net_index[net_name]])]
+            chain.append((gate.name, pin, net_name))
+            net_name = gate.pins[pin]
+        chain.reverse()
+        return chain
+
+    def _scenario_result(
+        self,
+        scenario: Scenario,
+        end_idx: int,
+        arrival: np.ndarray,
+        slew: np.ndarray,
+        edge: np.ndarray,
+        winner: np.ndarray,
+    ) -> BatchSTAResult:
+        design = self.design
+        levels = tuple(scenario.levels)
+        end_net = design.net_names[end_idx]
+        chain = self._trace_path(end_net, winner)
+        timing = self._path_timing(scenario, chain, end_net, slew, edge, levels)
+        rho = (
+            scenario.stage_correlation
+            if scenario.stage_correlation is not None
+            else self.models.stage_correlation
+        )
+        return BatchSTAResult(
+            circuit_name=design.circuit_name,
+            arrival={name: float(arrival[i]) for i, name in enumerate(design.net_names)},
+            critical_path=timing,
+            runtime_s=0.0,
+            scenario=scenario,
+            correlated_quantiles={
+                n: timing.total_correlated(n, rho) for n in levels
+            },
+        )
+
+    def _path_timing(
+        self,
+        scenario: Scenario,
+        chain: List[Tuple[str, str, str]],
+        end_net: str,
+        slew: np.ndarray,
+        edge: np.ndarray,
+        levels: Tuple[int, ...],
+    ) -> PathTiming:
+        """Price the traced path: scalar-identical stage construction.
+
+        Cell moments come from the scalar :class:`ArcCalibration`
+        objects (the path holds tens of stages — vectorizing the full
+        Table I pricing happens across stages below, not per stage).
+        """
+        design = self.design
+        circuit = self.circuit
+        zero_q = {n: 0.0 for n in levels}
+        end_sink = PRIMARY_OUTPUT
+
+        stages: List[PathStage] = []
+        cell_moments: List[Optional[Moments]] = []
+
+        if chain:
+            first_gate, first_pin, _ = chain[0]
+            launch_net_name = circuit.gates[first_gate].pins[first_pin]
+        else:
+            launch_net_name = ""
+        if launch_net_name and circuit.nets[launch_net_name].is_primary_input:
+            sink = (first_gate, first_pin)
+            elm = design.sink_elmore[_sink_key(launch_net_name, sink)]
+            xw = design.sink_xw[_sink_key(launch_net_name, sink)]
+            stages.append(
+                PathStage(
+                    gate="",
+                    cell_name="",
+                    input_pin="",
+                    output_rising=scenario.launch_rising,
+                    net=launch_net_name,
+                    sink=sink,
+                    input_slew=scenario.input_slew,
+                    load=float(design.net_load[self._net_index[launch_net_name]]),
+                    cell_moments=None,
+                    cell_quantiles=dict(zero_q),
+                    wire_elmore=elm,
+                    wire_xw=xw,
+                    wire_quantiles={n: (1.0 + n * xw) * elm for n in levels},
+                )
+            )
+            cell_moments.append(None)
+
+        for k, (gate_name, pin, out_net_name) in enumerate(chain):
+            gate = circuit.gates[gate_name]
+            in_net_name = gate.pins[pin]
+            in_idx = self._net_index[in_net_name]
+            out_idx = self._net_index[out_net_name]
+            elm_in = design.sink_elmore[_sink_key(in_net_name, (gate_name, pin))]
+            slew_pin = float(
+                np.hypot(slew[in_idx], WIRE_SLEW_FACTOR * elm_in)
+            )
+            load = float(design.net_load[out_idx])
+            out_edge = bool(edge[out_idx])
+            arc = self.models.calibrated.get(gate.cell_name, pin, out_edge)
+            moments = arc.moments_at(slew_pin, load)
+            if k + 1 < len(chain):
+                next_gate, next_pin, _ = chain[k + 1]
+                sink = (next_gate, next_pin)
+            else:
+                sink = end_sink
+            elm_out = design.sink_elmore[_sink_key(out_net_name, sink)]
+            xw = design.sink_xw[_sink_key(out_net_name, sink)]
+            stages.append(
+                PathStage(
+                    gate=gate_name,
+                    cell_name=gate.cell_name,
+                    input_pin=pin,
+                    output_rising=out_edge,
+                    net=out_net_name,
+                    sink=sink,
+                    input_slew=slew_pin,
+                    load=load,
+                    cell_moments=moments,
+                    cell_quantiles={},  # filled by the vectorized sweep below
+                    wire_elmore=elm_out,
+                    wire_xw=xw,
+                    wire_quantiles={n: (1.0 + n * xw) * elm_out for n in levels},
+                )
+            )
+            cell_moments.append(moments)
+
+        # Price all cell stages at once (Table I, vectorized over stages).
+        cell_idx = [i for i, m in enumerate(cell_moments) if m is not None]
+        if cell_idx:
+            mu = np.array([cell_moments[i].mu for i in cell_idx])
+            sg = np.array([cell_moments[i].sigma for i in cell_idx])
+            sk = np.array([cell_moments[i].skew for i in cell_idx])
+            ku = np.array([cell_moments[i].kurt for i in cell_idx])
+            per_level = {
+                n: self.models.nsigma.quantile_array(mu, sg, sk, ku, n)
+                for n in levels
+            }
+            for j, i in enumerate(cell_idx):
+                stages[i].cell_quantiles = {
+                    n: float(per_level[n][j]) for n in levels
+                }
+        return PathTiming(stages=stages, levels=levels)

@@ -201,6 +201,24 @@ class RCTree:
                 net.add_capacitor(f"{prefix}_c_{name}", circuit_node, node.cap)
         return mapping
 
+    def flatten(self) -> Tuple[List[str], List[int], List[float], List[float]]:
+        """Flat parallel arrays ``(names, parent_index, resistance, cap)``.
+
+        Nodes appear in topological (root-first BFS) order; the root's
+        parent index is ``-1``. This is the array form consumed by the
+        compiled STA engine and :func:`repro.interconnect.metrics.elmore_delays`
+        — one flattening replaces repeated per-query dict traversals.
+        """
+        order = list(self.topological())
+        pos = {name: i for i, name in enumerate(order)}
+        parent = [
+            pos[self._nodes[n].parent] if self._nodes[n].parent is not None else -1
+            for n in order
+        ]
+        res = [self._nodes[n].resistance for n in order]
+        cap = [self._nodes[n].cap for n in order]
+        return order, parent, res, cap
+
     # ------------------------------------------------------------------
     def copy(self) -> "RCTree":
         """Deep copy (topology and values)."""

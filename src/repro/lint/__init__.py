@@ -29,6 +29,7 @@ from repro.lint.domain import (
     lint_artifact,
     lint_characterization,
     lint_circuit,
+    lint_compiled_design,
     lint_nsigma_model,
     lint_rctree,
     lint_spef,
@@ -48,6 +49,7 @@ __all__ = [
     "lint_characterization",
     "lint_circuit",
     "lint_codebase",
+    "lint_compiled_design",
     "lint_nsigma_model",
     "lint_rctree",
     "lint_source",

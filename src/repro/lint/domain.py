@@ -144,6 +144,12 @@ register_rule(Rule(
     "one grid point pulled the fit far from its own data; inspect that characterization",
 ))
 register_rule(Rule(
+    "NSM003", "domain", Severity.ERROR,
+    "stale compiled STA artifact: packed arc tensors drift from the calibration",
+    "a compile cached against an older calibration silently serves outdated "
+    "delays for every query; the artifact must be recompiled",
+))
+register_rule(Rule(
     "ART001", "domain", Severity.ERROR,
     "unreadable or unrecognized artifact file",
     "an artifact the flow cannot even parse must never be silently skipped",
@@ -534,6 +540,89 @@ def lint_nsigma_model(
                         f"the fit RMS ({rms / PS:.4f} ps)",
                         artifact="nsigma model",
                     )
+    return report
+
+
+def lint_compiled_design(design, calibrated, atol: float = 0.0) -> LintReport:
+    """Drift check of a compiled STA artifact against a calibration (NSM003).
+
+    Two layers of defense:
+
+    * the content digests must match — a digest mismatch means the
+      artifact was compiled from a different (typically older) fit;
+    * every packed tensor row is re-derived from the live calibration
+      through the same fallback resolution and compared coefficient by
+      coefficient, catching artifacts whose digest was forged or whose
+      payload was edited after compilation.
+
+    Parameters
+    ----------
+    design:
+        A :class:`~repro.core.sta_compiled.CompiledDesign`.
+    calibrated:
+        The live :class:`~repro.core.calibration.CalibratedCellLibrary`.
+    atol:
+        Absolute tolerance for the coefficient comparison (0.0 — the
+        cache round-trips floats exactly, so any difference is drift).
+    """
+    report = LintReport()
+    artifact = f"compiled design {design.circuit_name}"
+    live_digest = calibrated.content_digest()
+    if design.calibration_digest != live_digest:
+        report.emit(
+            "NSM003",
+            f"calibration digest mismatch: artifact compiled against "
+            f"{design.calibration_digest[:12]}..., live calibration is "
+            f"{live_digest[:12]}...; recompile the design",
+            artifact=artifact,
+        )
+
+    bank = design.arcs
+    checked = set()
+    for (cell, pin, rising), row in sorted(bank.index.items()):
+        if row in checked:
+            continue
+        checked.add(row)
+        try:
+            arc = calibrated.get(cell, pin, rising)
+        except KeyError:
+            report.emit(
+                "NSM003",
+                f"arc {cell}/{pin}/{'rise' if rising else 'fall'} is packed "
+                f"in the artifact but absent from the live calibration",
+                artifact=artifact,
+            )
+            continue
+        live_row = {
+            "ref": [arc.ref.mu, arc.ref.sigma, arc.ref.skew, arc.ref.kurt],
+            "mu_coef": arc.mu_coef,
+            "sigma_coef": arc.sigma_coef,
+            "skew_coef": arc.skew_coef,
+            "kurt_coef": arc.kurt_coef,
+            "slew_ref": arc.slew_ref,
+            "slew_coef": arc.slew_coef,
+        }
+        packed_row = {
+            "ref": bank.ref[row],
+            "mu_coef": bank.mu_coef[row],
+            "sigma_coef": bank.sigma_coef[row],
+            "skew_coef": bank.skew_coef[row],
+            "kurt_coef": bank.kurt_coef[row],
+            "slew_ref": bank.slew_ref[row],
+            "slew_coef": bank.slew_coef[row],
+        }
+        for field_name, live in live_row.items():
+            packed = packed_row[field_name]
+            if not np.allclose(np.asarray(packed), np.asarray(live), rtol=0.0,
+                               atol=atol, equal_nan=True):
+                report.emit(
+                    "NSM003",
+                    f"arc {cell}/{pin}/{'rise' if rising else 'fall'} row "
+                    f"{row}: packed {field_name} drifts from the live "
+                    f"calibration; recompile the design",
+                    artifact=artifact,
+                )
+                break
     return report
 
 

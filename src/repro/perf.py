@@ -18,9 +18,15 @@ What is counted and why it matters:
   (linear circuits, sample-independent Jacobian).
 * ``dc_steps`` / ``dc_early_exits`` — pseudo-transient DC settle cost
   and how often it converges before its step budget.
+* ``sta_compiles`` / ``sta_scenarios`` / ``sta_levels`` /
+  ``sta_arc_evals`` — work of the compiled STA engine
+  (:mod:`repro.core.sta_compiled`): design compiles performed, query
+  scenarios served, levelized propagation sweeps, and (scenario × gate
+  × pin) timing-arc evaluations. ``sta_arc_evals / wall_s['sta_query']``
+  is the engine's headline throughput.
 * ``wall_s`` — wall-clock seconds per named stage (``simulate``,
-  ``characterize``, ``fit_models``, ...), accumulated with
-  :meth:`PerfCounters.timer`.
+  ``characterize``, ``fit_models``, ``sta_compile``, ``sta_query``,
+  ...), accumulated with :meth:`PerfCounters.timer`.
 """
 
 from __future__ import annotations
@@ -44,6 +50,10 @@ class PerfCounters:
     dc_steps: int = 0
     dc_early_exits: int = 0
     simulations: int = 0
+    sta_compiles: int = 0
+    sta_scenarios: int = 0
+    sta_levels: int = 0
+    sta_arc_evals: int = 0
     wall_s: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -83,6 +93,10 @@ class PerfCounters:
         self.dc_steps += other.dc_steps
         self.dc_early_exits += other.dc_early_exits
         self.simulations += other.simulations
+        self.sta_compiles += other.sta_compiles
+        self.sta_scenarios += other.sta_scenarios
+        self.sta_levels += other.sta_levels
+        self.sta_arc_evals += other.sta_arc_evals
         for stage, seconds in other.wall_s.items():
             self.add_wall(stage, seconds)
         return self
@@ -100,6 +114,10 @@ class PerfCounters:
             "dc_steps": self.dc_steps,
             "dc_early_exits": self.dc_early_exits,
             "simulations": self.simulations,
+            "sta_compiles": self.sta_compiles,
+            "sta_scenarios": self.sta_scenarios,
+            "sta_levels": self.sta_levels,
+            "sta_arc_evals": self.sta_arc_evals,
             "wall_s": {k: round(v, 4) for k, v in self.wall_s.items()},
         }
 
@@ -116,6 +134,10 @@ class PerfCounters:
             dc_steps=int(data.get("dc_steps", 0)),
             dc_early_exits=int(data.get("dc_early_exits", 0)),
             simulations=int(data.get("simulations", 0)),
+            sta_compiles=int(data.get("sta_compiles", 0)),
+            sta_scenarios=int(data.get("sta_scenarios", 0)),
+            sta_levels=int(data.get("sta_levels", 0)),
+            sta_arc_evals=int(data.get("sta_arc_evals", 0)),
         )
         out.wall_s = {k: float(v) for k, v in data.get("wall_s", {}).items()}
         return out
@@ -130,6 +152,13 @@ class PerfCounters:
             f"({self.fast_solves} fast-path)  "
             f"active-sample fraction: {self.active_sample_fraction:.2f}",
         ]
+        if self.sta_scenarios or self.sta_compiles:
+            lines.append(
+                f"sta: {self.sta_compiles} compiles  "
+                f"{self.sta_scenarios} scenarios  "
+                f"{self.sta_levels} level sweeps  "
+                f"{self.sta_arc_evals} arc evals"
+            )
         if self.wall_s:
             stages = "  ".join(f"{k}={v:.2f}s" for k, v in sorted(self.wall_s.items()))
             lines.append(f"wall time: {stages}")

@@ -1,0 +1,324 @@
+"""Golden equivalence of the compiled STA engine against the scalar one.
+
+The compiled engine (:mod:`repro.core.sta_compiled`) must be an exact
+drop-in for :class:`~repro.core.sta.StatisticalSTA`: same arrivals, same
+critical path, same sigma-level quantiles, to well under 1e-12 s. These
+tests pin that contract on the deterministic adder fixture, on random
+ISCAS85-like circuits (example-based and hypothesis-driven), on
+ideal-net circuits, and across the compile cache round trip.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import JsonCache
+from repro.core.sta import StatisticalSTA
+from repro.core.sta_compiled import (
+    COMPILE_CACHE_KIND,
+    BatchSTAResult,
+    CompiledDesign,
+    CompiledSTA,
+    Scenario,
+    compile_design,
+    design_cache_key,
+)
+from repro.errors import TimingError
+from repro.lint import lint_compiled_design
+from repro.moments.stats import SIGMA_LEVELS
+from repro.netlist.benchmarks import BenchmarkProfile, attach_parasitics, build_iscas85_like
+from repro.netlist.circuit import Circuit
+from repro.netlist.generators import build_adder
+from repro.units import PS
+
+#: Equivalence budget required by the engine contract. The actual
+#: deviation is float round-off (~1e-25 s); anything near 1e-12 s would
+#: mean a modeling divergence, not noise.
+TOL = 1e-12
+
+
+def build_mini_circuit(seed: int, n_cells: int = 40, depth: int = 6, tech=None) -> Circuit:
+    """A small random circuit covered by the mini-flow calibration.
+
+    Only INV types: the generator randomizes strengths x1–x8 and the
+    mini flow characterizes every INV strength but only x1 of the
+    stacked cells.
+    """
+    profile = BenchmarkProfile(
+        name=f"mini{seed}", n_cells=n_cells, n_nets=n_cells + 8,
+        n_outputs=4, depth=depth, seed=seed,
+    )
+    circuit = build_iscas85_like(profile.name, profile, type_names=("INV",))
+    if tech is not None:
+        attach_parasitics(circuit, tech, seed=seed + 1)
+    return circuit
+
+
+def assert_equivalent(scalar_result, batch_result, levels=SIGMA_LEVELS):
+    """Scalar and compiled results agree on everything that matters."""
+    assert set(scalar_result.arrival) == set(batch_result.arrival)
+    for net, value in scalar_result.arrival.items():
+        assert abs(batch_result.arrival[net] - value) < TOL, net
+
+    sp, cp = scalar_result.critical_path, batch_result.critical_path
+    assert [(s.gate, s.input_pin, s.net, s.sink) for s in sp.stages] == [
+        (s.gate, s.input_pin, s.net, s.sink) for s in cp.stages
+    ]
+    for s_stage, c_stage in zip(sp.stages, cp.stages):
+        assert s_stage.output_rising == c_stage.output_rising
+        assert abs(s_stage.input_slew - c_stage.input_slew) < TOL
+        assert s_stage.load == pytest.approx(c_stage.load, abs=1e-21)
+        assert abs(s_stage.wire_elmore - c_stage.wire_elmore) < TOL
+        for n in levels:
+            assert abs(s_stage.cell_quantiles[n] - c_stage.cell_quantiles[n]) < TOL
+            assert abs(s_stage.wire_quantiles[n] - c_stage.wire_quantiles[n]) < TOL
+    for n in levels:
+        assert abs(sp.total(n) - cp.total(n)) < TOL
+
+
+@pytest.fixture(scope="module")
+def compiled_adder(adder_circuit, mini_models):
+    return CompiledSTA(adder_circuit, mini_models)
+
+
+class TestGoldenEquivalence:
+    def test_adder_default_scenario(self, adder_circuit, mini_models, compiled_adder):
+        scalar = StatisticalSTA(adder_circuit, mini_models).analyze()
+        assert_equivalent(scalar, compiled_adder.analyze())
+
+    def test_adder_scenario_grid(self, adder_circuit, mini_models, compiled_adder):
+        scenarios = [
+            Scenario(input_slew=s * PS, launch_rising=r)
+            for s in (10.0, 20.0, 75.0, 240.0)
+            for r in (True, False)
+        ]
+        results = compiled_adder.analyze_batch(scenarios)
+        assert len(results) == len(scenarios)
+        for scenario, result in zip(scenarios, results):
+            scalar = StatisticalSTA(
+                adder_circuit, mini_models,
+                input_slew=scenario.input_slew,
+                launch_rising=scenario.launch_rising,
+            ).analyze()
+            assert_equivalent(scalar, result)
+            assert result.scenario == scenario
+
+    def test_random_circuits_with_parasitics(self, mini_models, tech):
+        for seed in (3, 11, 27):
+            circuit = build_mini_circuit(seed, tech=tech)
+            scalar = StatisticalSTA(circuit, mini_models).analyze()
+            compiled = CompiledSTA(circuit, mini_models).analyze()
+            assert_equivalent(scalar, compiled)
+
+    def test_ideal_nets_zero_wire(self, mini_models):
+        # No parasitics attached: every wire contributes exactly zero.
+        circuit = build_mini_circuit(5, tech=None)
+        scalar = StatisticalSTA(circuit, mini_models).analyze()
+        compiled = CompiledSTA(circuit, mini_models).analyze()
+        assert_equivalent(scalar, compiled)
+        assert compiled.critical_path.wire_total == 0.0
+
+    def test_sigma_level_subset(self, adder_circuit, mini_models, compiled_adder):
+        levels = (-2, 0, 2)
+        scalar = StatisticalSTA(adder_circuit, mini_models).analyze(levels=levels)
+        compiled = compiled_adder.analyze(levels=levels)
+        assert compiled.critical_path.levels == levels
+        assert_equivalent(scalar, compiled, levels=levels)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_cells=st.integers(min_value=8, max_value=60),
+        depth=st.integers(min_value=2, max_value=8),
+        slew_ps=st.floats(min_value=5.0, max_value=260.0),
+        rising=st.booleans(),
+    )
+    def test_property_random_circuit(
+        self, mini_models, tech, seed, n_cells, depth, slew_ps, rising
+    ):
+        depth = min(depth, max(2, n_cells // 2))
+        circuit = build_mini_circuit(seed, n_cells=n_cells, depth=depth,
+                                     tech=tech if seed % 2 else None)
+        scalar = StatisticalSTA(
+            circuit, mini_models, input_slew=slew_ps * PS, launch_rising=rising
+        ).analyze()
+        compiled = CompiledSTA(circuit, mini_models).analyze(
+            input_slew=slew_ps * PS, launch_rising=rising
+        )
+        assert_equivalent(scalar, compiled)
+
+
+class TestBatchSemantics:
+    def test_empty_batch(self, compiled_adder):
+        assert compiled_adder.analyze_batch([]) == []
+
+    def test_result_type_and_runtime(self, compiled_adder):
+        results = compiled_adder.analyze_batch([Scenario(), Scenario(input_slew=50 * PS)])
+        for result in results:
+            assert isinstance(result, BatchSTAResult)
+            assert result.runtime_s > 0
+
+    def test_correlated_quantiles_match_path(self, mini_models, compiled_adder):
+        rho = 0.4
+        result = compiled_adder.analyze_batch([Scenario(stage_correlation=rho)])[0]
+        for n in SIGMA_LEVELS:
+            assert result.correlated_quantiles[n] == pytest.approx(
+                result.critical_path.total_correlated(n, rho)
+            )
+
+    def test_default_correlation_comes_from_models(self, compiled_adder, mini_models):
+        result = compiled_adder.analyze_batch([Scenario()])[0]
+        rho = mini_models.stage_correlation
+        for n in (0, 3):
+            assert result.correlated_quantiles[n] == pytest.approx(
+                result.critical_path.total_correlated(n, rho)
+            )
+
+    def test_perf_counters(self, adder_circuit, mini_models):
+        engine = CompiledSTA(adder_circuit, mini_models)
+        perf = engine.perf
+        assert perf.sta_compiles == 1
+        assert perf.wall_s.get("sta_compile", 0.0) > 0.0
+        engine.analyze_batch([Scenario(), Scenario(launch_rising=False)])
+        assert perf.sta_scenarios == 2
+        # One vectorized sweep per level serves the whole batch; arc
+        # evaluations still count per (scenario x gate x pin).
+        assert perf.sta_levels == engine.design.n_levels
+        assert perf.sta_arc_evals == 2 * engine.design.n_arcs
+        assert perf.wall_s.get("sta_query", 0.0) > 0.0
+
+    def test_design_shape(self, compiled_adder, adder_circuit):
+        design = compiled_adder.design
+        assert design.n_gates == adder_circuit.n_cells
+        assert design.n_nets == adder_circuit.n_nets
+        assert design.n_levels >= adder_circuit.logic_depth()
+        assert sum(level.n_arcs for level in design.levels) == design.n_arcs
+
+
+class TestCompileCache:
+    def test_cache_round_trip_identical(self, adder_circuit, mini_models, tmp_path):
+        cache = JsonCache(tmp_path)
+        first = compile_design(adder_circuit, mini_models, cache=cache)
+        assert cache.misses == 1 and cache.hits == 0
+        second = compile_design(adder_circuit, mini_models, cache=cache)
+        assert cache.hits == 1
+        r1 = CompiledSTA(adder_circuit, mini_models, design=first).analyze()
+        r2 = CompiledSTA(adder_circuit, mini_models, design=second).analyze()
+        assert r1.arrival == r2.arrival  # bit-identical, not just close
+        for n in SIGMA_LEVELS:
+            assert r1.critical_path.total(n) == r2.critical_path.total(n)
+
+    def test_key_tracks_circuit_content(self, adder_circuit, mini_models, tech):
+        other = build_adder(3, name="adder3")
+        attach_parasitics(other, tech, seed=99)  # different parasitics
+        assert design_cache_key(adder_circuit, mini_models) != design_cache_key(
+            other, mini_models
+        )
+
+    def test_json_round_trip_exact(self, adder_circuit, mini_models):
+        import json
+
+        design = compile_design(adder_circuit, mini_models)
+        restored = CompiledDesign.from_dict(json.loads(json.dumps(design.to_dict())))
+        assert restored.net_names == design.net_names
+        assert np.array_equal(restored.net_load, design.net_load)
+        assert np.array_equal(restored.end_elmore, design.end_elmore)
+        assert restored.sink_elmore == design.sink_elmore
+        assert restored.arcs.index == design.arcs.index
+        assert np.array_equal(restored.arcs.mu_coef, design.arcs.mu_coef)
+
+    def test_stale_artifact_is_rebuilt_not_served(
+        self, adder_circuit, mini_models, tmp_path
+    ):
+        cache = JsonCache(tmp_path)
+        compile_design(adder_circuit, mini_models, cache=cache)
+        key = design_cache_key(adder_circuit, mini_models)
+        doc = cache.get(COMPILE_CACHE_KIND, key)
+        # Corrupt the cached tensors as a stale-calibration artifact would be.
+        doc["arc_table"]["mu_coef"][0][0] *= 1.5
+        cache.put(COMPILE_CACHE_KIND, key, doc)
+        hits_before = cache.hits
+        served = compile_design(adder_circuit, mini_models, cache=cache)
+        # The poisoned artifact was loaded but failed the drift lint and
+        # was rebuilt: the served design matches the live calibration.
+        assert cache.hits == hits_before + 1
+        assert not lint_compiled_design(served, mini_models.calibrated).errors
+
+
+class TestDriftLint:
+    def test_clean_design_passes(self, compiled_adder, mini_models):
+        report = lint_compiled_design(compiled_adder.design, mini_models.calibrated)
+        assert not report.errors
+
+    def test_digest_mismatch_flagged(self, compiled_adder, mini_models):
+        import dataclasses
+
+        stale = dataclasses.replace(
+            compiled_adder.design, calibration_digest="0" * 32
+        )
+        report = lint_compiled_design(stale, mini_models.calibrated)
+        assert "NSM003" in report.rule_ids()
+
+    def test_coefficient_drift_flagged(self, adder_circuit, mini_models):
+        design = compile_design(adder_circuit, mini_models)
+        design.arcs.sigma_coef[0, 0] += 1e-13
+        report = lint_compiled_design(design, mini_models.calibrated)
+        assert "NSM003" in report.rule_ids()
+        assert any("sigma_coef" in d.message for d in report.errors)
+
+    def test_missing_arc_flagged(self, adder_circuit, mini_models):
+        import copy
+
+        design = compile_design(adder_circuit, mini_models)
+        calibrated = copy.deepcopy(mini_models.calibrated)
+        calibrated.arcs = {
+            k: v for k, v in calibrated.arcs.items() if k[0] != "NAND2x1"
+        }
+        report = lint_compiled_design(design, calibrated)
+        assert "NSM003" in report.rule_ids()
+
+
+class TestErrors:
+    def test_gateless_circuit_rejected(self, mini_models):
+        circuit = Circuit("wires_only")
+        circuit.add_input("a")
+        circuit.add_output("a")
+        with pytest.raises(TimingError, match="no gates"):
+            compile_design(circuit, mini_models)
+
+    def test_design_circuit_mismatch(self, adder_circuit, mini_models, tech):
+        design = compile_design(adder_circuit, mini_models)
+        other = build_mini_circuit(1, tech=tech)
+        with pytest.raises(TimingError, match="does not match"):
+            CompiledSTA(other, mini_models, design=design)
+
+    def test_lint_fail_fast(self, mini_models):
+        circuit = Circuit("broken")
+        circuit.add_gate("g0", "INVx1", {"A": "floating"}, "out")
+        circuit.add_output("out")
+        with pytest.raises(TimingError):
+            compile_design(circuit, mini_models)
+
+
+class TestScalarCaches:
+    """The satellite caches on the scalar engine keep results unchanged."""
+
+    def test_cell_ratio_memoized(self, mini_models):
+        mini_models._ratio_cache.clear()
+        first = mini_models.cell_ratio("INVx4")
+        assert "INVx4" in mini_models._ratio_cache
+        # Poison the cache to prove the second call is served from it.
+        mini_models._ratio_cache["INVx4"] = first + 1.0
+        assert mini_models.cell_ratio("INVx4") == first + 1.0
+        mini_models._ratio_cache.clear()
+        assert mini_models.cell_ratio("INVx4") == first
+
+    def test_net_derivations_cached_per_engine(self, adder_circuit, mini_models):
+        sta = StatisticalSTA(adder_circuit, mini_models)
+        sta.analyze()
+        assert sta._load_cache and sta._elmore_cache
+        n_load, n_elm = len(sta._load_cache), len(sta._elmore_cache)
+        sta.analyze()  # second run adds no entries
+        assert len(sta._load_cache) == n_load
+        assert len(sta._elmore_cache) == n_elm

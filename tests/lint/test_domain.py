@@ -351,6 +351,47 @@ class TestLintNSigmaModel:
 
 
 # ----------------------------------------------------------------------
+# Compiled STA artifacts (NSM003)
+# ----------------------------------------------------------------------
+class TestLintCompiledDesign:
+    """Drift detection between a compiled design and the calibration.
+
+    Deeper scenarios (cache poisoning, rebuild-on-drift) live in
+    ``tests/core/test_sta_compiled.py``; here the rule itself is
+    exercised against the catalogue contract.
+    """
+
+    @pytest.fixture()
+    def design(self, mini_models):
+        from repro.core.sta_compiled import compile_design
+
+        return compile_design(clean_circuit(), mini_models)
+
+    def test_fresh_design_silent(self, design, mini_models):
+        from repro.lint import lint_compiled_design
+
+        assert lint_compiled_design(design, mini_models.calibrated).ok
+
+    def test_nsm003_digest_mismatch(self, design, mini_models):
+        import dataclasses
+
+        from repro.lint import lint_compiled_design
+
+        stale = dataclasses.replace(design, calibration_digest="0" * 32)
+        report = lint_compiled_design(stale, mini_models.calibrated)
+        assert "NSM003" in report.rule_ids()
+        assert not report.ok
+
+    def test_nsm003_coefficient_drift(self, design, mini_models):
+        from repro.lint import lint_compiled_design
+
+        design.arcs.mu_coef[0, 0] += 1e-13
+        report = lint_compiled_design(design, mini_models.calibrated)
+        assert "NSM003" in report.rule_ids()
+        assert "drift" in report.errors[0].message
+
+
+# ----------------------------------------------------------------------
 # Artifact dispatch (ART)
 # ----------------------------------------------------------------------
 class TestLintArtifact:
