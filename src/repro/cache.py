@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -69,47 +70,129 @@ def content_key(payload: Any, length: int = 16, versioned: bool = True) -> str:
 class JsonCache:
     """A directory of ``<kind>_<key>.json`` artifacts with hit/miss stats.
 
+    Safe under concurrent writers: every :meth:`put` writes to a
+    process-unique temp file (two processes storing the same key can
+    never truncate each other mid-write), fsyncs it, and atomically
+    renames it over the final path — last writer wins with a complete
+    artifact. Orphaned ``*.tmp`` files from crashed writers are swept
+    on construction. A truncated or otherwise corrupt artifact is
+    treated as a miss: the bad file is unlinked and counted in
+    ``corrupt`` (and the ``cache_corrupt`` perf counter).
+
     Parameters
     ----------
     directory:
         Cache root; created lazily on first :meth:`put`. ``None`` uses
         :func:`default_cache_dir`.
+    perf:
+        Optional :class:`~repro.perf.PerfCounters` receiving
+        ``cache_hits`` / ``cache_misses`` / ``cache_corrupt``.
     """
 
-    def __init__(self, directory: Optional[Union[str, Path]] = None):
+    def __init__(self, directory: Optional[Union[str, Path]] = None, perf=None):
         self.directory = Path(directory) if directory is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self.perf = perf
+        self.sweep_orphans()
+
+    # ------------------------------------------------------------------
+    def sweep_orphans(self) -> int:
+        """Delete leftover ``*.tmp`` files from crashed writers; returns count.
+
+        Called on construction. A temp file belonging to a concurrent
+        live writer may be swept too; :meth:`put` recovers from that by
+        rewriting (its atomic rename simply fails and is retried with a
+        fresh temp file), so the sweep is always safe.
+        """
+        if not self.directory.exists():
+            return 0
+        removed = 0
+        for orphan in self.directory.glob("*.tmp"):
+            try:
+                orphan.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - raced with another sweep
+                pass
+        return removed
 
     # ------------------------------------------------------------------
     def path(self, kind: str, key: str) -> Path:
         """File path of an artifact (may not exist yet)."""
         return self.directory / f"{kind}_{key}.json"
 
+    def _count_miss(self) -> None:
+        self.misses += 1
+        if self.perf is not None:
+            self.perf.cache_misses += 1
+
     def get(self, kind: str, key: str) -> Optional[Dict[str, Any]]:
-        """Load an artifact, or ``None`` on miss (or unreadable file)."""
+        """Load an artifact, or ``None`` on miss (or unreadable file).
+
+        A file that exists but does not parse (truncated by a crashed
+        writer, bit-rot) is *corrupt*: it is unlinked so it cannot keep
+        shadowing the key, counted separately from plain misses, and
+        reported as a miss to the caller — the artifact is simply
+        recomputed and re-stored.
+        """
         path = self.path(kind, key)
         if not path.exists():
-            self.misses += 1
+            self._count_miss()
             return None
         try:
             with path.open() as fh:
                 doc = json.load(fh)
         except (OSError, json.JSONDecodeError):
-            self.misses += 1
+            self.corrupt += 1
+            if self.perf is not None:
+                self.perf.cache_corrupt += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - raced with another reader
+                pass
+            self._count_miss()
             return None
         self.hits += 1
+        if self.perf is not None:
+            self.perf.cache_hits += 1
         return doc
 
     def put(self, kind: str, key: str, doc: Dict[str, Any]) -> Path:
-        """Store an artifact atomically (write temp file, then rename)."""
+        """Store an artifact atomically (unique temp file, fsync, rename).
+
+        The temp name embeds the PID plus a random suffix, so concurrent
+        writers of the *same* key each write their own complete file and
+        the atomic ``os.replace`` serializes them — a reader sees either
+        the old artifact or a complete new one, never a torn write.
+        """
         path = self.path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".json.tmp")
-        with tmp.open("w") as fh:
-            json.dump(doc, fh)
-        tmp.replace(path)
-        return path
+        payload = json.dumps(doc)
+        # Retry once if a concurrent cache construction swept our live
+        # temp file between write and rename (see sweep_orphans).
+        for attempt in (0, 1):
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f"{kind}_{key}.{os.getpid()}.",
+                suffix=".tmp",
+                dir=str(path.parent),
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(payload)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp_name, path)
+                return path
+            except FileNotFoundError:
+                if attempt:
+                    raise
+            finally:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+        raise OSError(f"could not store cache artifact {path}")  # pragma: no cover
 
     def purge(self, kind: Optional[str] = None) -> int:
         """Delete cached artifacts (optionally only one ``kind``); returns count."""

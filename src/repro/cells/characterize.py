@@ -29,7 +29,7 @@ from repro.errors import CharacterizationError
 from repro.cache import JsonCache, content_key
 from repro.cells.library import Cell, CellLibrary
 from repro.moments.stats import SIGMA_LEVELS, Moments, empirical_sigma_quantiles
-from repro.parallel import parallel_map, task_seed
+from repro.parallel import QuarantinedTask, RetryPolicy, parallel_map, task_seed
 from repro.perf import PerfCounters
 from repro.spice.measure import ramp_time_for_slew
 from repro.spice.montecarlo import DelaySamples, MonteCarloEngine, SimulationSetup
@@ -404,10 +404,62 @@ def arc_cache_payload(
 
 
 @dataclass
+class QuarantinedArc:
+    """A timing arc excluded from a characterization run after failures.
+
+    The structured diagnostic of graceful degradation: the arc identity,
+    why it failed (last error of the exhausted retry budget), and how
+    hard the executor tried. Lint rule RUN001 surfaces these; the flow
+    fails the run only when their count exceeds the quarantine budget.
+    """
+
+    cell_name: str
+    pin: str
+    edge: str
+    error_type: str
+    message: str
+    attempts: int = 1
+    failed_points: int = 1
+
+    @property
+    def arc_key(self) -> Tuple[str, str, str]:
+        return (self.cell_name, self.pin, self.edge)
+
+    def as_dict(self) -> dict:
+        return {
+            "cell": self.cell_name,
+            "pin": self.pin,
+            "edge": self.edge,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "failed_points": self.failed_points,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "QuarantinedArc":
+        return cls(
+            cell_name=str(data["cell"]),
+            pin=str(data["pin"]),
+            edge=str(data["edge"]),
+            error_type=str(data["error_type"]),
+            message=str(data["message"]),
+            attempts=int(data.get("attempts", 1)),  # type: ignore[arg-type]
+            failed_points=int(data.get("failed_points", 1)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
 class LibraryCharacterization:
-    """Characterization tables for a set of arcs, keyed by (cell, pin, edge)."""
+    """Characterization tables for a set of arcs, keyed by (cell, pin, edge).
+
+    ``quarantined`` lists arcs that failed characterization after
+    retries and were excluded instead of aborting the run (empty for a
+    fully healthy run).
+    """
 
     tables: Dict[Tuple[str, str, str], CharacterizationTable] = field(default_factory=dict)
+    quarantined: List[QuarantinedArc] = field(default_factory=list)
 
     @staticmethod
     def _key(cell_name: str, pin: str, output_rising: bool) -> Tuple[str, str, str]:
@@ -445,8 +497,21 @@ def characterize_library(
     n_samples: int = 2000,
     workers: Optional[int] = None,
     cache: Optional[JsonCache] = None,
+    resume: bool = True,
+    max_retries: int = 0,
+    task_timeout: Optional[float] = None,
+    quarantine_budget: Optional[int] = 0,
+    journal=None,
 ) -> LibraryCharacterization:
     """Characterize many arcs of a library in one sweep.
+
+    Fault-tolerant and resumable: every finished arc is *checkpointed*
+    into ``cache`` the moment its grid completes, so an interrupted run
+    restarted with the same knobs restores those arcs bit-identically
+    and only simulates the remainder. Grid points that fail after
+    ``max_retries`` re-attempts quarantine their whole arc (recorded in
+    ``LibraryCharacterization.quarantined``) instead of aborting the
+    sweep — unless the quarantine budget is exceeded.
 
     Parameters
     ----------
@@ -463,11 +528,30 @@ def characterize_library(
         together (better load balance than per-arc fan-out). ``None``
         reads ``REPRO_WORKERS``; 1 runs serially in-process.
     cache:
-        Content-hashed on-disk cache of finished arc tables. Hits skip
-        simulation entirely; the key covers technology, variation,
-        fidelity, seed, cell, grid and sample count.
+        Content-hashed on-disk cache of finished arc tables; doubles as
+        the checkpoint store. Hits skip simulation entirely; the key
+        covers technology, variation, fidelity, seed, cell, grid and
+        sample count, so a restored checkpoint can never belong to
+        different physics.
+    resume:
+        Consult existing checkpoints (default). ``False`` forces
+        recomputation of every arc; checkpoints are still (re)written.
+    max_retries / task_timeout:
+        Per-grid-point retry budget and per-attempt timeout (seconds),
+        see :class:`repro.parallel.RetryPolicy`. Retries reuse the
+        point's own derived seed, so a retried run stays bit-identical.
+    quarantine_budget:
+        Maximum number of quarantined arcs tolerated before the sweep
+        raises :class:`~repro.errors.CharacterizationError` (0 — the
+        default — keeps the historical fail-fast behavior; ``None``
+        never fails on quarantine alone).
+    journal:
+        Optional :class:`~repro.journal.RunJournal` receiving task,
+        checkpoint and quarantine events.
     """
     from repro.cells.liberty import table_from_dict, table_to_dict
+    from repro.errors import CharacterizationError
+    from repro.lint import lint_characterization
 
     out = LibraryCharacterization()
     slews_arr = np.asarray(sorted(slews), dtype=float)
@@ -488,10 +572,17 @@ def characterize_library(
                             slews_arr, loads_arr, n_samples,
                         )
                     )
-                    record = cache.get("arc", key)
-                    if record is not None:
-                        out.put(table_from_dict(record))
-                        continue
+                    if resume:
+                        record = cache.get("arc", key)
+                        if record is not None:
+                            out.put(table_from_dict(record))
+                            if journal is not None:
+                                journal.event(
+                                    "checkpoint_restore", key=key,
+                                    arc=[cell.name, pin,
+                                         "rise" if rising else "fall"],
+                                )
+                            continue
                 pending.append((cell, pin, rising, key))
 
     tasks: List[dict] = []
@@ -499,28 +590,98 @@ def characterize_library(
         tasks.extend(
             characterizer.point_tasks(cell, pin, slews_arr, loads_arr, n_samples, rising)
         )
-    results = parallel_map(_characterize_point, tasks, workers=workers)
+    labels = [
+        "/".join(str(p) for p in t["arc"]) + f"[{t['i']},{t['j']}]" for t in tasks
+    ]
+    perf = getattr(characterizer.engine, "perf", None)
+    checkpoint_keys = {
+        (cell.name, pin, "rise" if rising else "fall"): key
+        for cell, pin, rising, key in pending
+    }
+    points_per_arc = slews_arr.size * loads_arr.size
+    collected: Dict[Tuple[str, str, str], List[dict]] = {}
+    assembled: Dict[Tuple[str, str, str], CharacterizationTable] = {}
 
-    grouped: Dict[Tuple[str, str, str], List[dict]] = {}
-    for res in results:
-        characterizer.engine.perf.merge(PerfCounters.from_dict(res["perf"]))
-        grouped.setdefault(tuple(res["arc"]), []).append(res)
-    for cell, pin, rising, key in pending:
-        arc_key = (cell.name, pin, "rise" if rising else "fall")
+    def _checkpoint_arc(arc_key: Tuple[str, str, str]) -> None:
+        """Assemble a finished arc and persist it immediately."""
+        cell_name, pin, edge = arc_key
         table = _assemble_table(
-            cell.name, pin, rising, slews_arr, loads_arr, n_samples,
-            grouped.get(arc_key, ()),
+            cell_name, pin, edge == "rise", slews_arr, loads_arr, n_samples,
+            collected[arc_key],
         )
-        out.put(table)
+        assembled[arc_key] = table
+        key = checkpoint_keys.get(arc_key)
         if cache is not None and key is not None:
-            cache.put("arc", key, table_to_dict(table))
+            # Never checkpoint a table that violates lint invariants: a
+            # poisoned checkpoint would be restored forever.
+            if lint_characterization(table).ok:
+                cache.put("arc", key, table_to_dict(table))
+                if journal is not None:
+                    journal.event("checkpoint", key=key, arc=list(arc_key))
+
+    def _on_point(index: int, res: dict) -> None:
+        arc_key = tuple(res["arc"])
+        bucket = collected.setdefault(arc_key, [])
+        bucket.append(res)
+        if len(bucket) == points_per_arc:
+            _checkpoint_arc(arc_key)
+
+    quarantined_points: List[QuarantinedTask] = []
+    results = parallel_map(
+        _characterize_point, tasks, workers=workers,
+        policy=RetryPolicy(max_retries=max_retries, task_timeout=task_timeout),
+        quarantine=quarantined_points, journal=journal, labels=labels,
+        on_result=_on_point, perf=perf,
+    )
+    for res in results:
+        if res is not None and perf is not None:
+            perf.merge(PerfCounters.from_dict(res["perf"]))
+
+    # Map failed points onto their arcs: one structured diagnostic per
+    # quarantined arc, however many of its points failed.
+    bad_arcs: Dict[Tuple[str, str, str], QuarantinedArc] = {}
+    for q in quarantined_points:
+        arc = tuple(tasks[q.index]["arc"])
+        if arc in bad_arcs:
+            bad_arcs[arc].failed_points += 1
+            bad_arcs[arc].attempts = max(bad_arcs[arc].attempts, q.attempts)
+        else:
+            bad_arcs[arc] = QuarantinedArc(
+                cell_name=arc[0], pin=arc[1], edge=arc[2],
+                error_type=q.error_type, message=q.message,
+                attempts=q.attempts, failed_points=1,
+            )
+    for arc, record in bad_arcs.items():
+        out.quarantined.append(record)
+        if journal is not None:
+            journal.event("arc_quarantine", **record.as_dict())
+
+    for cell, pin, rising, _key in pending:
+        arc_key = (cell.name, pin, "rise" if rising else "fall")
+        if arc_key in bad_arcs:
+            continue
+        if arc_key not in assembled:
+            # Zero-point grids (degenerate callers) never trip the
+            # completion callback; assemble whatever was collected.
+            assembled[arc_key] = _assemble_table(
+                cell.name, pin, rising, slews_arr, loads_arr, n_samples,
+                collected.get(arc_key, ()),
+            )
+        out.put(assembled[arc_key])
+
+    if quarantine_budget is not None and len(out.quarantined) > quarantine_budget:
+        details = "; ".join(
+            f"{'/'.join(q.arc_key)}: {q.error_type}: {q.message}"
+            for q in out.quarantined[:5]
+        )
+        raise CharacterizationError(
+            f"{len(out.quarantined)} arc(s) quarantined, exceeding the "
+            f"budget of {quarantine_budget}: {details}"
+        )
 
     # Fail fast on lint invariants (non-finite entries, impossible
     # moments, crossing quantiles) before the tables are cached further
     # downstream or consumed by the model fits.
-    from repro.errors import CharacterizationError
-    from repro.lint import lint_characterization
-
     lint_characterization(out).raise_if_errors(
         CharacterizationError, context="characterized library"
     )

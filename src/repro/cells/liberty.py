@@ -18,7 +18,11 @@ from typing import Union
 import numpy as np
 
 from repro.errors import CharacterizationError
-from repro.cells.characterize import CharacterizationTable, LibraryCharacterization
+from repro.cells.characterize import (
+    CharacterizationTable,
+    LibraryCharacterization,
+    QuarantinedArc,
+)
 from repro.moments.stats import SIGMA_LEVELS
 
 #: Format identifier written into every file.
@@ -78,6 +82,8 @@ def save_library_characterization(
         "version": FORMAT_VERSION,
         "tables": [table_to_dict(t) for t in charac.tables.values()],
     }
+    if charac.quarantined:
+        doc["quarantined"] = [q.as_dict() for q in charac.quarantined]
     with path.open("w") as fh:
         json.dump(doc, fh)
 
@@ -94,4 +100,6 @@ def load_library_characterization(path: Union[str, Path]) -> LibraryCharacteriza
     out = LibraryCharacterization()
     for record in doc["tables"]:
         out.put(table_from_dict(record))
+    for record in doc.get("quarantined", ()):
+        out.quarantined.append(QuarantinedArc.from_dict(record))
     return out

@@ -50,6 +50,24 @@ def _add_flow_args(parser: argparse.ArgumentParser) -> None:
                              "(default: $REPRO_WORKERS or 1; 0 = all cores)")
     parser.add_argument("--perf", action="store_true",
                         help="print solver/stage performance counters")
+    parser.add_argument("--max-retries", type=int, default=0,
+                        help="extra attempts per characterization task after "
+                             "a failure (retries reuse the task seed, so "
+                             "results stay bit-identical)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="per-attempt wall-clock budget in seconds for "
+                             "each characterization task (default: none)")
+    parser.add_argument("--quarantine-budget", type=int, default=0,
+                        help="how many quarantined arcs the run tolerates "
+                             "before exiting nonzero (-1 = unlimited)")
+    parser.add_argument("--resume", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="resume from per-arc checkpoints in --cache-dir "
+                             "(--no-resume recomputes every arc)")
+    parser.add_argument("--journal", default="",
+                        help="append a JSONL run journal to this path "
+                             "(task/retry/quarantine/checkpoint events; "
+                             "lint it with `repro lint <path>`)")
 
 
 def _make_flow(args):
@@ -65,6 +83,7 @@ def _make_flow(args):
             "wire_fit_samples": 200,
             "wire_fit_trees": 1,
         }
+    budget = args.quarantine_budget
     return DelayCalibrationFlow(
         tech=tech,
         variation=VariationModel(),
@@ -73,6 +92,11 @@ def _make_flow(args):
         n_samples=args.samples,
         cell_names=cells,
         workers=args.workers,
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+        quarantine_budget=None if budget is not None and budget < 0 else budget,
+        resume=args.resume,
+        journal=args.journal or None,
         **extra,
     )
 
@@ -85,13 +109,21 @@ def _print_perf(flow) -> None:
 def cmd_characterize(args) -> int:
     """Characterize library cells and write Liberty-like JSON tables."""
     from repro.cells.liberty import save_library_characterization
+    from repro.errors import ReproError
 
     flow = _make_flow(args)
     print(f"Characterizing {len(flow.cell_names)} cells at "
           f"{flow.tech.vdd} V with {flow.n_samples} samples/point ...")
-    charac = flow.characterize()
+    try:
+        charac = flow.characterize()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     save_library_characterization(charac, args.output)
     print(f"Wrote {len(charac)} arc tables to {args.output}")
+    for q in charac.quarantined:
+        print(f"warning: quarantined arc {'/'.join(q.arc_key)} "
+              f"({q.error_type}: {q.message})", file=sys.stderr)
     if args.perf:
         _print_perf(flow)
     return 0

@@ -86,6 +86,25 @@ class DelayCalibrationFlow:
         Process-pool width for the characterization fan-out (None reads
         the ``REPRO_WORKERS`` env var; 1 = serial, no pool). Results are
         bit-identical for any value.
+    max_retries / task_timeout:
+        Fault-tolerance knobs of the characterization fan-out: extra
+        attempts per grid point and an optional per-attempt wall-clock
+        budget in seconds (see :class:`repro.parallel.RetryPolicy`).
+        Retries reuse each point's derived seed, so results stay
+        bit-identical whether or not a retry happened.
+    quarantine_budget:
+        How many quarantined arcs a characterization run tolerates
+        before failing (0 = fail on any, ``None`` = never fail on
+        quarantine alone). Quarantined arcs are always surfaced in the
+        run report and journal via lint rule RUN001.
+    resume:
+        Consult per-arc checkpoints in ``cache_dir`` (default). With
+        ``False`` every arc is recomputed; checkpoints are still
+        rewritten as arcs finish.
+    journal:
+        Optional run journal: a :class:`repro.journal.RunJournal`, or a
+        path to create one at. Receives run/task/checkpoint/quarantine
+        events and perf snapshots (JSONL; lint with ``repro lint``).
 
     Attributes
     ----------
@@ -111,7 +130,13 @@ class DelayCalibrationFlow:
         both_edges: bool = True,
         nsigma_fit_samples: int = 0,
         workers: Optional[int] = None,
+        max_retries: int = 0,
+        task_timeout: Optional[float] = None,
+        quarantine_budget: Optional[int] = 0,
+        resume: bool = True,
+        journal=None,
     ):
+        from repro.journal import RunJournal
         from repro.spice.montecarlo import MonteCarloEngine
 
         self.tech = tech or Technology()
@@ -128,8 +153,15 @@ class DelayCalibrationFlow:
         self.both_edges = both_edges
         self.nsigma_fit_samples = nsigma_fit_samples
         self.workers = workers
+        self.max_retries = max_retries
+        self.task_timeout = task_timeout
+        self.quarantine_budget = quarantine_budget
+        self.resume = resume
         self.engine = MonteCarloEngine(self.tech, self.variation, seed=seed)
         self.perf = PerfCounters()
+        if journal is not None and not isinstance(journal, RunJournal):
+            journal = RunJournal(journal)
+        self.journal: Optional[RunJournal] = journal
 
         self._charac: Optional[LibraryCharacterization] = None
         self._models: Optional[TimingModels] = None
@@ -178,31 +210,68 @@ class DelayCalibrationFlow:
     # Steps
     # ------------------------------------------------------------------
     def characterize(self) -> LibraryCharacterization:
-        """Run (or load cached) library characterization."""
+        """Run (or load cached) library characterization.
+
+        Fault-tolerant: per-arc checkpoints land in ``cache_dir`` as
+        arcs finish, so an interrupted run resumed with the same knobs
+        is bit-identical to an uninterrupted one; arcs that fail after
+        ``max_retries`` are quarantined (journal + RUN001 lint) and the
+        run fails only when ``quarantine_budget`` is exceeded.
+        """
         if self._charac is not None:
             return self._charac
         path = self._cache_path("charac")
-        if path is not None and path.exists():
+        if path is not None and path.exists() and self.resume:
             self._charac = load_library_characterization(path)
             self._lint_charac(self._charac)
             return self._charac
         characterizer = ArcCharacterizer(self.engine)
-        arc_cache = JsonCache(self.cache_dir) if self.cache_dir is not None else None
-        with self.perf.timer("characterize"):
-            self._charac = characterize_library(
-                characterizer,
-                self.library,
-                cells=self.cell_names,
-                slews=self.slews,
-                loads=self.loads,
-                n_samples=self.n_samples,
-                both_edges=self.both_edges,
-                workers=self.workers,
-                cache=arc_cache,
+        arc_cache = (
+            JsonCache(self.cache_dir, perf=self.perf)
+            if self.cache_dir is not None else None
+        )
+        if self.journal is not None:
+            self.journal.run_start(
+                command="characterize", key=self._cache_key(),
+                seed=self.seed, n_samples=self.n_samples,
+                cells=list(self.cell_names), workers=self.workers,
+                max_retries=self.max_retries, task_timeout=self.task_timeout,
+                quarantine_budget=self.quarantine_budget, resume=self.resume,
             )
+        try:
+            with self.perf.timer("characterize"):
+                self._charac = characterize_library(
+                    characterizer,
+                    self.library,
+                    cells=self.cell_names,
+                    slews=self.slews,
+                    loads=self.loads,
+                    n_samples=self.n_samples,
+                    both_edges=self.both_edges,
+                    workers=self.workers,
+                    cache=arc_cache,
+                    resume=self.resume,
+                    max_retries=self.max_retries,
+                    task_timeout=self.task_timeout,
+                    quarantine_budget=self.quarantine_budget,
+                    journal=self.journal,
+                )
+        except BaseException as exc:
+            if self.journal is not None:
+                self.journal.run_finish(
+                    status="error", error_type=type(exc).__name__,
+                    message=str(exc),
+                )
+            raise
         if path is not None:
             save_library_characterization(self._charac, path)
         self._lint_charac(self._charac)
+        if self.journal is not None:
+            self.journal.perf_snapshot(self.perf_report(), stage="characterize")
+            self.journal.run_finish(
+                status="ok", arcs=len(self._charac),
+                quarantined=len(self._charac.quarantined),
+            )
         return self._charac
 
     @staticmethod

@@ -34,3 +34,16 @@ class InterconnectError(ReproError):
 
 class TimingError(ReproError):
     """Raised by the STA engine for unusable timing graphs (cycles, dangling pins)."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the work-queue executor when a task cannot be completed.
+
+    Covers worker-process deaths (OOM kill, ``os._exit``) that survive the
+    pool-recovery path, and tasks that exhaust their retry budget when no
+    quarantine sink is provided.
+    """
+
+
+class TaskTimeoutError(ExecutionError):
+    """Raised inside a worker when one task attempt exceeds its time budget."""

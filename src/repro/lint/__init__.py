@@ -30,6 +30,7 @@ from repro.lint.domain import (
     lint_characterization,
     lint_circuit,
     lint_compiled_design,
+    lint_journal,
     lint_nsigma_model,
     lint_rctree,
     lint_spef,
@@ -50,6 +51,7 @@ __all__ = [
     "lint_circuit",
     "lint_codebase",
     "lint_compiled_design",
+    "lint_journal",
     "lint_nsigma_model",
     "lint_rctree",
     "lint_source",

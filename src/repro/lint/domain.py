@@ -154,6 +154,28 @@ register_rule(Rule(
     "unreadable or unrecognized artifact file",
     "an artifact the flow cannot even parse must never be silently skipped",
 ))
+register_rule(Rule(
+    "RUN001", "domain", Severity.WARNING,
+    "quarantined arc: a timing arc was excluded from a run after "
+    "exhausting its retry budget",
+    "a quarantined arc means the calibration is missing data for that "
+    "cell; downstream STA falls back or fails on it — the degradation "
+    "must be visible, budgeted and re-runnable",
+))
+register_rule(Rule(
+    "RUN002", "domain", Severity.ERROR,
+    "malformed run journal: unparseable line, non-object record, "
+    "missing/unknown event, or non-monotonic sequence numbers",
+    "a journal that cannot be trusted line-by-line is useless for "
+    "post-mortems and resume decisions",
+))
+register_rule(Rule(
+    "RUN003", "domain", Severity.WARNING,
+    "interrupted run: the journal records a run_start with no matching "
+    "run_finish",
+    "the run died or was killed mid-flight; its checkpoints are intact "
+    "and the run should be resumed, not silently forgotten",
+))
 
 #: RCT005 thresholds — far beyond plausible on-chip parasitics.
 ABSURD_RESISTANCE = 10 * MEGOHM
@@ -443,13 +465,119 @@ def lint_table(table, queries: Sequence[Tuple[float, float]] = ()) -> LintReport
 def lint_characterization(
     charac, queries: Sequence[Tuple[float, float]] = ()
 ) -> LintReport:
-    """Lint every table of a :class:`LibraryCharacterization` (or one table)."""
+    """Lint every table of a :class:`LibraryCharacterization` (or one table).
+
+    Quarantined arcs recorded on the characterization (graceful
+    degradation of a faulted run) are surfaced as RUN001 warnings so
+    they can never pass unnoticed into model fitting.
+    """
     report = LintReport()
     tables = getattr(charac, "tables", None)
     if tables is None:
         return lint_table(charac, queries=queries)
     for table in tables.values():
         report.extend(lint_table(table, queries=queries))
+    for q in getattr(charac, "quarantined", ()):
+        arc = "/".join(q.arc_key)
+        report.emit(
+            "RUN001",
+            f"arc {arc} quarantined after {q.attempts} attempt(s) "
+            f"({q.failed_points} grid point(s) failed): "
+            f"{q.error_type}: {q.message}",
+            artifact=arc,
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Run journals
+# ----------------------------------------------------------------------
+def lint_journal(path) -> LintReport:
+    """Validate a JSONL run journal (``RUN`` rules).
+
+    Checks line-level integrity (RUN002: parseable JSON objects with a
+    known ``event`` and monotonically increasing ``seq``), surfaces
+    quarantine events (RUN001), and flags interrupted runs — a
+    ``run_start`` with no later ``run_finish`` (RUN003).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.journal import KNOWN_EVENTS
+
+    path = Path(path)
+    report = LintReport()
+    last_seq: Optional[int] = None
+    open_runs: List[Tuple[int, str]] = []
+    try:
+        fh = path.open()
+    except OSError as exc:
+        report.emit("ART001", f"cannot read {path}: {exc}", file=str(path))
+        return report
+    with fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                report.emit(
+                    "RUN002", f"unparseable journal line: {exc}",
+                    file=str(path), line=lineno,
+                )
+                continue
+            if not isinstance(record, dict):
+                report.emit(
+                    "RUN002", "journal record is not a JSON object",
+                    file=str(path), line=lineno,
+                )
+                continue
+            event = record.get("event")
+            if event not in KNOWN_EVENTS:
+                report.emit(
+                    "RUN002", f"unknown journal event {event!r}",
+                    file=str(path), line=lineno,
+                )
+            seq = record.get("seq")
+            if not isinstance(seq, int):
+                report.emit(
+                    "RUN002", "journal record has no integer 'seq'",
+                    file=str(path), line=lineno,
+                )
+            else:
+                # seq resets to 0 when a resume run appends to the same
+                # journal file; within a run it must strictly increase.
+                if last_seq is not None and seq not in (last_seq + 1, 0):
+                    report.emit(
+                        "RUN002",
+                        f"non-monotonic journal sequence: {seq} after {last_seq}",
+                        file=str(path), line=lineno,
+                    )
+                last_seq = seq
+            if event == "run_start":
+                open_runs.append((lineno, str(record.get("run_id", ""))))
+            elif event == "run_finish" and open_runs:
+                open_runs.pop()
+            elif event in ("task_quarantine", "arc_quarantine"):
+                label = record.get("label") or "/".join(
+                    str(p) for p in (record.get("cell"), record.get("pin"),
+                                     record.get("edge")) if p
+                ) or f"task {record.get('index', record.get('task', '?'))}"
+                report.emit(
+                    "RUN001",
+                    f"run quarantined {label}: "
+                    f"{record.get('error_type', 'unknown error')}: "
+                    f"{record.get('message', '')}",
+                    file=str(path), line=lineno,
+                )
+    for lineno, run_id in open_runs:
+        report.emit(
+            "RUN003",
+            f"run {run_id or '<unnamed>'} started here but never finished "
+            f"(interrupted — resume candidate)",
+            file=str(path), line=lineno,
+        )
     return report
 
 
@@ -635,7 +763,7 @@ def lint_artifact(path) -> LintReport:
     ``.spef`` files get the SPEF rules; JSON files are dispatched on
     their content (Liberty-like characterization bundles vs. fitted
     model bundles); ``.v`` files are read as structural Verilog and get
-    the circuit rules.
+    the circuit rules; ``.jsonl`` files are validated as run journals.
     """
     import json
     from pathlib import Path
@@ -645,6 +773,8 @@ def lint_artifact(path) -> LintReport:
     suffix = path.suffix.lower()
     if suffix == ".spef":
         return lint_spef(path)
+    if suffix == ".jsonl":
+        return lint_journal(path)
     if suffix == ".v":
         from repro.errors import NetlistError
         from repro.netlist.verilog import read_verilog

@@ -1,18 +1,32 @@
-"""Work-queue executor for independent simulation tasks.
+"""Fault-tolerant work-queue executor for independent simulation tasks.
 
 Every expensive loop in the reproduction — the slew×load
 characterization grid, golden path Monte-Carlo over many paths, wire
 sweeps — is a map over *independent* tasks. :func:`parallel_map` fans
-such maps out over a process pool while keeping three guarantees:
+such maps out over a process pool while keeping four guarantees:
 
-* **serial fallback** — ``workers=1`` (the default) runs a plain list
-  comprehension in-process: no pool is spawned, no pickling happens,
-  and the code path is byte-for-byte the sequential one;
+* **serial fallback** — ``workers=1`` (the default) runs a plain loop
+  in-process: no pool is spawned, no pickling happens, and the code
+  path is byte-for-byte the sequential one;
 * **determinism** — results are returned in task order regardless of
   completion order, and callers derive per-task RNG seeds with
   :func:`task_seed`, so a parallel run is bit-identical to a serial
-  run of the same task list;
+  run of the same task list. Retries re-run the *same* task with the
+  *same* seed, so a retried result is bit-identical to a first-attempt
+  result;
+* **fault tolerance** — a :class:`RetryPolicy` gives each task a
+  bounded retry budget with backoff and an optional per-attempt
+  timeout; a worker process that dies (OOM kill, ``os._exit``) breaks
+  only its own chunk, which is re-executed — escalating to an isolated
+  single-worker pool — instead of raising ``BrokenProcessPool`` away
+  the entire run. Results completed before the crash are kept, not
+  recomputed;
 * **no oversubscription** — the pool size is capped by the task count.
+
+Tasks that still fail after retries either propagate their original
+exception (default) or, when the caller passes a ``quarantine`` sink,
+are recorded as :class:`QuarantinedTask` diagnostics with ``None`` in
+their result slot so the rest of the run survives.
 
 The worker count comes from the ``REPRO_WORKERS`` environment variable
 when not given explicitly (``0`` or ``auto`` → one worker per CPU).
@@ -22,10 +36,27 @@ from __future__ import annotations
 
 import hashlib
 import os
+import pickle
+import signal
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback as traceback_mod
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.errors import ExecutionError, TaskTimeoutError
 
 #: Environment variable consulted when ``workers`` is not passed explicitly.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -65,11 +96,464 @@ def task_seed(*parts) -> int:
     Uses SHA-256 over the ``repr`` of the parts, so the value is
     reproducible across processes and Python invocations (unlike
     ``hash()``, which is salted). Tasks seeded this way are independent
-    of execution order — the cornerstone of parallel/serial bit-equality.
+    of execution order — the cornerstone of parallel/serial bit-equality
+    *and* of retry/resume bit-equality: a retried or resumed task
+    derives the exact same seed as its first attempt.
     """
     payload = repr(tuple(parts)).encode()
     digest = hashlib.sha256(payload).digest()
     return int.from_bytes(digest[:8], "little") >> 1
+
+
+# ----------------------------------------------------------------------
+# Retry policy and failure records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded per-task retry budget with backoff and optional timeout.
+
+    Attributes
+    ----------
+    max_retries:
+        Extra attempts after the first failure (0 = fail immediately).
+    backoff_s / backoff_factor / backoff_max_s:
+        Sleep before retry ``k`` (1-based) is
+        ``min(backoff_s * backoff_factor**(k-1), backoff_max_s)`` —
+        bounded exponential. Backoff only delays; it never changes
+        results (retries reuse the task's own seed).
+    task_timeout:
+        Optional per-*attempt* wall-clock budget in seconds, enforced
+        with ``SIGALRM`` in the executing process (worker processes run
+        tasks on their main thread, so this works identically in pooled
+        and serial mode). A timed-out attempt raises
+        :class:`~repro.errors.TaskTimeoutError` and is retried like any
+        other failure. Unenforceable off the main thread (then attempts
+        simply run to completion).
+    """
+
+    max_retries: int = 0
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    task_timeout: Optional[float] = None
+
+    def backoff(self, retry: int) -> float:
+        """Sleep duration before the ``retry``-th re-attempt (1-based)."""
+        return min(self.backoff_s * self.backoff_factor ** (retry - 1), self.backoff_max_s)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One failed attempt of one task (structured, JSON-ready)."""
+
+    attempt: int
+    error_type: str
+    message: str
+    traceback: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "attempt": self.attempt,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+        }
+
+
+@dataclass
+class QuarantinedTask:
+    """A task given up on after exhausting its retry budget.
+
+    Carries everything an operator needs to reproduce the failure:
+    the task index and label, how many attempts were made, the failure
+    history, and the worker-death count.
+    """
+
+    index: int
+    label: str
+    attempts: int
+    failures: List[TaskFailure] = field(default_factory=list)
+    pool_crashes: int = 0
+
+    @property
+    def error_type(self) -> str:
+        return self.failures[-1].error_type if self.failures else "WorkerDeath"
+
+    @property
+    def message(self) -> str:
+        if self.failures:
+            return self.failures[-1].message
+        return "worker process died while executing the task"
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "attempts": self.attempts,
+            "error_type": self.error_type,
+            "message": self.message,
+            "pool_crashes": self.pool_crashes,
+            "failures": [f.as_dict() for f in self.failures],
+        }
+
+
+@dataclass
+class _Outcome:
+    """Internal per-task completion record (envelope decoded in parent)."""
+
+    index: int
+    ok: bool
+    result: Any = None
+    attempts: int = 1
+    failures: List[TaskFailure] = field(default_factory=list)
+    error: Optional[BaseException] = None
+    wall_s: float = 0.0
+    pool_crashes: int = 0
+
+
+# ----------------------------------------------------------------------
+# Worker-side attempt loop (module-level so it pickles)
+# ----------------------------------------------------------------------
+def _alarm_handler(signum, frame):  # pragma: no cover - fires only on timeout
+    raise TaskTimeoutError("task attempt exceeded its time budget")
+
+
+def _call_with_timeout(fn: Callable[[T], R], task: T, timeout: Optional[float]) -> R:
+    """Run one attempt, bounded by ``timeout`` seconds when enforceable."""
+    if not timeout or threading.current_thread() is not threading.main_thread() \
+            or not hasattr(signal, "SIGALRM"):
+        return fn(task)
+    old = signal.signal(signal.SIGALRM, _alarm_handler)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return fn(task)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old)
+
+
+class _AttemptLoop:
+    """Picklable wrapper running ``fn`` with the retry policy.
+
+    Returns an *envelope* dict instead of raising, so one misbehaving
+    task can never poison the pool result channel; the parent decodes
+    envelopes into outcomes. ``KeyboardInterrupt`` and ``SystemExit``
+    are never swallowed.
+    """
+
+    def __init__(self, fn: Callable[[T], R], policy: RetryPolicy):
+        self.fn = fn
+        self.policy = policy
+
+    def __call__(self, task: T) -> dict:
+        t0 = time.perf_counter()
+        failures: List[dict] = []
+        last_exc: Optional[BaseException] = None
+        for attempt in range(1, self.policy.max_retries + 2):
+            try:
+                result = _call_with_timeout(self.fn, task, self.policy.task_timeout)
+                return {
+                    "ok": True,
+                    "result": result,
+                    "attempts": attempt,
+                    "failures": failures,
+                    "wall_s": time.perf_counter() - t0,
+                }
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                last_exc = exc
+                failures.append(
+                    {
+                        "attempt": attempt,
+                        "error_type": type(exc).__name__,
+                        "message": str(exc),
+                        "traceback": traceback_mod.format_exc(),
+                    }
+                )
+                if attempt <= self.policy.max_retries:
+                    time.sleep(self.policy.backoff(attempt))
+        # Ship the exception object when it pickles (so the parent can
+        # re-raise the genuine type); fall back to the text record.
+        try:
+            pickle.dumps(last_exc)
+        except Exception:
+            last_exc = None
+        return {
+            "ok": False,
+            "error": last_exc,
+            "attempts": self.policy.max_retries + 1,
+            "failures": failures,
+            "wall_s": time.perf_counter() - t0,
+        }
+
+
+def _run_chunk(loop: _AttemptLoop, chunk: List[T]) -> List[dict]:
+    """Execute one pickled work unit: a list of tasks through the loop."""
+    return [loop(task) for task in chunk]
+
+
+def _decode(index: int, env: dict) -> _Outcome:
+    """Envelope → outcome (parent side)."""
+    return _Outcome(
+        index=index,
+        ok=env["ok"],
+        result=env.get("result"),
+        attempts=env["attempts"],
+        failures=[TaskFailure(**f) for f in env["failures"]],
+        error=env.get("error"),
+        wall_s=env["wall_s"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution strategies
+# ----------------------------------------------------------------------
+def _run_serial(
+    loop: _AttemptLoop,
+    tasks: Sequence[T],
+    indices: Sequence[int],
+    emit: Callable[[_Outcome], None],
+    on_start: Callable[[List[int]], None],
+) -> None:
+    for index, task in zip(indices, tasks):
+        on_start([index])
+        emit(_decode(index, loop(task)))
+
+
+def _run_pooled(
+    loop: _AttemptLoop,
+    tasks: Sequence[T],
+    workers: int,
+    chunksize: int,
+    emit: Callable[[_Outcome], None],
+    on_pool_crash: Callable[[List[int], int], None],
+    on_start: Callable[[List[int]], None],
+) -> None:
+    """Fan chunks out over a pool, recovering from dead workers.
+
+    A ``BrokenProcessPool`` kills every in-flight and pending future of
+    that pool, but *completed* futures keep their results — those are
+    never recomputed. Lost chunks escalate: a first loss resubmits to a
+    fresh full-width pool split into single-task chunks (only the
+    poison task pays the isolation cost, innocents that merely shared
+    the dead pool stay parallel); a second loss re-runs alone in a
+    one-worker pool; a task whose chunk was lost three times is
+    reported as failed with :class:`~repro.errors.ExecutionError`
+    rather than crashing the run. Batches are homogeneous in crash
+    level, so recovery rounds never throttle healthy work.
+    """
+    n = len(tasks)
+    pending: List[Tuple[List[int], int]] = [
+        (list(range(i, min(i + chunksize, n))), 0) for i in range(0, n, chunksize)
+    ]
+    while pending:
+        level = min(crashes for _, crashes in pending)
+        batch = [item for item in pending if item[1] == level]
+        pending = [item for item in pending if item[1] != level]
+        lost: List[Tuple[List[int], int]] = []
+        if level >= 2:
+            # Full isolation: one fresh single-worker pool per chunk, so
+            # a poison task can no longer take queued innocents with it.
+            for idxs, crashes in batch:
+                on_start(idxs)
+                try:
+                    with ProcessPoolExecutor(max_workers=1) as pool:
+                        envelopes = pool.submit(
+                            _run_chunk, loop, [tasks[i] for i in idxs]
+                        ).result()
+                    for i, env in zip(idxs, envelopes):
+                        emit(_decode(i, env))
+                except BrokenProcessPool:
+                    lost.append((idxs, crashes + 1))
+        else:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(batch))
+                ) as pool:
+                    futures = {}
+                    try:
+                        for idxs, crashes in batch:
+                            on_start(idxs)
+                            fut = pool.submit(
+                                _run_chunk, loop, [tasks[i] for i in idxs]
+                            )
+                            futures[fut] = (idxs, crashes)
+                    except BrokenProcessPool:
+                        # Pool died while submitting: everything not yet
+                        # submitted is simply still pending at its level.
+                        submitted = {id(v) for v in futures.values()}
+                        pending.extend(
+                            item for item in batch if id(item) not in submitted
+                        )
+                    not_done = set(futures)
+                    while not_done:
+                        done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                        for fut in done:
+                            idxs, crashes = futures[fut]
+                            try:
+                                envelopes = fut.result()
+                            except BrokenProcessPool:
+                                lost.append((idxs, crashes + 1))
+                                continue
+                            for i, env in zip(idxs, envelopes):
+                                emit(_decode(i, env))
+            except BrokenProcessPool:  # pragma: no cover - raised at pool exit
+                pass
+        if lost:
+            # One observability event per pool death, not per lost chunk.
+            on_pool_crash(
+                sorted(i for idxs, _ in lost for i in idxs),
+                max(crashes for _, crashes in lost),
+            )
+        for idxs, crashes in lost:
+            if crashes >= 3:
+                # Lost to dead workers three times: give up on the task.
+                for i in idxs:
+                    emit(_Outcome(index=i, ok=False, pool_crashes=crashes))
+            elif len(idxs) > 1:
+                # Isolate the poison task: split into single-task chunks.
+                pending.extend(([i], crashes) for i in idxs)
+            else:
+                pending.append((idxs, crashes))
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def parallel_map(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    quarantine: Optional[List[QuarantinedTask]] = None,
+    journal=None,
+    labels: Optional[Sequence[str]] = None,
+    on_result: Optional[Callable[[int, R], None]] = None,
+    perf=None,
+) -> List[R]:
+    """Map ``fn`` over ``tasks``, optionally across a process pool.
+
+    Parameters
+    ----------
+    fn:
+        A module-level (picklable) function of one task.
+    tasks:
+        The task list; results come back in the same order.
+    workers:
+        Worker count (see :func:`resolve_workers`). With one worker —
+        the default — the map runs serially in-process and no pool is
+        created.
+    chunksize:
+        Tasks per pickled work unit; raise above 1 only for very many
+        very cheap tasks.
+    policy:
+        :class:`RetryPolicy` for per-task retries/timeout (default: no
+        retries, no timeout). Retries reuse the task unchanged —
+        including any embedded :func:`task_seed` — so results stay
+        bit-identical whether or not a retry happened.
+    quarantine:
+        When given, a task that fails after all retries is appended to
+        this list as a :class:`QuarantinedTask` and its result slot is
+        ``None``, instead of raising. When ``None`` (the default) the
+        first failed task's exception propagates (in task order), with
+        :class:`~repro.errors.ExecutionError` standing in for worker
+        deaths and unpicklable exceptions.
+    journal:
+        Optional :class:`~repro.journal.RunJournal` receiving
+        ``task_start`` / ``task_finish`` / ``task_retry`` /
+        ``task_quarantine`` / ``pool_crash`` events as tasks are
+        dispatched and complete (a task re-dispatched after a worker
+        death gets a second ``task_start``).
+    labels:
+        Optional per-task labels used in journal events and
+        quarantine records (default: the task index).
+    on_result:
+        Optional callback ``(index, result)`` invoked in the parent as
+        each task *succeeds* — in completion order, which is arbitrary
+        under a pool. Checkpointing hooks (e.g. persisting a finished
+        arc) live here.
+    perf:
+        Optional :class:`~repro.perf.PerfCounters` accumulating
+        ``task_retries`` / ``task_quarantines`` / ``pool_crashes``.
+    """
+    tasks = list(tasks)
+    workers = resolve_workers(workers)
+    policy = policy or RetryPolicy()
+    loop = _AttemptLoop(fn, policy)
+    outcomes: List[Optional[_Outcome]] = [None] * len(tasks)
+
+    def label_of(i: int) -> str:
+        return labels[i] if labels is not None else str(i)
+
+    def emit(outcome: _Outcome) -> None:
+        outcomes[outcome.index] = outcome
+        i = outcome.index
+        if perf is not None:
+            perf.task_retries += outcome.attempts - 1
+        if journal is not None:
+            for f in outcome.failures[: outcome.attempts - 1 + (0 if outcome.ok else 1)]:
+                if f.attempt <= policy.max_retries:
+                    journal.event(
+                        "task_retry", task=i, label=label_of(i),
+                        attempt=f.attempt, error_type=f.error_type,
+                        message=f.message,
+                    )
+            if outcome.ok:
+                journal.event(
+                    "task_finish", task=i, label=label_of(i),
+                    attempts=outcome.attempts, wall_s=round(outcome.wall_s, 6),
+                )
+        if outcome.ok and on_result is not None:
+            on_result(i, outcome.result)
+
+    def on_pool_crash(idxs: List[int], crashes: int) -> None:
+        if perf is not None:
+            perf.pool_crashes += 1
+        if journal is not None:
+            journal.event(
+                "pool_crash", tasks=idxs,
+                labels=[label_of(i) for i in idxs], crash_count=crashes,
+            )
+
+    def on_start(idxs: List[int]) -> None:
+        if journal is not None:
+            for i in idxs:
+                journal.event("task_start", task=i, label=label_of(i))
+
+    if workers <= 1 or len(tasks) <= 1:
+        _run_serial(loop, tasks, range(len(tasks)), emit, on_start)
+    else:
+        _run_pooled(loop, tasks, workers, chunksize, emit, on_pool_crash, on_start)
+
+    results: List[R] = [None] * len(tasks)  # type: ignore[list-item]
+    for outcome in outcomes:
+        assert outcome is not None, "executor lost a task outcome"
+        if outcome.ok:
+            results[outcome.index] = outcome.result
+            continue
+        record = QuarantinedTask(
+            index=outcome.index,
+            label=label_of(outcome.index),
+            attempts=outcome.attempts,
+            failures=outcome.failures,
+            pool_crashes=outcome.pool_crashes,
+        )
+        if quarantine is None:
+            if outcome.error is not None:
+                raise outcome.error
+            raise ExecutionError(
+                f"task {record.label} failed after {record.attempts} attempt(s) "
+                f"({record.pool_crashes} worker death(s)): "
+                f"{record.error_type}: {record.message}"
+            )
+        quarantine.append(record)
+        if perf is not None:
+            perf.task_quarantines += 1
+        if journal is not None:
+            journal.event("task_quarantine", **record.as_dict())
+    return results
 
 
 @dataclass
@@ -91,6 +575,7 @@ class ParallelExecutor:
     """
 
     workers: Optional[int] = None
+    policy: Optional[RetryPolicy] = None
     history: List[ExecutorStats] = field(default_factory=list)
 
     def map(
@@ -98,12 +583,16 @@ class ParallelExecutor:
         fn: Callable[[T], R],
         tasks: Iterable[T],
         chunksize: int = 1,
+        **kwargs,
     ) -> List[R]:
         """Run ``fn`` over ``tasks``, recording dispatch statistics."""
         tasks = list(tasks)
         workers = resolve_workers(self.workers)
         t0 = time.perf_counter()
-        out = parallel_map(fn, tasks, workers=workers, chunksize=chunksize)
+        out = parallel_map(
+            fn, tasks, workers=workers, chunksize=chunksize,
+            policy=self.policy, **kwargs,
+        )
         self.history.append(
             ExecutorStats(
                 tasks=len(tasks),
@@ -113,33 +602,3 @@ class ParallelExecutor:
             )
         )
         return out
-
-
-def parallel_map(
-    fn: Callable[[T], R],
-    tasks: Sequence[T],
-    workers: Optional[int] = None,
-    chunksize: int = 1,
-) -> List[R]:
-    """Map ``fn`` over ``tasks``, optionally across a process pool.
-
-    Parameters
-    ----------
-    fn:
-        A module-level (picklable) function of one task.
-    tasks:
-        The task list; results come back in the same order.
-    workers:
-        Worker count (see :func:`resolve_workers`). With one worker —
-        the default — the map runs serially in-process and no pool is
-        created.
-    chunksize:
-        Tasks per pickled work unit; raise above 1 only for very many
-        very cheap tasks.
-    """
-    tasks = list(tasks)
-    workers = resolve_workers(workers)
-    if workers <= 1 or len(tasks) <= 1:
-        return [fn(t) for t in tasks]
-    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-        return list(pool.map(fn, tasks, chunksize=chunksize))

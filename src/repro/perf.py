@@ -24,6 +24,14 @@ What is counted and why it matters:
   scenarios served, levelized propagation sweeps, and (scenario × gate
   × pin) timing-arc evaluations. ``sta_arc_evals / wall_s['sta_query']``
   is the engine's headline throughput.
+* ``cache_hits`` / ``cache_misses`` / ``cache_corrupt`` — artifact-cache
+  traffic (:class:`repro.cache.JsonCache`); ``cache_corrupt`` counts
+  truncated/unparseable artifacts that were demoted to misses and
+  unlinked instead of crashing the run.
+* ``task_retries`` / ``task_quarantines`` / ``pool_crashes`` — the
+  fault-tolerance layer (:mod:`repro.parallel`): attempts re-executed
+  after a retryable failure, tasks given up on after exhausting their
+  budget, and worker-pool deaths recovered by isolated re-execution.
 * ``wall_s`` — wall-clock seconds per named stage (``simulate``,
   ``characterize``, ``fit_models``, ``sta_compile``, ``sta_query``,
   ...), accumulated with :meth:`PerfCounters.timer`.
@@ -54,6 +62,12 @@ class PerfCounters:
     sta_scenarios: int = 0
     sta_levels: int = 0
     sta_arc_evals: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_corrupt: int = 0
+    task_retries: int = 0
+    task_quarantines: int = 0
+    pool_crashes: int = 0
     wall_s: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -97,6 +111,12 @@ class PerfCounters:
         self.sta_scenarios += other.sta_scenarios
         self.sta_levels += other.sta_levels
         self.sta_arc_evals += other.sta_arc_evals
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_corrupt += other.cache_corrupt
+        self.task_retries += other.task_retries
+        self.task_quarantines += other.task_quarantines
+        self.pool_crashes += other.pool_crashes
         for stage, seconds in other.wall_s.items():
             self.add_wall(stage, seconds)
         return self
@@ -118,6 +138,12 @@ class PerfCounters:
             "sta_scenarios": self.sta_scenarios,
             "sta_levels": self.sta_levels,
             "sta_arc_evals": self.sta_arc_evals,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_corrupt": self.cache_corrupt,
+            "task_retries": self.task_retries,
+            "task_quarantines": self.task_quarantines,
+            "pool_crashes": self.pool_crashes,
             "wall_s": {k: round(v, 4) for k, v in self.wall_s.items()},
         }
 
@@ -138,6 +164,12 @@ class PerfCounters:
             sta_scenarios=int(data.get("sta_scenarios", 0)),
             sta_levels=int(data.get("sta_levels", 0)),
             sta_arc_evals=int(data.get("sta_arc_evals", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            cache_misses=int(data.get("cache_misses", 0)),
+            cache_corrupt=int(data.get("cache_corrupt", 0)),
+            task_retries=int(data.get("task_retries", 0)),
+            task_quarantines=int(data.get("task_quarantines", 0)),
+            pool_crashes=int(data.get("pool_crashes", 0)),
         )
         out.wall_s = {k: float(v) for k, v in data.get("wall_s", {}).items()}
         return out
@@ -152,6 +184,17 @@ class PerfCounters:
             f"({self.fast_solves} fast-path)  "
             f"active-sample fraction: {self.active_sample_fraction:.2f}",
         ]
+        if self.cache_hits or self.cache_misses or self.cache_corrupt:
+            lines.append(
+                f"cache: {self.cache_hits} hits  {self.cache_misses} misses  "
+                f"{self.cache_corrupt} corrupt"
+            )
+        if self.task_retries or self.task_quarantines or self.pool_crashes:
+            lines.append(
+                f"fault tolerance: {self.task_retries} retries  "
+                f"{self.task_quarantines} quarantined  "
+                f"{self.pool_crashes} pool crashes recovered"
+            )
         if self.sta_scenarios or self.sta_compiles:
             lines.append(
                 f"sta: {self.sta_compiles} compiles  "

@@ -22,6 +22,26 @@ class TestParser:
         assert args.circuit == "c432"
         assert args.samples == 50
 
+    def test_robustness_flag_defaults(self):
+        args = build_parser().parse_args(["characterize"])
+        assert args.max_retries == 0
+        assert args.task_timeout is None
+        assert args.quarantine_budget == 0
+        assert args.resume is True
+        assert args.journal == ""
+
+    def test_robustness_flags_parse(self):
+        args = build_parser().parse_args([
+            "characterize", "--max-retries", "2", "--task-timeout", "30",
+            "--quarantine-budget", "-1", "--no-resume",
+            "--journal", "run.jsonl",
+        ])
+        assert args.max_retries == 2
+        assert args.task_timeout == 30.0
+        assert args.quarantine_budget == -1
+        assert args.resume is False
+        assert args.journal == "run.jsonl"
+
 
 class TestCells:
     def test_lists_library(self, capsys):
@@ -45,6 +65,24 @@ class TestEndToEnd:
         doc = json.loads(out_file.read_text())
         assert doc["format"] == "repro-lvf-json"
         assert len(doc["tables"]) == 2  # both edges of pin A
+
+    def test_characterize_emits_lintable_journal(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        code = main([
+            "characterize", "-o", str(tmp_path / "lib.json"),
+            "--samples", "60", "--cells", "INVx1", "--fast",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--max-retries", "1", "--journal", str(journal),
+        ])
+        assert code == 0
+        events = [json.loads(line) for line in journal.read_text().splitlines()]
+        names = [e["event"] for e in events]
+        assert names[0] == "run_start" and names[-1] == "run_finish"
+        assert "task_start" in names and "task_finish" in names
+        assert "checkpoint" in names
+        capsys.readouterr()
+        # The emitted journal passes its own lint rules.
+        assert main(["lint", str(journal)]) == 0
 
     def test_analyze_unknown_circuit(self, capsys):
         assert main(["analyze", "not_a_circuit_xyz"]) == 2
