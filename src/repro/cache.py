@@ -40,11 +40,16 @@ def version_salt() -> Dict[str, str]:
     Folding the package version into every content key means a release
     that changes the physics (device model, solver, calibration math)
     invalidates all previously cached characterization tables instead
-    of replaying stale data forever.
+    of replaying stale data forever. The resolved kernel backend
+    identity (``repro.kernels.backend_identity``) is part of the salt
+    for the same reason: artifacts simulated by different numeric
+    backends must never alias, even though accelerated backends are
+    held to the documented equivalence envelope.
     """
     from repro import __version__
+    from repro.kernels import backend_identity
 
-    return {"repro_version": __version__}
+    return {"repro_version": __version__, "kernel": backend_identity()}
 
 
 def content_key(payload: Any, length: int = 16, versioned: bool = True) -> str:

@@ -29,7 +29,15 @@ from repro.errors import CharacterizationError
 from repro.cache import JsonCache, content_key
 from repro.cells.library import Cell, CellLibrary
 from repro.moments.stats import SIGMA_LEVELS, Moments, empirical_sigma_quantiles
-from repro.parallel import QuarantinedTask, RetryPolicy, parallel_map, task_seed
+from repro.parallel import (
+    QuarantinedTask,
+    RetryPolicy,
+    SharedPayloadBank,
+    SharedPayloadHandle,
+    parallel_map,
+    resolve_workers,
+    task_seed,
+)
 from repro.perf import PerfCounters
 from repro.spice.measure import ramp_time_for_slew
 from repro.spice.montecarlo import DelaySamples, MonteCarloEngine, SimulationSetup
@@ -218,6 +226,22 @@ class ArcCharacterizer:
         return self.engine.simulate(setup, n_samples)
 
     # ------------------------------------------------------------------
+    def arc_payload(self, cell: Cell, pin: str) -> dict:
+        """The heavy per-arc task payload shared by every grid point.
+
+        Identical for all (slew, load) points of one arc; pooled
+        fan-outs publish it once via
+        :class:`~repro.parallel.SharedPayloadBank` instead of pickling
+        it into every task message.
+        """
+        return {
+            "tech": self.tech,
+            "variation": self.engine.variation,
+            "fidelity": self.engine.fidelity_opts(),
+            "cell": cell,
+            "pin": pin,
+        }
+
     def point_tasks(
         self,
         cell: Cell,
@@ -226,35 +250,37 @@ class ArcCharacterizer:
         loads: np.ndarray,
         n_samples: int,
         output_rising: bool,
+        payload: Optional[SharedPayloadHandle] = None,
     ) -> List[dict]:
         """Self-contained task descriptions for every (slew, load) point.
 
         Each task carries everything a worker process needs to rebuild
         an equivalent engine and simulate one grid point, plus its own
-        deterministic seed — see :func:`_characterize_point`.
+        deterministic seed — see :func:`_characterize_point`. When
+        ``payload`` is given, the heavy shared fields travel as that
+        shared-memory handle instead of inline objects; results are
+        identical either way.
         """
         edge = "rise" if output_rising else "fall"
-        fidelity = self.engine.fidelity_opts()
+        shared = self.arc_payload(cell, pin) if payload is None else None
         tasks = []
         for i, s in enumerate(slews):
             for j, c in enumerate(loads):
-                tasks.append(
-                    {
-                        "tech": self.tech,
-                        "variation": self.engine.variation,
-                        "fidelity": fidelity,
-                        "seed": task_seed(self.engine.seed, cell.name, pin, edge, i, j),
-                        "cell": cell,
-                        "pin": pin,
-                        "output_rising": output_rising,
-                        "slew": float(s),
-                        "load": float(c),
-                        "n_samples": n_samples,
-                        "arc": (cell.name, pin, edge),
-                        "i": i,
-                        "j": j,
-                    }
-                )
+                task = {
+                    "seed": task_seed(self.engine.seed, cell.name, pin, edge, i, j),
+                    "output_rising": output_rising,
+                    "slew": float(s),
+                    "load": float(c),
+                    "n_samples": n_samples,
+                    "arc": (cell.name, pin, edge),
+                    "i": i,
+                    "j": j,
+                }
+                if payload is not None:
+                    task["bank"] = payload
+                else:
+                    task.update(shared)
+                tasks.append(task)
         return tasks
 
     def characterize(
@@ -275,8 +301,18 @@ class ArcCharacterizer:
         """
         slews = np.asarray(sorted(slews), dtype=float)
         loads = np.asarray(sorted(loads), dtype=float)
-        tasks = self.point_tasks(cell, pin, slews, loads, n_samples, output_rising)
-        results = parallel_map(_characterize_point, tasks, workers=workers)
+        bank = None
+        if resolve_workers(workers) > 1:
+            bank = SharedPayloadBank.publish(self.arc_payload(cell, pin))
+        try:
+            tasks = self.point_tasks(
+                cell, pin, slews, loads, n_samples, output_rising,
+                payload=bank.handle if bank is not None else None,
+            )
+            results = parallel_map(_characterize_point, tasks, workers=workers)
+        finally:
+            if bank is not None:
+                bank.close()
         for res in results:
             self.engine.perf.merge(PerfCounters.from_dict(res["perf"]))
         return _assemble_table(
@@ -292,24 +328,28 @@ def _characterize_point(task: Mapping[str, object]) -> dict:
 
     Runs identically in-process (serial path) and in a pool worker: the
     engine is rebuilt from the task's derived seed, so the result stream
-    never depends on execution order or worker count.
+    never depends on execution order or worker count. The heavy shared
+    fields arrive either inline or as a shared-memory ``bank`` handle
+    (see :meth:`ArcCharacterizer.point_tasks`).
     """
+    bank = task.get("bank")
+    shared = bank.load() if bank is not None else task
     engine = MonteCarloEngine(
-        task["tech"], task["variation"], seed=task["seed"], **task["fidelity"]
+        shared["tech"], shared["variation"], seed=task["seed"], **shared["fidelity"]
     )
+    cell, pin = shared["cell"], shared["pin"]
     charac = ArcCharacterizer(engine)
     res = charac.simulate_arc(
-        task["cell"],
-        task["pin"],
+        cell,
+        pin,
         task["slew"],
         task["load"],
         task["n_samples"],
         task["output_rising"],
     )
     if res.yield_fraction < 0.98:
-        cell_name = task["cell"].name
         raise CharacterizationError(
-            f"{cell_name}/{task['pin']} at slew={task['slew'] / PS:.0f}ps "
+            f"{cell.name}/{pin} at slew={task['slew'] / PS:.0f}ps "
             f"load={task['load'] / FF:.2f}fF: "
             f"only {res.yield_fraction:.1%} of samples measurable"
         )
@@ -585,10 +625,25 @@ def characterize_library(
                             continue
                 pending.append((cell, pin, rising, key))
 
+    # Pooled runs publish each arc's heavy payload once in shared
+    # memory; serial runs keep direct object references (no pickling at
+    # all, preserving the serial-fallback guarantee). Banks are owned
+    # here and unlinked in the ``finally`` below, which also covers
+    # quarantine and pool-crash exits.
+    pooled = resolve_workers(workers) > 1
+    banks: List[SharedPayloadBank] = []
     tasks: List[dict] = []
     for cell, pin, rising, _ in pending:
+        handle = None
+        if pooled:
+            bank = SharedPayloadBank.publish(characterizer.arc_payload(cell, pin))
+            if bank is not None:
+                banks.append(bank)
+                handle = bank.handle
         tasks.extend(
-            characterizer.point_tasks(cell, pin, slews_arr, loads_arr, n_samples, rising)
+            characterizer.point_tasks(
+                cell, pin, slews_arr, loads_arr, n_samples, rising, payload=handle
+            )
         )
     labels = [
         "/".join(str(p) for p in t["arc"]) + f"[{t['i']},{t['j']}]" for t in tasks
@@ -627,12 +682,16 @@ def characterize_library(
             _checkpoint_arc(arc_key)
 
     quarantined_points: List[QuarantinedTask] = []
-    results = parallel_map(
-        _characterize_point, tasks, workers=workers,
-        policy=RetryPolicy(max_retries=max_retries, task_timeout=task_timeout),
-        quarantine=quarantined_points, journal=journal, labels=labels,
-        on_result=_on_point, perf=perf,
-    )
+    try:
+        results = parallel_map(
+            _characterize_point, tasks, workers=workers,
+            policy=RetryPolicy(max_retries=max_retries, task_timeout=task_timeout),
+            quarantine=quarantined_points, journal=journal, labels=labels,
+            on_result=_on_point, perf=perf,
+        )
+    finally:
+        for bank in banks:
+            bank.close()
     for res in results:
         if res is not None and perf is not None:
             perf.merge(PerfCounters.from_dict(res["perf"]))

@@ -25,6 +25,7 @@ All commands accept ``--seed`` and the Monte-Carlo fidelity knobs; run
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -48,6 +49,11 @@ def _add_flow_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=None,
                         help="characterization worker processes "
                              "(default: $REPRO_WORKERS or 1; 0 = all cores)")
+    parser.add_argument("--kernel", default=None,
+                        help="transient-solver kernel backend: numpy, fused, "
+                             "cnative, numba or auto (default: $REPRO_KERNEL "
+                             "or numpy; unavailable backends fall back with "
+                             "a warning)")
     parser.add_argument("--perf", action="store_true",
                         help="print solver/stage performance counters")
     parser.add_argument("--max-retries", type=int, default=0,
@@ -72,7 +78,12 @@ def _add_flow_args(parser: argparse.ArgumentParser) -> None:
 
 def _make_flow(args):
     from repro.core.flow import DelayCalibrationFlow
+    from repro.kernels import KERNEL_ENV
 
+    if getattr(args, "kernel", None):
+        # Export the choice so version_salt() and any process that
+        # re-resolves from the environment agree with this run.
+        os.environ[KERNEL_ENV] = args.kernel
     tech = Technology().at_vdd(args.vdd)
     cells = [c.strip() for c in args.cells.split(",") if c.strip()] or None
     extra = {}
@@ -97,6 +108,7 @@ def _make_flow(args):
         quarantine_budget=None if budget is not None and budget < 0 else budget,
         resume=args.resume,
         journal=args.journal or None,
+        kernel=getattr(args, "kernel", None),
         **extra,
     )
 
@@ -268,6 +280,20 @@ def cmd_lint(args) -> int:
     return 0 if not report.errors else 1
 
 
+def cmd_kernels(args) -> int:
+    """Probe and list the kernel backends on this machine."""
+    from repro.kernels import available_backends, default_backend
+
+    selected = default_backend().name
+    print(f"{'backend':<10} {'available':<10} detail")
+    for entry in available_backends():
+        marker = "*" if entry["name"] == selected else " "
+        print(f"{marker}{entry['name']:<9} {entry['available']:<10} {entry['detail']}")
+    print(f"\n* = selected by the current environment "
+          f"($REPRO_KERNEL or the numpy default)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -307,6 +333,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-edges", default="rise",
                    help="comma-separated launch edges (rise,fall) for --batch")
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("kernels", help="probe the available kernel backends")
+    p.set_defaults(func=cmd_kernels)
 
     p = sub.add_parser("lint", help="static checks on artifacts and source")
     p.add_argument("paths", nargs="*",

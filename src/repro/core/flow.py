@@ -105,6 +105,13 @@ class DelayCalibrationFlow:
         Optional run journal: a :class:`repro.journal.RunJournal`, or a
         path to create one at. Receives run/task/checkpoint/quarantine
         events and perf snapshots (JSONL; lint with ``repro lint``).
+    kernel:
+        Numeric kernel backend for the transient solver (``"numpy"``,
+        ``"fused"``, ``"cnative"``, ``"numba"`` or ``"auto"``; see
+        :func:`repro.kernels.select_backend`). ``None`` reads the
+        ``REPRO_KERNEL`` env var, defaulting to the golden ``numpy``
+        reference. The choice travels to worker processes and is part
+        of every cache key.
 
     Attributes
     ----------
@@ -135,6 +142,7 @@ class DelayCalibrationFlow:
         quarantine_budget: Optional[int] = 0,
         resume: bool = True,
         journal=None,
+        kernel: Optional[str] = None,
     ):
         from repro.journal import RunJournal
         from repro.spice.montecarlo import MonteCarloEngine
@@ -157,7 +165,8 @@ class DelayCalibrationFlow:
         self.task_timeout = task_timeout
         self.quarantine_budget = quarantine_budget
         self.resume = resume
-        self.engine = MonteCarloEngine(self.tech, self.variation, seed=seed)
+        self.kernel = kernel
+        self.engine = MonteCarloEngine(self.tech, self.variation, seed=seed, kernel=kernel)
         self.perf = PerfCounters()
         if journal is not None and not isinstance(journal, RunJournal):
             journal = RunJournal(journal)
@@ -171,10 +180,12 @@ class DelayCalibrationFlow:
     # ------------------------------------------------------------------
     def _cache_key(self) -> str:
         from repro import __version__
+        from repro.kernels import backend_identity
 
         payload = json.dumps(
             {
                 "repro_version": __version__,
+                "kernel": backend_identity(self.kernel),
                 "variation_model": type(self.variation).__qualname__,
                 "tech": asdict(self.tech),
                 "variation": asdict(self.variation),

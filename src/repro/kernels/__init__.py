@@ -1,0 +1,197 @@
+"""Pluggable kernel backends for the Monte-Carlo transient hot path.
+
+The batched Newton solver spends essentially all of its time in a
+handful of primitives (EKV device evaluation, the stacked Newton solve,
+the clamp/scatter/compact update). This package isolates those
+primitives behind :class:`~repro.kernels.base.KernelBackend` so they can
+be swapped without touching solver logic:
+
+``numpy``
+    The golden reference — the historical solver code verbatim.
+    Always available; reproduces published results bit-for-bit.
+``fused``
+    Pure-numpy reformulation of the EKV softplus onto SIMD-vectorized
+    ufuncs (``exp``/``log1p`` instead of the scalar ``logaddexp``
+    inner loop). Always available.
+``cnative``
+    ``fused`` transcendentals plus C micro-kernels (compiled on first
+    use with the system C compiler via ctypes) for the adjugate solve,
+    the update/compact loop, and the EKV combine stage. Available when
+    a working C toolchain is present and the compiled kernels pass
+    their self-check.
+``numba``
+    JIT-compiled kernels; available only when :mod:`numba` is
+    installed.
+
+Selection
+---------
+:func:`select_backend` resolves, in order: an explicit ``name``
+argument, the ``REPRO_KERNEL`` environment variable, the ``"numpy"``
+default. ``"auto"`` picks the fastest *available* backend in the
+preference order ``numba > cnative > fused > numpy``. Requesting an
+unavailable backend falls back down the same order with a one-time
+warning (never an error) — characterization on a machine without a C
+compiler must still run.
+
+Accelerated backends are validated against the reference within the
+documented equivalence envelope (``docs/kernels.md``, lint rule
+``KRN001``), and every backend's :meth:`identity` is salted into cache
+keys (:func:`repro.cache.version_salt`) so artifacts produced by
+different backends never alias.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.kernels.base import KernelBackend
+from repro.kernels.numpy_backend import NumpyBackend
+
+__all__ = [
+    "KernelBackend",
+    "KERNEL_ENV",
+    "PREFERENCE_ORDER",
+    "available_backends",
+    "backend_identity",
+    "default_backend",
+    "select_backend",
+]
+
+#: Environment variable naming the desired backend. The CLI ``--kernel``
+#: flag sets this so worker processes and cache-key salting see the same
+#: choice as the parent.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Fallback / ``auto`` resolution order, fastest first. ``numpy`` is the
+#: terminal entry and is always available.
+PREFERENCE_ORDER: Tuple[str, ...] = ("numba", "cnative", "fused", "numpy")
+
+
+def _registry() -> Dict[str, Type[KernelBackend]]:
+    """Backend classes by name. Imports are local so an optional
+    backend with a broken import can never poison ``import repro``."""
+    from repro.kernels.fused_backend import FusedBackend
+    from repro.kernels.cnative_backend import CNativeBackend
+    from repro.kernels.numba_backend import NumbaBackend
+
+    return {
+        "numpy": NumpyBackend,
+        "fused": FusedBackend,
+        "cnative": CNativeBackend,
+        "numba": NumbaBackend,
+    }
+
+
+# Backend instances are cached because probing may compile C sources or
+# trigger JIT warm-up; construction must stay cheap for the solver.
+_instances: Dict[str, KernelBackend] = {}
+_warned: set = set()
+
+
+def _instance(name: str) -> KernelBackend:
+    inst = _instances.get(name)
+    if inst is None:
+        inst = _registry()[name]()
+        _instances[name] = inst
+    return inst
+
+
+def available_backends() -> List[Dict[str, str]]:
+    """Probe every registered backend.
+
+    Returns a list of ``{"name", "available", "detail"}`` dicts in
+    preference order — the payload behind ``repro kernels`` style
+    introspection and the docs' backend matrix.
+    """
+    out: List[Dict[str, str]] = []
+    reg = _registry()
+    for name in PREFERENCE_ORDER:
+        ok, reason = reg[name].probe()
+        out.append({
+            "name": name,
+            "available": "yes" if ok else "no",
+            "detail": reason,
+        })
+    return out
+
+
+def select_backend(
+    name: Optional[str] = None,
+    *,
+    fallback: bool = True,
+) -> KernelBackend:
+    """Resolve and instantiate a kernel backend.
+
+    Parameters
+    ----------
+    name:
+        Backend name, ``"auto"``, or ``None`` to consult the
+        ``REPRO_KERNEL`` environment variable (default ``"numpy"``).
+    fallback:
+        When True (the default), an unavailable request degrades down
+        :data:`PREFERENCE_ORDER` with a one-time ``RuntimeWarning``.
+        When False, an unavailable request raises ``ValueError`` — used
+        by tests and CI jobs that must not silently run a different
+        backend than they claim to.
+    """
+    requested = name if name is not None else os.environ.get(KERNEL_ENV) or "numpy"
+    requested = requested.strip().lower()
+    reg = _registry()
+    if requested == "auto":
+        for cand in PREFERENCE_ORDER:
+            ok, _ = reg[cand].probe()
+            if ok:
+                return _instance(cand)
+        return _instance("numpy")  # pragma: no cover - numpy always probes True
+    if requested not in reg:
+        if not fallback:
+            raise ValueError(
+                f"unknown kernel backend {requested!r}; "
+                f"known: {', '.join(sorted(reg))}, or 'auto'"
+            )
+        _warn_once(requested, f"unknown kernel backend {requested!r}")
+        return _instance("numpy")
+    ok, reason = reg[requested].probe()
+    if ok:
+        return _instance(requested)
+    if not fallback:
+        raise ValueError(f"kernel backend {requested!r} unavailable: {reason}")
+    start = PREFERENCE_ORDER.index(requested)
+    for cand in PREFERENCE_ORDER[start + 1:]:
+        cand_ok, _ = reg[cand].probe()
+        if cand_ok:
+            _warn_once(
+                requested,
+                f"kernel backend {requested!r} unavailable ({reason})",
+                cand,
+            )
+            return _instance(cand)
+    return _instance("numpy")  # pragma: no cover - numpy always probes True
+
+
+def _warn_once(requested: str, why: str, fell_back_to: str = "numpy") -> None:
+    if requested in _warned:
+        return
+    _warned.add(requested)
+    warnings.warn(
+        f"{why}; falling back to the {fell_back_to!r} backend",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def default_backend() -> KernelBackend:
+    """The backend implied by the current environment (no argument)."""
+    return select_backend(None)
+
+
+def backend_identity(name: Optional[str] = None) -> str:
+    """Identity string of the resolved backend, for cache-key salting.
+
+    Uses the same resolution (env var, fallback) as
+    :func:`select_backend`, so the salt always names the backend that
+    would actually run.
+    """
+    return select_backend(name).identity()

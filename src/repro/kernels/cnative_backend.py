@@ -1,0 +1,394 @@
+"""C-native backend: ctypes micro-kernels around numpy transcendentals.
+
+Strategy (measured on this hot path — see ``docs/kernels.md``):
+
+* Transcendentals (``exp``/``log1p``/``expm1``) stay in numpy, whose
+  SIMD ufunc loops beat scalar ``libm`` calls from C by ~3x.
+* Everything else — the EKV bias algebra, the current/conductance
+  combine, the adjugate Newton solve, and the clamp/scatter/compact
+  update — runs as single-pass C loops (``_native.c``), eliminating a
+  dozen-odd full-array numpy passes per Newton iteration.
+
+The C source is compiled on first use with the system C compiler
+(``$CC``, ``cc`` or ``gcc``) into a content-hashed shared object under
+a per-user cache directory (override with ``REPRO_NATIVE_CACHE``), so
+the cost is paid once per source revision, not per process.
+
+Every C expression mirrors the reference operation-for-operation and
+the build disables FP contraction, so results are bit-identical to the
+``fused`` backend (and within the documented envelope of ``numpy``).
+The :meth:`probe` self-check verifies this bit-identity on every
+primitive before the backend can be selected; any discrepancy —
+compiler quirk, missing toolchain — degrades the probe to unavailable
+and selection falls back gracefully.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.fused_backend import FusedBackend
+
+# Raw addresses are passed as void pointers: ndarray.ctypes.data is a
+# plain int attribute, ~10x cheaper per call than data_as()/cast().
+_void_p = ctypes.c_void_p
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / f"repro-native-{os.getuid()}"
+
+
+def _compile_library() -> ctypes.CDLL:
+    """Compile (if needed) and load the native kernel library."""
+    src = Path(__file__).with_name("_native.c")
+    code = src.read_bytes()
+    digest = hashlib.sha256(code).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = cache / f"repro_native_{digest}.so"
+    if not so_path.exists():
+        compiler = os.environ.get("CC")
+        if not compiler:
+            from shutil import which
+
+            compiler = which("cc") or which("gcc") or which("clang")
+        if not compiler:
+            raise RuntimeError("no C compiler found (set $CC)")
+        cache.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(cache))
+        os.close(fd)
+        try:
+            proc = subprocess.run(
+                [
+                    compiler,
+                    "-O2",
+                    "-fPIC",
+                    "-shared",
+                    "-ffp-contract=off",
+                    str(src),
+                    "-o",
+                    tmp,
+                    "-lm",
+                ],
+                capture_output=True,
+                text=True,
+                timeout=120,
+            )
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"C kernel compilation failed: {proc.stderr.strip()[:500]}"
+                )
+            os.replace(tmp, so_path)  # atomic under concurrent builders
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+    lib = ctypes.CDLL(str(so_path))
+    i64 = ctypes.c_int64
+    dbl = ctypes.c_double
+    lib.ekv_prep.restype = None
+    lib.ekv_prep.argtypes = [
+        i64,
+        _void_p, i64, _void_p, i64, _void_p, i64, _void_p, i64,
+        dbl, dbl, dbl,
+        _void_p, _void_p, _void_p, _void_p, _void_p,
+    ]
+    lib.softplus_finish.restype = None
+    lib.softplus_finish.argtypes = [i64, _void_p, _void_p, _void_p, _void_p]
+    lib.ekv_combine.restype = None
+    lib.ekv_combine.argtypes = [
+        i64,
+        _void_p, _void_p, _void_p, _void_p, _void_p,
+        _void_p, i64,
+        dbl, dbl, dbl, dbl,
+        _void_p, _void_p, _void_p, _void_p,
+    ]
+    for fn in (lib.solve_stack1, lib.solve_stack2, lib.solve_stack3):
+        fn.restype = i64
+        fn.argtypes = [i64, _void_p, _void_p, _void_p]
+    lib.apply_update.restype = i64
+    lib.apply_update.argtypes = [
+        _void_p, i64, _void_p, i64, _void_p, i64,
+        dbl, dbl, _void_p, _void_p,
+    ]
+    lib.stamp_device.restype = None
+    lib.stamp_device.argtypes = [
+        i64, i64, _void_p, _void_p,
+        _void_p, _void_p, _void_p, _void_p,
+        dbl, i64, i64, i64,
+    ]
+    return lib
+
+
+def _ptr_stride(x: np.ndarray) -> Tuple[int, int]:
+    """(address, element-stride) for a 0-d or 1-d float64 array."""
+    if x.ndim == 0:
+        return x.ctypes.data, 0
+    return x.ctypes.data, x.strides[0] // 8
+
+
+def _dptr(x: np.ndarray) -> int:
+    return x.ctypes.data
+
+
+class CNativeBackend(FusedBackend):
+    """ctypes C micro-kernel backend (fused transcendentals + C loops)."""
+
+    name = "cnative"
+    version = "1"
+
+    _lib: Optional[ctypes.CDLL] = None
+    _probe_result: Optional[Tuple[bool, str]] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def probe(cls) -> Tuple[bool, str]:
+        if cls._probe_result is None:
+            try:
+                cls._lib = _compile_library()
+                cls._self_check()
+                cls._probe_result = (True, "compiled C kernels, self-check passed")
+            except Exception as exc:  # degrade, never break selection
+                cls._lib = None
+                cls._probe_result = (False, f"{type(exc).__name__}: {exc}")
+        return cls._probe_result
+
+    @classmethod
+    def _self_check(cls) -> None:
+        """Require bit-identity with the pure-numpy primitives.
+
+        Runs once at probe time on deterministic pseudo-random data; a
+        compiler that contracts or reorders FP ops fails here and the
+        backend reports unavailable instead of producing off-envelope
+        numbers.
+        """
+        from repro.kernels.numpy_backend import NumpyBackend
+        from repro.spice.mosfet import MosfetParams
+
+        rng = np.random.default_rng(20260807)
+        ref = NumpyBackend()
+        fused = FusedBackend()
+        inst = cls.__new__(cls)  # bypass probe recursion; _lib already set
+        s = 257
+        for n in (1, 2, 3):
+            jac = rng.normal(size=(s, n, n))
+            jac[:, np.arange(n), np.arange(n)] += 4.0  # well conditioned
+            resid = rng.normal(size=(s, n))
+            got = inst.solve_stack(jac.copy(), resid.copy())
+            want = ref.solve_stack(jac, resid)
+            if not np.array_equal(got, want):
+                raise RuntimeError(f"solve_stack{n} self-check mismatch")
+            v1 = rng.normal(size=(s, n))
+            v2 = v1.copy()
+            rows = np.flatnonzero(rng.random(s) < 0.7)
+            d1 = 0.5 * rng.normal(size=(rows.size, n))
+            d2 = d1.copy()
+            got_rows, got_fin = inst.apply_update(v1, rows, d1, 0.3, 1e-2)
+            want_rows, want_fin = ref.apply_update(v2, rows, d2, 0.3, 1e-2)
+            same_rows = (got_rows is None and want_rows is None) or (
+                got_rows is not None
+                and want_rows is not None
+                and np.array_equal(got_rows, want_rows)
+            )
+            if not (
+                same_rows
+                and got_fin == want_fin
+                and np.array_equal(v1, v2)
+                and np.array_equal(d1, d2)
+            ):
+                raise RuntimeError("apply_update self-check mismatch")
+        params = MosfetParams(
+            vt=0.35 + 0.02 * rng.normal(size=s),
+            ispec=np.abs(  # amperes, not a time/length unit
+                1e-6 * (1.0 + 0.1 * rng.normal(size=s))),  # repro-lint: disable=UNIT001
+            n_slope=1.3,
+            phi_t=0.0258,
+            dibl=0.08,
+            lam=0.1,
+        )
+        vg = 0.6 * rng.random(s)
+        vd = 0.6 * rng.random(s)
+        vs = 0.1 * rng.random(s)
+        got = inst.ekv_eval(vg, vd, vs, params)
+        want = fused.ekv_eval(vg, vd, vs, params)
+        for name, g, w in zip(("ids", "gg", "gd", "gs"), got, want):
+            if not np.array_equal(np.asarray(g), np.asarray(w)):
+                raise RuntimeError(f"ekv_eval self-check mismatch on {name}")
+        # stamp_device vs the reference scatter (pmos sign, one fixed
+        # terminal) — exercised exactly as device_currents drives it.
+        ids_a, gg_a, gd_a, gs_a = (rng.normal(size=s) for _ in range(4))
+        out1 = np.zeros((s, 3))
+        out2 = np.zeros((s, 3))
+        jac1 = rng.normal(size=(s, 3, 3))
+        jac2 = jac1.copy()
+        id_, ig, is_ = 2, -1, 0
+        if not inst.stamp_device(
+            out1, jac1, ids_a, gg_a, gd_a, gs_a, -1.0, id_, ig, is_
+        ):
+            raise RuntimeError("stamp_device refused contiguous input")
+        i_phys = -1.0 * ids_a
+        out2[:, id_] += i_phys
+        out2[:, is_] -= i_phys
+        for row, rsign in ((id_, 1.0), (is_, -1.0)):
+            for col, g in ((id_, gd_a), (is_, gs_a)):
+                jac2[:, row, col] += rsign * g
+        if not (np.array_equal(out1, out2) and np.array_equal(jac1, jac2)):
+            raise RuntimeError("stamp_device self-check mismatch")
+
+    # ------------------------------------------------------------------
+    def ekv_eval(self, vg, vd, vs, params) -> Tuple[np.ndarray, ...]:
+        lib = type(self)._lib
+        vg = np.asarray(vg, dtype=float)
+        vd = np.asarray(vd, dtype=float)
+        vs = np.asarray(vs, dtype=float)
+        vt = np.asarray(params.vt, dtype=float)
+        ispec = np.asarray(params.ispec, dtype=float)
+        shape = np.broadcast_shapes(
+            vg.shape, vd.shape, vs.shape, vt.shape, ispec.shape
+        )
+        if lib is None or len(shape) != 1:
+            # Scalar evaluation (unit tests, sanity probes) keeps the
+            # numpy shape semantics of the reference.
+            return super().ekv_eval(vg, vd, vs, params)
+        s = shape[0]
+        y_f = np.empty(s)
+        y_r = np.empty(s)
+        nay_f = np.empty(s)
+        nay_r = np.empty(s)
+        vds = np.empty(s)
+        lib.ekv_prep(
+            s,
+            *_ptr_stride(vg), *_ptr_stride(vd), *_ptr_stride(vs),
+            *_ptr_stride(vt),
+            params.n_slope, params.phi_t, params.dibl,
+            _dptr(y_f), _dptr(y_r), _dptr(nay_f), _dptr(nay_r), _dptr(vds),
+        )
+        # Only the transcendentals run as numpy (SIMD) passes; the
+        # surrounding elementwise assembly is fused into the C stages.
+        # y is already x*0.5, so the math matches the fused backend
+        # bit-for-bit. Buffers are reused in place (nay -> l -> em).
+        np.exp(nay_f, out=nay_f)
+        np.log1p(nay_f, out=nay_f)
+        np.exp(nay_r, out=nay_r)
+        np.log1p(nay_r, out=nay_r)
+        sp_f = np.empty(s)
+        em_f = np.empty(s)
+        lib.softplus_finish(s, _dptr(y_f), _dptr(nay_f), _dptr(sp_f), _dptr(em_f))
+        np.expm1(em_f, out=em_f)
+        sp_r = np.empty(s)
+        em_r = np.empty(s)
+        lib.softplus_finish(s, _dptr(y_r), _dptr(nay_r), _dptr(sp_r), _dptr(em_r))
+        np.expm1(em_r, out=em_r)
+        ids = np.empty(s)
+        gg = np.empty(s)
+        gd = np.empty(s)
+        gs = np.empty(s)
+        ip, istride = _ptr_stride(ispec)
+        lib.ekv_combine(
+            s,
+            _dptr(sp_f), _dptr(em_f), _dptr(sp_r), _dptr(em_r), _dptr(vds),
+            ip, istride,
+            params.n_slope, params.phi_t, params.dibl, params.lam,
+            _dptr(ids), _dptr(gg), _dptr(gd), _dptr(gs),
+        )
+        return ids, gg, gd, gs
+
+    def stamp_device(
+        self,
+        out: np.ndarray,
+        jac: Optional[np.ndarray],
+        ids: np.ndarray,
+        gg: np.ndarray,
+        gd: np.ndarray,
+        gs: np.ndarray,
+        sign: float,
+        id_: int,
+        ig: int,
+        is_: int,
+    ) -> bool:
+        """Accumulate one device's currents/conductances; True if handled.
+
+        Falls back (returns False) whenever the layout assumptions do
+        not hold — the caller then runs the reference numpy stamping.
+        """
+        lib = type(self)._lib
+        n, ncols = out.shape
+        if (
+            lib is None
+            or not out.flags.c_contiguous
+            or (jac is not None and not jac.flags.c_contiguous)
+        ):
+            return False
+        for arr in (ids, gg, gd, gs):
+            if (
+                not isinstance(arr, np.ndarray)
+                or arr.shape != (n,)
+                or not arr.flags.c_contiguous
+                or arr.dtype != np.float64
+            ):
+                return False
+        lib.stamp_device(
+            n, ncols, _dptr(out), _dptr(jac) if jac is not None else None,
+            _dptr(ids), _dptr(gg), _dptr(gd), _dptr(gs),
+            sign, id_, ig, is_,
+        )
+        return True
+
+    def solve_stack(self, jac: np.ndarray, resid: np.ndarray) -> np.ndarray:
+        lib = type(self)._lib
+        n = jac.shape[-1]
+        if lib is None or n > 3 or jac.shape[0] == 0:
+            return super().solve_stack(jac, resid)
+        jac = np.ascontiguousarray(jac)
+        resid = np.ascontiguousarray(resid)
+        delta = np.empty_like(resid)
+        fn = (lib.solve_stack1, lib.solve_stack2, lib.solve_stack3)[n - 1]
+        bad = fn(jac.shape[0], _dptr(jac), _dptr(resid), _dptr(delta))
+        if bad >= 0:
+            raise np.linalg.LinAlgError(f"singular {n}x{n} Jacobian stack")
+        return delta
+
+    def apply_update(
+        self,
+        v: np.ndarray,
+        rows: Optional[np.ndarray],
+        delta: np.ndarray,
+        damp: float,
+        dv_tol: float,
+    ) -> Tuple[Optional[np.ndarray], bool]:
+        lib = type(self)._lib
+        if (
+            lib is None
+            or delta.shape[0] == 0
+            or not delta.flags.c_contiguous
+            or not v.flags.c_contiguous
+        ):
+            return super().apply_update(v, rows, delta, damp, dv_tol)
+        if rows is None:
+            rows_ptr = None
+        else:
+            rows = np.ascontiguousarray(rows, dtype=np.int64)
+            rows_ptr = rows.ctypes.data
+        n_active = delta.shape[0]
+        out_rows = np.empty(n_active, dtype=np.int64)
+        nonfinite = ctypes.c_int64(0)
+        count = lib.apply_update(
+            _dptr(v), v.shape[1], rows_ptr, n_active,
+            _dptr(delta), delta.shape[1],
+            damp, dv_tol,
+            out_rows.ctypes.data, ctypes.byref(nonfinite),
+        )
+        if nonfinite.value:
+            return rows, False
+        if count == 0:
+            return None, True
+        return out_rows[:count].copy(), True

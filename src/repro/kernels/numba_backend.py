@@ -1,0 +1,218 @@
+"""Optional numba JIT backend.
+
+Compiles the same single-pass loops as the C backend (adjugate solve,
+clamp/scatter/compact update) with :func:`numba.njit` and keeps the EKV
+transcendentals on the fused numpy path. The JIT functions disable
+``fastmath`` so operation order matches the reference exactly —
+``fastmath=True`` would license reassociation/contraction and break the
+equivalence envelope.
+
+numba is *not* a dependency of this project: when it is missing (the
+normal case), :meth:`NumbaBackend.probe` reports unavailable with the
+reason and :func:`repro.kernels.select_backend` degrades down the
+preference order. A probe-time self-check against the numpy reference
+gates the backend exactly like the C one, so a numba version with
+different numerics can never be silently selected.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.fused_backend import FusedBackend
+
+_jit_fns = None  # (solve1, solve2, solve3, update) once compiled
+
+
+def _compile_jit():
+    """Compile the njit kernels; raises when numba is unavailable."""
+    global _jit_fns
+    if _jit_fns is not None:
+        return _jit_fns
+    import numba  # noqa: F401 - ImportError is the probe signal
+
+    from numba import njit
+
+    @njit(cache=True, fastmath=False)
+    def solve1(jac, resid, delta):  # pragma: no cover - needs numba
+        s = jac.shape[0]
+        for k in range(s):
+            det = jac[k, 0, 0]
+            if det == 0.0:
+                return k
+            delta[k, 0] = -resid[k, 0] / det
+        return -1
+
+    @njit(cache=True, fastmath=False)
+    def solve2(jac, resid, delta):  # pragma: no cover - needs numba
+        s = jac.shape[0]
+        for k in range(s):
+            a = jac[k, 0, 0]
+            b = jac[k, 0, 1]
+            c = jac[k, 1, 0]
+            d = jac[k, 1, 1]
+            det = a * d - b * c
+            if det == 0.0:
+                return k
+            inv_det = -1.0 / det
+            r0 = resid[k, 0]
+            r1 = resid[k, 1]
+            delta[k, 0] = (d * r0 - b * r1) * inv_det
+            delta[k, 1] = (a * r1 - c * r0) * inv_det
+        return -1
+
+    @njit(cache=True, fastmath=False)
+    def solve3(jac, resid, delta):  # pragma: no cover - needs numba
+        s = jac.shape[0]
+        for k in range(s):
+            a = jac[k, 0, 0]
+            b = jac[k, 0, 1]
+            c = jac[k, 0, 2]
+            d = jac[k, 1, 0]
+            e = jac[k, 1, 1]
+            f = jac[k, 1, 2]
+            g = jac[k, 2, 0]
+            h = jac[k, 2, 1]
+            i = jac[k, 2, 2]
+            ca = e * i - f * h
+            cb = c * h - b * i
+            cc = b * f - c * e
+            cd = f * g - d * i
+            ce = a * i - c * g
+            cf = c * d - a * f
+            cg = d * h - e * g
+            ch = b * g - a * h
+            ci = a * e - b * d
+            det = a * ca + b * cd + c * cg
+            if det == 0.0:
+                return k
+            inv_det = -1.0 / det
+            r0 = resid[k, 0]
+            r1 = resid[k, 1]
+            r2 = resid[k, 2]
+            delta[k, 0] = (ca * r0 + cb * r1 + cc * r2) * inv_det
+            delta[k, 1] = (cd * r0 + ce * r1 + cf * r2) * inv_det
+            delta[k, 2] = (cg * r0 + ch * r1 + ci * r2) * inv_det
+        return -1
+
+    @njit(cache=True, fastmath=False)
+    def update(v, rows, use_rows, delta, damp, dv_tol, out_rows):
+        # pragma: no cover - needs numba
+        n_active, n = delta.shape
+        count = 0
+        bad = 0
+        for r in range(n_active):
+            row = rows[r] if use_rows else r
+            still = False
+            for j in range(n):
+                x = delta[r, j]
+                if x < -damp:
+                    x = -damp
+                elif x > damp:
+                    x = damp
+                delta[r, j] = x
+                v[row, j] += x
+                if not np.isfinite(x):
+                    bad = 1
+                if abs(x) >= dv_tol:
+                    still = True
+            if still:
+                out_rows[count] = row
+                count += 1
+        return count, bad
+
+    _jit_fns = (solve1, solve2, solve3, update)
+    return _jit_fns
+
+
+class NumbaBackend(FusedBackend):
+    """numba-JIT backend (optional dependency)."""
+
+    name = "numba"
+    version = "1"
+
+    _probe_result: Optional[Tuple[bool, str]] = None
+
+    @classmethod
+    def probe(cls) -> Tuple[bool, str]:
+        if cls._probe_result is None:
+            try:
+                _compile_jit()
+                cls._self_check()
+                cls._probe_result = (True, "numba JIT compiled, self-check passed")
+            except ImportError:
+                cls._probe_result = (False, "numba not installed")
+            except Exception as exc:  # pragma: no cover - needs numba
+                cls._probe_result = (False, f"{type(exc).__name__}: {exc}")
+        return cls._probe_result
+
+    @classmethod
+    def _self_check(cls) -> None:  # pragma: no cover - needs numba
+        from repro.kernels.numpy_backend import NumpyBackend
+
+        rng = np.random.default_rng(20260807)
+        ref = NumpyBackend()
+        inst = cls.__new__(cls)
+        for n in (1, 2, 3):
+            jac = rng.normal(size=(193, n, n))
+            jac[:, np.arange(n), np.arange(n)] += 4.0
+            resid = rng.normal(size=(193, n))
+            if not np.array_equal(
+                inst.solve_stack(jac.copy(), resid.copy()),
+                ref.solve_stack(jac, resid),
+            ):
+                raise RuntimeError(f"numba solve_stack{n} self-check mismatch")
+            v1 = rng.normal(size=(193, n))
+            v2 = v1.copy()
+            rows = np.flatnonzero(rng.random(193) < 0.7)
+            d1 = 0.5 * rng.normal(size=(rows.size, n))
+            d2 = d1.copy()
+            got_rows, got_fin = inst.apply_update(v1, rows, d1, 0.3, 1e-2)
+            want_rows, want_fin = ref.apply_update(v2, rows, d2, 0.3, 1e-2)
+            same = (got_rows is None and want_rows is None) or (
+                got_rows is not None
+                and want_rows is not None
+                and np.array_equal(got_rows, want_rows)
+            )
+            if not (same and got_fin == want_fin and np.array_equal(v1, v2)):
+                raise RuntimeError("numba apply_update self-check mismatch")
+
+    # ------------------------------------------------------------------
+    def solve_stack(self, jac, resid):  # pragma: no cover - needs numba
+        n = jac.shape[-1]
+        if _jit_fns is None or n > 3 or jac.shape[0] == 0:
+            return super().solve_stack(jac, resid)
+        jac = np.ascontiguousarray(jac)
+        resid = np.ascontiguousarray(resid)
+        delta = np.empty_like(resid)
+        bad = _jit_fns[n - 1](jac, resid, delta)
+        if bad >= 0:
+            raise np.linalg.LinAlgError(f"singular {n}x{n} Jacobian stack")
+        return delta
+
+    def apply_update(self, v, rows, delta, damp, dv_tol):
+        # pragma: no cover - needs numba
+        if (
+            _jit_fns is None
+            or delta.shape[0] == 0
+            or not delta.flags.c_contiguous
+            or not v.flags.c_contiguous
+        ):
+            return super().apply_update(v, rows, delta, damp, dv_tol)
+        if rows is None:
+            rows64 = np.empty(0, dtype=np.int64)
+            use_rows = False
+        else:
+            rows64 = np.ascontiguousarray(rows, dtype=np.int64)
+            use_rows = True
+        out_rows = np.empty(delta.shape[0], dtype=np.int64)
+        count, bad = _jit_fns[3](
+            v, rows64, use_rows, delta, damp, dv_tol, out_rows
+        )
+        if bad:
+            return rows, False
+        if count == 0:
+            return None, True
+        return out_rows[:count].copy(), True

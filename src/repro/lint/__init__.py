@@ -31,6 +31,7 @@ from repro.lint.domain import (
     lint_circuit,
     lint_compiled_design,
     lint_journal,
+    lint_kernel_equivalence,
     lint_nsigma_model,
     lint_rctree,
     lint_spef,
@@ -52,6 +53,7 @@ __all__ = [
     "lint_codebase",
     "lint_compiled_design",
     "lint_journal",
+    "lint_kernel_equivalence",
     "lint_nsigma_model",
     "lint_rctree",
     "lint_source",

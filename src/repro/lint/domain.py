@@ -163,6 +163,15 @@ register_rule(Rule(
     "must be visible, budgeted and re-runnable",
 ))
 register_rule(Rule(
+    "KRN001", "domain", Severity.ERROR,
+    "kernel backend equivalence violation: an accelerated backend "
+    "deviates from the numpy golden reference beyond the documented "
+    "envelope",
+    "accelerated kernels are only admissible while they reproduce the "
+    "golden physics; a backend outside the envelope silently corrupts "
+    "every delay sample it produces (see docs/kernels.md)",
+))
+register_rule(Rule(
     "RUN002", "domain", Severity.ERROR,
     "malformed run journal: unparseable line, non-object record, "
     "missing/unknown event, or non-monotonic sequence numbers",
@@ -490,6 +499,122 @@ def lint_characterization(
 
 
 # ----------------------------------------------------------------------
+# Kernel backends
+# ----------------------------------------------------------------------
+#: Equivalence envelope (docs/kernels.md) — error of an accelerated
+#: backend vs the numpy golden reference, normalized by the largest
+#: reference magnitude of the batch (robust to per-sample cancellation).
+KERNEL_TOL_PRIMITIVE = 1e-12  # repro-lint: disable=UNIT001 (dimensionless)
+#: Conductances are first derivatives assembled through a subtraction of
+#: near-equal softplus terms, so their error floor is amplified.
+KERNEL_TOL_CONDUCTANCE = 1e-9  # repro-lint: disable=UNIT001 (dimensionless)
+
+
+def lint_kernel_equivalence(backend=None, n: int = 1024) -> LintReport:
+    """Check a kernel backend against the numpy golden reference (KRN001).
+
+    Evaluates every hot-path primitive (EKV device evaluation, stacked
+    Newton solves, the update/compact step, the linear fast path) on
+    deterministic pseudo-random inputs and compares against
+    :class:`~repro.kernels.numpy_backend.NumpyBackend` within the
+    documented equivalence envelope. End-to-end delay equivalence is
+    enforced separately by the golden-equivalence test suite; this rule
+    is the cheap always-on gate.
+
+    ``backend`` may be a backend instance, a backend name, or ``None``
+    for the environment-selected backend.
+    """
+    import numpy as np
+
+    from repro.kernels import select_backend
+    from repro.kernels.base import KernelBackend
+    from repro.kernels.numpy_backend import NumpyBackend
+    from repro.spice.mosfet import MosfetParams
+
+    report = LintReport()
+    if not isinstance(backend, KernelBackend):
+        backend = select_backend(backend)
+    ref = NumpyBackend()
+    ident = backend.identity()
+
+    def err_of(got, want) -> float:
+        got = np.asarray(got, dtype=float)
+        want = np.asarray(want, dtype=float)
+        if not np.all(np.isfinite(got)):
+            return float("inf")
+        scale = float(np.max(np.abs(want))) or 1.0
+        return float(np.max(np.abs(got - want))) / scale
+
+    def check(primitive: str, err: float, tol: float) -> None:
+        if not (err <= tol):
+            report.emit(
+                "KRN001",
+                f"backend {ident}: {primitive} deviates from the numpy "
+                f"reference by {err:.3e} (normalized; envelope {tol:.0e})",
+                artifact=f"kernel/{backend.name}",
+            )
+
+    rng = np.random.default_rng(1202301)
+    params = MosfetParams(
+        vt=0.35 + 0.02 * rng.normal(size=n),
+        ispec=np.abs(  # amperes, not a time/length unit
+            1e-6 * (1.0 + 0.1 * rng.normal(size=n))),  # repro-lint: disable=UNIT001
+        n_slope=1.3,
+        phi_t=0.0258,
+        dibl=0.08,
+        lam=0.1,
+    )
+    vg = 0.6 * rng.random(n)
+    vd = 0.6 * rng.random(n)
+    vs = 0.1 * rng.random(n)
+    got = backend.ekv_eval(vg, vd, vs, params)
+    want = ref.ekv_eval(vg, vd, vs, params)
+    tols = (
+        KERNEL_TOL_PRIMITIVE,
+        KERNEL_TOL_CONDUCTANCE,
+        KERNEL_TOL_CONDUCTANCE,
+        KERNEL_TOL_CONDUCTANCE,
+    )
+    for label, g, w, tol in zip(("ids", "gg", "gd", "gs"), got, want, tols):
+        check(f"ekv_eval[{label}]", err_of(g, w), tol)
+
+    for size in (1, 2, 3, 4):
+        jac = rng.normal(size=(n, size, size))
+        jac[:, np.arange(size), np.arange(size)] += 4.0
+        resid = rng.normal(size=(n, size))
+        delta = backend.solve_stack(jac.copy(), resid.copy())
+        delta_ref = ref.solve_stack(jac, resid)
+        check(f"solve_stack[{size}]", err_of(delta, delta_ref), KERNEL_TOL_PRIMITIVE)
+
+        v1 = rng.normal(size=(n, size))
+        v2 = v1.copy()
+        rows = np.flatnonzero(rng.random(n) < 0.7)
+        d1 = 0.5 * rng.normal(size=(rows.size, size))
+        d2 = d1.copy()
+        rows1, fin1 = backend.apply_update(v1, rows.copy(), d1, 0.3, 1e-2)
+        rows2, fin2 = ref.apply_update(v2, rows.copy(), d2, 0.3, 1e-2)
+        same_rows = (rows1 is None and rows2 is None) or (
+            rows1 is not None and rows2 is not None and np.array_equal(rows1, rows2)
+        )
+        if not (same_rows and fin1 == fin2):
+            report.emit(
+                "KRN001",
+                f"backend {ident}: apply_update[{size}] disagrees with the "
+                f"numpy reference on convergence bookkeeping",
+                artifact=f"kernel/{backend.name}",
+            )
+        check(f"apply_update[{size}]", err_of(v1, v2), KERNEL_TOL_PRIMITIVE)
+
+    a = rng.normal(size=(6, 6))
+    a[np.arange(6), np.arange(6)] += 6.0
+    rhs = rng.normal(size=(n, 6))
+    x = backend.fast_solve(backend.fast_factorization(a), rhs)
+    x_ref = ref.fast_solve(ref.fast_factorization(a), rhs)
+    check("fast_solve", err_of(x, x_ref), KERNEL_TOL_PRIMITIVE)
+    return report
+
+
+# ----------------------------------------------------------------------
 # Run journals
 # ----------------------------------------------------------------------
 def lint_journal(path) -> LintReport:
@@ -800,6 +925,19 @@ def lint_artifact(path) -> LintReport:
             from repro.core.nsigma_cell import NSigmaCellModel
 
             return lint_nsigma_model(NSigmaCellModel.from_dict(doc["nsigma"]))
+        if isinstance(doc, dict) and "moments" in doc and "index_1_slew_s" in doc:
+            # A per-arc cache checkpoint (repro.cells.characterize writes
+            # one per finished arc) — lintable individually, so a resumed
+            # run's checkpoints can be audited before being trusted.
+            from repro.cells.liberty import table_from_dict
+            from repro.errors import CharacterizationError
+
+            try:
+                table = table_from_dict(doc)
+            except CharacterizationError as exc:
+                report.emit("ART001", f"cannot read {path}: {exc}", file=str(path))
+                return report
+            return lint_table(table)
         report.emit(
             "ART001",
             f"{path}: unrecognized JSON artifact (expected a characterization "

@@ -30,17 +30,26 @@ their result slot so the rest of the run survives.
 
 The worker count comes from the ``REPRO_WORKERS`` environment variable
 when not given explicitly (``0`` or ``auto`` → one worker per CPU).
+
+Large read-only payloads shared by many tasks (technology, variation
+model, cell templates) can be published once per fan-out through a
+:class:`SharedPayloadBank`; tasks then carry a ~100-byte
+:class:`SharedPayloadHandle` instead of a multi-kilobyte pickle each.
+The parent owns every bank and unlinks it when the map finishes — on
+success, quarantine and pool-crash paths alike.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
 import pickle
 import signal
 import threading
 import time
 import traceback as traceback_mod
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -103,6 +112,148 @@ def task_seed(*parts) -> int:
     payload = repr(tuple(parts)).encode()
     digest = hashlib.sha256(payload).digest()
     return int.from_bytes(digest[:8], "little") >> 1
+
+
+# ----------------------------------------------------------------------
+# Shared-memory payload publication
+# ----------------------------------------------------------------------
+#: Prefix of every shared-memory segment this module creates; the
+#: failure-injection leak checks scan ``/dev/shm`` for it.
+SHM_PREFIX = "repro_"
+
+_bank_counter = itertools.count()
+
+#: Worker-local cache of deserialized payloads, keyed by segment name.
+#: Sharing the deserialized object across tasks of one worker matches
+#: serial semantics, where every task dict references the same objects.
+_attached_payloads: Dict[str, Any] = {}
+_ATTACH_CACHE_MAX = 8
+
+
+def _attach_untracked(name: str):
+    """Attach to an existing segment without resource-tracker tracking.
+
+    Only the *creating* process may own a segment's tracker
+    registration: before 3.13, plain attachment registers it again, and
+    an attach-side registration lets any worker's cleanup (or an
+    explicit unregister) strip the parent's entry — spamming tracker
+    ``KeyError`` noise or unlinking memory still in use. Python 3.13+
+    has ``track=False`` for exactly this; earlier versions need the
+    registration suppressed around the constructor call.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        from multiprocessing import resource_tracker
+
+        orig = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig
+
+
+@dataclass(frozen=True)
+class SharedPayloadHandle:
+    """Picklable pointer to a payload published in shared memory.
+
+    ``load()`` attaches to the segment, deserializes the payload (cached
+    per worker process, so a worker running many tasks of one arc
+    unpickles once) and detaches immediately — workers never hold the
+    segment open between tasks, so a worker killed mid-run cannot pin
+    the memory.
+    """
+
+    name: str
+    size: int
+
+    def load(self) -> Any:
+        if self.name in _attached_payloads:
+            return _attached_payloads[self.name]
+        shm = _attach_untracked(self.name)
+        try:
+            payload = pickle.loads(bytes(shm.buf[: self.size]))
+        finally:
+            shm.close()
+        while len(_attached_payloads) >= _ATTACH_CACHE_MAX:
+            _attached_payloads.pop(next(iter(_attached_payloads)))
+        _attached_payloads[self.name] = payload
+        return payload
+
+
+class SharedPayloadBank:
+    """One read-only pickled payload published in POSIX shared memory.
+
+    Without sharing, a pooled fan-out pickles the identical multi-
+    kilobyte payload (technology, variation model, cell template) into
+    every task message. A bank publishes it once; tasks carry only the
+    :class:`SharedPayloadHandle`.
+
+    Lifecycle contract: the *creating* process owns the segment and must
+    call :meth:`close` (idempotent) when the fan-out finishes —
+    completion, quarantine and pool-crash paths alike; callers wrap the
+    map in ``try/finally``. Unlinking while workers are still attached
+    is safe: POSIX removes the name immediately and frees the memory on
+    the last detach.
+    """
+
+    def __init__(self, payload: Any):
+        from multiprocessing import shared_memory
+
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        shm = None
+        for _ in range(8):
+            name = f"{SHM_PREFIX}{os.getpid()}_{next(_bank_counter)}_{os.urandom(3).hex()}"
+            try:
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, len(data)), name=name
+                )
+                break
+            except FileExistsError:  # pragma: no cover - astronomically rare
+                continue
+        if shm is None:  # pragma: no cover
+            raise ExecutionError("could not allocate a unique shared-memory name")
+        shm.buf[: len(data)] = data
+        self._shm = shm
+        self._closed = False
+        self.handle = SharedPayloadHandle(name=name, size=len(data))
+
+    @classmethod
+    def publish(cls, payload: Any) -> Optional["SharedPayloadBank"]:
+        """Create a bank, or ``None`` when shared memory is unusable.
+
+        Callers fall back to inlining the payload into each task — the
+        fan-out still works, it just pickles more.
+        """
+        try:
+            return cls(payload)
+        except ExecutionError:  # pragma: no cover
+            raise
+        except Exception:
+            return None
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except Exception:  # pragma: no cover - buffer already released
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - raced with tracker
+            pass
+
+    def __enter__(self) -> "SharedPayloadBank":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 # ----------------------------------------------------------------------
@@ -218,10 +369,32 @@ def _alarm_handler(signum, frame):  # pragma: no cover - fires only on timeout
     raise TaskTimeoutError("task attempt exceeded its time budget")
 
 
+_timeout_unsupported_warned = False
+
+
 def _call_with_timeout(fn: Callable[[T], R], task: T, timeout: Optional[float]) -> R:
-    """Run one attempt, bounded by ``timeout`` seconds when enforceable."""
-    if not timeout or threading.current_thread() is not threading.main_thread() \
+    """Run one attempt, bounded by ``timeout`` seconds when enforceable.
+
+    When a timeout was requested but cannot be enforced — no ``SIGALRM``
+    on this platform, or the attempt runs off the main thread — the
+    attempt degrades to running unbounded, with a one-time
+    ``RuntimeWarning`` per process so the degradation is visible instead
+    of silent.
+    """
+    global _timeout_unsupported_warned
+    if not timeout:
+        return fn(task)
+    if threading.current_thread() is not threading.main_thread() \
             or not hasattr(signal, "SIGALRM"):
+        if not _timeout_unsupported_warned:
+            _timeout_unsupported_warned = True
+            warnings.warn(
+                "task_timeout requested but cannot be enforced here "
+                "(SIGALRM unavailable or attempt off the main thread); "
+                "attempts run unbounded",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return fn(task)
     old = signal.signal(signal.SIGALRM, _alarm_handler)
     signal.setitimer(signal.ITIMER_REAL, timeout)
@@ -481,6 +654,15 @@ def parallel_map(
     tasks = list(tasks)
     workers = resolve_workers(workers)
     policy = policy or RetryPolicy()
+    if (
+        policy.task_timeout
+        and journal is not None
+        and not hasattr(signal, "SIGALRM")
+    ):  # pragma: no cover - exercised via monkeypatched signal module
+        journal.event(
+            "timeout_unsupported",
+            detail="SIGALRM unavailable; task_timeout attempts run unbounded",
+        )
     loop = _AttemptLoop(fn, policy)
     outcomes: List[Optional[_Outcome]] = [None] * len(tasks)
 

@@ -1,10 +1,12 @@
 """Lightweight performance counters for the simulation stack.
 
 A single :class:`PerfCounters` instance is threaded through the solver,
-the Monte-Carlo engine and the flow driver. The counters are plain
-integers/floats updated in hot loops (no locks, no timers inside the
-Newton iteration itself), so the overhead is negligible next to one
-batched linear solve.
+the Monte-Carlo engine and the flow driver. Counter mutation goes
+through :meth:`PerfCounters.incr` (and friends), which batch several
+counters under one short lock acquisition — at most one per Newton
+iteration, so the overhead is negligible next to one batched linear
+solve while keeping concurrent updates (shared-memory publication and
+result draining run off the main loop) lossless.
 
 What is counted and why it matters:
 
@@ -32,6 +34,10 @@ What is counted and why it matters:
   fault-tolerance layer (:mod:`repro.parallel`): attempts re-executed
   after a retryable failure, tasks given up on after exhausting their
   budget, and worker-pool deaths recovered by isolated re-execution.
+* ``kernel_ops`` — per-backend primitive invocation counts from
+  :mod:`repro.kernels`, keyed ``"<backend>.<primitive>"`` (e.g.
+  ``"cnative.solve_stack"``) and counting *sample-primitive* events, so
+  backend A/B runs can be compared work-for-work.
 * ``wall_s`` — wall-clock seconds per named stage (``simulate``,
   ``characterize``, ``fit_models``, ``sta_compile``, ``sta_query``,
   ...), accumulated with :meth:`PerfCounters.timer`.
@@ -39,6 +45,7 @@ What is counted and why it matters:
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -69,6 +76,41 @@ class PerfCounters:
     task_quarantines: int = 0
     pool_crashes: int = 0
     wall_s: Dict[str, float] = field(default_factory=dict)
+    kernel_ops: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    # Locks don't pickle; recreate one on the receiving side (worker
+    # round-trips serialize counters between processes).
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def incr(self, **counts: int) -> None:
+        """Atomically add to several integer counters at once.
+
+        ``perf.incr(newton_iterations=1, sample_solves=n)`` is the
+        supported mutation path for hot loops: one lock acquisition per
+        call, so concurrent accumulation (e.g. the shared-memory
+        publisher thread next to the solver loop) never loses updates
+        the way bare ``perf.field += n`` read-modify-writes can.
+        """
+        with self._lock:
+            for name, n in counts.items():
+                setattr(self, name, getattr(self, name) + n)
+
+    def add_kernel_op(self, backend: str, primitive: str, n: int = 1) -> None:
+        """Count ``n`` sample-primitive events for ``backend.primitive``."""
+        key = f"{backend}.{primitive}"
+        with self._lock:
+            self.kernel_ops[key] = self.kernel_ops.get(key, 0) + n
 
     # ------------------------------------------------------------------
     @property
@@ -84,7 +126,8 @@ class PerfCounters:
 
     def add_wall(self, stage: str, seconds: float) -> None:
         """Accumulate wall time under a stage label."""
-        self.wall_s[stage] = self.wall_s.get(stage, 0.0) + seconds
+        with self._lock:
+            self.wall_s[stage] = self.wall_s.get(stage, 0.0) + seconds
 
     @contextmanager
     def timer(self, stage: str) -> Iterator[None]:
@@ -119,6 +162,9 @@ class PerfCounters:
         self.pool_crashes += other.pool_crashes
         for stage, seconds in other.wall_s.items():
             self.add_wall(stage, seconds)
+        with self._lock:
+            for key, n in other.kernel_ops.items():
+                self.kernel_ops[key] = self.kernel_ops.get(key, 0) + n
         return self
 
     def to_dict(self) -> dict:
@@ -145,6 +191,7 @@ class PerfCounters:
             "task_quarantines": self.task_quarantines,
             "pool_crashes": self.pool_crashes,
             "wall_s": {k: round(v, 4) for k, v in self.wall_s.items()},
+            "kernel_ops": dict(sorted(self.kernel_ops.items())),
         }
 
     @classmethod
@@ -172,6 +219,7 @@ class PerfCounters:
             pool_crashes=int(data.get("pool_crashes", 0)),
         )
         out.wall_s = {k: float(v) for k, v in data.get("wall_s", {}).items()}
+        out.kernel_ops = {k: int(v) for k, v in data.get("kernel_ops", {}).items()}
         return out
 
     def summary(self) -> str:
@@ -202,6 +250,11 @@ class PerfCounters:
                 f"{self.sta_levels} level sweeps  "
                 f"{self.sta_arc_evals} arc evals"
             )
+        if self.kernel_ops:
+            ops = "  ".join(
+                f"{k}={v}" for k, v in sorted(self.kernel_ops.items())
+            )
+            lines.append(f"kernel ops: {ops}")
         if self.wall_s:
             stages = "  ".join(f"{k}={v:.2f}s" for k, v in sorted(self.wall_s.items()))
             lines.append(f"wall time: {stages}")

@@ -32,6 +32,7 @@ def crossing_time(
     waves: np.ndarray,
     level: float,
     rising: bool,
+    time_major: bool = False,
 ) -> np.ndarray:
     """First crossing time of ``level`` per sample, linearly interpolated.
 
@@ -41,33 +42,58 @@ def crossing_time(
         ``(n_points,)`` monotone time axis.
     waves:
         ``(n_samples, n_points)`` waveforms (a 1-D array is treated as a
-        single sample).
+        single sample). With ``time_major=True`` the layout is
+        ``(n_points, n_samples)`` instead — the native orientation of
+        :class:`~repro.spice.transient.TransientResult` buffers — and a
+        1-D array is a single sample along time.
     level:
         Threshold voltage.
     rising:
         Direction of the crossing to detect: from below to at-or-above
         (True) or from above to at-or-below (False).
+    time_major:
+        Interpret ``waves`` as ``(n_points, n_samples)``. Results are
+        identical bit-for-bit to the sample-major path; this only avoids
+        the transpose for callers that already hold time-major data.
 
     Returns
     -------
     numpy.ndarray
         ``(n_samples,)`` crossing times; ``nan`` where no crossing occurs.
     """
-    waves = np.atleast_2d(np.asarray(waves, dtype=float))
     times = np.asarray(times, dtype=float)
-    if rising:
-        before = waves[:, :-1] < level
-        after = waves[:, 1:] >= level
+    waves = np.asarray(waves, dtype=float)
+    if time_major:
+        if waves.ndim == 1:
+            waves = waves[:, None]
+        if rising:
+            before = waves[:-1] < level
+            after = waves[1:] >= level
+        else:
+            before = waves[:-1] > level
+            after = waves[1:] <= level
+        cross = before & after
+        found = cross.any(axis=0)
+        idx = np.argmax(cross, axis=0)
+        cols = np.arange(waves.shape[1])
+        v0 = waves[idx, cols]
+        v1 = waves[idx + 1, cols]
     else:
-        before = waves[:, :-1] > level
-        after = waves[:, 1:] <= level
-    cross = before & after
-    found = cross.any(axis=1)
-    idx = np.argmax(cross, axis=1)
+        waves = np.atleast_2d(waves)
+        if rising:
+            before = waves[:, :-1] < level
+            after = waves[:, 1:] >= level
+        else:
+            before = waves[:, :-1] > level
+            after = waves[:, 1:] <= level
+        cross = before & after
+        found = cross.any(axis=1)
+        idx = np.argmax(cross, axis=1)
+        rows = np.arange(waves.shape[0])
+        v0 = waves[rows, idx]
+        v1 = waves[rows, idx + 1]
     t0 = times[idx]
     t1 = times[idx + 1]
-    v0 = waves[np.arange(waves.shape[0]), idx]
-    v1 = waves[np.arange(waves.shape[0]), idx + 1]
     dv = v1 - v0
     frac = np.where(np.abs(dv) > 0, (level - v0) / np.where(dv == 0, 1.0, dv), 0.0)
     out = t0 + frac * (t1 - t0)
@@ -81,10 +107,11 @@ def threshold_crossings(
     vdd: float,
     rising: bool,
     fractions: "tuple[float, ...]" = (SLEW_LOW, 0.5, SLEW_HIGH),
+    time_major: bool = False,
 ) -> "dict[float, np.ndarray]":
     """Crossing times at several VDD fractions in one call."""
     return {
-        f: crossing_time(times, waves, f * vdd, rising)
+        f: crossing_time(times, waves, f * vdd, rising, time_major=time_major)
         for f in fractions
     }
 
@@ -96,15 +123,16 @@ def measure_delay(
     vdd: float,
     in_rising: bool,
     out_rising: bool,
+    time_major: bool = False,
 ) -> np.ndarray:
     """50 %–50 % propagation delay per sample.
 
     ``v_in`` may be a single shared waveform ``(n_points,)`` (an ideal
     driven input identical across samples) or per-sample ``(n_samples,
-    n_points)``.
+    n_points)`` (``(n_points, n_samples)`` with ``time_major=True``).
     """
-    t_in = crossing_time(times, v_in, 0.5 * vdd, in_rising)
-    t_out = crossing_time(times, v_out, 0.5 * vdd, out_rising)
+    t_in = crossing_time(times, v_in, 0.5 * vdd, in_rising, time_major=time_major)
+    t_out = crossing_time(times, v_out, 0.5 * vdd, out_rising, time_major=time_major)
     return t_out - t_in
 
 
@@ -115,10 +143,11 @@ def measure_slew(
     rising: bool,
     low: float = SLEW_LOW,
     high: float = SLEW_HIGH,
+    time_major: bool = False,
 ) -> np.ndarray:
     """20 %–80 % transition time per sample (positive for both edges)."""
-    t_low = crossing_time(times, waves, low * vdd, rising)
-    t_high = crossing_time(times, waves, high * vdd, rising)
+    t_low = crossing_time(times, waves, low * vdd, rising, time_major=time_major)
+    t_high = crossing_time(times, waves, high * vdd, rising, time_major=time_major)
     if rising:
         return t_high - t_low
     return t_low - t_high
@@ -129,13 +158,14 @@ def fraction_settled(
     vdd: float,
     rising: bool,
     fraction: float = 0.95,
+    time_major: bool = False,
 ) -> float:
     """Share of samples whose final value has covered ``fraction`` of the swing.
 
     Used by the Monte-Carlo driver to decide whether a simulation window
     was long enough or must be extended.
     """
-    final = np.atleast_2d(waves)[:, -1]
+    final = waves[-1] if time_major else np.atleast_2d(waves)[:, -1]
     if rising:
         done = final >= fraction * vdd
     else:

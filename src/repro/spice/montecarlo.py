@@ -113,16 +113,31 @@ class DelaySamples:
 
     @property
     def valid(self) -> np.ndarray:
-        """Boolean mask of samples with finite delay and slew."""
+        """Boolean mask of samples with finite delay *and* finite slew.
+
+        Invariant: a sample is valid iff both measurements are finite —
+        NaN (unsettled / never crossed) and ±inf are rejected alike,
+        via :func:`numpy.isfinite`. :meth:`finite` and
+        :attr:`yield_fraction` are defined on this same mask, so
+        ``finite().delay.size == round(yield_fraction * delay.size)``
+        holds for every batch regardless of which kernel backend
+        produced the measurements.
+        """
         return np.isfinite(self.delay) & np.isfinite(self.output_slew)
 
     @property
     def yield_fraction(self) -> float:
-        """Fraction of samples successfully measured."""
+        """Fraction of samples successfully measured (see :attr:`valid`).
+
+        An empty batch yields 1.0 (vacuously: no sample failed) rather
+        than propagating the NaN of an empty mean.
+        """
+        if self.delay.size == 0:
+            return 1.0
         return float(np.mean(self.valid))
 
     def finite(self) -> "DelaySamples":
-        """Return a copy restricted to validly measured samples."""
+        """Return a copy restricted to valid samples (see :attr:`valid`)."""
         m = self.valid
         return DelaySamples(
             delay=self.delay[m],
@@ -154,6 +169,12 @@ class MonteCarloEngine:
     masked:
         Use the convergence-masked Newton kernel (default; see
         :class:`~repro.spice.transient.TransientSolver`).
+    kernel:
+        Kernel backend *name* (``"numpy"``, ``"fused"``, ``"cnative"``,
+        ``"numba"``, ``"auto"``) for the solver hot path; ``None``
+        defers to the ``REPRO_KERNEL`` environment variable. Stored as
+        a name (not an instance) so it travels in
+        :meth:`fidelity_opts` to worker processes and cache keys.
 
     Attributes
     ----------
@@ -171,6 +192,7 @@ class MonteCarloEngine:
         max_windows: int = 10,
         settle_fraction: float = 0.995,
         masked: bool = True,
+        kernel: Optional[str] = None,
     ):
         self.tech = tech
         self.variation = variation
@@ -180,7 +202,17 @@ class MonteCarloEngine:
         self.max_windows = max_windows
         self.settle_fraction = settle_fraction
         self.masked = masked
+        self.kernel = kernel
+        self._kernel_backend = None  # resolved lazily (may compile)
         self.perf = PerfCounters()
+
+    def kernel_backend(self):
+        """The resolved :class:`~repro.kernels.base.KernelBackend`."""
+        if self._kernel_backend is None:
+            from repro.kernels import select_backend
+
+            self._kernel_backend = select_backend(self.kernel)
+        return self._kernel_backend
 
     def fidelity_opts(self) -> Dict[str, object]:
         """Engine knobs (minus seed) for building an equivalent engine elsewhere.
@@ -193,6 +225,7 @@ class MonteCarloEngine:
             "max_windows": self.max_windows,
             "settle_fraction": self.settle_fraction,
             "masked": self.masked,
+            "kernel": self.kernel,
         }
 
     # ------------------------------------------------------------------
@@ -275,6 +308,7 @@ class MonteCarloEngine:
             dev_cap_scale=dev_cap_scale,
             masked=self.masked,
             perf=self.perf,
+            kernel=self.kernel_backend(),
         )
 
         v0 = np.zeros((n_samples, compiled.n_unknown))
@@ -293,9 +327,11 @@ class MonteCarloEngine:
         window = stimulus_span + max(60.0 * PS, 0.75 * stimulus_span)
         result = solver.run(v0, t_begin, t_begin + window, self.steps_per_window, record)
         for _ in range(self.max_windows - 1):
-            out_wave = result.voltage(setup.output_node)
+            out_wave = result.voltage_tm(setup.output_node)
             if (
-                fraction_settled(out_wave, self.tech.vdd, setup.output_rising)
+                fraction_settled(
+                    out_wave, self.tech.vdd, setup.output_rising, time_major=True
+                )
                 >= self.settle_fraction
             ):
                 break
@@ -303,12 +339,13 @@ class MonteCarloEngine:
             more = solver.run(
                 result.final_state, t0, t0 + window, self.steps_per_window, record
             )
-            # Drop the duplicated first point of the continuation.
+            # Drop the duplicated first point of the continuation (a view
+            # in the time-major layout — no copy).
             more.times = more.times[1:]
-            more.waveforms = {k: v[:, 1:] for k, v in more.waveforms.items()}
+            more.waveforms_t = {k: v[1:] for k, v in more.waveforms_t.items()}
             result = result.extended_with(more)
 
-        self.perf.simulations += 1
+        self.perf.incr(simulations=1)
         self.perf.add_wall("simulate", time.perf_counter() - t_sim0)
         return self._measure(setup, result, keep_waveforms)
 
@@ -324,15 +361,27 @@ class MonteCarloEngine:
             else setup.input_rising
         )
         t_launch = crossing_time(
-            result.times, result.voltage(from_node), 0.5 * vdd, from_rising
+            result.times,
+            result.voltage_tm(from_node),
+            0.5 * vdd,
+            from_rising,
+            time_major=True,
         )
         t_capture = crossing_time(
-            result.times, result.voltage(setup.output_node), 0.5 * vdd, setup.output_rising
+            result.times,
+            result.voltage_tm(setup.output_node),
+            0.5 * vdd,
+            setup.output_rising,
+            time_major=True,
         )
         slew = measure_slew(
-            result.times, result.voltage(setup.output_node), vdd, setup.output_rising
+            result.times,
+            result.voltage_tm(setup.output_node),
+            vdd,
+            setup.output_rising,
+            time_major=True,
         )
-        n = result.voltage(setup.output_node).shape[0]
+        n = result.voltage_tm(setup.output_node).shape[1]
         t_launch = np.broadcast_to(t_launch, (n,)).copy()
         return DelaySamples(
             delay=t_capture - t_launch,

@@ -163,12 +163,32 @@ def ekv_ids_and_derivatives(
 ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
     """Current and small-signal conductances of an NMOS-referenced device.
 
+    This is the *golden* evaluation used by the ``numpy`` kernel
+    backend; accelerated backends (:mod:`repro.kernels`) must match it
+    within the documented equivalence envelope (lint rule ``KRN001``).
+
     Returns
     -------
     (ids, di_dvg, di_dvd, di_dvs):
         The drain-to-source current and its partial derivatives with
         respect to the gate, drain and source voltages. Shapes follow
         NumPy broadcasting of the inputs against the parameter arrays.
+    """
+    return _ekv_core(vg, vd, vs, params, _interp_f)
+
+
+def _ekv_core(
+    vg: np.ndarray,
+    vd: np.ndarray,
+    vs: np.ndarray,
+    params: MosfetParams,
+    interp,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """EKV algebra parameterized over the interpolation-function kernel.
+
+    ``interp(x) -> (F(x), F'(x))`` lets accelerated backends substitute
+    a faster (SIMD-friendly) softplus formulation while sharing every
+    other operation — and its exact ordering — with the reference path.
     """
     vg = np.asarray(vg, dtype=float)
     vd = np.asarray(vd, dtype=float)
@@ -181,8 +201,8 @@ def ekv_ids_and_derivatives(
 
     x_f = (vp - vs) / phi_t
     x_r = (vp - vd) / phi_t
-    f_f, fp_f = _interp_f(x_f)
-    f_r, fp_r = _interp_f(x_r)
+    f_f, fp_f = interp(x_f)
+    f_r, fp_r = interp(x_r)
 
     clm = 1.0 + params.lam * vds
     diff = f_f - f_r

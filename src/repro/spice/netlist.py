@@ -601,6 +601,7 @@ class CompiledCircuit:
         params: List[MosfetParams],
         jac: Optional[np.ndarray] = None,
         rows: Optional[np.ndarray] = None,
+        kernel: Optional[object] = None,
     ) -> np.ndarray:
         """Sum of nonlinear device currents *leaving* each unknown node.
 
@@ -620,6 +621,11 @@ class CompiledCircuit:
             of Monte-Carlo samples: ``v`` (and ``jac``) then cover only
             those rows while ``params`` and per-sample fixed sources are
             sliced here. Used by the convergence-masked Newton kernel.
+        kernel:
+            Optional :class:`~repro.kernels.base.KernelBackend` whose
+            ``ekv_eval`` replaces the reference device evaluation;
+            ``None`` keeps the canonical
+            :func:`~repro.spice.mosfet.ekv_ids_and_derivatives`.
 
         Returns
         -------
@@ -627,6 +633,11 @@ class CompiledCircuit:
             ``(n_samples, n_unknown)`` residual contribution.
         """
         n_samples = v.shape[0]
+        ekv = kernel.ekv_eval if kernel is not None else ekv_ids_and_derivatives
+        # Optional fused C scatter of currents + conductance stamps; a
+        # backend without it (or an unusual array layout) takes the
+        # reference numpy path below.
+        stamp = getattr(kernel, "stamp_device", None)
 
         def fixv(node: str):
             value = self.known_voltage(node, t)
@@ -645,9 +656,11 @@ class CompiledCircuit:
             vg = v[:, ig] if ig >= 0 else fixv(fg)
             vs = v[:, is_] if is_ >= 0 else fixv(fs)
             sign = -1.0 if m.is_pmos else 1.0
-            ids, g_g, g_d, g_s = ekv_ids_and_derivatives(
-                sign * vg, sign * vd, sign * vs, p
-            )
+            ids, g_g, g_d, g_s = ekv(sign * vg, sign * vd, sign * vs, p)
+            if stamp is not None and stamp(
+                out, jac, ids, g_g, g_d, g_s, sign, id_, ig, is_
+            ):
+                continue
             # Physical drain-to-source current; the sign flip cancels in
             # the conductances (d(sign*i)/dv = sign*g*sign = g).
             i_phys = sign * ids

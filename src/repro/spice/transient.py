@@ -47,14 +47,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-try:  # scipy is a declared dependency; guard anyway for minimal installs
-    from scipy.linalg import lu_factor, lu_solve
-
-    _HAVE_SCIPY_LU = True
-except Exception:  # pragma: no cover - exercised only without scipy
-    _HAVE_SCIPY_LU = False
-
 from repro.errors import SimulationError
+from repro.kernels.base import KernelBackend
 from repro.perf import PerfCounters
 from repro.spice.netlist import CompiledCircuit
 from repro.units import NS
@@ -65,34 +59,73 @@ from repro.variation.sampling import ParameterSample
 class TransientResult:
     """Recorded waveforms of a transient run.
 
+    Waveforms are stored **time-major** — ``(n_points, n_samples)`` — the
+    layout the solver records in (one contiguous row per step) and the
+    layout window concatenation and threshold measurement consume
+    directly. The historical sample-major ``(n_samples, n_points)`` view
+    is materialised lazily (and cached per node) the first time
+    :meth:`voltage` or :attr:`waveforms` is touched, so callers that
+    only measure crossings never pay the transpose.
+
     Attributes
     ----------
     times:
         ``(n_points,)`` sample instants (seconds).
-    waveforms:
-        Node name → ``(n_samples, n_points)`` voltage array. Fixed nodes
-        are recorded broadcast across samples.
+    waveforms_t:
+        Node name → ``(n_points, n_samples)`` time-major voltage array.
+        Fixed nodes are recorded broadcast across samples.
     final_state:
         ``(n_samples, n_unknown)`` state at ``times[-1]`` — pass back to
         :meth:`TransientSolver.run` to continue the simulation.
     """
 
     times: np.ndarray
-    waveforms: Dict[str, np.ndarray]
+    waveforms_t: Dict[str, np.ndarray]
     final_state: np.ndarray
 
+    @property
+    def waveforms(self) -> Dict[str, np.ndarray]:
+        """Node name → ``(n_samples, n_points)`` sample-major waveforms."""
+        return {name: self.voltage(name) for name in self.waveforms_t}
+
     def voltage(self, node: str) -> np.ndarray:
-        """Waveform of ``node`` as ``(n_samples, n_points)``."""
-        return self.waveforms[node]
+        """Waveform of ``node`` as ``(n_samples, n_points)`` (cached)."""
+        cache = self.__dict__.setdefault("_sample_major", {})
+        if node not in cache:
+            cache[node] = _to_sample_major(self.waveforms_t[node])
+        return cache[node]
+
+    def voltage_tm(self, node: str) -> np.ndarray:
+        """Waveform of ``node`` in native time-major ``(n_points, n_samples)``."""
+        return self.waveforms_t[node]
 
     def extended_with(self, other: "TransientResult") -> "TransientResult":
         """Concatenate a follow-on run (its first point must continue this one)."""
         times = np.concatenate([self.times, other.times])
-        waves = {
-            k: np.concatenate([self.waveforms[k], other.waveforms[k]], axis=1)
-            for k in self.waveforms
+        waves_t = {
+            k: np.concatenate([self.waveforms_t[k], other.waveforms_t[k]], axis=0)
+            for k in self.waveforms_t
         }
-        return TransientResult(times=times, waveforms=waves, final_state=other.final_state)
+        return TransientResult(
+            times=times, waveforms_t=waves_t, final_state=other.final_state
+        )
+
+
+def _to_sample_major(buf: np.ndarray) -> np.ndarray:
+    """Transpose a time-major ``(n_points, n_samples)`` recording buffer
+    into the ``(n_samples, n_points)`` result layout.
+
+    Copied in 32-column blocks: a plain ``ascontiguousarray(buf.T)``
+    walks one long-strided axis elementwise and is ~3x slower at
+    Monte-Carlo batch sizes, while blocks keep both source rows and
+    destination columns inside the cache.
+    """
+    n_points, n_samples = buf.shape
+    out = np.empty((n_samples, n_points))
+    for k0 in range(0, n_points, 32):
+        block = buf[k0:k0 + 32]
+        out[:, k0:k0 + block.shape[0]] = block.T
+    return out
 
 
 class TransientSolver:
@@ -122,6 +155,12 @@ class TransientSolver:
     perf:
         Optional :class:`~repro.perf.PerfCounters` accumulating Newton
         iterations, linear solves and active-sample statistics.
+    kernel:
+        Optional :class:`~repro.kernels.base.KernelBackend` supplying
+        the hot-path primitives (device eval, stacked Newton solve,
+        update/compact, shared factorization). ``None`` resolves via
+        :func:`repro.kernels.select_backend` (the ``REPRO_KERNEL``
+        environment variable; ``numpy`` reference by default).
     """
 
     def __init__(
@@ -136,7 +175,13 @@ class TransientSolver:
         damp: float = 0.3,
         masked: bool = True,
         perf: Optional[PerfCounters] = None,
+        kernel: Optional[KernelBackend] = None,
     ):
+        if kernel is None:
+            from repro.kernels import select_backend
+
+            kernel = select_backend()
+        self.kernel = kernel
         self.compiled = compiled
         self.sample = sample
         self.params = compiled.bind_sample(sample)
@@ -225,58 +270,16 @@ class TransientSolver:
     ) -> np.ndarray:
         """Newton update ``-J^{-1} r`` for a ``(S, n, n)`` Jacobian stack.
 
-        At cell-circuit sizes (``n <= 3``) the batched LAPACK dispatch of
-        :func:`numpy.linalg.solve` is dominated by per-matrix overhead;
-        an explicit adjugate (Cramer) solve is pure elementwise
-        arithmetic over the sample axis and several times faster. Larger
-        stacks fall back to the batched solver. Exactly singular systems
-        raise :class:`SimulationError` naming the offending nodes either
-        way.
+        Delegates to the active kernel backend (adjugate expansion for
+        ``n <= 3``, batched LAPACK above — see
+        :mod:`repro.kernels.numpy_backend` for the reference
+        implementation). Exactly singular systems raise
+        :class:`SimulationError` naming the offending nodes.
         """
-        n = jac.shape[-1]
-        if n > 3:
-            try:
-                return np.linalg.solve(jac, -resid[..., None])[..., 0]
-            except np.linalg.LinAlgError as exc:
-                raise SimulationError(self._singular_message(jac, t_new)) from exc
-        if n == 1:
-            det = jac[:, 0, 0]
-            if np.any(det == 0.0):
-                raise SimulationError(self._singular_message(jac, t_new))
-            return -resid / det[:, None]
-        delta = np.empty_like(resid)
-        if n == 2:
-            a, b = jac[:, 0, 0], jac[:, 0, 1]
-            c, d = jac[:, 1, 0], jac[:, 1, 1]
-            det = a * d - b * c
-            if np.any(det == 0.0):
-                raise SimulationError(self._singular_message(jac, t_new))
-            inv_det = -1.0 / det
-            r0, r1 = resid[:, 0], resid[:, 1]
-            delta[:, 0] = (d * r0 - b * r1) * inv_det
-            delta[:, 1] = (a * r1 - c * r0) * inv_det
-            return delta
-        a, b, c = jac[:, 0, 0], jac[:, 0, 1], jac[:, 0, 2]
-        d, e, f = jac[:, 1, 0], jac[:, 1, 1], jac[:, 1, 2]
-        g, h, i = jac[:, 2, 0], jac[:, 2, 1], jac[:, 2, 2]
-        ca = e * i - f * h  # cofactors, arranged so rows of (ca cb cc /
-        cb = c * h - b * i  # cd ce cf / cg ch ci) form the inverse
-        cc = b * f - c * e
-        cd = f * g - d * i
-        ce = a * i - c * g
-        cf = c * d - a * f
-        cg = d * h - e * g
-        ch = b * g - a * h
-        ci = a * e - b * d
-        det = a * ca + b * cd + c * cg
-        if np.any(det == 0.0):
-            raise SimulationError(self._singular_message(jac, t_new))
-        inv_det = -1.0 / det
-        r0, r1, r2 = resid[:, 0], resid[:, 1], resid[:, 2]
-        delta[:, 0] = (ca * r0 + cb * r1 + cc * r2) * inv_det
-        delta[:, 1] = (cd * r0 + ce * r1 + cf * r2) * inv_det
-        delta[:, 2] = (cg * r0 + ch * r1 + ci * r2) * inv_det
-        return delta
+        try:
+            return self.kernel.solve_stack(jac, resid)
+        except np.linalg.LinAlgError as exc:
+            raise SimulationError(self._singular_message(jac, t_new)) from exc
 
     def _step(
         self,
@@ -304,19 +307,13 @@ class TransientSolver:
         factor = self._fast_factors.get(key)
         if factor is None:
             a = self._gmat + np.diag(c_over_dt)
-            if _HAVE_SCIPY_LU:
-                factor = ("lu", lu_factor(a))
-            else:  # pragma: no cover - exercised only without scipy
-                factor = ("dense", a)
+            factor = self.kernel.fast_factorization(a)
             self._fast_factors[key] = factor
         return factor
 
     def _fast_solve(self, factor, rhs: np.ndarray) -> np.ndarray:
         """Solve the shared (n, n) system against an (S, n) right-hand side."""
-        kind, data = factor
-        if kind == "lu":
-            return lu_solve(data, rhs.T).T
-        return np.linalg.solve(data, rhs.T).T  # pragma: no cover
+        return self.kernel.fast_solve(factor, rhs)
 
     def _step_fast(self, v_prev: np.ndarray, t_new: float, dt: float) -> np.ndarray:
         """Linear-circuit step: one shared factorization, all samples at once."""
@@ -329,11 +326,16 @@ class TransientSolver:
             np.clip(delta, -self.damp, self.damp, out=delta)
             v += delta
             if self.perf is not None:
-                self.perf.newton_iterations += 1
-                self.perf.linear_solves += 1
-                self.perf.fast_solves += 1
-                self.perf.sample_solves += self.n_samples
-                self.perf.full_sample_solves += self.n_samples
+                self.perf.incr(
+                    newton_iterations=1,
+                    linear_solves=1,
+                    fast_solves=1,
+                    sample_solves=self.n_samples,
+                    full_sample_solves=self.n_samples,
+                )
+                self.perf.add_kernel_op(
+                    self.kernel.name, "fast_solve", self.n_samples
+                )
             if not np.all(np.isfinite(v)):
                 raise SimulationError(self._nonfinite_message(v, t_new))
             if np.max(np.abs(delta)) < self.dv_tol:
@@ -360,53 +362,13 @@ class TransientSolver:
         within tolerance of the backward-Euler solution, so most samples
         converge in a single iteration instead of solve-then-confirm.
         The converged result is the same Newton fixed point either way.
+
+        The loop body lives in
+        :meth:`repro.kernels.base.KernelBackend.step_masked` so
+        accelerated backends can swap the inner primitives (or override
+        the whole step) without touching solver logic.
         """
-        c_over_dt = self._cvec / dt  # (n,) or (S, n)
-        if v_guess is None:
-            v = v_prev.copy()
-        else:
-            v = v_prev + np.clip(v_guess - v_prev, -self.damp, self.damp)
-        n_all = self.n_samples
-        rows: Optional[np.ndarray] = None  # None = every sample still active
-        n_active = n_all
-        for _ in range(self.max_newton):
-            va = v if rows is None else v[rows]
-            vp = v_prev if rows is None else v_prev[rows]
-            if c_over_dt.ndim == 1 or rows is None:
-                codt = c_over_dt
-            else:
-                codt = c_over_dt[rows]
-            jac = self._jac_buf[:n_active]
-            if self._gmat.ndim == 2 or rows is None:
-                jac[:] = self._gmat
-            else:
-                jac[:] = self._gmat[rows]
-            dev = self.compiled.device_currents(
-                va, t_new, self.params, jac=jac, rows=rows
-            )
-            resid = (va - vp) * codt + self._linear_currents(va, t_new, rows) + dev
-            jac[:, self._diag_idx, self._diag_idx] += codt
-            delta = self._solve_stack(jac, resid, t_new)
-            np.clip(delta, -self.damp, self.damp, out=delta)
-            if rows is None:
-                v += delta
-            else:
-                v[rows] += delta
-            if self.perf is not None:
-                self.perf.newton_iterations += 1
-                self.perf.linear_solves += 1
-                self.perf.sample_solves += n_active
-                self.perf.full_sample_solves += n_all
-            if not np.all(np.isfinite(delta)):
-                raise SimulationError(self._nonfinite_message(v, t_new))
-            # A sample whose update fell below tolerance is converged and
-            # drops out of the next iteration's linearization and solve.
-            still = np.max(np.abs(delta), axis=1) >= self.dv_tol
-            if not still.any():
-                break
-            rows = np.flatnonzero(still) if rows is None else rows[still]
-            n_active = rows.size
-        return v
+        return self.kernel.step_masked(self, v_prev, t_new, dt, v_guess)
 
     def _step_reference(self, v_prev: np.ndarray, t_new: float, dt: float) -> np.ndarray:
         """Reference kernel: every sample iterates until the batch converges.
@@ -430,10 +392,12 @@ class TransientSolver:
             np.clip(delta, -self.damp, self.damp, out=delta)
             v += delta
             if self.perf is not None:
-                self.perf.newton_iterations += 1
-                self.perf.linear_solves += 1
-                self.perf.sample_solves += self.n_samples
-                self.perf.full_sample_solves += self.n_samples
+                self.perf.incr(
+                    newton_iterations=1,
+                    linear_solves=1,
+                    sample_solves=self.n_samples,
+                    full_sample_solves=self.n_samples,
+                )
             if not np.all(np.isfinite(v)):
                 raise SimulationError(self._nonfinite_message(v, t_new))
             if np.max(np.abs(delta)) < self.dv_tol:
@@ -460,10 +424,10 @@ class TransientSolver:
         for _ in range(steps):
             v_new = self._step(v, t, dt)
             if self.perf is not None:
-                self.perf.dc_steps += 1
+                self.perf.incr(dc_steps=1)
             if np.max(np.abs(v_new - v)) < self.dv_tol:
                 if self.perf is not None:
-                    self.perf.dc_early_exits += 1
+                    self.perf.incr(dc_early_exits=1)
                 return v_new
             v = v_new
         return v
@@ -504,8 +468,11 @@ class TransientSolver:
             )
         dt = (t_stop - t_start) / n_steps
         times = t_start + dt * np.arange(n_steps + 1)
-        waves = {name: np.empty((self.n_samples, n_steps + 1)) for name in record}
-        self._record_into(waves, 0, v, t_start)
+        # Recording buffers are time-major so each step writes one
+        # contiguous row instead of a strided column scatter; the result
+        # keeps that layout and transposes lazily only when asked.
+        waves_t = {name: np.empty((n_steps + 1, self.n_samples)) for name in record}
+        self._record_into(waves_t, 0, v, t_start)
         # Trailing states feed the masked kernel's Newton predictor:
         # quadratic extrapolation once two back-states exist, linear with
         # one, none on the first step. The predictor only moves the
@@ -523,16 +490,17 @@ class TransientSolver:
             v2 = v1
             v1 = v
             v = v_new
-            self._record_into(waves, k, v, times[k])
+            self._record_into(waves_t, k, v, times[k])
         if self.perf is not None:
-            self.perf.steps += n_steps
-        return TransientResult(times=times, waveforms=waves, final_state=v)
+            self.perf.incr(steps=n_steps)
+        return TransientResult(times=times, waveforms_t=waves_t, final_state=v)
 
     def _record_into(
         self, waves: Dict[str, np.ndarray], k: int, v: np.ndarray, t: float
     ) -> None:
+        """Store the state into row ``k`` of the time-major buffers."""
         for name, arr in waves.items():
             if name in self.compiled.node_index:
-                arr[:, k] = v[:, self.compiled.node_index[name]]
+                arr[k] = v[:, self.compiled.node_index[name]]
             else:
-                arr[:, k] = self.compiled.known_voltage(name, t)
+                arr[k] = self.compiled.known_voltage(name, t)

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.spice.measure import ramp_time_for_slew
 from repro.spice.montecarlo import DelaySamples, MonteCarloEngine, SimulationSetup
@@ -143,3 +144,67 @@ class TestShapedVsRampEdges:
         m = a.valid & b.valid
         rho = np.corrcoef(a.delay[m], b.delay[m])[0, 1]
         assert abs(rho) < 0.25
+
+
+# ----------------------------------------------------------------------
+# DelaySamples validity invariant (property-based)
+# ----------------------------------------------------------------------
+_measurement = st.one_of(
+    st.floats(min_value=-1e-6, max_value=1e-6, allow_nan=False),
+    st.just(float("nan")),
+    st.just(float("inf")),
+    st.just(float("-inf")),
+)
+
+
+class TestDelaySamplesInvariant:
+    """valid / finite() / yield_fraction must agree on one mask: a sample
+    counts iff *both* delay and slew are finite — NaN and ±inf rejected
+    alike, whatever kernel backend produced the measurements."""
+
+    @given(
+        delay=st.lists(_measurement, min_size=0, max_size=40),
+        slew_or_none=st.lists(_measurement, min_size=0, max_size=40),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_mask_consistency(self, delay, slew_or_none):
+        n = min(len(delay), len(slew_or_none))
+        d = np.array(delay[:n], dtype=float)
+        s = np.array(slew_or_none[:n], dtype=float)
+        samples = DelaySamples(
+            delay=d, output_slew=s, t_launch=np.zeros(n), t_capture=np.zeros(n))
+        want_valid = np.isfinite(d) & np.isfinite(s)
+        np.testing.assert_array_equal(samples.valid, want_valid)
+        finite = samples.finite()
+        assert np.all(np.isfinite(finite.delay))
+        assert np.all(np.isfinite(finite.output_slew))
+        # the three views agree exactly
+        assert finite.delay.size == int(want_valid.sum())
+        assert finite.delay.size == round(samples.yield_fraction * max(n, 1)) \
+            or n == 0
+        if n == 0:
+            assert samples.yield_fraction == 1.0  # vacuous success
+        else:
+            assert samples.yield_fraction == pytest.approx(want_valid.mean())
+
+    @given(frac=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_yield_roundtrip(self, frac):
+        n = 32
+        k = int(round(frac * n))
+        d = np.full(n, 1e-11)
+        d[:n - k] = np.nan
+        samples = DelaySamples(
+            delay=d, output_slew=np.full(n, 1e-11),
+            t_launch=np.zeros(n), t_capture=np.zeros(n))
+        assert samples.finite().delay.size == k
+        assert samples.finite().delay.size == round(
+            samples.yield_fraction * samples.delay.size)
+
+    def test_infinities_rejected_like_nan(self):
+        samples = DelaySamples(
+            delay=np.array([1e-11, np.inf, -np.inf, np.nan]),
+            output_slew=np.full(4, 1e-11),
+            t_launch=np.zeros(4), t_capture=np.zeros(4))
+        assert samples.valid.tolist() == [True, False, False, False]
+        assert samples.yield_fraction == pytest.approx(0.25)

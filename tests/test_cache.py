@@ -43,8 +43,12 @@ class TestContentKey:
 class TestVersionSalt:
     def test_salt_carries_the_package_version(self):
         import repro
+        from repro.kernels import backend_identity
 
-        assert version_salt() == {"repro_version": repro.__version__}
+        assert version_salt() == {
+            "repro_version": repro.__version__,
+            "kernel": backend_identity(),
+        }
 
     def test_versioned_key_differs_from_unversioned(self):
         payload = {"n_samples": 100}

@@ -10,6 +10,7 @@ hung tasks — and asserts the fault-tolerance layer recovers with
 bit-identical results instead of aborting or silently dropping data.
 """
 
+import glob
 import json
 import multiprocessing
 import os
@@ -18,6 +19,7 @@ import time
 import numpy as np
 import pytest
 
+import repro.cells.characterize as _chz
 from repro.cache import JsonCache
 from repro.cells.characterize import ArcCharacterizer, characterize_library
 from repro.errors import (
@@ -164,6 +166,33 @@ def _always_fail(task):
 def _sleep_task(seconds):
     time.sleep(seconds)
     return seconds
+
+
+# The pre-patch characterization point function, captured so injected
+# replacements (which must be module-level to pickle into workers) can
+# delegate to the real physics.
+_real_characterize_point = _chz._characterize_point
+
+
+def _die_point_once(task):
+    """Hard-kill the worker on the first grid point, once (satellite c)."""
+    sentinel = os.environ.get("REPRO_TEST_DIE_SENTINEL", "")
+    if sentinel and task["i"] == 0 and task["j"] == 0 \
+            and not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("dying")
+        os._exit(13)
+    return _real_characterize_point(task)
+
+
+def _poison_invx2_point(task):
+    """Fail every INVx2 point — forcing the arc-quarantine path while
+    exercising the shared-memory payload load in pooled workers."""
+    bank = task.get("bank")
+    shared = bank.load() if bank is not None else task
+    if shared["cell"].name == "INVx2":
+        raise CharacterizationError("injected pooled arc failure")
+    return _real_characterize_point(task)
 
 
 def _hammer_put(directory, tag, n_iter):
@@ -383,3 +412,79 @@ class TestArcQuarantine:
         monkeypatch.setattr(chz, "_characterize_point", _always_fail)
         with pytest.raises(CharacterizationError, match="quarantined"):
             self._characterize(library, tech, variation, quarantine_budget=0)
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="no /dev/shm here")
+class TestSharedMemoryLifecycle:
+    """Satellite (3): shm payload banks must never leak /dev/shm segments
+    — not on success, not when a worker is hard-killed, not when an arc
+    is quarantined."""
+
+    GRID = dict(slews=(10 * PS, 50 * PS), loads=(0.5 * FF, 2.0 * FF),
+                n_samples=40)
+
+    @pytest.fixture(autouse=True)
+    def no_shm_leaks(self):
+        before = set(glob.glob("/dev/shm/repro_*"))
+        yield
+        after = set(glob.glob("/dev/shm/repro_*"))
+        assert after - before == set(), f"leaked shared memory: {after - before}"
+
+    def _characterize(self, library, tech, variation, cells, **kw):
+        from repro.spice.montecarlo import MonteCarloEngine
+        engine = MonteCarloEngine(tech, variation, seed=11)
+        return characterize_library(
+            ArcCharacterizer(engine), library, cells=cells,
+            **self.GRID, **kw)
+
+    def test_pooled_run_publishes_banks_and_cleans_up(
+            self, library, tech, variation):
+        pooled = self._characterize(library, tech, variation,
+                                    ["INVx1"], workers=2)
+        serial = self._characterize(library, tech, variation,
+                                    ["INVx1"], workers=1)
+        # same physics through the shared-memory payload path
+        assert sorted(pooled.tables) == sorted(serial.tables)
+        for key, want in serial.tables.items():
+            got = pooled.tables[key]
+            for attr in ("slews", "loads", "moments", "quantiles", "out_slew"):
+                assert np.array_equal(getattr(got, attr), getattr(want, attr)), \
+                    f"{key}.{attr} differs between pooled and serial run"
+
+    def test_tasks_carry_handles_not_payloads(
+            self, characterizer, library):
+        import pickle
+        from repro.parallel import SharedPayloadBank, SharedPayloadHandle
+        cell = library.get("INVx1")
+        payload = characterizer.arc_payload(cell, "A")
+        with SharedPayloadBank(payload) as bank:
+            tasks = characterizer.point_tasks(
+                cell, "A", self.GRID["slews"], self.GRID["loads"],
+                self.GRID["n_samples"], False, payload=bank.handle)
+            inline = characterizer.point_tasks(
+                cell, "A", self.GRID["slews"], self.GRID["loads"],
+                self.GRID["n_samples"], False)
+            for task in tasks:
+                assert isinstance(task["bank"], SharedPayloadHandle)
+            # the payload (tech + variation + cell) dominates task size;
+            # banked tasks must be dramatically smaller than inline ones
+            assert len(pickle.dumps(tasks[0])) < len(pickle.dumps(inline[0])) / 5
+
+    def test_killed_worker_leaves_no_segments(
+            self, tmp_path, library, tech, variation, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_DIE_SENTINEL", str(tmp_path / "died"))
+        monkeypatch.setattr(_chz, "_characterize_point", _die_point_once)
+        out = self._characterize(library, tech, variation,
+                                 ["INVx1"], workers=2)
+        assert out.has("INVx1", "A", False)
+        assert os.path.exists(tmp_path / "died")  # the kill really happened
+
+    def test_quarantined_arc_leaves_no_segments(
+            self, library, tech, variation, monkeypatch):
+        monkeypatch.setattr(_chz, "_characterize_point", _poison_invx2_point)
+        out = self._characterize(library, tech, variation,
+                                 ["INVx1", "INVx2"], workers=2,
+                                 quarantine_budget=None)
+        assert out.has("INVx1", "A", False)
+        assert not out.has("INVx2", "A", False)
+        assert len(out.quarantined) == 1

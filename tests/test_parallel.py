@@ -2,11 +2,21 @@
 
 from __future__ import annotations
 
+import glob
+import json
+import os
+import pickle
+import warnings
+
 import numpy as np
 import pytest
 
 import repro.parallel as parallel
+from repro.journal import RunJournal
 from repro.parallel import (
+    SHM_PREFIX,
+    RetryPolicy,
+    SharedPayloadBank,
     WORKERS_ENV,
     ParallelExecutor,
     parallel_map,
@@ -123,3 +133,111 @@ class TestParallelExecutor:
         ex = ParallelExecutor(workers=2)
         assert ex.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
         assert ex.history[-1].pooled
+
+
+# ----------------------------------------------------------------------
+# Shared-memory payload banks
+# ----------------------------------------------------------------------
+def _load_bank_payload(task):
+    payload = task["bank"].load()
+    return payload["base"] + task["i"]
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="no /dev/shm here")
+class TestSharedPayloadBank:
+    @pytest.fixture(autouse=True)
+    def no_shm_leaks(self):
+        """Every test in this class must leave /dev/shm exactly as found."""
+        before = set(glob.glob("/dev/shm/repro_*"))
+        yield
+        after = set(glob.glob("/dev/shm/repro_*"))
+        assert after - before == set(), f"leaked shared memory: {after - before}"
+
+    def test_roundtrip_and_handle_is_small(self):
+        payload = {"arr": np.arange(4096, dtype=float), "label": "arc"}
+        with SharedPayloadBank(payload) as bank:
+            assert bank.handle.name.startswith(SHM_PREFIX)
+            # the whole point: tasks ship a tiny pointer, not the payload
+            assert len(pickle.dumps(bank.handle)) < 200
+            parallel._attached_payloads.clear()
+            loaded = bank.handle.load()
+            np.testing.assert_array_equal(loaded["arr"], payload["arr"])
+            assert loaded["label"] == "arc"
+
+    def test_close_is_idempotent_and_unlinks(self):
+        bank = SharedPayloadBank({"x": 1})
+        seg = f"/dev/shm/{bank.handle.name}"
+        assert os.path.exists(seg)
+        bank.close()
+        assert not os.path.exists(seg)
+        bank.close()  # second close must be a no-op, not an error
+
+    def test_load_caches_per_process(self):
+        with SharedPayloadBank({"x": [1, 2, 3]}) as bank:
+            parallel._attached_payloads.clear()
+            first = bank.handle.load()
+            assert bank.handle.load() is first  # cache hit, no re-attach
+
+    def test_load_cache_is_bounded(self):
+        parallel._attached_payloads.clear()
+        banks = [SharedPayloadBank({"i": i}) for i in range(parallel._ATTACH_CACHE_MAX + 3)]
+        try:
+            for bank in banks:
+                bank.handle.load()
+            assert len(parallel._attached_payloads) <= parallel._ATTACH_CACHE_MAX
+        finally:
+            for bank in banks:
+                bank.close()
+
+    def test_pooled_workers_read_bank(self):
+        with SharedPayloadBank({"base": 100}) as bank:
+            tasks = [{"bank": bank.handle, "i": i} for i in range(8)]
+            out = parallel_map(_load_bank_payload, tasks, workers=2)
+        assert out == [100 + i for i in range(8)]
+
+    def test_publish_returns_none_on_failure(self, monkeypatch):
+        class Unpicklable:
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        assert SharedPayloadBank.publish(Unpicklable()) is None
+
+
+# ----------------------------------------------------------------------
+# Timeout degradation without SIGALRM
+# ----------------------------------------------------------------------
+class TestTimeoutDegrade:
+    @pytest.fixture(autouse=True)
+    def reset_warn_latch(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_timeout_unsupported_warned", False)
+        yield
+
+    def test_runs_unbounded_with_single_warning(self, monkeypatch):
+        monkeypatch.delattr(parallel.signal, "SIGALRM")
+        policy = RetryPolicy(task_timeout=0.001)
+        with pytest.warns(RuntimeWarning, match="cannot be enforced"):
+            out = parallel_map(_square, [3], workers=1, policy=policy)
+        assert out == [9]
+        # the warning is a one-time latch, not per-task spam
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert parallel_map(_square, [4], workers=1, policy=policy) == [16]
+
+    def test_journal_records_degradation(self, monkeypatch, tmp_path):
+        monkeypatch.delattr(parallel.signal, "SIGALRM")
+        journal = RunJournal(tmp_path / "run.jsonl")
+        with pytest.warns(RuntimeWarning):
+            parallel_map(
+                _square, [1, 2], workers=1,
+                policy=RetryPolicy(task_timeout=0.5), journal=journal,
+            )
+        journal.close()
+        events = [json.loads(line) for line in (tmp_path / "run.jsonl").read_text().splitlines()]
+        assert any(e["event"] == "timeout_unsupported" for e in events)
+
+    def test_timeout_still_enforced_with_sigalrm(self):
+        if not hasattr(parallel.signal, "SIGALRM"):
+            pytest.skip("platform has no SIGALRM")
+        policy = RetryPolicy(task_timeout=5.0)
+        # sanity: the enforced path still returns results normally
+        assert parallel_map(_square, [6], workers=1, policy=policy) == [36]

@@ -1,0 +1,91 @@
+"""PerfCounters: thread-safety, kernel-op attribution, round-trips."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+from repro.perf import PerfCounters
+
+
+class TestThreadSafety:
+    def test_concurrent_incr_is_lossless(self):
+        perf = PerfCounters()
+        n_threads, n_iter = 8, 2000
+
+        def hammer():
+            for _ in range(n_iter):
+                perf.incr(newton_iterations=1, sample_solves=3)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert perf.newton_iterations == n_threads * n_iter
+        assert perf.sample_solves == 3 * n_threads * n_iter
+
+    def test_concurrent_kernel_ops_are_lossless(self):
+        perf = PerfCounters()
+        n_threads, n_iter = 8, 2000
+
+        def hammer(tid):
+            for _ in range(n_iter):
+                perf.add_kernel_op("numpy", "solve_stack", 2)
+                perf.add_kernel_op("numpy", f"thread_{tid}")
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,)) for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert perf.kernel_ops["numpy.solve_stack"] == 2 * n_threads * n_iter
+        for tid in range(n_threads):
+            assert perf.kernel_ops[f"numpy.thread_{tid}"] == n_iter
+
+    def test_concurrent_wall_accumulation(self):
+        perf = PerfCounters()
+
+        def hammer():
+            for _ in range(1000):
+                perf.add_wall("stage", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert abs(perf.wall_s["stage"] - 4.0) < 1e-6
+
+
+class TestRoundTrips:
+    def test_pickle_recreates_lock(self):
+        perf = PerfCounters()
+        perf.incr(linear_solves=5)
+        perf.add_kernel_op("cnative", "device_eval", 7)
+        clone = pickle.loads(pickle.dumps(perf))
+        assert clone.linear_solves == 5
+        assert clone.kernel_ops == {"cnative.device_eval": 7}
+        clone.incr(linear_solves=1)  # the recreated lock must work
+        assert clone.linear_solves == 6
+
+    def test_merge_folds_kernel_ops(self):
+        a, b = PerfCounters(), PerfCounters()
+        a.add_kernel_op("numpy", "solve_stack", 10)
+        b.add_kernel_op("numpy", "solve_stack", 5)
+        b.add_kernel_op("fused", "device_eval", 3)
+        a.merge(b)
+        assert a.kernel_ops == {
+            "numpy.solve_stack": 15,
+            "fused.device_eval": 3,
+        }
+
+    def test_to_from_dict_keeps_kernel_ops(self):
+        perf = PerfCounters()
+        perf.add_kernel_op("numpy", "device_eval", 4)
+        doc = perf.to_dict()
+        assert doc["kernel_ops"] == {"numpy.device_eval": 4}
+        back = PerfCounters.from_dict(doc)
+        assert back.kernel_ops == {"numpy.device_eval": 4}
