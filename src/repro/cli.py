@@ -246,7 +246,12 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    """Run lint rules over artifacts and/or the package source."""
+    """Run lint rules over artifacts and/or the package source.
+
+    Exit codes: 0 clean, 1 findings (ERROR severity by default;
+    warnings too under ``--strict``), 2 usage errors. With
+    ``--baseline``, only findings *not* in the baseline count.
+    """
     import repro.lint as lint
 
     if args.list_rules:
@@ -255,9 +260,9 @@ def cmd_lint(args) -> int:
             print(f"{rule.rule_id:<8} {rule.layer:<{layer_width}} "
                   f"{rule.severity.name.lower():<8} {rule.summary}")
         return 0
-    if not args.paths and not args.codebase:
-        print("error: nothing to lint — give artifact paths and/or --codebase",
-              file=sys.stderr)
+    if not args.paths and not args.codebase and not args.deep:
+        print("error: nothing to lint — give artifact paths, --codebase "
+              "and/or --deep", file=sys.stderr)
         return 2
 
     report = lint.LintReport()
@@ -265,19 +270,53 @@ def cmd_lint(args) -> int:
         if not Path(path).exists():
             print(f"error: no such artifact: {path}", file=sys.stderr)
             return 2
-        report.extend(lint.lint_artifact(path))
+        if args.deep:
+            # Deep mode lints *source* (a .py file or a source tree).
+            p = Path(path)
+            if p.is_dir() or p.suffix == ".py":
+                report.extend(lint.lint_deep(p))
+            else:
+                report.extend(lint.lint_artifact(path))
+        else:
+            report.extend(lint.lint_artifact(path))
     if args.codebase:
         report.extend(lint.lint_codebase())
+        if args.deep:
+            report.extend(lint.lint_deep())
+    if args.deep and not args.paths and not args.codebase:
+        report.extend(lint.lint_deep())
 
     disabled = {r.strip() for r in args.disable.split(",") if r.strip()}
     if disabled:
         report = report.suppress(disabled)
 
+    if args.update_baseline:
+        if not args.baseline:
+            print("error: --update-baseline requires --baseline PATH",
+                  file=sys.stderr)
+            return 2
+        lint.Baseline.from_report(report).save(args.baseline)
+        print(f"baseline written: {args.baseline} "
+              f"({len(report.diagnostics)} accepted finding(s))")
+        return 0
+    if args.baseline:
+        baseline = lint.Baseline.load(args.baseline)
+        report, matched = baseline.filter_new(report)
+        stale = len(baseline) - matched
+        if stale:
+            print(f"note: {stale} baseline entr"
+                  f"{'y' if stale == 1 else 'ies'} no longer fire(s) — "
+                  f"refresh with --update-baseline", file=sys.stderr)
+
     if args.format == "json":
         print(report.to_json())
+    elif args.format == "sarif":
+        print(lint.sarif_json(report))
     else:
         print(report.format_text())
-    return 0 if not report.errors else 1
+    failing = report.errors if not args.strict \
+        else report.errors + report.warnings
+    return 0 if not failing else 1
 
 
 def cmd_kernels(args) -> int:
@@ -339,11 +378,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("lint", help="static checks on artifacts and source")
     p.add_argument("paths", nargs="*",
-                   help="artifact files to lint (.spef, .v, .json)")
+                   help="artifact files to lint (.spef, .v, .json); with "
+                        "--deep, also source dirs / .py files")
     p.add_argument("--codebase", action="store_true",
                    help="also run the code rules over the repro package")
-    p.add_argument("--format", choices=("text", "json"), default="text",
-                   help="diagnostic output format")
+    p.add_argument("--deep", action="store_true",
+                   help="run the dataflow rule families (DET/CKY/UNT/RES) "
+                        "over source paths (default: the repro package)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 on warnings too, not just errors")
+    p.add_argument("--baseline", default="",
+                   help="baseline file: only findings not in it fail the run")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="accept all current findings into --baseline and exit")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="diagnostic output format")
     p.add_argument("--disable", default="",
                    help="comma-separated rule IDs to suppress")
     p.add_argument("--list-rules", action="store_true",

@@ -166,7 +166,9 @@ class DelayCalibrationFlow:
         self.quarantine_budget = quarantine_budget
         self.resume = resume
         self.kernel = kernel
-        self.engine = MonteCarloEngine(self.tech, self.variation, seed=seed, kernel=kernel)
+        self.engine = MonteCarloEngine(
+            self.tech, self.variation, seed=self.seed, kernel=self.kernel
+        )
         self.perf = PerfCounters()
         if journal is not None and not isinstance(journal, RunJournal):
             journal = RunJournal(journal)

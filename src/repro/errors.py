@@ -36,6 +36,16 @@ class TimingError(ReproError):
     """Raised by the STA engine for unusable timing graphs (cycles, dangling pins)."""
 
 
+class LintConfigError(ReproError):
+    """Raised for invalid lint-engine configuration.
+
+    Covers conflicting re-registration of a rule ID with a different
+    definition, unknown rule layers, and malformed baseline files —
+    misconfigurations of the checker itself, as opposed to findings in
+    the checked artifacts/code.
+    """
+
+
 class ExecutionError(ReproError):
     """Raised by the work-queue executor when a task cannot be completed.
 

@@ -66,8 +66,8 @@ def _compile_library() -> ctypes.CDLL:
             raise RuntimeError("no C compiler found (set $CC)")
         cache.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(cache))
-        os.close(fd)
         try:
+            os.close(fd)
             proc = subprocess.run(
                 [
                     compiler,

@@ -1,19 +1,27 @@
 """Static analysis for circuits, moment tables, models — and the code itself.
 
-Two layers share one diagnostic core (:mod:`repro.lint.core`):
+Three layers share one diagnostic core (:mod:`repro.lint.core`):
 
 * :mod:`repro.lint.domain` checks flow artifacts — gate netlists, RC
   trees / SPEF, characterized moment tables, fitted N-sigma models —
   for the structural invariants the pipeline silently depends on;
 * :mod:`repro.lint.codebase` is an AST pass over the source tree
   enforcing repo invariants (seeded RNGs, no wall-clock reads, unit
-  constants over bare literals, errors raised with messages).
+  constants over bare literals, errors raised with messages);
+* :mod:`repro.lint.flowgraph` is a whole-program dataflow layer —
+  per-function CFGs with taint, dimension and lifecycle analyses
+  (determinism taint DET0xx, cache-key completeness CKY0xx, unit
+  inference UNT0xx, resource lifecycle RES0xx) — run via
+  :func:`lint_deep` / ``repro lint --deep``.
 
 Flow entry points (:mod:`repro.core.flow`, :mod:`repro.core.sta`,
 :mod:`repro.cells.characterize`, :mod:`repro.interconnect.spef`) run
 the domain rules on their inputs and fail fast; the ``repro lint`` CLI
-subcommand and the CI ``lint`` job expose both layers. Every rule is
-catalogued in ``docs/lint.md``.
+subcommand and the CI ``lint``/``deep-lint`` jobs expose all layers.
+Reports render as text, JSON (:meth:`LintReport.to_json` /
+:meth:`LintReport.from_json`) or SARIF (:mod:`repro.lint.sarif`), and
+:mod:`repro.lint.baseline` lets CI fail on *new* findings only. Every
+rule is catalogued in ``docs/lint.md``.
 """
 
 from repro.lint.core import (
@@ -38,22 +46,32 @@ from repro.lint.domain import (
     lint_table,
 )
 from repro.lint.codebase import lint_codebase, lint_source
+from repro.lint.flowgraph import lint_deep, lint_module_deep
+from repro.lint.baseline import Baseline, fingerprint
+from repro.lint.sarif import sarif_json, to_sarif, validate_sarif
 
 __all__ = [
+    "Baseline",
     "Diagnostic",
     "LintReport",
     "Rule",
     "Severity",
     "all_rules",
+    "fingerprint",
     "get_rule",
     "register_rule",
+    "sarif_json",
+    "to_sarif",
+    "validate_sarif",
     "lint_artifact",
     "lint_characterization",
     "lint_circuit",
     "lint_codebase",
     "lint_compiled_design",
+    "lint_deep",
     "lint_journal",
     "lint_kernel_equivalence",
+    "lint_module_deep",
     "lint_nsigma_model",
     "lint_rctree",
     "lint_source",

@@ -1,0 +1,132 @@
+"""Lint baselines: fail CI on *new* findings only.
+
+Turning a new static analysis on against an existing tree surfaces
+pre-existing findings that may be intentional (the version salt
+deliberately reads ``REPRO_KERNEL``) or not worth churning the code
+for. Blocking CI on them would force a big-bang cleanup; ignoring them
+would let new violations hide in the noise. The standard escape is a
+*baseline*: a checked-in snapshot of the accepted findings. CI fails
+only on findings **not** in the baseline, so the debt is frozen and
+every new violation is caught the day it is written.
+
+Findings are matched by a *fingerprint* — SHA-256 over
+``rule|file|message`` — which deliberately excludes the line number:
+editing an unrelated part of a file must not re-trigger accepted
+findings. (Rule messages are stable per finding and never embed line
+numbers, which is what makes this work.) The baseline file keeps the
+readable fields next to each fingerprint plus a free-form ``reason``
+so reviewers can audit what was accepted and why.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import LintConfigError
+from repro.lint.core import Diagnostic, LintReport
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".lint-baseline.json"
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """Stable identity of a finding across unrelated edits."""
+    key = f"{diag.rule_id}|{diag.file or diag.artifact}|{diag.message}"
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+class Baseline:
+    """A set of accepted findings, persisted as reviewable JSON."""
+
+    def __init__(self, entries: Optional[Dict[str, dict]] = None):
+        #: fingerprint → entry (rule/file/message/reason).
+        self.entries: Dict[str, dict] = dict(entries or {})
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise LintConfigError(f"baseline {path} is not valid JSON: {exc}")
+        if not isinstance(doc, dict) or "entries" not in doc:
+            raise LintConfigError(
+                f"baseline {path} has no 'entries' key — not a baseline file?"
+            )
+        version = doc.get("version", 0)
+        if version != BASELINE_VERSION:
+            raise LintConfigError(
+                f"baseline {path} has version {version}; this tool reads "
+                f"version {BASELINE_VERSION} — regenerate with "
+                f"`repro lint --deep --update-baseline`"
+            )
+        entries = {}
+        for entry in doc["entries"]:
+            entries[entry["fingerprint"]] = entry
+        return cls(entries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the baseline (sorted, diff-friendly)."""
+        doc = {
+            "version": BASELINE_VERSION,
+            "entries": sorted(
+                self.entries.values(),
+                key=lambda e: (e.get("file", ""), e["rule"], e["fingerprint"]),
+            ),
+        }
+        Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_report(cls, report: LintReport,
+                    reasons: Optional[Dict[str, str]] = None) -> "Baseline":
+        """Accept every finding in ``report`` (optionally with reasons,
+        keyed by fingerprint)."""
+        baseline = cls()
+        reasons = reasons or {}
+        for diag in report.diagnostics:
+            fp = fingerprint(diag)
+            baseline.entries[fp] = {
+                "fingerprint": fp,
+                "rule": diag.rule_id,
+                "file": diag.file or diag.artifact,
+                "message": diag.message,
+                "reason": reasons.get(fp, ""),
+            }
+        return baseline
+
+    # ------------------------------------------------------------------
+    def filter_new(self, report: LintReport) -> Tuple[LintReport, int]:
+        """Split a report against the baseline.
+
+        Returns ``(new_report, matched)``: the report stripped of
+        accepted findings (they count as suppressed), and how many
+        baseline entries matched — callers can warn when the baseline
+        has gone stale (``matched < len(entries)``).
+        """
+        new = LintReport(suppressed=report.suppressed)
+        matched_fps = set()
+        for diag in report.diagnostics:
+            fp = fingerprint(diag)
+            if fp in self.entries:
+                matched_fps.add(fp)
+                new.suppressed += 1
+            else:
+                new.add(diag)
+        return new, len(matched_fps)
+
+    def stale_entries(self, report: LintReport) -> List[dict]:
+        """Baseline entries whose finding no longer fires (fixed code):
+        candidates for deletion at the next baseline refresh."""
+        live = {fingerprint(d) for d in report.diagnostics}
+        return [e for fp, e in sorted(self.entries.items()) if fp not in live]
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -20,9 +20,12 @@ broke in earlier PRs:
   an operator nothing about which arc or artifact failed.
 
 Suppression is explicit and local: append ``# repro-lint: disable=ID``
-to the offending line, or put ``# repro-lint: disable-file=ID`` on its
-own line for whole-file exemptions (reserved for files like
-:mod:`repro.units` that *define* the constants the rule points to).
+to the offending line (a bare family token like ``disable=DET``
+suppresses every ``DET…`` rule), or put
+``# repro-lint: disable-file=ID`` on its own line for whole-file
+exemptions (reserved for files like :mod:`repro.units` that *define*
+the constants the rule points to). A suppression that never matches a
+finding of this pass is itself flagged (``LNT001``).
 """
 
 from __future__ import annotations
@@ -32,7 +35,13 @@ import re
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
-from repro.lint.core import LintReport, Rule, Severity, register_rule
+from repro.lint.core import (
+    LintReport,
+    Rule,
+    Severity,
+    Suppressions,
+    register_rule,
+)
 
 register_rule(Rule(
     "SEED001", "code", Severity.ERROR,
@@ -87,8 +96,10 @@ _UNIT_SUGGESTIONS: Dict[str, str] = {
 
 _UNIT_LITERAL = re.compile(r"^\d+(?:\.\d+)?[eE](-(?:15|12|9|6))$")
 
-_SUPPRESS_LINE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9, ]+)")
-_SUPPRESS_FILE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9, ]+)")
+#: Rule IDs this pass can emit — the `scope` of its suppression
+#: comments; tokens aimed at other passes (e.g. ``DET``) are left to
+#: the flowgraph engine's own unused-suppression check.
+CODE_RULE_IDS = frozenset({"SEED001", "TIME001", "UNIT001", "ERR001", "LNT001"})
 
 
 def _error_class_names() -> Set[str]:
@@ -111,35 +122,11 @@ def _attr_owner(node: ast.expr) -> Optional[str]:
     return None
 
 
-class _Suppressions:
-    """Per-file suppression state parsed from ``# repro-lint:`` comments."""
-
-    def __init__(self, source: str):
-        self.by_line: Dict[int, Set[str]] = {}
-        self.file_wide: Set[str] = set()
-        for lineno, text in enumerate(source.splitlines(), start=1):
-            m = _SUPPRESS_FILE.search(text)
-            if m:
-                self.file_wide |= {r.strip() for r in m.group(1).split(",") if r.strip()}
-                continue
-            m = _SUPPRESS_LINE.search(text)
-            if m:
-                self.by_line[lineno] = {
-                    r.strip() for r in m.group(1).split(",") if r.strip()
-                }
-
-    def active(self, rule_id: str, lineno: int) -> bool:
-        """Whether ``rule_id`` is suppressed at ``lineno``."""
-        if rule_id in self.file_wide:
-            return True
-        return rule_id in self.by_line.get(lineno, set())
-
-
 class _CodeVisitor(ast.NodeVisitor):
     """One-pass AST walk emitting code-layer diagnostics."""
 
     def __init__(self, source: str, rel_path: str, report: LintReport,
-                 suppressions: _Suppressions):
+                 suppressions: Suppressions):
         self.source = source
         self.rel_path = rel_path
         self.report = report
@@ -241,8 +228,18 @@ def lint_source(source: str, rel_path: str = "<string>") -> LintReport:
             file=rel_path, line=exc.lineno or 0,
         )
         return report
-    suppressions = _Suppressions(source)
+    suppressions = Suppressions(source, scope=CODE_RULE_IDS)
     _CodeVisitor(source, rel_path, report, suppressions).visit(tree)
+    for lineno, token in suppressions.unused():
+        if suppressions.active("LNT001", lineno):
+            report.suppressed += 1
+            continue
+        report.emit(
+            "LNT001",
+            f"suppression `disable={token}` matched no finding of this "
+            f"pass; delete it or fix the rule ID",
+            file=rel_path, line=lineno,
+        )
     return report
 
 

@@ -17,10 +17,16 @@ from __future__ import annotations
 
 import enum
 import json
+import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Type
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
 
-from repro.errors import ReproError
+from repro.errors import LintConfigError, ReproError
+
+#: Valid rule layers: ``domain`` (artifact checks), ``code`` (single-node
+#: AST checks), ``flow`` (whole-function dataflow checks, see
+#: :mod:`repro.lint.flowgraph`).
+LAYERS = ("domain", "code", "flow")
 
 
 class Severity(enum.IntEnum):
@@ -65,11 +71,28 @@ _REGISTRY: Dict[str, Rule] = {}
 
 
 def register_rule(rule: Rule) -> Rule:
-    """Add a rule to the registry (duplicate IDs are a programming error)."""
-    if rule.rule_id in _REGISTRY:
-        raise ValueError(f"duplicate lint rule ID {rule.rule_id!r}")
-    if rule.layer not in ("domain", "code"):
-        raise ValueError(f"rule {rule.rule_id}: unknown layer {rule.layer!r}")
+    """Add a rule to the registry.
+
+    Idempotent: re-registering a rule *identical* to the existing one
+    (same ID, layer, severity, summary, rationale) is a no-op, so a
+    rule module surviving ``importlib.reload`` or being imported under
+    two names cannot crash the engine. Re-registering the same ID with
+    a *different* definition is a real conflict and raises
+    :class:`~repro.errors.LintConfigError` naming both definitions.
+    """
+    existing = _REGISTRY.get(rule.rule_id)
+    if existing is not None:
+        if existing == rule:
+            return existing
+        raise LintConfigError(
+            f"conflicting re-definition of lint rule {rule.rule_id!r}: "
+            f"registered as {existing}, re-registered as {rule}"
+        )
+    if rule.layer not in LAYERS:
+        raise LintConfigError(
+            f"rule {rule.rule_id}: unknown layer {rule.layer!r} "
+            f"(expected one of {', '.join(LAYERS)})"
+        )
     _REGISTRY[rule.rule_id] = rule
     return rule
 
@@ -85,6 +108,115 @@ def all_rules(layer: Optional[str] = None) -> List[Rule]:
     if layer is not None:
         rules = [r for r in rules if r.layer == layer]
     return rules
+
+
+#: LNT001 lives in the core because both the code layer
+#: (:mod:`repro.lint.codebase`) and the flow layer
+#: (:mod:`repro.lint.flowgraph.engine`) report unused suppressions.
+register_rule(Rule(
+    "LNT001", "code", Severity.WARNING,
+    "unused `# repro-lint: disable=` suppression",
+    "a suppression that no longer matches any finding hides nothing but "
+    "still reads as if it did; delete it or fix the rule ID",
+))
+
+
+_SUPPRESS_LINE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9, ]+)")
+_SUPPRESS_FILE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Z0-9, ]+)")
+#: A bare family token (letters only, e.g. ``DET``) suppresses every
+#: rule whose ID starts with those letters (``DET001``, ``DET002``, …).
+_FAMILY_TOKEN = re.compile(r"^[A-Z]+$")
+
+
+class Suppressions:
+    """Per-file suppression state parsed from ``# repro-lint:`` comments.
+
+    Two comment forms are recognized (each prefixed with ``#`` in real
+    code; spelled without it here so this docstring is not itself
+    parsed as a suppression):
+
+    * ``repro-lint: disable=UNIT001,DET`` on (or appended to) a line
+      suppresses those rules on that line only;
+    * ``repro-lint: disable-file=UNIT001`` on its own line exempts
+      the whole file.
+
+    Tokens are either full rule IDs (``DET001``) or *family prefixes*
+    (``DET``), which match every rule ID starting with those letters.
+    Matches are recorded, so a lint pass can report suppressions that
+    never fired (rule ``LNT001``) — restricted to tokens within
+    ``scope`` (the rule IDs the current pass can emit), because a file
+    is linted by several passes and a token aimed at another pass is
+    not unused, just out of scope here.
+    """
+
+    def __init__(self, source: str, scope: Optional[Iterable[str]] = None):
+        #: line → tokens active on that line only.
+        self.by_line: Dict[int, Set[str]] = {}
+        #: tokens active file-wide, with the line that declared them.
+        self.file_wide: Dict[str, int] = {}
+        #: (line, token) pairs that matched at least one diagnostic.
+        self._used: Set[Tuple[int, str]] = set()
+        self._scope = set(scope) if scope is not None else None
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            m = _SUPPRESS_FILE.search(text)
+            if m:
+                for tok in self._tokens(m.group(1)):
+                    self.file_wide.setdefault(tok, lineno)
+                continue
+            m = _SUPPRESS_LINE.search(text)
+            if m:
+                self.by_line.setdefault(lineno, set()).update(
+                    self._tokens(m.group(1))
+                )
+
+    @staticmethod
+    def _tokens(group: str) -> Set[str]:
+        return {tok.strip() for tok in group.split(",") if tok.strip()}
+
+    @staticmethod
+    def _token_matches(token: str, rule_id: str) -> bool:
+        if token == rule_id:
+            return True
+        return bool(_FAMILY_TOKEN.match(token)) and rule_id.startswith(token)
+
+    # ------------------------------------------------------------------
+    def active(self, rule_id: str, lineno: int) -> bool:
+        """Whether ``rule_id`` is suppressed at ``lineno`` (records usage)."""
+        hit = False
+        for tok, decl_line in self.file_wide.items():
+            if self._token_matches(tok, rule_id):
+                self._used.add((decl_line, tok))
+                hit = True
+        for tok in self.by_line.get(lineno, ()):
+            if self._token_matches(tok, rule_id):
+                self._used.add((lineno, tok))
+                hit = True
+        return hit
+
+    # ------------------------------------------------------------------
+    def _in_scope(self, token: str) -> bool:
+        """Whether an unused ``token`` concerns rules of the current pass."""
+        if self._scope is None:
+            return True
+        if _FAMILY_TOKEN.match(token):
+            return any(rid.startswith(token) for rid in self._scope)
+        return token in self._scope
+
+    def unused(self) -> List[Tuple[int, str]]:
+        """``(line, token)`` suppressions that never matched a finding.
+
+        Only tokens within the pass's ``scope`` are reported; call
+        after the pass has emitted (and filtered) every diagnostic.
+        """
+        candidates = [(line, tok) for tok, line in self.file_wide.items()]
+        candidates += [
+            (line, tok) for line, toks in self.by_line.items() for tok in toks
+        ]
+        return sorted(
+            (line, tok)
+            for line, tok in candidates
+            if (line, tok) not in self._used and self._in_scope(tok)
+        )
 
 
 @dataclass(frozen=True)
@@ -249,6 +381,28 @@ class LintReport:
             },
         }
         return json.dumps(doc, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LintReport":
+        """Re-parse :meth:`to_json` output into an equivalent report.
+
+        The inverse direction of the JSON reporter: severities are
+        resolved back to :class:`Severity` members and the suppressed
+        count is restored, so ``from_json(r.to_json())`` compares equal
+        to ``r`` diagnostic-for-diagnostic.
+        """
+        doc = json.loads(text)
+        report = cls(suppressed=int(doc.get("summary", {}).get("suppressed", 0)))
+        for entry in doc.get("diagnostics", []):
+            report.add(Diagnostic(
+                rule_id=entry["rule"],
+                severity=Severity[entry["severity"].upper()],
+                message=entry["message"],
+                artifact=entry.get("artifact", ""),
+                file=entry.get("file", ""),
+                line=int(entry.get("line", 0)),
+            ))
+        return report
 
     # ------------------------------------------------------------------
     def raise_if_errors(

@@ -1,0 +1,31 @@
+"""Whole-program dataflow analysis for the flow-layer lint rules.
+
+The third lint layer (after ``domain`` and ``code``): per-function
+control-flow graphs with forward dataflow solving, powering rule
+families that need to reason about *paths* rather than single AST
+nodes. See :mod:`repro.lint.flowgraph.engine` for the entry points and
+``docs/static_analysis.md`` for the architecture.
+"""
+
+from repro.lint.flowgraph.cfg import (
+    CFG,
+    CFGNode,
+    FunctionUnit,
+    build_cfg,
+    iter_functions,
+)
+from repro.lint.flowgraph.dataflow import ForwardAnalysis, ReachingDefinitions
+from repro.lint.flowgraph.engine import flow_rule_ids, lint_deep, lint_module_deep
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "ForwardAnalysis",
+    "FunctionUnit",
+    "ReachingDefinitions",
+    "build_cfg",
+    "flow_rule_ids",
+    "iter_functions",
+    "lint_deep",
+    "lint_module_deep",
+]

@@ -1,0 +1,348 @@
+"""Per-function control-flow graphs over the Python AST.
+
+The deep lint rules (:mod:`repro.lint.flowgraph`) reason about *paths*
+— a nondeterministic value flowing into a cache payload, a shared-memory
+segment left unreleased on an exception path — so they need more than
+the single-node AST walk of :mod:`repro.lint.codebase`. This module
+builds a statement-granularity CFG for every function in a module:
+
+* one :class:`CFGNode` per simple statement and per compound-statement
+  *header* (the ``if``/``while`` test, the ``for`` iterable binding,
+  the ``with`` context acquisition);
+* synthetic ``entry`` / ``exit`` nodes, plus one ``dispatch`` node per
+  ``try`` modelling "an exception escaped the body";
+* **normal edges** for sequencing, branching and loop back-edges;
+* **exception edges** from every may-raise statement to the innermost
+  enclosing handler dispatch (or straight to ``exit`` when uncaught —
+  abnormal termination is a path like any other).
+
+Approximations, chosen to keep the graph small and the rules sound for
+linting (documented in ``docs/static_analysis.md``):
+
+* A ``finally`` body is built once and shared by every route into it
+  (normal fall-through, caught/uncaught exceptions, early ``return``);
+  its exit fans out to the normal continuation. This *adds* paths
+  (an uncaught exception appears able to continue normally), which can
+  only create false positives for must-analyses, never mask a path.
+* ``return`` routes through the innermost pending ``finally`` when one
+  exists, else straight to ``exit``.
+* Only statements that can plausibly raise (anything containing a
+  call, subscript, attribute access, arithmetic, or an explicit
+  ``raise``/``assert``) get exception edges.
+
+The graph is deliberately self-contained: nodes carry their AST
+statement, so every dataflow analysis is one worklist pass away
+(:mod:`repro.lint.flowgraph.dataflow`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+#: AST statement types whose evaluation can raise at runtime even
+#: without containing a call (subscripts, attribute lookups, division).
+_MAYRAISE_EXPR_NODES = (
+    ast.Call, ast.Subscript, ast.Attribute, ast.BinOp, ast.UnaryOp,
+    ast.Compare, ast.Starred, ast.FormattedValue,
+)
+
+FunctionAst = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class CFGNode:
+    """One CFG node: a statement (or synthetic marker) plus its edges."""
+
+    index: int
+    #: ``"entry"`` / ``"exit"`` / ``"dispatch"`` / ``"finally"`` /
+    #: ``"stmt"``.
+    kind: str
+    #: The AST statement for ``stmt`` nodes (compound statements appear
+    #: as their header; their bodies are separate nodes). ``None`` for
+    #: synthetic nodes.
+    stmt: Optional[ast.stmt] = None
+    #: Successor node indices (normal + exception edges merged; the
+    #: analyses here do not need to distinguish the edge kind).
+    succs: Set[int] = field(default_factory=set)
+    preds: Set[int] = field(default_factory=set)
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+
+class CFG:
+    """Control-flow graph of one function (or module top level)."""
+
+    def __init__(self, name: str = "<cfg>"):
+        self.name = name
+        self.nodes: List[CFGNode] = []
+        #: ``(src, dst)`` pairs that model "an exception escaped src".
+        #: Analyses that care (resource lifecycle) propagate a different
+        #: state along these; taint-style analyses can ignore them.
+        self.exc_edges: Set[Tuple[int, int]] = set()
+        self.entry = self._new("entry")
+        self.exit = self._new("exit")
+
+    # ------------------------------------------------------------------
+    def _new(self, kind: str, stmt: Optional[ast.stmt] = None) -> int:
+        node = CFGNode(index=len(self.nodes), kind=kind, stmt=stmt)
+        self.nodes.append(node)
+        return node.index
+
+    def add_edge(self, src: int, dst: int, exc: bool = False) -> None:
+        self.nodes[src].succs.add(dst)
+        self.nodes[dst].preds.add(src)
+        if exc:
+            self.exc_edges.add((src, dst))
+
+    # ------------------------------------------------------------------
+    def stmt_nodes(self) -> Iterator[CFGNode]:
+        """Every non-synthetic node, in creation (≈ source) order."""
+        return (n for n in self.nodes if n.kind == "stmt")
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CFG({self.name!r}, {len(self.nodes)} nodes)"
+
+
+@dataclass
+class _Context:
+    """Builder state threaded through one statement region."""
+
+    #: Node receiving exception edges (a dispatch node, a finally
+    #: entry, or the CFG exit).
+    exc_target: int
+    #: ``continue`` target of the innermost loop (None outside loops);
+    #: ``break`` nodes are collected on the builder's loop stack.
+    continue_target: Optional[int] = None
+    #: Innermost pending ``finally`` entry that an early ``return``
+    #: must route through (None → straight to exit).
+    return_via: Optional[int] = None
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Whether executing ``stmt`` (header only) can raise."""
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    # Compound statements: only their header expression is evaluated at
+    # this node, but scanning the whole subtree merely over-approximates.
+    for sub in ast.walk(stmt):
+        if isinstance(sub, _MAYRAISE_EXPR_NODES):
+            return True
+    return False
+
+
+class _Builder:
+    """Recursive-descent CFG construction with dangling-exit threading."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        #: Stack of per-loop lists collecting `break` node indices.
+        self._loop_breaks: List[List[int]] = []
+
+    # ------------------------------------------------------------------
+    def build(self, body: Sequence[ast.stmt]) -> None:
+        ctx = _Context(exc_target=self.cfg.exit)
+        open_exits = self._seq(body, [self.cfg.entry], ctx)
+        for src in open_exits:
+            self.cfg.add_edge(src, self.cfg.exit)
+
+    # ------------------------------------------------------------------
+    def _seq(self, stmts: Sequence[ast.stmt], incoming: List[int],
+             ctx: _Context) -> List[int]:
+        """Wire a statement list; returns the dangling normal exits."""
+        current = incoming
+        for stmt in stmts:
+            if not current:
+                # Unreachable code after return/raise/break: still build
+                # nodes (rules may want them) but leave them unentered.
+                pass
+            current = self._stmt(stmt, current, ctx)
+        return current
+
+    def _node(self, stmt: ast.stmt, incoming: List[int],
+              ctx: _Context) -> int:
+        idx = self.cfg._new("stmt", stmt)
+        for src in incoming:
+            self.cfg.add_edge(src, idx)
+        if _may_raise(stmt):
+            self.cfg.add_edge(idx, ctx.exc_target, exc=True)
+        return idx
+
+    # ------------------------------------------------------------------
+    def _stmt(self, stmt: ast.stmt, incoming: List[int],
+              ctx: _Context) -> List[int]:
+        if isinstance(stmt, (ast.If,)):
+            head = self._node(stmt, incoming, ctx)
+            body_exits = self._seq(stmt.body, [head], ctx)
+            if stmt.orelse:
+                else_exits = self._seq(stmt.orelse, [head], ctx)
+            else:
+                else_exits = [head]
+            return body_exits + else_exits
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            head = self._node(stmt, incoming, ctx)
+            loop_ctx = _Context(
+                exc_target=ctx.exc_target,
+                continue_target=head,
+                return_via=ctx.return_via,
+            )
+            breaks: List[int] = []
+            self._loop_breaks.append(breaks)
+            body_exits = self._seq(stmt.body, [head], loop_ctx)
+            self._loop_breaks.pop()
+            for src in body_exits:
+                self.cfg.add_edge(src, head)
+            # Normal loop exit (condition false / iterator exhausted)
+            # falls through the head; `orelse` runs on that path.
+            after: List[int] = [head]
+            if stmt.orelse:
+                after = self._seq(stmt.orelse, [head], ctx)
+            return after + breaks
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            head = self._node(stmt, incoming, ctx)
+            return self._seq(stmt.body, [head], ctx)
+
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, incoming, ctx)
+
+        if isinstance(stmt, ast.Return):
+            idx = self._node(stmt, incoming, ctx)
+            target = ctx.return_via if ctx.return_via is not None else self.cfg.exit
+            self.cfg.add_edge(idx, target)
+            return []
+
+        if isinstance(stmt, ast.Raise):
+            idx = self._node(stmt, incoming, ctx)
+            # _node already added the exception edge (Raise may-raises).
+            return []
+
+        if isinstance(stmt, ast.Break):
+            idx = self._node(stmt, incoming, ctx)
+            if self._current_breaks() is not None:
+                self._current_breaks().append(idx)
+            return []
+
+        if isinstance(stmt, ast.Continue):
+            idx = self._node(stmt, incoming, ctx)
+            if ctx.continue_target is not None:
+                self.cfg.add_edge(idx, ctx.continue_target)
+            return []
+
+        # Simple statement (assign, expr, import, nested def, ...).
+        idx = self._node(stmt, incoming, ctx)
+        return [idx]
+
+    def _current_breaks(self) -> Optional[List[int]]:
+        return self._loop_breaks[-1] if self._loop_breaks else None
+
+    # ------------------------------------------------------------------
+    def _try(self, stmt: ast.Try, incoming: List[int],
+             ctx: _Context) -> List[int]:
+        # Build the shared finally subgraph first (if any) so body,
+        # handlers and early returns can all target its entry.
+        finally_entry: Optional[int] = None
+        finally_exits: List[int] = []
+        if stmt.finalbody:
+            # A synthetic entry node gives every route into the finally
+            # (fall-through, exceptions, early returns) one target; the
+            # body builds normally after it, so nested compound
+            # statements inside the finally get real subgraphs.
+            finally_entry = self.cfg._new("finally")
+            finally_exits = self._seq(
+                stmt.finalbody, [finally_entry], ctx
+            )
+
+        after_exc = finally_entry if finally_entry is not None else ctx.exc_target
+        dispatch = self.cfg._new("dispatch")
+        body_ctx = _Context(
+            exc_target=dispatch,
+            continue_target=ctx.continue_target,
+            return_via=finally_entry if finally_entry is not None else ctx.return_via,
+        )
+        body_exits = self._seq(stmt.body, incoming, body_ctx)
+
+        handler_exits: List[int] = []
+        handler_ctx = _Context(
+            exc_target=after_exc,
+            continue_target=ctx.continue_target,
+            return_via=body_ctx.return_via,
+        )
+        for handler in stmt.handlers:
+            entry = self.cfg._new("stmt", handler)  # type: ignore[arg-type]
+            self.cfg.add_edge(dispatch, entry)
+            handler_exits += self._seq(handler.body, [entry], handler_ctx)
+        # An exception no handler catches (or none declared) propagates:
+        # through the finally when present, else to the outer target.
+        self.cfg.add_edge(dispatch, after_exc)
+
+        if stmt.orelse:
+            body_exits = self._seq(stmt.orelse, body_exits, handler_ctx)
+
+        normal_in = body_exits + handler_exits
+        if finally_entry is not None:
+            for src in normal_in:
+                self.cfg.add_edge(src, finally_entry)
+            return finally_exits if finally_exits else [finally_entry]
+        return normal_in
+
+
+def build_cfg(func: Union[FunctionAst, ast.Module],
+              name: str = "") -> CFG:
+    """Build the CFG of one function (or a module's top-level code)."""
+    label = name or getattr(func, "name", "<module>")
+    cfg = CFG(label)
+    _Builder(cfg).build(func.body)
+    return cfg
+
+
+# ----------------------------------------------------------------------
+# Function discovery
+# ----------------------------------------------------------------------
+@dataclass
+class FunctionUnit:
+    """One analyzable function: its AST, CFG and context."""
+
+    func: FunctionAst
+    #: Dotted context, e.g. ``"DelayCalibrationFlow.characterize"``.
+    qualname: str
+    #: Enclosing class name ("" for module-level functions).
+    class_name: str
+    cfg: CFG
+
+    @property
+    def name(self) -> str:
+        return self.func.name
+
+
+def iter_functions(tree: ast.Module) -> List[FunctionUnit]:
+    """Every function/method in a module (nested functions included),
+    each with its CFG built. Lambdas and comprehensions stay part of
+    their enclosing function's statements."""
+    units: List[FunctionUnit] = []
+
+    def visit(node: ast.AST, prefix: str, class_name: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                units.append(FunctionUnit(
+                    func=child, qualname=qual, class_name=class_name,
+                    cfg=build_cfg(child, qual),
+                ))
+                visit(child, f"{qual}.", class_name)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.", child.name)
+            elif isinstance(child, (ast.If, ast.Try, ast.With, ast.For,
+                                    ast.While)):
+                # Functions defined under conditional module-level code.
+                visit(child, prefix, class_name)
+
+    visit(tree, "", "")
+    return units

@@ -1,0 +1,229 @@
+"""Generic forward dataflow over :class:`~repro.lint.flowgraph.cfg.CFG`.
+
+One worklist solver serves every deep rule family. An analysis supplies
+four pieces — initial state, join, equality, transfer — and gets back
+the fixpoint IN-state of every node. States are treated as immutable
+values (analyses return fresh dicts from ``transfer``), which keeps the
+solver trivially correct at the cost of some copying; functions in this
+codebase are small enough that this has never shown up in profiles.
+
+Also home to the expression-walk helpers shared by the rule families:
+assignment-target extraction and a tiny reaching-definitions analysis
+used by tests and by rule authors who need use-def chains.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Generic,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+from repro.lint.flowgraph.cfg import CFG, CFGNode
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """Base class for forward dataflow analyses.
+
+    Subclasses implement :meth:`initial`, :meth:`join` and
+    :meth:`transfer`; :meth:`run` computes the least fixpoint with a
+    standard worklist. States must be equality-comparable values;
+    ``transfer`` must not mutate its input.
+    """
+
+    def initial(self) -> S:
+        """State entering the CFG (at the entry node)."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        """Least upper bound of two states (control-flow merge)."""
+        raise NotImplementedError
+
+    def transfer(self, node: CFGNode, state: S) -> S:
+        """State after executing ``node`` given the state before it."""
+        raise NotImplementedError
+
+    def transfer_exc(self, node: CFGNode, state: S) -> S:
+        """State carried along ``node``'s *exception* edges.
+
+        Default: same as :meth:`transfer`. Analyses where a partially
+        executed statement matters (resource lifecycle: an acquisition
+        that raised never acquired) override this.
+        """
+        return self.transfer(node, state)
+
+    # ------------------------------------------------------------------
+    def run(self, cfg: CFG) -> Dict[int, S]:
+        """Fixpoint IN-states, keyed by node index.
+
+        Nodes never reached from the entry (dead code) are absent from
+        the result — rules should treat a missing IN-state as
+        "unreachable, nothing to report".
+        """
+        in_states: Dict[int, S] = {cfg.entry: self.initial()}
+        out_states: Dict[int, Tuple[S, S]] = {}
+        worklist: List[int] = [cfg.entry]
+        while worklist:
+            idx = worklist.pop()
+            node = cfg.nodes[idx]
+            out = self.transfer(node, in_states[idx])
+            out_exc = self.transfer_exc(node, in_states[idx])
+            if idx in out_states and out_states[idx] == (out, out_exc):
+                continue
+            out_states[idx] = (out, out_exc)
+            for succ in node.succs:
+                carried = (
+                    out_exc if (idx, succ) in cfg.exc_edges else out
+                )
+                merged = (
+                    self.join(in_states[succ], carried)
+                    if succ in in_states else carried
+                )
+                if succ not in in_states or in_states[succ] != merged:
+                    in_states[succ] = merged
+                    worklist.append(succ)
+        return in_states
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+def target_names(target: ast.expr) -> List[str]:
+    """Variable names bound by an assignment target.
+
+    ``a`` → ``["a"]``; ``a, b`` / ``[a, b]`` → ``["a", "b"]``;
+    ``self.x`` → ``["self.x"]`` (tracked as a pseudo-variable);
+    starred targets unwrap; subscripts and foreign attributes bind no
+    tracked name.
+    """
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, ast.Starred):
+        return target_names(target.value)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for elt in target.elts:
+            names.extend(target_names(elt))
+        return names
+    if (isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"):
+        return [f"self.{target.attr}"]
+    return []
+
+
+def ref_name(expr: ast.expr) -> Optional[str]:
+    """The tracked variable name an expression reads, if any.
+
+    Mirror of :func:`target_names` for the load side: plain names and
+    ``self.x`` attributes resolve; anything else is None.
+    """
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"):
+        return f"self.{expr.attr}"
+    return None
+
+
+def assignments_of(stmt: ast.stmt) -> List[Tuple[str, Optional[ast.expr]]]:
+    """``(name, value_expr)`` pairs a statement binds.
+
+    Covers ``Assign`` (chained targets share the value), ``AnnAssign``,
+    ``AugAssign`` (value None — the transfer must combine old and new),
+    ``For`` headers (target bound from the iterable, value None),
+    ``With`` items (``as`` names bound from the context expression) and
+    ``NamedExpr`` walruses anywhere in the statement.
+    """
+    pairs: List[Tuple[str, Optional[ast.expr]]] = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            for name in target_names(target):
+                pairs.append((name, stmt.value))
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        for name in target_names(stmt.target):
+            pairs.append((name, stmt.value))
+    elif isinstance(stmt, ast.AugAssign):
+        for name in target_names(stmt.target):
+            pairs.append((name, None))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        for name in target_names(stmt.target):
+            pairs.append((name, None))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                for name in target_names(item.optional_vars):
+                    pairs.append((name, item.context_expr))
+    for sub in ast.walk(stmt):
+        if isinstance(sub, ast.NamedExpr):
+            for name in target_names(sub.target):
+                pairs.append((name, sub.value))
+    return pairs
+
+
+def call_name(call: ast.Call) -> str:
+    """Dotted name of a call target: ``a.b.c(...)`` → ``"a.b.c"``."""
+    parts: List[str] = []
+    node: ast.expr = call.func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif isinstance(node, ast.Call):
+        inner = call_name(node)
+        parts.append(f"{inner}()" if inner else "()")
+    else:
+        parts.append("")
+    return ".".join(reversed(parts))
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions (classic, for tests and rule authors)
+# ----------------------------------------------------------------------
+ReachingState = Dict[str, FrozenSet[int]]
+
+
+class ReachingDefinitions(ForwardAnalysis[Tuple[Tuple[str, FrozenSet[int]], ...]]):
+    """Which assignment lines can reach each node, per variable.
+
+    State is a sorted tuple of ``(var, {def_linenos})`` pairs — an
+    immutable encoding of a dict — so the generic solver's equality
+    checks work unmodified.
+    """
+
+    def initial(self):
+        return ()
+
+    def join(self, a, b):
+        merged: Dict[str, FrozenSet[int]] = dict(a)
+        for var, lines in b:
+            merged[var] = merged.get(var, frozenset()) | lines
+        return tuple(sorted(merged.items()))
+
+    def transfer(self, node, state):
+        if node.stmt is None:
+            return state
+        bound = [name for name, _ in assignments_of(node.stmt)]
+        if not bound:
+            return state
+        merged = dict(state)
+        for name in bound:
+            merged[name] = frozenset({node.lineno})
+        return tuple(sorted(merged.items()))
+
+    # ------------------------------------------------------------------
+    def defs_at(self, cfg: CFG) -> Dict[int, Dict[str, FrozenSet[int]]]:
+        """Convenience: fixpoint states as plain dicts per node index."""
+        return {idx: dict(state) for idx, state in self.run(cfg).items()}

@@ -1,0 +1,108 @@
+"""Deep-lint engine: runs every flow-layer rule family over source.
+
+Mirrors :mod:`repro.lint.codebase` one layer up: where the code layer
+visits single AST nodes, this engine builds per-function CFGs
+(:mod:`repro.lint.flowgraph.cfg`), runs the dataflow rule families —
+
+* DET0xx determinism taint (:mod:`~repro.lint.flowgraph.rules_det`),
+* CKY0xx cache-key completeness (:mod:`~repro.lint.flowgraph.rules_cky`),
+* UNT0xx unit-dimension inference (:mod:`~repro.lint.flowgraph.rules_unt`),
+* RES0xx resource lifecycle (:mod:`~repro.lint.flowgraph.rules_res`)
+
+— and folds their diagnostics through the shared suppression-comment
+machinery into one :class:`~repro.lint.core.LintReport`. Entry points:
+:func:`lint_module_deep` for one source text, :func:`lint_deep` for a
+tree (what ``repro lint --deep`` and the CI deep-lint job call).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import FrozenSet, Iterable, List, Optional, Union
+
+from repro.lint.core import Diagnostic, LintReport, Suppressions, all_rules
+from repro.lint.flowgraph.cfg import iter_functions
+from repro.lint.flowgraph import rules_cky, rules_det, rules_res, rules_unt
+from repro.lint.flowgraph.rules_unt import UnitsEnv
+
+
+def flow_rule_ids() -> FrozenSet[str]:
+    """Rule IDs the deep pass can emit (flow layer + shared LNT001)."""
+    return frozenset(
+        {r.rule_id for r in all_rules(layer="flow")} | {"LNT001"}
+    )
+
+
+def lint_module_deep(source: str, rel_path: str = "<string>") -> LintReport:
+    """Run every flow-layer rule family over one module's source text."""
+    report = LintReport()
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        # Same contract as the code layer: an unparsable file is a
+        # diagnostic, not a crash.
+        report.emit(
+            "ERR001", f"cannot parse {rel_path}: {exc}",
+            file=rel_path, line=exc.lineno or 0,
+        )
+        return report
+
+    diags: List[Diagnostic] = []
+    units_env = UnitsEnv(tree)
+    for unit in iter_functions(tree):
+        diags.extend(rules_det.check_function(unit, rel_path))
+        diags.extend(rules_unt.check_function(unit, rel_path, units_env))
+        diags.extend(rules_res.check_function(unit, rel_path))
+    diags.extend(rules_cky.check_module(tree, rel_path))
+    diags.sort(key=lambda d: (d.line, d.rule_id, d.message))
+
+    suppressions = Suppressions(source, scope=flow_rule_ids())
+    for diag in diags:
+        if suppressions.active(diag.rule_id, diag.line):
+            report.suppressed += 1
+            continue
+        report.add(diag)
+    for lineno, token in suppressions.unused():
+        if suppressions.active("LNT001", lineno):
+            report.suppressed += 1
+            continue
+        report.emit(
+            "LNT001",
+            f"suppression `disable={token}` matched no finding of this "
+            f"pass; delete it or fix the rule ID",
+            file=rel_path, line=lineno,
+        )
+    return report
+
+
+def lint_deep(
+    root: Optional[Union[str, Path]] = None,
+    relative_to: Optional[Union[str, Path]] = None,
+) -> LintReport:
+    """Run the deep pass over every ``.py`` file under ``root``.
+
+    Defaults mirror :func:`repro.lint.codebase.lint_codebase`: ``root``
+    is the installed :mod:`repro` package, paths are reported relative
+    to ``relative_to`` (default ``root``'s parent).
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+    root = Path(root)
+    base = Path(relative_to) if relative_to is not None else root.parent
+    report = LintReport()
+    if root.is_file():
+        files: Iterable[Path] = [root]
+    else:
+        files = sorted(
+            p for p in root.rglob("*.py") if "__pycache__" not in p.parts
+        )
+    for path in files:
+        try:
+            rel = str(path.relative_to(base))
+        except ValueError:
+            rel = str(path)
+        report.extend(lint_module_deep(path.read_text(), rel_path=rel))
+    return report

@@ -1,0 +1,463 @@
+"""DET0xx — determinism taint: nondeterminism must not reach artifacts.
+
+The whole reproduction rests on one invariant: every cached payload,
+journal event, delay-sample table and cache-key digest is a pure
+function of explicit inputs. PR 2's ``SEED001``/``TIME001`` banned the
+*sources* outright in library code; these rules track the *flow* — a
+wall-clock read is legal in a perf counter, but the moment the value
+reaches a :meth:`JsonCache.put` payload or a ``hashlib`` digest, the
+artifact is poisoned and the content-addressed cache serves stale or
+irreproducible data forever.
+
+Four sources, one rule each (so suppressions and baselines can target
+the precise nondeterminism class):
+
+* ``DET001`` — unseeded randomness (``default_rng()`` with no seed,
+  legacy ``np.random.*``, stdlib ``random.*``, ``os.urandom``,
+  ``uuid.uuid4``, ``secrets.*``);
+* ``DET002`` — wall-clock reads (``time.time``, ``datetime.now``, …;
+  ``perf_counter``/``monotonic`` are deliberately *not* sources — they
+  feed perf reporting, and TIME001 already polices their siblings);
+* ``DET003`` — environment reads (``os.environ``, ``os.getenv``):
+  config is fine to *act* on, but an env value inside a cached payload
+  means two machines disagree about the same key;
+* ``DET004`` — unordered iteration (``set``/``frozenset`` iteration,
+  ``set.pop``, ``os.listdir``/``scandir``, unsorted ``Path.glob``/
+  ``rglob``/``iterdir``): hash/filesystem order leaking into an
+  artifact makes byte-identical reruns impossible. ``sorted(...)``
+  sanitizes.
+
+Sinks: ``<cache>.put(...)`` payloads, ``content_key``/``design_cache_key``
+arguments, ``hashlib`` digest inputs (every digest in this codebase is
+either a cache key or a derived seed — both must be deterministic),
+``DelaySamples(...)`` construction, and journal event emission.
+
+The analysis is intraprocedural (taint does not cross function
+boundaries) and tracks plain locals plus ``self.X`` pseudo-variables
+assigned in the same function. See ``docs/static_analysis.md`` for the
+precise lattice.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lint.core import Diagnostic, Rule, Severity, register_rule
+from repro.lint.flowgraph.cfg import CFG, CFGNode, FunctionUnit
+from repro.lint.flowgraph.dataflow import (
+    ForwardAnalysis,
+    assignments_of,
+    call_name,
+    ref_name,
+)
+
+register_rule(Rule(
+    "DET001", "flow", Severity.ERROR,
+    "unseeded-RNG-derived value flows into a cached payload, cache key, "
+    "journal event or DelaySamples",
+    "a random value inside a content-addressed artifact makes every rerun "
+    "produce a different 'identical' artifact — the cache serves whichever "
+    "landed first",
+))
+register_rule(Rule(
+    "DET002", "flow", Severity.ERROR,
+    "wall-clock-derived value flows into a cached payload, cache key, "
+    "journal event or DelaySamples",
+    "timestamps inside cached/hashed data make artifacts irreproducible; "
+    "perf_counter offsets belong in perf counters, not payloads",
+))
+register_rule(Rule(
+    "DET003", "flow", Severity.ERROR,
+    "environment-variable value flows into a cached payload, cache key, "
+    "journal event or DelaySamples",
+    "an env-dependent payload means two machines disagree about the same "
+    "cache key; resolve config into an explicit, salted identity instead",
+))
+register_rule(Rule(
+    "DET004", "flow", Severity.WARNING,
+    "set-iteration or filesystem-order value flows into a cached payload, "
+    "cache key, journal event or DelaySamples",
+    "hash and directory order are not stable across runs/machines; "
+    "sorted(...) the collection before it reaches an artifact",
+))
+
+#: Taint kinds → emitting rule.
+KIND_RULES = {
+    "rng": "DET001",
+    "wallclock": "DET002",
+    "env": "DET003",
+    "order": "DET004",
+}
+
+#: Marker label kind: "this value is a set" — not itself a violation,
+#: but iterating it yields ``order`` taint.
+SETVAL = "setval"
+
+#: A taint label: (kind, description of the source).
+Label = Tuple[str, str]
+Taint = FrozenSet[Label]
+
+_EMPTY: Taint = frozenset()
+
+_LEGACY_NP_RANDOM = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "normal",
+    "uniform", "choice", "shuffle", "permutation", "standard_normal",
+    "exponential", "poisson", "binomial",
+})
+_STDLIB_RANDOM = frozenset({
+    "random", "randint", "randrange", "uniform", "gauss", "choice",
+    "choices", "shuffle", "sample", "betavariate", "normalvariate",
+})
+_WALLCLOCK = frozenset({
+    "time.time", "time.time_ns", "datetime.now", "datetime.utcnow",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "date.today", "datetime.date.today",
+})
+_FS_ORDER_METHODS = frozenset({"glob", "rglob", "iterdir", "scandir"})
+#: Builtins through which every taint kind flows unchanged.
+_PASSTHROUGH = frozenset({
+    "float", "int", "str", "repr", "abs", "round", "list", "tuple",
+    "dict", "bool", "format", "json.dumps", "json.loads", "copy.deepcopy",
+})
+#: Order-insensitive reductions: kill ``order``/``setval`` (the result
+#: does not depend on iteration order) but keep value taints.
+_ORDER_SANITIZERS = frozenset({"sorted", "len", "sum", "min", "max",
+                               "any", "all", "set", "frozenset"})
+
+
+def _is_unseeded_default_rng(call: ast.Call) -> bool:
+    seed_args = list(call.args) + [
+        kw.value for kw in call.keywords if kw.arg in (None, "seed")
+    ]
+    if not seed_args:
+        return True
+    first = seed_args[0]
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+def _source_labels(call: ast.Call) -> Taint:
+    """Taint introduced by a call expression itself (not its args)."""
+    name = call_name(call)
+    leaf = name.rsplit(".", 1)[-1]
+    labels: Set[Label] = set()
+    if leaf == "default_rng" and _is_unseeded_default_rng(call):
+        labels.add(("rng", "unseeded default_rng()"))
+    elif name.startswith(("np.random.", "numpy.random.")) and leaf in _LEGACY_NP_RANDOM:
+        labels.add(("rng", f"legacy global-state RNG {name}()"))
+    elif name.startswith("random.") and leaf in _STDLIB_RANDOM:
+        labels.add(("rng", f"stdlib global-state RNG {name}()"))
+    elif name in ("os.urandom", "uuid.uuid4", "uuid.uuid1"):
+        labels.add(("rng", f"{name}()"))
+    elif name.startswith("secrets."):
+        labels.add(("rng", f"{name}()"))
+    elif name in _WALLCLOCK:
+        labels.add(("wallclock", f"wall-clock read {name}()"))
+    elif name in ("os.getenv", "os.environ.get"):
+        labels.add(("env", f"environment read {name}()"))
+    elif leaf in ("backend_identity", "default_backend",
+                  "version_salt") or (
+            leaf == "select_backend"
+            and not any(
+                isinstance(a, ast.Constant) and a.value is not None
+                for a in call.args)):
+        # Interprocedural summary: repro.kernels backend resolution
+        # (and the version salt built on it) is documented to consult
+        # the REPRO_KERNEL env var whenever no explicit name is passed.
+        labels.add(("env", f"REPRO_KERNEL-derived {leaf}()"))
+    elif name in ("os.listdir", "os.scandir"):
+        labels.add(("order", f"directory-order listing {name}()"))
+    elif leaf in _FS_ORDER_METHODS and name not in ("", leaf):
+        labels.add(("order", f"filesystem-order iteration .{leaf}()"))
+    elif leaf in ("set", "frozenset") and name == leaf:
+        labels.add((SETVAL, "set constructor"))
+    return frozenset(labels)
+
+
+def _is_environ(expr: ast.expr) -> bool:
+    """``os.environ`` as a value (attribute chain, any alias of os)."""
+    return (isinstance(expr, ast.Attribute) and expr.attr == "environ"
+            and isinstance(expr.value, ast.Name) and expr.value.id == "os")
+
+
+class _TaintEval:
+    """Expression taint evaluation against a variable environment."""
+
+    def __init__(self, env: Dict[str, Taint]):
+        self.env = env
+
+    def taint(self, expr: Optional[ast.expr]) -> Taint:
+        if expr is None:
+            return _EMPTY
+        if isinstance(expr, ast.Constant):
+            return _EMPTY
+        if isinstance(expr, ast.Lambda):
+            return _EMPTY
+        name = ref_name(expr)
+        if name is not None:
+            return self.env.get(name, _EMPTY)
+        if _is_environ(expr):
+            return frozenset({("env", "os.environ")})
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.Subscript):
+            if _is_environ(expr.value):
+                return frozenset({("env", "os.environ[...]")})
+            return self.taint(expr.value) | self.taint(expr.slice)
+        if isinstance(expr, ast.Attribute):
+            return self.taint(expr.value)
+        if isinstance(expr, (ast.Set,)):
+            inner = _EMPTY
+            for elt in expr.elts:
+                inner |= self.taint(elt)
+            return inner | frozenset({(SETVAL, "set literal")})
+        if isinstance(expr, ast.SetComp):
+            return self._comprehension(expr) | frozenset(
+                {(SETVAL, "set comprehension")}
+            )
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+            return self._comprehension(expr)
+        if isinstance(expr, ast.DictComp):
+            return self._comprehension(expr)
+        # Generic containers / operators: union over child expressions.
+        out: Taint = _EMPTY
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                out |= self.taint(child)
+        return out
+
+    def _comprehension(self, expr: ast.expr) -> Taint:
+        """Union taint of a comprehension, with set-iteration detection.
+
+        The comprehension's own target variables are not tracked in the
+        environment (they are scoped to the expression); iterating a
+        set-valued source adds ``order`` taint to the whole result.
+        """
+        out: Taint = _EMPTY
+        order = False
+        for comp in getattr(expr, "generators", []):
+            iter_taint = self.taint(comp.iter)
+            if any(k == SETVAL for k, _ in iter_taint) or isinstance(
+                    comp.iter, (ast.Set, ast.SetComp)):
+                order = True
+            out |= frozenset((k, d) for k, d in iter_taint if k != SETVAL)
+            for cond in comp.ifs:
+                out |= self.taint(cond)
+        for attr in ("elt", "key", "value"):
+            sub = getattr(expr, attr, None)
+            if sub is not None:
+                out |= self.taint(sub)
+        if order:
+            out |= frozenset({("order", "comprehension over a set")})
+        return out
+
+    # ------------------------------------------------------------------
+    def _arg_taint(self, call: ast.Call) -> Taint:
+        out: Taint = _EMPTY
+        for arg in call.args:
+            out |= self.taint(arg)
+        for kw in call.keywords:
+            out |= self.taint(kw.value)
+        return out
+
+    def _call(self, call: ast.Call) -> Taint:
+        own = _source_labels(call)
+        name = call_name(call)
+        leaf = name.rsplit(".", 1)[-1]
+        args = self._arg_taint(call)
+        # set.pop() on a set-valued variable yields an order-dependent
+        # element; any method call on a tainted receiver propagates.
+        recv = _EMPTY
+        if isinstance(call.func, ast.Attribute):
+            recv = self.taint(call.func.value)
+            if leaf == "pop" and any(k == SETVAL for k, _ in recv):
+                own |= frozenset({("order", "set.pop()")})
+        if leaf in _ORDER_SANITIZERS and name == leaf:
+            kept = frozenset(
+                (k, d) for k, d in (args | recv)
+                if k not in ("order", SETVAL)
+            )
+            if leaf in ("set", "frozenset"):
+                kept |= frozenset({(SETVAL, f"{leaf}()")})
+            return own | kept
+        if name in _PASSTHROUGH or leaf in ("join", "format", "encode",
+                                            "decode", "items", "values",
+                                            "keys", "get", "copy",
+                                            "hexdigest", "digest", "update",
+                                            "append", "extend", "strip",
+                                            "split", "lower", "upper"):
+            return own | args | recv
+        # Unknown call: conservatively, tainted inputs taint the result.
+        return own | args | recv
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+_HASHLIB_CTORS = frozenset({"md5", "sha1", "sha224", "sha256", "sha384",
+                            "sha512", "blake2b", "blake2s"})
+_JOURNAL_METHODS = frozenset({"event", "run_start", "run_finish",
+                              "perf_snapshot", "task_start", "task_done",
+                              "task_retry", "task_quarantine", "checkpoint"})
+
+
+@dataclass(frozen=True)
+class Sink:
+    """One sink call site: which args to check, and how to name it."""
+
+    description: str
+    #: Expressions whose taint reaches the artifact.
+    payload: Tuple[ast.expr, ...]
+
+
+def _sink_of(call: ast.Call) -> Optional[Sink]:
+    name = call_name(call)
+    leaf = name.rsplit(".", 1)[-1]
+    all_args: Tuple[ast.expr, ...] = tuple(call.args) + tuple(
+        kw.value for kw in call.keywords
+    )
+    if leaf == "put" and isinstance(call.func, ast.Attribute):
+        recv = name.rsplit(".", 2)[-2] if "." in name else ""
+        if "cache" in recv.lower():
+            return Sink(f"cache payload {name}(...)", all_args)
+    if leaf in ("content_key", "design_cache_key", "_cache_key"):
+        return Sink(f"cache key {leaf}(...)", all_args)
+    if name.startswith("hashlib.") and leaf in _HASHLIB_CTORS:
+        return Sink(f"hash digest {name}(...)", all_args)
+    if leaf == "update" and isinstance(call.func, ast.Attribute):
+        recv_name = ref_name(call.func.value) or ""
+        if any(tok in recv_name.lower() for tok in ("hash", "digest", "hasher")):
+            return Sink(f"hash digest {recv_name}.update(...)", all_args)
+    if leaf == "DelaySamples":
+        return Sink("DelaySamples(...)", all_args)
+    if leaf in _JOURNAL_METHODS and isinstance(call.func, ast.Attribute):
+        recv_name = ref_name(call.func.value) or ""
+        if "journal" in recv_name.lower():
+            return Sink(f"journal event {recv_name}.{leaf}(...)", all_args)
+    return None
+
+
+#: Method calls that fold their arguments into the receiver.
+_MUTATORS = frozenset({"update", "append", "extend", "add", "insert",
+                       "setdefault", "__setitem__"})
+
+
+def _container_mutations(stmt: ast.stmt, ev: "_TaintEval"):
+    """``(base_var, taint)`` pairs for container-mutating operations."""
+    out: List[Tuple[str, Taint]] = []
+    if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in targets:
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                base = ref_name(target.value)
+                # ``self.x`` stores are handled by assignments_of; here
+                # we want ``doc["k"] = v`` and ``obj.field = v``.
+                if base is not None and ev is not None:
+                    out.append((base, ev.taint(stmt.value)))
+    for call in ast.walk(stmt):
+        if (isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in _MUTATORS):
+            base = ref_name(call.func.value)
+            if base is not None:
+                taint: Taint = _EMPTY
+                for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                    taint |= ev.taint(arg)
+                out.append((base, taint))
+    return out
+
+
+# ----------------------------------------------------------------------
+# The analysis
+# ----------------------------------------------------------------------
+TaintState = Tuple[Tuple[str, Taint], ...]
+
+
+class _TaintAnalysis(ForwardAnalysis[TaintState]):
+    """Var → taint-labels, forward over the CFG (union join)."""
+
+    def initial(self) -> TaintState:
+        return ()
+
+    def join(self, a: TaintState, b: TaintState) -> TaintState:
+        merged: Dict[str, Taint] = dict(a)
+        for var, taint in b:
+            merged[var] = merged.get(var, _EMPTY) | taint
+        return tuple(sorted(merged.items()))
+
+    def transfer(self, node: CFGNode, state: TaintState) -> TaintState:
+        stmt = node.stmt
+        if stmt is None:
+            return state
+        env = dict(state)
+        ev = _TaintEval(env)
+        changed = False
+        # Weak updates through container mutation: a store into
+        # ``doc["k"]`` / ``obj.attr`` taints the container variable, as
+        # does a mutating method call (``doc.update(...)``,
+        # ``rows.append(...)``); the container keeps its old taint too.
+        for base, extra in _container_mutations(stmt, ev):
+            merged = env.get(base, _EMPTY) | extra
+            if env.get(base, _EMPTY) != merged:
+                env[base] = merged
+                changed = True
+        for name, value in assignments_of(stmt):
+            if value is not None:
+                taint = ev.taint(value)
+            elif isinstance(stmt, ast.AugAssign):
+                taint = env.get(name, _EMPTY) | ev.taint(stmt.value)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                iter_taint = ev.taint(stmt.iter)
+                taint = frozenset(
+                    (k, d) for k, d in iter_taint if k != SETVAL
+                )
+                if any(k == SETVAL for k, _ in iter_taint) or isinstance(
+                        stmt.iter, (ast.Set, ast.SetComp)):
+                    taint |= frozenset(
+                        {("order", "iteration over a set")}
+                    )
+            else:
+                taint = _EMPTY
+            if env.get(name, _EMPTY) != taint:
+                env[name] = taint
+                changed = True
+        if not changed:
+            return state
+        return tuple(sorted(env.items()))
+
+
+def check_function(unit: FunctionUnit, rel_path: str) -> List[Diagnostic]:
+    """Run the DET taint rules over one function."""
+    analysis = _TaintAnalysis()
+    in_states = analysis.run(unit.cfg)
+    diags: List[Diagnostic] = []
+    seen: Set[Tuple[str, int, str]] = set()
+    for node in unit.cfg.stmt_nodes():
+        if node.index not in in_states or node.stmt is None:
+            continue
+        ev = _TaintEval(dict(in_states[node.index]))
+        for call in ast.walk(node.stmt):
+            if not isinstance(call, ast.Call):
+                continue
+            sink = _sink_of(call)
+            if sink is None:
+                continue
+            tainted: Dict[str, str] = {}
+            for expr in sink.payload:
+                for kind, desc in ev.taint(expr):
+                    if kind in KIND_RULES:
+                        tainted.setdefault(kind, desc)
+            for kind in sorted(tainted):
+                rule_id = KIND_RULES[kind]
+                key = (rule_id, call.lineno, sink.description)
+                if key in seen:
+                    continue
+                seen.add(key)
+                diags.append(Diagnostic.of(
+                    rule_id,
+                    f"value tainted by {tainted[kind]} flows into "
+                    f"{sink.description} in {unit.qualname}",
+                    file=rel_path, line=call.lineno,
+                ))
+    return diags

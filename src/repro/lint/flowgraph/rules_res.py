@@ -1,0 +1,281 @@
+"""RES0xx — resource lifecycle over exception paths.
+
+The fan-out layer owns POSIX shared-memory segments
+(:meth:`repro.parallel.SharedPayloadBank.publish`), the cache writes
+through ``tempfile.mkstemp``, and runs stream events into an open
+:class:`repro.journal.RunJournal` file. Each of these survives the
+process if dropped: an unlinked-never segment stays in ``/dev/shm``
+until reboot, a stray ``.tmp`` confuses the orphan sweeper, an
+unflushed journal loses its tail. These rules prove, per function, that
+every acquisition is *released on every path* — including the paths
+the happy-case reader never sees: the exception edges of the CFG.
+
+* ``RES001`` (error) — ``SharedPayloadBank.publish`` result may escape
+  the function unreleased (no ``close()`` on some path).
+* ``RES002`` (error) — ``tempfile.mkstemp`` file may survive (no
+  ``os.unlink``/``os.replace``/``os.close`` of either handle on some
+  path).
+* ``RES003`` (error) — a ``RunJournal`` opened here may never be
+  ``close()``-d on some path.
+
+The analysis is a forward *may-hold* pass: state is the set of live
+acquisitions; joins union; the rule fires if any acquisition reaches
+the CFG exit (which abnormal termination also does — that is what
+makes the check path-sensitive). Recognised discharges:
+
+* a release call on the variable (or any alias of the same
+  acquisition: ``fd`` and ``tmp_name`` from one ``mkstemp`` are one
+  resource);
+* acquisition in a ``with`` header — the context manager releases;
+* ownership escape: returning or yielding the value, storing it on
+  ``self``/a subscript, or handing it to a container
+  (``banks.append(bank)``) — some other scope's problem now;
+* a guarded release, ``if bank is not None: bank.close()``: when an
+  ``if`` test mentions the variable and a release appears under it,
+  the acquisition is discharged at the header (on the other branch the
+  acquisition was falsy/absent).
+
+Plain *use* — passing the variable to an ordinary call — is not an
+escape: ``use(bank)`` between acquire and release is exactly where the
+exception-path leak lives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lint.core import Diagnostic, Rule, Severity, register_rule
+from repro.lint.flowgraph.cfg import FunctionUnit, iter_functions
+from repro.lint.flowgraph.dataflow import (
+    ForwardAnalysis,
+    assignments_of,
+    call_name,
+    ref_name,
+)
+
+register_rule(Rule(
+    "RES001", "flow", Severity.ERROR,
+    "SharedPayloadBank.publish result may not be closed on every path",
+    "an unreleased bank leaks a /dev/shm segment until reboot; close() "
+    "in a finally or use the bank as a context manager",
+))
+register_rule(Rule(
+    "RES002", "flow", Severity.ERROR,
+    "mkstemp temp file may not be cleaned up on every path",
+    "a stray .tmp defeats the cache's atomic-write protocol and feeds "
+    "the orphan sweeper; unlink it in a finally",
+))
+register_rule(Rule(
+    "RES003", "flow", Severity.ERROR,
+    "RunJournal opened here may not be closed on every path",
+    "an unclosed journal can lose its buffered tail — the exact events "
+    "(crash, retry) the journal exists to record",
+))
+
+#: acquisition kind → (rule, human description)
+KIND_RULES: Dict[str, Tuple[str, str]] = {
+    "bank": ("RES001", "shared-memory bank"),
+    "tmpfile": ("RES002", "mkstemp temp file"),
+    "journal": ("RES003", "run journal"),
+}
+
+#: per-kind method/function names that discharge the resource. For a
+#: temp file the on-disk entry is the resource — os.close(fd) alone
+#: does NOT discharge it, but unlink/replace/rename/remove do.
+_RELEASE_METHODS: Dict[str, FrozenSet[str]] = {
+    "bank": frozenset({"close"}),
+    "tmpfile": frozenset({"unlink", "replace", "rename", "remove"}),
+    "journal": frozenset({"close"}),
+}
+
+_CONTAINER_TRANSFER = frozenset({"append", "add", "insert", "push",
+                                 "register", "put", "setdefault"})
+
+
+def _acquire_kind(expr: Optional[ast.expr]) -> Optional[str]:
+    """Resource kind produced by evaluating ``expr``, if any."""
+    if not isinstance(expr, ast.Call):
+        return None
+    dotted = call_name(expr)
+    last = dotted.rpartition(".")[2]
+    if last == "publish" and "SharedPayloadBank" in dotted:
+        return "bank"
+    if last == "mkstemp":
+        return "tmpfile"
+    if last == "RunJournal":
+        return "journal"
+    return None
+
+
+# Each acquisition is identified by (kind, line); several variables may
+# alias it (fd/tmp_name from one mkstemp, `b2 = bank`). State maps
+# variable → acquisition, encoded as a sorted tuple for the solver.
+ResState = Tuple[Tuple[str, Tuple[str, int]], ...]
+
+
+def _call_args_names(call: ast.Call) -> Set[str]:
+    names: Set[str] = set()
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        name = ref_name(arg)
+        if name is not None:
+            names.add(name)
+    return names
+
+
+class _ResAnalysis(ForwardAnalysis[ResState]):
+    def initial(self) -> ResState:
+        return ()
+
+    def join(self, a: ResState, b: ResState) -> ResState:
+        return tuple(sorted(set(a) | set(b)))
+
+    # ------------------------------------------------------------------
+    def _released_vars(self, stmt: ast.stmt,
+                       held: Dict[str, Tuple[str, int]]) -> Set[str]:
+        """Variables whose resource a statement discharges."""
+        released: Set[str] = set()
+        for call in ast.walk(stmt):
+            if not isinstance(call, ast.Call):
+                continue
+            if isinstance(call.func, ast.Attribute):
+                recv = ref_name(call.func.value)
+                # var.close() / var.unlink() / journal.close()
+                if recv in held:
+                    kind = held[recv][0]
+                    if call.func.attr in _RELEASE_METHODS[kind]:
+                        released.add(recv)
+                # os.unlink(tmp) / os.close(fd) / os.replace(tmp, dst)
+                # / banks.append(bank) ownership transfer
+                method = call.func.attr
+                for name in _call_args_names(call):
+                    if name not in held:
+                        continue
+                    kind = held[name][0]
+                    if (method in _RELEASE_METHODS[kind]
+                            or method in _CONTAINER_TRANSFER):
+                        released.add(name)
+            elif isinstance(call.func, ast.Name):
+                if call.func.id in ("close", "unlink"):
+                    for name in _call_args_names(call):
+                        if name in held:
+                            released.add(name)
+        # Ownership escapes: return/yield/attribute- or subscript-store.
+        for sub in ast.walk(stmt):
+            value = None
+            if isinstance(sub, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = sub.value
+            elif isinstance(sub, ast.Assign):
+                if any(isinstance(t, (ast.Attribute, ast.Subscript))
+                       for t in sub.targets):
+                    value = sub.value
+            elif isinstance(sub, ast.AnnAssign):
+                if isinstance(sub.target, (ast.Attribute, ast.Subscript)):
+                    value = sub.value
+            if value is not None:
+                for node in ast.walk(value):
+                    name = ref_name(node)
+                    if name in held:
+                        released.add(name)
+        return released
+
+    # ------------------------------------------------------------------
+    def transfer(self, node, state: ResState) -> ResState:
+        return self._apply(node, state, acquire=True)
+
+    def transfer_exc(self, node, state: ResState) -> ResState:
+        # A statement that raised released what it released before the
+        # raise (optimistic) but never completed its acquisition: the
+        # exception edge of `bank = publish(...)` carries no bank.
+        return self._apply(node, state, acquire=False)
+
+    def _apply(self, node, state: ResState, acquire: bool) -> ResState:
+        stmt = node.stmt
+        if stmt is None:
+            return state
+        held: Dict[str, Tuple[str, int]] = dict(state)
+
+        # Guarded release: `if bank: bank.close()` — test names the
+        # variable and a release appears under this header. Discharge at
+        # the header; the untaken branch means the acquisition is
+        # absent/falsy there.
+        if isinstance(stmt, ast.If):
+            tested = {n for n in (
+                ref_name(sub) for sub in ast.walk(stmt.test)) if n}
+            guarded = tested & set(held)
+            if guarded:
+                for name in self._released_vars(stmt, held):
+                    if name in guarded:
+                        acq = held[name]
+                        for var, other in list(held.items()):
+                            if other == acq:
+                                held.pop(var)
+            return tuple(sorted(held.items()))
+
+        # Compound headers other than `if` don't execute their body at
+        # this node, so only simple statements release/acquire below.
+        is_header = isinstance(stmt, (ast.For, ast.AsyncFor, ast.While,
+                                      ast.Try, ast.With, ast.AsyncWith))
+        if not is_header:
+            for name in self._released_vars(stmt, held):
+                acq = held[name]
+                for var, other in list(held.items()):
+                    if other == acq:
+                        held.pop(var)
+
+        # Acquisitions and aliases (with-headers are self-releasing).
+        if acquire and not isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # `fd, tmp = mkstemp()` binds two names to one acquisition;
+            # the on-disk file is what leaks, so track only the *path*
+            # (the last tuple element).
+            pairs = assignments_of(stmt)
+            last_for_expr: Dict[int, str] = {
+                id(expr): name for name, expr in pairs
+                if _acquire_kind(expr) == "tmpfile"
+            }
+            for name, value_expr in pairs:
+                kind = _acquire_kind(value_expr)
+                if kind == "tmpfile" and name != last_for_expr[id(value_expr)]:
+                    held.pop(name, None)
+                    continue
+                if kind is not None:
+                    held[name] = (kind, getattr(value_expr, "lineno",
+                                                node.lineno))
+                    continue
+                if value_expr is not None:
+                    alias_of = ref_name(value_expr)
+                    if alias_of is not None and alias_of in held:
+                        held[name] = held[alias_of]
+                        continue
+                if name in held:
+                    held.pop(name)  # rebound to something else
+        return tuple(sorted(held.items()))
+
+
+def check_function(unit: FunctionUnit, rel_path: str) -> List[Diagnostic]:
+    """Run the RES lifecycle rules over one function."""
+    analysis = _ResAnalysis()
+    in_states = analysis.run(unit.cfg)
+    exit_state = in_states.get(unit.cfg.exit, ())
+    leaks: Dict[Tuple[str, int], str] = {}
+    for var, (kind, line) in exit_state:
+        leaks.setdefault((kind, line), var)
+    diags: List[Diagnostic] = []
+    for (kind, line), var in sorted(leaks.items(), key=lambda kv: kv[0][1]):
+        rule_id, noun = KIND_RULES[kind]
+        diags.append(Diagnostic.of(
+            rule_id,
+            f"{noun} `{var}` acquired in {unit.qualname} may not be "
+            f"released on every path (exception paths count); release "
+            f"in a finally or use a with block",
+            file=rel_path, line=line,
+        ))
+    return diags
+
+
+def check_module(tree: ast.Module, rel_path: str) -> List[Diagnostic]:
+    """Run the RES rules over every function in a module."""
+    diags: List[Diagnostic] = []
+    for unit in iter_functions(tree):
+        diags.extend(check_function(unit, rel_path))
+    return diags

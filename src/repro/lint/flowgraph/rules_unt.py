@@ -1,0 +1,483 @@
+"""UNT0xx — physical-dimension inference over :mod:`repro.units`.
+
+The codebase keeps every quantity in SI (seconds, farads, ohms, meters)
+and scales literals with the :mod:`repro.units` constants: ``20 * PS``,
+``5 * FF``. The code-layer rule UNIT001 catches *bare* magnitudes; this
+family goes further and propagates **dimension vectors** through
+assignments and arithmetic, so it can prove that ``slew + load`` adds
+seconds to farads even when both operands are plain local variables.
+
+Dimensions are SI exponent vectors ``(kg, m, s, A)``; that makes the
+algebra exact — multiplying an ``OHM``-derived value by an ``FF``-derived
+one *correctly* yields time (``R·C``), so the Elmore-delay idiom
+``r * c`` never false-positives.
+
+* ``UNT001`` (error) — ``+``/``-`` between operands of different known
+  dimensions, or between a dimensioned value and a bare nonzero number
+  (an unscaled magnitude — the cross-function version of UNIT001).
+* ``UNT002`` (warning) — ordering comparison between different known
+  dimensions (``slew < load`` is meaningless even though it runs).
+* ``UNT003`` (error) — a unit-conversion helper applied to the wrong
+  quantity: ``to_ps`` expects seconds, ``to_ff`` expects farads.
+
+Inference is deliberately optimistic about the unknown: an untyped
+variable times a unit constant takes the constant's dimension (the
+``n * PS`` scaling idiom), a zero constant is polymorphic (``acc = 0.0``
+then ``acc += delay`` is fine), and unknown-vs-known additions stay
+silent. Only *provable* mismatches fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.core import Diagnostic, Rule, Severity, register_rule
+from repro.lint.flowgraph.cfg import FunctionUnit, iter_functions
+from repro.lint.flowgraph.dataflow import (
+    ForwardAnalysis,
+    assignments_of,
+    call_name,
+    ref_name,
+)
+
+register_rule(Rule(
+    "UNT001", "flow", Severity.ERROR,
+    "addition/subtraction between different physical dimensions, or "
+    "between a dimensioned value and an unscaled bare number",
+    "seconds plus farads is never meaningful; a bare literal added to a "
+    "dimensioned value is almost always a missing unit constant",
+))
+register_rule(Rule(
+    "UNT002", "flow", Severity.WARNING,
+    "comparison between values of different physical dimensions",
+    "orderings across dimensions (slew < load) type-check in Python but "
+    "encode a unit confusion",
+))
+register_rule(Rule(
+    "UNT003", "flow", Severity.ERROR,
+    "unit-conversion helper applied to a quantity of the wrong dimension",
+    "to_ps() divides by PS and expects seconds; feeding it farads "
+    "silently reports nonsense magnitudes",
+))
+
+#: SI exponent vector: (kg, m, s, A).
+DimVec = Tuple[int, int, int, int]
+
+_TIME: DimVec = (0, 0, 1, 0)
+_CAP: DimVec = (-1, -2, 4, 2)
+_RES: DimVec = (1, 2, -3, -2)
+_LEN: DimVec = (0, 1, 0, 0)
+_VOLT: DimVec = (1, 2, -3, -1)
+_CUR: DimVec = (0, 0, 0, 1)
+_DIMLESS: DimVec = (0, 0, 0, 0)
+
+#: repro.units constant → dimension vector.
+UNIT_DIMS: Dict[str, DimVec] = {
+    "S": _TIME, "MS": _TIME, "US": _TIME, "NS": _TIME,
+    "PS": _TIME, "FS": _TIME,
+    "F": _CAP, "PF": _CAP, "FF": _CAP, "AF": _CAP,
+    "OHM": _RES, "KOHM": _RES, "MEGOHM": _RES,
+    "M": _LEN, "UM": _LEN, "NM": _LEN,
+    "V": _VOLT, "MV": _VOLT,
+    "A": _CUR, "MA": _CUR, "UA": _CUR, "NA": _CUR,
+}
+
+#: conversion helper → dimension its argument must have.
+CONVERTER_DIMS: Dict[str, DimVec] = {"to_ps": _TIME, "to_ff": _CAP}
+
+_DIM_NAMES: Dict[DimVec, str] = {
+    _TIME: "time [s]", _CAP: "capacitance [F]", _RES: "resistance [Ω]",
+    _LEN: "length [m]", _VOLT: "voltage [V]", _CUR: "current [A]",
+    _DIMLESS: "dimensionless",
+    (0, 0, -1, 0): "frequency [1/s]",
+}
+
+
+def _fmt(vec: DimVec) -> str:
+    if vec in _DIM_NAMES:
+        return _DIM_NAMES[vec]
+    parts = [f"{sym}^{exp}" for sym, exp in zip("kg m s A".split(), vec) if exp]
+    return "·".join(parts) or "dimensionless"
+
+
+# Abstract values (all hashable, so the dataflow state stays a tuple):
+#   ("dim", vec)  known dimension
+#   ("zero",)     zero constant — polymorphic, joins with anything
+#   ("num",)      bare nonzero number (dimensionless *and* unscaled)
+#   None          unknown
+Value = Optional[Tuple]
+
+_ZERO: Value = ("zero",)
+_NUM: Value = ("num",)
+
+
+def _join_val(a: Value, b: Value) -> Value:
+    if a == b:
+        return a
+    if a == _ZERO:
+        return b
+    if b == _ZERO:
+        return a
+    return None
+
+
+# ----------------------------------------------------------------------
+# Module environment: which local names denote unit constants / helpers
+# ----------------------------------------------------------------------
+class UnitsEnv:
+    """Resolves names to :mod:`repro.units` constants for one module."""
+
+    def __init__(self, tree: ast.Module):
+        self.constants: Dict[str, DimVec] = {}
+        self.converters: Dict[str, DimVec] = {}
+        self.module_aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "repro.units":
+                    for alias in node.names:
+                        local = alias.asname or alias.name
+                        if alias.name in UNIT_DIMS:
+                            self.constants[local] = UNIT_DIMS[alias.name]
+                        elif alias.name in CONVERTER_DIMS:
+                            self.converters[local] = CONVERTER_DIMS[alias.name]
+                elif node.module == "repro":
+                    for alias in node.names:
+                        if alias.name == "units":
+                            self.module_aliases.add(alias.asname or "units")
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "repro.units":
+                        self.module_aliases.add(alias.asname or "repro.units")
+
+    # ------------------------------------------------------------------
+    def constant_dim(self, expr: ast.expr) -> Optional[DimVec]:
+        """Dimension of a unit-constant reference, if ``expr`` is one."""
+        if isinstance(expr, ast.Name):
+            return self.constants.get(expr.id)
+        dotted = _dotted(expr)
+        if dotted and "." in dotted:
+            prefix, _, last = dotted.rpartition(".")
+            if prefix in self.module_aliases and last in UNIT_DIMS:
+                return UNIT_DIMS[last]
+        return None
+
+    def converter_dim(self, call: ast.Call) -> Optional[DimVec]:
+        """Expected argument dimension if ``call`` is to_ps/to_ff."""
+        dotted = call_name(call)
+        if dotted in self.converters:
+            return self.converters[dotted]
+        if "." in dotted:
+            prefix, _, last = dotted.rpartition(".")
+            if prefix in self.module_aliases and last in CONVERTER_DIMS:
+                return CONVERTER_DIMS[last]
+        return None
+
+
+def _dotted(expr: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+# ----------------------------------------------------------------------
+# Expression evaluation
+# ----------------------------------------------------------------------
+#: Builtins transparent to dimension (shape/selection, not arithmetic).
+_PASSTHROUGH_CALLS = frozenset({"abs", "min", "max", "sum", "float",
+                                "np.abs", "np.minimum", "np.maximum"})
+
+
+class _UnitEval:
+    """Evaluates an expression's abstract dimension; optionally reports.
+
+    The same evaluator runs twice per statement: silently inside the
+    dataflow transfer (fixpoint iteration would duplicate findings) and
+    once with ``diags`` wired up in the reporting pass.
+    """
+
+    def __init__(self, env: UnitsEnv, state: Dict[str, Value],
+                 diags: Optional[List[Diagnostic]] = None,
+                 rel_path: str = "", qualname: str = ""):
+        self.env = env
+        self.state = state
+        self.diags = diags
+        self.rel_path = rel_path
+        self.qualname = qualname
+
+    # ------------------------------------------------------------------
+    def _emit(self, rule_id: str, message: str, line: int) -> None:
+        if self.diags is not None:
+            self.diags.append(Diagnostic.of(
+                rule_id, f"{message} in {self.qualname}",
+                file=self.rel_path, line=line,
+            ))
+
+    # ------------------------------------------------------------------
+    def value(self, expr: ast.expr) -> Value:
+        dim = self.env.constant_dim(expr)
+        if dim is not None:
+            return ("dim", dim)
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, bool) or not isinstance(
+                    expr.value, (int, float)):
+                return None
+            return _ZERO if expr.value == 0 else _NUM
+        name = ref_name(expr)
+        if name is not None:
+            return self.state.get(name)
+        if isinstance(expr, ast.UnaryOp) and isinstance(
+                expr.op, (ast.USub, ast.UAdd)):
+            return self.value(expr.operand)
+        if isinstance(expr, ast.BinOp):
+            return self._binop(expr)
+        if isinstance(expr, ast.Compare):
+            return self._compare(expr)
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.IfExp):
+            return _join_val(self.value(expr.body), self.value(expr.orelse))
+        return None
+
+    # ------------------------------------------------------------------
+    def additive(self, left: Value, right: Value, line: int,
+                 what: str) -> Value:
+        """Check/compute ``left ± right`` (also used for AugAssign)."""
+        if left is None or right is None:
+            return left if right is None and left is not None else right
+        if left == _ZERO:
+            return right
+        if right == _ZERO:
+            return left
+        if left[0] == "dim" and right[0] == "dim":
+            if left[1] != right[1]:
+                self._emit(
+                    "UNT001",
+                    f"{what} combines {_fmt(left[1])} with {_fmt(right[1])}",
+                    line,
+                )
+                return None
+            return left
+        if left[0] == "dim" and right == _NUM and left[1] != _DIMLESS:
+            self._emit(
+                "UNT001",
+                f"{what} adds an unscaled bare number to {_fmt(left[1])} "
+                f"(missing unit constant?)", line,
+            )
+            return left
+        if right[0] == "dim" and left == _NUM and right[1] != _DIMLESS:
+            self._emit(
+                "UNT001",
+                f"{what} adds an unscaled bare number to {_fmt(right[1])} "
+                f"(missing unit constant?)", line,
+            )
+            return right
+        return _join_val(left, right)
+
+    def _binop(self, expr: ast.BinOp) -> Value:
+        left = self.value(expr.left)
+        right = self.value(expr.right)
+        if isinstance(expr.op, (ast.Add, ast.Sub)):
+            return self.additive(left, right, expr.lineno,
+                                 "addition" if isinstance(expr.op, ast.Add)
+                                 else "subtraction")
+        if isinstance(expr.op, ast.Mult):
+            if left == _ZERO or right == _ZERO:
+                return _ZERO
+            lv = left[1] if left is not None and left[0] == "dim" else None
+            rv = right[1] if right is not None and right[0] == "dim" else None
+            if lv is not None and rv is not None:
+                return ("dim", tuple(a + b for a, b in zip(lv, rv)))
+            # scaling idiom: count × unit → unit (optimistic on unknown)
+            if lv is not None:
+                return ("dim", lv)
+            if rv is not None:
+                return ("dim", rv)
+            return _NUM if left == _NUM and right == _NUM else None
+        if isinstance(expr.op, ast.Div):
+            if left == _ZERO:
+                return _ZERO
+            lv = left[1] if left is not None and left[0] == "dim" else None
+            rv = right[1] if right is not None and right[0] == "dim" else None
+            if lv is not None and rv is not None:
+                return ("dim", tuple(a - b for a, b in zip(lv, rv)))
+            # unknown / unit could be a conversion (x / PS) — stay silent
+            # rather than invent a rate dimension.
+            if lv is not None:
+                return ("dim", lv) if right == _NUM else None
+            return None
+        if isinstance(expr.op, ast.Pow):
+            if (left is not None and left[0] == "dim"
+                    and isinstance(expr.right, ast.Constant)
+                    and isinstance(expr.right.value, int)):
+                n = expr.right.value
+                return ("dim", tuple(a * n for a in left[1]))
+            return None
+        return None
+
+    def _compare(self, expr: ast.Compare) -> Value:
+        values = [self.value(expr.left)]
+        values += [self.value(comp) for comp in expr.comparators]
+        known = [(v, c) for v, c in zip(values, [expr.left] + expr.comparators)
+                 if v is not None and v[0] == "dim" and v[1] != _DIMLESS]
+        for (va, _), (vb, _) in zip(known, known[1:]):
+            if va[1] != vb[1]:
+                self._emit(
+                    "UNT002",
+                    f"comparison between {_fmt(va[1])} and {_fmt(vb[1])}",
+                    expr.lineno,
+                )
+        return None
+
+    def _call(self, expr: ast.Call) -> Value:
+        expected = self.env.converter_dim(expr)
+        if expected is not None:
+            if expr.args:
+                got = self.value(expr.args[0])
+                if (got is not None and got[0] == "dim"
+                        and got[1] != expected):
+                    self._emit(
+                        "UNT003",
+                        f"{call_name(expr)}() expects {_fmt(expected)} but "
+                        f"receives {_fmt(got[1])}", expr.lineno,
+                    )
+            for arg in expr.args:
+                self.value(arg)
+            return _NUM  # reported paper-units magnitude
+        if call_name(expr) in _PASSTHROUGH_CALLS and expr.args:
+            vals = [self.value(arg) for arg in expr.args]
+            out = vals[0]
+            for v in vals[1:]:
+                out = _join_val(out, v)
+            return out
+        for arg in expr.args:
+            self.value(arg)
+        for kw in expr.keywords:
+            self.value(kw.value)
+        return None
+
+
+# ----------------------------------------------------------------------
+# Dataflow analysis + reporting pass
+# ----------------------------------------------------------------------
+UnitState = Tuple[Tuple[str, Tuple], ...]
+
+
+class _UnitAnalysis(ForwardAnalysis[UnitState]):
+    def __init__(self, env: UnitsEnv):
+        self.env = env
+
+    def initial(self) -> UnitState:
+        return ()
+
+    def join(self, a: UnitState, b: UnitState) -> UnitState:
+        da, db = dict(a), dict(b)
+        merged: Dict[str, Value] = {}
+        for var in set(da) | set(db):
+            val = _join_val(da.get(var), db.get(var))
+            if val is not None:
+                merged[var] = val
+        return tuple(sorted(merged.items()))
+
+    def transfer(self, node, state: UnitState) -> UnitState:
+        if node.stmt is None:
+            return state
+        env_state = dict(state)
+        ev = _UnitEval(self.env, env_state)
+        changed = False
+        if isinstance(node.stmt, ast.AugAssign):
+            from repro.lint.flowgraph.dataflow import target_names
+            names = target_names(node.stmt.target)
+            rhs = ev.value(node.stmt.value)
+            for nm in names:
+                if isinstance(node.stmt.op, (ast.Add, ast.Sub)):
+                    val = ev.additive(env_state.get(nm), rhs,
+                                      node.stmt.lineno, "augmented assignment")
+                else:
+                    val = None
+                if env_state.get(nm) != val:
+                    changed = True
+                    if val is None:
+                        env_state.pop(nm, None)
+                    else:
+                        env_state[nm] = val
+            return tuple(sorted(
+                (k, v) for k, v in env_state.items())) if changed else state
+        for name, value_expr in assignments_of(node.stmt):
+            val = ev.value(value_expr) if value_expr is not None else None
+            if env_state.get(name) != val:
+                changed = True
+                if val is None:
+                    env_state.pop(name, None)
+                else:
+                    env_state[name] = val
+        if not changed:
+            return state
+        return tuple(sorted((k, v) for k, v in env_state.items()))
+
+
+def _stmt_header_exprs(stmt: ast.stmt) -> List[ast.expr]:
+    """Expressions evaluated *at this CFG node* (compound bodies are
+    separate nodes, so only the header's expressions belong here)."""
+    if isinstance(stmt, ast.Assign):
+        return [stmt.value]
+    if isinstance(stmt, ast.AnnAssign):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, (ast.Expr, ast.Return)):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Assert):
+        return [stmt.test]
+    return []
+
+
+def check_function(unit: FunctionUnit, rel_path: str,
+                   env: UnitsEnv) -> List[Diagnostic]:
+    """Run the UNT dimension rules over one function."""
+    analysis = _UnitAnalysis(env)
+    in_states = analysis.run(unit.cfg)
+    diags: List[Diagnostic] = []
+    for node in unit.cfg.stmt_nodes():
+        if node.index not in in_states or node.stmt is None:
+            continue
+        ev = _UnitEval(env, dict(in_states[node.index]), diags=diags,
+                       rel_path=rel_path, qualname=unit.qualname)
+        if isinstance(node.stmt, ast.AugAssign):
+            if isinstance(node.stmt.op, (ast.Add, ast.Sub)):
+                from repro.lint.flowgraph.dataflow import target_names
+                rhs = ev.value(node.stmt.value)
+                for nm in target_names(node.stmt.target):
+                    ev.additive(ev.state.get(nm), rhs, node.stmt.lineno,
+                                "augmented assignment")
+            continue
+        for expr in _stmt_header_exprs(node.stmt):
+            ev.value(expr)
+    # Dedup identical (rule, line, message) from revisited headers.
+    seen: Set[Tuple[str, int, str]] = set()
+    unique: List[Diagnostic] = []
+    for d in diags:
+        key = (d.rule_id, d.line, d.message)
+        if key not in seen:
+            seen.add(key)
+            unique.append(d)
+    return unique
+
+
+def check_module(tree: ast.Module, rel_path: str) -> List[Diagnostic]:
+    """Run the UNT rules over every function in a module."""
+    env = UnitsEnv(tree)
+    diags: List[Diagnostic] = []
+    for unit in iter_functions(tree):
+        diags.extend(check_function(unit, rel_path, env))
+    return diags

@@ -1,0 +1,189 @@
+"""SARIF 2.1.0 reporter (and a vendored structural validator).
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format code-scanning UIs (GitHub, VS Code) ingest;
+emitting it lets the deep-lint CI job annotate PRs instead of burying
+findings in a log. The emitter maps the lint vocabulary directly:
+
+========================  =================================
+lint concept              SARIF field
+========================  =================================
+:class:`Rule`             ``runs[].tool.driver.rules[]``
+:class:`Diagnostic`       ``runs[].results[]``
+``Severity.ERROR``        ``level: "error"``
+``Severity.WARNING``      ``level: "warning"``
+``Severity.INFO``         ``level: "note"``
+``file:line``             ``physicalLocation`` + ``region``
+========================  =================================
+
+:func:`validate_sarif` is a minimal, dependency-free structural check
+of the subset this emitter produces (CI must not fetch the official
+JSON schema over the network). It verifies the invariants consumers
+actually rely on — version string, tool driver with named rules, every
+result referencing a declared rule with a message and a well-formed
+location — and returns problems as strings rather than raising, so a
+test can assert the list is empty and show all failures at once.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Set
+
+from repro.lint.core import LintReport, Severity, get_rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def to_sarif(report: LintReport, tool_name: str = "repro-lint") -> dict:
+    """Render a report as a SARIF 2.1.0 document (as a plain dict)."""
+    rule_ids = sorted({d.rule_id for d in report.diagnostics})
+    rules = []
+    for rule_id in rule_ids:
+        rule = get_rule(rule_id)
+        rules.append({
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale or rule.summary},
+            "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+            "properties": {"layer": rule.layer},
+        })
+    index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+
+    results = []
+    for diag in report.diagnostics:
+        result: Dict[str, Any] = {
+            "ruleId": diag.rule_id,
+            "ruleIndex": index[diag.rule_id],
+            "level": _LEVELS[diag.severity],
+            "message": {"text": diag.message},
+        }
+        if diag.file:
+            region = {"startLine": diag.line} if diag.line else {}
+            location: Dict[str, Any] = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": diag.file},
+                },
+            }
+            if region:
+                location["physicalLocation"]["region"] = region
+            result["locations"] = [location]
+        elif diag.artifact:
+            result["locations"] = [{
+                "logicalLocations": [{"name": diag.artifact}],
+            }]
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {"name": tool_name, "rules": rules}},
+            "results": results,
+        }],
+    }
+
+
+def sarif_json(report: LintReport, tool_name: str = "repro-lint") -> str:
+    """:func:`to_sarif` serialized with stable key order."""
+    return json.dumps(to_sarif(report, tool_name), indent=2, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Vendored structural validator (no network, no jsonschema dependency)
+# ----------------------------------------------------------------------
+def validate_sarif(doc: Any) -> List[str]:
+    """Structural problems in a SARIF document ([] when valid).
+
+    Checks the SARIF 2.1.0 subset that :func:`to_sarif` emits and that
+    downstream viewers require; deliberately NOT a full JSON-schema
+    implementation.
+    """
+    problems: List[str] = []
+
+    def err(msg: str) -> None:
+        problems.append(msg)
+
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {type(doc).__name__}"]
+    if doc.get("version") != SARIF_VERSION:
+        err(f"version must be {SARIF_VERSION!r}, got {doc.get('version')!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return problems + ["runs must be a non-empty array"]
+
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        if not isinstance(run, dict):
+            err(f"{where} must be an object")
+            continue
+        driver = run.get("tool", {}).get("driver") \
+            if isinstance(run.get("tool"), dict) else None
+        declared: Set[str] = set()
+        if not isinstance(driver, dict) or not driver.get("name"):
+            err(f"{where}.tool.driver.name is required")
+        else:
+            rules = driver.get("rules", [])
+            if not isinstance(rules, list):
+                err(f"{where}.tool.driver.rules must be an array")
+                rules = []
+            for ki, rule in enumerate(rules):
+                if not isinstance(rule, dict) or not rule.get("id"):
+                    err(f"{where}.tool.driver.rules[{ki}].id is required")
+                    continue
+                declared.add(rule["id"])
+        results = run.get("results")
+        if not isinstance(results, list):
+            err(f"{where}.results must be an array")
+            continue
+        for si, result in enumerate(results):
+            rwhere = f"{where}.results[{si}]"
+            if not isinstance(result, dict):
+                err(f"{rwhere} must be an object")
+                continue
+            rule_id = result.get("ruleId")
+            if not rule_id:
+                err(f"{rwhere}.ruleId is required")
+            elif declared and rule_id not in declared:
+                err(f"{rwhere}.ruleId {rule_id!r} not among declared rules")
+            message = result.get("message")
+            if not isinstance(message, dict) or not message.get("text"):
+                err(f"{rwhere}.message.text is required")
+            if result.get("level") not in ("error", "warning", "note", None):
+                err(f"{rwhere}.level {result.get('level')!r} is not a "
+                    f"SARIF level")
+            for li, loc in enumerate(result.get("locations", [])):
+                lwhere = f"{rwhere}.locations[{li}]"
+                if not isinstance(loc, dict):
+                    err(f"{lwhere} must be an object")
+                    continue
+                phys = loc.get("physicalLocation")
+                logical = loc.get("logicalLocations")
+                if phys is None and logical is None:
+                    err(f"{lwhere} needs a physicalLocation or "
+                        f"logicalLocations")
+                if phys is not None:
+                    art = phys.get("artifactLocation", {}) \
+                        if isinstance(phys, dict) else {}
+                    if not isinstance(art, dict) or not art.get("uri"):
+                        err(f"{lwhere}.physicalLocation.artifactLocation"
+                            f".uri is required")
+                    region = phys.get("region") if isinstance(phys, dict) \
+                        else None
+                    if region is not None:
+                        start = region.get("startLine") \
+                            if isinstance(region, dict) else None
+                        if not isinstance(start, int) or start < 1:
+                            err(f"{lwhere}.physicalLocation.region"
+                                f".startLine must be a positive integer")
+    return problems

@@ -57,6 +57,93 @@ class TestLintCommand:
         assert "SPF002" in capsys.readouterr().out
 
 
+TAINTED_SRC = (
+    "import time\n"
+    "def store(cache, key, payload):\n"
+    "    doc = {'payload': payload, 'at': time.time()}\n"
+    "    cache.put('charac', key, doc)\n"
+)
+
+WARNING_ONLY_SRC = (
+    "def store(cache, key, names):\n"
+    "    uniq = set(names)\n"
+    "    doc = {'names': [n for n in uniq]}\n"
+    "    cache.put('charac', key, doc)\n"
+)
+
+
+class TestDeepLintCommand:
+    def test_deep_flags_dataflow_findings(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text(TAINTED_SRC)
+        assert main(["lint", "--deep", str(bad)]) == 1
+        assert "DET002" in capsys.readouterr().out
+
+    def test_deep_over_src_clean_against_baseline(self, capsys):
+        code = main([
+            "lint", "--deep", str(REPO_ROOT / "src"),
+            "--baseline", str(REPO_ROOT / ".lint-baseline.json"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "suppressed" in out  # baseline entries matched
+
+    def test_default_exit_zero_on_warnings_only(self, tmp_path, capsys):
+        warn = tmp_path / "warn.py"
+        warn.write_text(WARNING_ONLY_SRC)
+        assert main(["lint", "--deep", str(warn)]) == 0
+        assert "DET004" in capsys.readouterr().out
+
+    def test_strict_fails_on_warnings(self, tmp_path, capsys):
+        warn = tmp_path / "warn.py"
+        warn.write_text(WARNING_ONLY_SRC)
+        assert main(["lint", "--deep", "--strict", str(warn)]) == 1
+
+    def test_strict_clean_run_still_passes(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text("def f():\n    return 1\n")
+        assert main(["lint", "--deep", "--strict", str(ok)]) == 0
+
+    def test_sarif_format(self, tmp_path, capsys):
+        from repro.lint import validate_sarif
+
+        bad = tmp_path / "mod.py"
+        bad.write_text(TAINTED_SRC)
+        assert main(["lint", "--deep", str(bad), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_sarif(doc) == []
+        assert doc["runs"][0]["results"][0]["ruleId"] == "DET002"
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text(TAINTED_SRC)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--deep", str(bad),
+                     "--baseline", str(baseline), "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--deep", str(bad),
+                     "--baseline", str(baseline)]) == 0
+        assert "(1 suppressed)" in capsys.readouterr().out
+
+    def test_update_baseline_requires_baseline_path(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text(TAINTED_SRC)
+        assert main(["lint", "--deep", str(bad), "--update-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_stale_baseline_noted(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text(TAINTED_SRC)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--deep", str(bad),
+                     "--baseline", str(baseline), "--update-baseline"]) == 0
+        bad.write_text("def f():\n    return 1\n")  # finding fixed
+        capsys.readouterr()
+        assert main(["lint", "--deep", str(bad),
+                     "--baseline", str(baseline)]) == 0
+        assert "no longer fire" in capsys.readouterr().err
+
+
 class TestShippedArtifacts:
     """Acceptance: the shipped example flow lints with zero errors."""
 

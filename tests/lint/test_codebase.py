@@ -130,7 +130,9 @@ class TestSuppressions:
 
     def test_wrong_rule_id_does_not_suppress(self):
         report = lint("delay = 1e-12  # repro-lint: disable=SEED001")
-        assert report.rule_ids() == ["UNIT001"]
+        # The finding still fires, and the pointless suppression is
+        # itself flagged as unused.
+        assert report.rule_ids() == ["LNT001", "UNIT001"]
 
     def test_file_wide_suppression(self):
         report = lint("""

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.errors import TimingError
+from repro.errors import LintConfigError, TimingError
 from repro.lint import (
     Diagnostic,
     LintReport,
@@ -17,11 +17,11 @@ from repro.lint import (
 
 
 class TestRegistry:
-    def test_rules_registered_with_both_layers(self):
+    def test_rules_registered_with_all_layers(self):
         rules = all_rules()
         assert len(rules) >= 10
         layers = {r.layer for r in rules}
-        assert layers == {"domain", "code"}
+        assert layers == {"domain", "code", "flow"}
 
     def test_sorted_by_id(self):
         ids = [r.rule_id for r in all_rules()]
@@ -32,13 +32,27 @@ class TestRegistry:
         assert all(r.layer == "domain" for r in all_rules(layer="domain"))
         assert all_rules(layer="code")
 
-    def test_duplicate_id_rejected(self):
+    def test_identical_reregistration_is_idempotent(self):
         existing = all_rules()[0]
-        with pytest.raises(ValueError, match="duplicate"):
-            register_rule(existing)
+        n_before = len(all_rules())
+        assert register_rule(existing) is existing
+        assert register_rule(
+            Rule(existing.rule_id, existing.layer, existing.severity,
+                 existing.summary, existing.rationale)
+        ) == existing
+        assert len(all_rules()) == n_before
+
+    def test_conflicting_redefinition_rejected(self):
+        existing = all_rules()[0]
+        conflicting = Rule(existing.rule_id, existing.layer,
+                           existing.severity, "a different summary")
+        with pytest.raises(LintConfigError, match="conflicting"):
+            register_rule(conflicting)
+        # The registry keeps the original definition.
+        assert get_rule(existing.rule_id) == existing
 
     def test_unknown_layer_rejected(self):
-        with pytest.raises(ValueError, match="layer"):
+        with pytest.raises(LintConfigError, match="layer"):
             register_rule(Rule("ZZZ999", "nope", Severity.ERROR, "x"))
 
     def test_get_rule(self):

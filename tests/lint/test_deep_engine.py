@@ -1,0 +1,207 @@
+"""The deep-lint engine: suppressions, baseline workflow, reporters."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.errors import LintConfigError
+from repro.lint import (
+    Baseline,
+    LintReport,
+    fingerprint,
+    lint_deep,
+    lint_module_deep,
+    sarif_json,
+    to_sarif,
+    validate_sarif,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+TAINTED = """
+    import time
+    def store(cache, key, payload):
+        doc = {"payload": payload, "at": time.time()}
+        cache.put("charac", key, doc)
+"""
+
+
+def deep(code: str):
+    return lint_module_deep(textwrap.dedent(code), rel_path="repro/fake.py")
+
+
+class TestEngine:
+    def test_all_families_run_in_one_pass(self):
+        report = deep("""
+            import time
+            from repro.units import PS, FF
+            def f(cache, key, payload):
+                cache.put("x", key, {"at": time.time()})
+                bank = SharedPayloadBank.publish(payload)
+                use(bank)
+                return 2 * PS + 3 * FF
+        """)
+        ids = report.rule_ids()
+        assert "DET002" in ids and "RES001" in ids and "UNT001" in ids
+
+    def test_syntax_error_is_a_diagnostic(self):
+        report = lint_module_deep("def broken(:\n", rel_path="bad.py")
+        assert report.rule_ids() == ["ERR001"]
+
+    def test_diagnostics_sorted_by_line(self):
+        report = deep(TAINTED)
+        lines = [d.line for d in report.diagnostics]
+        assert lines == sorted(lines)
+
+
+class TestSuppressionFamilies:
+    def test_exact_id_suppression(self):
+        report = deep("""
+            import time
+            def store(cache, key, payload):
+                doc = {"payload": payload, "at": time.time()}
+                cache.put("charac", key, doc)  # repro-lint: disable=DET002
+        """)
+        assert report.rule_ids() == []
+        assert report.suppressed == 1
+
+    def test_family_prefix_suppresses_all_members(self):
+        report = deep("""
+            import time, os
+            def store(cache, key, payload):
+                doc = {"at": time.time(), "env": os.environ.get("X")}
+                cache.put("charac", key, doc)  # repro-lint: disable=DET
+        """)
+        assert report.rule_ids() == []
+        assert report.suppressed == 2
+
+    def test_family_file_wide(self):
+        report = deep("""
+            # repro-lint: disable-file=DET
+            import time
+            def store(cache, key, payload):
+                cache.put("a", key, {"at": time.time()})
+            def store2(cache, key, payload):
+                cache.put("b", key, {"at": time.time()})
+        """)
+        assert report.rule_ids() == []
+        assert report.suppressed == 2
+
+    def test_unused_suppression_reports_lnt001(self):
+        report = deep("""
+            def fine():
+                return 1  # repro-lint: disable=DET
+        """)
+        assert report.rule_ids() == ["LNT001"]
+
+    def test_out_of_scope_token_is_not_unused(self):
+        # UNIT001 belongs to the code layer; the deep pass must not
+        # flag a suppression aimed at another pass.
+        report = deep("""
+            def fine():
+                return 1e-12  # repro-lint: disable=UNIT001
+        """)
+        assert report.rule_ids() == []
+
+
+class TestBaseline:
+    def make_report(self):
+        return deep(TAINTED)
+
+    def test_fingerprint_ignores_line_numbers(self):
+        report = self.make_report()
+        shifted = deep("\n\n\n" + textwrap.dedent(TAINTED))
+        assert [fingerprint(d) for d in report.diagnostics] == \
+            [fingerprint(d) for d in shifted.diagnostics]
+
+    def test_roundtrip_and_filter(self, tmp_path):
+        report = self.make_report()
+        path = tmp_path / "baseline.json"
+        Baseline.from_report(report).save(path)
+        loaded = Baseline.load(path)
+        new, matched = loaded.filter_new(report)
+        assert len(new.diagnostics) == 0
+        assert matched == len(loaded) == len(report.diagnostics)
+        assert new.suppressed == len(report.diagnostics)
+
+    def test_new_findings_pass_through(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_report(LintReport()).save(path)
+        new, matched = Baseline.load(path).filter_new(self.make_report())
+        assert len(new.diagnostics) == 1
+        assert matched == 0
+
+    def test_stale_entries_reported(self):
+        baseline = Baseline.from_report(self.make_report())
+        stale = baseline.stale_entries(LintReport())
+        assert len(stale) == len(baseline)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+    def test_corrupt_file_raises_config_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(LintConfigError):
+            Baseline.load(path)
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(LintConfigError, match="version"):
+            Baseline.load(path)
+
+
+class TestReporters:
+    def test_json_roundtrip_is_equivalent(self):
+        report = deep(TAINTED)
+        report.suppressed = 3
+        back = LintReport.from_json(report.to_json())
+        assert back.diagnostics == report.diagnostics
+        assert back.suppressed == report.suppressed
+        # And the round-trip is a fixpoint.
+        assert back.to_json() == report.to_json()
+
+    def test_sarif_structure_validates(self):
+        doc = to_sarif(deep(TAINTED))
+        assert validate_sarif(doc) == []
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} == \
+            {d["ruleId"] for d in run["results"]}
+
+    def test_sarif_json_parses_and_validates(self):
+        doc = json.loads(sarif_json(deep(TAINTED)))
+        assert validate_sarif(doc) == []
+
+    def test_validator_rejects_broken_documents(self):
+        assert validate_sarif([]) != []
+        assert validate_sarif({"version": "2.1.0"}) != []
+        broken = to_sarif(deep(TAINTED))
+        broken["runs"][0]["results"][0]["message"] = {}
+        assert any("message.text" in p for p in validate_sarif(broken))
+        mislabeled = to_sarif(deep(TAINTED))
+        mislabeled["runs"][0]["results"][0]["ruleId"] = "NOPE99"
+        assert any("NOPE99" in p for p in validate_sarif(mislabeled))
+
+
+class TestSelfDeepLint:
+    """Acceptance: the shipped tree is deep-lint clean vs the baseline."""
+
+    def test_src_tree_clean_against_checked_in_baseline(self):
+        report = lint_deep(REPO_ROOT / "src", relative_to=REPO_ROOT)
+        baseline = Baseline.load(REPO_ROOT / ".lint-baseline.json")
+        new, _ = baseline.filter_new(report)
+        assert new.ok, new.format_text()
+        assert not new.warnings, new.format_text()
+
+    def test_baseline_entries_all_still_fire(self):
+        report = lint_deep(REPO_ROOT / "src", relative_to=REPO_ROOT)
+        baseline = Baseline.load(REPO_ROOT / ".lint-baseline.json")
+        assert baseline.stale_entries(report) == []
+
+    def test_baseline_entries_have_reasons(self):
+        baseline = Baseline.load(REPO_ROOT / ".lint-baseline.json")
+        assert len(baseline) > 0
+        for entry in baseline.entries.values():
+            assert entry["reason"].strip(), entry

@@ -1,0 +1,150 @@
+"""CFG construction and the generic dataflow solver."""
+
+import ast
+import textwrap
+
+from repro.lint.flowgraph import (
+    ReachingDefinitions,
+    build_cfg,
+    iter_functions,
+)
+
+
+def cfg_of(code: str):
+    tree = ast.parse(textwrap.dedent(code))
+    func = tree.body[0]
+    return build_cfg(func)
+
+
+class TestCFGShape:
+    def test_straight_line(self):
+        cfg = cfg_of("""
+            def f():
+                a = 1
+                b = a + 1
+                return b
+        """)
+        stmts = list(cfg.stmt_nodes())
+        assert len(stmts) == 3
+        # entry -> a -> b -> return -> exit, single chain
+        assert cfg.nodes[cfg.entry].succs == {stmts[0].index}
+
+    def test_if_branches_rejoin(self):
+        cfg = cfg_of("""
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+        """)
+        ret = [n for n in cfg.stmt_nodes()
+               if isinstance(n.stmt, ast.Return)][0]
+        assigns = [n for n in cfg.stmt_nodes()
+                   if isinstance(n.stmt, ast.Assign)]
+        assert len(assigns) == 2
+        for n in assigns:
+            assert ret.index in n.succs
+
+    def test_loop_back_edge(self):
+        cfg = cfg_of("""
+            def f(xs):
+                for x in xs:
+                    y = x
+                return y
+        """)
+        head = [n for n in cfg.stmt_nodes()
+                if isinstance(n.stmt, ast.For)][0]
+        body = [n for n in cfg.stmt_nodes()
+                if isinstance(n.stmt, ast.Assign)][0]
+        assert head.index in body.succs  # back edge
+
+    def test_exception_edges_marked(self):
+        cfg = cfg_of("""
+            def f():
+                risky()
+        """)
+        call = [n for n in cfg.stmt_nodes()][0]
+        assert (call.index, cfg.exit) in cfg.exc_edges
+
+    def test_try_finally_routes_exceptions_through_finally(self):
+        cfg = cfg_of("""
+            def f():
+                try:
+                    risky()
+                finally:
+                    cleanup()
+        """)
+        cleanup = [n for n in cfg.stmt_nodes()
+                   if isinstance(n.stmt, ast.Expr)
+                   and n.stmt.value.func.id == "cleanup"][0]
+        risky = [n for n in cfg.stmt_nodes()
+                 if isinstance(n.stmt, ast.Expr)
+                 and n.stmt.value.func.id == "risky"][0]
+        # risky's exception path reaches cleanup (via dispatch/finally).
+        reached, frontier = set(), {risky.index}
+        while frontier:
+            idx = frontier.pop()
+            reached.add(idx)
+            frontier |= cfg.nodes[idx].succs - reached
+        assert cleanup.index in reached
+
+    def test_finally_body_compound_statements_expand(self):
+        cfg = cfg_of("""
+            def f():
+                try:
+                    risky()
+                finally:
+                    if flag:
+                        cleanup()
+        """)
+        # The cleanup call inside the finally's `if` gets its own node.
+        calls = [n.stmt.value.func.id for n in cfg.stmt_nodes()
+                 if isinstance(n.stmt, ast.Expr)
+                 and isinstance(n.stmt.value, ast.Call)
+                 and isinstance(n.stmt.value.func, ast.Name)]
+        assert "cleanup" in calls
+
+
+class TestIterFunctions:
+    def test_discovers_nested_and_methods(self):
+        tree = ast.parse(textwrap.dedent("""
+            def top(): pass
+            class C:
+                def method(self): pass
+            if True:
+                def conditional(): pass
+        """))
+        names = sorted(u.qualname for u in iter_functions(tree))
+        assert names == ["C.method", "conditional", "top"]
+        method = [u for u in iter_functions(tree)
+                  if u.qualname == "C.method"][0]
+        assert method.class_name == "C"
+
+
+class TestReachingDefinitions:
+    def test_branch_merge_unions_defs(self):
+        cfg = cfg_of("""
+            def f(x):
+                a = 1
+                if x:
+                    a = 2
+                use(a)
+        """)
+        use = [n for n in cfg.stmt_nodes()
+               if isinstance(n.stmt, ast.Expr)][0]
+        defs = ReachingDefinitions().defs_at(cfg)[use.index]
+        assert defs["a"] == frozenset({3, 5})
+
+    def test_loop_defs_reach_header(self):
+        cfg = cfg_of("""
+            def f(xs):
+                a = 0
+                for x in xs:
+                    a = a + 1
+                return a
+        """)
+        ret = [n for n in cfg.stmt_nodes()
+               if isinstance(n.stmt, ast.Return)][0]
+        defs = ReachingDefinitions().defs_at(cfg)[ret.index]
+        assert defs["a"] == frozenset({3, 5})

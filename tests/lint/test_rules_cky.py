@@ -1,0 +1,124 @@
+"""CKY0xx cache-key completeness fixtures."""
+
+import ast
+import textwrap
+
+from repro.lint.flowgraph.rules_cky import CacheKeySpec, check_module
+
+SPEC = CacheKeySpec(
+    class_name="Flow",
+    producers=("characterize",),
+    key_methods=("_cache_key",),
+    allowed=frozenset({"perf"}),
+)
+
+
+def cky(code: str, specs=(SPEC,)):
+    tree = ast.parse(textwrap.dedent(code))
+    return [(d.rule_id, d.line) for d in check_module(tree, "fake.py", specs)]
+
+
+class TestCkyTruePositives:
+    def test_unkeyed_attribute_read(self):
+        diags = cky("""
+            class Flow:
+                def _cache_key(self):
+                    return content_key({"seed": self.seed})
+                def characterize(self):
+                    return run(self.seed, self.n_samples)
+        """)
+        assert ("CKY001", 6) in diags
+
+    def test_unkeyed_read_hidden_in_helper(self):
+        diags = cky("""
+            class Flow:
+                def _cache_key(self):
+                    return content_key({"seed": self.seed})
+                def characterize(self):
+                    return self._helper()
+                def _helper(self):
+                    return run(self.seed, self.secret)
+        """)
+        assert [r for r, _ in diags] == ["CKY001"]
+
+    def test_dead_key_component(self):
+        diags = cky("""
+            class Flow:
+                def _cache_key(self):
+                    return content_key({"seed": self.seed, "old": self.removed_knob})
+                def characterize(self):
+                    return run(self.seed)
+        """)
+        assert [r for r, _ in diags] == ["CKY002"]
+
+    def test_unversioned_content_key(self):
+        diags = cky("""
+            def key(payload):
+                return content_key(payload, versioned=False)
+        """)
+        assert [r for r, _ in diags] == ["CKY003"]
+
+
+class TestCkyTrueNegatives:
+    def test_fully_keyed_producer(self):
+        assert cky("""
+            class Flow:
+                def _cache_key(self):
+                    return content_key({"seed": self.seed, "n": self.n})
+                def characterize(self):
+                    return run(self.seed, self.n)
+        """) == []
+
+    def test_allowlisted_attribute(self):
+        assert cky("""
+            class Flow:
+                def _cache_key(self):
+                    return content_key({"seed": self.seed})
+                def characterize(self):
+                    self.perf.tick()
+                    return run(self.seed)
+        """) == []
+
+    def test_constructor_consumption_is_not_dead(self):
+        # `kernel` is in the key and consumed while building the engine
+        # in __init__ — live, not a dead key component.
+        assert cky("""
+            class Flow:
+                def __init__(self, kernel):
+                    self.kernel = kernel
+                    self.engine = Engine(kernel=self.kernel)
+                def _cache_key(self):
+                    return content_key({"kernel": self.kernel})
+                def characterize(self):
+                    return self.engine.run()
+        """, specs=(CacheKeySpec(
+            class_name="Flow",
+            producers=("characterize",),
+            key_methods=("_cache_key",),
+            allowed=frozenset({"engine"}),
+        ),)) == []
+
+    def test_versioned_content_key_is_clean(self):
+        assert cky("""
+            def key(payload):
+                return content_key(payload)
+        """) == []
+
+    def test_unlisted_class_is_ignored(self):
+        assert cky("""
+            class Other:
+                def _cache_key(self):
+                    return content_key({"seed": self.seed})
+                def characterize(self):
+                    return run(self.whatever)
+        """) == []
+
+
+class TestCkyOnRealTree:
+    def test_delay_calibration_flow_is_complete(self):
+        import repro.core.flow as flow_mod
+        from pathlib import Path
+
+        source = Path(flow_mod.__file__).read_text()
+        diags = check_module(ast.parse(source), "repro/core/flow.py")
+        assert diags == [], [d.render() for d in diags]

@@ -1,0 +1,105 @@
+"""DET0xx determinism-taint fixtures: ≥3 true/false positives each way."""
+
+import textwrap
+
+from repro.lint.flowgraph import lint_module_deep
+
+
+def deep(code: str):
+    return lint_module_deep(textwrap.dedent(code), rel_path="repro/fake.py")
+
+
+class TestDetTruePositives:
+    def test_wallclock_into_cached_payload_via_container(self):
+        report = deep("""
+            import time
+            def store(cache, key, payload):
+                doc = {"payload": payload}
+                doc["at"] = time.time()
+                cache.put("charac", key, doc)
+        """)
+        assert "DET002" in report.rule_ids()
+
+    def test_env_read_into_cache_key(self):
+        report = deep("""
+            import os
+            def key_of(payload):
+                tag = os.environ.get("MY_TAG", "")
+                return content_key({"payload": payload, "tag": tag})
+        """)
+        assert "DET003" in report.rule_ids()
+
+    def test_unseeded_rng_into_journal_event(self):
+        report = deep("""
+            import numpy as np
+            def log_sample(journal):
+                rng = np.random.default_rng()
+                journal.event("sample", value=float(rng.normal()))
+        """)
+        assert "DET001" in report.rule_ids()
+
+    def test_set_iteration_order_into_cached_payload(self):
+        report = deep("""
+            def store(cache, key, names):
+                uniq = set(names)
+                doc = {"names": [n for n in uniq]}
+                cache.put("charac", key, doc)
+        """)
+        assert "DET004" in report.rule_ids()
+
+    def test_wallclock_into_hash(self):
+        report = deep("""
+            import time, hashlib
+            def key():
+                stamp = time.time()
+                return hashlib.sha256(str(stamp).encode()).hexdigest()
+        """)
+        assert "DET002" in report.rule_ids()
+
+
+class TestDetTrueNegatives:
+    def test_sorted_set_is_sanitized(self):
+        report = deep("""
+            def store(cache, key, names):
+                uniq = set(names)
+                doc = {"names": sorted(uniq)}
+                cache.put("charac", key, doc)
+        """)
+        assert report.rule_ids() == []
+
+    def test_seeded_rng_is_deterministic(self):
+        report = deep("""
+            import numpy as np
+            def log_sample(journal, seed):
+                rng = np.random.default_rng(seed)
+                journal.event("sample", value=float(rng.normal()))
+        """)
+        assert report.rule_ids() == []
+
+    def test_perf_counter_is_not_wallclock(self):
+        report = deep("""
+            import time
+            def store(cache, key, payload):
+                t0 = time.perf_counter()
+                cache.put("charac", key, {"payload": payload})
+                return time.perf_counter() - t0
+        """)
+        assert report.rule_ids() == []
+
+    def test_env_read_not_flowing_to_sink(self):
+        report = deep("""
+            import os
+            def workers():
+                return int(os.environ.get("REPRO_WORKERS", "1"))
+        """)
+        assert report.rule_ids() == []
+
+    def test_taint_does_not_leak_across_rebinding(self):
+        report = deep("""
+            import time
+            def store(cache, key, payload):
+                stamp = time.time()
+                stamp = 0.0
+                cache.put("charac", key, {"payload": payload, "at": stamp})
+        """)
+        assert report.rule_ids() == []

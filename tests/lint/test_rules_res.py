@@ -1,0 +1,134 @@
+"""RES0xx resource-lifecycle fixtures (path- and exception-sensitive)."""
+
+import ast
+import textwrap
+
+from repro.lint.flowgraph.rules_res import check_module
+
+
+def res(code: str):
+    tree = ast.parse(textwrap.dedent(code))
+    return [(d.rule_id, d.line) for d in check_module(tree, "fake.py")]
+
+
+class TestResTruePositives:
+    def test_bank_never_closed(self):
+        diags = res("""
+            def fan_out(payload):
+                bank = SharedPayloadBank.publish(payload)
+                use(bank)
+                return 1
+        """)
+        assert diags == [("RES001", 3)]
+
+    def test_bank_close_not_on_exception_path(self):
+        # close() is reached on the normal path only: if use() raises,
+        # the segment leaks. The whole point of the CFG's exception
+        # edges.
+        diags = res("""
+            def fan_out(payload):
+                bank = SharedPayloadBank.publish(payload)
+                use(bank)
+                bank.close()
+        """)
+        assert diags == [("RES001", 3)]
+
+    def test_mkstemp_never_unlinked(self):
+        diags = res("""
+            import tempfile
+            def write():
+                fd, tmp = tempfile.mkstemp()
+                fill(fd)
+        """)
+        assert diags == [("RES002", 4)]
+
+    def test_journal_never_closed(self):
+        diags = res("""
+            def run(path):
+                j = RunJournal(path)
+                j.event("run_start")
+        """)
+        assert diags == [("RES003", 3)]
+
+
+class TestResTrueNegatives:
+    def test_with_statement_releases(self):
+        assert res("""
+            def fan_out(payload):
+                with SharedPayloadBank.publish(payload) as bank:
+                    use(bank)
+        """) == []
+
+    def test_try_finally_covers_exception_paths(self):
+        assert res("""
+            def fan_out(payload):
+                bank = SharedPayloadBank.publish(payload)
+                try:
+                    use(bank)
+                finally:
+                    bank.close()
+        """) == []
+
+    def test_guarded_release_in_finally(self):
+        assert res("""
+            def fan_out(payload):
+                bank = SharedPayloadBank.publish(payload)
+                try:
+                    use(bank)
+                finally:
+                    if bank is not None:
+                        bank.close()
+        """) == []
+
+    def test_ownership_escape_via_return_and_attribute(self):
+        assert res("""
+            def make(payload):
+                bank = SharedPayloadBank.publish(payload)
+                return bank
+            def keep(self, payload):
+                bank = SharedPayloadBank.publish(payload)
+                self.bank = bank
+            def collect(banks, payload):
+                b = SharedPayloadBank.publish(payload)
+                banks.append(b)
+        """) == []
+
+    def test_atomic_write_idiom_is_clean(self):
+        # The cache's mkstemp/replace/finally-unlink pattern.
+        assert res("""
+            import tempfile, os
+            def put(path, payload):
+                fd, tmp_name = tempfile.mkstemp()
+                try:
+                    with os.fdopen(fd, "w") as fh:
+                        fh.write(payload)
+                    os.replace(tmp_name, path)
+                    return path
+                finally:
+                    try:
+                        os.unlink(tmp_name)
+                    except OSError:
+                        pass
+        """) == []
+
+    def test_journal_as_context_manager(self):
+        assert res("""
+            def run(path):
+                with RunJournal(path) as j:
+                    j.event("run_start")
+        """) == []
+
+
+class TestResOnRealTree:
+    def test_shipped_package_has_no_lifecycle_errors(self):
+        from pathlib import Path
+        import repro
+
+        root = Path(repro.__file__).parent
+        diags = []
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            tree = ast.parse(path.read_text())
+            diags.extend(check_module(tree, str(path)))
+        assert diags == [], [d.render() for d in diags]

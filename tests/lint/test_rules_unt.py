@@ -1,0 +1,128 @@
+"""UNT0xx unit-dimension inference fixtures."""
+
+import ast
+import textwrap
+
+from repro.lint.flowgraph.rules_unt import check_module
+
+
+def unt(code: str):
+    tree = ast.parse(textwrap.dedent(code))
+    return [(d.rule_id, d.line) for d in check_module(tree, "fake.py")]
+
+
+class TestUntTruePositives:
+    def test_time_plus_capacitance(self):
+        diags = unt("""
+            from repro.units import PS, FF
+            def f():
+                slew = 20 * PS
+                load = 5 * FF
+                return slew + load
+        """)
+        assert diags == [("UNT001", 6)]
+
+    def test_bare_number_added_to_dimensioned(self):
+        diags = unt("""
+            from repro.units import PS
+            def f():
+                delay = 10 * PS
+                return delay + 3
+        """)
+        assert diags == [("UNT001", 5)]
+
+    def test_cross_dimension_comparison(self):
+        diags = unt("""
+            from repro.units import NS, FF
+            def f():
+                t = 1 * NS
+                c = 1 * FF
+                return t < c
+        """)
+        assert diags == [("UNT002", 6)]
+
+    def test_converter_wrong_dimension(self):
+        diags = unt("""
+            from repro.units import FF, to_ps
+            def f():
+                cap = 2 * FF
+                return to_ps(cap)
+        """)
+        assert diags == [("UNT003", 5)]
+
+    def test_augmented_assignment_mixes_dimensions(self):
+        diags = unt("""
+            from repro.units import PS, FF
+            def f():
+                acc = 3 * PS
+                acc += 2 * FF
+                return acc
+        """)
+        assert diags == [("UNT001", 5)]
+
+
+class TestUntTrueNegatives:
+    def test_rc_product_is_time(self):
+        # Ohm x Farad = seconds: the Elmore idiom must stay silent.
+        assert unt("""
+            from repro.units import OHM, FF, PS
+            def f():
+                r = 100 * OHM
+                c = 4 * FF
+                tau = r * c
+                return tau + 7 * PS
+        """) == []
+
+    def test_zero_is_polymorphic(self):
+        assert unt("""
+            from repro.units import PS
+            def f():
+                acc = 0.0
+                acc += 5 * PS
+                return acc
+        """) == []
+
+    def test_unknown_operands_stay_silent(self):
+        assert unt("""
+            from repro.units import PS
+            def f(x, n):
+                return x + n * PS if x else n * PS
+        """) == []
+
+    def test_same_dimension_add(self):
+        assert unt("""
+            from repro.units import PS, NS
+            def f():
+                return 2 * PS + 1 * NS
+        """) == []
+
+    def test_conversion_division_idiom(self):
+        # delay / PS is the to_ps idiom; its result is a plain number.
+        assert unt("""
+            from repro.units import PS
+            def f(total):
+                ps_val = total / PS
+                return ps_val + 1
+        """) == []
+
+    def test_module_without_units_import_is_silent(self):
+        # Names like PS from some other library carry no dimension.
+        assert unt("""
+            def f(PS, FF):
+                return 2 * PS + 1 * FF
+        """) == []
+
+
+class TestUntOnRealTree:
+    def test_shipped_package_has_no_dimension_errors(self):
+        from pathlib import Path
+        import repro
+
+        root = Path(repro.__file__).parent
+        diags = []
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            tree = ast.parse(path.read_text())
+            diags.extend(check_module(tree, str(path)))
+        assert diags == [], [d.render() for d in diags]
