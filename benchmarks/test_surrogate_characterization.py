@@ -1,0 +1,186 @@
+"""Active-learning surrogate characterization: cost vs accuracy.
+
+Dense characterization simulates every (slew, load) grid point; the GP
+surrogate (:mod:`repro.surrogate`) simulates a seed design plus
+acquisition-chosen points and predicts the rest. This benchmark runs
+both on a paper-fidelity grid density (8x8, vs the quick default 5x6)
+and records:
+
+- Monte-Carlo grid-point evaluations, dense vs surrogate (the headline:
+  the surrogate must cut simulations >= ``MIN_REDUCTION``x to pass, and
+  targets >= 5x with the benchmark config);
+- wall-clock characterization time for both paths;
+- accuracy of the predicted entries against the dense reference, per
+  moment and sigma-level quantile (fraction of each surface's range —
+  the same normalization the surrogate's own budgets use).
+
+Results land in ``benchmarks/results/BENCH_surrogate_characterization.json``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import N_CHARAC, record_result
+from repro.cells.characterize import ArcCharacterizer, characterize_library
+from repro.cells.library import build_default_library
+from repro.perf import PerfCounters
+from repro.spice.montecarlo import MonteCarloEngine
+from repro.surrogate import SurrogateConfig
+from repro.units import FF, PS
+from repro.variation.parameters import Technology, VariationModel
+
+#: CI gate: the sweep fails if the surrogate saves less than this.
+MIN_REDUCTION = 3.0
+#: The configured target (max_points=12 on an 8x8 grid -> 64/12 = 5.3x).
+TARGET_REDUCTION = 5.0
+
+#: Paper-fidelity grid density over the quick-default ranges.
+SURR_SLEWS = tuple(np.geomspace(10 * PS, 300 * PS, 8))
+SURR_LOADS = tuple(np.geomspace(0.1 * FF, 20 * FF, 8))
+SURR_CELLS = ["INVx1", "NAND2x1"]
+N_SAMPLES = max(200, N_CHARAC // 3)
+
+#: Benchmark surrogate config: a lean seed design plus acquisition up
+#: to 12 real points per 64-point arc (>= 5.3x reduction by
+#: construction; accuracy asserted below).
+SURR_CONFIG = SurrogateConfig(n_seed=4, max_points=12)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    tech = Technology()
+    library = build_default_library(tech)
+    results = {}
+    for mode, surrogate in (("dense", None), ("surrogate", SURR_CONFIG)):
+        charz = ArcCharacterizer(
+            MonteCarloEngine(tech, VariationModel(), seed=2023)
+        )
+        t0 = time.perf_counter()
+        charac = characterize_library(
+            charz, library, cells=SURR_CELLS, n_samples=N_SAMPLES,
+            slews=SURR_SLEWS, loads=SURR_LOADS, surrogate=surrogate,
+        )
+        results[mode] = {
+            "wall_s": time.perf_counter() - t0,
+            "charac": charac,
+            "perf": charz.engine.perf,
+        }
+    return results
+
+
+def _arc_stats(sweep):
+    dense = sweep["dense"]["charac"]
+    surro = sweep["surrogate"]["charac"]
+    arcs = []
+    for key, table in surro.tables.items():
+        ref = dense.tables[key]
+        prov = table.provenance or {}
+        n_grid = int(table.moments[..., 0].size)
+        n_sim = int(prov.get("n_simulated", n_grid))
+        surfaces = {
+            "mu": (table.moments[..., 0], ref.moments[..., 0]),
+            "sigma": (table.moments[..., 1], ref.moments[..., 1]),
+            "out_slew": (table.out_slew, ref.out_slew),
+            "q+3": (table.quantiles[..., -1], ref.quantiles[..., -1]),
+            "q-3": (table.quantiles[..., 0], ref.quantiles[..., 0]),
+        }
+        errors = {
+            name: float(np.abs(got - want).max() / max(np.ptp(want), 1e-30))
+            for name, (got, want) in surfaces.items()
+        }
+        arcs.append({
+            "arc": "/".join(key),
+            "n_grid": n_grid,
+            "n_simulated": n_sim,
+            "reduction": n_grid / n_sim,
+            "converged": bool(prov.get("converged", False)),
+            "fallback": prov.get("fallback"),
+            "max_err_rel_range": errors,
+        })
+    return arcs
+
+
+class TestSurrogateCharacterization:
+    def test_simulation_reduction_and_accuracy(self, sweep):
+        arcs = _arc_stats(sweep)
+        assert arcs, "no arcs characterized"
+
+        total_grid = sum(a["n_grid"] for a in arcs)
+        total_sim = sum(a["n_simulated"] for a in arcs)
+        reduction = total_grid / total_sim
+        dense_wall = sweep["dense"]["wall_s"]
+        surro_wall = sweep["surrogate"]["wall_s"]
+
+        print(f"\nSurrogate characterization — {len(arcs)} arcs, "
+              f"{total_grid} grid points")
+        print(f"  MC evaluations: dense {total_grid} vs surrogate "
+              f"{total_sim} ({reduction:.1f}x fewer; target "
+              f">= {TARGET_REDUCTION:.0f}x, gate >= {MIN_REDUCTION:.0f}x)")
+        print(f"  wall: dense {dense_wall:.1f}s vs surrogate "
+              f"{surro_wall:.1f}s ({dense_wall / surro_wall:.1f}x)")
+        for a in arcs:
+            errs = ", ".join(
+                f"{k} {100 * v:.1f}%" for k, v in a["max_err_rel_range"].items()
+            )
+            print(f"  {a['arc']}: {a['n_simulated']}/{a['n_grid']} points "
+                  f"({a['reduction']:.1f}x), max err of range: {errs}")
+
+        record_result("BENCH_surrogate_characterization", {
+            "n_samples": N_SAMPLES,
+            "grid": [len(SURR_SLEWS), len(SURR_LOADS)],
+            "cells": SURR_CELLS,
+            "config": SURR_CONFIG.identity(),
+            "dense_points": total_grid,
+            "surrogate_points": total_sim,
+            "reduction": reduction,
+            "target_reduction": TARGET_REDUCTION,
+            "min_reduction_gate": MIN_REDUCTION,
+            "dense_wall_s": dense_wall,
+            "surrogate_wall_s": surro_wall,
+            "arcs": arcs,
+        })
+
+        # CI gate: the surrogate must actually save simulations...
+        assert reduction >= MIN_REDUCTION, (
+            f"surrogate reduced simulations only {reduction:.2f}x "
+            f"(< {MIN_REDUCTION}x gate)"
+        )
+        # ...without giving up table accuracy. Bounds are relative to
+        # each surface's range and sized to the Monte-Carlo estimator
+        # noise a dense table carries at this sample count.
+        for a in arcs:
+            assert a["fallback"] is None, (
+                f"{a['arc']} fell back to dense ({a['fallback']}); "
+                f"no reduction measured"
+            )
+            errs = a["max_err_rel_range"]
+            assert errs["mu"] < 0.12, (a["arc"], errs)
+            assert errs["sigma"] < 0.30, (a["arc"], errs)
+            assert errs["out_slew"] < 0.20, (a["arc"], errs)
+            assert errs["q+3"] < 0.25, (a["arc"], errs)
+            assert errs["q-3"] < 0.25, (a["arc"], errs)
+
+    def test_simulated_points_bit_identical_to_dense(self, sweep):
+        dense = sweep["dense"]["charac"]
+        surro = sweep["surrogate"]["charac"]
+        for key, table in surro.tables.items():
+            ref = dense.tables[key]
+            for (i, j) in (tuple(p) for p in table.provenance["simulated"]):
+                assert np.array_equal(table.moments[i, j], ref.moments[i, j])
+                assert np.array_equal(
+                    table.quantiles[i, j], ref.quantiles[i, j]
+                )
+                assert table.out_slew[i, j] == ref.out_slew[i, j]
+
+    def test_perf_counters_attribute_points(self, sweep):
+        perf: PerfCounters = sweep["surrogate"]["perf"]
+        arcs = _arc_stats(sweep)
+        assert perf.points_simulated == sum(a["n_simulated"] for a in arcs)
+        assert perf.points_predicted == sum(
+            a["n_grid"] - a["n_simulated"] for a in arcs
+        )
+        # Per-arc wall/sample attribution is populated for every arc.
+        assert len(perf.arc_samples) == len(arcs)
+        assert all(v > 0 for v in perf.arc_samples.values())

@@ -59,6 +59,39 @@ def fanout_load(cell: Cell, tech, fanout: int = 4) -> float:
     return fanout * cell.max_input_cap(tech)
 
 
+def validate_grid_axes(
+    slews: Sequence[float], loads: Sequence[float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate characterization grid axes at entry.
+
+    Axes must be one-dimensional, non-empty, finite and strictly
+    increasing — a shuffled or duplicated grid would silently produce a
+    mis-ordered table whose bilinear interpolation is garbage, so the
+    old silent ``sorted()`` coercion is now a hard
+    :class:`~repro.errors.CharacterizationError`. Returns the axes as
+    float arrays.
+    """
+    out = []
+    for name, axis in (("slew", slews), ("load", loads)):
+        arr = np.asarray(list(axis), dtype=float)
+        if arr.ndim != 1 or arr.size < 1:
+            raise CharacterizationError(
+                f"{name} grid must be a non-empty 1-D sequence, "
+                f"got shape {arr.shape}"
+            )
+        if not np.isfinite(arr).all():
+            raise CharacterizationError(
+                f"{name} grid contains non-finite values: {arr.tolist()}"
+            )
+        if arr.size > 1 and not np.all(np.diff(arr) > 0):
+            raise CharacterizationError(
+                f"{name} grid must be strictly increasing, "
+                f"got {arr.tolist()}"
+            )
+        out.append(arr)
+    return out[0], out[1]
+
+
 @dataclass
 class CharacterizationTable:
     """Moment/quantile tables of one timing arc over the (slew, load) grid.
@@ -78,6 +111,10 @@ class CharacterizationTable:
         ``(n_slews, n_loads)`` mean 20–80 output transition time.
     n_samples:
         Monte-Carlo samples per grid point.
+    provenance:
+        Surrogate provenance record when the table was produced by
+        active-learning GP characterization (:mod:`repro.surrogate`);
+        ``None`` for dense tables. Validated by lint rules SUR001–003.
     """
 
     cell_name: str
@@ -89,6 +126,7 @@ class CharacterizationTable:
     quantiles: np.ndarray
     out_slew: np.ndarray
     n_samples: int
+    provenance: Optional[dict] = None
 
     def __post_init__(self) -> None:
         self.slews = np.asarray(self.slews, dtype=float)
@@ -251,36 +289,45 @@ class ArcCharacterizer:
         n_samples: int,
         output_rising: bool,
         payload: Optional[SharedPayloadHandle] = None,
+        points: Optional[Sequence[Tuple[int, int]]] = None,
     ) -> List[dict]:
-        """Self-contained task descriptions for every (slew, load) point.
+        """Self-contained task descriptions for (slew, load) grid points.
 
         Each task carries everything a worker process needs to rebuild
         an equivalent engine and simulate one grid point, plus its own
         deterministic seed — see :func:`_characterize_point`. When
         ``payload`` is given, the heavy shared fields travel as that
         shared-memory handle instead of inline objects; results are
-        identical either way.
+        identical either way. ``points`` restricts the fan-out to a
+        subset of grid indices (the surrogate's acquisition batches);
+        a point's seed depends only on its grid indices, so a subset
+        task is bit-identical to the same point in a full dense sweep.
         """
         edge = "rise" if output_rising else "fall"
         shared = self.arc_payload(cell, pin) if payload is None else None
+        if points is None:
+            indices: Iterable[Tuple[int, int]] = (
+                (i, j) for i in range(len(slews)) for j in range(len(loads))
+            )
+        else:
+            indices = [(int(i), int(j)) for i, j in points]
         tasks = []
-        for i, s in enumerate(slews):
-            for j, c in enumerate(loads):
-                task = {
-                    "seed": task_seed(self.engine.seed, cell.name, pin, edge, i, j),
-                    "output_rising": output_rising,
-                    "slew": float(s),
-                    "load": float(c),
-                    "n_samples": n_samples,
-                    "arc": (cell.name, pin, edge),
-                    "i": i,
-                    "j": j,
-                }
-                if payload is not None:
-                    task["bank"] = payload
-                else:
-                    task.update(shared)
-                tasks.append(task)
+        for i, j in indices:
+            task = {
+                "seed": task_seed(self.engine.seed, cell.name, pin, edge, i, j),
+                "output_rising": output_rising,
+                "slew": float(slews[i]),
+                "load": float(loads[j]),
+                "n_samples": n_samples,
+                "arc": (cell.name, pin, edge),
+                "i": i,
+                "j": j,
+            }
+            if payload is not None:
+                task["bank"] = payload
+            else:
+                task.update(shared)
+            tasks.append(task)
         return tasks
 
     def characterize(
@@ -299,8 +346,7 @@ class ArcCharacterizer:
         :func:`repro.parallel.parallel_map`); results are independent of
         worker count.
         """
-        slews = np.asarray(sorted(slews), dtype=float)
-        loads = np.asarray(sorted(loads), dtype=float)
+        slews, loads = validate_grid_axes(slews, loads)
         bank = None
         if resolve_workers(workers) > 1:
             bank = SharedPayloadBank.publish(self.arc_payload(cell, pin))
@@ -414,6 +460,7 @@ def arc_cache_payload(
     slews: np.ndarray,
     loads: np.ndarray,
     n_samples: int,
+    surrogate=None,
 ) -> dict:
     """Content-hash payload identifying one arc characterization.
 
@@ -424,8 +471,13 @@ def arc_cache_payload(
     its values, and :func:`repro.cache.content_key` further salts the
     digest with the package version, so swapping in a different model
     class or upgrading the code also invalidates stale tables.
+
+    ``surrogate`` (a :class:`repro.surrogate.SurrogateConfig`) is salted
+    in *only when enabled*, so dense-mode keys are bit-identical to
+    pre-surrogate releases and a surrogate table can never shadow a
+    dense one (or vice versa).
     """
-    return {
+    payload = {
         "tech": asdict(engine.tech),
         "variation": asdict(engine.variation),
         "variation_model": type(engine.variation).__qualname__,
@@ -441,6 +493,9 @@ def arc_cache_payload(
         "loads": [float(c) for c in loads],
         "n_samples": n_samples,
     }
+    if surrogate is not None and getattr(surrogate, "enabled", False):
+        payload["surrogate"] = surrogate.identity()
+    return payload
 
 
 @dataclass
@@ -542,6 +597,7 @@ def characterize_library(
     task_timeout: Optional[float] = None,
     quarantine_budget: Optional[int] = 0,
     journal=None,
+    surrogate=None,
 ) -> LibraryCharacterization:
     """Characterize many arcs of a library in one sweep.
 
@@ -588,14 +644,23 @@ def characterize_library(
     journal:
         Optional :class:`~repro.journal.RunJournal` receiving task,
         checkpoint and quarantine events.
+    surrogate:
+        Optional :class:`repro.surrogate.SurrogateConfig` switching
+        arcs to active-learning GP characterization
+        (:mod:`repro.surrogate`): a few real grid points are simulated,
+        the rest are GP posterior means, and any arc whose
+        cross-validation residual breaches the budget automatically
+        falls back to the full dense grid. ``None`` (the default) is
+        the dense path, bit-identical to previous releases.
     """
     from repro.cells.liberty import table_from_dict, table_to_dict
     from repro.errors import CharacterizationError
     from repro.lint import lint_characterization
 
+    if surrogate is not None and not getattr(surrogate, "enabled", True):
+        surrogate = None
     out = LibraryCharacterization()
-    slews_arr = np.asarray(sorted(slews), dtype=float)
-    loads_arr = np.asarray(sorted(loads), dtype=float)
+    slews_arr, loads_arr = validate_grid_axes(slews, loads)
     names = list(cells) if cells is not None else library.names
     pending: List[Tuple[Cell, str, bool, Optional[str]]] = []
     for name in names:
@@ -610,6 +675,7 @@ def characterize_library(
                         arc_cache_payload(
                             characterizer.engine, cell, pin, rising,
                             slews_arr, loads_arr, n_samples,
+                            surrogate=surrogate,
                         )
                     )
                     if resume:
@@ -624,6 +690,18 @@ def characterize_library(
                                 )
                             continue
                 pending.append((cell, pin, rising, key))
+
+    if surrogate is not None:
+        # Active-learning surrogate path: arcs run sequentially, each
+        # fanning its acquisition batches over the worker pool. Tables,
+        # checkpoints and quarantines land in ``out`` exactly as the
+        # dense path's would; the dense machinery below then no-ops.
+        _surrogate_characterize_pending(
+            characterizer, pending, slews_arr, loads_arr, n_samples,
+            workers, cache, surrogate, out, max_retries, task_timeout,
+            journal,
+        )
+        pending = []
 
     # Pooled runs publish each arc's heavy payload once in shared
     # memory; serial runs keep direct object references (no pickling at
@@ -676,6 +754,15 @@ def characterize_library(
 
     def _on_point(index: int, res: dict) -> None:
         arc_key = tuple(res["arc"])
+        if perf is not None:
+            # Per-arc wall-time / sample attribution: the point's own
+            # engine already timed its "simulate" stage.
+            point_wall = res.get("perf", {}).get("wall_s", {})
+            perf.add_arc(
+                "/".join(str(p) for p in arc_key),
+                wall_s=float(point_wall.get("simulate", 0.0)),
+                samples=int(res.get("n_samples", n_samples)),
+            )
         bucket = collected.setdefault(arc_key, [])
         bucket.append(res)
         if len(bucket) == points_per_arc:
@@ -695,6 +782,7 @@ def characterize_library(
     for res in results:
         if res is not None and perf is not None:
             perf.merge(PerfCounters.from_dict(res["perf"]))
+            perf.incr(points_simulated=1)
 
     # Map failed points onto their arcs: one structured diagnostic per
     # quarantined arc, however many of its points failed.
@@ -745,3 +833,145 @@ def characterize_library(
         CharacterizationError, context="characterized library"
     )
     return out
+
+
+class _ArcPointFailure(Exception):
+    """A surrogate acquisition point exhausted its retry budget."""
+
+    def __init__(self, task: QuarantinedTask, n_failed: int):
+        super().__init__(task.message)
+        self.task = task
+        self.n_failed = n_failed
+
+
+def _surrogate_characterize_pending(
+    characterizer: ArcCharacterizer,
+    pending: List[Tuple[Cell, str, bool, Optional[str]]],
+    slews_arr: np.ndarray,
+    loads_arr: np.ndarray,
+    n_samples: int,
+    workers: Optional[int],
+    cache: Optional[JsonCache],
+    config,
+    out: LibraryCharacterization,
+    max_retries: int,
+    task_timeout: Optional[float],
+    journal,
+) -> None:
+    """Characterize pending arcs with the active-learning surrogate.
+
+    One arc at a time: the acquisition loop
+    (:func:`repro.surrogate.active.run_active_learning`) decides which
+    grid points get a real Monte-Carlo run; each batch fans out over the
+    worker pool with the same retry policy as the dense path. A point
+    that exhausts its retries quarantines the whole arc. Fallback arcs
+    (cross-validation breach, tiny grid) simulate their remaining
+    points — simulated points reuse their dense per-point seeds, so a
+    fully-fallen-back arc is bit-identical to a dense run of it.
+    Finished tables (with provenance) are checkpointed immediately,
+    exactly like dense arcs.
+    """
+    from repro.cells.liberty import table_to_dict
+    from repro.lint import lint_characterization
+    from repro.surrogate.active import run_active_learning
+
+    engine = characterizer.engine
+    perf = getattr(engine, "perf", None)
+    policy = RetryPolicy(max_retries=max_retries, task_timeout=task_timeout)
+    n_grid = slews_arr.size * loads_arr.size
+
+    # Reference-condition grid index (forced into the seed design so the
+    # Eq. 2/3 calibration anchor is always real data), when on-grid.
+    reference = None
+    ref_i = np.where(np.isclose(slews_arr, REFERENCE_SLEW))[0]
+    ref_j = np.where(np.isclose(loads_arr, REFERENCE_LOAD))[0]
+    if ref_i.size and ref_j.size:
+        reference = (int(ref_i[0]), int(ref_j[0]))
+
+    for cell, pin, rising, key in pending:
+        edge = "rise" if rising else "fall"
+        arc_key = (cell.name, pin, edge)
+        arc_label = "/".join(arc_key)
+        quarantined: List[QuarantinedTask] = []
+
+        def runner(points, _cell=cell, _pin=pin, _rising=rising,
+                   _label=arc_label, _q=quarantined):
+            tasks = characterizer.point_tasks(
+                _cell, _pin, slews_arr, loads_arr, n_samples, _rising,
+                points=points,
+            )
+            labels = [f"{_label}[{t['i']},{t['j']}]" for t in tasks]
+            results = parallel_map(
+                _characterize_point, tasks, workers=workers, policy=policy,
+                quarantine=_q, journal=journal, labels=labels, perf=perf,
+            )
+            if _q:
+                raise _ArcPointFailure(_q[0], len(_q))
+            records = {}
+            for res in results:
+                if perf is not None:
+                    point_perf = PerfCounters.from_dict(res["perf"])
+                    perf.merge(point_perf)
+                    perf.add_arc(
+                        _label,
+                        wall_s=point_perf.wall_s.get("simulate", 0.0),
+                        samples=n_samples,
+                    )
+                records[(res["i"], res["j"])] = res
+            return records
+
+        seed = task_seed(engine.seed, "surrogate", cell.name, pin, edge)
+        try:
+            res = run_active_learning(
+                slews_arr, loads_arr, runner, seed=seed, config=config,
+                reference=reference, n_samples=n_samples, journal=journal,
+                arc=list(arc_key),
+            )
+            if res.fallback is not None:
+                # Dense per-arc fallback: simulate whatever the loop did
+                # not; already-simulated points are reused, not re-run.
+                remaining = [
+                    (i, j)
+                    for i in range(slews_arr.size)
+                    for j in range(loads_arr.size)
+                    if (i, j) not in res.point_records
+                ]
+                records = dict(res.point_records)
+                if remaining:
+                    records.update(runner(remaining))
+                table = _assemble_table(
+                    cell.name, pin, rising, slews_arr, loads_arr,
+                    n_samples, list(records.values()),
+                )
+                if res.provenance:
+                    table.provenance = res.provenance
+                if perf is not None:
+                    perf.incr(points_simulated=n_grid)
+            else:
+                table = CharacterizationTable(
+                    cell_name=cell.name, pin=pin, output_rising=rising,
+                    slews=slews_arr, loads=loads_arr, moments=res.moments,
+                    quantiles=res.quantiles, out_slew=res.out_slew,
+                    n_samples=n_samples, provenance=res.provenance,
+                )
+                if perf is not None:
+                    perf.incr(
+                        points_simulated=len(res.simulated),
+                        points_predicted=n_grid - len(res.simulated),
+                    )
+        except _ArcPointFailure as exc:
+            record = QuarantinedArc(
+                cell_name=cell.name, pin=pin, edge=edge,
+                error_type=exc.task.error_type, message=exc.task.message,
+                attempts=exc.task.attempts, failed_points=exc.n_failed,
+            )
+            out.quarantined.append(record)
+            if journal is not None:
+                journal.event("arc_quarantine", **record.as_dict())
+            continue
+        out.put(table)
+        if cache is not None and key is not None:
+            if lint_characterization(table).ok:
+                cache.put("arc", key, table_to_dict(table))
+                if journal is not None:
+                    journal.event("checkpoint", key=key, arc=list(arc_key))

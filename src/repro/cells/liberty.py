@@ -32,7 +32,7 @@ FORMAT_VERSION = 1
 
 def table_to_dict(table: CharacterizationTable) -> dict:
     """One arc table as a plain-JSON record (inverse of :func:`table_from_dict`)."""
-    return {
+    record = {
         "cell": table.cell_name,
         "pin": table.pin,
         "edge": "rise" if table.output_rising else "fall",
@@ -47,6 +47,11 @@ def table_to_dict(table: CharacterizationTable) -> dict:
         "quantiles": table.quantiles.tolist(),
         "out_slew": table.out_slew.tolist(),
     }
+    # Dense tables keep the historical record layout bit-for-bit; the
+    # key exists only on surrogate-produced tables (lint rule SUR003).
+    if table.provenance is not None:
+        record["provenance"] = table.provenance
+    return record
 
 
 def table_from_dict(data: dict) -> CharacterizationTable:
@@ -66,6 +71,7 @@ def table_from_dict(data: dict) -> CharacterizationTable:
             quantiles=np.asarray(data["quantiles"]),
             out_slew=np.asarray(data["out_slew"]),
             n_samples=int(data["n_samples"]),
+            provenance=data.get("provenance"),
         )
     except KeyError as exc:
         raise CharacterizationError(f"malformed table record: missing {exc}") from exc
@@ -82,6 +88,10 @@ def save_library_characterization(
         "version": FORMAT_VERSION,
         "tables": [table_to_dict(t) for t in charac.tables.values()],
     }
+    if any(t.provenance is not None for t in charac.tables.values()):
+        # Top-level marker so readers (and lint) need not scan every
+        # table to learn that surrogate data is present.
+        doc["surrogate"] = True
     if charac.quarantined:
         doc["quarantined"] = [q.as_dict() for q in charac.quarantined]
     with path.open("w") as fh:

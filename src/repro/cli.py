@@ -54,6 +54,12 @@ def _add_flow_args(parser: argparse.ArgumentParser) -> None:
                              "cnative, numba or auto (default: $REPRO_KERNEL "
                              "or numpy; unavailable backends fall back with "
                              "a warning)")
+    parser.add_argument("--surrogate", default=None,
+                        help="characterization surrogate: 'gp' enables "
+                             "active-learning GP characterization (simulate "
+                             "a few grid points, predict the rest), 'off' "
+                             "forces dense (default: $REPRO_SURROGATE or "
+                             "dense)")
     parser.add_argument("--perf", action="store_true",
                         help="print solver/stage performance counters")
     parser.add_argument("--max-retries", type=int, default=0,
@@ -109,6 +115,7 @@ def _make_flow(args):
         resume=args.resume,
         journal=args.journal or None,
         kernel=getattr(args, "kernel", None),
+        surrogate=getattr(args, "surrogate", None),
         **extra,
     )
 

@@ -112,6 +112,14 @@ class DelayCalibrationFlow:
         ``REPRO_KERNEL`` env var, defaulting to the golden ``numpy``
         reference. The choice travels to worker processes and is part
         of every cache key.
+    surrogate:
+        Active-learning surrogate characterization
+        (:mod:`repro.surrogate`): a
+        :class:`~repro.surrogate.SurrogateConfig`, a mode string
+        (``"gp"`` / ``"off"``), or ``None`` to read the
+        ``REPRO_SURROGATE`` env var (unset = dense, the default). When
+        enabled, its configuration is salted into every cache key; when
+        off, keys are bit-identical to pre-surrogate releases.
 
     Attributes
     ----------
@@ -143,9 +151,11 @@ class DelayCalibrationFlow:
         resume: bool = True,
         journal=None,
         kernel: Optional[str] = None,
+        surrogate=None,
     ):
         from repro.journal import RunJournal
         from repro.spice.montecarlo import MonteCarloEngine
+        from repro.surrogate import resolve_surrogate
 
         self.tech = tech or Technology()
         self.variation = variation or VariationModel()
@@ -166,6 +176,7 @@ class DelayCalibrationFlow:
         self.quarantine_budget = quarantine_budget
         self.resume = resume
         self.kernel = kernel
+        self.surrogate = resolve_surrogate(surrogate)
         self.engine = MonteCarloEngine(
             self.tech, self.variation, seed=self.seed, kernel=self.kernel
         )
@@ -184,23 +195,25 @@ class DelayCalibrationFlow:
         from repro import __version__
         from repro.kernels import backend_identity
 
-        payload = json.dumps(
-            {
-                "repro_version": __version__,
-                "kernel": backend_identity(self.kernel),
-                "variation_model": type(self.variation).__qualname__,
-                "tech": asdict(self.tech),
-                "variation": asdict(self.variation),
-                "seed": self.seed,
-                "n_samples": self.n_samples,
-                "slews": self.slews,
-                "loads": self.loads,
-                "cells": self.cell_names,
-                "both_edges": self.both_edges,
-                "wire_fit": [self.wire_fit_samples, self.wire_fit_trees],
-            },
-            sort_keys=True,
-        )
+        doc = {
+            "repro_version": __version__,
+            "kernel": backend_identity(self.kernel),
+            "variation_model": type(self.variation).__qualname__,
+            "tech": asdict(self.tech),
+            "variation": asdict(self.variation),
+            "seed": self.seed,
+            "n_samples": self.n_samples,
+            "slews": self.slews,
+            "loads": self.loads,
+            "cells": self.cell_names,
+            "both_edges": self.both_edges,
+            "wire_fit": [self.wire_fit_samples, self.wire_fit_trees],
+        }
+        # Salted in only when enabled: dense-mode keys must stay
+        # bit-identical to pre-surrogate releases.
+        if self.surrogate is not None:
+            doc["surrogate"] = self.surrogate.identity()
+        payload = json.dumps(doc, sort_keys=True)
         return hashlib.md5(payload.encode()).hexdigest()[:16]
 
     def _cache_path(self, kind: str) -> Optional[Path]:
@@ -250,6 +263,10 @@ class DelayCalibrationFlow:
                 cells=list(self.cell_names), workers=self.workers,
                 max_retries=self.max_retries, task_timeout=self.task_timeout,
                 quarantine_budget=self.quarantine_budget, resume=self.resume,
+                surrogate=(
+                    self.surrogate.identity()
+                    if self.surrogate is not None else None
+                ),
             )
         try:
             with self.perf.timer("characterize"):
@@ -268,6 +285,7 @@ class DelayCalibrationFlow:
                     task_timeout=self.task_timeout,
                     quarantine_budget=self.quarantine_budget,
                     journal=self.journal,
+                    surrogate=self.surrogate,
                 )
         except BaseException as exc:
             if self.journal is not None:

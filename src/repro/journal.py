@@ -29,7 +29,15 @@ Event vocabulary (the ``event`` field):
     A cached artifact failed to parse and was unlinked (demoted to a
     miss).
 ``perf_snapshot``
-    A :class:`~repro.perf.PerfCounters` dump at a flow stage boundary.
+    A :class:`~repro.perf.PerfCounters` dump at a flow stage boundary
+    (includes per-arc wall time / sample attribution when available).
+``surrogate_fit`` / ``acquisition`` / ``surrogate_fallback``
+    Active-learning surrogate characterization
+    (:mod:`repro.surrogate`): one ``surrogate_fit`` per GP refit round
+    with the per-statistic predicted standard errors, one
+    ``acquisition`` per batch of chosen grid points, and a
+    ``surrogate_fallback`` when an arc reverts to dense simulation
+    (cross-validation breach or a grid too small to save anything).
 
 Timestamps are **monotonic offsets** from journal creation (``t_s``),
 not wall-clock datetimes: the journal must never leak irreproducible
@@ -60,6 +68,9 @@ KNOWN_EVENTS = frozenset({
     "checkpoint_restore",
     "cache_corrupt",
     "perf_snapshot",
+    "surrogate_fit",
+    "acquisition",
+    "surrogate_fallback",
     "note",
 })
 

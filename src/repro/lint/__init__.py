@@ -43,6 +43,7 @@ from repro.lint.domain import (
     lint_nsigma_model,
     lint_rctree,
     lint_spef,
+    lint_surrogate_provenance,
     lint_table,
 )
 from repro.lint.codebase import lint_codebase, lint_source
@@ -76,5 +77,6 @@ __all__ = [
     "lint_rctree",
     "lint_source",
     "lint_spef",
+    "lint_surrogate_provenance",
     "lint_table",
 ]

@@ -185,6 +185,33 @@ register_rule(Rule(
     "the run died or was killed mid-flight; its checkpoints are intact "
     "and the run should be resumed, not silently forgotten",
 ))
+register_rule(Rule(
+    "TBL007", "domain", Severity.ERROR,
+    "non-finite value in a characterization grid axis",
+    "a NaN/inf slew or load index corrupts every interpolation and "
+    "cache key derived from the table",
+))
+register_rule(Rule(
+    "SUR001", "domain", Severity.ERROR,
+    "surrogate cross-validation residual over budget without dense fallback",
+    "the GP's own leave-one-out residuals say its predictions cannot be "
+    "trusted for this arc; the run was required to fall back to dense "
+    "simulation and did not",
+))
+register_rule(Rule(
+    "SUR002", "domain", Severity.WARNING,
+    "surrogate stopped at its point cap before the error budgets converged",
+    "the emitted table honors the cross-validation gate but its "
+    "predicted standard errors still exceed the requested budgets; "
+    "raise the cap or the budgets, or fall back to dense",
+))
+register_rule(Rule(
+    "SUR003", "domain", Severity.ERROR,
+    "surrogate-produced table without a valid provenance record",
+    "a table whose entries are model predictions must say which grid "
+    "points are real simulations and which are inferred; without that, "
+    "downstream audits cannot distinguish data from extrapolation",
+))
 
 #: RCT005 thresholds — far beyond plausible on-chip parasitics.
 ABSURD_RESISTANCE = 10 * MEGOHM
@@ -380,8 +407,16 @@ def lint_table(table, queries: Sequence[Tuple[float, float]] = ()) -> LintReport
     report = LintReport()
     arc = _arc_label(table)
 
-    # TBL003: interpolation assumes strictly ascending axes.
+    # TBL007 / TBL003: axes must be finite and strictly ascending.
     for axis_name, axis in (("slew", table.slews), ("load", table.loads)):
+        if not np.isfinite(axis).all():
+            report.emit(
+                "TBL007",
+                f"arc {arc}: {axis_name} axis contains non-finite values: "
+                f"{axis.tolist()}",
+                artifact=arc,
+            )
+            continue
         if axis.size < 2 or np.any(np.diff(axis) <= 0):
             report.emit(
                 "TBL003",
@@ -389,6 +424,11 @@ def lint_table(table, queries: Sequence[Tuple[float, float]] = ()) -> LintReport
                 f"strictly ascending with >= 2 points",
                 artifact=arc,
             )
+
+    # SUR001–003: surrogate-produced tables must carry a valid
+    # provenance record whose own safety gates were honored.
+    if table.provenance is not None:
+        report.extend(lint_surrogate_provenance(table.provenance, arc))
 
     # TBL001: finiteness of every stored quantity.
     for field_name, grid in (
@@ -468,6 +508,66 @@ def lint_table(table, queries: Sequence[Tuple[float, float]] = ()) -> LintReport
                 f"grid ({'; '.join(outside)})",
                 artifact=arc,
             )
+    return report
+
+
+def lint_surrogate_provenance(provenance, arc: str) -> LintReport:
+    """Validate one surrogate provenance record (``SUR`` rules).
+
+    SUR003 covers structural problems (missing keys, inconsistent point
+    counts); on a structurally valid record, SUR001 fires when the
+    cross-validation gate was breached without the mandated dense
+    fallback, and SUR002 when the acquisition loop hit its point cap
+    before the per-statistic error budgets converged.
+    """
+    from repro.surrogate.active import validate_provenance
+
+    report = LintReport()
+    if not isinstance(provenance, dict):
+        report.emit(
+            "SUR003",
+            f"arc {arc}: surrogate provenance is not a JSON object "
+            f"({type(provenance).__name__})",
+            artifact=arc,
+        )
+        return report
+    problems = validate_provenance(provenance)
+    if problems:
+        report.emit(
+            "SUR003",
+            f"arc {arc}: malformed surrogate provenance: "
+            f"{'; '.join(problems)}",
+            artifact=arc,
+        )
+        return report
+    cv = provenance["cv"]
+    fallback = provenance.get("fallback")
+    try:
+        cv_rel = float(cv["rel"])
+        cv_budget = float(cv["budget"])
+    except (TypeError, ValueError):
+        report.emit(
+            "SUR003",
+            f"arc {arc}: surrogate cv record is not numeric: {cv!r}",
+            artifact=arc,
+        )
+        return report
+    if cv_rel > cv_budget and not fallback:
+        report.emit(
+            "SUR001",
+            f"arc {arc}: surrogate leave-one-out residual "
+            f"{cv_rel:.4f} exceeds the budget {cv_budget:.4f} and the "
+            f"arc did not fall back to dense simulation",
+            artifact=arc,
+        )
+    if not provenance.get("converged") and not fallback:
+        report.emit(
+            "SUR002",
+            f"arc {arc}: surrogate stopped at its point cap "
+            f"({provenance['n_simulated']}/{provenance['n_grid']} points "
+            f"simulated) before the error budgets converged",
+            artifact=arc,
+        )
     return report
 
 
@@ -920,7 +1020,18 @@ def lint_artifact(path) -> LintReport:
         if isinstance(doc, dict) and "tables" in doc:
             from repro.cells.liberty import load_library_characterization
 
-            return lint_characterization(load_library_characterization(path))
+            report = lint_characterization(load_library_characterization(path))
+            if doc.get("surrogate") and not any(
+                isinstance(t, dict) and "provenance" in t
+                for t in doc["tables"]
+            ):
+                report.emit(
+                    "SUR003",
+                    f"{path}: bundle is flagged as surrogate-produced but "
+                    f"no table carries a provenance record",
+                    file=str(path),
+                )
+            return report
         if isinstance(doc, dict) and "nsigma" in doc:
             from repro.core.nsigma_cell import NSigmaCellModel
 

@@ -38,9 +38,17 @@ What is counted and why it matters:
   :mod:`repro.kernels`, keyed ``"<backend>.<primitive>"`` (e.g.
   ``"cnative.solve_stack"``) and counting *sample-primitive* events, so
   backend A/B runs can be compared work-for-work.
+* ``points_simulated`` / ``points_predicted`` — characterization grid
+  points that ran a real Monte-Carlo simulation vs points filled in by
+  the active-learning surrogate (:mod:`repro.surrogate`); their ratio
+  is the headline sim-count reduction of surrogate mode.
 * ``wall_s`` — wall-clock seconds per named stage (``simulate``,
   ``characterize``, ``fit_models``, ``sta_compile``, ``sta_query``,
   ...), accumulated with :meth:`PerfCounters.timer`.
+* ``arc_wall_s`` / ``arc_samples`` — per-arc characterization wall time
+  and Monte-Carlo sample counts (:meth:`PerfCounters.add_arc`), so
+  benchmarks can attribute speedups to fewer simulations rather than
+  kernel variance.
 """
 
 from __future__ import annotations
@@ -75,8 +83,12 @@ class PerfCounters:
     task_retries: int = 0
     task_quarantines: int = 0
     pool_crashes: int = 0
+    points_simulated: int = 0
+    points_predicted: int = 0
     wall_s: Dict[str, float] = field(default_factory=dict)
     kernel_ops: Dict[str, int] = field(default_factory=dict)
+    arc_wall_s: Dict[str, float] = field(default_factory=dict)
+    arc_samples: Dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -111,6 +123,17 @@ class PerfCounters:
         key = f"{backend}.{primitive}"
         with self._lock:
             self.kernel_ops[key] = self.kernel_ops.get(key, 0) + n
+
+    def add_arc(self, arc: str, wall_s: float = 0.0, samples: int = 0) -> None:
+        """Attribute characterization wall time and MC samples to one arc.
+
+        ``arc`` is the ``cell/pin/edge`` label; benchmarks use the
+        per-arc attribution to separate genuine sim-count reductions
+        (fewer grid points simulated) from kernel-speed variance.
+        """
+        with self._lock:
+            self.arc_wall_s[arc] = self.arc_wall_s.get(arc, 0.0) + wall_s
+            self.arc_samples[arc] = self.arc_samples.get(arc, 0) + samples
 
     # ------------------------------------------------------------------
     @property
@@ -160,8 +183,14 @@ class PerfCounters:
         self.task_retries += other.task_retries
         self.task_quarantines += other.task_quarantines
         self.pool_crashes += other.pool_crashes
+        self.points_simulated += other.points_simulated
+        self.points_predicted += other.points_predicted
         for stage, seconds in other.wall_s.items():
             self.add_wall(stage, seconds)
+        for arc, seconds in other.arc_wall_s.items():
+            self.add_arc(arc, wall_s=seconds)
+        for arc, samples in other.arc_samples.items():
+            self.add_arc(arc, samples=samples)
         with self._lock:
             for key, n in other.kernel_ops.items():
                 self.kernel_ops[key] = self.kernel_ops.get(key, 0) + n
@@ -190,8 +219,14 @@ class PerfCounters:
             "task_retries": self.task_retries,
             "task_quarantines": self.task_quarantines,
             "pool_crashes": self.pool_crashes,
+            "points_simulated": self.points_simulated,
+            "points_predicted": self.points_predicted,
             "wall_s": {k: round(v, 4) for k, v in self.wall_s.items()},
             "kernel_ops": dict(sorted(self.kernel_ops.items())),
+            "arc_wall_s": {
+                k: round(v, 4) for k, v in sorted(self.arc_wall_s.items())
+            },
+            "arc_samples": dict(sorted(self.arc_samples.items())),
         }
 
     @classmethod
@@ -217,9 +252,13 @@ class PerfCounters:
             task_retries=int(data.get("task_retries", 0)),
             task_quarantines=int(data.get("task_quarantines", 0)),
             pool_crashes=int(data.get("pool_crashes", 0)),
+            points_simulated=int(data.get("points_simulated", 0)),
+            points_predicted=int(data.get("points_predicted", 0)),
         )
         out.wall_s = {k: float(v) for k, v in data.get("wall_s", {}).items()}
         out.kernel_ops = {k: int(v) for k, v in data.get("kernel_ops", {}).items()}
+        out.arc_wall_s = {k: float(v) for k, v in data.get("arc_wall_s", {}).items()}
+        out.arc_samples = {k: int(v) for k, v in data.get("arc_samples", {}).items()}
         return out
 
     def summary(self) -> str:
@@ -249,6 +288,24 @@ class PerfCounters:
                 f"{self.sta_scenarios} scenarios  "
                 f"{self.sta_levels} level sweeps  "
                 f"{self.sta_arc_evals} arc evals"
+            )
+        if self.points_simulated or self.points_predicted:
+            total = self.points_simulated + self.points_predicted
+            lines.append(
+                f"surrogate: {self.points_simulated} grid points simulated  "
+                f"{self.points_predicted} predicted "
+                f"({total} total)"
+            )
+        if self.arc_wall_s:
+            lines.append(
+                f"arcs characterized: {len(self.arc_wall_s)}  "
+                f"slowest: "
+                + "  ".join(
+                    f"{arc}={seconds:.2f}s"
+                    for arc, seconds in sorted(
+                        self.arc_wall_s.items(), key=lambda kv: -kv[1]
+                    )[:3]
+                )
             )
         if self.kernel_ops:
             ops = "  ".join(

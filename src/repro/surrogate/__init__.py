@@ -1,0 +1,45 @@
+"""Active-learning surrogate characterization (opt-in fast mode).
+
+Gaussian-process regression over the per-arc moment surfaces with
+acquisition-driven sampling: simulate a handful of (slew, load) grid
+points, predict the rest, and fall back to dense simulation whenever
+the cross-validation gate or the Agarwal-style break-point check says
+the surrogate cannot be trusted. Enable with ``REPRO_SURROGATE=gp`` or
+``--surrogate gp``; dense characterization stays the default and is
+bit-identical with the surrogate off.
+"""
+
+from repro.surrogate.active import (
+    DEFAULT_BUDGETS,
+    PROVENANCE_REQUIRED_KEYS,
+    STATISTIC_NAMES,
+    SURROGATE_ENV,
+    SurrogateArcResult,
+    SurrogateConfig,
+    budget_family,
+    estimator_noise_var,
+    normalize_grid,
+    resolve_surrogate,
+    run_active_learning,
+    seed_indices,
+    validate_provenance,
+)
+from repro.surrogate.gp import GaussianProcess, GPHyperparameters
+
+__all__ = [
+    "DEFAULT_BUDGETS",
+    "PROVENANCE_REQUIRED_KEYS",
+    "STATISTIC_NAMES",
+    "SURROGATE_ENV",
+    "GaussianProcess",
+    "GPHyperparameters",
+    "SurrogateArcResult",
+    "SurrogateConfig",
+    "budget_family",
+    "estimator_noise_var",
+    "normalize_grid",
+    "resolve_surrogate",
+    "run_active_learning",
+    "seed_indices",
+    "validate_provenance",
+]

@@ -1,0 +1,319 @@
+"""Dependency-free Gaussian-process regression over (slew, load) surfaces.
+
+The moment surfaces of a timing arc (Eqs. 1-3 of the paper) are smooth
+functions of the operating condition, so a handful of Monte-Carlo
+evaluations pins them down far better than a dense grid — *if* the
+interpolant also says where it is uncertain. A Gaussian process gives
+exactly that: an analytic posterior mean and variance at every untried
+condition, which the active-learning loop (:mod:`repro.surrogate.active`)
+turns into an acquisition rule.
+
+The implementation is deliberately minimal and deterministic:
+
+* **ARD-RBF kernel plus nugget** — one lengthscale per input axis
+  (automatic relevance determination over normalized slew and load), a
+  unit signal variance on standardized targets, and a diagonal nugget
+  absorbing Monte-Carlo estimator noise.
+* **Cholesky-factored analytic posterior** — mean, variance and the
+  log marginal likelihood all come from one factorization of the
+  training kernel matrix; no iterative solver, no external optimizer.
+* **Gradient-free hyperparameter fit** — a deterministic candidate grid
+  plus content-hash-seeded random restarts, refined by a pattern search
+  with step halving. The same ``(X, y, seed)`` always produces the same
+  hyperparameters, bit for bit, which keeps surrogate characterization
+  runs reproducible and cache-stable.
+* **Analytic leave-one-out residuals** — the classical closed form from
+  the inverse kernel matrix, used by the SUR001 cross-validation gate.
+
+All inputs are expected pre-normalized to the unit square by the caller
+(:func:`repro.surrogate.active.normalize_grid`); targets are
+standardized internally and predictions are returned in original units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CalibrationError
+
+#: Hyperparameter search space (log-space bounds, standardized targets).
+LENGTHSCALE_GRID = (0.15, 0.3, 0.6, 1.2)
+NUGGET_GRID = (1e-6, 1e-4, 1e-2, 1e-1)  # repro-lint: disable-file=UNIT001 (GP hyperparameters are dimensionless)
+LENGTHSCALE_BOUNDS = (0.05, 4.0)
+NUGGET_BOUNDS = (1e-8, 0.5)
+
+#: Jitter escalation ladder for a non-positive-definite kernel matrix.
+_JITTERS = (0.0, 1e-10, 1e-8, 1e-6)
+
+
+@dataclass(frozen=True)
+class GPHyperparameters:
+    """Fitted kernel hyperparameters (standardized-target units).
+
+    Attributes
+    ----------
+    lengthscales:
+        Per-axis ARD-RBF lengthscales in normalized input units.
+    nugget:
+        Diagonal noise variance (fraction of the unit signal variance).
+    lml:
+        Log marginal likelihood achieved at these values.
+    """
+
+    lengthscales: Tuple[float, ...]
+    nugget: float
+    lml: float
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (surrogate provenance records)."""
+        return {
+            "lengthscales": [float(v) for v in self.lengthscales],
+            "signal_var": 1.0,
+            "nugget": float(self.nugget),
+            "lml": float(self.lml),
+        }
+
+
+def _sq_dists(xa: np.ndarray, xb: np.ndarray, lengthscales: np.ndarray) -> np.ndarray:
+    """Pairwise scaled squared distances ``sum(((a-b)/ls)**2)``."""
+    diff = xa[:, None, :] - xb[None, :, :]
+    return np.sum((diff / lengthscales) ** 2, axis=-1)
+
+
+def _kernel(xa: np.ndarray, xb: np.ndarray, lengthscales: np.ndarray) -> np.ndarray:
+    """Unit-variance ARD-RBF kernel matrix."""
+    return np.exp(-0.5 * _sq_dists(xa, xb, lengthscales))
+
+
+def _cholesky(k: np.ndarray) -> Optional[np.ndarray]:
+    """Cholesky factor with jitter escalation; ``None`` if hopeless."""
+    for jitter in _JITTERS:
+        try:
+            return np.linalg.cholesky(
+                k if jitter == 0.0 else k + jitter * np.eye(k.shape[0])
+            )
+        except np.linalg.LinAlgError:
+            continue
+    return None
+
+
+def _solve_chol(chol: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``K x = b`` given the Cholesky factor of ``K``."""
+    from scipy.linalg import solve_triangular
+
+    z = solve_triangular(chol, b, lower=True)
+    return solve_triangular(chol.T, z, lower=False)
+
+
+def _log_marginal_likelihood(
+    x: np.ndarray, y: np.ndarray, lengthscales: np.ndarray, nugget: float
+) -> float:
+    """LML of standardized targets under the ARD-RBF + nugget kernel."""
+    n = x.shape[0]
+    k = _kernel(x, x, lengthscales) + nugget * np.eye(n)
+    chol = _cholesky(k)
+    if chol is None:
+        return -np.inf
+    alpha = _solve_chol(chol, y)
+    return float(
+        -0.5 * y @ alpha
+        - np.sum(np.log(np.diag(chol)))
+        - 0.5 * n * np.log(2.0 * np.pi)
+    )
+
+
+class GaussianProcess:
+    """An ARD-RBF Gaussian process fitted to ``(X, y)`` observations.
+
+    Parameters
+    ----------
+    x:
+        ``(n, d)`` training inputs, pre-normalized to the unit cube.
+    y:
+        ``(n,)`` training targets in original (physical) units; the
+        model standardizes them internally.
+    hyper:
+        Kernel hyperparameters; use :meth:`fit` to obtain them by
+        maximum marginal likelihood, or pass explicit values for a
+        fixed-kernel posterior (tests, variance-shrink analyses).
+
+    Notes
+    -----
+    Degenerate targets (zero spread) collapse to a constant predictor
+    with zero posterior variance — the correct limit, and it keeps the
+    active-learning loop from chasing noise on flat surfaces.
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, hyper: GPHyperparameters):
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.shape[0]:
+            raise CalibrationError(
+                f"GP training shapes mismatch: x {x.shape}, y {y.shape}"
+            )
+        if x.shape[0] < 1:
+            raise CalibrationError("GP needs at least one training point")
+        if not (np.isfinite(x).all() and np.isfinite(y).all()):
+            raise CalibrationError("GP training data must be finite")
+        self.x = x
+        self.y = y
+        self.hyper = hyper
+        self.y_mean = float(np.mean(y))
+        spread = float(np.std(y))
+        self.y_std = spread if spread > 0.0 else 0.0
+        self.degenerate = self.y_std == 0.0
+        self._ls = np.asarray(hyper.lengthscales, dtype=float)
+        self._chol: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        if not self.degenerate:
+            z = (y - self.y_mean) / self.y_std
+            k = _kernel(x, x, self._ls) + hyper.nugget * np.eye(x.shape[0])
+            chol = _cholesky(k)
+            if chol is None:
+                raise CalibrationError(
+                    "GP kernel matrix is not positive definite even with "
+                    f"jitter (lengthscales {hyper.lengthscales}, "
+                    f"nugget {hyper.nugget})"
+                )
+            self._chol = chol
+            self._alpha = _solve_chol(chol, z)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        x: np.ndarray,
+        y: np.ndarray,
+        seed: int = 0,
+        n_restarts: int = 4,
+        refine_steps: int = 12,
+        noise_var: float = 0.0,
+    ) -> "GaussianProcess":
+        """Fit hyperparameters by maximum marginal likelihood.
+
+        The search is gradient-free and fully deterministic: a fixed
+        candidate grid (:data:`LENGTHSCALE_GRID` x :data:`NUGGET_GRID`)
+        plus ``n_restarts`` log-uniform random candidates drawn from a
+        generator seeded with ``seed`` (derive it from a content hash so
+        refits are bit-identical), then a pattern search with step
+        halving around the best candidate. The same inputs always yield
+        the same :class:`GPHyperparameters`.
+
+        ``noise_var`` is a known lower bound on the observation noise in
+        *original target units squared* (for Monte-Carlo moment
+        estimates, the analytic standard error squared). The nugget is
+        floored there: with few training points the marginal likelihood
+        happily drives the nugget to ~0 and the posterior then claims
+        certainty the estimator noise cannot support.
+        """
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        spread = float(np.std(y))
+        if spread == 0.0 or x.shape[0] < 2:
+            hyper = GPHyperparameters(
+                lengthscales=tuple(1.0 for _ in range(x.shape[1])),
+                nugget=float(NUGGET_GRID[1]),
+                lml=0.0,
+            )
+            return cls(x, y, hyper)
+        z = (y - float(np.mean(y))) / spread
+        d = x.shape[1]
+        nugget_lo = NUGGET_BOUNDS[0]
+        if noise_var > 0.0:
+            nugget_lo = min(
+                max(nugget_lo, noise_var / spread**2), NUGGET_BOUNDS[1]
+            )
+
+        rng = np.random.default_rng(seed)
+        lo = np.log(np.array([LENGTHSCALE_BOUNDS[0]] * d + [nugget_lo]))
+        hi = np.log(np.array([LENGTHSCALE_BOUNDS[1]] * d + [NUGGET_BOUNDS[1]]))
+        candidates: List[np.ndarray] = []
+        for ls in LENGTHSCALE_GRID:
+            for nugget in NUGGET_GRID:
+                theta = np.log(np.array([ls] * d + [max(nugget, nugget_lo)]))
+                candidates.append(np.clip(theta, lo, hi))
+        for _ in range(max(0, n_restarts)):
+            candidates.append(rng.uniform(lo, hi))
+
+        def score(theta: np.ndarray) -> float:
+            ls = np.exp(theta[:d])
+            nugget = float(np.exp(theta[d]))
+            return _log_marginal_likelihood(x, z, ls, nugget)
+
+        best_theta = candidates[0]
+        best_lml = -np.inf
+        for theta in candidates:
+            lml = score(theta)
+            if lml > best_lml:
+                best_lml, best_theta = lml, theta
+
+        # Pattern search: per-coordinate log-steps, halving on failure.
+        theta = best_theta.copy()
+        step = 0.5
+        for _ in range(max(0, refine_steps)):
+            improved = False
+            for axis in range(d + 1):
+                for direction in (1.0, -1.0):
+                    trial = theta.copy()
+                    trial[axis] = float(
+                        np.clip(trial[axis] + direction * step, lo[axis], hi[axis])
+                    )
+                    lml = score(trial)
+                    if lml > best_lml:
+                        best_lml, theta = lml, trial
+                        improved = True
+            if not improved:
+                step *= 0.5
+                if step < 1e-3:
+                    break
+        hyper = GPHyperparameters(
+            lengthscales=tuple(float(v) for v in np.exp(theta[:d])),
+            nugget=float(np.exp(theta[d])),
+            lml=float(best_lml),
+        )
+        return cls(x, y, hyper)
+
+    # ------------------------------------------------------------------
+    def predict(self, xq: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and variance (original units) at query points.
+
+        Returns the latent-function variance (no nugget added), which is
+        the quantity the acquisition rule and the stopping budget need:
+        it shrinks to ~0 at training points and grows with distance.
+        """
+        xq = np.asarray(xq, dtype=float)
+        if xq.ndim == 1:
+            xq = xq[None, :]
+        if self.degenerate:
+            return (
+                np.full(xq.shape[0], self.y_mean),
+                np.zeros(xq.shape[0]),
+            )
+        ks = _kernel(xq, self.x, self._ls)
+        mean_z = ks @ self._alpha
+        from scipy.linalg import solve_triangular
+
+        v = solve_triangular(self._chol, ks.T, lower=True)
+        var_z = np.maximum(1.0 - np.sum(v * v, axis=0), 0.0)
+        return self.y_mean + self.y_std * mean_z, (self.y_std**2) * var_z
+
+    def loo_residuals(self) -> np.ndarray:
+        """Analytic leave-one-out residuals ``y_i - mean_{-i}(x_i)``.
+
+        Uses the closed form ``alpha_i / (K^-1)_{ii}`` — no refitting.
+        Residuals are returned in original target units; the SUR001
+        cross-validation gate compares their maximum against the budget.
+        """
+        if self.degenerate:
+            return np.zeros(self.x.shape[0])
+        k_inv = _solve_chol(self._chol, np.eye(self.x.shape[0]))
+        diag = np.maximum(np.diag(k_inv), np.finfo(float).tiny)
+        return self.y_std * (self._alpha / diag)
+
+    def max_posterior_sd(self, xq: np.ndarray) -> float:
+        """Largest posterior standard deviation over the query points."""
+        _, var = self.predict(xq)
+        return float(np.sqrt(np.max(var))) if var.size else 0.0

@@ -23,6 +23,28 @@ from repro.variation.parameters import VariationModel
 from repro.variation.sampling import GlobalDraws, MonteCarloSampler
 
 
+def latin_hypercube_unit(
+    n_samples: int, n_axes: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Stratified uniform draws on [0, 1), shape ``(n_samples, n_axes)``.
+
+    Each axis is divided into ``n_samples`` equiprobable strata; one
+    uniform draw lands in each stratum and axes are shuffled
+    independently. The per-axis RNG consumption (one ``uniform`` batch,
+    one ``shuffle``) is exactly that of :func:`latin_hypercube_normal`,
+    so the two designs built from the same generator state coincide up
+    to the inverse-CDF map.
+    """
+    if n_samples < 1 or n_axes < 1:
+        raise ValueError("n_samples and n_axes must be >= 1")
+    out = np.empty((n_samples, n_axes))
+    for axis in range(n_axes):
+        strata = (np.arange(n_samples) + rng.uniform(size=n_samples)) / n_samples
+        rng.shuffle(strata)
+        out[:, axis] = strata
+    return out
+
+
 def latin_hypercube_normal(
     n_samples: int, n_axes: int, rng: np.random.Generator
 ) -> np.ndarray:
@@ -32,14 +54,7 @@ def latin_hypercube_normal(
     uniform draw lands in each stratum, axes are shuffled independently,
     and the result is mapped through the normal inverse CDF.
     """
-    if n_samples < 1 or n_axes < 1:
-        raise ValueError("n_samples and n_axes must be >= 1")
-    out = np.empty((n_samples, n_axes))
-    for axis in range(n_axes):
-        strata = (np.arange(n_samples) + rng.uniform(size=n_samples)) / n_samples
-        rng.shuffle(strata)
-        out[:, axis] = sps.norm.ppf(strata)
-    return out
+    return sps.norm.ppf(latin_hypercube_unit(n_samples, n_axes, rng))
 
 
 class LatinHypercubeSampler(MonteCarloSampler):

@@ -1,0 +1,55 @@
+"""Grid-axis hygiene: strict validation at every characterization entry."""
+
+import numpy as np
+import pytest
+
+from repro.cells.characterize import validate_grid_axes
+from repro.errors import CharacterizationError
+from repro.units import FF, PS
+
+GOOD_SLEWS = [10 * PS, 30 * PS, 60 * PS]
+GOOD_LOADS = [1 * FF, 2 * FF, 4 * FF]
+
+
+class TestValidateGridAxes:
+    def test_valid_axes_returned_as_arrays(self):
+        slews, loads = validate_grid_axes(GOOD_SLEWS, GOOD_LOADS)
+        assert isinstance(slews, np.ndarray)
+        assert isinstance(loads, np.ndarray)
+        assert np.array_equal(slews, np.asarray(GOOD_SLEWS))
+
+    def test_descending_axis_rejected(self):
+        with pytest.raises(CharacterizationError, match="increasing"):
+            validate_grid_axes(list(reversed(GOOD_SLEWS)), GOOD_LOADS)
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(CharacterizationError, match="increasing"):
+            validate_grid_axes([10 * PS, 10 * PS, 60 * PS], GOOD_LOADS)
+
+    def test_nan_rejected(self):
+        with pytest.raises(CharacterizationError, match="finite"):
+            validate_grid_axes([10 * PS, np.nan, 60 * PS], GOOD_LOADS)
+
+    def test_inf_rejected(self):
+        with pytest.raises(CharacterizationError, match="finite"):
+            validate_grid_axes(GOOD_SLEWS, [1 * FF, np.inf, 4 * FF])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(CharacterizationError):
+            validate_grid_axes([], GOOD_LOADS)
+
+    def test_2d_axis_rejected(self):
+        with pytest.raises(CharacterizationError):
+            validate_grid_axes(np.ones((2, 2)), GOOD_LOADS)
+
+    def test_characterize_library_rejects_bad_grid(
+        self, characterizer, library
+    ):
+        from repro.cells.characterize import characterize_library
+
+        with pytest.raises(CharacterizationError):
+            characterize_library(
+                characterizer, library, cells=["INVx1"],
+                slews=list(reversed(GOOD_SLEWS)), loads=GOOD_LOADS,
+                n_samples=16,
+            )

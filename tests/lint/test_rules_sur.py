@@ -1,0 +1,153 @@
+"""SUR (surrogate provenance) and TBL007 (axis hygiene) lint rules."""
+
+import json
+
+import numpy as np
+
+from repro.cells.characterize import CharacterizationTable
+from repro.lint import lint_characterization
+from repro.lint.domain import lint_artifact, lint_surrogate_provenance
+from repro.moments.stats import SIGMA_LEVELS
+from repro.units import FF, PS
+
+
+def make_table(**overrides) -> CharacterizationTable:
+    slews = np.array([10 * PS, 50 * PS])
+    loads = np.array([1 * FF, 4 * FF])
+    moments = np.empty((2, 2, 4))
+    moments[...] = (30 * PS, 2 * PS, 0.3, 3.3)
+    quantiles = np.empty((2, 2, len(SIGMA_LEVELS)))
+    for k, lvl in enumerate(SIGMA_LEVELS):
+        quantiles[..., k] = 30 * PS + lvl * 2 * PS
+    fields = dict(
+        cell_name="INVx1", pin="A", output_rising=False,
+        slews=slews, loads=loads, moments=moments,
+        quantiles=quantiles, out_slew=np.full((2, 2), 20 * PS),
+        n_samples=500,
+    )
+    fields.update(overrides)
+    return CharacterizationTable(**fields)
+
+
+def valid_provenance(**overrides) -> dict:
+    simulated = [[0, 0], [0, 1], [1, 0], [1, 1]]
+    prov = {
+        "method": "gp",
+        "version": 1,
+        "n_grid": 4,
+        "n_simulated": 4,
+        "n_predicted": 0,
+        "simulated": simulated,
+        "statistics": {"mu": {"lengthscales": [0.5, 0.5], "nugget": 1e-6,
+                              "lml": 0.0, "signal_var": 1.0, "rel_se": 0.01}},
+        "cv": {"statistic": "mu", "rel": 0.01, "budget": 0.08},
+        "converged": True,
+        "fallback": None,
+    }
+    prov.update(overrides)
+    return prov
+
+
+class TestTBL007:
+    def test_nan_axis_flagged(self):
+        table = make_table(slews=np.array([10 * PS, np.nan]))
+        report = lint_characterization(table)
+        assert "TBL007" in report.rule_ids()
+
+    def test_inf_axis_flagged(self):
+        table = make_table(loads=np.array([1 * FF, np.inf]))
+        report = lint_characterization(table)
+        assert "TBL007" in report.rule_ids()
+
+    def test_finite_axes_silent(self):
+        assert "TBL007" not in lint_characterization(make_table()).rule_ids()
+
+
+class TestSUR001:
+    def test_cv_breach_without_fallback(self):
+        prov = valid_provenance(
+            cv={"statistic": "mu", "rel": 0.5, "budget": 0.08}
+        )
+        report = lint_surrogate_provenance(prov, "INVx1/A/fall")
+        assert "SUR001" in report.rule_ids()
+
+    def test_cv_breach_with_fallback_is_clean(self):
+        prov = valid_provenance(
+            cv={"statistic": "mu", "rel": 0.5, "budget": 0.08},
+            fallback="cv_residual",
+        )
+        report = lint_surrogate_provenance(prov, "INVx1/A/fall")
+        assert "SUR001" not in report.rule_ids()
+
+    def test_cv_within_budget_is_clean(self):
+        report = lint_surrogate_provenance(valid_provenance(), "arc")
+        assert report.rule_ids() == []
+
+
+class TestSUR002:
+    def test_not_converged_warns(self):
+        prov = valid_provenance(converged=False)
+        report = lint_surrogate_provenance(prov, "arc")
+        assert "SUR002" in report.rule_ids()
+        # A warning, not an error: the table is still usable.
+        assert all(d.rule_id != "SUR002" for d in report.errors)
+
+    def test_not_converged_with_fallback_is_clean(self):
+        prov = valid_provenance(converged=False, fallback="cv_residual")
+        report = lint_surrogate_provenance(prov, "arc")
+        assert "SUR002" not in report.rule_ids()
+
+
+class TestSUR003:
+    def test_non_dict_provenance(self):
+        report = lint_surrogate_provenance(["not", "a", "dict"], "arc")
+        assert "SUR003" in report.rule_ids()
+
+    def test_missing_keys(self):
+        prov = valid_provenance()
+        del prov["statistics"]
+        report = lint_surrogate_provenance(prov, "arc")
+        assert "SUR003" in report.rule_ids()
+
+    def test_inconsistent_counts(self):
+        prov = valid_provenance(n_predicted=7)
+        report = lint_surrogate_provenance(prov, "arc")
+        assert "SUR003" in report.rule_ids()
+
+    def test_non_numeric_cv(self):
+        prov = valid_provenance(cv={"rel": "high", "budget": 0.08})
+        report = lint_surrogate_provenance(prov, "arc")
+        assert "SUR003" in report.rule_ids()
+
+    def test_table_with_provenance_linted(self):
+        table = make_table(provenance=valid_provenance(n_grid=99))
+        report = lint_characterization(table)
+        assert "SUR003" in report.rule_ids()
+
+    def test_bundle_marker_without_provenance(self, tmp_path):
+        from repro.cells.liberty import FORMAT, FORMAT_VERSION, table_to_dict
+
+        doc = {
+            "format": FORMAT,
+            "version": FORMAT_VERSION,
+            "tables": [table_to_dict(make_table())],
+            "surrogate": True,
+        }
+        path = tmp_path / "bundle.json"
+        path.write_text(json.dumps(doc))
+        report = lint_artifact(path)
+        assert "SUR003" in report.rule_ids()
+
+    def test_clean_surrogate_bundle(self, tmp_path):
+        from repro.cells.liberty import (
+            LibraryCharacterization,
+            save_library_characterization,
+        )
+
+        charac = LibraryCharacterization()
+        charac.put(make_table(provenance=valid_provenance()))
+        path = tmp_path / "bundle.json"
+        save_library_characterization(charac, path)
+        assert json.loads(path.read_text()).get("surrogate") is True
+        report = lint_artifact(path)
+        assert "SUR003" not in report.rule_ids()

@@ -90,3 +90,34 @@ class TestReservoirQuantiles:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             ReservoirQuantiles(capacity=4)
+
+
+class TestStreamingEdgeCases:
+    """Edge cases exercised by the surrogate's noise-floor estimates."""
+
+    def test_seven_observations_still_too_few(self):
+        with pytest.raises(ValueError, match=">= 8"):
+            StreamingMoments().add_many(np.arange(7.0)).moments()
+
+    def test_eight_observations_suffice(self):
+        m = StreamingMoments().add_many(np.arange(8.0)).moments()
+        assert m.n == 8
+
+    def test_zero_sigma_reports_neutral_shape(self):
+        # Degenerate distributions must yield the Gaussian reference
+        # kurtosis (3.0) and zero skew, not NaN — the surrogate divides
+        # by these moments when flooring the GP nugget.
+        m = StreamingMoments().add_many([5.0] * 16).moments()
+        assert m.sigma == 0.0
+        assert m.skew == 0.0
+        assert m.kurt == 3.0
+
+    def test_merge_empty_with_empty(self):
+        merged = StreamingMoments().merge(StreamingMoments())
+        assert merged.n == 0
+        with pytest.raises(ValueError):
+            merged.moments()
+
+    def test_all_nan_stream_counts_nothing(self):
+        s = StreamingMoments().add_many([np.nan] * 20)
+        assert s.n == 0

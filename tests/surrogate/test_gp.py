@@ -1,0 +1,170 @@
+"""Tests for the dependency-free Gaussian-process core."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.surrogate.gp import (
+    GaussianProcess,
+    GPHyperparameters,
+    LENGTHSCALE_BOUNDS,
+    NUGGET_BOUNDS,
+)
+
+
+def smooth_surface(x):
+    """A smooth 2-D test function on the unit square."""
+    return np.sin(3.0 * x[:, 0]) + 0.5 * x[:, 1] ** 2 + 0.3 * x[:, 0] * x[:, 1]
+
+
+def grid_points(n=5):
+    u = np.linspace(0.0, 1.0, n)
+    uu, vv = np.meshgrid(u, u, indexing="ij")
+    return np.column_stack([uu.ravel(), vv.ravel()])
+
+
+class TestPosterior:
+    def test_exact_interpolation_small_nugget(self):
+        x = grid_points(4)
+        y = smooth_surface(x)
+        hyper = GPHyperparameters(lengthscales=(0.5, 0.5), nugget=1e-10, lml=0.0)
+        gp = GaussianProcess(x, y, hyper)
+        pred, var = gp.predict(x)
+        assert np.allclose(pred, y, atol=1e-6 * np.ptp(y))
+        assert np.all(var >= 0.0)
+
+    def test_variance_zero_at_train_large_away(self):
+        x = grid_points(3)
+        y = smooth_surface(x)
+        hyper = GPHyperparameters(lengthscales=(0.3, 0.3), nugget=1e-10, lml=0.0)
+        gp = GaussianProcess(x, y, hyper)
+        _, var_train = gp.predict(x)
+        _, var_far = gp.predict(np.array([[0.17, 0.83]]))
+        assert var_train.max() < var_far[0]
+
+    def test_variance_shrinks_as_points_added(self):
+        # With FIXED hyperparameters, conditioning on more data can only
+        # reduce the *latent* posterior variance everywhere (information
+        # never hurts a GP). Divide out the per-fit target scaling,
+        # which is data-dependent.
+        x = grid_points(5)
+        y = smooth_surface(x)
+        hyper = GPHyperparameters(lengthscales=(0.4, 0.4), nugget=1e-6, lml=0.0)
+        probe = np.column_stack([
+            np.linspace(0.05, 0.95, 9), np.linspace(0.95, 0.05, 9)
+        ])
+        prev = np.full(9, np.inf)
+        for n in (3, 6, 12, 25):
+            gp = GaussianProcess(x[:n], y[:n], hyper)
+            _, var = gp.predict(probe)
+            latent = var / gp.y_std**2
+            assert np.all(latent <= prev + 1e-12)
+            prev = latent
+
+    def test_degenerate_constant_targets(self):
+        x = grid_points(3)
+        y = np.full(x.shape[0], 42.0)
+        gp = GaussianProcess.fit(x, y, seed=0)
+        pred, var = gp.predict(np.array([[0.5, 0.5]]))
+        assert pred[0] == pytest.approx(42.0)
+        assert var[0] == pytest.approx(0.0)
+
+    def test_loo_residuals_small_on_smooth_surface(self):
+        x = grid_points(5)
+        y = smooth_surface(x)
+        gp = GaussianProcess.fit(x, y, seed=3)
+        loo = gp.loo_residuals()
+        assert loo.shape == (x.shape[0],)
+        # Interior points of a dense smooth design cross-validate well.
+        assert np.median(np.abs(loo)) < 0.05 * np.ptp(y)
+
+
+class TestFit:
+    def test_fit_is_deterministic(self):
+        x = grid_points(4)
+        y = smooth_surface(x)
+        a = GaussianProcess.fit(x, y, seed=11)
+        b = GaussianProcess.fit(x, y, seed=11)
+        assert a.hyper == b.hyper
+        pa, va = a.predict(grid_points(7))
+        pb, vb = b.predict(grid_points(7))
+        assert np.array_equal(pa, pb)
+        assert np.array_equal(va, vb)
+
+    def test_fit_seed_changes_restarts_not_validity(self):
+        x = grid_points(4)
+        y = smooth_surface(x)
+        for seed in (0, 1, 99):
+            gp = GaussianProcess.fit(x, y, seed=seed)
+            lo, hi = LENGTHSCALE_BOUNDS
+            for ls in gp.hyper.lengthscales:
+                assert lo * (1 - 1e-9) <= ls <= hi * (1 + 1e-9)
+            assert NUGGET_BOUNDS[0] * (1 - 1e-9) <= gp.hyper.nugget
+            assert gp.hyper.nugget <= NUGGET_BOUNDS[1] * (1 + 1e-9)
+
+    def test_noise_floor_respected(self):
+        rng = np.random.default_rng(5)
+        x = grid_points(5)
+        y = smooth_surface(x) + rng.normal(0.0, 0.05, x.shape[0])
+        noise_var = 0.05**2
+        gp = GaussianProcess.fit(x, y, seed=2, noise_var=noise_var)
+        # Nugget is expressed in standardized-target units.
+        assert gp.hyper.nugget >= noise_var / np.std(y) ** 2 - 1e-12
+
+    def test_noise_floor_ignored_when_zero(self):
+        x = grid_points(4)
+        y = smooth_surface(x)
+        gp = GaussianProcess.fit(x, y, seed=2, noise_var=0.0)
+        assert gp.hyper.nugget >= NUGGET_BOUNDS[0]
+
+    def test_as_dict_roundtrippable_fields(self):
+        x = grid_points(3)
+        gp = GaussianProcess.fit(x, smooth_surface(x), seed=1)
+        d = gp.hyper.as_dict()
+        assert set(d) >= {"lengthscales", "nugget", "lml", "signal_var"}
+
+
+class TestHypothesisProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_refit_bit_identical(self, seed):
+        x = grid_points(4)
+        y = smooth_surface(x)
+        a = GaussianProcess.fit(x, y, seed=seed, n_restarts=2, refine_steps=4)
+        b = GaussianProcess.fit(x, y, seed=seed, n_restarts=2, refine_steps=4)
+        assert a.hyper == b.hyper
+        probe = grid_points(6)
+        assert np.array_equal(a.predict(probe)[0], b.predict(probe)[0])
+
+    @given(
+        amp=st.floats(min_value=0.1, max_value=50.0),
+        offset=st.floats(min_value=-10.0, max_value=10.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_exact_interpolation_property(self, amp, offset):
+        # Fixed hyperparameters with a tiny nugget reproduce the
+        # training targets for any (scaled, shifted) smooth surface.
+        x = grid_points(4)
+        y = amp * smooth_surface(x) + offset
+        hyper = GPHyperparameters(
+            lengthscales=(0.5, 0.5), nugget=1e-10, lml=0.0
+        )
+        gp = GaussianProcess(x, y, hyper)
+        pred, _ = gp.predict(x)
+        scale = max(np.ptp(y), 1e-12)
+        assert np.max(np.abs(pred - y)) < 1e-5 * scale
+
+    @given(n_extra=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=15, deadline=None)
+    def test_variance_monotone_property(self, n_extra):
+        x = grid_points(5)
+        y = smooth_surface(x)
+        hyper = GPHyperparameters(
+            lengthscales=(0.4, 0.4), nugget=1e-6, lml=0.0
+        )
+        probe = np.array([[0.21, 0.47], [0.68, 0.11], [0.93, 0.88]])
+        base = GaussianProcess(x[:6], y[:6], hyper)
+        more = GaussianProcess(x[: 6 + n_extra], y[: 6 + n_extra], hyper)
+        _, v0 = base.predict(probe)
+        _, v1 = more.predict(probe)
+        assert np.all(v1 / more.y_std**2 <= v0 / base.y_std**2 + 1e-12)

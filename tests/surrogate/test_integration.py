@@ -1,0 +1,186 @@
+"""Integration of the surrogate with the real Monte-Carlo pipeline.
+
+Kept cheap: one arc, a coarse grid, few samples. The points that ARE
+simulated must be bit-identical to a dense run, dense-mode cache keys
+must not move when the surrogate is off, and checkpoint resume must
+restore surrogate tables bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import JsonCache, content_key
+from repro.cells.characterize import (
+    ArcCharacterizer,
+    arc_cache_payload,
+    characterize_library,
+)
+from repro.core.flow import DelayCalibrationFlow
+from repro.perf import PerfCounters
+from repro.spice.montecarlo import MonteCarloEngine
+from repro.surrogate import SurrogateConfig, validate_provenance
+from repro.units import FF, PS
+
+N_SAMPLES = 48
+GRID = dict(
+    slews=tuple(np.linspace(10 * PS, 80 * PS, 5)),
+    loads=tuple(np.linspace(1 * FF, 6 * FF, 6)),
+)
+
+
+@pytest.fixture()
+def local_charz(tech, variation):
+    """A characterizer with private perf counters (resettable)."""
+    return ArcCharacterizer(MonteCarloEngine(tech, variation, seed=5))
+
+
+@pytest.fixture(scope="module")
+def dense_and_surrogate(characterizer, library):
+    dense = characterize_library(
+        characterizer, library, cells=["INVx1"], n_samples=N_SAMPLES,
+        workers=1, **GRID,
+    )
+    surro = characterize_library(
+        characterizer, library, cells=["INVx1"], n_samples=N_SAMPLES,
+        workers=1, surrogate=SurrogateConfig(), **GRID,
+    )
+    return dense, surro
+
+
+class TestSurrogateVsDense:
+    def test_provenance_attached_and_valid(self, dense_and_surrogate):
+        _, surro = dense_and_surrogate
+        table = next(iter(surro.tables.values()))
+        assert table.provenance is not None
+        if table.provenance.get("fallback") is None:
+            assert validate_provenance(table.provenance) == []
+            assert table.provenance["n_simulated"] < table.provenance["n_grid"]
+
+    def test_simulated_points_bit_identical(self, dense_and_surrogate):
+        dense, surro = dense_and_surrogate
+        for key, table in surro.tables.items():
+            ref = dense.tables[key]
+            for (i, j) in (tuple(ij) for ij in table.provenance["simulated"]):
+                assert np.array_equal(table.moments[i, j], ref.moments[i, j])
+                assert np.array_equal(table.quantiles[i, j], ref.quantiles[i, j])
+                assert table.out_slew[i, j] == ref.out_slew[i, j]
+
+    def test_dense_table_has_no_provenance(self, dense_and_surrogate):
+        dense, _ = dense_and_surrogate
+        assert all(t.provenance is None for t in dense.tables.values())
+
+    def test_predicted_entries_physical(self, dense_and_surrogate):
+        _, surro = dense_and_surrogate
+        table = next(iter(surro.tables.values()))
+        assert np.all(table.moments[..., 1] > 0)  # sigma
+        assert np.all(np.diff(table.quantiles, axis=-1) >= 0)
+        assert np.all(table.out_slew > 0)
+
+
+class TestCacheKeyCompatibility:
+    def test_dense_payload_unchanged_by_surrogate_arg(
+        self, engine, library
+    ):
+        cell = library.get("INVx1")
+        slews = np.asarray(GRID["slews"])
+        loads = np.asarray(GRID["loads"])
+        legacy = arc_cache_payload(
+            engine, cell, "A", False, slews, loads, N_SAMPLES
+        )
+        off = arc_cache_payload(
+            engine, cell, "A", False, slews, loads, N_SAMPLES, surrogate=None
+        )
+        assert content_key(legacy) == content_key(off)
+        assert "surrogate" not in off
+
+    def test_surrogate_payload_salted(self, engine, library):
+        cell = library.get("INVx1")
+        slews = np.asarray(GRID["slews"])
+        loads = np.asarray(GRID["loads"])
+        on = arc_cache_payload(
+            engine, cell, "A", False, slews, loads, N_SAMPLES,
+            surrogate=SurrogateConfig(),
+        )
+        off = arc_cache_payload(
+            engine, cell, "A", False, slews, loads, N_SAMPLES
+        )
+        assert on["surrogate"] == SurrogateConfig().identity()
+        assert content_key(on) != content_key(off)
+
+    def test_flow_cache_key_stable_when_off(self, tmp_path):
+        base = DelayCalibrationFlow(seed=3, cache_dir=tmp_path / "a")
+        off = DelayCalibrationFlow(
+            seed=3, cache_dir=tmp_path / "b", surrogate="off"
+        )
+        assert base._cache_key() == off._cache_key()
+
+    def test_flow_cache_key_salted_when_on(self, tmp_path):
+        base = DelayCalibrationFlow(seed=3, cache_dir=tmp_path / "a")
+        on = DelayCalibrationFlow(
+            seed=3, cache_dir=tmp_path / "b", surrogate="gp"
+        )
+        assert base._cache_key() != on._cache_key()
+
+
+class TestCheckpointResume:
+    def test_resume_restores_bit_identical(
+        self, local_charz, library, tmp_path
+    ):
+        cache = JsonCache(tmp_path / "ckpt")
+        cfg = SurrogateConfig()
+        first = characterize_library(
+            local_charz, library, cells=["INVx1"], n_samples=N_SAMPLES,
+            workers=1, surrogate=cfg, cache=cache, **GRID,
+        )
+        local_charz.engine.perf = PerfCounters()
+        second = characterize_library(
+            local_charz, library, cells=["INVx1"], n_samples=N_SAMPLES,
+            workers=1, surrogate=cfg, cache=cache, **GRID,
+        )
+        for key, table in first.tables.items():
+            restored = second.tables[key]
+            assert np.array_equal(table.moments, restored.moments)
+            assert np.array_equal(table.quantiles, restored.quantiles)
+            assert np.array_equal(table.out_slew, restored.out_slew)
+            assert table.provenance == restored.provenance
+        # The resumed run simulated nothing.
+        assert local_charz.engine.perf.points_simulated == 0
+        assert local_charz.engine.perf.points_predicted == 0
+
+
+class TestFallbackPath:
+    def test_cv_breach_produces_dense_table(self, characterizer, library):
+        strict = SurrogateConfig(cv_budget=1e-12)
+        res = characterize_library(
+            characterizer, library, cells=["INVx1"], n_samples=N_SAMPLES,
+            workers=1, surrogate=strict, **GRID,
+        )
+        dense = characterize_library(
+            characterizer, library, cells=["INVx1"], n_samples=N_SAMPLES,
+            workers=1, **GRID,
+        )
+        for key, table in res.tables.items():
+            ref = dense.tables[key]
+            assert table.provenance is not None
+            assert table.provenance.get("fallback") == "cv_residual"
+            assert np.array_equal(table.moments, ref.moments)
+            assert np.array_equal(table.quantiles, ref.quantiles)
+            assert np.array_equal(table.out_slew, ref.out_slew)
+
+
+class TestPerfAttribution:
+    def test_point_counters_and_arc_attribution(self, local_charz, library):
+        res = characterize_library(
+            local_charz, library, cells=["INVx1"], n_samples=N_SAMPLES,
+            workers=1, surrogate=SurrogateConfig(), **GRID,
+        )
+        perf = local_charz.engine.perf
+        table = next(iter(res.tables.values()))
+        n_grid = table.moments[..., 0].size
+        assert perf.points_simulated + perf.points_predicted == n_grid
+        if table.provenance.get("fallback") is None:
+            assert perf.points_predicted > 0
+        assert any("INVx1" in arc for arc in perf.arc_samples)
+        assert all(v >= 0 for v in perf.arc_wall_s.values())
+        d = perf.to_dict()
+        assert "arc_wall_s" in d and "arc_samples" in d
