@@ -140,6 +140,11 @@ class JsonCache:
         shadowing the key, counted separately from plain misses, and
         reported as a miss to the caller — the artifact is simply
         recomputed and re-stored.
+
+        A file that vanishes between the existence check and the open —
+        a concurrent reader's corrupt-unlink, or a purge — is a plain
+        miss, not corruption: this reader never saw the bytes, so it has
+        no grounds to count (or unlink) anything.
         """
         path = self.path(kind, key)
         if not path.exists():
@@ -148,6 +153,9 @@ class JsonCache:
         try:
             with path.open() as fh:
                 doc = json.load(fh)
+        except FileNotFoundError:
+            self._count_miss()
+            return None
         except (OSError, json.JSONDecodeError):
             self.corrupt += 1
             if self.perf is not None:

@@ -11,6 +11,13 @@ Commands
     quantiles. With ``--batch``, compile the design once
     (:mod:`repro.core.sta_compiled`) and evaluate a whole grid of
     (input slew × launch edge) scenarios in one vectorized pass.
+``serve``
+    Boot the resident STA service (:mod:`repro.serve`): register one
+    or more circuits, keep their compiled engines warm, and answer
+    concurrent scenario-grid queries over a unix socket and/or HTTP.
+``query``
+    Talk to a running service: scenario-grid queries, ``--stats``,
+    ``--designs``.
 ``cells``
     List the synthetic library with pin caps and Pelgrom coefficients.
 ``lint``
@@ -183,9 +190,13 @@ def _parse_batch_scenarios(args):
     ]
 
 
-def cmd_analyze(args) -> int:
-    """Statistical STA on a benchmark circuit or Verilog file."""
-    from repro.core.sta import StatisticalSTA
+def _resolve_circuit(name: str, tech, width: int, parasitic_seed: int):
+    """Resolve a circuit spec shared by ``analyze`` and ``serve``.
+
+    ``name`` is a Verilog file path, an ISCAS85 profile name, or a
+    PULPino unit (ADD/SUB/MUL/DIV). Returns the parasitic-annotated
+    circuit, or ``None`` after printing a usage error.
+    """
     from repro.netlist.benchmarks import (
         ISCAS85_PROFILES,
         attach_parasitics,
@@ -194,19 +205,30 @@ def cmd_analyze(args) -> int:
     )
     from repro.netlist.verilog import read_verilog
 
-    flow = _make_flow(args)
-    name = args.circuit
     if Path(name).exists():
         circuit = read_verilog(name)
     elif name in ISCAS85_PROFILES:
         circuit = build_iscas85_like(name)
     elif name.upper() in ("ADD", "SUB", "MUL", "DIV"):
-        circuit = build_pulpino_unit(name.upper(), args.width)
+        circuit = build_pulpino_unit(name.upper(), width)
     else:
         print(f"error: {name!r} is neither a file, an ISCAS85 profile "
               f"({', '.join(ISCAS85_PROFILES)}) nor a PULPino unit", file=sys.stderr)
+        return None
+    attach_parasitics(circuit, tech, seed=parasitic_seed)
+    return circuit
+
+
+def cmd_analyze(args) -> int:
+    """Statistical STA on a benchmark circuit or Verilog file."""
+    from repro.core.sta import StatisticalSTA
+
+    flow = _make_flow(args)
+    circuit = _resolve_circuit(
+        args.circuit, flow.tech, args.width, args.parasitic_seed
+    )
+    if circuit is None:
         return 2
-    attach_parasitics(circuit, flow.tech, seed=args.parasitic_seed)
     print(f"Circuit: {circuit}")
 
     print("Fitting models (cached) ...")
@@ -326,6 +348,145 @@ def cmd_lint(args) -> int:
     return 0 if not failing else 1
 
 
+def cmd_serve(args) -> int:
+    """Boot the resident STA service over one or more circuits."""
+    from repro.cache import JsonCache
+    from repro.errors import ReproError
+    from repro.journal import RunJournal
+    from repro.serve import DesignRegistry, STAServer, ServeConfig
+
+    if args.socket is None and args.host is None:
+        print("error: serve needs --socket PATH and/or --host HOST",
+              file=sys.stderr)
+        return 2
+
+    flow = _make_flow(args)
+    print("Fitting models (cached) ...")
+    models = flow.fit_models()
+
+    journal = RunJournal(args.journal) if args.journal else None
+    budget = (
+        int(args.lru_mb * 1024 * 1024) if args.lru_mb is not None else None
+    )
+    registry = DesignRegistry(
+        cache=JsonCache(args.cache_dir),
+        perf=flow.perf,
+        journal=journal,
+        budget_bytes=budget,
+    )
+    for name in args.circuits:
+        circuit = _resolve_circuit(
+            name, flow.tech, args.width, args.parasitic_seed
+        )
+        if circuit is None:
+            return 2
+        key = registry.register(circuit.name, circuit, models)
+        print(f"Registered {circuit.name} (key {key[:12]}...)")
+
+    config = ServeConfig(
+        max_concurrency=args.concurrency,
+        queue_depth=args.queue_depth,
+        default_deadline_s=args.deadline,
+        max_scenarios=args.max_scenarios,
+    )
+    server = STAServer(registry, config, journal=journal, perf=flow.perf)
+
+    def _ready() -> None:
+        endpoint = args.socket if args.socket else f"{args.host}:{server.port}"
+        print(f"Serving {len(registry.names())} design(s) on {endpoint} "
+              f"(concurrency {config.max_concurrency}, "
+              f"queue {config.queue_depth})", flush=True)
+        if args.ready_file:
+            Path(args.ready_file).write_text(endpoint + "\n")
+
+    try:
+        server.run(socket_path=args.socket, host=args.host, port=args.port,
+                   ready=_ready)
+    except KeyboardInterrupt:
+        pass
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if journal is not None:
+            journal.close()
+    if args.perf:
+        _print_perf(flow)
+    return 0
+
+
+def cmd_query(args) -> int:
+    """Query a running STA service (see ``repro serve``)."""
+    from repro.errors import ReproError
+    from repro.serve import QueryRequest, ServeClient
+    from repro.moments.stats import SIGMA_LEVELS
+
+    try:
+        client = ServeClient(socket_path=args.socket, host=args.host,
+                             port=args.port, timeout=args.timeout)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.stats:
+            import json as _json
+            print(_json.dumps(client.stats(), indent=2))
+            return 0
+        if args.designs:
+            for name in client.designs():
+                print(name)
+            return 0
+        if not args.design:
+            print("error: give a design name, --stats or --designs",
+                  file=sys.stderr)
+            return 2
+
+        slews = tuple(
+            float(s) for s in args.slews.split(",") if s.strip()
+        ) or (20.0,)
+        edges = tuple(
+            e.strip().lower() for e in args.edges.split(",") if e.strip()
+        ) or ("rise",)
+        levels = tuple(
+            int(n) for n in args.levels.split(",") if n.strip()
+        ) or SIGMA_LEVELS
+        correlations: tuple = (None,)
+        if args.correlations:
+            correlations = tuple(
+                None if token.strip() in ("fit", "none") else float(token)
+                for token in args.correlations.split(",") if token.strip()
+            ) or (None,)
+        request = QueryRequest(
+            design=args.design,
+            slews_ps=slews,
+            edges=edges,
+            levels=levels,
+            correlations=correlations,
+            deadline_s=args.deadline,
+        )
+        response = client.query(request)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if not response.ok:
+        print(f"error [{response.code}]: {response.error}", file=sys.stderr)
+        for diag in response.diagnostics:
+            print(f"  {diag}", file=sys.stderr)
+        return 1
+    print(f"{response.design} ({response.n_scenarios} scenario(s), "
+          f"{response.served_s * 1e3:.1f} ms served)")
+    for result in response.results:
+        rho = "fit" if result.correlation is None else f"{result.correlation}"
+        quantiles = "  ".join(
+            f"{n:+d}s={q / PS:.1f}ps" for n, q in sorted(result.quantiles_s.items())
+        )
+        print(f"slew {result.slew_ps:6.1f} ps {result.edge:<4} rho={rho:<5} "
+              f"-> {result.endpoint} ({result.n_stages} stages)  {quantiles}")
+    return 0
+
+
 def cmd_kernels(args) -> int:
     """Probe and list the kernel backends on this machine."""
     from repro.kernels import available_backends, default_backend
@@ -379,6 +540,64 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-edges", default="rise",
                    help="comma-separated launch edges (rise,fall) for --batch")
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("serve", help="boot the resident STA query service")
+    _add_flow_args(p)
+    p.add_argument("circuits", nargs="+",
+                   help="circuits to serve: ISCAS85 names, PULPino units "
+                        "(ADD/SUB/MUL/DIV) or structural Verilog files")
+    p.add_argument("--width", type=int, default=16,
+                   help="operand width for PULPino units")
+    p.add_argument("--parasitic-seed", type=int, default=1,
+                   help="seed of the synthetic parasitics")
+    p.add_argument("--socket", default=None,
+                   help="unix-socket path to listen on (newline-JSON)")
+    p.add_argument("--host", default=None,
+                   help="HTTP listen host (e.g. 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="HTTP listen port (0 = ephemeral)")
+    p.add_argument("--concurrency", type=int, default=4,
+                   help="queries executing simultaneously")
+    p.add_argument("--queue-depth", type=int, default=32,
+                   help="admitted-but-waiting queries before rejecting busy")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="default per-query deadline in seconds")
+    p.add_argument("--lru-mb", type=float, default=None,
+                   help="resident compiled-design budget in MiB "
+                        "(default: unbounded)")
+    p.add_argument("--max-scenarios", type=int, default=4096,
+                   help="per-request scenario-grid ceiling")
+    p.add_argument("--ready-file", default="",
+                   help="write the bound endpoint here once listening "
+                        "(for supervisors/CI)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("query", help="query a running STA service")
+    p.add_argument("design", nargs="?", default="",
+                   help="registered design name to query")
+    p.add_argument("--socket", default=None,
+                   help="unix-socket endpoint of the server")
+    p.add_argument("--host", default=None, help="HTTP host of the server")
+    p.add_argument("--port", type=int, default=None,
+                   help="HTTP port of the server")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="client socket timeout in seconds")
+    p.add_argument("--slews", default="20",
+                   help="comma-separated input slews in ps")
+    p.add_argument("--edges", default="rise",
+                   help="comma-separated launch edges (rise,fall)")
+    p.add_argument("--levels", default="-3,-2,-1,0,1,2,3",
+                   help="comma-separated sigma levels")
+    p.add_argument("--correlations", default="",
+                   help="comma-separated stage correlations in [0,1] "
+                        "('fit' = the fitted value)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request deadline in seconds")
+    p.add_argument("--stats", action="store_true",
+                   help="print the server's live counters and exit")
+    p.add_argument("--designs", action="store_true",
+                   help="list the registered designs and exit")
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("kernels", help="probe the available kernel backends")
     p.set_defaults(func=cmd_kernels)

@@ -358,7 +358,7 @@ def compile_design(
                 return candidate
 
     design = _build_design(circuit, models, digest)
-    perf.sta_compiles += 1
+    perf.incr(sta_compiles=1)
     if cache is not None and key is not None:
         cache.put(COMPILE_CACHE_KIND, key, design.to_dict())
     return design
@@ -542,6 +542,10 @@ class CompiledSTA:
         level costs one gather → arc-tensor contraction → per-gate argmax
         → scatter cycle regardless of the batch width. Per-scenario
         critical paths are then traced and priced.
+
+        Safe to call concurrently on a shared instance: all propagation
+        state is per-call locals, and perf-counter updates go through
+        :meth:`~repro.perf.PerfCounters.incr` under the counters' lock.
         """
         if not scenarios:
             return []
@@ -566,7 +570,7 @@ class CompiledSTA:
                     )
                 )
             wall = time.perf_counter() - t0
-            self.perf.sta_scenarios += len(scenarios)
+            self.perf.incr(sta_scenarios=len(scenarios))
         for result in results:
             result.runtime_s = wall / len(scenarios)
         return results
@@ -589,6 +593,7 @@ class CompiledSTA:
         )[:, None]
 
         arcs = design.arcs
+        arc_evals = 0
         for level in design.levels:
             src = level.src_net
             at_pin = arrival[:, src] + level.elm_in
@@ -612,8 +617,10 @@ class CompiledSTA:
             edge[:, level.out_net] = best_edge
             winner[:, level.out_net] = win.astype(np.int32)
 
-            self.perf.sta_levels += 1
-            self.perf.sta_arc_evals += n_s * level.n_arcs
+            arc_evals += n_s * level.n_arcs
+        # One locked update per batch: bare `+=` on shared counters races
+        # under concurrent queries against one instance.
+        self.perf.incr(sta_levels=len(design.levels), sta_arc_evals=arc_evals)
         return arrival, slew, edge, winner
 
     def _trace_path(

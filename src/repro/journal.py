@@ -23,6 +23,9 @@ Event vocabulary (the ``event`` field):
 ``pool_crash``
     A worker process died (OOM kill, ``os._exit``); the named tasks
     were re-executed in isolation instead of aborting the run.
+``timeout_unsupported``
+    A ``task_timeout`` was requested but cannot be enforced on this
+    platform (no ``SIGALRM``); attempts ran unbounded.
 ``checkpoint`` / ``checkpoint_restore``
     An arc table was persisted to / restored from the artifact cache.
 ``cache_corrupt``
@@ -38,6 +41,18 @@ Event vocabulary (the ``event`` field):
     ``acquisition`` per batch of chosen grid points, and a
     ``surrogate_fallback`` when an arc reverts to dense simulation
     (cross-validation breach or a grid too small to save anything).
+``serve_listen`` / ``serve_shutdown``
+    Resident STA service bracket (:mod:`repro.serve`): endpoints the
+    server bound at startup, and the totals at shutdown.
+``serve_design_load`` / ``serve_evict``
+    Design-registry lifecycle: a design compiled (or reloaded from the
+    compile cache) into residency with its content key and tensor-bank
+    byte size, and a resident design dropped by the bytes-budgeted LRU.
+``serve_admit`` / ``serve_start`` / ``serve_finish`` / ``serve_reject``
+    Per-request audit trail: admission into the bounded queue, query
+    execution start, completion (with status ``ok`` / ``deadline`` /
+    ``error`` and wall time), and refusal at the door (full queue,
+    lint-rejected input, unknown design) with the reject reason.
 
 Timestamps are **monotonic offsets** from journal creation (``t_s``),
 not wall-clock datetimes: the journal must never leak irreproducible
@@ -50,6 +65,7 @@ and interleaving are detectable (lint rule RUN002).
 from __future__ import annotations
 
 import json
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, TextIO, Union
@@ -64,6 +80,7 @@ KNOWN_EVENTS = frozenset({
     "task_quarantine",
     "arc_quarantine",
     "pool_crash",
+    "timeout_unsupported",
     "checkpoint",
     "checkpoint_restore",
     "cache_corrupt",
@@ -71,6 +88,14 @@ KNOWN_EVENTS = frozenset({
     "surrogate_fit",
     "acquisition",
     "surrogate_fallback",
+    "serve_listen",
+    "serve_shutdown",
+    "serve_design_load",
+    "serve_evict",
+    "serve_admit",
+    "serve_start",
+    "serve_finish",
+    "serve_reject",
     "note",
 })
 
@@ -94,24 +119,34 @@ class RunJournal:
         self.run_id = run_id
         self.seq = 0
         self._t0 = time.perf_counter()
+        self._lock = threading.Lock()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh: Optional[TextIO] = self.path.open("a")
 
     # ------------------------------------------------------------------
     def event(self, name: str, **fields: Any) -> Dict[str, Any]:
-        """Append one event record (flushed immediately) and return it."""
-        record: Dict[str, Any] = {
-            "seq": self.seq,
-            "t_s": round(time.perf_counter() - self._t0, 6),
-            "event": name,
-        }
-        record.update(fields)
-        if self._fh is None:
-            raise ValueError(f"journal {self.path} is closed")
-        self._fh.write(json.dumps(record, sort_keys=False, default=repr) + "\n")
-        self._fh.flush()
-        self.seq += 1
-        return record
+        """Append one event record (flushed immediately) and return it.
+
+        Thread-safe: ``seq`` assignment and the write+flush happen under
+        one lock, so concurrent writers (the serving event loop and its
+        worker threads) can never interleave lines or duplicate sequence
+        numbers — lint rule RUN002 depends on both.
+        """
+        with self._lock:
+            record: Dict[str, Any] = {
+                "seq": self.seq,
+                "t_s": round(time.perf_counter() - self._t0, 6),
+                "event": name,
+            }
+            record.update(fields)
+            if self._fh is None:
+                raise ValueError(f"journal {self.path} is closed")
+            self._fh.write(
+                json.dumps(record, sort_keys=False, default=repr) + "\n"
+            )
+            self._fh.flush()
+            self.seq += 1
+            return record
 
     def run_start(self, **config: Any) -> Dict[str, Any]:
         """Emit the run bracket opener with the run configuration."""
@@ -128,9 +163,10 @@ class RunJournal:
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Close the underlying file (further events raise)."""
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "RunJournal":
         return self

@@ -42,6 +42,7 @@ from repro.lint.domain import (
     lint_kernel_equivalence,
     lint_nsigma_model,
     lint_rctree,
+    lint_serve_request,
     lint_spef,
     lint_surrogate_provenance,
     lint_table,
@@ -75,6 +76,7 @@ __all__ = [
     "lint_module_deep",
     "lint_nsigma_model",
     "lint_rctree",
+    "lint_serve_request",
     "lint_source",
     "lint_spef",
     "lint_surrogate_provenance",

@@ -212,6 +212,28 @@ register_rule(Rule(
     "points are real simulations and which are inferred; without that, "
     "downstream audits cannot distinguish data from extrapolation",
 ))
+register_rule(Rule(
+    "SRV001", "domain", Severity.ERROR,
+    "malformed serve request: missing/unknown field or wrong type",
+    "a request the server cannot even interpret must be rejected at "
+    "admission with a diagnostic, not guessed at — a typoed field name "
+    "silently falling back to defaults would serve wrong answers",
+))
+register_rule(Rule(
+    "SRV002", "domain", Severity.ERROR,
+    "serve request value outside the analyzable domain",
+    "non-finite or non-positive slews, unknown edge polarities, "
+    "out-of-range sigma levels or correlations would propagate NaNs or "
+    "nonsense through a shared resident engine; the request must be "
+    "refused before it reaches the query path",
+))
+register_rule(Rule(
+    "SRV003", "domain", Severity.ERROR,
+    "serve request scenario grid exceeds the server's budget",
+    "one unbounded slew x edge x correlation cross product can occupy a "
+    "worker for minutes and starve every other client of the shared "
+    "admission queue; oversized grids are refused, not queued",
+))
 
 #: RCT005 thresholds — far beyond plausible on-chip parasitics.
 ABSURD_RESISTANCE = 10 * MEGOHM
@@ -802,6 +824,132 @@ def lint_journal(path) -> LintReport:
             f"run {run_id or '<unnamed>'} started here but never finished "
             f"(interrupted — resume candidate)",
             file=str(path), line=lineno,
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Serve requests
+# ----------------------------------------------------------------------
+#: Fields a serve query request may carry (``design`` is required).
+SERVE_REQUEST_FIELDS = frozenset({
+    "op", "request_id", "design", "slews_ps", "edges", "levels",
+    "correlations", "deadline_s",
+})
+
+#: Sigma levels the Table I quantile models are trusted at.
+SERVE_LEVEL_RANGE = (-5, 5)
+
+#: Default cap on one request's slew x edge x correlation cross product.
+SERVE_MAX_SCENARIOS = 4096
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def lint_serve_request(doc, max_scenarios: int = SERVE_MAX_SCENARIOS) -> LintReport:
+    """Validate one resident-STA query request document (``SRV`` rules).
+
+    The server (:mod:`repro.serve`) routes every incoming query through
+    this check before admission; any ERROR diagnostic turns into a
+    structured reject response carrying the rendered findings. Checks:
+
+    * SRV001 — structural shape: a JSON object with a non-empty string
+      ``design``, only known fields (:data:`SERVE_REQUEST_FIELDS`), and
+      list-typed grid axes;
+    * SRV002 — value domains: slews finite and positive, edges
+      ``rise``/``fall``, sigma levels integers within
+      :data:`SERVE_LEVEL_RANGE`, correlations ``null`` or in [0, 1],
+      deadline finite and positive;
+    * SRV003 — the expanded scenario grid (slews × edges ×
+      correlations) must not exceed ``max_scenarios``.
+    """
+    report = LintReport()
+    if not isinstance(doc, dict):
+        report.emit(
+            "SRV001",
+            f"request is not a JSON object (got {type(doc).__name__})",
+            artifact="serve_request",
+        )
+        return report
+    label = str(doc.get("design", "")) or "serve_request"
+    for field_name in sorted(set(doc) - SERVE_REQUEST_FIELDS):
+        report.emit(
+            "SRV001", f"unknown request field {field_name!r}", artifact=label,
+        )
+    design = doc.get("design")
+    if not isinstance(design, str) or not design:
+        report.emit(
+            "SRV001", "request has no non-empty string 'design'",
+            artifact=label,
+        )
+
+    def _axis(name: str) -> Optional[list]:
+        value = doc.get(name)
+        if value is None:
+            return None
+        if not isinstance(value, list) or not value:
+            report.emit(
+                "SRV001", f"'{name}' must be a non-empty list",
+                artifact=label,
+            )
+            return None
+        return value
+
+    slews = _axis("slews_ps")
+    for s in slews or ():
+        if not _is_number(s) or not math.isfinite(s) or s <= 0:
+            report.emit(
+                "SRV002", f"slew {s!r} ps is not a finite positive number",
+                artifact=label,
+            )
+    edges = _axis("edges")
+    for e in edges or ():
+        if e not in ("rise", "fall"):
+            report.emit(
+                "SRV002", f"edge {e!r} is not 'rise' or 'fall'",
+                artifact=label,
+            )
+    lo, hi = SERVE_LEVEL_RANGE
+    for n in _axis("levels") or ():
+        if not isinstance(n, int) or isinstance(n, bool) or not lo <= n <= hi:
+            report.emit(
+                "SRV002",
+                f"sigma level {n!r} is not an integer in [{lo}, {hi}]",
+                artifact=label,
+            )
+    correlations = _axis("correlations")
+    for rho in correlations or ():
+        if rho is None:
+            continue
+        if not _is_number(rho) or not 0.0 <= rho <= 1.0:
+            report.emit(
+                "SRV002",
+                f"stage correlation {rho!r} is not null or in [0, 1]",
+                artifact=label,
+            )
+    deadline = doc.get("deadline_s")
+    if deadline is not None and (
+        not _is_number(deadline) or not math.isfinite(deadline) or deadline <= 0
+    ):
+        report.emit(
+            "SRV002",
+            f"deadline {deadline!r} s is not a finite positive number",
+            artifact=label,
+        )
+
+    n_scenarios = (
+        max(1, len(slews or [0]))
+        * max(1, len(edges or [0]))
+        * max(1, len(correlations or [0]))
+    )
+    if n_scenarios > max_scenarios:
+        report.emit(
+            "SRV003",
+            f"scenario grid of {n_scenarios} exceeds the budget of "
+            f"{max_scenarios} (slews x edges x correlations)",
+            artifact=label,
         )
     return report
 

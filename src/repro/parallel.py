@@ -370,33 +370,51 @@ def _alarm_handler(signum, frame):  # pragma: no cover - fires only on timeout
 
 
 _timeout_unsupported_warned = False
+_timeout_warn_lock = threading.Lock()
+
+
+def _warn_timeout_unbounded() -> None:
+    """One ``RuntimeWarning`` per process: attempts run unbounded."""
+    global _timeout_unsupported_warned
+    with _timeout_warn_lock:
+        if _timeout_unsupported_warned:
+            return
+        _timeout_unsupported_warned = True
+    warnings.warn(
+        "task_timeout requested but cannot be enforced here "
+        "(SIGALRM unavailable or attempt off the main thread); "
+        "attempts run unbounded",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def _call_with_timeout(fn: Callable[[T], R], task: T, timeout: Optional[float]) -> R:
     """Run one attempt, bounded by ``timeout`` seconds when enforceable.
 
     When a timeout was requested but cannot be enforced — no ``SIGALRM``
-    on this platform, or the attempt runs off the main thread — the
-    attempt degrades to running unbounded, with a one-time
+    on this platform, or the attempt runs off the main thread (server
+    worker threads dispatching queries, thread-pooled design loads) —
+    the attempt degrades to running unbounded, with a one-time
     ``RuntimeWarning`` per process so the degradation is visible instead
-    of silent.
+    of silent. The thread check is a fast path, not the authority:
+    ``signal.signal`` itself refuses with ``ValueError`` outside the
+    main thread of the main interpreter (embedded interpreters and
+    forked servers can disagree with ``threading.main_thread()``), and
+    that refusal takes the same loud degradation path instead of
+    crashing the attempt.
     """
-    global _timeout_unsupported_warned
     if not timeout:
         return fn(task)
     if threading.current_thread() is not threading.main_thread() \
             or not hasattr(signal, "SIGALRM"):
-        if not _timeout_unsupported_warned:
-            _timeout_unsupported_warned = True
-            warnings.warn(
-                "task_timeout requested but cannot be enforced here "
-                "(SIGALRM unavailable or attempt off the main thread); "
-                "attempts run unbounded",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+        _warn_timeout_unbounded()
         return fn(task)
-    old = signal.signal(signal.SIGALRM, _alarm_handler)
+    try:
+        old = signal.signal(signal.SIGALRM, _alarm_handler)
+    except ValueError:
+        _warn_timeout_unbounded()
+        return fn(task)
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
         return fn(task)

@@ -26,6 +26,14 @@ What is counted and why it matters:
   scenarios served, levelized propagation sweeps, and (scenario × gate
   × pin) timing-arc evaluations. ``sta_arc_evals / wall_s['sta_query']``
   is the engine's headline throughput.
+* ``sta_serve_requests`` / ``sta_serve_scenarios`` /
+  ``sta_serve_rejects`` / ``sta_serve_deadline_misses`` /
+  ``sta_serve_evictions`` / ``sta_serve_design_loads`` — the resident
+  STA service (:mod:`repro.serve`): query requests admitted and the
+  scenarios they carried, requests refused at admission (full queue or
+  invalid input), requests that blew their deadline, tensor banks
+  evicted from the registry LRU, and designs (re)compiled or reloaded
+  into residency. Exposed live on the server's ``/stats`` endpoint.
 * ``cache_hits`` / ``cache_misses`` / ``cache_corrupt`` — artifact-cache
   traffic (:class:`repro.cache.JsonCache`); ``cache_corrupt`` counts
   truncated/unparseable artifacts that were demoted to misses and
@@ -77,6 +85,12 @@ class PerfCounters:
     sta_scenarios: int = 0
     sta_levels: int = 0
     sta_arc_evals: int = 0
+    sta_serve_requests: int = 0
+    sta_serve_scenarios: int = 0
+    sta_serve_rejects: int = 0
+    sta_serve_deadline_misses: int = 0
+    sta_serve_evictions: int = 0
+    sta_serve_design_loads: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_corrupt: int = 0
@@ -177,6 +191,12 @@ class PerfCounters:
         self.sta_scenarios += other.sta_scenarios
         self.sta_levels += other.sta_levels
         self.sta_arc_evals += other.sta_arc_evals
+        self.sta_serve_requests += other.sta_serve_requests
+        self.sta_serve_scenarios += other.sta_serve_scenarios
+        self.sta_serve_rejects += other.sta_serve_rejects
+        self.sta_serve_deadline_misses += other.sta_serve_deadline_misses
+        self.sta_serve_evictions += other.sta_serve_evictions
+        self.sta_serve_design_loads += other.sta_serve_design_loads
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_corrupt += other.cache_corrupt
@@ -213,6 +233,12 @@ class PerfCounters:
             "sta_scenarios": self.sta_scenarios,
             "sta_levels": self.sta_levels,
             "sta_arc_evals": self.sta_arc_evals,
+            "sta_serve_requests": self.sta_serve_requests,
+            "sta_serve_scenarios": self.sta_serve_scenarios,
+            "sta_serve_rejects": self.sta_serve_rejects,
+            "sta_serve_deadline_misses": self.sta_serve_deadline_misses,
+            "sta_serve_evictions": self.sta_serve_evictions,
+            "sta_serve_design_loads": self.sta_serve_design_loads,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_corrupt": self.cache_corrupt,
@@ -246,6 +272,12 @@ class PerfCounters:
             sta_scenarios=int(data.get("sta_scenarios", 0)),
             sta_levels=int(data.get("sta_levels", 0)),
             sta_arc_evals=int(data.get("sta_arc_evals", 0)),
+            sta_serve_requests=int(data.get("sta_serve_requests", 0)),
+            sta_serve_scenarios=int(data.get("sta_serve_scenarios", 0)),
+            sta_serve_rejects=int(data.get("sta_serve_rejects", 0)),
+            sta_serve_deadline_misses=int(data.get("sta_serve_deadline_misses", 0)),
+            sta_serve_evictions=int(data.get("sta_serve_evictions", 0)),
+            sta_serve_design_loads=int(data.get("sta_serve_design_loads", 0)),
             cache_hits=int(data.get("cache_hits", 0)),
             cache_misses=int(data.get("cache_misses", 0)),
             cache_corrupt=int(data.get("cache_corrupt", 0)),
@@ -288,6 +320,15 @@ class PerfCounters:
                 f"{self.sta_scenarios} scenarios  "
                 f"{self.sta_levels} level sweeps  "
                 f"{self.sta_arc_evals} arc evals"
+            )
+        if self.sta_serve_requests or self.sta_serve_rejects:
+            lines.append(
+                f"serve: {self.sta_serve_requests} requests  "
+                f"{self.sta_serve_scenarios} scenarios  "
+                f"{self.sta_serve_rejects} rejected  "
+                f"{self.sta_serve_deadline_misses} deadline misses  "
+                f"{self.sta_serve_design_loads} design loads  "
+                f"{self.sta_serve_evictions} evictions"
             )
         if self.points_simulated or self.points_predicted:
             total = self.points_simulated + self.points_predicted

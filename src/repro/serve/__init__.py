@@ -1,0 +1,57 @@
+"""Resident STA service: warm compiled designs behind a query server.
+
+The batch flow pays the full pipeline on every invocation — parse,
+characterize (or cache-hit), fit, compile, query, exit. For interactive
+what-if timing (sweep a slew, flip a launch edge, try a correlation)
+that cost structure is upside down: the compile artifact is the
+expensive part and it is identical across queries. This package keeps
+compiled designs **resident**:
+
+* :mod:`repro.serve.registry` — named designs → warm
+  :class:`~repro.core.sta_compiled.CompiledSTA` engines under a
+  bytes-budgeted LRU;
+* :mod:`repro.serve.protocol` — wire schemas (scenario-grid requests,
+  per-scenario results in raw seconds for bit-exact transport);
+* :mod:`repro.serve.server` — asyncio front door (unix socket +
+  minimal HTTP) with bounded admission, per-request deadlines, lint
+  validation and a journaled audit trail;
+* :mod:`repro.serve.client` — blocking, thread-safe client.
+
+CLI: ``repro serve`` boots a server, ``repro query`` talks to one.
+Served results are bit-identical to a direct in-process
+``analyze_batch`` — asserted over concurrent bursts by
+``tests/serve/test_server.py``.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.protocol import (
+    QueryRequest,
+    QueryResponse,
+    REJECT_CODES,
+    ScenarioResult,
+    reject,
+)
+from repro.serve.registry import DesignRegistry, design_nbytes
+from repro.serve.server import (
+    HTTP_STATUS,
+    STAServer,
+    ServeConfig,
+    ServerHandle,
+    start_in_thread,
+)
+
+__all__ = [
+    "DesignRegistry",
+    "HTTP_STATUS",
+    "QueryRequest",
+    "QueryResponse",
+    "REJECT_CODES",
+    "STAServer",
+    "ScenarioResult",
+    "ServeClient",
+    "ServeConfig",
+    "ServerHandle",
+    "design_nbytes",
+    "reject",
+    "start_in_thread",
+]

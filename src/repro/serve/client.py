@@ -1,0 +1,134 @@
+"""Blocking client for the resident STA service.
+
+Speaks either transport of :class:`repro.serve.server.STAServer`: the
+newline-delimited-JSON unix socket (preferred — lowest overhead, used
+by tests and CI) or the HTTP endpoint. Each request opens a fresh
+connection, so one client object is safe to share across threads — the
+concurrency tests fire dozens of queries through a single
+:class:`ServeClient` from a thread pool.
+
+The client performs no unit conversion: response delays arrive in
+seconds exactly as the server computed them, so
+``ServeClient.query(...).results[k].quantiles_s`` compares bit-for-bit
+against a direct in-process ``analyze_batch`` on the same design.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.serve.protocol import QueryRequest, QueryResponse
+
+
+class ServeClient:
+    """One server endpoint; thread-safe (fresh connection per request).
+
+    Parameters
+    ----------
+    socket_path:
+        Unix-socket endpoint (takes precedence when both are given).
+    host / port:
+        HTTP endpoint.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: float = 30.0,
+    ):
+        if socket_path is None and (host is None or port is None):
+            raise ReproError(
+                "client needs an endpoint: a unix socket path or host+port"
+            )
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def request(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one raw request document, return the response document."""
+        if self.socket_path is not None:
+            return self._request_unix(doc)
+        return self._request_http(doc)
+
+    def _request_unix(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+            sock.sendall(json.dumps(doc).encode() + b"\n")
+            chunks: List[bytes] = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                if chunk.endswith(b"\n"):
+                    break
+        raw = b"".join(chunks)
+        if not raw:
+            raise ReproError(
+                f"server at {self.socket_path} closed the connection "
+                "without answering"
+            )
+        return json.loads(raw.decode())
+
+    def _request_http(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        op = doc.get("op", "query")
+        route: Tuple[str, str] = {
+            "stats": ("GET", "/stats"),
+            "designs": ("GET", "/designs"),
+            "ping": ("GET", "/healthz"),
+        }.get(op, ("POST", "/query"))
+        method, path = route
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = json.dumps(doc) if method == "POST" else None
+            conn.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            payload = conn.getresponse().read()
+        finally:
+            conn.close()
+        return json.loads(payload.decode())
+
+    # ------------------------------------------------------------------
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """Run one scenario-grid query; returns the typed response."""
+        doc = request.to_dict()
+        doc["op"] = "query"
+        return QueryResponse.from_dict(self.request(doc))
+
+    def stats(self) -> Dict[str, Any]:
+        """Fetch the live server/registry counters."""
+        response = self.request({"op": "stats"})
+        if not response.get("ok"):
+            raise ReproError(f"stats request failed: {response}")
+        return response["stats"]
+
+    def designs(self) -> List[str]:
+        """List registered design names."""
+        response = self.request({"op": "designs"})
+        if not response.get("ok"):
+            raise ReproError(f"designs request failed: {response}")
+        return list(response["designs"])
+
+    def ping(self) -> bool:
+        """Liveness probe."""
+        try:
+            return bool(self.request({"op": "ping"}).get("ok"))
+        except (OSError, json.JSONDecodeError):
+            return False

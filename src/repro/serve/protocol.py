@@ -1,0 +1,268 @@
+"""Wire schemas of the resident STA service.
+
+One request describes a whole scenario *grid*: the cross product of
+input slews × launch edges × stage correlations, evaluated at a shared
+tuple of sigma levels. The expansion order (slew-major, then edge, then
+correlation) is part of the contract — response entries line up with
+:meth:`QueryRequest.scenarios`, and a client replaying the same request
+against :meth:`repro.core.sta_compiled.CompiledSTA.analyze_batch`
+directly gets the same scenario list in the same order.
+
+Numbers cross the wire as JSON floats serialized with Python's
+shortest-round-trip ``repr``, so delay quantiles survive the transport
+bit-for-bit: a served result compares *exactly* equal to a direct
+in-process query (asserted by ``tests/serve/test_server.py``).
+
+Validation is two-layered: :func:`repro.lint.lint_serve_request`
+(rules SRV001–SRV003) runs over the raw document before anything is
+instantiated — the server turns ERROR diagnostics into structured
+reject responses — and :meth:`QueryRequest.from_dict` then builds the
+typed request from a document that passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.sta_compiled import BatchSTAResult, Scenario
+from repro.moments.stats import SIGMA_LEVELS
+from repro.units import PS
+
+#: Reject/error codes a response may carry (HTTP status mapping in
+#: :mod:`repro.serve.server`).
+REJECT_CODES = ("invalid", "unknown_design", "busy", "deadline", "error")
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One scenario-grid query against a registered design.
+
+    Attributes
+    ----------
+    design:
+        Registry name of the design to query.
+    slews_ps:
+        Primary-input slews in picoseconds (one scenario axis).
+    edges:
+        Launch edge polarities, ``"rise"`` / ``"fall"``.
+    levels:
+        Sigma levels evaluated along every critical path.
+    correlations:
+        Stage-correlation values; ``None`` uses the fitted
+        ``models.stage_correlation``.
+    deadline_s:
+        Optional per-request wall-clock budget (the server enforces
+        its own default when unset).
+    request_id:
+        Optional client-chosen identifier echoed in the response and
+        the journal audit trail.
+    """
+
+    design: str
+    slews_ps: Tuple[float, ...] = (20.0,)
+    edges: Tuple[str, ...] = ("rise",)
+    levels: Tuple[int, ...] = SIGMA_LEVELS
+    correlations: Tuple[Optional[float], ...] = (None,)
+    deadline_s: Optional[float] = None
+    request_id: str = ""
+
+    @property
+    def n_scenarios(self) -> int:
+        """Size of the expanded scenario grid."""
+        return len(self.slews_ps) * len(self.edges) * len(self.correlations)
+
+    def scenarios(self) -> List[Scenario]:
+        """Expand the grid, slew-major: slew → edge → correlation."""
+        return [
+            Scenario(
+                input_slew=slew * PS,
+                launch_rising=edge == "rise",
+                levels=tuple(self.levels),
+                stage_correlation=rho,
+            )
+            for slew in self.slews_ps
+            for edge in self.edges
+            for rho in self.correlations
+        ]
+
+    def to_dict(self) -> dict:
+        """Wire form (the ``op`` marker is added by the transport)."""
+        doc: dict = {
+            "design": self.design,
+            "slews_ps": list(self.slews_ps),
+            "edges": list(self.edges),
+            "levels": list(self.levels),
+            "correlations": list(self.correlations),
+        }
+        if self.deadline_s is not None:
+            doc["deadline_s"] = self.deadline_s
+        if self.request_id:
+            doc["request_id"] = self.request_id
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "QueryRequest":
+        """Build from a document that passed ``lint_serve_request``."""
+        return cls(
+            design=str(doc["design"]),
+            slews_ps=tuple(float(s) for s in doc.get("slews_ps", (20.0,))),
+            edges=tuple(str(e) for e in doc.get("edges", ("rise",))),
+            levels=tuple(int(n) for n in doc.get("levels", SIGMA_LEVELS)),
+            correlations=tuple(
+                None if rho is None else float(rho)
+                for rho in doc.get("correlations", (None,))
+            ),
+            deadline_s=(
+                float(doc["deadline_s"]) if doc.get("deadline_s") is not None
+                else None
+            ),
+            request_id=str(doc.get("request_id", "")),
+        )
+
+
+@dataclass
+class ScenarioResult:
+    """Served timing of one scenario (seconds, full float precision).
+
+    ``quantiles_s`` is Eq. (10) — the comonotone per-level path totals —
+    and ``correlated_quantiles_s`` the correlation-aware variant at the
+    scenario's stage correlation.
+    """
+
+    slew_ps: float
+    edge: str
+    correlation: Optional[float]
+    endpoint: str
+    n_stages: int
+    critical_delay_s: float
+    quantiles_s: Dict[int, float] = field(default_factory=dict)
+    correlated_quantiles_s: Dict[int, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_batch_result(cls, result: BatchSTAResult) -> "ScenarioResult":
+        """Flatten one :class:`BatchSTAResult` into its wire form."""
+        scenario = result.scenario
+        path = result.critical_path
+        stages = path.stages
+        return cls(
+            slew_ps=scenario.input_slew / PS,
+            edge="rise" if scenario.launch_rising else "fall",
+            correlation=scenario.stage_correlation,
+            endpoint=stages[-1].net if stages else "",
+            n_stages=len(stages),
+            critical_delay_s=result.critical_delay,
+            quantiles_s={n: path.total(n) for n in scenario.levels},
+            correlated_quantiles_s=dict(result.correlated_quantiles),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON form (sigma-level keys become strings)."""
+        return {
+            "slew_ps": self.slew_ps,
+            "edge": self.edge,
+            "correlation": self.correlation,
+            "endpoint": self.endpoint,
+            "n_stages": self.n_stages,
+            "critical_delay_s": self.critical_delay_s,
+            "quantiles_s": {str(n): q for n, q in self.quantiles_s.items()},
+            "correlated_quantiles_s": {
+                str(n): q for n, q in self.correlated_quantiles_s.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ScenarioResult":
+        """Inverse of :meth:`to_dict` (string keys back to ints)."""
+        return cls(
+            slew_ps=float(doc["slew_ps"]),
+            edge=str(doc["edge"]),
+            correlation=(
+                None if doc.get("correlation") is None
+                else float(doc["correlation"])
+            ),
+            endpoint=str(doc.get("endpoint", "")),
+            n_stages=int(doc.get("n_stages", 0)),
+            critical_delay_s=float(doc["critical_delay_s"]),
+            quantiles_s={
+                int(n): float(q) for n, q in doc.get("quantiles_s", {}).items()
+            },
+            correlated_quantiles_s={
+                int(n): float(q)
+                for n, q in doc.get("correlated_quantiles_s", {}).items()
+            },
+        )
+
+
+@dataclass
+class QueryResponse:
+    """Outcome of one query: results on success, a coded error otherwise.
+
+    ``code`` is one of :data:`REJECT_CODES` when ``ok`` is false;
+    ``diagnostics`` carries rendered lint findings for ``invalid``
+    rejects. ``served_s`` is the server-side wall time of the query
+    (admission wait excluded), 0.0 for rejects.
+    """
+
+    ok: bool
+    design: str = ""
+    key: str = ""
+    request_id: str = ""
+    results: List[ScenarioResult] = field(default_factory=list)
+    served_s: float = 0.0
+    code: str = ""
+    error: str = ""
+    diagnostics: List[str] = field(default_factory=list)
+
+    @property
+    def n_scenarios(self) -> int:
+        """Number of served scenario results."""
+        return len(self.results)
+
+    def to_dict(self) -> dict:
+        """Wire form."""
+        doc: dict = {"ok": self.ok, "design": self.design}
+        if self.request_id:
+            doc["request_id"] = self.request_id
+        if self.ok:
+            doc["key"] = self.key
+            doc["served_s"] = self.served_s
+            doc["results"] = [r.to_dict() for r in self.results]
+        else:
+            doc["code"] = self.code
+            doc["error"] = self.error
+            if self.diagnostics:
+                doc["diagnostics"] = list(self.diagnostics)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "QueryResponse":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            ok=bool(doc.get("ok")),
+            design=str(doc.get("design", "")),
+            key=str(doc.get("key", "")),
+            request_id=str(doc.get("request_id", "")),
+            results=[
+                ScenarioResult.from_dict(r) for r in doc.get("results", [])
+            ],
+            served_s=float(doc.get("served_s", 0.0)),
+            code=str(doc.get("code", "")),
+            error=str(doc.get("error", "")),
+            diagnostics=[str(d) for d in doc.get("diagnostics", [])],
+        )
+
+
+def reject(
+    code: str, error: str, design: str = "", request_id: str = "",
+    diagnostics: Optional[List[str]] = None,
+) -> QueryResponse:
+    """Build a refusal response (``code`` from :data:`REJECT_CODES`)."""
+    return QueryResponse(
+        ok=False,
+        design=design,
+        request_id=request_id,
+        code=code,
+        error=error,
+        diagnostics=list(diagnostics or []),
+    )

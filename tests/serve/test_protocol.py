@@ -1,0 +1,141 @@
+"""Wire-schema tests: round trips, expansion order, float exactness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.moments.stats import SIGMA_LEVELS
+from repro.serve.protocol import (
+    QueryRequest,
+    QueryResponse,
+    REJECT_CODES,
+    ScenarioResult,
+    reject,
+)
+from repro.units import PS
+
+
+class TestQueryRequest:
+    def test_defaults(self):
+        req = QueryRequest(design="d")
+        assert req.slews_ps == (20.0,)
+        assert req.edges == ("rise",)
+        assert req.levels == SIGMA_LEVELS
+        assert req.correlations == (None,)
+        assert req.n_scenarios == 1
+
+    def test_scenario_expansion_order_is_slew_major(self):
+        req = QueryRequest(
+            design="d",
+            slews_ps=(10.0, 50.0),
+            edges=("rise", "fall"),
+            correlations=(None, 0.5),
+        )
+        scenarios = req.scenarios()
+        assert len(scenarios) == req.n_scenarios == 8
+        combos = [
+            (s.input_slew / PS, s.launch_rising, s.stage_correlation)
+            for s in scenarios
+        ]
+        assert combos == [
+            (10.0, True, None), (10.0, True, 0.5),
+            (10.0, False, None), (10.0, False, 0.5),
+            (50.0, True, None), (50.0, True, 0.5),
+            (50.0, False, None), (50.0, False, 0.5),
+        ]
+
+    def test_scenarios_carry_levels_and_units(self):
+        req = QueryRequest(design="d", slews_ps=(30.0,), levels=(-3, 0, 3))
+        (scenario,) = req.scenarios()
+        assert scenario.input_slew == 30.0 * PS
+        assert scenario.levels == (-3, 0, 3)
+
+    def test_dict_round_trip(self):
+        req = QueryRequest(
+            design="adder3",
+            slews_ps=(10.0, 1.0 / 3.0),
+            edges=("fall",),
+            levels=(-2, 2),
+            correlations=(0.25, None),
+            deadline_s=1.5,
+            request_id="r1",
+        )
+        # through real JSON, as the transports do
+        doc = json.loads(json.dumps(req.to_dict()))
+        assert QueryRequest.from_dict(doc) == req
+
+    def test_round_trip_omits_optional_fields(self):
+        doc = QueryRequest(design="d").to_dict()
+        assert "deadline_s" not in doc
+        assert "request_id" not in doc
+        assert QueryRequest.from_dict(doc) == QueryRequest(design="d")
+
+
+class TestScenarioResult:
+    def _result(self) -> ScenarioResult:
+        # Deliberately awkward floats: exactness must survive JSON.
+        return ScenarioResult(
+            slew_ps=1.0 / 3.0,
+            edge="rise",
+            correlation=0.1 + 0.2,
+            endpoint="nd_7",
+            n_stages=13,
+            critical_delay_s=8.442973912038e-10,
+            quantiles_s={-3: 4.667e-10, 0: 8.44e-10, 3: 1.4715e-09},
+            correlated_quantiles_s={-3: 4.7e-10, 0: 8.44e-10, 3: 1.44e-09},
+        )
+
+    def test_json_round_trip_is_bit_exact(self):
+        result = self._result()
+        doc = json.loads(json.dumps(result.to_dict()))
+        back = ScenarioResult.from_dict(doc)
+        assert back == result
+        assert back.critical_delay_s == result.critical_delay_s
+        assert back.quantiles_s[-3] == result.quantiles_s[-3]
+
+    def test_quantile_keys_are_ints_after_round_trip(self):
+        doc = json.loads(json.dumps(self._result().to_dict()))
+        back = ScenarioResult.from_dict(doc)
+        assert set(back.quantiles_s) == {-3, 0, 3}
+        assert all(isinstance(k, int) for k in back.correlated_quantiles_s)
+
+
+class TestQueryResponse:
+    def test_ok_round_trip(self):
+        response = QueryResponse(
+            ok=True,
+            design="d",
+            key="abc123",
+            request_id="q9",
+            results=[
+                ScenarioResult(
+                    slew_ps=20.0, edge="rise", correlation=None,
+                    endpoint="n1", n_stages=3, critical_delay_s=1e-10,
+                    quantiles_s={0: 1e-10},
+                    correlated_quantiles_s={0: 1e-10},
+                )
+            ],
+            served_s=0.0123,
+        )
+        doc = json.loads(json.dumps(response.to_dict()))
+        back = QueryResponse.from_dict(doc)
+        assert back == response
+        assert back.n_scenarios == 1
+
+    def test_reject_round_trip(self):
+        response = reject(
+            "invalid", "2 validation error(s)", design="d",
+            request_id="q1", diagnostics=["a: error SRV002: bad slew"],
+        )
+        doc = json.loads(json.dumps(response.to_dict()))
+        back = QueryResponse.from_dict(doc)
+        assert not back.ok
+        assert back.code == "invalid"
+        assert back.diagnostics == ["a: error SRV002: bad slew"]
+        assert "results" not in doc
+
+    @pytest.mark.parametrize("code", REJECT_CODES)
+    def test_reject_codes_enumerated(self, code):
+        assert reject(code, "why").code == code

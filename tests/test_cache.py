@@ -109,6 +109,67 @@ class TestJsonCache:
         path.write_text("{not json")
         assert cache.get("arc", "k") is None
 
+    def test_unlink_race_is_a_plain_miss_not_corruption(
+        self, tmp_path, monkeypatch
+    ):
+        # A file vanishing between the existence check and the open (a
+        # concurrent reader's corrupt-unlink, or a purge) must count as
+        # a miss. The old code fed the FileNotFoundError to the corrupt
+        # branch, inflating `corrupt` and re-attempting the unlink.
+        from pathlib import Path
+
+        cache = JsonCache(tmp_path)
+        monkeypatch.setattr(Path, "exists", lambda self: True)
+        assert cache.get("arc", "never-stored") is None
+        assert cache.misses == 1
+        assert cache.corrupt == 0
+
+    def test_two_thread_get_vs_unlink_stress(self, tmp_path):
+        # Readers racing a concurrent unlink+rewrite loop must only
+        # ever see the full artifact or a miss — never an exception,
+        # never a corrupt count (the file is always complete on disk).
+        import threading
+
+        cache = JsonCache(tmp_path)
+        doc = {"payload": list(range(32))}
+        cache.put("arc", "hot", doc)
+        stop = threading.Event()
+        seen: list = []
+        errors: list = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    got = cache.get("arc", "hot")
+                    assert got is None or got == doc
+                    seen.append(got is not None)
+            except BaseException as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        def churner():
+            try:
+                for _ in range(200):
+                    path = cache.path("arc", "hot")
+                    try:
+                        path.unlink()
+                    except FileNotFoundError:
+                        pass
+                    cache.put("arc", "hot", doc)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        threads.append(threading.Thread(target=churner))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert cache.corrupt == 0
+        assert any(seen)
+
     def test_put_is_atomic_no_tmp_left_behind(self, tmp_path):
         cache = JsonCache(tmp_path)
         cache.put("arc", "k", {"ok": True})

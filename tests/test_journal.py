@@ -61,6 +61,37 @@ class TestRunJournal:
         with pytest.raises(ValueError, match="corrupt journal line"):
             read_journal(path)
 
+    def test_concurrent_writers_never_tear_or_duplicate_seq(self, tmp_path):
+        # The serving path journals from the event-loop thread and its
+        # worker threads at once. Unlocked, two threads could read the
+        # same `seq` (the flush between read and increment drops the
+        # GIL) or interleave partial lines — both RUN002 violations.
+        import threading
+
+        path = tmp_path / "run.jsonl"
+        n_threads, n_events = 8, 50
+        barrier = threading.Barrier(n_threads)
+        with RunJournal(path) as journal:
+
+            def writer(tid: int) -> None:
+                barrier.wait()
+                for i in range(n_events):
+                    journal.event("note", thread=tid, i=i)
+
+            threads = [
+                threading.Thread(target=writer, args=(t,))
+                for t in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        events = read_journal(path)  # raises on any torn line
+        assert [e["seq"] for e in events] == list(range(n_threads * n_events))
+        report = lint_journal(path)
+        assert not report.errors, [d.render() for d in report.errors]
+
     def test_all_emitted_events_are_known(self, tmp_path):
         # The executor/flow emit only vocabulary events; a typo here
         # would make every journal fail lint.

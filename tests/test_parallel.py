@@ -241,3 +241,42 @@ class TestTimeoutDegrade:
         policy = RetryPolicy(task_timeout=5.0)
         # sanity: the enforced path still returns results normally
         assert parallel_map(_square, [6], workers=1, policy=policy) == [36]
+
+    def test_signal_install_refusal_degrades_instead_of_crashing(
+        self, monkeypatch
+    ):
+        # signal.signal can refuse with ValueError even when the thread
+        # check passed (embedded interpreters, forked servers). The old
+        # code let that ValueError escape and fail the attempt.
+        def refuse(*_args):
+            raise ValueError("signal only works in main thread")
+
+        monkeypatch.setattr(parallel.signal, "signal", refuse)
+        policy = RetryPolicy(task_timeout=0.5)
+        with pytest.warns(RuntimeWarning, match="cannot be enforced"):
+            assert parallel_map(_square, [5], workers=1, policy=policy) == [25]
+
+    def test_off_main_thread_degrades_loudly(self):
+        # Server worker threads dispatch queries through parallel_map
+        # helpers; SIGALRM cannot arm there.
+        policy = RetryPolicy(task_timeout=0.5)
+        out: list = []
+        captured: list = []
+
+        def body():
+            with warnings.catch_warnings(record=True) as records:
+                warnings.simplefilter("always")
+                out.extend(parallel_map(_square, [7], workers=1, policy=policy))
+            captured.extend(records)
+
+        import threading
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join()
+        assert out == [49]
+        assert any(
+            issubclass(r.category, RuntimeWarning)
+            and "cannot be enforced" in str(r.message)
+            for r in captured
+        )
