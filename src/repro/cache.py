@@ -48,8 +48,16 @@ def version_salt() -> Dict[str, str]:
     """
     from repro import __version__
     from repro.kernels import backend_identity
+    from repro.pack import PACK_FORMAT_VERSION
 
-    return {"repro_version": __version__, "kernel": backend_identity()}
+    return {
+        "repro_version": __version__,
+        "kernel": backend_identity(),
+        # Pack identity: a format bump re-keys every content-addressed
+        # artifact, so a `.rpk` written by an old layout can never be
+        # looked up (let alone served) by a new reader.
+        "pack_format": f"rpk-v{PACK_FORMAT_VERSION}",
+    }
 
 
 def content_key(payload: Any, length: int = 16, versioned: bool = True) -> str:
@@ -93,6 +101,11 @@ class JsonCache:
         Optional :class:`~repro.perf.PerfCounters` receiving
         ``cache_hits`` / ``cache_misses`` / ``cache_corrupt``.
     """
+
+    #: Whether artifacts are binary packs (ndarray leaves allowed in
+    #: :meth:`put` documents). Producers key their ``to_dict(arrays=...)``
+    #: call on this so one code path serves both cache flavors.
+    binary = False
 
     def __init__(self, directory: Optional[Union[str, Path]] = None, perf=None):
         self.directory = Path(directory) if directory is not None else default_cache_dir()
@@ -221,5 +234,113 @@ class JsonCache:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"JsonCache({str(self.directory)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
+class PackCache(JsonCache):
+    """Binary sibling of :class:`JsonCache`: ``<kind>_<key>.rpk`` packs.
+
+    Drop-in for the compile cache and per-arc checkpoints: identical
+    ``get``/``put`` dict interface, but documents whose leaves are
+    numpy arrays are stored as memory-mappable packs
+    (:mod:`repro.pack`) instead of JSON. :meth:`get` returns the packed
+    document with every tensor as a **read-only zero-copy mmap view**
+    (plus the open :class:`~repro.pack.PackFile` under the
+    ``"__pack__"`` key), so ``from_dict``-style consumers — whose
+    ``np.asarray`` calls pass matching arrays through uncopied —
+    reconstruct artifacts without parsing or materializing tensor data.
+
+    Corruption handling matches :class:`JsonCache`: a pack that fails
+    header or digest validation is unlinked, counted in ``corrupt`` /
+    ``cache_corrupt``, and reported as a miss.
+
+    Parameters
+    ----------
+    directory / perf:
+        As for :class:`JsonCache`.
+    verify:
+        Re-hash every segment on :meth:`get` (default). ``False``
+        trusts the header checks only; use it for same-process
+        read-after-write paths where the digest cost is pure overhead.
+    """
+
+    binary = True
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        perf=None,
+        verify: bool = True,
+    ):
+        super().__init__(directory, perf=perf)
+        self.verify = verify
+
+    def path(self, kind: str, key: str) -> Path:
+        """File path of an artifact (may not exist yet)."""
+        from repro.pack import PACK_SUFFIX
+
+        return self.directory / f"{kind}_{key}{PACK_SUFFIX}"
+
+    def get(self, kind: str, key: str) -> Optional[Dict[str, Any]]:
+        """Load a packed artifact zero-copy, or ``None`` on miss.
+
+        The returned dict is the stored document plus ``"__pack__"``
+        (the open :class:`~repro.pack.PackFile`); arrays in it are
+        views into the mapping and stay valid for their own lifetime
+        (the views' ``base`` chain pins the mmap).
+        """
+        from repro.pack import PackError, PackFile
+
+        path = self.path(kind, key)
+        if not path.exists():
+            self._count_miss()
+            return None
+        try:
+            pack = PackFile.open(path, verify=self.verify, perf=self.perf)
+        except PackError:
+            self.corrupt += 1
+            if self.perf is not None:
+                self.perf.cache_corrupt += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - raced with another reader
+                pass
+            self._count_miss()
+            return None
+        doc = pack.document()
+        doc["__pack__"] = pack
+        self.hits += 1
+        if self.perf is not None:
+            self.perf.cache_hits += 1
+        return doc
+
+    def put(self, kind: str, key: str, doc: Dict[str, Any]) -> Path:
+        """Store a document as a pack (atomic temp-write + rename)."""
+        from repro.pack import write_pack
+
+        doc = {k: v for k, v in doc.items() if k != "__pack__"}
+        return write_pack(
+            self.path(kind, key),
+            kind,
+            doc,
+            meta={"cache_key": key},
+            perf=self.perf,
+        )
+
+    def purge(self, kind: Optional[str] = None) -> int:
+        """Delete cached packs (optionally only one ``kind``); returns count."""
+        if not self.directory.exists():
+            return 0
+        pattern = f"{kind}_*.rpk" if kind else "*.rpk"
+        removed = 0
+        for path in self.directory.glob(pattern):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PackCache({str(self.directory)!r}, hits={self.hits}, "
             f"misses={self.misses})"
         )

@@ -550,11 +550,15 @@ class LibraryCharacterization:
 
     ``quarantined`` lists arcs that failed characterization after
     retries and were excluded instead of aborting the run (empty for a
-    fully healthy run).
+    fully healthy run). ``pack`` holds the open
+    :class:`~repro.pack.PackFile` when the bundle was mmap'd from a
+    ``.rpk`` (tables are then read-only zero-copy views, and
+    shared-payload publication short-circuits to the file).
     """
 
     tables: Dict[Tuple[str, str, str], CharacterizationTable] = field(default_factory=dict)
     quarantined: List[QuarantinedArc] = field(default_factory=list)
+    pack: Optional[object] = field(default=None, repr=False, compare=False)
 
     @staticmethod
     def _key(cell_name: str, pin: str, output_rising: bool) -> Tuple[str, str, str]:
@@ -748,7 +752,11 @@ def characterize_library(
             # Never checkpoint a table that violates lint invariants: a
             # poisoned checkpoint would be restored forever.
             if lint_characterization(table).ok:
-                cache.put("arc", key, table_to_dict(table))
+                cache.put(
+                    "arc",
+                    key,
+                    table_to_dict(table, arrays=getattr(cache, "binary", False)),
+                )
                 if journal is not None:
                     journal.event("checkpoint", key=key, arc=list(arc_key))
 
@@ -972,6 +980,10 @@ def _surrogate_characterize_pending(
         out.put(table)
         if cache is not None and key is not None:
             if lint_characterization(table).ok:
-                cache.put("arc", key, table_to_dict(table))
+                cache.put(
+                    "arc",
+                    key,
+                    table_to_dict(table, arrays=getattr(cache, "binary", False)),
+                )
                 if journal is not None:
                     journal.event("checkpoint", key=key, arc=list(arc_key))

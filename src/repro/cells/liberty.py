@@ -30,22 +30,29 @@ FORMAT = "repro-lvf-json"
 FORMAT_VERSION = 1
 
 
-def table_to_dict(table: CharacterizationTable) -> dict:
-    """One arc table as a plain-JSON record (inverse of :func:`table_from_dict`)."""
+def table_to_dict(table: CharacterizationTable, arrays: bool = False) -> dict:
+    """One arc table as a plain-JSON record (inverse of :func:`table_from_dict`).
+
+    ``arrays=True`` keeps ndarray leaves (for the binary pack writer;
+    the per-moment slices are made contiguous so they segment cleanly).
+    """
+    keep = (
+        (lambda a: np.ascontiguousarray(a)) if arrays else (lambda a: a.tolist())
+    )
     record = {
         "cell": table.cell_name,
         "pin": table.pin,
         "edge": "rise" if table.output_rising else "fall",
         "n_samples": table.n_samples,
-        "index_1_slew_s": table.slews.tolist(),
-        "index_2_load_f": table.loads.tolist(),
+        "index_1_slew_s": keep(table.slews),
+        "index_2_load_f": keep(table.loads),
         "moments": {
-            name: table.moments[..., k].tolist()
+            name: keep(table.moments[..., k])
             for k, name in enumerate(("mu", "sigma", "skew", "kurt"))
         },
         "sigma_levels": list(SIGMA_LEVELS),
-        "quantiles": table.quantiles.tolist(),
-        "out_slew": table.out_slew.tolist(),
+        "quantiles": keep(table.quantiles),
+        "out_slew": keep(table.out_slew),
     }
     # Dense tables keep the historical record layout bit-for-bit; the
     # key exists only on surrogate-produced tables (lint rule SUR003).
@@ -80,9 +87,20 @@ def table_from_dict(data: dict) -> CharacterizationTable:
 def save_library_characterization(
     charac: LibraryCharacterization, path: Union[str, Path]
 ) -> None:
-    """Write all tables to a JSON file (directories are created as needed)."""
+    """Write all tables to disk (directories are created as needed).
+
+    The format follows the suffix: a ``.rpk`` path stores the bundle as
+    a memory-mappable binary pack
+    (:func:`repro.pack.pack_library_characterization`); anything else
+    writes the historical JSON document.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".rpk":
+        from repro.pack import pack_library_characterization
+
+        pack_library_characterization(charac, path)
+        return
     doc = {
         "format": FORMAT,
         "version": FORMAT_VERSION,
@@ -99,8 +117,18 @@ def save_library_characterization(
 
 
 def load_library_characterization(path: Union[str, Path]) -> LibraryCharacterization:
-    """Read tables back from :func:`save_library_characterization` output."""
+    """Read tables back from :func:`save_library_characterization` output.
+
+    A ``.rpk`` path loads by mmap with zero-copy table grids (and the
+    open :class:`~repro.pack.PackFile` on the bundle's ``pack``
+    attribute, which lets shared-payload publication short-circuit to
+    the file instead of copying into POSIX shared memory).
+    """
     path = Path(path)
+    if path.suffix == ".rpk":
+        from repro.pack import load_library_characterization_pack
+
+        return load_library_characterization_pack(path)
     with path.open() as fh:
         doc = json.load(fh)
     if doc.get("format") != FORMAT:

@@ -18,6 +18,13 @@ Commands
 ``query``
     Talk to a running service: scenario-grid queries, ``--stats``,
     ``--designs``.
+``pack`` / ``unpack`` / ``inspect``
+    Produce, expand and audit the mmap-able binary ``.rpk`` artifacts
+    (:mod:`repro.pack`): ``pack`` compiles circuits (and optionally the
+    characterized library) into single-file packs that ``serve --pack``
+    and the :class:`repro.cache.PackCache` load by mmap + digest verify;
+    ``unpack`` emits the equivalent plain-JSON document; ``inspect``
+    prints the manifest and re-verifies every segment digest.
 ``cells``
     List the synthetic library with pin caps and Pelgrom coefficients.
 ``lint``
@@ -383,6 +390,19 @@ def cmd_serve(args) -> int:
         key = registry.register(circuit.name, circuit, models)
         print(f"Registered {circuit.name} (key {key[:12]}...)")
 
+    if args.pack:
+        pack_dir = Path(args.pack)
+        for name in registry.names():
+            rpk = pack_dir / f"{name}.rpk"
+            if not rpk.exists():
+                continue
+            if registry.attach_pack(name, rpk):
+                print(f"Attached pack {rpk} ({name} cold-loads by mmap)")
+            else:
+                print(f"warning: refused pack {rpk} for {name} (corrupt "
+                      f"or stale; the design will compile instead)",
+                      file=sys.stderr)
+
     config = ServeConfig(
         max_concurrency=args.concurrency,
         queue_depth=args.queue_depth,
@@ -408,10 +428,112 @@ def cmd_serve(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
+        # Drop the readiness marker on the way out (SIGTERM/SIGINT drain
+        # included) so supervisors never see a stale ready file from a
+        # server that is no longer listening.
+        if args.ready_file:
+            Path(args.ready_file).unlink(missing_ok=True)
         if journal is not None:
             journal.close()
     if args.perf:
         _print_perf(flow)
+    return 0
+
+
+def cmd_pack(args) -> int:
+    """Compile circuits into mmap-able ``.rpk`` design packs."""
+    from repro.cache import JsonCache
+    from repro.core.sta_compiled import compile_design, design_cache_key
+    from repro.errors import ReproError
+    from repro.pack import pack_compiled_design, pack_library_characterization
+
+    flow = _make_flow(args)
+    out_dir = Path(args.output)
+    print("Fitting models (cached) ...")
+    try:
+        models = flow.fit_models()
+        cache = JsonCache(args.cache_dir)
+        for name in args.circuits:
+            circuit = _resolve_circuit(
+                name, flow.tech, args.width, args.parasitic_seed
+            )
+            if circuit is None:
+                return 2
+            design = compile_design(circuit, models, cache=cache,
+                                    perf=flow.perf)
+            path = out_dir / f"{circuit.name}.rpk"
+            pack_compiled_design(
+                design, path,
+                design_key=design_cache_key(circuit, models),
+                perf=flow.perf,
+            )
+            print(f"Wrote {path} ({path.stat().st_size} bytes, "
+                  f"{design.arcs.n_arcs} packed arc rows)")
+        if args.library:
+            charac = flow.characterize()
+            path = out_dir / "library.rpk"
+            pack_library_characterization(charac, path, perf=flow.perf)
+            print(f"Wrote {path} ({path.stat().st_size} bytes, "
+                  f"{len(charac)} arc tables)")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.perf:
+        _print_perf(flow)
+    return 0
+
+
+def cmd_unpack(args) -> int:
+    """Expand a ``.rpk`` pack into the equivalent plain-JSON document."""
+    import json as _json
+
+    from repro.errors import PackError
+    from repro.pack import PackFile, delist_document
+
+    try:
+        pack = PackFile.open(args.file, verify=not args.no_verify)
+    except PackError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 1
+    text = _json.dumps(delist_document(pack.document()), sort_keys=True,
+                       indent=2)
+    if args.output and args.output != "-":
+        Path(args.output).write_text(text + "\n")
+        print(f"Wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    """Print a pack's header, meta and segment table; verify digests."""
+    from repro.errors import PackError
+    from repro.pack import PackFile
+
+    try:
+        pack = PackFile.open(args.file, verify=False)
+    except PackError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.file}: repro-pack v{pack.version} kind={pack.kind}")
+    print(f"  identity {pack.identity()}  manifest sha256 "
+          f"{pack.manifest_sha256[:16]}...")
+    print(f"  {pack.nbytes} file bytes, {pack.tensor_nbytes} tensor bytes "
+          f"in {len(pack.segments)} segment(s)")
+    for key in sorted(pack.meta):
+        print(f"  meta.{key} = {pack.meta[key]}")
+    if pack.segments:
+        print(f"  {'segment':<44} {'dtype':<6} {'shape':<16} {'bytes':>12}")
+        for record in pack.segments:
+            shape = "x".join(str(d) for d in record["shape"]) or "()"
+            print(f"  {record['name']:<44} {record['dtype']:<6} "
+                  f"{shape:<16} {record['nbytes']:>12}")
+    try:
+        pack.verify()
+    except PackError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 1
+    print(f"  digests OK ({len(pack.segments)} segment(s) verified)")
     return 0
 
 
@@ -569,8 +691,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request scenario-grid ceiling")
     p.add_argument("--ready-file", default="",
                    help="write the bound endpoint here once listening "
-                        "(for supervisors/CI)")
+                        "(for supervisors/CI); removed again on shutdown")
+    p.add_argument("--pack", default="",
+                   help="directory of <design>.rpk packs (see `repro pack`) "
+                        "attached as mmap cold-load sources; stale or "
+                        "corrupt packs are refused with a warning")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("pack",
+                       help="compile circuits into mmap-able .rpk packs")
+    _add_flow_args(p)
+    p.add_argument("circuits", nargs="+",
+                   help="circuits to pack: ISCAS85 names, PULPino units "
+                        "(ADD/SUB/MUL/DIV) or structural Verilog files")
+    p.add_argument("--width", type=int, default=16,
+                   help="operand width for PULPino units")
+    p.add_argument("--parasitic-seed", type=int, default=1,
+                   help="seed of the synthetic parasitics")
+    p.add_argument("-o", "--output", default="packs",
+                   help="output directory for the <design>.rpk files")
+    p.add_argument("--library", action="store_true",
+                   help="also write the characterized library bundle "
+                        "as library.rpk")
+    p.set_defaults(func=cmd_pack)
+
+    p = sub.add_parser("unpack",
+                       help="expand a .rpk pack to its plain-JSON document")
+    p.add_argument("file", help=".rpk pack path")
+    p.add_argument("-o", "--output", default="-",
+                   help="output JSON path (- = stdout)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the per-segment digest verification")
+    p.set_defaults(func=cmd_unpack)
+
+    p = sub.add_parser("inspect",
+                       help="print a .rpk pack's manifest and verify digests")
+    p.add_argument("file", help=".rpk pack path")
+    p.set_defaults(func=cmd_inspect)
 
     p = sub.add_parser("query", help="query a running STA service")
     p.add_argument("design", nargs="?", default="",

@@ -426,26 +426,27 @@ class ArcTensorBank:
         return np.maximum(raw, 0.1 * PS)
 
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
-        """JSON-serializable form (cache artifact payload)."""
+    def to_dict(self, arrays: bool = False) -> dict:
+        """Serializable form (``arrays=True`` keeps ndarray leaves for packs)."""
+        keep = (lambda a: a) if arrays else (lambda a: a.tolist())
         return {
             "index": [
                 [cell, pin, bool(rising), row]
                 for (cell, pin, rising), row in sorted(self.index.items())
             ],
-            "ref": self.ref.tolist(),
-            "mu_coef": self.mu_coef.tolist(),
-            "sigma_coef": self.sigma_coef.tolist(),
-            "skew_coef": self.skew_coef.tolist(),
-            "kurt_coef": self.kurt_coef.tolist(),
-            "slew_ref": self.slew_ref.tolist(),
-            "slew_coef": self.slew_coef.tolist(),
-            "s_ref": self.s_ref.tolist(),
-            "c_ref": self.c_ref.tolist(),
-            "s_lo": self.s_lo.tolist(),
-            "s_hi": self.s_hi.tolist(),
-            "c_lo": self.c_lo.tolist(),
-            "c_hi": self.c_hi.tolist(),
+            "ref": keep(self.ref),
+            "mu_coef": keep(self.mu_coef),
+            "sigma_coef": keep(self.sigma_coef),
+            "skew_coef": keep(self.skew_coef),
+            "kurt_coef": keep(self.kurt_coef),
+            "slew_ref": keep(self.slew_ref),
+            "slew_coef": keep(self.slew_coef),
+            "s_ref": keep(self.s_ref),
+            "c_ref": keep(self.c_ref),
+            "s_lo": keep(self.s_lo),
+            "s_hi": keep(self.s_hi),
+            "c_lo": keep(self.c_lo),
+            "c_hi": keep(self.c_hi),
         }
 
     @classmethod

@@ -151,25 +151,28 @@ class CompiledLevel:
         """Number of real (gate, pin) arcs in the level."""
         return int(self.valid.sum())
 
-    def to_dict(self) -> dict:
-        """JSON-serializable form."""
+    def to_dict(self, arrays: bool = False) -> dict:
+        """Serializable form (``arrays=True`` keeps ndarray leaves for packs)."""
+        keep = (lambda a: a) if arrays else (lambda a: a.tolist())
         return {
-            "gate_names": self.gate_names,
-            "out_net": self.out_net.tolist(),
-            "load": self.load.tolist(),
-            "valid": self.valid.tolist(),
-            "src_net": self.src_net.tolist(),
-            "elm_in": self.elm_in.tolist(),
-            "inverting": self.inverting.tolist(),
-            "arc_rise": self.arc_rise.tolist(),
-            "arc_fall": self.arc_fall.tolist(),
+            "gate_names": _pack_str_list(self.gate_names)
+            if arrays
+            else self.gate_names,
+            "out_net": keep(self.out_net),
+            "load": keep(self.load),
+            "valid": keep(self.valid),
+            "src_net": keep(self.src_net),
+            "elm_in": keep(self.elm_in),
+            "inverting": keep(self.inverting),
+            "arc_rise": keep(self.arc_rise),
+            "arc_fall": keep(self.arc_fall),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "CompiledLevel":
         """Inverse of :meth:`to_dict`."""
         return cls(
-            gate_names=list(data["gate_names"]),
+            gate_names=_str_list_from(data["gate_names"]),
             out_net=np.asarray(data["out_net"], dtype=np.int64),
             load=np.asarray(data["load"], dtype=float),
             valid=np.asarray(data["valid"], dtype=bool),
@@ -188,6 +191,167 @@ SinkKey = Tuple[str, str, str]
 
 def _sink_key(net_name: str, sink: Tuple[str, str]) -> SinkKey:
     return (net_name, sink[0], sink[1])
+
+
+#: Separators of the packed sink-table key blob. Neither occurs in the
+#: netlist subset's identifiers; the encoder falls back to pair lists
+#: if one ever does.
+_KEY_FIELD_SEP = "\x1f"
+_KEY_ENTRY_SEP = "\n"
+
+
+def _pack_sink_table(table: Dict[SinkKey, float]):
+    """Sink table as two ndarray segments (keys blob + values).
+
+    The pair-list form dominates the pack manifest's JSON parse time
+    on large circuits; as segments, the keys are one utf-8 blob and
+    the values raw float64 — both mmap straight in.
+    """
+    items = sorted(table.items())
+    if any(
+        _KEY_FIELD_SEP in part or _KEY_ENTRY_SEP in part
+        for key, _ in items
+        for part in key
+    ):  # pragma: no cover - identifiers never contain separators
+        return [[list(k), v] for k, v in items]
+    blob = _KEY_ENTRY_SEP.join(_KEY_FIELD_SEP.join(k) for k, _ in items)
+    return {
+        "keys": np.frombuffer(blob.encode("utf-8"), dtype=np.uint8).copy(),
+        "values": np.asarray([v for _, v in items], dtype=np.float64),
+    }
+
+
+def _sink_table_from(data) -> Dict[SinkKey, float]:
+    """Inverse of :func:`_pack_sink_table` (either encoding)."""
+    if isinstance(data, dict):
+        raw = np.asarray(data["keys"], dtype=np.uint8).tobytes()
+        values = np.asarray(data["values"], dtype=float)
+        if not raw:
+            return {}
+        # One C-level split into a flat field list, re-grouped into
+        # key triples by zipping one iterator three ways — measurably
+        # faster than a per-entry str.split on large designs.
+        parts = iter(
+            raw.decode("utf-8")
+            .replace(_KEY_ENTRY_SEP, _KEY_FIELD_SEP)
+            .split(_KEY_FIELD_SEP)
+        )
+        return dict(zip(zip(parts, parts, parts), values.tolist()))
+    return {tuple(k): float(v) for k, v in data}
+
+
+def _sink_xw_from(data, elmore_data, elmore: Dict[SinkKey, float]):
+    """Decode ``sink_xw``, reusing ``sink_elmore``'s decoded keys.
+
+    Both tables are filled together at compile time, so their packed
+    key blobs are byte-identical; skipping the second blob decode
+    roughly halves the sink-table share of a pack load.
+    """
+    if (
+        isinstance(data, dict)
+        and isinstance(elmore_data, dict)
+        and np.array_equal(data["keys"], elmore_data["keys"])
+    ):
+        values = np.asarray(data["values"], dtype=float)
+        return dict(zip(elmore.keys(), values.tolist()))
+    return _sink_table_from(data)
+
+
+def _pack_str_list(names: List[str]):
+    """String list as one utf-8 blob segment (manifest-JSON relief)."""
+    if not names or any(_KEY_ENTRY_SEP in n for n in names):
+        return list(names)
+    blob = _KEY_ENTRY_SEP.join(names)
+    return {"blob": np.frombuffer(blob.encode("utf-8"), dtype=np.uint8).copy()}
+
+
+def _str_list_from(data) -> List[str]:
+    """Inverse of :func:`_pack_str_list` (either encoding)."""
+    if isinstance(data, dict):
+        raw = np.asarray(data["blob"], dtype=np.uint8).tobytes()
+        return raw.decode("utf-8").split(_KEY_ENTRY_SEP)
+    return list(data)
+
+
+#: Per-level array fields and their dtypes, in serialization order.
+#: ``(G,)`` fields are concatenated gate-major; ``(G, P)`` fields are
+#: raveled then concatenated, so a contiguous slice + reshape
+#: reconstructs each level as a zero-copy view.
+_LEVEL_G_FIELDS = (("out_net", np.int64), ("load", np.float64))
+_LEVEL_GP_FIELDS = (
+    ("valid", np.bool_),
+    ("src_net", np.int64),
+    ("elm_in", np.float64),
+    ("inverting", np.bool_),
+    ("arc_rise", np.int64),
+    ("arc_fall", np.int64),
+)
+
+
+def _pack_levels(levels: List["CompiledLevel"]) -> dict:
+    """All levels as one segment per field (manifest-JSON relief).
+
+    A per-level-per-field segment layout costs hundreds of manifest
+    records on deep circuits; parsing those dominates pack-open time.
+    Concatenating each field across levels keeps the manifest O(1) in
+    depth while the loader slices zero-copy views back out.
+    """
+    shapes = np.asarray(
+        [[len(lv.gate_names), lv.valid.shape[1]] for lv in levels],
+        dtype=np.int64,
+    ).reshape(len(levels), 2)
+    packed: dict = {
+        "gate_names": _pack_str_list(
+            [name for lv in levels for name in lv.gate_names]
+        ),
+        "shapes": shapes,
+    }
+    for field_name, dtype in _LEVEL_G_FIELDS:
+        parts = [getattr(lv, field_name) for lv in levels]
+        packed[field_name] = (
+            np.concatenate(parts) if parts else np.zeros(0, dtype)
+        ).astype(dtype, copy=False)
+    for field_name, dtype in _LEVEL_GP_FIELDS:
+        parts = [getattr(lv, field_name).ravel() for lv in levels]
+        packed[field_name] = (
+            np.concatenate(parts) if parts else np.zeros(0, dtype)
+        ).astype(dtype, copy=False)
+    return packed
+
+
+def _levels_from(data) -> List["CompiledLevel"]:
+    """Inverse of :func:`_pack_levels` (either encoding)."""
+    if isinstance(data, list):
+        return [CompiledLevel.from_dict(d) for d in data]
+    shapes = np.asarray(data["shapes"], dtype=np.int64).reshape(-1, 2)
+    names = _str_list_from(data["gate_names"])
+    flat_g = {
+        f: np.asarray(data[f], dtype=dt) for f, dt in _LEVEL_G_FIELDS
+    }
+    flat_gp = {
+        f: np.asarray(data[f], dtype=dt) for f, dt in _LEVEL_GP_FIELDS
+    }
+    levels: List[CompiledLevel] = []
+    g0 = gp0 = n0 = 0
+    for n_gates, max_pins in shapes.tolist():
+        fields = {
+            f: flat_g[f][g0 : g0 + n_gates] for f, _ in _LEVEL_G_FIELDS
+        }
+        fields.update(
+            {
+                f: flat_gp[f][gp0 : gp0 + n_gates * max_pins].reshape(
+                    n_gates, max_pins
+                )
+                for f, _ in _LEVEL_GP_FIELDS
+            }
+        )
+        levels.append(
+            CompiledLevel(gate_names=names[n0 : n0 + n_gates], **fields)
+        )
+        n0 += n_gates
+        g0 += n_gates
+        gp0 += n_gates * max_pins
+    return levels
 
 
 @dataclass
@@ -217,6 +381,14 @@ class CompiledDesign:
         :meth:`CalibratedCellLibrary.content_digest` of the calibration
         the tensors were packed from — the drift sentinel checked by
         the ``NSM003`` lint rule and the cache loader.
+    pack:
+        The open :class:`~repro.pack.PackFile` when this design's
+        tensors are read-only zero-copy views into a mmap'd ``.rpk``
+        (set by :func:`repro.pack.load_compiled_design` and the
+        :class:`~repro.cache.PackCache` path of
+        :func:`compile_design`); ``None`` for heap-resident designs.
+        mmap-backed designs cost only their python side tables in
+        private memory — the tensor bytes are shared page cache.
     """
 
     circuit_name: str
@@ -229,6 +401,7 @@ class CompiledDesign:
     sink_elmore: Dict[SinkKey, float]
     sink_xw: Dict[SinkKey, float]
     calibration_digest: str
+    pack: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def n_nets(self) -> int:
@@ -250,34 +423,50 @@ class CompiledDesign:
         """Number of (gate, pin) arcs evaluated per scenario."""
         return sum(level.n_arcs for level in self.levels)
 
-    def to_dict(self) -> dict:
-        """JSON-serializable form (the cache artifact)."""
+    def to_dict(self, arrays: bool = False) -> dict:
+        """Serializable form (the cache/pack artifact).
+
+        ``arrays=False`` (default) emits nested lists for JSON;
+        ``arrays=True`` keeps the ndarrays so :mod:`repro.pack` can
+        store them as raw binary segments.
+        """
+        keep = (lambda a: a) if arrays else (lambda a: a.tolist())
         return {
             "circuit_name": self.circuit_name,
-            "net_names": self.net_names,
-            "input_nets": self.input_nets.tolist(),
-            "net_load": self.net_load.tolist(),
-            "end_elmore": self.end_elmore.tolist(),
-            "levels": [level.to_dict() for level in self.levels],
-            "arc_table": self.arcs.to_dict(),
-            "sink_elmore": [[list(k), v] for k, v in sorted(self.sink_elmore.items())],
-            "sink_xw": [[list(k), v] for k, v in sorted(self.sink_xw.items())],
+            "net_names": _pack_str_list(self.net_names)
+            if arrays
+            else self.net_names,
+            "input_nets": keep(self.input_nets),
+            "net_load": keep(self.net_load),
+            "end_elmore": keep(self.end_elmore),
+            "levels": _pack_levels(self.levels)
+            if arrays
+            else [level.to_dict() for level in self.levels],
+            "arc_table": self.arcs.to_dict(arrays=arrays),
+            "sink_elmore": _pack_sink_table(self.sink_elmore)
+            if arrays
+            else [[list(k), v] for k, v in sorted(self.sink_elmore.items())],
+            "sink_xw": _pack_sink_table(self.sink_xw)
+            if arrays
+            else [[list(k), v] for k, v in sorted(self.sink_xw.items())],
             "calibration_digest": self.calibration_digest,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "CompiledDesign":
         """Inverse of :meth:`to_dict`."""
+        sink_elmore = _sink_table_from(data["sink_elmore"])
+        sink_xw = _sink_xw_from(data["sink_xw"], data["sink_elmore"], sink_elmore)
         return cls(
             circuit_name=data["circuit_name"],
-            net_names=list(data["net_names"]),
+            net_names=_str_list_from(data["net_names"]),
             input_nets=np.asarray(data["input_nets"], dtype=np.int64),
             net_load=np.asarray(data["net_load"], dtype=float),
             end_elmore=np.asarray(data["end_elmore"], dtype=float),
-            levels=[CompiledLevel.from_dict(d) for d in data["levels"]],
+            levels=_levels_from(data["levels"]),
             arcs=ArcTensorBank.from_dict(data["arc_table"]),
-            sink_elmore={tuple(k): float(v) for k, v in data["sink_elmore"]},
-            sink_xw={tuple(k): float(v) for k, v in data["sink_xw"]},
+            sink_elmore=sink_elmore,
+            sink_xw=sink_xw,
             calibration_digest=data["calibration_digest"],
         )
 
@@ -339,7 +528,10 @@ def compile_design(
     on :func:`design_cache_key`; a loaded artifact is run through the
     ``NSM003`` drift lint (:func:`repro.lint.lint_compiled_design`) and
     rebuilt — never served — when its packed tensors disagree with the
-    current calibration.
+    current calibration. A :class:`~repro.cache.PackCache` stores the
+    artifact as a mmap-able ``.rpk`` instead of JSON; hits then bind
+    the tensors as read-only zero-copy views (``design.pack`` holds the
+    mapping).
     """
     from repro.lint import lint_circuit, lint_compiled_design
 
@@ -354,13 +546,18 @@ def compile_design(
         doc = cache.get(COMPILE_CACHE_KIND, key)
         if doc is not None:
             candidate = CompiledDesign.from_dict(doc)
+            candidate.pack = doc.get("__pack__")
             if not lint_compiled_design(candidate, models.calibrated).errors:
                 return candidate
 
     design = _build_design(circuit, models, digest)
     perf.incr(sta_compiles=1)
     if cache is not None and key is not None:
-        cache.put(COMPILE_CACHE_KIND, key, design.to_dict())
+        cache.put(
+            COMPILE_CACHE_KIND,
+            key,
+            design.to_dict(arrays=getattr(cache, "binary", False)),
+        )
     return design
 
 

@@ -46,6 +46,20 @@ class LintConfigError(ReproError):
     """
 
 
+class PackError(ReproError):
+    """Raised for unreadable, corrupt or stale ``.rpk`` packed artifacts.
+
+    Carries a machine-readable ``code`` naming the validation layer that
+    failed (``"magic"``, ``"version"``, ``"endian"``, ``"truncated"``,
+    ``"bounds"``, ``"digest"``, ``"manifest"``, ``"stale"``, ...); the
+    ``PCK001``–``PCK004`` lint rules map codes onto diagnostics.
+    """
+
+    def __init__(self, message: str, code: str = "pack"):
+        super().__init__(message)
+        self.code = code
+
+
 class ExecutionError(ReproError):
     """Raised by the work-queue executor when a task cannot be completed.
 

@@ -31,6 +31,12 @@ Event vocabulary (the ``event`` field):
 ``cache_corrupt``
     A cached artifact failed to parse and was unlinked (demoted to a
     miss).
+``pack_write`` / ``pack_load`` / ``pack_verify``
+    Packed binary artifacts (:mod:`repro.pack`): an ``.rpk`` written
+    (path, kind, size, segment count), one opened by ``mmap`` (with its
+    content identity), and a full per-segment sha256 verification pass
+    with its outcome — ``pack_verify`` with ``ok: false`` is the audit
+    trace of a corrupt or stale pack being refused.
 ``perf_snapshot``
     A :class:`~repro.perf.PerfCounters` dump at a flow stage boundary
     (includes per-arc wall time / sample attribution when available).
@@ -84,6 +90,9 @@ KNOWN_EVENTS = frozenset({
     "checkpoint",
     "checkpoint_restore",
     "cache_corrupt",
+    "pack_write",
+    "pack_load",
+    "pack_verify",
     "perf_snapshot",
     "surrogate_fit",
     "acquisition",

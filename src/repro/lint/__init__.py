@@ -41,6 +41,7 @@ from repro.lint.domain import (
     lint_journal,
     lint_kernel_equivalence,
     lint_nsigma_model,
+    lint_pack,
     lint_rctree,
     lint_serve_request,
     lint_spef,
@@ -75,6 +76,7 @@ __all__ = [
     "lint_kernel_equivalence",
     "lint_module_deep",
     "lint_nsigma_model",
+    "lint_pack",
     "lint_rctree",
     "lint_serve_request",
     "lint_source",

@@ -234,6 +234,39 @@ register_rule(Rule(
     "worker for minutes and starve every other client of the shared "
     "admission queue; oversized grids are refused, not queued",
 ))
+register_rule(Rule(
+    "PCK001", "domain", Severity.ERROR,
+    "unreadable pack container: bad magic, unsupported format version, "
+    "foreign byte order, or unparseable manifest",
+    "a .rpk the reader cannot even frame must be refused before any "
+    "byte of it is deserialized — packs are mmap'd straight into "
+    "serving engines, so a malformed container is an integrity "
+    "boundary, not a parse inconvenience",
+))
+register_rule(Rule(
+    "PCK002", "domain", Severity.ERROR,
+    "pack digest mismatch: a section's bytes do not hash to the sha256 "
+    "recorded in its manifest",
+    "a flipped bit in a timing tensor silently corrupts every delay "
+    "served from the mapped arrays; the per-section digests exist so "
+    "corruption is caught at load, never at query time",
+))
+register_rule(Rule(
+    "PCK003", "domain", Severity.ERROR,
+    "truncated pack: the file is shorter than its header records, or a "
+    "tensor segment extends past the data section",
+    "a torn write or partial copy leaves trailing segments reading "
+    "zeros (or faulting) through the mmap; the recorded file length "
+    "and per-segment bounds make truncation loud",
+))
+register_rule(Rule(
+    "PCK004", "domain", Severity.ERROR,
+    "stale pack: the recorded design_cache_key / calibration digest no "
+    "longer matches the live circuit, calibration, or code version",
+    "a pack built from yesterday's calibration would serve answers "
+    "that disagree with every freshly compiled result; staleness must "
+    "demote the pack to a rebuild, never serve",
+))
 
 #: RCT005 thresholds — far beyond plausible on-chip parasitics.
 ABSURD_RESISTANCE = 10 * MEGOHM
@@ -1128,6 +1161,69 @@ def lint_compiled_design(design, calibrated, atol: float = 0.0) -> LintReport:
 
 
 # ----------------------------------------------------------------------
+# Packed binary artifacts (PCK rules)
+# ----------------------------------------------------------------------
+#: :class:`~repro.errors.PackError` ``code`` → PCK rule. Unlisted codes
+#: (kind/dtype/document/io/...) are container-level problems → PCK001.
+_PACK_CODE_RULES = {
+    "digest": "PCK002",
+    "truncated": "PCK003",
+    "bounds": "PCK003",
+    "stale": "PCK004",
+}
+
+
+def lint_pack(path, expected_key=None, calibrated=None) -> LintReport:
+    """Validate a ``.rpk`` packed artifact (``PCK`` rules).
+
+    Runs the full trust ladder without ever deserializing suspect
+    bytes: container framing (PCK001), per-segment sha256 digests
+    (PCK002), truncation/bounds (PCK003), and — when ``expected_key``
+    (a live :func:`~repro.core.sta_compiled.design_cache_key`) and/or
+    ``calibrated`` (a live
+    :class:`~repro.core.calibration.CalibratedCellLibrary`) are given —
+    staleness of the recorded identity (PCK004).
+    """
+    from repro.errors import PackError
+    from repro.pack import PackFile
+
+    report = LintReport()
+    try:
+        pack = PackFile.open(path, verify=False)
+    except PackError as exc:
+        report.emit(
+            _PACK_CODE_RULES.get(exc.code, "PCK001"), str(exc), file=str(path)
+        )
+        return report
+    try:
+        pack.verify()
+    except PackError as exc:
+        report.emit(
+            _PACK_CODE_RULES.get(exc.code, "PCK002"), str(exc), file=str(path)
+        )
+    recorded_key = pack.meta.get("design_cache_key")
+    if expected_key is not None and recorded_key != expected_key:
+        report.emit(
+            "PCK004",
+            f"{path}: pack records design_cache_key {recorded_key!r} but "
+            f"the live design keys to {expected_key!r}",
+            file=str(path),
+        )
+    recorded_digest = pack.meta.get("calibration_digest")
+    if calibrated is not None and recorded_digest is not None:
+        live = calibrated.content_digest()
+        if recorded_digest != live:
+            report.emit(
+                "PCK004",
+                f"{path}: pack was built from calibration digest "
+                f"{recorded_digest[:12]}... but the live calibration is "
+                f"{live[:12]}...",
+                file=str(path),
+            )
+    return report
+
+
+# ----------------------------------------------------------------------
 # Artifact dispatch (used by the CLI)
 # ----------------------------------------------------------------------
 def lint_artifact(path) -> LintReport:
@@ -1136,7 +1232,9 @@ def lint_artifact(path) -> LintReport:
     ``.spef`` files get the SPEF rules; JSON files are dispatched on
     their content (Liberty-like characterization bundles vs. fitted
     model bundles); ``.v`` files are read as structural Verilog and get
-    the circuit rules; ``.jsonl`` files are validated as run journals.
+    the circuit rules; ``.jsonl`` files are validated as run journals;
+    ``.rpk`` packed binaries get the ``PCK`` container/digest rules
+    (staleness needs live context — see :func:`lint_pack`).
     """
     import json
     from pathlib import Path
@@ -1148,6 +1246,8 @@ def lint_artifact(path) -> LintReport:
         return lint_spef(path)
     if suffix == ".jsonl":
         return lint_journal(path)
+    if suffix == ".rpk":
+        return lint_pack(path)
     if suffix == ".v":
         from repro.errors import NetlistError
         from repro.netlist.verilog import read_verilog

@@ -53,6 +53,7 @@ import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import (
     Any,
     Callable,
@@ -165,22 +166,67 @@ class SharedPayloadHandle:
     unpickles once) and detaches immediately — workers never hold the
     segment open between tasks, so a worker killed mid-run cannot pin
     the memory.
+
+    A *pack-backed* handle (``pack_path`` set) carries no segment at
+    all: the payload already lives in a mmap-able ``.rpk``
+    (:mod:`repro.pack`), so workers attach by mapping the file — the
+    kernel shares one page-cache copy across every process — after
+    checking the pack's content identity against ``pack_identity``.
     """
 
     name: str
     size: int
+    pack_path: Optional[str] = None
+    pack_identity: str = ""
+
+    def __getstate__(self):
+        # Handles ride inside every task pickle; drop default-valued
+        # pack fields so segment-backed handles stay pointer-sized.
+        state = {"name": self.name, "size": self.size}
+        if self.pack_path is not None:
+            state["pack_path"] = self.pack_path
+            state["pack_identity"] = self.pack_identity
+        return state
+
+    def __setstate__(self, state):
+        for field_name in ("name", "size", "pack_path", "pack_identity"):
+            default = None if field_name == "pack_path" else ""
+            object.__setattr__(
+                self, field_name,
+                state.get(field_name, 0 if field_name == "size" else default))
 
     def load(self) -> Any:
-        if self.name in _attached_payloads:
-            return _attached_payloads[self.name]
-        shm = _attach_untracked(self.name)
-        try:
-            payload = pickle.loads(bytes(shm.buf[: self.size]))
-        finally:
-            shm.close()
+        cache_key = self.name if self.pack_path is None else f"pack:{self.pack_path}"
+        if cache_key in _attached_payloads:
+            return _attached_payloads[cache_key]
+        if self.pack_path is not None:
+            from repro.pack import PackError, PackFile, load_pack_payload
+
+            try:
+                pack = PackFile.open(self.pack_path, verify=False)
+                identity = pack.identity()
+                pack.close()
+                if self.pack_identity and identity != self.pack_identity:
+                    raise PackError(
+                        f"{self.pack_path}: pack identity {identity} does "
+                        f"not match the published {self.pack_identity} "
+                        f"(file replaced since publication)",
+                        code="stale",
+                    )
+                payload = load_pack_payload(self.pack_path, verify=True)
+            except PackError as exc:
+                raise ExecutionError(
+                    f"shared pack payload unusable: {exc}"
+                ) from exc
+        else:
+            shm = _attach_untracked(self.name)
+            try:
+                payload = pickle.loads(bytes(shm.buf[: self.size]))
+            finally:
+                shm.close()
         while len(_attached_payloads) >= _ATTACH_CACHE_MAX:
             _attached_payloads.pop(next(iter(_attached_payloads)))
-        _attached_payloads[self.name] = payload
+        _attached_payloads[cache_key] = payload
         return payload
 
 
@@ -198,11 +244,30 @@ class SharedPayloadBank:
     map in ``try/finally``. Unlinking while workers are still attached
     is safe: POSIX removes the name immediately and frees the memory on
     the last detach.
+
+    **Pack short-circuit**: a payload whose ``pack`` attribute holds an
+    open :class:`repro.pack.PackFile` (e.g. a library characterization
+    loaded from ``.rpk``) is *not* copied into shared memory at all —
+    the handle points workers at the pack file itself, pinned by its
+    content identity, and :meth:`close` has nothing to unlink. The
+    mmap'd pages are already the shared, zero-copy representation.
     """
 
     def __init__(self, payload: Any):
         from multiprocessing import shared_memory
 
+        pack = getattr(payload, "pack", None)
+        pack_path = getattr(pack, "path", None)
+        if pack_path is not None and Path(pack_path).exists():
+            self._shm = None
+            self._closed = False
+            self.handle = SharedPayloadHandle(
+                name="",
+                size=0,
+                pack_path=str(pack_path),
+                pack_identity=pack.identity(),
+            )
+            return
         data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         shm = None
         for _ in range(8):
@@ -236,10 +301,12 @@ class SharedPayloadBank:
             return None
 
     def close(self) -> None:
-        """Release and unlink the segment (idempotent)."""
+        """Release and unlink the segment (idempotent; no-op for packs)."""
         if self._closed:
             return
         self._closed = True
+        if self._shm is None:
+            return
         try:
             self._shm.close()
         except Exception:  # pragma: no cover - buffer already released

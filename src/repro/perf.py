@@ -38,6 +38,11 @@ What is counted and why it matters:
   traffic (:class:`repro.cache.JsonCache`); ``cache_corrupt`` counts
   truncated/unparseable artifacts that were demoted to misses and
   unlinked instead of crashing the run.
+* ``pack_writes`` / ``pack_loads`` / ``pack_verifies`` — packed binary
+  artifacts (:mod:`repro.pack`): ``.rpk`` files written, opened by
+  ``mmap`` (the zero-copy cold-start path of the design registry and
+  :class:`repro.cache.PackCache`), and full per-segment sha256
+  verification passes.
 * ``task_retries`` / ``task_quarantines`` / ``pool_crashes`` — the
   fault-tolerance layer (:mod:`repro.parallel`): attempts re-executed
   after a retryable failure, tasks given up on after exhausting their
@@ -94,6 +99,9 @@ class PerfCounters:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_corrupt: int = 0
+    pack_writes: int = 0
+    pack_loads: int = 0
+    pack_verifies: int = 0
     task_retries: int = 0
     task_quarantines: int = 0
     pool_crashes: int = 0
@@ -200,6 +208,9 @@ class PerfCounters:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_corrupt += other.cache_corrupt
+        self.pack_writes += other.pack_writes
+        self.pack_loads += other.pack_loads
+        self.pack_verifies += other.pack_verifies
         self.task_retries += other.task_retries
         self.task_quarantines += other.task_quarantines
         self.pool_crashes += other.pool_crashes
@@ -242,6 +253,9 @@ class PerfCounters:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_corrupt": self.cache_corrupt,
+            "pack_writes": self.pack_writes,
+            "pack_loads": self.pack_loads,
+            "pack_verifies": self.pack_verifies,
             "task_retries": self.task_retries,
             "task_quarantines": self.task_quarantines,
             "pool_crashes": self.pool_crashes,
@@ -281,6 +295,9 @@ class PerfCounters:
             cache_hits=int(data.get("cache_hits", 0)),
             cache_misses=int(data.get("cache_misses", 0)),
             cache_corrupt=int(data.get("cache_corrupt", 0)),
+            pack_writes=int(data.get("pack_writes", 0)),
+            pack_loads=int(data.get("pack_loads", 0)),
+            pack_verifies=int(data.get("pack_verifies", 0)),
             task_retries=int(data.get("task_retries", 0)),
             task_quarantines=int(data.get("task_quarantines", 0)),
             pool_crashes=int(data.get("pool_crashes", 0)),
@@ -307,6 +324,12 @@ class PerfCounters:
             lines.append(
                 f"cache: {self.cache_hits} hits  {self.cache_misses} misses  "
                 f"{self.cache_corrupt} corrupt"
+            )
+        if self.pack_writes or self.pack_loads or self.pack_verifies:
+            lines.append(
+                f"packs: {self.pack_writes} written  "
+                f"{self.pack_loads} mmap-loaded  "
+                f"{self.pack_verifies} digest-verified"
             )
         if self.task_retries or self.task_quarantines or self.pool_crashes:
             lines.append(

@@ -18,6 +18,17 @@ cost at JSON-parse rather than full levelization). The design being
 served is never evicted to make room for itself, even when it alone
 exceeds the budget.
 
+With a packed artifact attached (:meth:`DesignRegistry.attach_pack`),
+cold loads skip even the JSON parse: the ``.rpk`` is ``mmap``'d
+(:mod:`repro.pack`), digest-verified, and bound as read-only zero-copy
+views, so a reload costs hashing + a small manifest parse, the tensor
+bytes live in shared page cache across the worker threads, and the LRU
+charges the design only its resident python side tables
+(:func:`design_nbytes`). A pack that fails verification — corrupt
+bytes, or a ``design_cache_key`` recorded against a different circuit
+/ calibration / code version — is refused and journaled, and the
+registry falls back to a normal compile.
+
 All public methods are thread-safe: worker threads of the server pool
 call :meth:`engine` concurrently. A per-entry build lock (double-checked
 against residency) makes sure a design compiles once even when many
@@ -30,7 +41,8 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from repro.cache import JsonCache
 from repro.core.sta import TimingModels
@@ -53,10 +65,20 @@ _SINK_ENTRY_BYTES = 128
 def design_nbytes(design: CompiledDesign) -> int:
     """Approximate resident size of a compiled design in bytes.
 
-    Counts the dense tensors exactly (``ndarray.nbytes``) and the
-    per-sink dicts at a flat pessimistic estimate; python object
+    Counts the dense tensors exactly (``ndarray.nbytes``) — the flat
+    parasitic arrays (``net_load``, ``end_elmore``, per-level
+    ``elm_in``) included, so they cannot escape the LRU budget — and
+    the per-sink dicts at a flat pessimistic estimate; python object
     headers of the dataclass shell are noise at this scale.
+
+    A pack-backed design (``design.pack`` set) is charged its
+    **resident** size only: the tensor bytes are read-only views into a
+    mmap'd ``.rpk`` — shared, reclaimable page cache, not private heap
+    — so only the python side tables count against the budget.
     """
+    side = (len(design.sink_elmore) + len(design.sink_xw)) * _SINK_ENTRY_BYTES
+    if design.pack is not None:
+        return side
     total = (
         design.input_nets.nbytes
         + design.net_load.nbytes
@@ -89,8 +111,7 @@ def design_nbytes(design: CompiledDesign) -> int:
         + arcs.c_lo.nbytes
         + arcs.c_hi.nbytes
     )
-    total += (len(design.sink_elmore) + len(design.sink_xw)) * _SINK_ENTRY_BYTES
-    return total
+    return total + side
 
 
 @dataclass
@@ -106,6 +127,8 @@ class _Entry:
     nbytes: int = 0
     queries: int = 0
     loads: int = 0
+    pack_path: Optional[Path] = None
+    mmap_backed: bool = False
 
 
 class DesignRegistry:
@@ -168,6 +191,95 @@ class DesignRegistry:
             )
         return key
 
+    def attach_pack(
+        self, name: str, path: Union[str, Path], verify: bool = True
+    ) -> bool:
+        """Attach a ``.rpk`` as the cold-load source of a registered design.
+
+        The pack is validated **now** — header checks, per-segment
+        sha256 digests (unless ``verify=False``), manifest kind, and
+        the recorded ``design_cache_key`` against the live registration
+        key (the PCK004 staleness contract: a pack built from a
+        different circuit, calibration, or code version can never serve
+        answers). Returns ``True`` and remembers the path on success;
+        an invalid or stale pack is refused with a ``pack_verify``
+        (``ok: false``) journal event and ``False`` — the design then
+        simply compiles (or JSON-reloads) as before.
+
+        Subsequent cold loads — first query and every
+        reload-after-eviction — ``mmap`` the pack instead of parsing,
+        binding tensors as read-only zero-copy views.
+        """
+        from repro.pack import COMPILED_DESIGN_KIND, PackError, PackFile
+
+        path = Path(path)
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise ReproError(f"design {name!r} is not registered")
+            key = entry.key
+        try:
+            pack = PackFile.open(path, verify=verify)
+            try:
+                if pack.kind != COMPILED_DESIGN_KIND:
+                    raise PackError(
+                        f"{path}: pack kind {pack.kind!r} is not a "
+                        f"compiled design",
+                        code="kind",
+                    )
+                recorded = pack.meta.get("design_cache_key")
+                if recorded != key:
+                    raise PackError(
+                        f"{path}: pack records design_cache_key "
+                        f"{recorded!r} but {name!r} is registered under "
+                        f"{key!r} (stale artifact)",
+                        code="stale",
+                    )
+            finally:
+                pack.close()
+        except PackError as exc:
+            if self.journal is not None:
+                self.journal.event(
+                    "pack_verify",
+                    path=str(path),
+                    design=name,
+                    ok=False,
+                    error=str(exc),
+                )
+            return False
+        with self._lock:
+            if self._entries.get(name) is entry:
+                entry.pack_path = path
+        return True
+
+    def _load_from_pack(self, entry: _Entry) -> Optional[CompiledDesign]:
+        """mmap ``entry.pack_path`` into a design, or ``None`` to fall back.
+
+        Verification runs on every load (digests + recorded key), so a
+        pack corrupted or replaced *after* :meth:`attach_pack` is still
+        refused; the failure is journaled and the caller recompiles.
+        """
+        from repro.pack import PackError, load_compiled_design
+
+        try:
+            return load_compiled_design(
+                entry.pack_path,
+                verify=True,
+                expected_key=entry.key,
+                perf=self.perf,
+                journal=self.journal,
+            )
+        except (PackError, OSError) as exc:
+            if self.journal is not None:
+                self.journal.event(
+                    "pack_verify",
+                    path=str(entry.pack_path),
+                    design=entry.name,
+                    ok=False,
+                    error=str(exc),
+                )
+            return None
+
     def names(self) -> List[str]:
         """Registered design names, insertion-ordered."""
         with self._lock:
@@ -216,9 +328,13 @@ class DesignRegistry:
                     self._resident.move_to_end(name)
                     entry.queries += 1
                     return entry.engine
-            design = compile_design(
-                entry.circuit, entry.models, cache=self.cache, perf=self.perf
-            )
+            design = None
+            if entry.pack_path is not None:
+                design = self._load_from_pack(entry)
+            if design is None:
+                design = compile_design(
+                    entry.circuit, entry.models, cache=self.cache, perf=self.perf
+                )
             engine = CompiledSTA(
                 entry.circuit, entry.models, perf=self.perf, design=design
             )
@@ -230,6 +346,7 @@ class DesignRegistry:
                     return engine
                 entry.engine = engine
                 entry.nbytes = nbytes
+                entry.mmap_backed = design.pack is not None
                 entry.queries += 1
                 entry.loads += 1
                 self._resident[name] = entry
@@ -243,6 +360,7 @@ class DesignRegistry:
                         nbytes=nbytes,
                         n_gates=design.n_gates,
                         n_levels=design.n_levels,
+                        source="pack" if entry.mmap_backed else "compile",
                         resident_bytes=sum(
                             e.nbytes for e in self._resident.values()
                         ),
@@ -266,6 +384,7 @@ class DesignRegistry:
                 return
             victim = self._resident.pop(victim_name)
             victim.engine = None
+            victim.mmap_backed = False
             freed = victim.nbytes
             victim.nbytes = 0
             self.perf.incr(sta_serve_evictions=1)
@@ -294,6 +413,10 @@ class DesignRegistry:
                         "nbytes": entry.nbytes,
                         "queries": entry.queries,
                         "loads": entry.loads,
+                        "mmap": entry.mmap_backed,
+                        "pack": str(entry.pack_path)
+                        if entry.pack_path is not None
+                        else None,
                     }
                 )
             return {

@@ -1,0 +1,237 @@
+"""PCK rule family: packed-artifact container, digest and staleness lint.
+
+Every rule gets at least three true-positive artifacts (the rule must
+fire) and three true-negative artifacts (it must stay silent).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.lint import get_rule, lint_artifact, lint_pack
+from repro.lint.core import Severity
+from repro.pack import (
+    COMPILED_DESIGN_KIND,
+    ENDIAN_MARK,
+    HEADER_SIZE,
+    MAGIC,
+    PACK_FORMAT_VERSION,
+    write_pack,
+)
+
+
+def make_pack(path: Path, meta: dict | None = None, kind: str = "unit") -> Path:
+    doc = {"x": np.arange(32, dtype=float), "y": np.ones((3, 3))}
+    return write_pack(path, kind, doc, meta=meta)
+
+
+def flip_byte(path: Path, offset: int) -> None:
+    blob = bytearray(path.read_bytes())
+    blob[offset] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+def patch_u32(path: Path, offset: int, value: int) -> None:
+    blob = bytearray(path.read_bytes())
+    blob[offset : offset + 4] = struct.pack("<I", value)
+    path.write_bytes(bytes(blob))
+
+
+def craft_raw_pack(path: Path, manifest_bytes: bytes) -> Path:
+    """Hand-assemble a pack whose header is consistent with ``manifest_bytes``.
+
+    Lets tests reach validation stages *behind* the manifest digest
+    check (unparseable JSON, out-of-bounds segment records) that no
+    writer-produced file can exhibit.
+    """
+    import hashlib
+
+    data_off = (HEADER_SIZE + len(manifest_bytes) + 63) // 64 * 64
+    file_len = data_off  # empty data section
+    header = struct.pack(
+        "<8sIIQQQQ16s",
+        MAGIC,
+        PACK_FORMAT_VERSION,
+        ENDIAN_MARK,
+        HEADER_SIZE,
+        len(manifest_bytes),
+        data_off,
+        file_len,
+        hashlib.sha256(manifest_bytes).digest()[:16],
+    )
+    blob = header + manifest_bytes
+    blob += b"\0" * (file_len - len(blob))
+    path.write_bytes(blob)
+    return path
+
+
+class TestRegistration:
+    @pytest.mark.parametrize("rule_id", ["PCK001", "PCK002", "PCK003", "PCK004"])
+    def test_rules_are_registered_errors(self, rule_id):
+        rule = get_rule(rule_id)
+        assert rule.layer == "domain"
+        assert rule.severity is Severity.ERROR
+
+
+class TestPCK001Container:
+    def test_fires_on_bad_magic(self, tmp_path):
+        path = make_pack(tmp_path / "p.rpk")
+        flip_byte(path, 0)
+        assert lint_pack(path).rule_ids() == ["PCK001"]
+
+    def test_fires_on_unsupported_version(self, tmp_path):
+        path = make_pack(tmp_path / "p.rpk")
+        patch_u32(path, 8, PACK_FORMAT_VERSION + 7)
+        assert lint_pack(path).rule_ids() == ["PCK001"]
+
+    def test_fires_on_foreign_byte_order(self, tmp_path):
+        path = make_pack(tmp_path / "p.rpk")
+        patch_u32(path, 12, 0x04030201)
+        report = lint_pack(path)
+        assert report.rule_ids() == ["PCK001"]
+        assert "byte order" in report.errors[0].message
+
+    def test_fires_on_unparseable_manifest(self, tmp_path):
+        path = craft_raw_pack(tmp_path / "p.rpk", b"{not json at all")
+        assert lint_pack(path).rule_ids() == ["PCK001"]
+
+    def test_silent_on_valid_packs(self, tmp_path):
+        for i, kind in enumerate(("unit", COMPILED_DESIGN_KIND, "library")):
+            path = make_pack(tmp_path / f"ok{i}.rpk", kind=kind)
+            assert "PCK001" not in lint_pack(path).rule_ids()
+
+    def test_silent_regardless_of_meta(self, tmp_path):
+        path = make_pack(tmp_path / "m.rpk", meta={"design_cache_key": "k"})
+        assert "PCK001" not in lint_pack(path).rule_ids()
+
+
+class TestPCK002Digests:
+    def test_fires_on_flipped_tensor_byte(self, tmp_path):
+        path = make_pack(tmp_path / "p.rpk")
+        flip_byte(path, path.stat().st_size - 1)
+        report = lint_pack(path)
+        assert report.rule_ids() == ["PCK002"]
+        assert "sha256" in report.errors[0].message
+
+    def test_fires_on_first_segment_damage(self, tmp_path):
+        path = make_pack(tmp_path / "p.rpk")
+        flip_byte(path, HEADER_SIZE + 512)  # inside the first tensor
+        assert lint_pack(path).rule_ids() == ["PCK002"]
+
+    def test_fires_on_flipped_manifest_byte(self, tmp_path):
+        # Manifest damage is a digest failure too (the header's sha
+        # prefix no longer matches), caught before JSON parsing.
+        path = make_pack(tmp_path / "p.rpk")
+        flip_byte(path, HEADER_SIZE + 2)
+        assert lint_pack(path).rule_ids() == ["PCK002"]
+
+    def test_silent_on_clean_packs(self, tmp_path):
+        for i in range(3):
+            path = make_pack(tmp_path / f"ok{i}.rpk")
+            assert "PCK002" not in lint_pack(path).rule_ids()
+
+
+class TestPCK003Truncation:
+    def test_fires_on_tail_cut(self, tmp_path):
+        path = make_pack(tmp_path / "p.rpk")
+        path.write_bytes(path.read_bytes()[:-16])
+        assert lint_pack(path).rule_ids() == ["PCK003"]
+
+    def test_fires_below_header_size(self, tmp_path):
+        path = make_pack(tmp_path / "p.rpk")
+        path.write_bytes(path.read_bytes()[: HEADER_SIZE // 2])
+        assert lint_pack(path).rule_ids() == ["PCK003"]
+
+    def test_fires_on_out_of_bounds_segment_record(self, tmp_path):
+        import json
+
+        manifest = {
+            "format": "repro-pack",
+            "version": PACK_FORMAT_VERSION,
+            "kind": "unit",
+            "meta": {},
+            "doc": {"x": {"__ndarray_segment__": 0}},
+            "segments": [
+                {
+                    "name": "x",
+                    "dtype": "<f8",
+                    "shape": [8],
+                    "offset": 0,
+                    "nbytes": 64,  # data section is empty: out of bounds
+                    "sha256": "0" * 64,
+                }
+            ],
+        }
+        path = craft_raw_pack(
+            tmp_path / "p.rpk", json.dumps(manifest, sort_keys=True).encode()
+        )
+        report = lint_pack(path)
+        assert report.rule_ids() == ["PCK003"]
+        assert "data section" in report.errors[0].message
+
+    def test_silent_on_intact_files(self, tmp_path):
+        for i in range(3):
+            path = make_pack(tmp_path / f"ok{i}.rpk")
+            assert "PCK003" not in lint_pack(path).rule_ids()
+
+
+class TestPCK004Staleness:
+    def test_fires_on_design_key_mismatch(self, tmp_path):
+        path = make_pack(
+            tmp_path / "p.rpk", meta={"design_cache_key": "built-key"}
+        )
+        report = lint_pack(path, expected_key="live-key")
+        assert report.rule_ids() == ["PCK004"]
+        assert "design_cache_key" in report.errors[0].message
+
+    def test_fires_on_missing_recorded_key(self, tmp_path):
+        # No recorded key at all cannot satisfy an expected one.
+        path = make_pack(tmp_path / "p.rpk")
+        assert lint_pack(path, expected_key="live-key").rule_ids() == ["PCK004"]
+
+    def test_fires_on_stale_calibration_digest(
+        self, tmp_path, mini_models
+    ):
+        path = make_pack(
+            tmp_path / "p.rpk",
+            meta={"calibration_digest": "0123456789abcdef" * 2},
+        )
+        report = lint_pack(path, calibrated=mini_models.calibrated)
+        assert report.rule_ids() == ["PCK004"]
+        assert "calibration" in report.errors[0].message
+
+    def test_silent_when_identity_matches(self, tmp_path, mini_models):
+        live = mini_models.calibrated.content_digest()
+        path = make_pack(
+            tmp_path / "p.rpk",
+            meta={"design_cache_key": "k1", "calibration_digest": live},
+        )
+        report = lint_pack(
+            path, expected_key="k1", calibrated=mini_models.calibrated
+        )
+        assert report.rule_ids() == []
+
+    def test_silent_without_live_identity_to_compare(self, tmp_path):
+        path = make_pack(
+            tmp_path / "p.rpk", meta={"design_cache_key": "anything"}
+        )
+        assert lint_pack(path).rule_ids() == []
+
+    def test_silent_when_pack_records_no_calibration(
+        self, tmp_path, mini_models
+    ):
+        path = make_pack(tmp_path / "p.rpk")
+        report = lint_pack(path, calibrated=mini_models.calibrated)
+        assert "PCK004" not in report.rule_ids()
+
+
+class TestArtifactDispatch:
+    def test_lint_artifact_routes_rpk_files(self, tmp_path):
+        path = make_pack(tmp_path / "p.rpk")
+        assert lint_artifact(path).rule_ids() == []
+        flip_byte(path, path.stat().st_size - 1)
+        assert lint_artifact(path).rule_ids() == ["PCK002"]

@@ -1,0 +1,183 @@
+"""Corrupt packs must fail loudly — never deserialize garbage.
+
+Each test damages a valid ``.rpk`` a different way (truncation, bit
+flips, foreign byte order, stale identity) and asserts the loader
+raises :class:`~repro.errors.PackError` with the right machine code
+*before* any document content is handed out.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import PackError
+from repro.pack import (
+    COMPILED_DESIGN_KIND,
+    ENDIAN_MARK,
+    HEADER_SIZE,
+    PACK_FORMAT_VERSION,
+    PackFile,
+    load_compiled_design,
+    write_pack,
+)
+
+
+def make_pack(path: Path, meta: dict | None = None) -> Path:
+    doc = {
+        "x": np.arange(64, dtype=float),
+        "y": {"z": np.ones((4, 4))},
+        "k": np.array([3, 1, 4], dtype=np.int64),
+    }
+    return write_pack(path, "unit", doc, meta=meta)
+
+
+def flip_byte(path: Path, offset: int) -> None:
+    blob = bytearray(path.read_bytes())
+    blob[offset] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+def patch_u32(path: Path, offset: int, value: int) -> None:
+    blob = bytearray(path.read_bytes())
+    blob[offset : offset + 4] = struct.pack("<I", value)
+    path.write_bytes(bytes(blob))
+
+
+@pytest.fixture()
+def pack_path(tmp_path) -> Path:
+    return make_pack(tmp_path / "unit.rpk")
+
+
+class TestTruncation:
+    def test_empty_file(self, pack_path):
+        pack_path.write_bytes(b"")
+        with pytest.raises(PackError) as err:
+            PackFile.open(pack_path)
+        assert err.value.code == "truncated"
+
+    def test_shorter_than_header(self, pack_path):
+        pack_path.write_bytes(pack_path.read_bytes()[: HEADER_SIZE - 8])
+        with pytest.raises(PackError) as err:
+            PackFile.open(pack_path)
+        assert err.value.code == "truncated"
+
+    def test_tail_cut_off(self, pack_path):
+        pack_path.write_bytes(pack_path.read_bytes()[:-8])
+        with pytest.raises(PackError, match="truncated or padded") as err:
+            PackFile.open(pack_path)
+        assert err.value.code == "truncated"
+
+    def test_trailing_garbage_appended(self, pack_path):
+        pack_path.write_bytes(pack_path.read_bytes() + b"\0" * 16)
+        with pytest.raises(PackError) as err:
+            PackFile.open(pack_path)
+        assert err.value.code == "truncated"
+
+
+class TestHeaderDamage:
+    def test_bad_magic(self, pack_path):
+        flip_byte(pack_path, 0)
+        with pytest.raises(PackError, match="bad magic") as err:
+            PackFile.open(pack_path)
+        assert err.value.code == "magic"
+
+    def test_wrong_endian_header(self, pack_path):
+        # The canary as a foreign-endian writer would have recorded it.
+        swapped = int.from_bytes(
+            ENDIAN_MARK.to_bytes(4, "little"), "big"
+        )
+        patch_u32(pack_path, 12, swapped)
+        with pytest.raises(PackError, match="foreign byte order") as err:
+            PackFile.open(pack_path)
+        assert err.value.code == "endian"
+
+    def test_future_format_version(self, pack_path):
+        patch_u32(pack_path, 8, PACK_FORMAT_VERSION + 41)
+        with pytest.raises(PackError, match="not supported") as err:
+            PackFile.open(pack_path)
+        assert err.value.code == "version"
+
+    def test_version_zero(self, pack_path):
+        patch_u32(pack_path, 8, 0)
+        with pytest.raises(PackError) as err:
+            PackFile.open(pack_path)
+        assert err.value.code == "version"
+
+
+class TestContentDamage:
+    def test_flipped_manifest_byte(self, pack_path):
+        flip_byte(pack_path, HEADER_SIZE + 2)
+        with pytest.raises(PackError, match="manifest sha256") as err:
+            PackFile.open(pack_path)
+        assert err.value.code == "digest"
+
+    def test_flipped_tensor_byte(self, pack_path):
+        flip_byte(pack_path, pack_path.stat().st_size - 1)
+        with pytest.raises(PackError, match="sha256 mismatch") as err:
+            PackFile.open(pack_path, verify=True)
+        assert err.value.code == "digest"
+
+    def test_unverified_open_then_explicit_verify_catches_it(self, pack_path):
+        flip_byte(pack_path, pack_path.stat().st_size - 1)
+        pack = PackFile.open(pack_path, verify=False)  # header still fine
+        with pytest.raises(PackError) as err:
+            pack.verify()
+        assert err.value.code == "digest"
+
+    def test_every_tensor_byte_is_covered(self, tmp_path):
+        # Flip one byte in each segment: all three must be caught.
+        for i in range(3):
+            path = make_pack(tmp_path / f"seg{i}.rpk")
+            pack = PackFile.open(path)
+            record = pack.segments[i]
+            offset = pack._data_off + record["offset"]
+            flip_byte(path, offset)
+            with pytest.raises(PackError) as err:
+                PackFile.open(path, verify=True)
+            assert err.value.code == "digest"
+
+
+class TestStaleIdentity:
+    def test_stale_design_cache_key_never_deserializes(self, tmp_path):
+        # A wrong identity is refused before CompiledDesign.from_dict
+        # ever sees the document — the junk payload here would explode
+        # in from_dict, so reaching it would fail this test loudly.
+        path = tmp_path / "design.rpk"
+        write_pack(
+            path,
+            COMPILED_DESIGN_KIND,
+            {"junk": np.zeros(3)},
+            meta={"design_cache_key": "key-at-build-time"},
+        )
+        with pytest.raises(PackError, match="stale") as err:
+            load_compiled_design(path, expected_key="key-live-now")
+        assert err.value.code == "stale"
+
+    def test_wrong_kind_never_deserializes(self, tmp_path):
+        path = make_pack(tmp_path / "unit.rpk")
+        with pytest.raises(PackError) as err:
+            load_compiled_design(path)
+        assert err.value.code == "kind"
+
+
+class TestNothingLeaksThrough:
+    CORRUPTIONS = {
+        "truncated": lambda p: p.write_bytes(p.read_bytes()[:-4]),
+        "magic": lambda p: flip_byte(p, 1),
+        "endian": lambda p: patch_u32(p, 12, 0x04030201),
+        "version": lambda p: patch_u32(p, 8, 999),
+        "manifest": lambda p: flip_byte(p, HEADER_SIZE),
+        "tensor": lambda p: flip_byte(p, p.stat().st_size - 1),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_open_raises_packerror(self, tmp_path, name):
+        path = make_pack(tmp_path / f"{name}.rpk")
+        self.CORRUPTIONS[name](path)
+        with pytest.raises(PackError) as err:
+            PackFile.open(path, verify=True)
+        assert isinstance(err.value.code, str) and err.value.code

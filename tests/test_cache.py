@@ -44,10 +44,12 @@ class TestVersionSalt:
     def test_salt_carries_the_package_version(self):
         import repro
         from repro.kernels import backend_identity
+        from repro.pack import PACK_FORMAT_VERSION
 
         assert version_salt() == {
             "repro_version": repro.__version__,
             "kernel": backend_identity(),
+            "pack_format": f"rpk-v{PACK_FORMAT_VERSION}",
         }
 
     def test_versioned_key_differs_from_unversioned(self):

@@ -42,6 +42,73 @@ class TestParser:
         assert args.resume is False
         assert args.journal == "run.jsonl"
 
+    def test_pack_args(self):
+        args = build_parser().parse_args(
+            ["pack", "c432", "ADD", "-o", "out", "--library"])
+        assert args.circuits == ["c432", "ADD"]
+        assert args.output == "out"
+        assert args.library is True
+
+    def test_unpack_and_inspect_args(self):
+        args = build_parser().parse_args(["unpack", "d.rpk", "-o", "d.json"])
+        assert args.file == "d.rpk"
+        assert args.output == "d.json"
+        assert args.no_verify is False
+        args = build_parser().parse_args(["inspect", "d.rpk"])
+        assert args.file == "d.rpk"
+
+    def test_serve_pack_defaults_off(self):
+        args = build_parser().parse_args(["serve", "ADD"])
+        assert args.pack == ""
+        args = build_parser().parse_args(["serve", "ADD", "--pack", "packs"])
+        assert args.pack == "packs"
+
+
+class TestInspectUnpack:
+    @pytest.fixture()
+    def rpk(self, tmp_path):
+        import numpy as np
+
+        from repro.pack import write_pack
+
+        path = tmp_path / "unit.rpk"
+        write_pack(path, "unit", {"grid": np.arange(6, dtype=float),
+                                  "label": "cli"},
+                   meta={"who": "test"})
+        return path
+
+    def test_inspect_prints_manifest_and_verifies(self, rpk, capsys):
+        assert main(["inspect", str(rpk)]) == 0
+        out = capsys.readouterr().out
+        assert "repro-pack v1 kind=unit" in out
+        assert "meta.who = test" in out
+        assert "grid" in out
+        assert "digests OK" in out
+
+    def test_inspect_fails_on_corruption(self, rpk, capsys):
+        blob = bytearray(rpk.read_bytes())
+        blob[-1] ^= 0xFF
+        rpk.write_bytes(bytes(blob))
+        assert main(["inspect", str(rpk)]) == 1
+        assert "digest" in capsys.readouterr().err
+
+    def test_unpack_emits_equivalent_json(self, rpk, tmp_path, capsys):
+        out_json = tmp_path / "unit.json"
+        assert main(["unpack", str(rpk), "-o", str(out_json)]) == 0
+        doc = json.loads(out_json.read_text())
+        assert doc == {"grid": [0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+                       "label": "cli"}
+
+    def test_unpack_to_stdout(self, rpk, capsys):
+        assert main(["unpack", str(rpk)]) == 0
+        assert json.loads(capsys.readouterr().out)["label"] == "cli"
+
+    def test_unpack_refuses_corrupt_pack(self, rpk, capsys):
+        blob = bytearray(rpk.read_bytes())
+        blob[-1] ^= 0xFF
+        rpk.write_bytes(bytes(blob))
+        assert main(["unpack", str(rpk)]) == 1
+
 
 class TestCells:
     def test_lists_library(self, capsys):
@@ -98,3 +165,92 @@ class TestEndToEnd:
         assert "critical path" in out
         assert "+3σ" in out
         assert "% of path" in out
+
+
+def _mini_flow_cli_args():
+    """CLI knobs matching the session-cached mini flow of conftest.py.
+
+    ``--fast`` reproduces the mini grid exactly, so these hit the
+    ``.pytest_repro_cache`` artifacts the fixtures already built
+    instead of re-characterizing.
+    """
+    from tests.conftest import CACHE_DIR, MINI_CELLS
+
+    return [
+        "--fast", "--seed", "7", "--samples", "250",
+        "--cells", ",".join(MINI_CELLS),
+        "--cache-dir", CACHE_DIR,
+    ]
+
+
+@pytest.mark.slow
+class TestPackEndToEnd:
+    def test_pack_inspect_unpack_round_trip(
+        self, tmp_path, capsys, mini_models
+    ):
+        packs = tmp_path / "packs"
+        code = main(
+            ["pack", "ADD", "--width", "2", "-o", str(packs)]
+            + _mini_flow_cli_args()
+        )
+        assert code == 0
+        rpk = packs / "pulpino_add.rpk"
+        assert rpk.exists()
+        capsys.readouterr()
+
+        assert main(["inspect", str(rpk)]) == 0
+        out = capsys.readouterr().out
+        assert "kind=sta_compiled" in out
+        assert "digests OK" in out
+
+        out_json = tmp_path / "design.json"
+        assert main(["unpack", str(rpk), "-o", str(out_json)]) == 0
+        doc = json.loads(out_json.read_text())
+        assert doc["circuit_name"] == "pulpino_add"
+        assert doc["levels"]
+
+    def test_pack_writes_library_bundle(self, tmp_path, capsys, mini_charac):
+        packs = tmp_path / "packs"
+        code = main(
+            ["pack", "ADD", "--width", "2", "-o", str(packs), "--library"]
+            + _mini_flow_cli_args()
+        )
+        assert code == 0
+        from repro.cells.liberty import load_library_characterization
+
+        loaded = load_library_characterization(packs / "library.rpk")
+        assert set(loaded.tables) == set(mini_charac.tables)
+
+
+@pytest.mark.slow
+class TestServeReadyFileCleanup:
+    def test_sigterm_drain_removes_ready_file(self, tmp_path, mini_models):
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        ready = tmp_path / "sta.ready"
+        sock = tmp_path / "sta.sock"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "ADD", "--width", "2",
+             "--socket", str(sock), "--ready-file", str(ready)]
+            + _mini_flow_cli_args(),
+        )
+        try:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline and not ready.exists():
+                if proc.poll() is not None:
+                    pytest.fail(f"server exited early: rc={proc.returncode}")
+                time.sleep(0.1)
+            assert ready.exists(), "server never signalled readiness"
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+            # The graceful drain must remove its readiness marker — a
+            # stale ready file would make a supervisor route traffic to
+            # a server that is gone.
+            assert not ready.exists()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()

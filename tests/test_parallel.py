@@ -203,6 +203,64 @@ class TestSharedPayloadBank:
         assert SharedPayloadBank.publish(Unpicklable()) is None
 
 
+class TestSharedPayloadBankPackShortCircuit:
+    """A ``.rpk``-backed payload ships as a file pointer, not a segment."""
+
+    @pytest.fixture(autouse=True)
+    def no_shm_leaks(self):
+        before = set(glob.glob("/dev/shm/repro_*"))
+        yield
+        after = set(glob.glob("/dev/shm/repro_*"))
+        assert after - before == set(), f"leaked shared memory: {after - before}"
+
+    @pytest.fixture()
+    def library_pack(self, mini_charac, tmp_path):
+        from repro.pack import pack_library_characterization
+
+        return pack_library_characterization(
+            mini_charac, tmp_path / "library.rpk"
+        )
+
+    def test_pack_payload_publishes_no_shared_memory(
+        self, mini_charac, library_pack
+    ):
+        from repro.pack import load_library_characterization_pack
+
+        payload = load_library_characterization_pack(library_pack)
+        with SharedPayloadBank(payload) as bank:
+            assert bank.handle.pack_path == str(library_pack)
+            assert bank.handle.pack_identity
+            assert bank.handle.size == 0
+            assert len(pickle.dumps(bank.handle)) < 300
+            parallel._attached_payloads.clear()
+            loaded = bank.handle.load()
+            assert set(loaded.tables) == set(mini_charac.tables)
+            assert bank.handle.load() is loaded  # worker-local cache
+        # close() had nothing to unlink; the pack file itself survives.
+        assert library_pack.exists()
+
+    def test_replaced_pack_is_refused_by_identity(self, library_pack):
+        import numpy as np
+
+        from repro.errors import ExecutionError
+        from repro.pack import load_library_characterization_pack, write_pack
+
+        payload = load_library_characterization_pack(library_pack)
+        with SharedPayloadBank(payload) as bank:
+            write_pack(library_pack, "unit", {"swapped": np.ones(4)})
+            parallel._attached_payloads.clear()
+            with pytest.raises(ExecutionError, match="identity"):
+                bank.handle.load()
+
+    def test_plain_payload_still_uses_shared_memory(self, mini_charac):
+        # A payload without a pack (freshly characterized) must keep the
+        # segment path: the short-circuit is strictly opt-in via .pack.
+        assert mini_charac.pack is None
+        with SharedPayloadBank(mini_charac) as bank:
+            assert bank.handle.pack_path is None
+            assert bank.handle.name.startswith(SHM_PREFIX)
+
+
 # ----------------------------------------------------------------------
 # Timeout degradation without SIGALRM
 # ----------------------------------------------------------------------
